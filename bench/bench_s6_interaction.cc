@@ -1,0 +1,90 @@
+// Experiment S6-rounds — measures the interaction structure Section 6
+// describes in prose and checks it against the paper's claims:
+//
+//   "In the DAS approach, the client has to interact twice with the
+//    mediator ... For the datasources, the DAS approach is the most
+//    convenient one, as they only have to send data once."
+//   "In the commutative approach ... [the datasources] have to interact
+//    twice with the mediator."
+//   "In the PM approach ... The datasources have to interact twice with
+//    the mediator."
+//
+// One row per protocol: interactions, messages and bytes for each party.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/commutative_protocol.h"
+#include "core/das_protocol.h"
+#include "core/pm_protocol.h"
+#include "core/testbed.h"
+
+using namespace secmed;
+
+int main() {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 40;
+  cfg.r2_tuples = 40;
+  cfg.r1_domain = 16;
+  cfg.r2_domain = 16;
+  cfg.common_values = 8;
+  Workload w = GenerateWorkload(cfg);
+
+  struct Case {
+    const char* label;
+    std::unique_ptr<JoinProtocol> protocol;
+    size_t expect_client_rt;
+    size_t expect_source_rt;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"das", std::make_unique<DasJoinProtocol>(), 2, 1});
+  cases.push_back({"commutative",
+                   std::make_unique<CommutativeJoinProtocol>(
+                       CommutativeProtocolOptions{512, false}),
+                   1, 2});
+  cases.push_back({"pm", std::make_unique<PmJoinProtocol>(), 1, 2});
+
+  std::printf(
+      "=== Section 6: interaction structure (measured vs paper) ===\n\n");
+  std::printf("%-12s | %-22s | %-22s | %-22s | %s\n", "protocol",
+              "client (rt/msg/bytes)", "source1 (rt/msg/bytes)",
+              "mediator (msg in/out)", "paper claim");
+
+  int failures = 0;
+  for (Case& c : cases) {
+    MediationTestbed::Options opt;
+    opt.seed_label = std::string("s6-") + c.label;
+    MediationTestbed tb(w, opt);
+    auto result = c.protocol->Run(tb.JoinSql(), tb.ctx());
+    if (!result.ok()) {
+      std::printf("%s failed: %s\n", c.label,
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    PartyStats cli = tb.bus().StatsOf(tb.client().name());
+    PartyStats s1 = tb.bus().StatsOf(tb.source1().name());
+    PartyStats med = tb.bus().StatsOf(tb.mediator().name());
+
+    char cli_buf[64], s1_buf[64], med_buf[64];
+    std::snprintf(cli_buf, sizeof(cli_buf), "%zu / %zu / %zu",
+                  cli.interactions, cli.messages_sent, cli.bytes_sent);
+    std::snprintf(s1_buf, sizeof(s1_buf), "%zu / %zu / %zu", s1.interactions,
+                  s1.messages_sent, s1.bytes_sent);
+    std::snprintf(med_buf, sizeof(med_buf), "%zu / %zu", med.messages_received,
+                  med.messages_sent);
+
+    const bool ok = cli.interactions == c.expect_client_rt &&
+                    s1.interactions == c.expect_source_rt;
+    std::printf("%-12s | %-22s | %-22s | %-22s | client %zux, sources %zux %s\n",
+                c.label, cli_buf, s1_buf, med_buf, c.expect_client_rt,
+                c.expect_source_rt, ok ? "[ok]" : "[MISMATCH]");
+    if (!ok) ++failures;
+  }
+
+  std::printf("\n%s\n",
+              failures == 0
+                  ? "Section 6 interaction claims reproduced."
+                  : "INTERACTION STRUCTURE MISMATCH");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+// Inter-enterprise scenario: a researcher joins hospital records with
+// insurance claims via an untrusted mediator.
+//
+// Demonstrates the full credential machinery: the certification authority
+// issues property credentials, the hospital releases only anonymized
+// research-consented rows to "researcher" credentials, and the mediator
+// matches the encrypted partial results without ever seeing a diagnosis.
+//
+//   ./build/examples/hospital_insurance
+
+#include <cstdio>
+
+#include "core/commutative_protocol.h"
+#include "core/leakage.h"
+#include "crypto/drbg.h"
+#include "mediation/access_policy.h"
+#include "mediation/client.h"
+#include "mediation/datasource.h"
+#include "mediation/mediator.h"
+#include "mediation/network.h"
+
+using namespace secmed;
+
+namespace {
+
+Relation HospitalRecords() {
+  Relation r{Schema({{"case_id", ValueType::kInt64},
+                     {"diagnosis", ValueType::kString},
+                     {"severity", ValueType::kInt64},
+                     {"consented", ValueType::kInt64}})};
+  struct Row {
+    int64_t id;
+    const char* diag;
+    int64_t sev;
+    int64_t consent;
+  };
+  const Row rows[] = {
+      {101, "influenza", 2, 1},   {102, "diabetes", 3, 1},
+      {103, "influenza", 1, 0},   {104, "hypertension", 2, 1},
+      {105, "diabetes", 4, 1},    {106, "asthma", 2, 0},
+      {107, "hypertension", 3, 1}, {108, "migraine", 1, 1},
+  };
+  for (const Row& row : rows) {
+    (void)r.Append({Value::Int(row.id), Value::Str(row.diag),
+                    Value::Int(row.sev), Value::Int(row.consent)});
+  }
+  return r;
+}
+
+Relation InsuranceClaims() {
+  Relation r{Schema({{"claim_id", ValueType::kInt64},
+                     {"diagnosis", ValueType::kString},
+                     {"payout_eur", ValueType::kInt64}})};
+  struct Row {
+    int64_t id;
+    const char* diag;
+    int64_t payout;
+  };
+  const Row rows[] = {
+      {9001, "influenza", 220},    {9002, "diabetes", 1450},
+      {9003, "hypertension", 630}, {9004, "fracture", 2100},
+      {9005, "diabetes", 990},     {9006, "influenza", 180},
+  };
+  for (const Row& row : rows) {
+    (void)r.Append(
+        {Value::Int(row.id), Value::Str(row.diag), Value::Int(row.payout)});
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  HmacDrbg rng;
+
+  CertificationAuthority ca =
+      CertificationAuthority::Create(1024, &rng).value();
+  Client researcher = Client::Create("researcher", 1024, 1024, &rng).value();
+  if (!researcher
+           .AcquireCredential(ca, {{"role", "researcher"},
+                                   {"study", "cost-of-care"}})
+           .ok()) {
+    return 1;
+  }
+
+  // The hospital releases only consented cases to researcher credentials.
+  DataSource hospital("hospital");
+  hospital.set_ca_key(ca.public_key());
+  hospital.AddRelation("records", HospitalRecords());
+  AccessPolicy hospital_policy;
+  hospital_policy.AddRule(
+      {"role", "researcher",
+       Predicate::ColumnEquals("consented", Value::Int(1)),
+       {"case_id", "diagnosis", "severity"}});  // consent flag masked
+  hospital.SetPolicy("records", hospital_policy);
+
+  // The insurer releases claims to any credentialed study participant.
+  DataSource insurer("insurer");
+  insurer.set_ca_key(ca.public_key());
+  insurer.AddRelation("claims", InsuranceClaims());
+  AccessPolicy insurer_policy;
+  insurer_policy.AddRule({"study", "cost-of-care", Predicate::True(), {}});
+  insurer.SetPolicy("claims", insurer_policy);
+
+  Mediator mediator("mediator");
+  mediator.RegisterTable("records", hospital.name(),
+                         HospitalRecords().schema());
+  mediator.RegisterTable("claims", insurer.name(), InsuranceClaims().schema());
+
+  NetworkBus bus;
+  ProtocolContext ctx;
+  ctx.client = &researcher;
+  ctx.mediator = &mediator;
+  ctx.sources = {{hospital.name(), &hospital}, {insurer.name(), &insurer}};
+  ctx.bus = &bus;
+  ctx.rng = &rng;
+
+  CommutativeJoinProtocol protocol;
+  auto result = protocol.Run(
+      "SELECT * FROM records JOIN claims ON records.diagnosis = "
+      "claims.diagnosis",
+      &ctx);
+  if (!result.ok()) {
+    std::printf("failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== cost-of-care study: joined view ===\n%s\n",
+              result->ToString().c_str());
+  std::printf(
+      "notes:\n"
+      "  - case 103 (influenza, no consent) and 106 never left the "
+      "hospital;\n"
+      "  - claim 9004 (fracture) matched no released case;\n"
+      "  - the consent flag column was masked to NULL by the policy.\n\n");
+
+  LeakageReport report =
+      AnalyzeLeakage("commutative", bus, mediator.name(), researcher.name(),
+                     HospitalRecords(), InsuranceClaims(), "diagnosis",
+                     result->size());
+  std::printf("%s", report.ToString().c_str());
+  std::printf("diagnosis strings visible to the mediator: %s\n",
+              report.mediator_saw_plaintext ? "YES (bug!)" : "none");
+  return report.mediator_saw_plaintext ? 1 : 0;
+}

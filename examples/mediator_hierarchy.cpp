@@ -1,0 +1,140 @@
+// Mediator hierarchy (Section 8, future work): "in a mediator hierarchy
+// one mediator can act as a datasource for other mediators. Therefore,
+// the case in which several join queries are executed successively has to
+// be considered."
+//
+// This example executes two successive mediated joins: the result of the
+// first secure join (patients ⋈ treatments) is registered as a relation
+// of a datasource fronted by a second mediator, which joins it with a
+// third party's pharmacy stock — every join computed over ciphertexts.
+//
+//   ./build/examples/mediator_hierarchy
+
+#include <cstdio>
+
+#include "core/commutative_protocol.h"
+#include "crypto/drbg.h"
+#include "mediation/client.h"
+#include "mediation/datasource.h"
+#include "mediation/mediator.h"
+#include "mediation/network.h"
+
+using namespace secmed;
+
+namespace {
+
+Relation Patients() {
+  Relation r{Schema({{"pid", ValueType::kInt64},
+                     {"diagnosis", ValueType::kString}})};
+  (void)r.Append({Value::Int(1), Value::Str("influenza")});
+  (void)r.Append({Value::Int(2), Value::Str("diabetes")});
+  (void)r.Append({Value::Int(3), Value::Str("asthma")});
+  (void)r.Append({Value::Int(4), Value::Str("influenza")});
+  return r;
+}
+
+Relation Treatments() {
+  Relation r{Schema({{"diagnosis", ValueType::kString},
+                     {"drug", ValueType::kString}})};
+  (void)r.Append({Value::Str("influenza"), Value::Str("oseltamivir")});
+  (void)r.Append({Value::Str("diabetes"), Value::Str("metformin")});
+  (void)r.Append({Value::Str("asthma"), Value::Str("salbutamol")});
+  return r;
+}
+
+Relation PharmacyStock() {
+  Relation r{Schema({{"drug", ValueType::kString},
+                     {"stock", ValueType::kInt64}})};
+  (void)r.Append({Value::Str("oseltamivir"), Value::Int(120)});
+  (void)r.Append({Value::Str("metformin"), Value::Int(40)});
+  (void)r.Append({Value::Str("ibuprofen"), Value::Int(900)});
+  return r;
+}
+
+// Strips qualifiers so a join result can be re-registered as a base table
+// at the next level of the hierarchy.
+Relation Unqualify(const Relation& rel) {
+  std::vector<Column> cols;
+  for (const Column& c : rel.schema().columns()) {
+    cols.push_back({Schema::BaseName(c.name), c.type});
+  }
+  return Relation(Schema(std::move(cols)), rel.tuples());
+}
+
+Result<Relation> RunJoin(Client* client, const std::string& sql,
+                         const std::string& mediator_name,
+                         std::map<std::string, DataSource*> sources,
+                         HmacDrbg* rng,
+                         const std::map<std::string, Schema>& schemas) {
+  Mediator mediator(mediator_name);
+  for (auto& [name, src] : sources) {
+    for (auto& [table, schema] : schemas) {
+      if (src->HasTable(table)) mediator.RegisterTable(table, name, schema);
+    }
+  }
+  NetworkBus bus;
+  ProtocolContext ctx;
+  ctx.client = client;
+  ctx.mediator = &mediator;
+  ctx.sources = std::move(sources);
+  ctx.bus = &bus;
+  ctx.rng = rng;
+  CommutativeJoinProtocol protocol(CommutativeProtocolOptions{384, false});
+  return protocol.Run(sql, &ctx);
+}
+
+}  // namespace
+
+int main() {
+  HmacDrbg rng;
+  CertificationAuthority ca =
+      CertificationAuthority::Create(1024, &rng).value();
+  Client client = Client::Create("researcher", 1024, 1024, &rng).value();
+  if (!client.AcquireCredential(ca, {{"role", "researcher"}}).ok()) return 1;
+
+  // --- Level 1: hospital ⋈ clinic under mediator-1. ---
+  DataSource hospital("hospital"), clinic("clinic");
+  hospital.set_ca_key(ca.public_key());
+  clinic.set_ca_key(ca.public_key());
+  hospital.AddRelation("patients", Patients());
+  clinic.AddRelation("treatments", Treatments());
+
+  auto level1 = RunJoin(&client,
+                        "SELECT * FROM patients NATURAL JOIN treatments",
+                        "mediator-1",
+                        {{"hospital", &hospital}, {"clinic", &clinic}}, &rng,
+                        {{"patients", Patients().schema()},
+                         {"treatments", Treatments().schema()}});
+  if (!level1.ok()) {
+    std::printf("level 1 failed: %s\n", level1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== level 1: patients ⋈ treatments ===\n%s\n",
+              level1->ToString().c_str());
+
+  // --- Level 2: mediator-1's result becomes a datasource relation. ---
+  Relation care_plan = Unqualify(*level1);
+  DataSource upper("mediator-1-as-source"), pharmacy("pharmacy");
+  upper.set_ca_key(ca.public_key());
+  pharmacy.set_ca_key(ca.public_key());
+  upper.AddRelation("care_plan", care_plan);
+  pharmacy.AddRelation("stock", PharmacyStock());
+
+  auto level2 = RunJoin(&client, "SELECT * FROM care_plan NATURAL JOIN stock",
+                        "mediator-2",
+                        {{"mediator-1-as-source", &upper},
+                         {"pharmacy", &pharmacy}},
+                        &rng,
+                        {{"care_plan", care_plan.schema()},
+                         {"stock", PharmacyStock().schema()}});
+  if (!level2.ok()) {
+    std::printf("level 2 failed: %s\n", level2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== level 2: care_plan ⋈ pharmacy stock ===\n%s\n",
+              level2->ToString().c_str());
+  std::printf(
+      "both joins were mediated over ciphertexts; the asthma care plan\n"
+      "vanished at level 2 because salbutamol is out of stock.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: mediate a join over encrypted relations in ~60 lines.
+//
+// Sets up the full MMM environment — certification authority, client,
+// mediator, two datasources — and runs the commutative-encryption
+// protocol (the paper's recommended one) on a small synthetic workload.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/commutative_protocol.h"
+#include "crypto/drbg.h"
+#include "mediation/client.h"
+#include "mediation/datasource.h"
+#include "mediation/mediator.h"
+#include "mediation/network.h"
+#include "relational/workload.h"
+
+using namespace secmed;
+
+int main() {
+  HmacDrbg rng;  // OS-seeded
+
+  // --- Preparatory phase: CA issues the client a property credential. ---
+  CertificationAuthority ca =
+      CertificationAuthority::Create(1024, &rng).value();
+  Client client = Client::Create("client", 1024, 1024, &rng).value();
+  if (!client.AcquireCredential(ca, {{"role", "analyst"}}).ok()) return 1;
+
+  // --- Two datasources with a shared join attribute. ---
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 30;
+  cfg.r2_tuples = 25;
+  cfg.r1_domain = 12;
+  cfg.r2_domain = 10;
+  cfg.common_values = 5;
+  Workload w = GenerateWorkload(cfg);
+
+  DataSource s1("source-1"), s2("source-2");
+  s1.set_ca_key(ca.public_key());
+  s2.set_ca_key(ca.public_key());
+  s1.AddRelation("orders", w.r1);
+  s2.AddRelation("shipments", w.r2);
+
+  // --- Mediator knows the embedding: table -> source + global schema. ---
+  Mediator mediator("mediator");
+  mediator.RegisterTable("orders", s1.name(), w.r1.schema());
+  mediator.RegisterTable("shipments", s2.name(), w.r2.schema());
+
+  NetworkBus bus;
+  ProtocolContext ctx;
+  ctx.client = &client;
+  ctx.mediator = &mediator;
+  ctx.sources = {{s1.name(), &s1}, {s2.name(), &s2}};
+  ctx.bus = &bus;
+  ctx.rng = &rng;
+
+  // --- Run the join over ciphertexts. ---
+  CommutativeJoinProtocol protocol;
+  auto result = protocol.Run(
+      "SELECT * FROM orders JOIN shipments ON orders.ajoin = shipments.ajoin",
+      &ctx);
+  if (!result.ok()) {
+    std::printf("protocol failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("global result (%zu tuples):\n%s\n", result->size(),
+              result->ToString(10).c_str());
+  std::printf("mediator routed %zu messages, %zu bytes — all ciphertext.\n",
+              bus.StatsOf("mediator").messages_received,
+              bus.StatsOf("mediator").bytes_received);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Research-study scenario using the full extended query class: a
+// three-way mediated join executed as a mediator hierarchy (cascade),
+// followed by client-side WHERE, GROUP BY aggregation, ORDER BY and
+// LIMIT — all join work happens over ciphertexts; only the client ever
+// sees plaintext rows.
+//
+//   ./build/examples/research_aggregates
+
+#include <cstdio>
+
+#include "core/cascade.h"
+#include "core/commutative_protocol.h"
+#include "crypto/drbg.h"
+#include "mediation/client.h"
+#include "mediation/datasource.h"
+#include "mediation/mediator.h"
+#include "mediation/network.h"
+#include "relational/workload.h"
+
+using namespace secmed;
+
+namespace {
+
+Relation Admissions() {
+  Relation r{Schema({{"case_id", ValueType::kInt64},
+                     {"diagnosis", ValueType::kString},
+                     {"region", ValueType::kString}})};
+  struct Row {
+    int64_t id;
+    const char* diag;
+    const char* region;
+  };
+  const Row rows[] = {
+      {1, "influenza", "north"}, {2, "diabetes", "north"},
+      {3, "influenza", "south"}, {4, "diabetes", "south"},
+      {5, "influenza", "north"}, {6, "asthma", "south"},
+      {7, "diabetes", "north"},  {8, "influenza", "south"},
+  };
+  for (const Row& row : rows) {
+    (void)r.Append(
+        {Value::Int(row.id), Value::Str(row.diag), Value::Str(row.region)});
+  }
+  return r;
+}
+
+Relation Protocols() {
+  Relation r{Schema({{"diagnosis", ValueType::kString},
+                     {"drug", ValueType::kString}})};
+  (void)r.Append({Value::Str("influenza"), Value::Str("oseltamivir")});
+  (void)r.Append({Value::Str("diabetes"), Value::Str("metformin")});
+  (void)r.Append({Value::Str("asthma"), Value::Str("salbutamol")});
+  return r;
+}
+
+Relation Prices() {
+  Relation r{Schema({{"drug", ValueType::kString},
+                     {"unit_cost", ValueType::kInt64}})};
+  (void)r.Append({Value::Str("oseltamivir"), Value::Int(45)});
+  (void)r.Append({Value::Str("metformin"), Value::Int(4)});
+  (void)r.Append({Value::Str("salbutamol"), Value::Int(12)});
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  HmacDrbg rng;
+  CertificationAuthority ca =
+      CertificationAuthority::Create(1024, &rng).value();
+  Client analyst = Client::Create("analyst", 1024, 1024, &rng).value();
+  if (!analyst.AcquireCredential(ca, {{"role", "health-economist"}}).ok()) {
+    return 1;
+  }
+
+  DataSource registry("registry"), guidelines("guidelines"),
+      procurement("procurement");
+  for (DataSource* s : {&registry, &guidelines, &procurement}) {
+    s->set_ca_key(ca.public_key());
+  }
+  registry.AddRelation("admissions", Admissions());
+  guidelines.AddRelation("protocols", Protocols());
+  procurement.AddRelation("prices", Prices());
+
+  Mediator mediator("base-mediator");
+  mediator.RegisterTable("admissions", "registry", Admissions().schema());
+  mediator.RegisterTable("protocols", "guidelines", Protocols().schema());
+  mediator.RegisterTable("prices", "procurement", Prices().schema());
+
+  NetworkBus bus;
+  ProtocolContext ctx;
+  ctx.client = &analyst;
+  ctx.mediator = &mediator;
+  ctx.sources = {{"registry", &registry},
+                 {"guidelines", &guidelines},
+                 {"procurement", &procurement}};
+  ctx.bus = &bus;
+  ctx.rng = &rng;
+
+  CommutativeJoinProtocol protocol(CommutativeProtocolOptions{384, false});
+  CascadeExecutor cascade(&protocol, ca.public_key());
+
+  const char* query =
+      "SELECT diagnosis, COUNT(*) AS cases, SUM(unit_cost) AS drug_cost "
+      "FROM admissions NATURAL JOIN protocols NATURAL JOIN prices "
+      "WHERE region = 'north' "
+      "GROUP BY diagnosis ORDER BY drug_cost DESC LIMIT 3";
+
+  std::printf("query:\n  %s\n\n", query);
+  auto result = cascade.Run(query, &ctx);
+  if (!result.ok()) {
+    std::printf("failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("result (computed from two successive encrypted joins, "
+              "aggregated client-side):\n%s\n",
+              result->ToString().c_str());
+  std::printf("two hierarchy mediators processed %zu messages in total; "
+              "none saw a diagnosis, drug or price.\n",
+              bus.StatsOf("mediator-L1").messages_received +
+                  bus.StatsOf("mediator-L2").messages_received);
+  return 0;
+}

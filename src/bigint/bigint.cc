@@ -1,0 +1,583 @@
+#include "bigint/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace secmed {
+
+namespace {
+constexpr uint64_t kBase = 1ULL << 32;
+constexpr size_t kKaratsubaThreshold = 32;  // limbs
+
+// Removes trailing zero limbs.
+void Trim(std::vector<uint32_t>* v) {
+  while (!v->empty() && v->back() == 0) v->pop_back();
+}
+}  // namespace
+
+BigInt::BigInt(int64_t v) {
+  negative_ = v < 0;
+  // Convert through uint64_t to handle INT64_MIN without overflow.
+  uint64_t mag = negative_ ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  if (mag != 0) limbs_.push_back(static_cast<uint32_t>(mag));
+  if (mag >> 32) limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt::BigInt(uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<uint32_t>(v >> 32));
+}
+
+void BigInt::Normalize() {
+  Trim(&limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+Result<BigInt> BigInt::FromDecimal(std::string_view s) {
+  if (s.empty()) return Status::ParseError("empty decimal string");
+  bool neg = false;
+  size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    i = 1;
+  }
+  if (i == s.size()) return Status::ParseError("decimal string has no digits");
+  BigInt out;
+  // Consume 9 digits at a time: out = out * 10^k + chunk.
+  while (i < s.size()) {
+    size_t chunk_len = std::min<size_t>(9, s.size() - i);
+    uint32_t chunk = 0;
+    uint32_t pow10 = 1;
+    for (size_t k = 0; k < chunk_len; ++k, ++i) {
+      char c = s[i];
+      if (c < '0' || c > '9') {
+        return Status::ParseError("invalid decimal digit in: " + std::string(s));
+      }
+      chunk = chunk * 10 + static_cast<uint32_t>(c - '0');
+      pow10 *= 10;
+    }
+    out = out * BigInt(static_cast<uint64_t>(pow10)) +
+          BigInt(static_cast<uint64_t>(chunk));
+  }
+  out.negative_ = neg && !out.is_zero();
+  return out;
+}
+
+Result<BigInt> BigInt::FromHex(std::string_view s) {
+  if (s.empty()) return Status::ParseError("empty hex string");
+  bool neg = false;
+  size_t start = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    start = 1;
+  }
+  if (start == s.size()) return Status::ParseError("hex string has no digits");
+  BigInt out;
+  // Parse from the least-significant end, 8 hex digits per limb.
+  size_t len = s.size() - start;
+  size_t nlimbs = (len + 7) / 8;
+  out.limbs_.assign(nlimbs, 0);
+  size_t pos = s.size();
+  for (size_t limb = 0; limb < nlimbs; ++limb) {
+    size_t digits = std::min<size_t>(8, pos - start);
+    uint32_t v = 0;
+    for (size_t k = pos - digits; k < pos; ++k) {
+      char c = s[k];
+      int nib;
+      if (c >= '0' && c <= '9') nib = c - '0';
+      else if (c >= 'a' && c <= 'f') nib = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') nib = c - 'A' + 10;
+      else return Status::ParseError("invalid hex digit in: " + std::string(s));
+      v = (v << 4) | static_cast<uint32_t>(nib);
+    }
+    out.limbs_[limb] = v;
+    pos -= digits;
+  }
+  out.Normalize();
+  out.negative_ = neg && !out.is_zero();
+  return out;
+}
+
+BigInt BigInt::FromBytes(const Bytes& be) {
+  BigInt out;
+  size_t nlimbs = (be.size() + 3) / 4;
+  out.limbs_.assign(nlimbs, 0);
+  // be[0] is the most significant byte.
+  for (size_t i = 0; i < be.size(); ++i) {
+    size_t bit_index_from_lsb = be.size() - 1 - i;
+    size_t limb = bit_index_from_lsb / 4;
+    size_t shift = (bit_index_from_lsb % 4) * 8;
+    out.limbs_[limb] |= static_cast<uint32_t>(be[i]) << shift;
+  }
+  out.Normalize();
+  return out;
+}
+
+std::string BigInt::ToDecimal() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9.
+  std::vector<uint32_t> mag = limbs_;
+  std::string out;
+  while (!mag.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = mag.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<uint32_t>(cur / 1000000000ULL);
+      rem = cur % 1000000000ULL;
+    }
+    Trim(&mag);
+    for (int k = 0; k < 9; ++k) {
+      out.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+      if (mag.empty() && rem == 0) break;
+    }
+  }
+  // Strip leading zeros created by the last chunk.
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  if (negative_) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string BigInt::ToHex() const {
+  if (is_zero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(limbs_[i] >> shift) & 0xF]);
+    }
+  }
+  size_t first = out.find_first_not_of('0');
+  out = out.substr(first);
+  if (negative_) out.insert(out.begin(), '-');
+  return out;
+}
+
+Bytes BigInt::ToBytes(size_t min_len) const {
+  size_t nbytes = (BitLength() + 7) / 8;
+  size_t len = std::max(nbytes, min_len);
+  Bytes out(len, 0);
+  for (size_t i = 0; i < nbytes; ++i) {
+    size_t limb = i / 4;
+    size_t shift = (i % 4) * 8;
+    out[len - 1 - i] = static_cast<uint8_t>(limbs_[limb] >> shift);
+  }
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::TestBit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+uint64_t BigInt::LowU64() const {
+  uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigInt::CompareMag(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::CompareMagnitude(const BigInt& other) const {
+  return CompareMag(limbs_, other.limbs_);
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMag(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+std::vector<uint32_t> BigInt::AddMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> out;
+  out.reserve(longer.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0);
+    out.push_back(static_cast<uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  assert(CompareMag(a, b) >= 0);
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<uint32_t>(diff));
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulSchoolbook(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulKaratsuba(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return MulSchoolbook(a, b);
+  }
+  const size_t half = std::max(a.size(), b.size()) / 2;
+  auto split = [half](const std::vector<uint32_t>& v)
+      -> std::pair<std::vector<uint32_t>, std::vector<uint32_t>> {
+    if (v.size() <= half) return {v, {}};
+    std::vector<uint32_t> lo(v.begin(), v.begin() + half);
+    std::vector<uint32_t> hi(v.begin() + half, v.end());
+    Trim(&lo);
+    return {lo, hi};
+  };
+  auto [a_lo, a_hi] = split(a);
+  auto [b_lo, b_hi] = split(b);
+
+  std::vector<uint32_t> z0 = MulKaratsuba(a_lo, b_lo);
+  std::vector<uint32_t> z2 = MulKaratsuba(a_hi, b_hi);
+  std::vector<uint32_t> sum_a = AddMag(a_lo, a_hi);
+  std::vector<uint32_t> sum_b = AddMag(b_lo, b_hi);
+  std::vector<uint32_t> z1 = MulKaratsuba(sum_a, sum_b);
+  z1 = SubMag(z1, z0);
+  z1 = SubMag(z1, z2);
+
+  // out = z2 << (2*half) + z1 << half + z0
+  std::vector<uint32_t> out(std::max({z0.size(), z1.size() + half,
+                                      z2.size() + 2 * half}) + 1, 0);
+  auto add_at = [&out](const std::vector<uint32_t>& v, size_t offset) {
+    uint64_t carry = 0;
+    size_t i = 0;
+    for (; i < v.size(); ++i) {
+      uint64_t cur = static_cast<uint64_t>(out[offset + i]) + v[i] + carry;
+      out[offset + i] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    while (carry) {
+      uint64_t cur = static_cast<uint64_t>(out[offset + i]) + carry;
+      out[offset + i] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++i;
+    }
+  };
+  add_at(z0, 0);
+  add_at(z1, half);
+  add_at(z2, 2 * half);
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulMag(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  return MulKaratsuba(a, b);
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  if (negative_ == other.negative_) {
+    out.limbs_ = AddMag(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int cmp = CompareMag(limbs_, other.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      out.limbs_ = SubMag(limbs_, other.limbs_);
+      out.negative_ = negative_;
+    } else {
+      out.limbs_ = SubMag(other.limbs_, limbs_);
+      out.negative_ = other.negative_;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt out;
+  out.limbs_ = MulMag(limbs_, other.limbs_);
+  out.negative_ = negative_ != other.negative_ && !out.limbs_.empty();
+  return out;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) { return *this = *this + other; }
+BigInt& BigInt::operator-=(const BigInt& other) { return *this = *this - other; }
+BigInt& BigInt::operator*=(const BigInt& other) { return *this = *this * other; }
+
+void BigInt::DivModMag(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b,
+                       std::vector<uint32_t>* quot,
+                       std::vector<uint32_t>* rem) {
+  assert(!b.empty());
+  quot->clear();
+  rem->clear();
+  if (CompareMag(a, b) < 0) {
+    *rem = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Short division.
+    uint64_t d = b[0];
+    quot->assign(a.size(), 0);
+    uint64_t r = 0;
+    for (size_t i = a.size(); i-- > 0;) {
+      uint64_t cur = (r << 32) | a[i];
+      (*quot)[i] = static_cast<uint32_t>(cur / d);
+      r = cur % d;
+    }
+    Trim(quot);
+    if (r) rem->push_back(static_cast<uint32_t>(r));
+    return;
+  }
+
+  // Knuth TAOCP vol. 2, algorithm D. Normalize so the top limb of the
+  // divisor has its high bit set.
+  int shift = 0;
+  uint32_t top = b.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  const size_t n = b.size();
+  const size_t m = a.size() - n;
+
+  auto shl = [](const std::vector<uint32_t>& v, int s, bool extend) {
+    std::vector<uint32_t> out(v.size() + (extend ? 1 : 0), 0);
+    uint32_t carry = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      out[i] = (s == 0) ? v[i] : ((v[i] << s) | carry);
+      carry = (s == 0) ? 0 : static_cast<uint32_t>(v[i] >> (32 - s));
+    }
+    if (extend) out[v.size()] = carry;
+    return out;
+  };
+
+  std::vector<uint32_t> u = shl(a, shift, /*extend=*/true);  // size m+n+1
+  std::vector<uint32_t> v = shl(b, shift, /*extend=*/false);  // size n
+  quot->assign(m + 1, 0);
+
+  const uint64_t v_top = v[n - 1];
+  const uint64_t v_second = n >= 2 ? v[n - 2] : 0;
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (u[j+n]*B + u[j+n-1]) / v[n-1].
+    uint64_t numerator = (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    uint64_t q_hat = numerator / v_top;
+    uint64_t r_hat = numerator % v_top;
+    if (q_hat >= kBase) {
+      q_hat = kBase - 1;
+      r_hat = numerator - q_hat * v_top;
+    }
+    while (r_hat < kBase &&
+           q_hat * v_second > ((r_hat << 32) | (n >= 2 ? u[j + n - 2] : 0))) {
+      --q_hat;
+      r_hat += v_top;
+    }
+    // Multiply-subtract: u[j..j+n] -= q_hat * v.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t prod = q_hat * v[i] + carry;
+      carry = prod >> 32;
+      int64_t diff = static_cast<int64_t>(u[i + j]) -
+                     static_cast<int64_t>(prod & 0xFFFFFFFFULL) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    u[j + n] = static_cast<uint32_t>(diff);
+
+    if (negative) {
+      // q_hat was one too large; add back.
+      --q_hat;
+      uint64_t c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<uint32_t>(sum);
+        c = sum >> 32;
+      }
+      u[j + n] = static_cast<uint32_t>(u[j + n] + c);
+    }
+    (*quot)[j] = static_cast<uint32_t>(q_hat);
+  }
+  Trim(quot);
+
+  // Denormalize the remainder: rem = u[0..n) >> shift.
+  rem->assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t lo = u[i] >> shift;
+    uint32_t hi = (shift && i + 1 < n + 1)
+                      ? static_cast<uint32_t>(static_cast<uint64_t>(u[i + 1])
+                                              << (32 - shift))
+                      : 0;
+    (*rem)[i] = shift ? (lo | hi) : u[i];
+  }
+  Trim(rem);
+}
+
+Result<std::pair<BigInt, BigInt>> BigInt::DivMod(const BigInt& a,
+                                                 const BigInt& b) {
+  if (b.is_zero()) return Status::InvalidArgument("division by zero");
+  BigInt q, r;
+  DivModMag(a.limbs_, b.limbs_, &q.limbs_, &r.limbs_);
+  q.negative_ = (a.negative_ != b.negative_) && !q.limbs_.empty();
+  r.negative_ = a.negative_ && !r.limbs_.empty();
+  return std::make_pair(q, r);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  auto res = DivMod(*this, other);
+  assert(res.ok());
+  return res.value().first;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  auto res = DivMod(*this, other);
+  assert(res.ok());
+  return res.value().second;
+}
+
+Result<BigInt> BigInt::Mod(const BigInt& a, const BigInt& m) {
+  if (m.is_zero()) return Status::InvalidArgument("modulus is zero");
+  SECMED_ASSIGN_OR_RETURN(auto qr, DivMod(a, m));
+  BigInt r = qr.second;
+  if (r.is_negative()) r = r + m.Abs();
+  return r;
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const size_t limb_shift = bits / 32;
+  const int bit_shift = static_cast<int>(bits % 32);
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const size_t limb_shift = bits / 32;
+  const int bit_shift = static_cast<int>(bits % 32);
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::RandomBelow(const BigInt& bound, RandomSource* rng) {
+  assert(!bound.is_zero() && !bound.is_negative());
+  const size_t bits = bound.BitLength();
+  const size_t nbytes = (bits + 7) / 8;
+  const int excess_bits = static_cast<int>(nbytes * 8 - bits);
+  for (;;) {
+    Bytes buf = rng->Generate(nbytes);
+    buf[0] &= static_cast<uint8_t>(0xFF >> excess_bits);
+    BigInt candidate = FromBytes(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::RandomWithBits(size_t bits, RandomSource* rng) {
+  assert(bits > 0);
+  const size_t nbytes = (bits + 7) / 8;
+  const int excess_bits = static_cast<int>(nbytes * 8 - bits);
+  Bytes buf = rng->Generate(nbytes);
+  buf[0] &= static_cast<uint8_t>(0xFF >> excess_bits);
+  buf[0] |= static_cast<uint8_t>(0x80 >> excess_bits);  // force top bit
+  return FromBytes(buf);
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToDecimal();
+}
+
+}  // namespace secmed

@@ -1,0 +1,139 @@
+#ifndef SECMED_BIGINT_BIGINT_H_
+#define SECMED_BIGINT_BIGINT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// Arbitrary-precision signed integer.
+///
+/// Magnitude is stored as little-endian 32-bit limbs with a separate sign.
+/// Zero is canonically represented by an empty limb vector and positive
+/// sign. All arithmetic is heap-based and value-semantic; the class is the
+/// numeric foundation for the RSA, Paillier and commutative-encryption
+/// subsystems.
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a machine integer.
+  BigInt(int64_t v);   // NOLINT(runtime/explicit)
+  BigInt(uint64_t v);  // NOLINT(runtime/explicit)
+  BigInt(int v) : BigInt(static_cast<int64_t>(v)) {}  // NOLINT(runtime/explicit)
+
+  /// Parses a decimal string with optional leading '-'.
+  static Result<BigInt> FromDecimal(std::string_view s);
+  /// Parses a hex string (no 0x prefix) with optional leading '-'.
+  static Result<BigInt> FromHex(std::string_view s);
+  /// Interprets big-endian bytes as a non-negative integer.
+  static BigInt FromBytes(const Bytes& be);
+
+  /// Renders as decimal with leading '-' if negative.
+  std::string ToDecimal() const;
+  /// Renders as lowercase hex (no 0x) with leading '-' if negative.
+  std::string ToHex() const;
+  /// Serializes the magnitude as big-endian bytes, zero-padded on the left
+  /// to at least `min_len` bytes. Sign is dropped; callers requiring signed
+  /// round-trips must track sign separately (all protocol values are
+  /// non-negative).
+  Bytes ToBytes(size_t min_len = 0) const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits in the magnitude; 0 for zero.
+  size_t BitLength() const;
+  /// Returns bit `i` (0 = least significant) of the magnitude.
+  bool TestBit(size_t i) const;
+  /// Value of the low 64 bits of the magnitude.
+  uint64_t LowU64() const;
+
+  /// Three-way comparison: negative/zero/positive as -1/0/+1.
+  int Compare(const BigInt& other) const;
+  /// Compares magnitudes only (ignoring sign).
+  int CompareMagnitude(const BigInt& other) const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncating division (C++ semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
+
+  BigInt operator<<(size_t bits) const;
+  BigInt operator>>(size_t bits) const;
+
+  bool operator==(const BigInt& other) const { return Compare(other) == 0; }
+  bool operator!=(const BigInt& other) const { return Compare(other) != 0; }
+  bool operator<(const BigInt& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigInt& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigInt& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigInt& other) const { return Compare(other) >= 0; }
+
+  /// Computes quotient and remainder in one pass. The divisor must be
+  /// non-zero (kInvalidArgument otherwise). Signs follow C++ semantics.
+  static Result<std::pair<BigInt, BigInt>> DivMod(const BigInt& a,
+                                                  const BigInt& b);
+
+  /// Mathematical modulo: result in [0, |m|). m must be non-zero.
+  static Result<BigInt> Mod(const BigInt& a, const BigInt& m);
+
+  /// Uniform random integer in [0, bound). bound must be positive.
+  static BigInt RandomBelow(const BigInt& bound, RandomSource* rng);
+  /// Uniform random integer with exactly `bits` bits (top bit set).
+  static BigInt RandomWithBits(size_t bits, RandomSource* rng);
+
+  /// Access to raw limbs (little-endian base 2^32); for tests/diagnostics.
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void Normalize();
+
+  // Magnitude helpers (ignore sign).
+  static std::vector<uint32_t> AddMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMag(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulSchoolbook(const std::vector<uint32_t>& a,
+                                             const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulKaratsuba(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static int CompareMag(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b);
+  // Knuth algorithm D on magnitudes; b non-empty.
+  static void DivModMag(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b,
+                        std::vector<uint32_t>* quot,
+                        std::vector<uint32_t>* rem);
+
+  std::vector<uint32_t> limbs_;  // little-endian, no trailing zeros
+  bool negative_ = false;        // false for zero
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+}  // namespace secmed
+
+#endif  // SECMED_BIGINT_BIGINT_H_

@@ -1,0 +1,239 @@
+#include "bigint/modular.h"
+
+#include <cassert>
+
+namespace secmed {
+
+BigInt Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+BigInt Lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt();
+  BigInt g = Gcd(a, b);
+  return (a.Abs() / g) * b.Abs();
+}
+
+ExtendedGcdResult ExtendedGcd(const BigInt& a, const BigInt& b) {
+  // Iterative extended Euclid over signed BigInts.
+  BigInt old_r = a, r = b;
+  BigInt old_s = 1, s = 0;
+  BigInt old_t = 0, t = 1;
+  while (!r.is_zero()) {
+    auto qr = BigInt::DivMod(old_r, r);
+    assert(qr.ok());
+    BigInt q = qr.value().first;
+    BigInt tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+    tmp = old_t - q * t;
+    old_t = t;
+    t = tmp;
+  }
+  return {old_r, old_s, old_t};
+}
+
+Result<BigInt> ModInverse(const BigInt& a, const BigInt& m) {
+  if (m <= BigInt(1)) return Status::InvalidArgument("modulus must be > 1");
+  SECMED_ASSIGN_OR_RETURN(BigInt ar, BigInt::Mod(a, m));
+  ExtendedGcdResult e = ExtendedGcd(ar, m);
+  if (e.g != BigInt(1)) {
+    return Status::InvalidArgument("value is not invertible modulo m");
+  }
+  return BigInt::Mod(e.x, m);
+}
+
+Result<BigInt> ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  if (m.is_zero() || m.is_negative()) {
+    return Status::InvalidArgument("modulus must be positive");
+  }
+  SECMED_ASSIGN_OR_RETURN(BigInt ar, BigInt::Mod(a, m));
+  SECMED_ASSIGN_OR_RETURN(BigInt br, BigInt::Mod(b, m));
+  return BigInt::Mod(ar * br, m);
+}
+
+namespace {
+// Plain square-and-multiply with division-based reduction, used for even
+// moduli (rare path).
+Result<BigInt> ModExpGeneric(const BigInt& base, const BigInt& exp,
+                             const BigInt& m) {
+  SECMED_ASSIGN_OR_RETURN(BigInt b, BigInt::Mod(base, m));
+  BigInt result = BigInt::Mod(BigInt(1), m).value();
+  const size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.TestBit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+}  // namespace
+
+Result<BigInt> ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.is_zero() || m.is_negative()) {
+    return Status::InvalidArgument("modulus must be positive");
+  }
+  if (exp.is_negative()) {
+    return Status::InvalidArgument("negative exponent; invert base first");
+  }
+  if (m == BigInt(1)) return BigInt(0);
+  if (m.is_odd()) {
+    SECMED_ASSIGN_OR_RETURN(MontgomeryContext ctx, MontgomeryContext::Create(m));
+    return ctx.Exp(base, exp);
+  }
+  return ModExpGeneric(base, exp, m);
+}
+
+Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
+  if (modulus <= BigInt(1) || modulus.is_even()) {
+    return Status::InvalidArgument("Montgomery modulus must be odd and > 1");
+  }
+  MontgomeryContext ctx;
+  ctx.modulus_ = modulus;
+  ctx.mod_limbs_ = modulus.limbs();
+  ctx.n_ = ctx.mod_limbs_.size();
+
+  // inv32 = -m^{-1} mod 2^32 by Newton iteration.
+  uint32_t m0 = ctx.mod_limbs_[0];
+  uint32_t inv = m0;  // 3-bit correct seed for odd m0
+  for (int i = 0; i < 5; ++i) inv *= 2u - m0 * inv;
+  ctx.inv32_ = ~inv + 1u;  // negate mod 2^32
+
+  // R = 2^(32n); r2 = R^2 mod m, one_mont = R mod m.
+  BigInt r = BigInt(1) << (32 * ctx.n_);
+  ctx.one_mont_ = BigInt::Mod(r, modulus).value();
+  ctx.r2_ = BigInt::Mod(ctx.one_mont_ * ctx.one_mont_, modulus).value();
+  return ctx;
+}
+
+std::vector<uint32_t> MontgomeryContext::PadLimbs(const BigInt& x) const {
+  std::vector<uint32_t> out = x.limbs();
+  out.resize(n_, 0);
+  return out;
+}
+
+std::vector<uint32_t> MontgomeryContext::MontMulLimbs(
+    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+  const size_t n = n_;
+  std::vector<uint32_t> t(n + 2, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    const uint64_t ai = a[i];
+    for (size_t j = 0; j < n; ++j) {
+      uint64_t cur = t[j] + ai * b[j] + carry;
+      t[j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    uint64_t cur = t[n] + carry;
+    t[n] = static_cast<uint32_t>(cur);
+    t[n + 1] = static_cast<uint32_t>(cur >> 32);
+
+    // m_i = t[0] * inv32 mod 2^32; t = (t + m_i * mod) / 2^32
+    const uint64_t mi = static_cast<uint32_t>(t[0] * inv32_);
+    cur = t[0] + mi * mod_limbs_[0];
+    carry = cur >> 32;
+    for (size_t j = 1; j < n; ++j) {
+      cur = t[j] + mi * mod_limbs_[j] + carry;
+      t[j - 1] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = static_cast<uint64_t>(t[n]) + carry;
+    t[n - 1] = static_cast<uint32_t>(cur);
+    t[n] = t[n + 1] + static_cast<uint32_t>(cur >> 32);
+    t[n + 1] = 0;
+  }
+  // Conditional final subtraction: result may be >= mod.
+  std::vector<uint32_t> res(t.begin(), t.begin() + n);
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = n; i-- > 0;) {
+      if (res[i] != mod_limbs_[i]) {
+        ge = res[i] > mod_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    int64_t borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+      int64_t diff = static_cast<int64_t>(res[i]) -
+                     static_cast<int64_t>(mod_limbs_[i]) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(1) << 32;
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      res[i] = static_cast<uint32_t>(diff);
+    }
+  }
+  return res;
+}
+
+namespace {
+BigInt LimbsToBigInt(const std::vector<uint32_t>& limbs) {
+  Bytes be(limbs.size() * 4);
+  for (size_t i = 0; i < limbs.size(); ++i) {
+    for (int k = 0; k < 4; ++k) {
+      be[be.size() - 1 - (i * 4 + k)] = static_cast<uint8_t>(limbs[i] >> (8 * k));
+    }
+  }
+  return BigInt::FromBytes(be);
+}
+}  // namespace
+
+BigInt MontgomeryContext::ToMont(const BigInt& x) const {
+  BigInt xr = BigInt::Mod(x, modulus_).value();
+  return LimbsToBigInt(MontMulLimbs(PadLimbs(xr), PadLimbs(r2_)));
+}
+
+BigInt MontgomeryContext::FromMont(const BigInt& x) const {
+  std::vector<uint32_t> one(n_, 0);
+  one[0] = 1;
+  return LimbsToBigInt(MontMulLimbs(PadLimbs(x), one));
+}
+
+BigInt MontgomeryContext::MulMont(const BigInt& a, const BigInt& b) const {
+  return LimbsToBigInt(MontMulLimbs(PadLimbs(a), PadLimbs(b)));
+}
+
+BigInt MontgomeryContext::Mul(const BigInt& a, const BigInt& b) const {
+  return FromMont(MulMont(ToMont(a), ToMont(b)));
+}
+
+BigInt MontgomeryContext::Exp(const BigInt& base, const BigInt& exp) const {
+  assert(!exp.is_negative());
+  // 4-bit fixed-window exponentiation in the Montgomery domain.
+  const BigInt base_m = ToMont(base);
+  std::vector<BigInt> table(16);
+  table[0] = one_mont_;
+  for (int i = 1; i < 16; ++i) table[i] = MulMont(table[i - 1], base_m);
+
+  const size_t bits = exp.BitLength();
+  if (bits == 0) return FromMont(one_mont_);
+  const size_t windows = (bits + 3) / 4;
+  BigInt acc = one_mont_;
+  for (size_t w = windows; w-- > 0;) {
+    for (int k = 0; k < 4; ++k) acc = MulMont(acc, acc);
+    int digit = 0;
+    for (int k = 3; k >= 0; --k) {
+      digit = (digit << 1) | (exp.TestBit(w * 4 + k) ? 1 : 0);
+    }
+    if (digit != 0) acc = MulMont(acc, table[digit]);
+  }
+  return FromMont(acc);
+}
+
+}  // namespace secmed

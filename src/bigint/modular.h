@@ -1,0 +1,77 @@
+#ifndef SECMED_BIGINT_MODULAR_H_
+#define SECMED_BIGINT_MODULAR_H_
+
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// Greatest common divisor of |a| and |b|; Gcd(0, 0) == 0.
+BigInt Gcd(const BigInt& a, const BigInt& b);
+
+/// Least common multiple of |a| and |b|.
+BigInt Lcm(const BigInt& a, const BigInt& b);
+
+/// Extended Euclid: returns (g, x, y) such that a*x + b*y == g == gcd(a, b).
+struct ExtendedGcdResult {
+  BigInt g;
+  BigInt x;
+  BigInt y;
+};
+ExtendedGcdResult ExtendedGcd(const BigInt& a, const BigInt& b);
+
+/// Modular inverse of a modulo m (m > 1). Fails with kInvalidArgument when
+/// gcd(a, m) != 1.
+Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+
+/// (a * b) mod m with m > 0; inputs are reduced first.
+Result<BigInt> ModMul(const BigInt& a, const BigInt& b, const BigInt& m);
+
+/// base^exp mod m for exp >= 0 and m > 0. Uses Montgomery exponentiation
+/// with a 4-bit window when m is odd; falls back to division-based
+/// reduction otherwise.
+Result<BigInt> ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+/// Precomputed Montgomery domain for a fixed odd modulus. Amortizes the
+/// setup cost across many multiplications/exponentiations with the same
+/// modulus — the hot path of Paillier and commutative encryption.
+class MontgomeryContext {
+ public:
+  /// Creates a context. The modulus must be odd and > 1.
+  static Result<MontgomeryContext> Create(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+
+  /// Converts into the Montgomery domain: x * R mod m.
+  BigInt ToMont(const BigInt& x) const;
+  /// Converts out of the Montgomery domain: x * R^-1 mod m.
+  BigInt FromMont(const BigInt& x) const;
+  /// Montgomery product of two values already in the Montgomery domain.
+  BigInt MulMont(const BigInt& a, const BigInt& b) const;
+  /// Ordinary modular product of two values in the normal domain.
+  BigInt Mul(const BigInt& a, const BigInt& b) const;
+  /// base^exp mod m; base and result in the normal domain. exp >= 0.
+  BigInt Exp(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  MontgomeryContext() = default;
+
+  // Core CIOS loop over raw limb vectors, both inputs in Montgomery domain,
+  // sized exactly n limbs (zero-padded).
+  std::vector<uint32_t> MontMulLimbs(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) const;
+  std::vector<uint32_t> PadLimbs(const BigInt& x) const;
+
+  BigInt modulus_;
+  std::vector<uint32_t> mod_limbs_;  // exactly n limbs
+  size_t n_ = 0;                     // limb count of the modulus
+  uint32_t inv32_ = 0;               // -modulus^{-1} mod 2^32
+  BigInt r2_;                        // R^2 mod m (for ToMont)
+  BigInt one_mont_;                  // R mod m (Montgomery representation of 1)
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_BIGINT_MODULAR_H_

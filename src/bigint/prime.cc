@@ -1,0 +1,115 @@
+#include "bigint/prime.h"
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "bigint/modular.h"
+
+namespace secmed {
+
+namespace {
+
+// Primes below 1000, used for cheap trial division before Miller–Rabin.
+const std::vector<uint32_t>& SmallPrimes() {
+  static const std::vector<uint32_t>* primes = [] {
+    auto* v = new std::vector<uint32_t>();
+    std::array<bool, 1000> sieve{};
+    for (uint32_t i = 2; i < sieve.size(); ++i) {
+      if (sieve[i]) continue;
+      v->push_back(i);
+      for (uint32_t j = i * i; j < sieve.size(); j += i) sieve[j] = true;
+    }
+    return v;
+  }();
+  return *primes;
+}
+
+// n mod d for small d without allocating a BigInt.
+uint32_t ModSmall(const BigInt& n, uint32_t d) {
+  const auto& limbs = n.limbs();
+  uint64_t rem = 0;
+  for (size_t i = limbs.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs[i]) % d;
+  }
+  return static_cast<uint32_t>(rem);
+}
+
+// One Miller–Rabin round with the given base; n odd, n > 3.
+// d and r satisfy n - 1 == d * 2^r with d odd.
+bool MillerRabinRound(const MontgomeryContext& ctx, const BigInt& n_minus_1,
+                      const BigInt& d, size_t r, const BigInt& base) {
+  BigInt x = ctx.Exp(base, d);
+  if (x == BigInt(1) || x == n_minus_1) return true;
+  for (size_t i = 1; i < r; ++i) {
+    x = ctx.Mul(x, x);
+    if (x == n_minus_1) return true;
+    if (x == BigInt(1)) return false;  // nontrivial sqrt of 1
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, RandomSource* rng, int rounds) {
+  if (n.is_negative()) return false;
+  if (n < BigInt(2)) return false;
+  for (uint32_t p : SmallPrimes()) {
+    if (n == BigInt(static_cast<uint64_t>(p))) return true;
+    if (ModSmall(n, p) == 0) return false;
+  }
+  // n is odd and > 10^6 here.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t r = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++r;
+  }
+  auto ctx_res = MontgomeryContext::Create(n);
+  assert(ctx_res.ok());
+  const MontgomeryContext& ctx = ctx_res.value();
+  const BigInt three(3);
+  const BigInt span = n - three;  // bases drawn from [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    BigInt base = BigInt::RandomBelow(span, rng) + BigInt(2);
+    if (!MillerRabinRound(ctx, n_minus_1, d, r, base)) return false;
+  }
+  return true;
+}
+
+BigInt RandomPrime(size_t bits, RandomSource* rng) {
+  assert(bits >= 8);
+  for (;;) {
+    BigInt candidate = BigInt::RandomWithBits(bits, rng);
+    if (candidate.is_even()) candidate += BigInt(1);
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+BigInt RandomSafePrime(size_t bits, RandomSource* rng) {
+  assert(bits >= 16);
+  const auto& primes = SmallPrimes();
+  for (;;) {
+    // Draw a Sophie Germain candidate q with bits-1 bits, forced odd and
+    // forced q ≡ 1 (mod 2) so p = 2q + 1 has exactly `bits` bits.
+    BigInt q = BigInt::RandomWithBits(bits - 1, rng);
+    if (q.is_even()) q += BigInt(1);
+    // Sieve q and p = 2q+1 together: p ≡ 0 (mod s) iff q ≡ (s-1)/2 (mod s).
+    bool sieved_out = false;
+    for (uint32_t s : primes) {
+      if (s == 2) continue;
+      uint32_t qm = ModSmall(q, s);
+      if (qm == 0 || (2 * qm + 1) % s == 0) {
+        sieved_out = true;
+        break;
+      }
+    }
+    if (sieved_out) continue;
+    if (!IsProbablePrime(q, rng)) continue;
+    BigInt p = (q << 1) + BigInt(1);
+    if (IsProbablePrime(p, rng)) return p;
+  }
+}
+
+}  // namespace secmed

@@ -1,0 +1,28 @@
+#ifndef SECMED_BIGINT_PRIME_H_
+#define SECMED_BIGINT_PRIME_H_
+
+#include "bigint/bigint.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// Miller–Rabin probabilistic primality test.
+///
+/// Performs trial division by small primes first, then `rounds` rounds of
+/// Miller–Rabin with random bases from `rng`. Error probability is at most
+/// 4^-rounds for composite inputs.
+bool IsProbablePrime(const BigInt& n, RandomSource* rng, int rounds = 32);
+
+/// Generates a random prime with exactly `bits` bits (top bit set).
+BigInt RandomPrime(size_t bits, RandomSource* rng);
+
+/// Generates a random *safe* prime p with exactly `bits` bits, i.e. a prime
+/// p such that (p-1)/2 is also prime. Safe primes define the group of
+/// quadratic residues used by the commutative encryption scheme. This is
+/// expensive for large `bits`; protocol code uses the precomputed groups in
+/// crypto/group_params.h instead.
+BigInt RandomSafePrime(size_t bits, RandomSource* rng);
+
+}  // namespace secmed
+
+#endif  // SECMED_BIGINT_PRIME_H_

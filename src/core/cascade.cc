@@ -1,0 +1,129 @@
+#include "core/cascade.h"
+
+#include <set>
+
+#include "relational/algebra.h"
+#include "relational/sql.h"
+
+namespace secmed {
+
+Result<Relation> UnqualifyRelation(const Relation& rel) {
+  std::vector<Column> cols;
+  std::set<std::string> seen;
+  for (const Column& c : rel.schema().columns()) {
+    std::string base = Schema::BaseName(c.name);
+    if (!seen.insert(base).second) {
+      return Status::InvalidArgument(
+          "column name collision after unqualify: " + base +
+          "; rename columns before cascading");
+    }
+    cols.push_back({std::move(base), c.type});
+  }
+  return Relation(Schema(std::move(cols)), rel.tuples());
+}
+
+Result<Relation> CascadeExecutor::Run(const std::string& sql,
+                                      ProtocolContext* ctx) {
+  if (ctx == nullptr || ctx->client == nullptr || ctx->mediator == nullptr) {
+    return Status::InvalidArgument("incomplete protocol context");
+  }
+  SECMED_ASSIGN_OR_RETURN(ParsedQuery query, ParseSql(sql));
+  if (query.joins.empty()) {
+    return Status::Unimplemented(
+        "cascade executor mediates join queries; single-table queries go "
+        "directly to the owning datasource");
+  }
+
+  // State of the running cascade: the current left-hand side. Starts as
+  // the FROM table at its original datasource; after the first level it is
+  // the intermediate result held by a cascade datasource.
+  std::string current_table = query.from.name;
+
+  // Owned per-level infrastructure. Objects must outlive the protocol runs
+  // that reference them.
+  std::vector<std::unique_ptr<DataSource>> cascade_sources;
+  std::vector<std::unique_ptr<Mediator>> cascade_mediators;
+  Relation current_result;
+
+  for (size_t level = 0; level < query.joins.size(); ++level) {
+    const ParsedQuery::JoinClause& join = query.joins[level];
+
+    // Build this level's two-relation query.
+    std::string level_sql = "SELECT * FROM " + current_table;
+    if (join.natural) {
+      level_sql += " NATURAL JOIN " + join.table.name;
+    } else {
+      level_sql += " JOIN " + join.table.name + " ON ";
+      for (size_t i = 0; i < join.on_pairs.size(); ++i) {
+        if (i) level_sql += " AND ";
+        // Re-qualify the left side with the current table name so the
+        // pair resolves against the cascade intermediate as well.
+        level_sql += current_table + "." +
+                     Schema::BaseName(join.on_pairs[i].first) + " = " +
+                     join.table.name + "." +
+                     Schema::BaseName(join.on_pairs[i].second);
+      }
+    }
+
+    // Wire this level's mediator: the current table (original or cascade
+    // datasource) plus the next base table.
+    auto mediator = std::make_unique<Mediator>(
+        "mediator-L" + std::to_string(level + 1));
+    ProtocolContext level_ctx = *ctx;
+    level_ctx.mediator = mediator.get();
+
+    if (level == 0) {
+      SECMED_ASSIGN_OR_RETURN(std::string src,
+                              ctx->mediator->SourceOf(current_table));
+      SECMED_ASSIGN_OR_RETURN(Schema schema,
+                              ctx->mediator->SchemaOf(current_table));
+      mediator->RegisterTable(current_table, src, std::move(schema));
+    } else {
+      auto cascade_src = std::make_unique<DataSource>(
+          "cascade-source-" + std::to_string(level));
+      cascade_src->set_ca_key(ca_key_);
+      SECMED_ASSIGN_OR_RETURN(Relation unqualified,
+                              UnqualifyRelation(current_result));
+      mediator->RegisterTable(current_table, cascade_src->name(),
+                              unqualified.schema());
+      cascade_src->AddRelation(current_table, std::move(unqualified));
+      level_ctx.sources[cascade_src->name()] = cascade_src.get();
+      cascade_sources.push_back(std::move(cascade_src));
+    }
+    SECMED_ASSIGN_OR_RETURN(std::string next_src,
+                            ctx->mediator->SourceOf(join.table.name));
+    SECMED_ASSIGN_OR_RETURN(Schema next_schema,
+                            ctx->mediator->SchemaOf(join.table.name));
+    mediator->RegisterTable(join.table.name, next_src, std::move(next_schema));
+
+    SECMED_ASSIGN_OR_RETURN(current_result,
+                            protocol_->Run(level_sql, &level_ctx));
+    current_table = "cascade_result_" + std::to_string(level + 1);
+    cascade_mediators.push_back(std::move(mediator));
+  }
+
+  // Client-side post-processing: WHERE, aggregation/projection, ORDER BY,
+  // LIMIT — the same pipeline the reference executor applies.
+  if (query.where && query.where->kind() != Predicate::Kind::kTrue) {
+    SECMED_ASSIGN_OR_RETURN(current_result,
+                            Select(current_result, query.where));
+  }
+  if (query.HasAggregates() || !query.group_by.empty()) {
+    SECMED_ASSIGN_OR_RETURN(
+        current_result,
+        Aggregate(current_result, query.group_by, query.aggregates));
+  } else if (!query.select_columns.empty()) {
+    SECMED_ASSIGN_OR_RETURN(current_result,
+                            Project(current_result, query.select_columns));
+  }
+  if (!query.order_by.empty()) {
+    SECMED_ASSIGN_OR_RETURN(current_result,
+                            OrderBy(current_result, query.order_by));
+  }
+  if (query.limit != SIZE_MAX) {
+    current_result = Limit(current_result, query.limit);
+  }
+  return current_result;
+}
+
+}  // namespace secmed

@@ -1,0 +1,51 @@
+#ifndef SECMED_CORE_CASCADE_H_
+#define SECMED_CORE_CASCADE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace secmed {
+
+/// Executes global queries beyond the single-JOIN class by cascading the
+/// two-relation protocols — the paper's Section 8 outlook: "in a mediator
+/// hierarchy one mediator can act as a datasource for other mediators.
+/// Therefore, the case in which several join queries are executed
+/// successively has to be considered."
+///
+/// A query with k JOIN clauses runs as k successive mediations: the
+/// encrypted join of the first two relations is delivered to the client,
+/// which re-publishes it (as the data owner of its own result) through a
+/// cascade datasource to the next-level mediator, and so on. WHERE clauses
+/// and projections are applied by the client on the final result, so the
+/// class of supported queries becomes
+///     SELECT cols FROM t1 JOIN t2 ... JOIN tk [WHERE pred].
+///
+/// Each level uses its own mediator instance (the hierarchy), but all
+/// traffic is recorded on the shared bus of the supplied context.
+class CascadeExecutor {
+ public:
+  /// `protocol` is borrowed and reused for every level. `ca_key` lets the
+  /// cascade datasources verify the client's credentials.
+  CascadeExecutor(JoinProtocol* protocol, RsaPublicKey ca_key)
+      : protocol_(protocol), ca_key_(std::move(ca_key)) {}
+
+  /// Runs the query; `ctx` supplies the client, the base mediator (for
+  /// table locations and schemas), the base datasources and the bus.
+  Result<Relation> Run(const std::string& sql, ProtocolContext* ctx);
+
+ private:
+  JoinProtocol* protocol_;
+  RsaPublicKey ca_key_;
+};
+
+/// Strips qualifiers from a relation's column names so a join result can
+/// be re-registered as a base table at the next hierarchy level. Fails
+/// with kInvalidArgument when two columns would collide.
+Result<Relation> UnqualifyRelation(const Relation& rel);
+
+}  // namespace secmed
+
+#endif  // SECMED_CORE_CASCADE_H_

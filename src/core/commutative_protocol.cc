@@ -1,0 +1,239 @@
+#include "core/commutative_protocol.h"
+
+#include <algorithm>
+#include <map>
+
+#include "crypto/commutative.h"
+#include "crypto/group_params.h"
+#include "crypto/hybrid.h"
+#include "util/serialize.h"
+
+namespace secmed {
+
+namespace {
+constexpr char kMsgCommMessageSet[] = "comm_message_set";
+constexpr char kMsgCommExchange[] = "comm_exchange";
+constexpr char kMsgCommDoubleEncrypted[] = "comm_double_encrypted";
+constexpr char kMsgCommResult[] = "comm_result";
+}  // namespace
+
+Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
+                                              ProtocolContext* ctx) {
+  SECMED_ASSIGN_OR_RETURN(RequestState state, RunRequestPhase(sql, ctx));
+  SECMED_ASSIGN_OR_RETURN(QrGroup group, StandardGroup(options_.group_bits));
+  NetworkBus& bus = *ctx->bus;
+  const std::string& mediator = ctx->mediator->name();
+  const std::string& client = ctx->client->name();
+  const size_t group_bytes = (group.p().BitLength() + 7) / 8;
+
+  // Delivery steps 1-3 at each source: encrypt hash values with a fresh
+  // commutative key, hybrid-encrypt the tuple sets, and send the message
+  // set Mi (hash part + payload ID; footnote-1 mode keeps payloads at the
+  // mediator) together with the encrypted schema metadata.
+  struct SourceState {
+    CommutativeKey key;
+    std::string name;
+  };
+  std::vector<SourceState> source_states;
+  auto source_deliver = [&](const std::string& source, const Relation& rel,
+                            const RsaPublicKey& client_key,
+                            uint8_t which) -> Status {
+    CommutativeKey key = CommutativeKey::Generate(group, ctx->rng);
+    SECMED_ASSIGN_OR_RETURN(
+        std::vector<size_t> join_idx,
+        JoinColumnIndexes(rel.schema(), state.plan.join_attributes));
+    std::map<Bytes, Relation> tuple_sets =
+        GroupTuplesByJoinValue(rel, join_idx);
+
+    // Entries sorted by ciphertext (arbitrary order independent of the
+    // plaintext insertion order).
+    std::vector<std::pair<Bytes, Bytes>> entries;  // (f_ei(h(a)), enc(Tup))
+    for (const auto& [value_enc, tuples] : tuple_sets) {
+      BigInt hashed = group.HashToGroup(value_enc);
+      Bytes cipher = key.Encrypt(hashed).ToBytes(group_bytes);
+      SECMED_ASSIGN_OR_RETURN(
+          Bytes enc_tup,
+          HybridEncrypt(client_key, tuples.Serialize(), ctx->rng));
+      entries.emplace_back(std::move(cipher), std::move(enc_tup));
+    }
+    std::sort(entries.begin(), entries.end());
+
+    SECMED_ASSIGN_OR_RETURN(
+        Bytes schema_blob,
+        HybridEncrypt(client_key, [&] {
+          BinaryWriter w;
+          rel.schema().EncodeTo(&w);
+          return w.TakeBuffer();
+        }(), ctx->rng));
+
+    BinaryWriter w;
+    w.WriteU8(which);
+    w.WriteBytes(schema_blob);
+    w.WriteU32(static_cast<uint32_t>(entries.size()));
+    for (const auto& [cipher, enc_tup] : entries) {
+      w.WriteBytes(cipher);
+      w.WriteBytes(enc_tup);
+    }
+    bus.Send(source, mediator, kMsgCommMessageSet, w.TakeBuffer());
+    source_states.push_back(SourceState{std::move(key), source});
+    return Status::OK();
+  };
+  SECMED_RETURN_IF_ERROR(
+      source_deliver(state.plan.source1, state.r1, state.client_key1, 1));
+  SECMED_RETURN_IF_ERROR(
+      source_deliver(state.plan.source2, state.r2, state.client_key2, 2));
+
+  // Step 4 at the mediator: receive M1, M2; store payloads; exchange the
+  // message sets between the sources. In the optimized mode only
+  // fixed-length IDs travel with the encrypted hash values.
+  struct MediatorEntry {
+    Bytes single_cipher;
+    Bytes enc_tup;
+  };
+  std::vector<std::vector<MediatorEntry>> med_entries(3);  // by `which`
+  std::vector<Bytes> schema_blobs(3);
+  for (int i = 0; i < 2; ++i) {
+    SECMED_ASSIGN_OR_RETURN(Message msg,
+                            bus.ReceiveOfType(mediator, kMsgCommMessageSet));
+    BinaryReader r(msg.payload);
+    SECMED_ASSIGN_OR_RETURN(uint8_t which, r.ReadU8());
+    if (which != 1 && which != 2) {
+      return Status::ProtocolError("bad source tag in message set");
+    }
+    SECMED_ASSIGN_OR_RETURN(schema_blobs[which], r.ReadBytes());
+    SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    for (uint32_t k = 0; k < count; ++k) {
+      MediatorEntry e;
+      SECMED_ASSIGN_OR_RETURN(e.single_cipher, r.ReadBytes());
+      SECMED_ASSIGN_OR_RETURN(e.enc_tup, r.ReadBytes());
+      med_entries[which].push_back(std::move(e));
+    }
+  }
+  auto forward_to = [&](uint8_t from_which, const std::string& to_source) {
+    BinaryWriter w;
+    w.WriteU8(from_which);
+    w.WriteU32(static_cast<uint32_t>(med_entries[from_which].size()));
+    for (size_t id = 0; id < med_entries[from_which].size(); ++id) {
+      w.WriteBytes(med_entries[from_which][id].single_cipher);
+      if (options_.forward_payloads) {
+        w.WriteBytes(med_entries[from_which][id].enc_tup);
+      } else {
+        w.WriteU64(id);  // fixed-length ID instead of the payload
+      }
+    }
+    bus.Send(mediator, to_source, kMsgCommExchange, w.TakeBuffer());
+  };
+  forward_to(1, state.plan.source2);
+  forward_to(2, state.plan.source1);
+
+  // Steps 5/6 at each source: apply the own key on top of the received
+  // single ciphertexts and return the double ciphertexts.
+  auto source_double = [&](const SourceState& ss) -> Status {
+    SECMED_ASSIGN_OR_RETURN(Message msg,
+                            bus.ReceiveOfType(ss.name, kMsgCommExchange));
+    BinaryReader r(msg.payload);
+    SECMED_ASSIGN_OR_RETURN(uint8_t origin, r.ReadU8());
+    SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    BinaryWriter w;
+    w.WriteU8(origin);
+    w.WriteU32(count);
+    for (uint32_t k = 0; k < count; ++k) {
+      SECMED_ASSIGN_OR_RETURN(Bytes single, r.ReadBytes());
+      BigInt doubled = ss.key.Encrypt(BigInt::FromBytes(single));
+      w.WriteBytes(doubled.ToBytes(group_bytes));
+      if (options_.forward_payloads) {
+        SECMED_ASSIGN_OR_RETURN(Bytes enc_tup, r.ReadBytes());
+        w.WriteBytes(enc_tup);
+      } else {
+        SECMED_ASSIGN_OR_RETURN(uint64_t id, r.ReadU64());
+        w.WriteU64(id);
+      }
+    }
+    bus.Send(ss.name, mediator, kMsgCommDoubleEncrypted, w.TakeBuffer());
+    return Status::OK();
+  };
+  for (const SourceState& ss : source_states) {
+    SECMED_RETURN_IF_ERROR(source_double(ss));
+  }
+
+  // Step 7 at the mediator: match equal double ciphertexts and combine the
+  // corresponding encrypted tuple sets into the encrypted global result.
+  std::map<Bytes, std::pair<std::vector<Bytes>, std::vector<Bytes>>> matches;
+  for (int i = 0; i < 2; ++i) {
+    SECMED_ASSIGN_OR_RETURN(
+        Message msg, bus.ReceiveOfType(mediator, kMsgCommDoubleEncrypted));
+    BinaryReader r(msg.payload);
+    SECMED_ASSIGN_OR_RETURN(uint8_t origin, r.ReadU8());
+    SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    for (uint32_t k = 0; k < count; ++k) {
+      SECMED_ASSIGN_OR_RETURN(Bytes doubled, r.ReadBytes());
+      Bytes enc_tup;
+      if (options_.forward_payloads) {
+        SECMED_ASSIGN_OR_RETURN(enc_tup, r.ReadBytes());
+      } else {
+        SECMED_ASSIGN_OR_RETURN(uint64_t id, r.ReadU64());
+        if (id >= med_entries[origin].size()) {
+          return Status::ProtocolError("payload ID out of range");
+        }
+        enc_tup = med_entries[origin][id].enc_tup;
+      }
+      auto& slot = matches[doubled];
+      (origin == 1 ? slot.first : slot.second).push_back(std::move(enc_tup));
+    }
+  }
+  BinaryWriter result_writer;
+  result_writer.WriteBytes(schema_blobs[1]);
+  result_writer.WriteBytes(schema_blobs[2]);
+  size_t matched = 0;
+  BinaryWriter pair_writer;
+  for (const auto& [doubled, slot] : matches) {
+    for (const Bytes& e1 : slot.first) {
+      for (const Bytes& e2 : slot.second) {
+        pair_writer.WriteBytes(e1);
+        pair_writer.WriteBytes(e2);
+        ++matched;
+      }
+    }
+  }
+  last_intersection_size_ = matched;
+  result_writer.WriteU32(static_cast<uint32_t>(matched));
+  result_writer.WriteRaw(pair_writer.buffer());
+  bus.Send(mediator, client, kMsgCommResult, result_writer.TakeBuffer());
+
+  // Step 8 at the client: decrypt the tuple-set pairs and construct the
+  // join tuples (cross product of each corresponding pair).
+  SECMED_ASSIGN_OR_RETURN(Message msg, bus.ReceiveOfType(client, kMsgCommResult));
+  BinaryReader r(msg.payload);
+  Schema schema1, schema2;
+  for (int which = 1; which <= 2; ++which) {
+    SECMED_ASSIGN_OR_RETURN(Bytes blob, r.ReadBytes());
+    SECMED_ASSIGN_OR_RETURN(Bytes plain,
+                            HybridDecrypt(ctx->client->private_key(), blob));
+    BinaryReader sr(plain);
+    SECMED_ASSIGN_OR_RETURN(Schema schema, Schema::DecodeFrom(&sr));
+    (which == 1 ? schema1 : schema2) = std::move(schema);
+  }
+  SECMED_ASSIGN_OR_RETURN(
+      Schema joined_schema,
+      JoinedSchema(schema1, schema2, state.plan.join_attributes));
+  SECMED_ASSIGN_OR_RETURN(
+      std::vector<size_t> j2,
+      JoinColumnIndexes(schema2, state.plan.join_attributes));
+
+  Relation result(joined_schema);
+  SECMED_ASSIGN_OR_RETURN(uint32_t pairs, r.ReadU32());
+  for (uint32_t k = 0; k < pairs; ++k) {
+    SECMED_ASSIGN_OR_RETURN(Bytes e1, r.ReadBytes());
+    SECMED_ASSIGN_OR_RETURN(Bytes e2, r.ReadBytes());
+    SECMED_ASSIGN_OR_RETURN(Bytes p1,
+                            HybridDecrypt(ctx->client->private_key(), e1));
+    SECMED_ASSIGN_OR_RETURN(Bytes p2,
+                            HybridDecrypt(ctx->client->private_key(), e2));
+    SECMED_ASSIGN_OR_RETURN(Relation tup1, Relation::Deserialize(p1));
+    SECMED_ASSIGN_OR_RETURN(Relation tup2, Relation::Deserialize(p2));
+    AppendJoinedCrossProduct(tup1, tup2, j2, &result);
+  }
+  return result;
+}
+
+}  // namespace secmed

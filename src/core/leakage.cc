@@ -1,0 +1,84 @@
+#include "core/leakage.h"
+
+#include <algorithm>
+#include <set>
+
+namespace secmed {
+
+std::string LeakageReport::ToString() const {
+  std::string out = "LeakageReport[" + protocol + "]\n";
+  out += "  mediator: routed " + std::to_string(mediator_messages_routed) +
+         " messages, observed " + std::to_string(mediator_bytes_observed) +
+         " bytes, plaintext hits: " +
+         (mediator_saw_plaintext ? std::to_string(plaintext_hits.size())
+                                 : std::string("none")) +
+         "\n";
+  out += "  client: received " + std::to_string(client_bytes_received) +
+         " bytes, decryption work " + std::to_string(client_decryption_work) +
+         " items\n";
+  return out;
+}
+
+std::vector<Bytes> SensitiveProbes(const Relation& r1, const Relation& r2,
+                                   const std::string& join_attribute) {
+  std::set<Bytes> probes;
+  auto add_from = [&](const Relation& rel) {
+    auto join_idx = rel.schema().IndexOf(join_attribute);
+    for (const Tuple& t : rel.tuples()) {
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].is_null()) continue;
+        if (t[i].type() == ValueType::kString) {
+          // String cells are sensitive payload; probe the raw characters.
+          const std::string& s = t[i].as_string();
+          if (s.size() >= 4) probes.insert(ToBytes(s));
+        }
+        if (join_idx.ok() && i == join_idx.value()) {
+          // The join value in its canonical wire encoding.
+          probes.insert(t[i].Encode());
+        }
+      }
+    }
+  };
+  add_from(r1);
+  add_from(r2);
+  return std::vector<Bytes>(probes.begin(), probes.end());
+}
+
+std::vector<std::string> ScanViewForProbes(const Bytes& view,
+                                           const std::vector<Bytes>& probes) {
+  std::vector<std::string> hits;
+  for (const Bytes& probe : probes) {
+    if (probe.empty() || probe.size() > view.size()) continue;
+    auto it = std::search(view.begin(), view.end(), probe.begin(), probe.end());
+    if (it != view.end()) {
+      hits.push_back(HexEncode(probe));
+    }
+  }
+  return hits;
+}
+
+LeakageReport AnalyzeLeakage(const std::string& protocol, const NetworkBus& bus,
+                             const std::string& mediator_name,
+                             const std::string& client_name,
+                             const Relation& r1, const Relation& r2,
+                             const std::string& join_attribute,
+                             size_t client_decryption_work) {
+  LeakageReport report;
+  report.protocol = protocol;
+
+  PartyStats med = bus.StatsOf(mediator_name);
+  report.mediator_messages_routed = med.messages_received;
+  report.mediator_bytes_observed = med.bytes_received;
+
+  Bytes med_view = bus.ViewOf(mediator_name);
+  std::vector<Bytes> probes = SensitiveProbes(r1, r2, join_attribute);
+  report.plaintext_hits = ScanViewForProbes(med_view, probes);
+  report.mediator_saw_plaintext = !report.plaintext_hits.empty();
+
+  PartyStats cli = bus.StatsOf(client_name);
+  report.client_bytes_received = cli.bytes_received;
+  report.client_decryption_work = client_decryption_work;
+  return report;
+}
+
+}  // namespace secmed

@@ -1,0 +1,57 @@
+#ifndef SECMED_CORE_LEAKAGE_H_
+#define SECMED_CORE_LEAKAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "mediation/network.h"
+#include "relational/relation.h"
+
+namespace secmed {
+
+/// What a semi-honest party could observe during one protocol run —
+/// the measured counterpart of Table 1 ("Extra information disclosed to
+/// client and mediator").
+struct LeakageReport {
+  std::string protocol;
+
+  // Mediator-side observations.
+  size_t mediator_messages_routed = 0;
+  size_t mediator_bytes_observed = 0;
+  /// True iff any plaintext join value or payload string of the workload
+  /// appears verbatim in any message payload the mediator received.
+  bool mediator_saw_plaintext = false;
+  /// Plaintext probes found in the mediator view (diagnostics; empty when
+  /// the protocol is sound).
+  std::vector<std::string> plaintext_hits;
+
+  // Client-side observations.
+  size_t client_bytes_received = 0;
+  /// Tuples/pairs the client had to decrypt (result size for commutative,
+  /// superset size for DAS, n + m evaluations for PM).
+  size_t client_decryption_work = 0;
+
+  std::string ToString() const;
+};
+
+/// Extracts the sensitive byte probes of a workload: every distinct join
+/// value encoding and every string payload cell of both relations.
+std::vector<Bytes> SensitiveProbes(const Relation& r1, const Relation& r2,
+                                   const std::string& join_attribute);
+
+/// Scans a party's received-bytes view for each probe (naive substring
+/// search; the probes are short). Returns the probes found.
+std::vector<std::string> ScanViewForProbes(const Bytes& view,
+                                           const std::vector<Bytes>& probes);
+
+/// Builds a report from the bus transcript after a protocol run.
+LeakageReport AnalyzeLeakage(const std::string& protocol, const NetworkBus& bus,
+                             const std::string& mediator_name,
+                             const std::string& client_name,
+                             const Relation& r1, const Relation& r2,
+                             const std::string& join_attribute,
+                             size_t client_decryption_work);
+
+}  // namespace secmed
+
+#endif  // SECMED_CORE_LEAKAGE_H_

@@ -1,0 +1,50 @@
+#ifndef SECMED_CORE_RANGE_PROTOCOL_H_
+#define SECMED_CORE_RANGE_PROTOCOL_H_
+
+#include "core/protocol.h"
+#include "das/partition.h"
+
+namespace secmed {
+
+/// Secure mediation of single-table RANGE queries via the
+/// privacy-preserving index of Hore, Mehrotra and Tsudik ([15] — the
+/// paper's reference for the DAS partitioning trade-off):
+///
+///   SELECT * FROM t WHERE col >= lo AND col <= hi
+///   (also col = v, col < v, col > v, col <= v, col >= v)
+///
+/// The datasource DAS-encrypts its partial result with bucketization
+/// indexes on every integer column; the client — who alone can decrypt
+/// the index tables — maps its range onto the overlapping buckets and
+/// asks the mediator for exactly those index values. The mediator returns
+/// a superset (every tuple in a bucket touching the range), which the
+/// client filters exactly.
+///
+/// Like the DAS join, the condition constants never leave the client; the
+/// mediator learns only bucket identifiers and result sizes. Fewer
+/// partitions → bigger superset but less inference exposure — the same
+/// dial as Section 6.
+class RangeSelectionProtocol {
+ public:
+  struct Options {
+    PartitionStrategy strategy = PartitionStrategy::kEquiDepth;
+    size_t num_partitions = 4;
+  };
+
+  RangeSelectionProtocol() : RangeSelectionProtocol(Options()) {}
+  explicit RangeSelectionProtocol(Options options) : options_(options) {}
+
+  Result<Relation> Run(const std::string& sql, ProtocolContext* ctx);
+
+  /// Superset rows the mediator returned in the last run (before the
+  /// client's exact filtering).
+  size_t last_superset_size() const { return last_superset_size_; }
+
+ private:
+  Options options_;
+  size_t last_superset_size_ = 0;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_CORE_RANGE_PROTOCOL_H_

@@ -1,0 +1,44 @@
+#ifndef SECMED_CORE_SELECTION_PROTOCOL_H_
+#define SECMED_CORE_SELECTION_PROTOCOL_H_
+
+#include "core/protocol.h"
+
+namespace secmed {
+
+/// Secure mediation of single-table exact-match SELECTION queries over
+/// ciphertexts, after Yang et al. (Related Work, Section 7): the mediator
+/// returns the *exact* set of encrypted rows satisfying the condition —
+/// no client post-processing as in the DAS approach — by matching
+/// deterministic per-column search tags against a token derived from the
+/// client's condition.
+///
+/// Delivery phase:
+///  1. The datasource executes the (access-filtered) partial query,
+///     encrypts it searchably (sealed rows + per-cell tags under fresh
+///     column keys) and ships it to the mediator; the column keys travel
+///     hybrid-encrypted to the client.
+///  2. The client derives the selection token from its WHERE condition
+///     and sends it to the mediator.
+///  3. The mediator matches tags and returns exactly the satisfying
+///     sealed rows, which the client opens.
+///
+/// Leakage at the mediator: row count, which hidden rows satisfy the
+/// hidden condition, and tag-equality patterns across rows (deterministic
+/// encryption of cells) — the trade-off Yang et al. accept for exactness.
+class SelectionProtocol {
+ public:
+  /// Runs "SELECT * FROM t WHERE col = lit [AND col = lit ...]" and
+  /// returns the matching rows.
+  Result<Relation> Run(const std::string& sql, ProtocolContext* ctx);
+
+  /// Rows the mediator returned in the last run (equals the result size;
+  /// exactness is the point of the scheme).
+  size_t last_selected_rows() const { return last_selected_rows_; }
+
+ private:
+  size_t last_selected_rows_ = 0;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_CORE_SELECTION_PROTOCOL_H_

@@ -1,0 +1,66 @@
+#include "core/testbed.h"
+
+#include "relational/algebra.h"
+
+namespace secmed {
+
+MediationTestbed::MediationTestbed(const Workload& workload, Options options)
+    : options_(std::move(options)),
+      rng_(ToBytes("secmed-testbed-" + options_.seed_label)),
+      workload_(workload),
+      mediator_("mediator") {
+  ca_ = std::make_unique<CertificationAuthority>(
+      CertificationAuthority::Create(1024, &rng_).value());
+  client_ = std::make_unique<Client>(
+      Client::Create("client", options_.rsa_bits, options_.paillier_bits,
+                     &rng_)
+          .value());
+  Status st =
+      client_->AcquireCredential(*ca_, {{"role", "analyst"}});
+  (void)st;
+
+  source1_ = std::make_unique<DataSource>(options_.source1);
+  source2_ = std::make_unique<DataSource>(options_.source2);
+  source1_->set_ca_key(ca_->public_key());
+  source2_->set_ca_key(ca_->public_key());
+  source1_->AddRelation(options_.table1, workload_.r1);
+  source2_->AddRelation(options_.table2, workload_.r2);
+
+  mediator_.RegisterTable(options_.table1, source1_->name(),
+                          workload_.r1.schema());
+  mediator_.RegisterTable(options_.table2, source2_->name(),
+                          workload_.r2.schema());
+
+  ctx_.client = client_.get();
+  ctx_.mediator = &mediator_;
+  ctx_.sources[source1_->name()] = source1_.get();
+  ctx_.sources[source2_->name()] = source2_.get();
+  ctx_.bus = &bus_;
+  ctx_.rng = &rng_;
+}
+
+std::string MediationTestbed::JoinSql() const {
+  return "SELECT * FROM " + options_.table1 + " JOIN " + options_.table2 +
+         " ON " + options_.table1 + "." + workload_.join_attribute + " = " +
+         options_.table2 + "." + workload_.join_attribute;
+}
+
+std::string MediationTestbed::MultiJoinSql() const {
+  std::string sql =
+      "SELECT * FROM " + options_.table1 + " JOIN " + options_.table2 + " ON ";
+  const auto& attrs = workload_.join_attributes;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i) sql += " AND ";
+    sql += options_.table1 + "." + attrs[i] + " = " + options_.table2 + "." +
+           attrs[i];
+  }
+  return sql;
+}
+
+Relation MediationTestbed::ExpectedJoin() const {
+  Relation a = Qualify(workload_.r1, options_.table1);
+  Relation b = Qualify(workload_.r2, options_.table2);
+  return NaturalJoin(a, b).value();
+}
+
+}  // namespace secmed

@@ -1,0 +1,78 @@
+#ifndef SECMED_CORE_TESTBED_H_
+#define SECMED_CORE_TESTBED_H_
+
+#include <memory>
+#include <string>
+
+#include "core/protocol.h"
+#include "crypto/drbg.h"
+#include "mediation/client.h"
+#include "mediation/credential.h"
+#include "mediation/datasource.h"
+#include "mediation/mediator.h"
+#include "mediation/network.h"
+#include "relational/workload.h"
+
+namespace secmed {
+
+/// A fully wired in-process deployment of the mediation system around a
+/// two-relation workload: certification authority, credentialed client,
+/// mediator with the schema embedding, two datasources, and a bus.
+///
+/// Used by the benchmark harness and integration tests; also a convenient
+/// starting point for applications (see examples/).
+class MediationTestbed {
+ public:
+  struct Options {
+    size_t rsa_bits = 1024;
+    size_t paillier_bits = 1024;
+    std::string seed_label = "testbed";
+    std::string table1 = "medical";
+    std::string table2 = "billing";
+    std::string source1 = "hospital";
+    std::string source2 = "insurer";
+  };
+
+  explicit MediationTestbed(const Workload& workload)
+      : MediationTestbed(workload, Options()) {}
+  MediationTestbed(const Workload& workload, Options options);
+
+  ProtocolContext* ctx() { return &ctx_; }
+  NetworkBus& bus() { return bus_; }
+  Client& client() { return *client_; }
+  Mediator& mediator() { return mediator_; }
+  DataSource& source1() { return *source1_; }
+  DataSource& source2() { return *source2_; }
+  const Workload& workload() const { return workload_; }
+  HmacDrbg& rng() { return rng_; }
+
+  /// The global query joining the two tables on the workload's Ajoin.
+  std::string JoinSql() const;
+
+  /// A global query joining on *all* workload join attributes
+  /// (ON t1.a = t2.a AND t1.b = t2.b ... — the Section 8 extension).
+  std::string MultiJoinSql() const;
+
+  /// Trusted-mediator reference result (plaintext natural join of the
+  /// qualified partial results).
+  Relation ExpectedJoin() const;
+
+  /// Clears the bus between protocol runs.
+  void ResetBus() { bus_.Reset(); }
+
+ private:
+  Options options_;
+  HmacDrbg rng_;
+  Workload workload_;
+  std::unique_ptr<CertificationAuthority> ca_;
+  std::unique_ptr<Client> client_;
+  Mediator mediator_;
+  std::unique_ptr<DataSource> source1_;
+  std::unique_ptr<DataSource> source2_;
+  NetworkBus bus_;
+  ProtocolContext ctx_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_CORE_TESTBED_H_

@@ -1,0 +1,49 @@
+#ifndef SECMED_CRYPTO_AES_H_
+#define SECMED_CRYPTO_AES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// AES block cipher (FIPS 197) for 128-, 192- and 256-bit keys.
+///
+/// Only the forward (encrypt) direction is used by the library (CTR mode),
+/// but the inverse cipher is provided for completeness and testing.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  /// Creates a cipher for a 16-, 24- or 32-byte key.
+  static Result<Aes> Create(const Bytes& key);
+
+  /// Encrypts one 16-byte block in place.
+  void EncryptBlock(uint8_t block[kBlockSize]) const;
+  /// Decrypts one 16-byte block in place.
+  void DecryptBlock(uint8_t block[kBlockSize]) const;
+
+  size_t key_size() const { return key_size_; }
+
+ private:
+  Aes() = default;
+  void ExpandKey(const Bytes& key);
+
+  std::vector<uint32_t> round_keys_;
+  int rounds_ = 0;
+  size_t key_size_ = 0;
+};
+
+/// AES in counter mode: XORs the keystream generated from (iv, counter)
+/// into `data`. Encryption and decryption are the same operation. The IV
+/// must be 12 bytes; the low 4 bytes of each block form a big-endian block
+/// counter starting at `initial_counter`.
+Result<Bytes> AesCtrTransform(const Aes& aes, const Bytes& iv,
+                              const Bytes& data,
+                              uint32_t initial_counter = 0);
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_AES_H_

@@ -1,0 +1,32 @@
+#include "crypto/commutative.h"
+
+#include "bigint/modular.h"
+
+namespace secmed {
+
+CommutativeKey CommutativeKey::Generate(const QrGroup& group,
+                                        RandomSource* rng) {
+  // e uniform in [1, q); q is prime so every such e is invertible.
+  BigInt e = BigInt::RandomBelow(group.q() - BigInt(1), rng) + BigInt(1);
+  BigInt e_inv = ModInverse(e, group.q()).value();
+  return CommutativeKey(group, std::move(e), std::move(e_inv));
+}
+
+Result<CommutativeKey> CommutativeKey::FromExponent(const QrGroup& group,
+                                                    const BigInt& e) {
+  if (e < BigInt(1) || e >= group.q()) {
+    return Status::InvalidArgument("exponent must be in [1, q)");
+  }
+  SECMED_ASSIGN_OR_RETURN(BigInt e_inv, ModInverse(e, group.q()));
+  return CommutativeKey(group, e, std::move(e_inv));
+}
+
+BigInt CommutativeKey::Encrypt(const BigInt& x) const {
+  return group_.Pow(x, e_);
+}
+
+BigInt CommutativeKey::Decrypt(const BigInt& c) const {
+  return group_.Pow(c, e_inv_);
+}
+
+}  // namespace secmed

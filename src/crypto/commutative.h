@@ -1,0 +1,49 @@
+#ifndef SECMED_CRYPTO_COMMUTATIVE_H_
+#define SECMED_CRYPTO_COMMUTATIVE_H_
+
+#include "crypto/group.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// Pohlig–Hellman style commutative encryption over QR(p) (Section 4).
+///
+/// For a safe prime p = 2q + 1, f_e(x) = x^e mod p on the subgroup of
+/// quadratic residues. Because QR(p) is cyclic of prime order q:
+///   - commutativity: f_e1(f_e2(x)) = x^(e1·e2) = f_e2(f_e1(x));
+///   - bijectivity:   any e in [1, q) is coprime to q, so x -> x^e is a
+///     permutation of QR(p);
+///   - invertibility: f_e^{-1} = f_d with d = e^{-1} mod q;
+///   - secrecy:       distinguishing (x, x^e, y, y^e) from (x, x^e, y, z)
+///     is the decisional Diffie–Hellman problem in QR(p).
+class CommutativeKey {
+ public:
+  /// Draws a fresh secret exponent e uniformly from [1, q).
+  static CommutativeKey Generate(const QrGroup& group, RandomSource* rng);
+
+  /// Reconstructs a key from a known exponent (deterministic tests).
+  static Result<CommutativeKey> FromExponent(const QrGroup& group,
+                                             const BigInt& e);
+
+  /// f_e(x) = x^e mod p. `x` must be a group element.
+  BigInt Encrypt(const BigInt& x) const;
+
+  /// f_e^{-1}(c) = c^(e^{-1} mod q) mod p.
+  BigInt Decrypt(const BigInt& c) const;
+
+  const BigInt& exponent() const { return e_; }
+  const QrGroup& group() const { return group_; }
+
+ private:
+  CommutativeKey(QrGroup group, BigInt e, BigInt e_inv)
+      : group_(std::move(group)), e_(std::move(e)), e_inv_(std::move(e_inv)) {}
+
+  QrGroup group_;
+  BigInt e_;
+  BigInt e_inv_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_COMMUTATIVE_H_

@@ -1,0 +1,43 @@
+#include "crypto/drbg.h"
+
+#include "crypto/sha256.h"
+
+namespace secmed {
+
+HmacDrbg::HmacDrbg() : HmacDrbg(OsRandomBytes(48)) {}
+
+HmacDrbg::HmacDrbg(const Bytes& seed)
+    : key_(32, 0x00), v_(32, 0x01) {
+  Update(seed);
+}
+
+void HmacDrbg::Update(const Bytes& provided) {
+  Bytes data = v_;
+  data.push_back(0x00);
+  Append(&data, provided);
+  key_ = HmacSha256(key_, data);
+  v_ = HmacSha256(key_, v_);
+  if (!provided.empty()) {
+    data = v_;
+    data.push_back(0x01);
+    Append(&data, provided);
+    key_ = HmacSha256(key_, data);
+    v_ = HmacSha256(key_, v_);
+  }
+}
+
+void HmacDrbg::Reseed(const Bytes& material) { Update(material); }
+
+Bytes HmacDrbg::Generate(size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = HmacSha256(key_, v_);
+    size_t take = std::min(v_.size(), n - out.size());
+    out.insert(out.end(), v_.begin(), v_.begin() + take);
+  }
+  Update(Bytes());
+  return out;
+}
+
+}  // namespace secmed

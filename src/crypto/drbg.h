@@ -1,0 +1,36 @@
+#ifndef SECMED_CRYPTO_DRBG_H_
+#define SECMED_CRYPTO_DRBG_H_
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// Deterministic random bit generator in the style of NIST SP 800-90A
+/// HMAC_DRBG over SHA-256.
+///
+/// Seeded either from the OS entropy pool (default constructor; use for
+/// key generation) or from explicit seed material (deterministic; use for
+/// reproducible tests and benchmarks).
+class HmacDrbg : public RandomSource {
+ public:
+  /// Seeds from 48 bytes of OS entropy.
+  HmacDrbg();
+  /// Seeds deterministically from the given material.
+  explicit HmacDrbg(const Bytes& seed);
+
+  Bytes Generate(size_t n) override;
+
+  /// Mixes additional entropy into the state.
+  void Reseed(const Bytes& material);
+
+ private:
+  void Update(const Bytes& provided);
+
+  Bytes key_;  // 32 bytes
+  Bytes v_;    // 32 bytes
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_DRBG_H_

@@ -1,0 +1,99 @@
+#include "crypto/elgamal.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "bigint/modular.h"
+
+namespace secmed {
+
+Result<ElGamalCiphertext> ElGamalPublicKey::Encrypt(uint64_t m,
+                                                    RandomSource* rng) const {
+  BigInt r = BigInt::RandomBelow(group_.q() - BigInt(1), rng) + BigInt(1);
+  ElGamalCiphertext c;
+  c.c1 = group_.Pow(g_, r);
+  BigInt g_m = group_.Pow(g_, BigInt(m));
+  BigInt h_r = group_.Pow(h_, r);
+  // Multiply in the group (mod p) via the cached context.
+  SECMED_ASSIGN_OR_RETURN(c.c2, ModMul(g_m, h_r, group_.p()));
+  return c;
+}
+
+ElGamalCiphertext ElGamalPublicKey::Add(const ElGamalCiphertext& a,
+                                        const ElGamalCiphertext& b) const {
+  ElGamalCiphertext out;
+  out.c1 = ModMul(a.c1, b.c1, group_.p()).value();
+  out.c2 = ModMul(a.c2, b.c2, group_.p()).value();
+  return out;
+}
+
+ElGamalCiphertext ElGamalPublicKey::ScalarMul(const ElGamalCiphertext& c,
+                                              uint64_t k) const {
+  ElGamalCiphertext out;
+  out.c1 = group_.Pow(c.c1, BigInt(k));
+  out.c2 = group_.Pow(c.c2, BigInt(k));
+  return out;
+}
+
+Result<ElGamalCiphertext> ElGamalPublicKey::Rerandomize(
+    const ElGamalCiphertext& c, RandomSource* rng) const {
+  SECMED_ASSIGN_OR_RETURN(ElGamalCiphertext zero, Encrypt(0, rng));
+  return Add(c, zero);
+}
+
+BigInt ElGamalPrivateKey::DecryptToGroupElement(
+    const ElGamalCiphertext& c) const {
+  const QrGroup& group = pub_.group();
+  // g^m = c2 / c1^x
+  BigInt c1_x = group.Pow(c.c1, x_);
+  BigInt inv = ModInverse(c1_x, group.p()).value();
+  return ModMul(c.c2, inv, group.p()).value();
+}
+
+Result<uint64_t> ElGamalPrivateKey::DecryptSmall(const ElGamalCiphertext& c,
+                                                 uint64_t max_message) const {
+  const QrGroup& group = pub_.group();
+  const BigInt target = DecryptToGroupElement(c);
+
+  // Baby-step/giant-step on g^m = target, 0 <= m <= max_message.
+  const uint64_t step =
+      static_cast<uint64_t>(std::ceil(std::sqrt(
+          static_cast<double>(max_message + 1))));
+  std::unordered_map<std::string, uint64_t> baby;  // g^j -> j
+  BigInt cur(1);
+  for (uint64_t j = 0; j <= step; ++j) {
+    Bytes key = cur.ToBytes();
+    baby.emplace(std::string(key.begin(), key.end()), j);
+    SECMED_ASSIGN_OR_RETURN(cur, ModMul(cur, pub_.g(), group.p()));
+  }
+  // giant = g^{-step}
+  BigInt g_step = group.Pow(pub_.g(), BigInt(step));
+  SECMED_ASSIGN_OR_RETURN(BigInt giant, ModInverse(g_step, group.p()));
+
+  BigInt gamma = target;
+  for (uint64_t i = 0; i * step <= max_message; ++i) {
+    Bytes key = gamma.ToBytes();
+    auto it = baby.find(std::string(key.begin(), key.end()));
+    if (it != baby.end()) {
+      uint64_t m = i * step + it->second;
+      if (m <= max_message) return m;
+    }
+    SECMED_ASSIGN_OR_RETURN(gamma, ModMul(gamma, giant, group.p()));
+  }
+  return Status::OutOfRange("plaintext exceeds the discrete-log bound");
+}
+
+ElGamalKeyPair ElGamalGenerateKey(const QrGroup& group, RandomSource* rng) {
+  // Any non-identity element of the prime-order group QR(p) generates it.
+  BigInt g;
+  do {
+    g = group.RandomElement(rng);
+  } while (g == BigInt(1));
+  BigInt x = BigInt::RandomBelow(group.q() - BigInt(1), rng) + BigInt(1);
+  BigInt h = group.Pow(g, x);
+  ElGamalPublicKey pub(group, g, h);
+  ElGamalPrivateKey priv(pub, std::move(x));
+  return ElGamalKeyPair{std::move(pub), std::move(priv)};
+}
+
+}  // namespace secmed

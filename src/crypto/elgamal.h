@@ -1,0 +1,93 @@
+#ifndef SECMED_CRYPTO_ELGAMAL_H_
+#define SECMED_CRYPTO_ELGAMAL_H_
+
+#include "crypto/group.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// Exponential (additively homomorphic) ElGamal over QR(p) — the other
+/// homomorphic scheme the paper names for the PM approach ("the elliptic
+/// curve variant of ElGamal (see [10])", Cramer et al.'s election
+/// scheme). Messages are encoded in the exponent:
+///
+///   E(m) = (g^r, g^m · h^r)     with  h = g^x
+///
+/// so E(a)·E(b) = E(a+b) and E(a)^k = E(k·a). Decryption recovers g^m and
+/// must solve a discrete logarithm, which is only feasible for *small*
+/// messages (votes, counters); DecryptSmall uses baby-step/giant-step up
+/// to a caller-chosen bound. This is why the join protocols use Paillier
+/// for payload-carrying ciphertexts, while exponential ElGamal fits
+/// count-style aggregation.
+struct ElGamalCiphertext {
+  BigInt c1;  // g^r
+  BigInt c2;  // g^m * h^r
+
+  bool operator==(const ElGamalCiphertext& other) const {
+    return c1 == other.c1 && c2 == other.c2;
+  }
+};
+
+class ElGamalPublicKey {
+ public:
+  ElGamalPublicKey(QrGroup group, BigInt g, BigInt h)
+      : group_(std::move(group)), g_(std::move(g)), h_(std::move(h)) {}
+
+  const QrGroup& group() const { return group_; }
+  const BigInt& g() const { return g_; }
+  const BigInt& h() const { return h_; }
+
+  /// Encrypts m >= 0 (in the exponent).
+  Result<ElGamalCiphertext> Encrypt(uint64_t m, RandomSource* rng) const;
+
+  /// E(a) ⊕ E(b) = E(a + b).
+  ElGamalCiphertext Add(const ElGamalCiphertext& a,
+                        const ElGamalCiphertext& b) const;
+
+  /// k ⊙ E(a) = E(k · a).
+  ElGamalCiphertext ScalarMul(const ElGamalCiphertext& c, uint64_t k) const;
+
+  /// Re-randomizes without changing the plaintext.
+  Result<ElGamalCiphertext> Rerandomize(const ElGamalCiphertext& c,
+                                        RandomSource* rng) const;
+
+ private:
+  QrGroup group_;
+  BigInt g_;
+  BigInt h_;
+};
+
+class ElGamalPrivateKey {
+ public:
+  ElGamalPrivateKey(ElGamalPublicKey pub, BigInt x)
+      : pub_(std::move(pub)), x_(std::move(x)) {}
+
+  const ElGamalPublicKey& public_key() const { return pub_; }
+
+  /// Recovers g^m (always possible).
+  BigInt DecryptToGroupElement(const ElGamalCiphertext& c) const;
+
+  /// Recovers m itself for 0 <= m <= max_message via baby-step/giant-step
+  /// (O(sqrt(max_message)) group operations); kOutOfRange if m exceeds
+  /// the bound.
+  Result<uint64_t> DecryptSmall(const ElGamalCiphertext& c,
+                                uint64_t max_message) const;
+
+ private:
+  ElGamalPublicKey pub_;
+  BigInt x_;
+};
+
+struct ElGamalKeyPair {
+  ElGamalPublicKey public_key;
+  ElGamalPrivateKey private_key;
+};
+
+/// Generates a keypair over the given QR(p) group: g a random generator
+/// of QR(p), x uniform in [1, q), h = g^x.
+ElGamalKeyPair ElGamalGenerateKey(const QrGroup& group, RandomSource* rng);
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_ELGAMAL_H_

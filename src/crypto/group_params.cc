@@ -1,0 +1,55 @@
+#include "crypto/group_params.h"
+
+#include <map>
+#include <mutex>
+
+namespace secmed {
+
+namespace {
+struct GroupParam {
+  size_t bits;
+  const char* p_hex;
+};
+
+// Safe primes generated offline with tools/gen_group_params; verified by
+// tests. Regenerate with:  ./build/tools/gen_group_params 256 384 512 768 1024
+const GroupParam kGroups[] = {
+    {256,
+     "9f2d23385deface75443dd6144ed1aac9217ca244e4a7fba7a5499d97bfd50e3"},
+    {384,
+     "f13b42e109401a9feadaffcbd2df285b1d8b1be5296395736c0d3eb6643f39cd"
+     "4d09ce9b91bd2431f57c9be78eba335b"},
+    {512,
+     "dca993eed62c2aafb05b5dc2a9a339983c7d000f93591a899d1e8218a8849d56"
+     "4fd25cb404bf49b1f0d160b8a45ea61bf9c08f693d6cc43c50ca831583bf69c3"},
+    {768,
+     "d6c45785947c485029e14b791d6062e5c9deb8b198344ca3c9aeffc139bca217"
+     "64c6912170f3ab6db242425fbc75c67d38927d91a7ab5ded4dbc78013296da69"
+     "549db99d57b581e17473609314bb9eaeaaa75b979c6bbdd5ea323056689689fb"},
+    {1024,
+     "9cb6850849ca8dffa31ad15863fe3d102a6fe40cb03380837782e3fb908a8974"
+     "617c9d7390c17313e5b3faa19ee5f74b2b69dc605574428fa285c8fb6d61ad08"
+     "2228c520b9121bdb39b58f7f2b49f205360291a6ab05882a7436f7521fcc9366"
+     "7561b702d845620f90c01841db77a51b7d299d9cc35ac38124de78669434c4db"},
+};
+}  // namespace
+
+Result<QrGroup> StandardGroup(size_t bits) {
+  static std::mutex mu;
+  static std::map<size_t, QrGroup>* cache = new std::map<size_t, QrGroup>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(bits);
+  if (it != cache->end()) return it->second;
+  for (const GroupParam& g : kGroups) {
+    if (g.bits != bits) continue;
+    SECMED_ASSIGN_OR_RETURN(BigInt p, BigInt::FromHex(g.p_hex));
+    SECMED_ASSIGN_OR_RETURN(QrGroup group,
+                            QrGroup::Create(p, /*check_primality=*/false));
+    cache->emplace(bits, group);
+    return group;
+  }
+  return Status::NotFound("no standard group with " + std::to_string(bits) +
+                          " bits; supported: 256, 384, 512, 768, 1024");
+}
+
+}  // namespace secmed

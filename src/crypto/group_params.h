@@ -1,0 +1,21 @@
+#ifndef SECMED_CRYPTO_GROUP_PARAMS_H_
+#define SECMED_CRYPTO_GROUP_PARAMS_H_
+
+#include "crypto/group.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// Returns a precomputed QR(p) group for a safe prime of the given size.
+/// Supported sizes: 256, 384, 512, 768 and 1024 bits. The parameters were
+/// generated with tools/gen_group_params and their safe-primality is
+/// re-verified by tests (crypto_group_test.cc).
+///
+/// Protocol code should prefer these over RandomSafePrime: parameter
+/// generation is expensive and the group is public anyway (only the
+/// exponents are secret).
+Result<QrGroup> StandardGroup(size_t bits);
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_GROUP_PARAMS_H_

@@ -1,0 +1,47 @@
+#include "crypto/hybrid.h"
+
+#include "crypto/aead.h"
+#include "util/serialize.h"
+
+namespace secmed {
+
+Result<Bytes> HybridEncrypt(const RsaPublicKey& recipient,
+                            const Bytes& plaintext, RandomSource* rng) {
+  if (RsaOaepMaxPlaintext(recipient) < Aead::kKeySize) {
+    return Status::InvalidArgument("recipient modulus too small to wrap key");
+  }
+  Bytes session_key = Aead::GenerateKey(rng);
+  SECMED_ASSIGN_OR_RETURN(Bytes wrapped,
+                          RsaOaepEncrypt(recipient, session_key, rng));
+  SECMED_ASSIGN_OR_RETURN(Aead aead, Aead::Create(session_key));
+  SECMED_ASSIGN_OR_RETURN(Bytes sealed, aead.Seal(plaintext, Bytes(), rng));
+  BinaryWriter w;
+  w.WriteBytes(wrapped);
+  w.WriteBytes(sealed);
+  return w.TakeBuffer();
+}
+
+Result<Bytes> HybridDecrypt(const RsaPrivateKey& recipient,
+                            const Bytes& ciphertext) {
+  BinaryReader r(ciphertext);
+  SECMED_ASSIGN_OR_RETURN(Bytes wrapped, r.ReadBytes());
+  SECMED_ASSIGN_OR_RETURN(Bytes sealed, r.ReadBytes());
+  if (!r.AtEnd()) return Status::CryptoError("trailing bytes in ciphertext");
+  SECMED_ASSIGN_OR_RETURN(Bytes session_key, RsaOaepDecrypt(recipient, wrapped));
+  SECMED_ASSIGN_OR_RETURN(Aead aead, Aead::Create(session_key));
+  return aead.Open(sealed, Bytes());
+}
+
+Result<Bytes> SessionEncrypt(const Bytes& session_key, const Bytes& plaintext,
+                             RandomSource* rng) {
+  SECMED_ASSIGN_OR_RETURN(Aead aead, Aead::Create(session_key));
+  return aead.Seal(plaintext, Bytes(), rng);
+}
+
+Result<Bytes> SessionDecrypt(const Bytes& session_key,
+                             const Bytes& ciphertext) {
+  SECMED_ASSIGN_OR_RETURN(Aead aead, Aead::Create(session_key));
+  return aead.Open(ciphertext, Bytes());
+}
+
+}  // namespace secmed

@@ -1,0 +1,38 @@
+#ifndef SECMED_CRYPTO_HYBRID_H_
+#define SECMED_CRYPTO_HYBRID_H_
+
+#include "crypto/rsa.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// The paper's hybrid `encrypt(...)` / `decrypt(...)` functions (Section 2):
+/// "the information is encrypted with a newly generated symmetric session
+/// key and the session key is encrypted with the public keys of the
+/// client." The symmetric layer is our AEAD (AES-256-CTR + HMAC), the key
+/// wrap is RSA-OAEP under the public key carried in the client's
+/// credential.
+///
+/// Wire layout (BinaryWriter): wrapped_session_key || sealed_payload.
+Result<Bytes> HybridEncrypt(const RsaPublicKey& recipient,
+                            const Bytes& plaintext, RandomSource* rng);
+
+/// Inverse of HybridEncrypt; fails with kCryptoError on any tampering.
+Result<Bytes> HybridDecrypt(const RsaPrivateKey& recipient,
+                            const Bytes& ciphertext);
+
+/// Encrypts a payload with an explicit pre-shared session key (no RSA
+/// wrap). Used by the footnote-2 optimization of the PM protocol, where
+/// the session key itself rides inside the homomorphic polynomial payload
+/// and the bulk tuple set is encrypted separately.
+Result<Bytes> SessionEncrypt(const Bytes& session_key, const Bytes& plaintext,
+                             RandomSource* rng);
+
+/// Inverse of SessionEncrypt.
+Result<Bytes> SessionDecrypt(const Bytes& session_key, const Bytes& ciphertext);
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_HYBRID_H_

@@ -1,0 +1,111 @@
+#include "crypto/paillier.h"
+
+#include "bigint/prime.h"
+#include "util/serialize.h"
+
+namespace secmed {
+
+Result<PaillierPublicKey> PaillierPublicKey::Create(const BigInt& n) {
+  if (n < BigInt(6) || n.is_even()) {
+    return Status::InvalidArgument("implausible Paillier modulus");
+  }
+  PaillierPublicKey key;
+  key.n_ = n;
+  key.n_squared_ = n * n;
+  SECMED_ASSIGN_OR_RETURN(MontgomeryContext ctx,
+                          MontgomeryContext::Create(key.n_squared_));
+  key.ctx_ = std::make_shared<const MontgomeryContext>(std::move(ctx));
+  return key;
+}
+
+Bytes PaillierPublicKey::Serialize() const {
+  BinaryWriter w;
+  w.WriteBytes(n_.ToBytes());
+  return w.TakeBuffer();
+}
+
+Result<PaillierPublicKey> PaillierPublicKey::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  SECMED_ASSIGN_OR_RETURN(Bytes nb, r.ReadBytes());
+  return Create(BigInt::FromBytes(nb));
+}
+
+Result<BigInt> PaillierPublicKey::Encrypt(const BigInt& m,
+                                          RandomSource* rng) const {
+  if (m.is_negative() || m >= n_) {
+    return Status::InvalidArgument("Paillier plaintext out of range [0, n)");
+  }
+  // r uniform in [1, n) with gcd(r, n) = 1; a common factor would reveal
+  // a factor of n, which happens with negligible probability for honest n.
+  BigInt r;
+  do {
+    r = BigInt::RandomBelow(n_, rng);
+  } while (r.is_zero() || Gcd(r, n_) != BigInt(1));
+  // c = (1 + m*n) * r^n mod n^2  (g = n+1 so g^m = 1 + m*n mod n^2).
+  BigInt g_m = BigInt::Mod(BigInt(1) + m * n_, n_squared_).value();
+  BigInt r_n = ctx_->Exp(r, n_);
+  return ctx_->Mul(g_m, r_n);
+}
+
+BigInt PaillierPublicKey::Add(const BigInt& c1, const BigInt& c2) const {
+  return ctx_->Mul(c1, c2);
+}
+
+BigInt PaillierPublicKey::ScalarMul(const BigInt& c, const BigInt& k) const {
+  BigInt kr = BigInt::Mod(k, n_).value();
+  return ctx_->Exp(c, kr);
+}
+
+BigInt PaillierPublicKey::AddPlain(const BigInt& c, const BigInt& m) const {
+  BigInt mr = BigInt::Mod(m, n_).value();
+  BigInt g_m = BigInt::Mod(BigInt(1) + mr * n_, n_squared_).value();
+  return ctx_->Mul(c, g_m);
+}
+
+Result<BigInt> PaillierPublicKey::Rerandomize(const BigInt& c,
+                                              RandomSource* rng) const {
+  BigInt r;
+  do {
+    r = BigInt::RandomBelow(n_, rng);
+  } while (r.is_zero() || Gcd(r, n_) != BigInt(1));
+  return ctx_->Mul(c, ctx_->Exp(r, n_));
+}
+
+BigInt PaillierPublicKey::Pow(const BigInt& base, const BigInt& exp) const {
+  return ctx_->Exp(base, exp);
+}
+
+Result<BigInt> PaillierPrivateKey::Decrypt(const BigInt& c) const {
+  if (c.is_negative() || c >= pub_.n_squared()) {
+    return Status::InvalidArgument("Paillier ciphertext out of range");
+  }
+  BigInt u = pub_.Pow(c, lambda_);
+  // L(u) = (u - 1) / n; u ≡ 1 (mod n) for valid ciphertexts.
+  BigInt l = (u - BigInt(1)) / pub_.n();
+  return BigInt::Mod(l * mu_, pub_.n());
+}
+
+Result<PaillierKeyPair> PaillierGenerateKey(size_t bits, RandomSource* rng) {
+  if (bits < 64) {
+    return Status::InvalidArgument("Paillier modulus must be >= 64 bits");
+  }
+  for (;;) {
+    BigInt p = RandomPrime(bits / 2, rng);
+    BigInt q = RandomPrime(bits - bits / 2, rng);
+    if (p == q) continue;
+    BigInt n = p * q;
+    // Require gcd(n, (p-1)(q-1)) = 1 (guaranteed for same-size primes,
+    // checked for safety).
+    BigInt pm1 = p - BigInt(1);
+    BigInt qm1 = q - BigInt(1);
+    if (Gcd(n, pm1 * qm1) != BigInt(1)) continue;
+    BigInt lambda = Lcm(pm1, qm1);
+    auto mu = ModInverse(lambda, n);
+    if (!mu.ok()) continue;
+    SECMED_ASSIGN_OR_RETURN(PaillierPublicKey pub, PaillierPublicKey::Create(n));
+    PaillierPrivateKey priv(pub, lambda, mu.value());
+    return PaillierKeyPair{std::move(pub), std::move(priv)};
+  }
+}
+
+}  // namespace secmed

@@ -1,0 +1,88 @@
+#ifndef SECMED_CRYPTO_PAILLIER_H_
+#define SECMED_CRYPTO_PAILLIER_H_
+
+#include <memory>
+
+#include "bigint/bigint.h"
+#include "bigint/modular.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// Paillier public key. Plaintext space Z_n, ciphertext space Z_{n^2}^*.
+/// The generator is fixed to g = n + 1, for which decryption simplifies
+/// and no subgroup checks are needed.
+class PaillierPublicKey {
+ public:
+  /// Builds the key (and its cached Montgomery context) from the modulus.
+  static Result<PaillierPublicKey> Create(const BigInt& n);
+
+  const BigInt& n() const { return n_; }
+  const BigInt& n_squared() const { return n_squared_; }
+  /// Bytes needed to encode one plaintext (floor(bits(n)/8); safe bound).
+  size_t MaxPlaintextBytes() const { return (n_.BitLength() - 1) / 8; }
+
+  Bytes Serialize() const;
+  static Result<PaillierPublicKey> Deserialize(const Bytes& data);
+
+  /// Encrypts m in [0, n): c = (1 + m·n) · r^n mod n^2.
+  Result<BigInt> Encrypt(const BigInt& m, RandomSource* rng) const;
+
+  /// Homomorphic addition: E(a) ⊕ E(b) = E(a + b mod n).
+  BigInt Add(const BigInt& c1, const BigInt& c2) const;
+
+  /// Homomorphic scalar multiplication: k ⊙ E(a) = E(k·a mod n).
+  BigInt ScalarMul(const BigInt& c, const BigInt& k) const;
+
+  /// Adds a plaintext constant: E(a) ⊕ m = E(a + m mod n), cheaper than
+  /// Add(c, Encrypt(m)).
+  BigInt AddPlain(const BigInt& c, const BigInt& m) const;
+
+  /// Re-randomizes a ciphertext without changing the plaintext.
+  Result<BigInt> Rerandomize(const BigInt& c, RandomSource* rng) const;
+
+  /// base^exp mod n^2 via the cached Montgomery context.
+  BigInt Pow(const BigInt& base, const BigInt& exp) const;
+
+  bool operator==(const PaillierPublicKey& other) const {
+    return n_ == other.n_;
+  }
+
+ private:
+  PaillierPublicKey() = default;
+
+  BigInt n_;
+  BigInt n_squared_;
+  std::shared_ptr<const MontgomeryContext> ctx_;  // modulo n^2
+};
+
+/// Paillier private key (lambda = lcm(p-1, q-1), mu = lambda^{-1} mod n).
+class PaillierPrivateKey {
+ public:
+  PaillierPrivateKey(PaillierPublicKey pub, BigInt lambda, BigInt mu)
+      : pub_(std::move(pub)), lambda_(std::move(lambda)), mu_(std::move(mu)) {}
+
+  const PaillierPublicKey& public_key() const { return pub_; }
+
+  /// Decrypts c: m = L(c^lambda mod n^2) · mu mod n, L(u) = (u-1)/n.
+  Result<BigInt> Decrypt(const BigInt& c) const;
+
+ private:
+  PaillierPublicKey pub_;
+  BigInt lambda_;
+  BigInt mu_;
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey public_key;
+  PaillierPrivateKey private_key;
+};
+
+/// Generates a keypair with an (approximately) `bits`-bit modulus n.
+Result<PaillierKeyPair> PaillierGenerateKey(size_t bits, RandomSource* rng);
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_PAILLIER_H_

@@ -1,0 +1,193 @@
+#include "crypto/rsa.h"
+
+#include "bigint/modular.h"
+#include "bigint/prime.h"
+#include "crypto/sha256.h"
+#include "util/serialize.h"
+
+namespace secmed {
+
+namespace {
+constexpr size_t kHashLen = Sha256::kDigestSize;
+
+// SHA-256 of the empty label, precomputed lazily.
+const Bytes& EmptyLabelHash() {
+  static const Bytes* h = new Bytes(Sha256::Hash(Bytes()));
+  return *h;
+}
+
+// Raw RSA with the private key using the Chinese remainder theorem.
+BigInt RsaPrivateOp(const RsaPrivateKey& key, const BigInt& c) {
+  BigInt m1 = ModExp(c, key.d_p, key.p).value();
+  BigInt m2 = ModExp(c, key.d_q, key.q).value();
+  BigInt h = BigInt::Mod((m1 - m2) * key.q_inv, key.p).value();
+  return m2 + h * key.q;
+}
+}  // namespace
+
+Bytes RsaPublicKey::Serialize() const {
+  BinaryWriter w;
+  w.WriteBytes(n.ToBytes());
+  w.WriteBytes(e.ToBytes());
+  return w.TakeBuffer();
+}
+
+Result<RsaPublicKey> RsaPublicKey::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  SECMED_ASSIGN_OR_RETURN(Bytes nb, r.ReadBytes());
+  SECMED_ASSIGN_OR_RETURN(Bytes eb, r.ReadBytes());
+  RsaPublicKey key{BigInt::FromBytes(nb), BigInt::FromBytes(eb)};
+  if (key.n < BigInt(2) || key.e < BigInt(3)) {
+    return Status::ParseError("implausible RSA public key");
+  }
+  return key;
+}
+
+Result<RsaPrivateKey> RsaGenerateKey(size_t bits, RandomSource* rng) {
+  if (bits < 512) {
+    return Status::InvalidArgument("RSA modulus must be at least 512 bits");
+  }
+  const BigInt e(65537);
+  for (;;) {
+    BigInt p = RandomPrime(bits / 2, rng);
+    BigInt q = RandomPrime(bits - bits / 2, rng);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);  // CRT wants p > q for q_inv mod p
+    BigInt n = p * q;
+    if (n.BitLength() != bits) continue;
+    BigInt lambda = Lcm(p - BigInt(1), q - BigInt(1));
+    auto d = ModInverse(e, lambda);
+    if (!d.ok()) continue;  // gcd(e, lambda) != 1; rare
+    RsaPrivateKey key;
+    key.n = n;
+    key.e = e;
+    key.d = d.value();
+    key.p = p;
+    key.q = q;
+    key.d_p = key.d % (p - BigInt(1));
+    key.d_q = key.d % (q - BigInt(1));
+    key.q_inv = ModInverse(q, p).value();
+    return key;
+  }
+}
+
+size_t RsaOaepMaxPlaintext(const RsaPublicKey& key) {
+  const size_t k = key.ModulusBytes();
+  if (k < 2 * kHashLen + 2) return 0;
+  return k - 2 * kHashLen - 2;
+}
+
+Result<Bytes> RsaOaepEncrypt(const RsaPublicKey& key, const Bytes& plaintext,
+                             RandomSource* rng) {
+  const size_t k = key.ModulusBytes();
+  if (k < 2 * kHashLen + 2 || plaintext.size() > k - 2 * kHashLen - 2) {
+    return Status::InvalidArgument("OAEP: message too long for modulus");
+  }
+  // DB = lHash || PS (zeros) || 0x01 || M
+  Bytes db = EmptyLabelHash();
+  db.resize(k - kHashLen - 1 - plaintext.size() - 1, 0);
+  db.push_back(0x01);
+  Append(&db, plaintext);
+
+  Bytes seed = rng->Generate(kHashLen);
+  Bytes db_mask = Mgf1Sha256(seed, db.size());
+  XorInPlace(&db, db_mask);
+  Bytes seed_mask = Mgf1Sha256(db, kHashLen);
+  Bytes masked_seed = seed;
+  XorInPlace(&masked_seed, seed_mask);
+
+  Bytes em;
+  em.push_back(0x00);
+  Append(&em, masked_seed);
+  Append(&em, db);
+
+  BigInt m = BigInt::FromBytes(em);
+  SECMED_ASSIGN_OR_RETURN(BigInt c, ModExp(m, key.e, key.n));
+  return c.ToBytes(k);
+}
+
+Result<Bytes> RsaOaepDecrypt(const RsaPrivateKey& key, const Bytes& ciphertext) {
+  const size_t k = (key.n.BitLength() + 7) / 8;
+  if (ciphertext.size() != k || k < 2 * kHashLen + 2) {
+    return Status::CryptoError("OAEP: decryption error");
+  }
+  BigInt c = BigInt::FromBytes(ciphertext);
+  if (c >= key.n) return Status::CryptoError("OAEP: decryption error");
+  BigInt m = RsaPrivateOp(key, c);
+  Bytes em = m.ToBytes(k);
+
+  // Parse EM = 0x00 || maskedSeed || maskedDB. Run all checks and combine
+  // at the end so failures are uniform.
+  uint8_t bad = em[0];
+  Bytes masked_seed(em.begin() + 1, em.begin() + 1 + kHashLen);
+  Bytes db(em.begin() + 1 + kHashLen, em.end());
+  Bytes seed_mask = Mgf1Sha256(db, kHashLen);
+  Bytes seed = masked_seed;
+  XorInPlace(&seed, seed_mask);
+  Bytes db_mask = Mgf1Sha256(seed, db.size());
+  XorInPlace(&db, db_mask);
+
+  const Bytes& lhash = EmptyLabelHash();
+  for (size_t i = 0; i < kHashLen; ++i) bad |= db[i] ^ lhash[i];
+
+  // Find the 0x01 separator after the PS zeros.
+  size_t sep = 0;
+  bool found = false;
+  for (size_t i = kHashLen; i < db.size(); ++i) {
+    if (db[i] == 0x01 && !found) {
+      sep = i;
+      found = true;
+    } else if (db[i] != 0x00 && !found) {
+      bad |= 1;
+      break;
+    }
+  }
+  if (!found || bad != 0) return Status::CryptoError("OAEP: decryption error");
+  return Bytes(db.begin() + sep + 1, db.end());
+}
+
+namespace {
+// DER prefix of DigestInfo for SHA-256 (PKCS#1 v1.5 signatures).
+const uint8_t kSha256DigestInfo[] = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60,
+                                     0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02,
+                                     0x01, 0x05, 0x00, 0x04, 0x20};
+
+Result<Bytes> EmsaPkcs1Encode(const Bytes& message, size_t k) {
+  Bytes t(kSha256DigestInfo, kSha256DigestInfo + sizeof(kSha256DigestInfo));
+  Append(&t, Sha256::Hash(message));
+  if (k < t.size() + 11) {
+    return Status::InvalidArgument("modulus too small for signature");
+  }
+  Bytes em;
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), k - t.size() - 3, 0xFF);
+  em.push_back(0x00);
+  Append(&em, t);
+  return em;
+}
+}  // namespace
+
+Result<Bytes> RsaSign(const RsaPrivateKey& key, const Bytes& message) {
+  const size_t k = (key.n.BitLength() + 7) / 8;
+  SECMED_ASSIGN_OR_RETURN(Bytes em, EmsaPkcs1Encode(message, k));
+  BigInt m = BigInt::FromBytes(em);
+  BigInt s = RsaPrivateOp(key, m);
+  return s.ToBytes(k);
+}
+
+Status RsaVerify(const RsaPublicKey& key, const Bytes& message,
+                 const Bytes& signature) {
+  const size_t k = key.ModulusBytes();
+  if (signature.size() != k) return Status::CryptoError("bad signature length");
+  BigInt s = BigInt::FromBytes(signature);
+  if (s >= key.n) return Status::CryptoError("signature out of range");
+  SECMED_ASSIGN_OR_RETURN(BigInt m, ModExp(s, key.e, key.n));
+  SECMED_ASSIGN_OR_RETURN(Bytes expected, EmsaPkcs1Encode(message, k));
+  if (m.ToBytes(k) != expected) {
+    return Status::CryptoError("signature verification failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace secmed

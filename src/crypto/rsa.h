@@ -1,0 +1,66 @@
+#ifndef SECMED_CRYPTO_RSA_H_
+#define SECMED_CRYPTO_RSA_H_
+
+#include "bigint/bigint.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// RSA public key (n, e). Used for OAEP encryption of session keys and for
+/// verifying credential signatures.
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  /// Modulus size in bytes (k in PKCS#1 notation).
+  size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+
+  Bytes Serialize() const;
+  static Result<RsaPublicKey> Deserialize(const Bytes& data);
+
+  bool operator==(const RsaPublicKey& other) const {
+    return n == other.n && e == other.e;
+  }
+};
+
+/// RSA private key with CRT parameters for fast decryption/signing.
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;
+  BigInt p;
+  BigInt q;
+  BigInt d_p;    // d mod (p-1)
+  BigInt d_q;    // d mod (q-1)
+  BigInt q_inv;  // q^{-1} mod p
+
+  RsaPublicKey PublicKey() const { return {n, e}; }
+};
+
+/// RSA keypair generation with public exponent 65537.
+/// `bits` is the modulus size (e.g. 1024, 2048); must be >= 512 so OAEP
+/// with SHA-256 has room for at least a 16-byte payload.
+Result<RsaPrivateKey> RsaGenerateKey(size_t bits, RandomSource* rng);
+
+/// Maximum plaintext length for OAEP under the given key.
+size_t RsaOaepMaxPlaintext(const RsaPublicKey& key);
+
+/// RSAES-OAEP (SHA-256, empty label) encryption.
+Result<Bytes> RsaOaepEncrypt(const RsaPublicKey& key, const Bytes& plaintext,
+                             RandomSource* rng);
+
+/// RSAES-OAEP decryption.
+Result<Bytes> RsaOaepDecrypt(const RsaPrivateKey& key, const Bytes& ciphertext);
+
+/// RSASSA-PKCS1-v1_5 signature over SHA-256(message).
+Result<Bytes> RsaSign(const RsaPrivateKey& key, const Bytes& message);
+
+/// Verifies an RSASSA-PKCS1-v1_5 signature; OK iff valid.
+Status RsaVerify(const RsaPublicKey& key, const Bytes& message,
+                 const Bytes& signature);
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_RSA_H_

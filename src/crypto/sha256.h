@@ -1,0 +1,46 @@
+#ifndef SECMED_CRYPTO_SHA256_H_
+#define SECMED_CRYPTO_SHA256_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace secmed {
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input.
+  void Update(const Bytes& data);
+  void Update(const uint8_t* data, size_t len);
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// updated afterwards; construct a new one for another message.
+  Bytes Finish();
+
+  /// One-shot convenience.
+  static Bytes Hash(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104).
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+/// MGF1 mask generation (PKCS#1) over SHA-256; produces `len` bytes.
+Bytes Mgf1Sha256(const Bytes& seed, size_t len);
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_SHA256_H_

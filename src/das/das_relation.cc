@@ -1,0 +1,108 @@
+#include "das/das_relation.h"
+
+#include "crypto/hybrid.h"
+#include "util/serialize.h"
+
+namespace secmed {
+
+Bytes DasRelation::Serialize() const {
+  BinaryWriter w;
+  w.WriteString(name);
+  w.WriteU32(static_cast<uint32_t>(tuples.size()));
+  for (const DasTuple& t : tuples) {
+    w.WriteBytes(t.etuple);
+    w.WriteU32(static_cast<uint32_t>(t.join_indexes.size()));
+    for (uint64_t idx : t.join_indexes) w.WriteU64(idx);
+    w.WriteU32(static_cast<uint32_t>(t.plaintext_cells.size()));
+    for (const Value& v : t.plaintext_cells) v.EncodeTo(&w);
+  }
+  return w.TakeBuffer();
+}
+
+Result<DasRelation> DasRelation::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  DasRelation rel;
+  SECMED_ASSIGN_OR_RETURN(rel.name, r.ReadString());
+  SECMED_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  rel.tuples.reserve(std::min<size_t>(n, r.remaining()));
+  for (uint32_t i = 0; i < n; ++i) {
+    DasTuple t;
+    SECMED_ASSIGN_OR_RETURN(t.etuple, r.ReadBytes());
+    SECMED_ASSIGN_OR_RETURN(uint32_t k, r.ReadU32());
+    t.join_indexes.reserve(k);
+    for (uint32_t j = 0; j < k; ++j) {
+      SECMED_ASSIGN_OR_RETURN(uint64_t idx, r.ReadU64());
+      t.join_indexes.push_back(idx);
+    }
+    SECMED_ASSIGN_OR_RETURN(uint32_t cells, r.ReadU32());
+    t.plaintext_cells.reserve(std::min<size_t>(cells, r.remaining()));
+    for (uint32_t j = 0; j < cells; ++j) {
+      SECMED_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(&r));
+      t.plaintext_cells.push_back(std::move(v));
+    }
+    rel.tuples.push_back(std::move(t));
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in DAS relation");
+  return rel;
+}
+
+Result<DasRelation> DasEncryptRelation(
+    const Relation& rel, const std::vector<std::string>& join_columns,
+    const std::vector<IndexTable>& index_tables,
+    const RsaPublicKey& client_key, RandomSource* rng,
+    const std::vector<std::string>& plaintext_columns) {
+  if (join_columns.empty() || join_columns.size() != index_tables.size()) {
+    return Status::InvalidArgument(
+        "join columns and index tables must match and be non-empty");
+  }
+  std::vector<size_t> col_idx;
+  for (const std::string& col : join_columns) {
+    SECMED_ASSIGN_OR_RETURN(size_t i, rel.schema().IndexOf(col));
+    col_idx.push_back(i);
+  }
+  std::vector<size_t> clear_idx;
+  for (const std::string& col : plaintext_columns) {
+    SECMED_ASSIGN_OR_RETURN(size_t i, rel.schema().IndexOf(col));
+    clear_idx.push_back(i);
+  }
+  DasRelation out;
+  out.tuples.reserve(rel.size());
+  for (const Tuple& t : rel.tuples()) {
+    DasTuple dt;
+    dt.join_indexes.reserve(col_idx.size());
+    for (size_t k = 0; k < col_idx.size(); ++k) {
+      SECMED_ASSIGN_OR_RETURN(uint64_t idx,
+                              index_tables[k].IndexOf(t[col_idx[k]]));
+      dt.join_indexes.push_back(idx);
+    }
+    for (size_t i : clear_idx) dt.plaintext_cells.push_back(t[i]);
+    SECMED_ASSIGN_OR_RETURN(dt.etuple,
+                            HybridEncrypt(client_key, EncodeTuple(t), rng));
+    out.tuples.push_back(std::move(dt));
+  }
+  return out;
+}
+
+Result<DasRelation> DasEncryptRelation(const Relation& rel,
+                                       const std::string& join_column,
+                                       const IndexTable& index_table,
+                                       const RsaPublicKey& client_key,
+                                       RandomSource* rng) {
+  return DasEncryptRelation(rel, std::vector<std::string>{join_column},
+                            std::vector<IndexTable>{index_table}, client_key,
+                            rng);
+}
+
+Result<Relation> DasDecryptRelation(const DasRelation& encrypted,
+                                    const Schema& schema,
+                                    const RsaPrivateKey& client_key) {
+  Relation out(schema);
+  for (const DasTuple& dt : encrypted.tuples) {
+    SECMED_ASSIGN_OR_RETURN(Bytes plain, HybridDecrypt(client_key, dt.etuple));
+    SECMED_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(plain));
+    SECMED_RETURN_IF_ERROR(out.Append(std::move(t)));
+  }
+  return out;
+}
+
+}  // namespace secmed

@@ -1,0 +1,73 @@
+#ifndef SECMED_DAS_DAS_RELATION_H_
+#define SECMED_DAS_DAS_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "das/index_table.h"
+#include "relational/relation.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// One encrypted tuple tS = <etuple, aS_1, ..., aS_k> of the DAS-encrypted
+/// relation RS (Section 3): `etuple` is the hybrid encryption of the whole
+/// plaintext tuple under the client's public key, `join_indexes` holds the
+/// index value of the partition containing the tuple's value for each
+/// indexed join attribute (one in the paper's base protocol; several in
+/// the Section 8 multi-attribute extension).
+///
+/// In the *mixed DAS model* of Mykletun and Tsudik (Related Work [18])
+/// only sensitive attributes are encrypted; `plaintext_cells` then carries
+/// the cleartext values of the non-sensitive columns — visible to the
+/// mediator, which is exactly the model's trade-off.
+struct DasTuple {
+  Bytes etuple;
+  std::vector<uint64_t> join_indexes;
+  std::vector<Value> plaintext_cells;  // empty in the fully encrypted model
+};
+
+/// A DAS-encrypted partial result RS = {<etuple, aS_1..aS_k>}.
+struct DasRelation {
+  std::string name;
+  std::vector<DasTuple> tuples;
+
+  size_t size() const { return tuples.size(); }
+
+  Bytes Serialize() const;
+  static Result<DasRelation> Deserialize(const Bytes& data);
+};
+
+/// Encrypts a partial result tuple-wise per the DAS approach: each tuple
+/// is hybrid-encrypted under `client_key`, and each join attribute is
+/// mapped to its index value through the corresponding index table.
+/// `join_columns` and `index_tables` must have equal, non-zero length.
+///
+/// `plaintext_columns` selects the mixed-DAS mode: the named non-sensitive
+/// columns additionally travel in the clear next to the etuple (the
+/// encrypted tuple still contains every column, so decryption is
+/// unchanged). Leave empty for the paper's fully encrypted model.
+Result<DasRelation> DasEncryptRelation(
+    const Relation& rel, const std::vector<std::string>& join_columns,
+    const std::vector<IndexTable>& index_tables,
+    const RsaPublicKey& client_key, RandomSource* rng,
+    const std::vector<std::string>& plaintext_columns = {});
+
+/// Single-attribute convenience overload (the paper's base protocol).
+Result<DasRelation> DasEncryptRelation(const Relation& rel,
+                                       const std::string& join_column,
+                                       const IndexTable& index_table,
+                                       const RsaPublicKey& client_key,
+                                       RandomSource* rng);
+
+/// Client-side decryptDAS: decrypts every etuple and drops the index
+/// values, restoring the plaintext relation with the given schema.
+Result<Relation> DasDecryptRelation(const DasRelation& encrypted,
+                                    const Schema& schema,
+                                    const RsaPrivateKey& client_key);
+
+}  // namespace secmed
+
+#endif  // SECMED_DAS_DAS_RELATION_H_

@@ -1,0 +1,87 @@
+#include "das/index_table.h"
+
+#include "relational/relation.h"
+#include "util/serialize.h"
+
+namespace secmed {
+
+Result<IndexTable> IndexTable::Build(const Relation& rel,
+                                     const std::string& column,
+                                     PartitionStrategy strategy,
+                                     size_t num_partitions, const Bytes& salt) {
+  SECMED_ASSIGN_OR_RETURN(std::vector<Value> domain, rel.ActiveDomain(column));
+  // An empty partial result has an empty active domain and an empty table.
+  if (domain.empty()) return IndexTable(column, {});
+  SECMED_ASSIGN_OR_RETURN(
+      std::vector<DasPartition> partitions,
+      PartitionDomain(domain, strategy, num_partitions, salt));
+  return IndexTable(column, std::move(partitions));
+}
+
+Result<uint64_t> IndexTable::IndexOf(const Value& v) const {
+  for (const DasPartition& p : partitions_) {
+    if (p.Contains(v)) return p.index;
+  }
+  return Status::NotFound("value " + v.ToString() + " not covered by " +
+                          attribute_ + " index table");
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> IndexTable::OverlappingPairs(
+    const IndexTable& other) const {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (const DasPartition& p1 : partitions_) {
+    for (const DasPartition& p2 : other.partitions_) {
+      if (p1.Overlaps(p2)) pairs.emplace_back(p1.index, p2.index);
+    }
+  }
+  return pairs;
+}
+
+Bytes IndexTable::Serialize() const {
+  BinaryWriter w;
+  w.WriteString(attribute_);
+  w.WriteU32(static_cast<uint32_t>(partitions_.size()));
+  for (const DasPartition& p : partitions_) {
+    w.WriteU64(p.index);
+    w.WriteBytes(p.EncodeBounds());
+  }
+  return w.TakeBuffer();
+}
+
+Result<IndexTable> IndexTable::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  IndexTable table;
+  SECMED_ASSIGN_OR_RETURN(table.attribute_, r.ReadString());
+  SECMED_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    DasPartition p;
+    SECMED_ASSIGN_OR_RETURN(p.index, r.ReadU64());
+    SECMED_ASSIGN_OR_RETURN(Bytes bounds, r.ReadBytes());
+    BinaryReader br(bounds);
+    SECMED_ASSIGN_OR_RETURN(uint8_t is_range, br.ReadU8());
+    p.is_range = is_range != 0;
+    if (p.is_range) {
+      SECMED_ASSIGN_OR_RETURN(p.lo, br.ReadI64());
+      SECMED_ASSIGN_OR_RETURN(p.hi, br.ReadI64());
+    } else {
+      SECMED_ASSIGN_OR_RETURN(uint32_t count, br.ReadU32());
+      for (uint32_t k = 0; k < count; ++k) {
+        SECMED_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(&br));
+        p.values.push_back(std::move(v));
+      }
+    }
+    table.partitions_.push_back(std::move(p));
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in index table");
+  return table;
+}
+
+std::string IndexTable::ToString() const {
+  std::string out = "ITable(" + attribute_ + "):\n";
+  for (const DasPartition& p : partitions_) {
+    out += "  " + std::to_string(p.index) + " <- " + p.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace secmed

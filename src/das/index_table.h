@@ -1,0 +1,60 @@
+#ifndef SECMED_DAS_INDEX_TABLE_H_
+#define SECMED_DAS_INDEX_TABLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "das/partition.h"
+#include "relational/relation.h"
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// The paper's ITable_{R.Ajoin}: the mapping from domain partitions to
+/// index values for one attribute of one relation.
+///
+/// A datasource builds the table over its active domain, uses it to
+/// produce the encrypted relation, and ships it (hybrid-encrypted, so
+/// only the client can read it) to the client via the mediator. The
+/// client-side query translator intersects two index tables to build the
+/// server query.
+class IndexTable {
+ public:
+  IndexTable() = default;
+  IndexTable(std::string attribute, std::vector<DasPartition> partitions)
+      : attribute_(std::move(attribute)), partitions_(std::move(partitions)) {}
+
+  /// Builds a table for the active domain of `column` in `rel`.
+  static Result<IndexTable> Build(const Relation& rel,
+                                  const std::string& column,
+                                  PartitionStrategy strategy,
+                                  size_t num_partitions, const Bytes& salt);
+
+  const std::string& attribute() const { return attribute_; }
+  const std::vector<DasPartition>& partitions() const { return partitions_; }
+  size_t size() const { return partitions_.size(); }
+
+  /// Index value of the partition containing `v`; kNotFound when no
+  /// partition contains it (value outside the active domain's coverage).
+  Result<uint64_t> IndexOf(const Value& v) const;
+
+  /// All (this.index, other.index) pairs whose partitions overlap — the
+  /// pairs enumerated by the disjunction CondS of Section 3.
+  std::vector<std::pair<uint64_t, uint64_t>> OverlappingPairs(
+      const IndexTable& other) const;
+
+  Bytes Serialize() const;
+  static Result<IndexTable> Deserialize(const Bytes& data);
+
+  std::string ToString() const;
+
+ private:
+  std::string attribute_;
+  std::vector<DasPartition> partitions_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_DAS_INDEX_TABLE_H_

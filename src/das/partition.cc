@@ -1,0 +1,163 @@
+#include "das/partition.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+#include "util/serialize.h"
+
+namespace secmed {
+
+bool DasPartition::Contains(const Value& v) const {
+  if (is_range) {
+    if (v.type() != ValueType::kInt64) return false;
+    return v.as_int() >= lo && v.as_int() <= hi;
+  }
+  return std::binary_search(values.begin(), values.end(), v);
+}
+
+bool DasPartition::Overlaps(const DasPartition& other) const {
+  if (is_range && other.is_range) {
+    return lo <= other.hi && other.lo <= hi;
+  }
+  if (is_range) {
+    for (const Value& v : other.values) {
+      if (Contains(v)) return true;
+    }
+    return false;
+  }
+  if (other.is_range) return other.Overlaps(*this);
+  // Both sets; both sorted — merge scan.
+  size_t i = 0, j = 0;
+  while (i < values.size() && j < other.values.size()) {
+    int c = values[i].Compare(other.values[j]);
+    if (c == 0) return true;
+    if (c < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::string DasPartition::ToString() const {
+  if (is_range) {
+    return "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ",";
+    out += values[i].ToString();
+  }
+  return out + "}";
+}
+
+Bytes DasPartition::EncodeBounds() const {
+  BinaryWriter w;
+  w.WriteU8(is_range ? 1 : 0);
+  if (is_range) {
+    w.WriteI64(lo);
+    w.WriteI64(hi);
+  } else {
+    w.WriteU32(static_cast<uint32_t>(values.size()));
+    for (const Value& v : values) v.EncodeTo(&w);
+  }
+  return w.TakeBuffer();
+}
+
+const char* PartitionStrategyToString(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kEquiWidth: return "equi-width";
+    case PartitionStrategy::kEquiDepth: return "equi-depth";
+    case PartitionStrategy::kSingleton: return "singleton";
+  }
+  return "?";
+}
+
+namespace {
+// Identifier = first 8 bytes of SHA-256(salt || bounds), big-endian.
+uint64_t PartitionIdentifier(const Bytes& salt, const Bytes& bounds) {
+  Sha256 h;
+  h.Update(salt);
+  h.Update(bounds);
+  Bytes digest = h.Finish();
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) id = (id << 8) | digest[i];
+  return id;
+}
+}  // namespace
+
+Result<std::vector<DasPartition>> PartitionDomain(
+    const std::vector<Value>& active_domain, PartitionStrategy strategy,
+    size_t num_partitions, const Bytes& salt) {
+  if (active_domain.empty()) {
+    return Status::InvalidArgument("cannot partition an empty domain");
+  }
+  std::vector<Value> sorted = active_domain;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<DasPartition> partitions;
+  switch (strategy) {
+    case PartitionStrategy::kEquiWidth: {
+      if (num_partitions == 0) {
+        return Status::InvalidArgument("need at least one partition");
+      }
+      for (const Value& v : sorted) {
+        if (v.type() != ValueType::kInt64) {
+          return Status::InvalidArgument(
+              "equi-width partitioning requires an integer domain");
+        }
+      }
+      const int64_t min = sorted.front().as_int();
+      const int64_t max = sorted.back().as_int();
+      // Width as ceiling so num_partitions ranges cover [min, max].
+      const uint64_t span = static_cast<uint64_t>(max) -
+                            static_cast<uint64_t>(min) + 1;
+      const uint64_t width = (span + num_partitions - 1) / num_partitions;
+      for (size_t k = 0; k < num_partitions; ++k) {
+        DasPartition p;
+        p.is_range = true;
+        p.lo = min + static_cast<int64_t>(k * width);
+        p.hi = min + static_cast<int64_t>((k + 1) * width) - 1;
+        if (p.lo > max) break;
+        if (p.hi > max) p.hi = max;
+        partitions.push_back(std::move(p));
+      }
+      break;
+    }
+    case PartitionStrategy::kEquiDepth: {
+      if (num_partitions == 0) {
+        return Status::InvalidArgument("need at least one partition");
+      }
+      const size_t n = sorted.size();
+      const size_t buckets = std::min(num_partitions, n);
+      size_t start = 0;
+      for (size_t k = 0; k < buckets; ++k) {
+        size_t end = start + (n - start) / (buckets - k);
+        if (end == start) end = start + 1;
+        DasPartition p;
+        p.is_range = false;
+        p.values.assign(sorted.begin() + start, sorted.begin() + end);
+        partitions.push_back(std::move(p));
+        start = end;
+      }
+      break;
+    }
+    case PartitionStrategy::kSingleton: {
+      for (const Value& v : sorted) {
+        DasPartition p;
+        p.is_range = false;
+        p.values = {v};
+        partitions.push_back(std::move(p));
+      }
+      break;
+    }
+  }
+  for (DasPartition& p : partitions) {
+    p.index = PartitionIdentifier(salt, p.EncodeBounds());
+  }
+  return partitions;
+}
+
+}  // namespace secmed

@@ -1,0 +1,67 @@
+#ifndef SECMED_DAS_PARTITION_H_
+#define SECMED_DAS_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// One partition of an attribute's active domain (Hacıgümüş et al.).
+///
+/// A partition is either an inclusive integer range [lo, hi] or an
+/// explicit set of values (used for strings and for singleton
+/// partitioning). Each partition carries the identifier ("index value")
+/// that stands for it in the encrypted relation.
+struct DasPartition {
+  uint64_t index = 0;
+
+  bool is_range = false;
+  int64_t lo = 0;  // when is_range
+  int64_t hi = 0;  // when is_range
+  std::vector<Value> values;  // when !is_range; sorted, distinct
+
+  /// True iff the value falls into this partition.
+  bool Contains(const Value& v) const;
+
+  /// True iff the two partitions can share a value (p1 ∩ p2 ≠ ∅). Used by
+  /// the query translator to build CondS.
+  bool Overlaps(const DasPartition& other) const;
+
+  /// Human-readable description ("[0,9]" or "{'a','b'}").
+  std::string ToString() const;
+
+  /// Canonical encoding of the partition boundaries (identifier input).
+  Bytes EncodeBounds() const;
+};
+
+/// Strategy for dividing an active domain into partitions.
+enum class PartitionStrategy {
+  /// Equal-width integer ranges over [min, max]. Integer domains only.
+  kEquiWidth,
+  /// Buckets with (nearly) equal numbers of distinct active values.
+  kEquiDepth,
+  /// One partition per distinct value. Minimal superset (exact server
+  /// result) but maximal inference exposure — see Section 6.
+  kSingleton,
+};
+
+const char* PartitionStrategyToString(PartitionStrategy s);
+
+/// Splits a sorted active domain into `num_partitions` partitions using
+/// the given strategy and assigns each partition a pseudorandom identifier
+/// derived from SHA-256(salt || bounds). The salt randomizes identifiers
+/// so the mediator cannot dictionary-attack index values back to ranges.
+///
+/// kEquiWidth requires an all-integer domain. `num_partitions` is ignored
+/// by kSingleton. The domain must be non-empty.
+Result<std::vector<DasPartition>> PartitionDomain(
+    const std::vector<Value>& active_domain, PartitionStrategy strategy,
+    size_t num_partitions, const Bytes& salt);
+
+}  // namespace secmed
+
+#endif  // SECMED_DAS_PARTITION_H_

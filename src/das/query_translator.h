@@ -1,0 +1,72 @@
+#ifndef SECMED_DAS_QUERY_TRANSLATOR_H_
+#define SECMED_DAS_QUERY_TRANSLATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "das/das_relation.h"
+#include "das/index_table.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// The server query qS of the client-setting DAS protocol (Listing 2):
+/// RC := σ_CondS(R1S × R2S), where CondS requires, for every join
+/// attribute, the two index values to belong to overlapping partitions.
+/// Represented extensionally as one set of matching
+/// (R1S.index, R2S.index) pairs per attribute.
+struct DasServerQuery {
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> per_attribute_pairs;
+
+  Bytes Serialize() const;
+  static Result<DasServerQuery> Deserialize(const Bytes& data);
+};
+
+/// The server result RC: pairs of encrypted tuples whose index vectors
+/// satisfy CondS.
+struct DasServerResult {
+  std::vector<std::pair<Bytes, Bytes>> etuple_pairs;
+
+  size_t size() const { return etuple_pairs.size(); }
+
+  Bytes Serialize() const;
+  static Result<DasServerResult> Deserialize(const Bytes& data);
+};
+
+/// The DAS query translator, placed at the client in our protocol
+/// (Section 3.1, "client setting"). Builds qS from the decrypted index
+/// tables, one per join attribute per source. The client query qC —
+/// equality of the real join values — is applied by ApplyClientQuery
+/// after decryption.
+DasServerQuery TranslateToServerQuery(const std::vector<IndexTable>& itables1,
+                                      const std::vector<IndexTable>& itables2);
+
+/// Single-attribute convenience overload.
+DasServerQuery TranslateToServerQuery(const IndexTable& itable1,
+                                      const IndexTable& itable2);
+
+/// Mediator-side evaluation of qS over the two encrypted partial results.
+/// Pairs are matched via a hash table on the first attribute's index and
+/// verified on the remaining attributes.
+DasServerResult EvaluateServerQuery(const DasRelation& r1, const DasRelation& r2,
+                                    const DasServerQuery& query);
+
+/// Client-side post-processing: decrypts each etuple pair (decryptDAS) and
+/// keeps exactly the pairs whose real values agree on every join column
+/// (CondC), producing the natural join of the partial results with each
+/// join column appearing once.
+Result<Relation> ApplyClientQuery(const DasServerResult& server_result,
+                                  const Schema& schema1, const Schema& schema2,
+                                  const std::vector<std::string>& join_columns,
+                                  const RsaPrivateKey& client_key);
+
+/// Single-attribute convenience overload.
+Result<Relation> ApplyClientQuery(const DasServerResult& server_result,
+                                  const Schema& schema1, const Schema& schema2,
+                                  const std::string& join_column,
+                                  const RsaPrivateKey& client_key);
+
+}  // namespace secmed
+
+#endif  // SECMED_DAS_QUERY_TRANSLATOR_H_

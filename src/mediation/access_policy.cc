@@ -1,0 +1,52 @@
+#include "mediation/access_policy.h"
+
+#include <algorithm>
+
+namespace secmed {
+
+Result<Relation> AccessPolicy::Apply(
+    const Relation& rel, const std::vector<Credential>& credentials) const {
+  // Collect the rules matched by any credential.
+  std::vector<const AccessRule*> matching;
+  for (const AccessRule& rule : rules_) {
+    for (const Credential& cred : credentials) {
+      if (cred.HasProperty(rule.required_key, rule.required_value)) {
+        matching.push_back(&rule);
+        break;
+      }
+    }
+  }
+  if (matching.empty()) {
+    return Status::PermissionDenied(
+        "no presented credential matches any access rule");
+  }
+
+  Relation out(rel.schema());
+  for (const Tuple& t : rel.tuples()) {
+    // Visibility per column: union over granting rules.
+    std::vector<bool> visible(rel.schema().size(), false);
+    bool granted = false;
+    for (const AccessRule* rule : matching) {
+      SECMED_ASSIGN_OR_RETURN(bool pass, rule->row_filter->Eval(t, rel.schema()));
+      if (!pass) continue;
+      granted = true;
+      if (rule->visible_columns.empty()) {
+        std::fill(visible.begin(), visible.end(), true);
+      } else {
+        for (const std::string& col : rule->visible_columns) {
+          SECMED_ASSIGN_OR_RETURN(size_t idx, rel.schema().IndexOf(col));
+          visible[idx] = true;
+        }
+      }
+    }
+    if (!granted) continue;
+    Tuple masked = t;
+    for (size_t i = 0; i < masked.size(); ++i) {
+      if (!visible[i]) masked[i] = Value::Null();
+    }
+    out.AppendUnchecked(std::move(masked));
+  }
+  return out;
+}
+
+}  // namespace secmed

@@ -1,0 +1,49 @@
+#ifndef SECMED_MEDIATION_ACCESS_POLICY_H_
+#define SECMED_MEDIATION_ACCESS_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "mediation/credential.h"
+#include "relational/predicate.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// One access rule of a datasource: clients presenting a credential with
+/// the required property are granted the rows matching `row_filter`
+/// (True() = all rows), with values of columns outside `visible_columns`
+/// masked to NULL (empty = all columns visible).
+struct AccessRule {
+  std::string required_key;
+  std::string required_value;
+  PredicatePtr row_filter = Predicate::True();
+  std::vector<std::string> visible_columns;
+};
+
+/// Credential-based access control at a datasource (Section 2): "If the
+/// presented credentials suffice to grant data access, the datasources
+/// evaluate the partial queries. In case the credentials do not allow
+/// full data access, the partial results might be filtered."
+///
+/// Semantics: every rule matched by any presented credential contributes
+/// the rows passing its filter; a tuple is returned if any matching rule
+/// grants it (union). A column value is visible if at least one granting
+/// rule exposes it. No matching rule at all → kPermissionDenied.
+class AccessPolicy {
+ public:
+  void AddRule(AccessRule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<AccessRule>& rules() const { return rules_; }
+
+  /// Applies the policy to a relation given the client's credentials.
+  Result<Relation> Apply(const Relation& rel,
+                         const std::vector<Credential>& credentials) const;
+
+ private:
+  std::vector<AccessRule> rules_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_MEDIATION_ACCESS_POLICY_H_

@@ -1,0 +1,24 @@
+#include "mediation/client.h"
+
+namespace secmed {
+
+Result<Client> Client::Create(std::string name, size_t rsa_bits,
+                              size_t paillier_bits, RandomSource* rng) {
+  SECMED_ASSIGN_OR_RETURN(RsaPrivateKey rsa_key, RsaGenerateKey(rsa_bits, rng));
+  SECMED_ASSIGN_OR_RETURN(PaillierKeyPair paillier,
+                          PaillierGenerateKey(paillier_bits, rng));
+  return Client(std::move(name), std::move(rsa_key), std::move(paillier));
+}
+
+Status Client::AcquireCredential(
+    const CertificationAuthority& ca,
+    const std::map<std::string, std::string>& properties) {
+  SECMED_ASSIGN_OR_RETURN(
+      Credential cred,
+      ca.Issue(properties, rsa_public_,
+               paillier_keys_.public_key.Serialize()));
+  credentials_.push_back(std::move(cred));
+  return Status::OK();
+}
+
+}  // namespace secmed

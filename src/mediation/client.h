@@ -1,0 +1,63 @@
+#ifndef SECMED_MEDIATION_CLIENT_H_
+#define SECMED_MEDIATION_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "crypto/rsa.h"
+#include "mediation/credential.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// A client of the mediated system: holds the RSA keypair its credentials
+/// are bound to, a Paillier keypair for the PM protocol, and the set of
+/// credentials acquired in the preparatory phase.
+class Client {
+ public:
+  /// Generates the client's key material.
+  static Result<Client> Create(std::string name, size_t rsa_bits,
+                               size_t paillier_bits, RandomSource* rng);
+
+  const std::string& name() const { return name_; }
+  const RsaPublicKey& public_key() const { return rsa_public_; }
+  const RsaPrivateKey& private_key() const { return rsa_key_; }
+  const PaillierPublicKey& paillier_public_key() const {
+    return paillier_keys_.public_key;
+  }
+  const PaillierPrivateKey& paillier_private_key() const {
+    return paillier_keys_.private_key;
+  }
+
+  /// Preparatory phase: requests a credential asserting `properties`,
+  /// bound to this client's keys, and stores it.
+  Status AcquireCredential(const CertificationAuthority& ca,
+                           const std::map<std::string, std::string>& properties);
+
+  /// Stores an externally obtained credential (e.g. from the
+  /// message-level preparatory phase, RunPreparatoryPhase).
+  void AddCredential(Credential cred) {
+    credentials_.push_back(std::move(cred));
+  }
+
+  const std::vector<Credential>& credentials() const { return credentials_; }
+
+ private:
+  Client(std::string name, RsaPrivateKey rsa_key, PaillierKeyPair paillier)
+      : name_(std::move(name)),
+        rsa_key_(std::move(rsa_key)),
+        rsa_public_(rsa_key_.PublicKey()),
+        paillier_keys_(std::move(paillier)) {}
+
+  std::string name_;
+  RsaPrivateKey rsa_key_;
+  RsaPublicKey rsa_public_;
+  PaillierKeyPair paillier_keys_;
+  std::vector<Credential> credentials_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_MEDIATION_CLIENT_H_

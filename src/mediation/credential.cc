@@ -1,0 +1,78 @@
+#include "mediation/credential.h"
+
+#include "util/serialize.h"
+
+namespace secmed {
+
+Bytes Credential::SignedPayload() const {
+  BinaryWriter w;
+  w.WriteU32(static_cast<uint32_t>(properties.size()));
+  for (const auto& [k, v] : properties) {  // std::map: deterministic order
+    w.WriteString(k);
+    w.WriteString(v);
+  }
+  w.WriteBytes(public_key);
+  w.WriteBytes(paillier_key);
+  return w.TakeBuffer();
+}
+
+Result<RsaPublicKey> Credential::ClientKey() const {
+  return RsaPublicKey::Deserialize(public_key);
+}
+
+bool Credential::HasProperty(const std::string& key,
+                             const std::string& value) const {
+  auto it = properties.find(key);
+  return it != properties.end() && it->second == value;
+}
+
+Bytes Credential::Serialize() const {
+  BinaryWriter w;
+  w.WriteBytes(SignedPayload());
+  w.WriteBytes(signature);
+  return w.TakeBuffer();
+}
+
+Result<Credential> Credential::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  SECMED_ASSIGN_OR_RETURN(Bytes payload, r.ReadBytes());
+  SECMED_ASSIGN_OR_RETURN(Bytes signature, r.ReadBytes());
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in credential");
+
+  BinaryReader pr(payload);
+  Credential c;
+  SECMED_ASSIGN_OR_RETURN(uint32_t n, pr.ReadU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    SECMED_ASSIGN_OR_RETURN(std::string k, pr.ReadString());
+    SECMED_ASSIGN_OR_RETURN(std::string v, pr.ReadString());
+    c.properties.emplace(std::move(k), std::move(v));
+  }
+  SECMED_ASSIGN_OR_RETURN(c.public_key, pr.ReadBytes());
+  SECMED_ASSIGN_OR_RETURN(c.paillier_key, pr.ReadBytes());
+  c.signature = std::move(signature);
+  return c;
+}
+
+Result<CertificationAuthority> CertificationAuthority::Create(
+    size_t bits, RandomSource* rng) {
+  SECMED_ASSIGN_OR_RETURN(RsaPrivateKey key, RsaGenerateKey(bits, rng));
+  return CertificationAuthority(std::move(key));
+}
+
+Result<Credential> CertificationAuthority::Issue(
+    const std::map<std::string, std::string>& properties,
+    const RsaPublicKey& client_key, const Bytes& paillier_key) const {
+  Credential c;
+  c.properties = properties;
+  c.public_key = client_key.Serialize();
+  c.paillier_key = paillier_key;
+  SECMED_ASSIGN_OR_RETURN(c.signature, RsaSign(signing_key_, c.SignedPayload()));
+  return c;
+}
+
+Status VerifyCredential(const Credential& credential,
+                        const RsaPublicKey& ca_key) {
+  return RsaVerify(ca_key, credential.SignedPayload(), credential.signature);
+}
+
+}  // namespace secmed

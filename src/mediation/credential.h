@@ -1,0 +1,75 @@
+#ifndef SECMED_MEDIATION_CREDENTIAL_H_
+#define SECMED_MEDIATION_CREDENTIAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// A credential of the MMM system (Section 2): links *properties* of the
+/// client (not his identity) to one of his public encryption keys, signed
+/// by a trusted certification authority. Datasources base access-control
+/// decisions only on the properties; the bound public key is what the
+/// datasources encrypt partial results to.
+struct Credential {
+  /// Property assertions, e.g. {"role": "physician", "org": "clinic-a"}.
+  std::map<std::string, std::string> properties;
+  /// The client public key this credential certifies (serialized
+  /// RsaPublicKey).
+  Bytes public_key;
+  /// The client's public key for the homomorphic encryption scheme E,
+  /// "distributed with the client's credentials" (Section 5.1). Serialized
+  /// PaillierPublicKey; empty when the client has no homomorphic key.
+  Bytes paillier_key;
+  /// CA signature over the canonical encoding of properties + keys.
+  Bytes signature;
+
+  /// The byte string the CA signs.
+  Bytes SignedPayload() const;
+
+  /// Parsed form of `public_key`.
+  Result<RsaPublicKey> ClientKey() const;
+
+  /// True iff the credential asserts the given property value.
+  bool HasProperty(const std::string& key, const std::string& value) const;
+
+  Bytes Serialize() const;
+  static Result<Credential> Deserialize(const Bytes& data);
+};
+
+/// The trusted certification authority of the preparatory phase. Issues
+/// property credentials bound to client public keys.
+class CertificationAuthority {
+ public:
+  /// Generates the CA's signing keypair (`bits`-bit RSA).
+  static Result<CertificationAuthority> Create(size_t bits, RandomSource* rng);
+
+  const RsaPublicKey& public_key() const { return public_key_; }
+
+  /// Issues a signed credential for the given properties and client key.
+  /// `paillier_key` may be empty when the client has no homomorphic key.
+  Result<Credential> Issue(const std::map<std::string, std::string>& properties,
+                           const RsaPublicKey& client_key,
+                           const Bytes& paillier_key = Bytes()) const;
+
+ private:
+  CertificationAuthority(RsaPrivateKey key)
+      : signing_key_(std::move(key)), public_key_(signing_key_.PublicKey()) {}
+
+  RsaPrivateKey signing_key_;
+  RsaPublicKey public_key_;
+};
+
+/// Verifies a credential's CA signature. OK iff authentic and unmodified.
+Status VerifyCredential(const Credential& credential,
+                        const RsaPublicKey& ca_key);
+
+}  // namespace secmed
+
+#endif  // SECMED_MEDIATION_CREDENTIAL_H_

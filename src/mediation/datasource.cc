@@ -1,0 +1,60 @@
+#include "mediation/datasource.h"
+
+namespace secmed {
+
+void DataSource::AddRelation(const std::string& table, Relation rel) {
+  catalog_[table] = std::move(rel);
+}
+
+void DataSource::SetPolicy(const std::string& table, AccessPolicy policy) {
+  policies_[table] = std::move(policy);
+}
+
+Result<Schema> DataSource::TableSchema(const std::string& table) const {
+  auto it = catalog_.find(table);
+  if (it == catalog_.end()) {
+    return Status::NotFound(name_ + " has no table " + table);
+  }
+  return it->second.schema();
+}
+
+Status DataSource::VerifyCredentials(
+    const std::vector<Credential>& credentials) const {
+  if (credentials.empty()) {
+    return Status::PermissionDenied("no credentials presented");
+  }
+  for (const Credential& c : credentials) {
+    SECMED_RETURN_IF_ERROR(VerifyCredential(c, ca_key_));
+  }
+  return Status::OK();
+}
+
+Result<RsaPublicKey> DataSource::ClientKeyFrom(
+    const std::vector<Credential>& credentials) const {
+  SECMED_RETURN_IF_ERROR(VerifyCredentials(credentials));
+  return credentials.front().ClientKey();
+}
+
+Result<Relation> DataSource::ExecutePartialQuery(
+    const std::string& sql, const std::vector<Credential>& credentials) const {
+  SECMED_RETURN_IF_ERROR(VerifyCredentials(credentials));
+
+  // Build an access-filtered view of the catalog, then evaluate the query
+  // against it.
+  Catalog filtered;
+  for (const auto& [table, rel] : catalog_) {
+    auto pit = policies_.find(table);
+    if (pit == policies_.end()) {
+      filtered.emplace(table, rel);
+      continue;
+    }
+    auto granted = pit->second.Apply(rel, credentials);
+    if (granted.ok()) {
+      filtered.emplace(table, std::move(granted).value());
+    }
+    // Tables the client may not see at all are simply absent.
+  }
+  return ExecuteSql(sql, filtered);
+}
+
+}  // namespace secmed

@@ -1,0 +1,68 @@
+#ifndef SECMED_MEDIATION_DATASOURCE_H_
+#define SECMED_MEDIATION_DATASOURCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mediation/access_policy.h"
+#include "mediation/credential.h"
+#include "relational/sql.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// A datasource of the mediated system: owns relations, enforces
+/// credential-based access control, and executes partial queries.
+///
+/// The scheme-specific encryption of partial results (DAS, commutative,
+/// PM) lives in the protocol layer (src/core); the datasource provides
+/// the access-controlled plaintext partial result those protocols start
+/// from (step 4 of Listing 1).
+class DataSource {
+ public:
+  explicit DataSource(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Registers a relation under its (global) table name.
+  void AddRelation(const std::string& table, Relation rel);
+
+  /// Installs the access policy for a table. Tables without a policy are
+  /// open to any client presenting at least one valid credential.
+  void SetPolicy(const std::string& table, AccessPolicy policy);
+
+  /// Sets the CA key used to verify presented credentials.
+  void set_ca_key(const RsaPublicKey& key) { ca_key_ = key; }
+
+  bool HasTable(const std::string& table) const {
+    return catalog_.count(table) > 0;
+  }
+
+  /// Schema of a stored relation.
+  Result<Schema> TableSchema(const std::string& table) const;
+
+  /// Step 4 of the request phase: verifies the credentials, applies the
+  /// table's access policy, and evaluates the partial query over the
+  /// filtered catalog. Returns the plaintext partial result Ri.
+  Result<Relation> ExecutePartialQuery(
+      const std::string& sql,
+      const std::vector<Credential>& credentials) const;
+
+  /// Extracts the client encryption key the partial result must be
+  /// encrypted to: the public key bound to the first verified credential.
+  Result<RsaPublicKey> ClientKeyFrom(
+      const std::vector<Credential>& credentials) const;
+
+ private:
+  Status VerifyCredentials(const std::vector<Credential>& credentials) const;
+
+  std::string name_;
+  Catalog catalog_;
+  std::map<std::string, AccessPolicy> policies_;
+  RsaPublicKey ca_key_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_MEDIATION_DATASOURCE_H_

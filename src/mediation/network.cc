@@ -1,0 +1,91 @@
+#include "mediation/network.h"
+
+namespace secmed {
+
+double EstimateTransferMs(const std::vector<Message>& transcript,
+                          const NetworkCostModel& model) {
+  double total = 0;
+  for (const Message& m : transcript) total += model.MessageMs(m.WireSize());
+  return total;
+}
+
+void NetworkBus::Send(Message msg) {
+  if (tamper_hook_) tamper_hook_(&msg);
+  PartyStats& sender = stats_[msg.from];
+  sender.messages_sent++;
+  sender.bytes_sent += msg.WireSize();
+  if (last_sender_ != msg.from) {
+    sender.interactions++;
+    last_sender_ = msg.from;
+  }
+  PartyStats& receiver = stats_[msg.to];
+  receiver.messages_received++;
+  receiver.bytes_received += msg.WireSize();
+
+  inboxes_[msg.to].push_back(msg);
+  transcript_.push_back(std::move(msg));
+}
+
+void NetworkBus::Send(const std::string& from, const std::string& to,
+                      const std::string& type, Bytes payload) {
+  Send(Message{from, to, type, std::move(payload)});
+}
+
+Result<Message> NetworkBus::Receive(const std::string& party) {
+  auto it = inboxes_.find(party);
+  if (it == inboxes_.end() || it->second.empty()) {
+    return Status::NotFound("no pending message for " + party);
+  }
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  return msg;
+}
+
+Result<Message> NetworkBus::ReceiveOfType(const std::string& party,
+                                          const std::string& type) {
+  auto it = inboxes_.find(party);
+  if (it == inboxes_.end() || it->second.empty()) {
+    return Status::NotFound("no pending message for " + party);
+  }
+  if (it->second.front().type != type) {
+    return Status::ProtocolError("expected message of type '" + type +
+                                 "' for " + party + ", got '" +
+                                 it->second.front().type + "'");
+  }
+  return Receive(party);
+}
+
+size_t NetworkBus::PendingFor(const std::string& party) const {
+  auto it = inboxes_.find(party);
+  return it == inboxes_.end() ? 0 : it->second.size();
+}
+
+PartyStats NetworkBus::StatsOf(const std::string& party) const {
+  auto it = stats_.find(party);
+  return it == stats_.end() ? PartyStats{} : it->second;
+}
+
+size_t NetworkBus::TotalBytes() const {
+  size_t total = 0;
+  for (const Message& m : transcript_) total += m.WireSize();
+  return total;
+}
+
+Bytes NetworkBus::ViewOf(const std::string& party) const {
+  Bytes view;
+  for (const Message& m : transcript_) {
+    if (m.to == party) {
+      view.insert(view.end(), m.payload.begin(), m.payload.end());
+    }
+  }
+  return view;
+}
+
+void NetworkBus::Reset() {
+  inboxes_.clear();
+  transcript_.clear();
+  stats_.clear();
+  last_sender_.clear();
+}
+
+}  // namespace secmed

@@ -1,0 +1,72 @@
+#include "mediation/preparatory.h"
+
+#include "util/serialize.h"
+
+namespace secmed {
+
+namespace {
+constexpr char kMsgCredentialRequest[] = "credential_request";
+constexpr char kMsgCredentialIssue[] = "credential_issue";
+}  // namespace
+
+Status RunPreparatoryPhase(
+    Client* client, const CertificationAuthority& ca,
+    const std::string& ca_name, NetworkBus* bus,
+    const std::map<std::string, std::string>& properties) {
+  if (client == nullptr || bus == nullptr) {
+    return Status::InvalidArgument("client and bus are required");
+  }
+
+  // Client -> CA: property claims plus the keys to certify.
+  {
+    BinaryWriter w;
+    w.WriteU32(static_cast<uint32_t>(properties.size()));
+    for (const auto& [k, v] : properties) {
+      w.WriteString(k);
+      w.WriteString(v);
+    }
+    w.WriteBytes(client->public_key().Serialize());
+    w.WriteBytes(client->paillier_public_key().Serialize());
+    bus->Send(client->name(), ca_name, kMsgCredentialRequest, w.TakeBuffer());
+  }
+
+  // CA: issue. (A production CA would validate the property claims
+  // against registration records here; the trust decision is out of the
+  // paper's scope.)
+  {
+    SECMED_ASSIGN_OR_RETURN(Message msg,
+                            bus->ReceiveOfType(ca_name, kMsgCredentialRequest));
+    BinaryReader r(msg.payload);
+    SECMED_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+    std::map<std::string, std::string> claimed;
+    for (uint32_t i = 0; i < n; ++i) {
+      SECMED_ASSIGN_OR_RETURN(std::string k, r.ReadString());
+      SECMED_ASSIGN_OR_RETURN(std::string v, r.ReadString());
+      claimed.emplace(std::move(k), std::move(v));
+    }
+    SECMED_ASSIGN_OR_RETURN(Bytes rsa_raw, r.ReadBytes());
+    SECMED_ASSIGN_OR_RETURN(Bytes paillier_raw, r.ReadBytes());
+    SECMED_ASSIGN_OR_RETURN(RsaPublicKey rsa_key,
+                            RsaPublicKey::Deserialize(rsa_raw));
+    SECMED_ASSIGN_OR_RETURN(Credential cred,
+                            ca.Issue(claimed, rsa_key, paillier_raw));
+    bus->Send(ca_name, client->name(), kMsgCredentialIssue, cred.Serialize());
+  }
+
+  // Client: verify the CA signature and the bound key before storing.
+  {
+    SECMED_ASSIGN_OR_RETURN(
+        Message msg, bus->ReceiveOfType(client->name(), kMsgCredentialIssue));
+    SECMED_ASSIGN_OR_RETURN(Credential cred,
+                            Credential::Deserialize(msg.payload));
+    SECMED_RETURN_IF_ERROR(VerifyCredential(cred, ca.public_key()));
+    SECMED_ASSIGN_OR_RETURN(RsaPublicKey bound, cred.ClientKey());
+    if (!(bound == client->public_key())) {
+      return Status::CryptoError("credential bound to a foreign key");
+    }
+    client->AddCredential(std::move(cred));
+  }
+  return Status::OK();
+}
+
+}  // namespace secmed

@@ -1,0 +1,29 @@
+#ifndef SECMED_MEDIATION_PREPARATORY_H_
+#define SECMED_MEDIATION_PREPARATORY_H_
+
+#include <map>
+#include <string>
+
+#include "mediation/client.h"
+#include "mediation/credential.h"
+#include "mediation/network.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// Runs the preparatory phase of the MMM protocol (Figure 2, [3]) over
+/// the bus: the client sends the certification authority its property
+/// claims together with the public keys to certify; the CA issues the
+/// signed credential and returns it; the client verifies the signature
+/// before storing it.
+///
+/// (Client::AcquireCredential performs the same exchange as a direct
+/// call; this variant exists so the message-level view — what the CA
+/// sees, what travels — is part of the recorded transcript.)
+Status RunPreparatoryPhase(Client* client, const CertificationAuthority& ca,
+                           const std::string& ca_name, NetworkBus* bus,
+                           const std::map<std::string, std::string>& properties);
+
+}  // namespace secmed
+
+#endif  // SECMED_MEDIATION_PREPARATORY_H_

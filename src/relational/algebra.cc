@@ -1,0 +1,360 @@
+#include "relational/algebra.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace secmed {
+
+Result<Relation> Select(const Relation& rel, const PredicatePtr& pred) {
+  Relation out(rel.schema());
+  for (const Tuple& t : rel.tuples()) {
+    SECMED_ASSIGN_OR_RETURN(bool keep, pred->Eval(t, rel.schema()));
+    if (keep) out.AppendUnchecked(t);
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& rel,
+                         const std::vector<std::string>& columns) {
+  std::vector<size_t> idx;
+  std::vector<Column> cols;
+  for (const std::string& name : columns) {
+    SECMED_ASSIGN_OR_RETURN(size_t i, rel.schema().IndexOf(name));
+    idx.push_back(i);
+    cols.push_back(rel.schema().column(i));
+  }
+  Relation out{Schema(std::move(cols))};
+  for (const Tuple& t : rel.tuples()) {
+    Tuple nt;
+    nt.reserve(idx.size());
+    for (size_t i : idx) nt.push_back(t[i]);
+    out.AppendUnchecked(std::move(nt));
+  }
+  return out;
+}
+
+Result<Relation> CrossProduct(const Relation& a, const Relation& b) {
+  std::vector<Column> cols = a.schema().columns();
+  for (const Column& c : b.schema().columns()) cols.push_back(c);
+  Relation out{Schema(std::move(cols))};
+  for (const Tuple& ta : a.tuples()) {
+    for (const Tuple& tb : b.tuples()) {
+      Tuple t = ta;
+      t.insert(t.end(), tb.begin(), tb.end());
+      out.AppendUnchecked(std::move(t));
+    }
+  }
+  return out;
+}
+
+namespace {
+struct ValueVectorHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t h = 14695981039346656037ULL;
+    for (const Value& v : vs) {
+      h ^= v.Hash();
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+}  // namespace
+
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b) {
+  const std::vector<std::string> common = a.schema().CommonColumns(b.schema());
+  if (common.empty()) return CrossProduct(a, b);
+
+  std::vector<size_t> a_keys, b_keys;
+  for (const std::string& c : common) {
+    SECMED_ASSIGN_OR_RETURN(size_t ia, a.schema().IndexOf(c));
+    SECMED_ASSIGN_OR_RETURN(size_t ib, b.schema().IndexOf(c));
+    a_keys.push_back(ia);
+    b_keys.push_back(ib);
+  }
+  // Output schema: all of a, then b minus its join columns.
+  std::vector<Column> cols = a.schema().columns();
+  std::vector<size_t> b_keep;
+  for (size_t i = 0; i < b.schema().size(); ++i) {
+    if (std::find(b_keys.begin(), b_keys.end(), i) == b_keys.end()) {
+      b_keep.push_back(i);
+      cols.push_back(b.schema().column(i));
+    }
+  }
+  Relation out{Schema(std::move(cols))};
+
+  // Build hash table on b.
+  std::unordered_map<std::vector<Value>, std::vector<const Tuple*>,
+                     ValueVectorHash>
+      table;
+  for (const Tuple& tb : b.tuples()) {
+    std::vector<Value> key;
+    key.reserve(b_keys.size());
+    bool has_null = false;
+    for (size_t i : b_keys) {
+      if (tb[i].is_null()) has_null = true;
+      key.push_back(tb[i]);
+    }
+    if (has_null) continue;  // NULL never joins
+    table[key].push_back(&tb);
+  }
+  for (const Tuple& ta : a.tuples()) {
+    std::vector<Value> key;
+    key.reserve(a_keys.size());
+    bool has_null = false;
+    for (size_t i : a_keys) {
+      if (ta[i].is_null()) has_null = true;
+      key.push_back(ta[i]);
+    }
+    if (has_null) continue;
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (const Tuple* tb : it->second) {
+      Tuple t = ta;
+      for (size_t i : b_keep) t.push_back((*tb)[i]);
+      out.AppendUnchecked(std::move(t));
+    }
+  }
+  return out;
+}
+
+Result<Relation> EquiJoin(const Relation& a, const std::string& col_a,
+                          const Relation& b, const std::string& col_b) {
+  return EquiJoinMulti(a, {col_a}, b, {col_b});
+}
+
+Result<Relation> EquiJoinMulti(const Relation& a,
+                               const std::vector<std::string>& cols_a,
+                               const Relation& b,
+                               const std::vector<std::string>& cols_b) {
+  if (cols_a.empty() || cols_a.size() != cols_b.size()) {
+    return Status::InvalidArgument("join column lists must match and be "
+                                   "non-empty");
+  }
+  std::vector<size_t> ia, ib;
+  for (size_t k = 0; k < cols_a.size(); ++k) {
+    SECMED_ASSIGN_OR_RETURN(size_t i, a.schema().IndexOf(cols_a[k]));
+    SECMED_ASSIGN_OR_RETURN(size_t j, b.schema().IndexOf(cols_b[k]));
+    ia.push_back(i);
+    ib.push_back(j);
+  }
+
+  std::vector<Column> cols = a.schema().columns();
+  for (const Column& c : b.schema().columns()) cols.push_back(c);
+  Relation out{Schema(std::move(cols))};
+
+  auto key_of = [](const Tuple& t, const std::vector<size_t>& idx,
+                   bool* has_null) {
+    std::vector<Value> key;
+    key.reserve(idx.size());
+    for (size_t i : idx) {
+      if (t[i].is_null()) *has_null = true;
+      key.push_back(t[i]);
+    }
+    return key;
+  };
+
+  std::unordered_map<std::vector<Value>, std::vector<const Tuple*>,
+                     ValueVectorHash>
+      table;
+  for (const Tuple& tb : b.tuples()) {
+    bool has_null = false;
+    std::vector<Value> key = key_of(tb, ib, &has_null);
+    if (has_null) continue;
+    table[std::move(key)].push_back(&tb);
+  }
+  for (const Tuple& ta : a.tuples()) {
+    bool has_null = false;
+    std::vector<Value> key = key_of(ta, ia, &has_null);
+    if (has_null) continue;
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (const Tuple* tb : it->second) {
+      Tuple t = ta;
+      t.insert(t.end(), tb->begin(), tb->end());
+      out.AppendUnchecked(std::move(t));
+    }
+  }
+  return out;
+}
+
+Result<Relation> Union(const Relation& a, const Relation& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("UNION requires identical schemas");
+  }
+  Relation out = a;
+  for (const Tuple& t : b.tuples()) out.AppendUnchecked(t);
+  return out;
+}
+
+Relation Distinct(const Relation& rel) {
+  Relation sorted = rel;
+  sorted.SortCanonically();
+  Relation out(rel.schema());
+  const std::vector<Tuple>& ts = sorted.tuples();
+  for (size_t i = 0; i < ts.size(); ++i) {
+    if (i == 0 || !(ts[i - 1] == ts[i])) out.AppendUnchecked(ts[i]);
+  }
+  return out;
+}
+
+Relation Qualify(const Relation& rel, const std::string& qualifier) {
+  return Relation(rel.schema().Qualified(qualifier), rel.tuples());
+}
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount: return "count";
+    case AggregateFn::kSum: return "sum";
+    case AggregateFn::kMin: return "min";
+    case AggregateFn::kMax: return "max";
+    case AggregateFn::kAvg: return "avg";
+  }
+  return "?";
+}
+
+namespace {
+// Running state of one aggregate within one group.
+struct AggState {
+  int64_t count = 0;   // non-null inputs (or rows for COUNT(*))
+  int64_t sum = 0;     // kSum / kAvg
+  Value extreme;       // kMin / kMax; NULL until first input
+};
+
+Value FinalizeAgg(const AggregateSpec& spec, const AggState& s) {
+  switch (spec.fn) {
+    case AggregateFn::kCount:
+      return Value::Int(s.count);
+    case AggregateFn::kSum:
+      return s.count == 0 ? Value::Null() : Value::Int(s.sum);
+    case AggregateFn::kAvg:
+      return s.count == 0 ? Value::Null() : Value::Int(s.sum / s.count);
+    case AggregateFn::kMin:
+    case AggregateFn::kMax:
+      return s.extreme;
+  }
+  return Value::Null();
+}
+}  // namespace
+
+Result<Relation> Aggregate(const Relation& rel,
+                           const std::vector<std::string>& group_by,
+                           const std::vector<AggregateSpec>& aggs) {
+  // Resolve all column references up front.
+  std::vector<size_t> group_idx;
+  for (const std::string& col : group_by) {
+    SECMED_ASSIGN_OR_RETURN(size_t i, rel.schema().IndexOf(col));
+    group_idx.push_back(i);
+  }
+  std::vector<int> agg_idx(aggs.size(), -1);  // -1 for COUNT(*)
+  for (size_t k = 0; k < aggs.size(); ++k) {
+    if (aggs[k].column.empty()) {
+      if (aggs[k].fn != AggregateFn::kCount) {
+        return Status::InvalidArgument("only COUNT accepts * as argument");
+      }
+      continue;
+    }
+    SECMED_ASSIGN_OR_RETURN(size_t i, rel.schema().IndexOf(aggs[k].column));
+    if ((aggs[k].fn == AggregateFn::kSum || aggs[k].fn == AggregateFn::kAvg) &&
+        rel.schema().column(i).type != ValueType::kInt64) {
+      return Status::InvalidArgument(
+          std::string(AggregateFnToString(aggs[k].fn)) +
+          " requires an integer column: " + aggs[k].column);
+    }
+    agg_idx[k] = static_cast<int>(i);
+  }
+
+  // Output schema: group columns, then one column per aggregate.
+  std::vector<Column> cols;
+  for (size_t i : group_idx) cols.push_back(rel.schema().column(i));
+  for (size_t k = 0; k < aggs.size(); ++k) {
+    std::string name = aggs[k].output_name;
+    if (name.empty()) {
+      name = std::string(AggregateFnToString(aggs[k].fn)) + "_" +
+             (aggs[k].column.empty() ? "all"
+                                     : Schema::BaseName(aggs[k].column));
+    }
+    ValueType type = ValueType::kInt64;
+    if ((aggs[k].fn == AggregateFn::kMin || aggs[k].fn == AggregateFn::kMax) &&
+        agg_idx[k] >= 0) {
+      type = rel.schema().column(static_cast<size_t>(agg_idx[k])).type;
+    }
+    cols.push_back({std::move(name), type});
+  }
+
+  // Group and fold. std::map keeps deterministic (canonical) group order.
+  std::map<std::vector<Value>, std::vector<AggState>> groups;
+  for (const Tuple& t : rel.tuples()) {
+    std::vector<Value> key;
+    key.reserve(group_idx.size());
+    for (size_t i : group_idx) key.push_back(t[i]);
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), std::vector<AggState>(aggs.size()));
+    for (size_t k = 0; k < aggs.size(); ++k) {
+      AggState& s = it->second[k];
+      if (agg_idx[k] < 0) {  // COUNT(*)
+        ++s.count;
+        continue;
+      }
+      const Value& v = t[static_cast<size_t>(agg_idx[k])];
+      if (v.is_null()) continue;
+      ++s.count;
+      switch (aggs[k].fn) {
+        case AggregateFn::kSum:
+        case AggregateFn::kAvg:
+          s.sum += v.as_int();
+          break;
+        case AggregateFn::kMin:
+          if (s.extreme.is_null() || v < s.extreme) s.extreme = v;
+          break;
+        case AggregateFn::kMax:
+          if (s.extreme.is_null() || v > s.extreme) s.extreme = v;
+          break;
+        case AggregateFn::kCount:
+          break;
+      }
+    }
+  }
+  // Global aggregation over an empty input still yields one row.
+  if (groups.empty() && group_idx.empty()) {
+    groups.emplace(std::vector<Value>(), std::vector<AggState>(aggs.size()));
+  }
+
+  Relation out{Schema(std::move(cols))};
+  for (const auto& [key, states] : groups) {
+    Tuple t = key;
+    for (size_t k = 0; k < aggs.size(); ++k) {
+      t.push_back(FinalizeAgg(aggs[k], states[k]));
+    }
+    out.AppendUnchecked(std::move(t));
+  }
+  return out;
+}
+
+Result<Relation> OrderBy(const Relation& rel,
+                         const std::vector<OrderKey>& keys) {
+  std::vector<std::pair<size_t, bool>> idx;
+  for (const OrderKey& k : keys) {
+    SECMED_ASSIGN_OR_RETURN(size_t i, rel.schema().IndexOf(k.column));
+    idx.emplace_back(i, k.descending);
+  }
+  Relation out = rel;
+  std::vector<Tuple> tuples = out.tuples();
+  std::stable_sort(tuples.begin(), tuples.end(),
+                   [&idx](const Tuple& a, const Tuple& b) {
+                     for (const auto& [i, desc] : idx) {
+                       int c = a[i].Compare(b[i]);
+                       if (c != 0) return desc ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  return Relation(rel.schema(), std::move(tuples));
+}
+
+Relation Limit(const Relation& rel, size_t n) {
+  if (rel.size() <= n) return rel;
+  std::vector<Tuple> tuples(rel.tuples().begin(), rel.tuples().begin() + n);
+  return Relation(rel.schema(), std::move(tuples));
+}
+
+}  // namespace secmed

@@ -1,0 +1,93 @@
+#ifndef SECMED_RELATIONAL_ALGEBRA_H_
+#define SECMED_RELATIONAL_ALGEBRA_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// Relational algebra operators. All operators are pure: they build a new
+/// relation and never mutate their inputs. Bag semantics throughout
+/// (duplicates preserved), matching the paper's treatment of partial
+/// results.
+
+/// σ_pred(rel)
+Result<Relation> Select(const Relation& rel, const PredicatePtr& pred);
+
+/// π_columns(rel); columns may be qualified. Duplicates preserved.
+Result<Relation> Project(const Relation& rel,
+                         const std::vector<std::string>& columns);
+
+/// rel1 × rel2. Column names are taken verbatim from the inputs; callers
+/// should qualify schemas first when names collide.
+Result<Relation> CrossProduct(const Relation& a, const Relation& b);
+
+/// Natural join: equality on all common (base-named) columns; the common
+/// columns appear once in the output (from `a`), mirroring SQL NATURAL
+/// JOIN. Hash-join implementation.
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b);
+
+/// Equi-join on a named column pair, keeping both input columns.
+Result<Relation> EquiJoin(const Relation& a, const std::string& col_a,
+                          const Relation& b, const std::string& col_b);
+
+/// Equi-join on several column pairs (cols_a[i] = cols_b[i] for all i),
+/// keeping both sides' columns. The pair lists must be non-empty and of
+/// equal length.
+Result<Relation> EquiJoinMulti(const Relation& a,
+                               const std::vector<std::string>& cols_a,
+                               const Relation& b,
+                               const std::vector<std::string>& cols_b);
+
+/// Bag union; schemas must match exactly.
+Result<Relation> Union(const Relation& a, const Relation& b);
+
+/// Removes duplicate tuples.
+Relation Distinct(const Relation& rel);
+
+/// Renames every column with the qualifier prefix ("R1.col").
+Relation Qualify(const Relation& rel, const std::string& qualifier);
+
+/// Aggregate functions of the GROUP BY operator.
+enum class AggregateFn { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// One aggregate of an aggregation query.
+struct AggregateSpec {
+  AggregateFn fn = AggregateFn::kCount;
+  /// Aggregated column; empty means COUNT(*).
+  std::string column;
+  /// Output column name (e.g. "sum_cost"); derived from fn/column when
+  /// empty.
+  std::string output_name;
+};
+
+/// γ_{group_by; aggs}(rel): groups by the given columns and computes the
+/// aggregates per group. With an empty group_by the whole relation is one
+/// group (a single output row, even for an empty input when only COUNT is
+/// computed). SQL NULL handling: COUNT(col), SUM, MIN, MAX and AVG ignore
+/// NULL values; SUM/AVG require integer columns; AVG is integer division.
+Result<Relation> Aggregate(const Relation& rel,
+                           const std::vector<std::string>& group_by,
+                           const std::vector<AggregateSpec>& aggs);
+
+/// Sort key of ORDER BY: column plus direction.
+struct OrderKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// Sorts by the given keys (stable).
+Result<Relation> OrderBy(const Relation& rel, const std::vector<OrderKey>& keys);
+
+/// Keeps the first `n` tuples.
+Relation Limit(const Relation& rel, size_t n);
+
+}  // namespace secmed
+
+#endif  // SECMED_RELATIONAL_ALGEBRA_H_

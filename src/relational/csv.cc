@@ -1,0 +1,200 @@
+#include "relational/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace secmed {
+
+namespace {
+
+// Splits CSV text into records of fields, honoring quoting.
+Result<std::vector<std::vector<std::string>>> SplitCsv(
+    const std::string& content) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    fields.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(fields));
+    fields.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::ParseError("quote inside unquoted field at byte " +
+                                    std::to_string(i));
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = false;
+        break;
+      case '\r':
+        break;  // handled with the following '\n'
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (!field.empty() || !fields.empty() || field_started) end_record();
+  return records;
+}
+
+bool ParsesAsInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  for (size_t k = i; k < s.size(); ++k) {
+    if (!std::isdigit(static_cast<unsigned char>(s[k]))) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool NeedsQuoting(const std::string& s) {
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> LoadCsvString(const std::string& content) {
+  SECMED_ASSIGN_OR_RETURN(auto records, SplitCsv(content));
+  if (records.empty()) return Status::ParseError("CSV has no header record");
+  const std::vector<std::string>& header = records[0];
+  if (header.empty() || (header.size() == 1 && header[0].empty())) {
+    return Status::ParseError("CSV header is empty");
+  }
+  const size_t ncols = header.size();
+
+  // Type inference: INT64 unless some non-empty field fails to parse.
+  std::vector<bool> is_int(ncols, true);
+  std::vector<bool> saw_value(ncols, false);
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != ncols) {
+      return Status::ParseError("record " + std::to_string(r) + " has " +
+                                std::to_string(records[r].size()) +
+                                " fields, expected " + std::to_string(ncols));
+    }
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& f = records[r][c];
+      if (f.empty()) continue;
+      saw_value[c] = true;
+      int64_t v;
+      if (!ParsesAsInt(f, &v)) is_int[c] = false;
+    }
+  }
+
+  std::vector<Column> cols;
+  for (size_t c = 0; c < ncols; ++c) {
+    cols.push_back({header[c], saw_value[c] && is_int[c] ? ValueType::kInt64
+                                                         : ValueType::kString});
+  }
+  Relation rel{Schema(std::move(cols))};
+  for (size_t r = 1; r < records.size(); ++r) {
+    Tuple t;
+    t.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& f = records[r][c];
+      if (f.empty()) {
+        t.push_back(Value::Null());
+      } else if (rel.schema().column(c).type == ValueType::kInt64) {
+        int64_t v = 0;
+        ParsesAsInt(f, &v);
+        t.push_back(Value::Int(v));
+      } else {
+        t.push_back(Value::Str(f));
+      }
+    }
+    SECMED_RETURN_IF_ERROR(rel.Append(std::move(t)));
+  }
+  return rel;
+}
+
+Result<Relation> LoadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return LoadCsvString(ss.str());
+}
+
+std::string ToCsvString(const Relation& rel) {
+  std::string out;
+  for (size_t c = 0; c < rel.schema().size(); ++c) {
+    if (c) out += ",";
+    out += QuoteField(rel.schema().column(c).name);
+  }
+  out += "\n";
+  for (const Tuple& t : rel.tuples()) {
+    for (size_t c = 0; c < t.size(); ++c) {
+      if (c) out += ",";
+      if (t[c].is_null()) continue;
+      if (t[c].type() == ValueType::kInt64) {
+        out += std::to_string(t[c].as_int());
+      } else {
+        out += QuoteField(t[c].as_string());
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Relation& rel, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << ToCsvString(rel);
+  return out.good() ? Status::OK() : Status::DataLoss("write failed: " + path);
+}
+
+}  // namespace secmed

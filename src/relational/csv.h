@@ -1,0 +1,34 @@
+#ifndef SECMED_RELATIONAL_CSV_H_
+#define SECMED_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// CSV import/export for relations, so real datasets can be fed to the
+/// protocols (see tools/secmedctl).
+///
+/// Dialect: comma-separated, '\n' or '\r\n' record ends, double-quoted
+/// fields with "" escaping. The first record is the header (column
+/// names). Column types are inferred: a column whose every non-empty
+/// field parses as a 64-bit integer becomes INT64, everything else
+/// STRING; empty fields load as NULL.
+
+/// Parses CSV text into a relation.
+Result<Relation> LoadCsvString(const std::string& content);
+
+/// Reads and parses a CSV file.
+Result<Relation> LoadCsvFile(const std::string& path);
+
+/// Renders a relation as CSV (header + rows; NULL as empty field).
+std::string ToCsvString(const Relation& rel);
+
+/// Writes a relation to a CSV file.
+Status WriteCsvFile(const Relation& rel, const std::string& path);
+
+}  // namespace secmed
+
+#endif  // SECMED_RELATIONAL_CSV_H_

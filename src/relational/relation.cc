@@ -1,0 +1,148 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <set>
+
+namespace secmed {
+
+Bytes EncodeTuple(const Tuple& t) {
+  BinaryWriter w;
+  w.WriteU32(static_cast<uint32_t>(t.size()));
+  for (const Value& v : t) v.EncodeTo(&w);
+  return w.TakeBuffer();
+}
+
+Result<Tuple> DecodeTuple(const Bytes& data) {
+  BinaryReader r(data);
+  SECMED_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  Tuple t;
+  t.reserve(std::min<size_t>(n, r.remaining()));
+  for (uint32_t i = 0; i < n; ++i) {
+    SECMED_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(&r));
+    t.push_back(std::move(v));
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after tuple");
+  return t;
+}
+
+Status Relation::Append(Tuple t) {
+  if (t.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(t.size()) + " does not match schema " +
+        std::to_string(schema_.size()));
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].is_null() && t[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_.column(i).name);
+    }
+  }
+  tuples_.push_back(std::move(t));
+  return Status::OK();
+}
+
+namespace {
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+}  // namespace
+
+void Relation::SortCanonically() {
+  std::sort(tuples_.begin(), tuples_.end(), TupleLess);
+}
+
+bool Relation::EqualsAsBag(const Relation& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  if (tuples_.size() != other.tuples_.size()) return false;
+  std::vector<Tuple> a = tuples_;
+  std::vector<Tuple> b = other.tuples_;
+  std::sort(a.begin(), a.end(), TupleLess);
+  std::sort(b.begin(), b.end(), TupleLess);
+  return a == b;
+}
+
+Result<std::vector<Value>> Relation::ActiveDomain(
+    const std::string& column) const {
+  SECMED_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(column));
+  std::set<Value> distinct;
+  for (const Tuple& t : tuples_) distinct.insert(t[idx]);
+  return std::vector<Value>(distinct.begin(), distinct.end());
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  // Compute column widths.
+  std::vector<std::string> headers;
+  std::vector<size_t> widths;
+  for (const Column& c : schema_.columns()) {
+    headers.push_back(c.name);
+    widths.push_back(c.name.size());
+  }
+  const size_t shown = std::min(max_rows, tuples_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      cells[r].push_back(tuples_[r][c].ToString());
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  auto hline = [&] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  std::string out = hline();
+  out += "|";
+  for (size_t c = 0; c < headers.size(); ++c) {
+    out += " " + headers[c] + std::string(widths[c] - headers[c].size(), ' ') +
+           " |";
+  }
+  out += "\n" + hline();
+  for (size_t r = 0; r < shown; ++r) {
+    out += "|";
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      out += " " + cells[r][c] + std::string(widths[c] - cells[r][c].size(), ' ') +
+             " |";
+    }
+    out += "\n";
+  }
+  out += hline();
+  if (shown < tuples_.size()) {
+    out += "... " + std::to_string(tuples_.size() - shown) + " more rows\n";
+  }
+  out += std::to_string(tuples_.size()) + " row(s)\n";
+  return out;
+}
+
+Bytes Relation::Serialize() const {
+  BinaryWriter w;
+  schema_.EncodeTo(&w);
+  w.WriteU32(static_cast<uint32_t>(tuples_.size()));
+  for (const Tuple& t : tuples_) {
+    for (const Value& v : t) v.EncodeTo(&w);
+  }
+  return w.TakeBuffer();
+}
+
+Result<Relation> Relation::Deserialize(const Bytes& data) {
+  BinaryReader r(data);
+  SECMED_ASSIGN_OR_RETURN(Schema schema, Schema::DecodeFrom(&r));
+  SECMED_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  Relation rel(schema);
+  for (uint32_t i = 0; i < n; ++i) {
+    Tuple t;
+    t.reserve(schema.size());
+    for (size_t c = 0; c < schema.size(); ++c) {
+      SECMED_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(&r));
+      t.push_back(std::move(v));
+    }
+    SECMED_RETURN_IF_ERROR(rel.Append(std::move(t)));
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after relation");
+  return rel;
+}
+
+}  // namespace secmed

@@ -1,0 +1,66 @@
+#ifndef SECMED_RELATIONAL_RELATION_H_
+#define SECMED_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// A row of a relation.
+using Tuple = std::vector<Value>;
+
+/// Canonical byte encoding of a whole tuple (length-prefixed values).
+Bytes EncodeTuple(const Tuple& t);
+Result<Tuple> DecodeTuple(const Bytes& data);
+
+/// A relation: schema plus a bag (multiset) of tuples.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Appends a tuple after checking arity and column types (NULL fits any
+  /// column type).
+  Status Append(Tuple t);
+  /// Appends without validation (trusted internal paths).
+  void AppendUnchecked(Tuple t) { tuples_.push_back(std::move(t)); }
+
+  /// Column values of tuple `row`.
+  const Value& at(size_t row, size_t col) const { return tuples_[row][col]; }
+
+  /// Sorts tuples into the canonical total order (for comparisons).
+  void SortCanonically();
+
+  /// True iff both relations have the same schema and the same multiset of
+  /// tuples (order-insensitive).
+  bool EqualsAsBag(const Relation& other) const;
+
+  /// Distinct values appearing in the given column — the paper's
+  /// "active domain" domactive(A) of an attribute.
+  Result<std::vector<Value>> ActiveDomain(const std::string& column) const;
+
+  /// Pretty-prints an ASCII table (for examples and debugging).
+  std::string ToString(size_t max_rows = 50) const;
+
+  Bytes Serialize() const;
+  static Result<Relation> Deserialize(const Bytes& data);
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_RELATIONAL_RELATION_H_

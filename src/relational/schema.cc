@@ -1,0 +1,88 @@
+#include "relational/schema.h"
+
+namespace secmed {
+
+std::string Schema::BaseName(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  // Exact match first.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  // Fall back to unqualified resolution.
+  size_t found = columns_.size();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (BaseName(columns_[i].name) == name) {
+      if (found != columns_.size()) {
+        return Status::InvalidArgument("ambiguous column name: " + name);
+      }
+      found = i;
+    }
+  }
+  if (found == columns_.size()) {
+    return Status::NotFound("no column named " + name);
+  }
+  return found;
+}
+
+Schema Schema::Qualified(const std::string& qualifier) const {
+  std::vector<Column> cols = columns_;
+  for (Column& c : cols) c.name = qualifier + "." + BaseName(c.name);
+  return Schema(std::move(cols));
+}
+
+std::vector<std::string> Schema::CommonColumns(const Schema& other) const {
+  std::vector<std::string> common;
+  for (const Column& c : columns_) {
+    const std::string base = BaseName(c.name);
+    for (const Column& d : other.columns_) {
+      if (BaseName(d.name) == base) {
+        common.push_back(base);
+        break;
+      }
+    }
+  }
+  return common;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+void Schema::EncodeTo(BinaryWriter* w) const {
+  w->WriteU32(static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    w->WriteString(c.name);
+    w->WriteU8(static_cast<uint8_t>(c.type));
+  }
+}
+
+Result<Schema> Schema::DecodeFrom(BinaryReader* r) {
+  SECMED_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  std::vector<Column> cols;
+  cols.reserve(std::min<size_t>(n, r->remaining()));
+  for (uint32_t i = 0; i < n; ++i) {
+    Column c;
+    SECMED_ASSIGN_OR_RETURN(c.name, r->ReadString());
+    SECMED_ASSIGN_OR_RETURN(uint8_t t, r->ReadU8());
+    if (t > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::ParseError("bad column type tag");
+    }
+    c.type = static_cast<ValueType>(t);
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+}  // namespace secmed

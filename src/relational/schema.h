@@ -1,0 +1,67 @@
+#ifndef SECMED_RELATIONAL_SCHEMA_H_
+#define SECMED_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// A named, typed column of a relation schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of columns describing the shape of a relation.
+///
+/// Column names may be qualified ("R1.diag"); `IndexOf` matches either the
+/// full name or the unqualified suffix when that is unambiguous, mirroring
+/// SQL name resolution.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of a column by (possibly qualified) name. kNotFound if absent,
+  /// kInvalidArgument if an unqualified name is ambiguous.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool HasColumn(const std::string& name) const { return IndexOf(name).ok(); }
+
+  /// Returns a copy with every column name prefixed "qualifier.name"
+  /// (existing qualifiers are replaced).
+  Schema Qualified(const std::string& qualifier) const;
+
+  /// The unqualified part of a column name ("R1.diag" -> "diag").
+  static std::string BaseName(const std::string& name);
+
+  /// Names present in both schemas (compared by base name). Used to find
+  /// the join attributes A1 = A2 of the paper.
+  std::vector<std::string> CommonColumns(const Schema& other) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  std::string ToString() const;
+
+  void EncodeTo(BinaryWriter* w) const;
+  static Result<Schema> DecodeFrom(BinaryReader* r);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,620 @@
+#include "relational/sql.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "relational/algebra.h"
+
+namespace secmed {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kSymbol,  // ( ) , * = <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // uppercased for idents? No — case preserved; keyword
+                      // comparison is case-insensitive.
+  size_t pos = 0;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < sql.size() && IsIdentChar(sql[j])) ++j;
+      t.kind = TokenKind::kIdent;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < sql.size() &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      while (j < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[j]))) {
+        ++j;
+      }
+      t.kind = TokenKind::kNumber;
+      t.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string s;
+      while (j < sql.size() && sql[j] != '\'') s.push_back(sql[j++]);
+      if (j == sql.size()) {
+        return Status::ParseError("unterminated string literal at position " +
+                                  std::to_string(i));
+      }
+      t.kind = TokenKind::kString;
+      t.text = std::move(s);
+      i = j + 1;
+    } else if (c == '<' && i + 1 < sql.size() &&
+               (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+      t.kind = TokenKind::kSymbol;
+      t.text = sql.substr(i, 2);
+      i += 2;
+    } else if (c == '>' && i + 1 < sql.size() && sql[i + 1] == '=') {
+      t.kind = TokenKind::kSymbol;
+      t.text = ">=";
+      i += 2;
+    } else if (c == '(' || c == ')' || c == ',' || c == '*' || c == '=' ||
+               c == '<' || c == '>') {
+      t.kind = TokenKind::kSymbol;
+      t.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at position " + std::to_string(i));
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.pos = sql.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery q;
+    SECMED_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SECMED_RETURN_IF_ERROR(ParseSelectList(&q));
+    SECMED_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SECMED_ASSIGN_OR_RETURN(q.from, ParseTableRef());
+    while (PeekKeyword("JOIN") || PeekKeyword("NATURAL")) {
+      ParsedQuery::JoinClause join;
+      if (AcceptKeyword("NATURAL")) {
+        SECMED_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        join.natural = true;
+        SECMED_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      } else {
+        AcceptKeyword("JOIN");
+        SECMED_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+        SECMED_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        do {
+          std::pair<std::string, std::string> pair;
+          SECMED_ASSIGN_OR_RETURN(pair.first, ExpectIdent());
+          SECMED_RETURN_IF_ERROR(ExpectSymbol("="));
+          SECMED_ASSIGN_OR_RETURN(pair.second, ExpectIdent());
+          join.on_pairs.push_back(std::move(pair));
+        } while (AcceptKeyword("AND"));
+      }
+      q.joins.push_back(std::move(join));
+    }
+    if (AcceptKeyword("WHERE")) {
+      SECMED_ASSIGN_OR_RETURN(q.where, ParseOr());
+    } else {
+      q.where = Predicate::True();
+    }
+    if (AcceptKeyword("GROUP")) {
+      SECMED_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        SECMED_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        q.group_by.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("ORDER")) {
+      SECMED_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderKey key;
+        SECMED_ASSIGN_OR_RETURN(key.column, ExpectIdent());
+        if (AcceptKeyword("DESC")) {
+          key.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        q.order_by.push_back(std::move(key));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (cur().kind != TokenKind::kNumber) {
+        return Status::ParseError("LIMIT expects a number, got '" +
+                                  cur().text + "'");
+      }
+      int64_t n = std::stoll(cur().text);
+      if (n < 0) return Status::ParseError("LIMIT must be non-negative");
+      q.limit = static_cast<size_t>(n);
+      Advance();
+    }
+    if (cur().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input after query: '" + cur().text +
+                                "'");
+    }
+    return q;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(const char* kw) const {
+    return cur().kind == TokenKind::kIdent && Upper(cur().text) == kw;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + " before '" +
+                                cur().text + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (cur().kind == TokenKind::kSymbol && cur().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::ParseError(std::string("expected '") + sym +
+                                "' before '" + cur().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (cur().kind != TokenKind::kIdent) {
+      return Status::ParseError("expected identifier before '" + cur().text +
+                                "'");
+    }
+    std::string s = cur().text;
+    Advance();
+    return s;
+  }
+
+  // Maps an identifier to an aggregate function, if it names one.
+  static bool LookupAggregateFn(const std::string& ident, AggregateFn* fn) {
+    const std::string up = Upper(ident);
+    if (up == "COUNT") *fn = AggregateFn::kCount;
+    else if (up == "SUM") *fn = AggregateFn::kSum;
+    else if (up == "MIN") *fn = AggregateFn::kMin;
+    else if (up == "MAX") *fn = AggregateFn::kMax;
+    else if (up == "AVG") *fn = AggregateFn::kAvg;
+    else return false;
+    return true;
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    if (AcceptSymbol("*")) return Status::OK();
+    for (;;) {
+      SECMED_ASSIGN_OR_RETURN(std::string ident, ExpectIdent());
+      AggregateFn fn;
+      if (cur().kind == TokenKind::kSymbol && cur().text == "(" &&
+          LookupAggregateFn(ident, &fn)) {
+        Advance();  // '('
+        AggregateSpec spec;
+        spec.fn = fn;
+        if (!AcceptSymbol("*")) {
+          SECMED_ASSIGN_OR_RETURN(spec.column, ExpectIdent());
+        } else if (fn != AggregateFn::kCount) {
+          return Status::ParseError("only COUNT accepts *");
+        }
+        SECMED_RETURN_IF_ERROR(ExpectSymbol(")"));
+        if (AcceptKeyword("AS")) {
+          SECMED_ASSIGN_OR_RETURN(spec.output_name, ExpectIdent());
+        }
+        q->aggregates.push_back(std::move(spec));
+      } else {
+        q->select_columns.push_back(std::move(ident));
+      }
+      if (!AcceptSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Result<ParsedQuery::TableRef> ParseTableRef() {
+    ParsedQuery::TableRef ref;
+    SECMED_ASSIGN_OR_RETURN(ref.name, ExpectIdent());
+    if (AcceptKeyword("AS")) {
+      SECMED_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    } else {
+      ref.alias = ref.name;
+    }
+    return ref;
+  }
+
+  // Predicate grammar: or := and (OR and)* ; and := unary (AND unary)* ;
+  // unary := NOT unary | '(' or ')' | comparison.
+  Result<PredicatePtr> ParseOr() {
+    SECMED_ASSIGN_OR_RETURN(PredicatePtr acc, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      SECMED_ASSIGN_OR_RETURN(PredicatePtr rhs, ParseAnd());
+      acc = Predicate::Or(std::move(acc), std::move(rhs));
+    }
+    return acc;
+  }
+
+  Result<PredicatePtr> ParseAnd() {
+    SECMED_ASSIGN_OR_RETURN(PredicatePtr acc, ParseUnary());
+    while (AcceptKeyword("AND")) {
+      SECMED_ASSIGN_OR_RETURN(PredicatePtr rhs, ParseUnary());
+      acc = Predicate::And(std::move(acc), std::move(rhs));
+    }
+    return acc;
+  }
+
+  Result<PredicatePtr> ParseUnary() {
+    if (AcceptKeyword("NOT")) {
+      SECMED_ASSIGN_OR_RETURN(PredicatePtr inner, ParseUnary());
+      return Predicate::Not(std::move(inner));
+    }
+    if (AcceptSymbol("(")) {
+      SECMED_ASSIGN_OR_RETURN(PredicatePtr inner, ParseOr());
+      SECMED_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<Predicate::Operand> ParseOperand() {
+    if (cur().kind == TokenKind::kIdent) {
+      std::string name = cur().text;
+      Advance();
+      return Predicate::Operand::Col(std::move(name));
+    }
+    if (cur().kind == TokenKind::kNumber) {
+      int64_t v = std::stoll(cur().text);
+      Advance();
+      return Predicate::Operand::Lit(Value::Int(v));
+    }
+    if (cur().kind == TokenKind::kString) {
+      std::string s = cur().text;
+      Advance();
+      return Predicate::Operand::Lit(Value::Str(std::move(s)));
+    }
+    return Status::ParseError("expected operand before '" + cur().text + "'");
+  }
+
+  Result<PredicatePtr> ParseComparison() {
+    SECMED_ASSIGN_OR_RETURN(Predicate::Operand lhs, ParseOperand());
+    CompareOp op;
+    if (AcceptSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (AcceptSymbol("<>")) {
+      op = CompareOp::kNe;
+    } else if (AcceptSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (AcceptSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (AcceptSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (AcceptSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Status::ParseError("expected comparison operator before '" +
+                                cur().text + "'");
+    }
+    SECMED_ASSIGN_OR_RETURN(Predicate::Operand rhs, ParseOperand());
+    return Predicate::Compare(std::move(lhs), op, std::move(rhs));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "SELECT ";
+  if (select_columns.empty() && aggregates.empty()) {
+    out += "*";
+  } else {
+    bool first = true;
+    for (const std::string& col : select_columns) {
+      if (!first) out += ", ";
+      out += col;
+      first = false;
+    }
+    for (const AggregateSpec& a : aggregates) {
+      if (!first) out += ", ";
+      out += Upper(AggregateFnToString(a.fn));
+      out += "(" + (a.column.empty() ? std::string("*") : a.column) + ")";
+      if (!a.output_name.empty()) out += " AS " + a.output_name;
+      first = false;
+    }
+  }
+  out += " FROM " + from.name;
+  if (from.alias != from.name) out += " AS " + from.alias;
+  for (const JoinClause& j : joins) {
+    if (j.natural) {
+      out += " NATURAL JOIN " + j.table.name;
+    } else {
+      out += " JOIN " + j.table.name;
+      if (j.table.alias != j.table.name) out += " AS " + j.table.alias;
+      out += " ON ";
+      for (size_t i = 0; i < j.on_pairs.size(); ++i) {
+        if (i) out += " AND ";
+        out += j.on_pairs[i].first + " = " + j.on_pairs[i].second;
+      }
+    }
+  }
+  if (where && where->kind() != Predicate::Kind::kTrue) {
+    out += " WHERE " + where->ToString();
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) out += ", ";
+      out += group_by[i];
+    }
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += order_by[i].column;
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit != SIZE_MAX) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+Result<ParsedQuery> ParseSql(const std::string& sql) {
+  SECMED_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(std::move(tokens));
+  return p.Parse();
+}
+
+std::string AlgebraNode::ToString(int indent) const {
+  std::string pad(indent * 2, ' ');
+  std::string out;
+  switch (op) {
+    case Op::kScan:
+      out = pad + "Scan[" + table +
+            (alias != table ? " AS " + alias : "") + "]  partial: \"" +
+            partial_query + "\"\n";
+      break;
+    case Op::kSelect:
+      out = pad + "Select[" + predicate->ToString() + "]\n";
+      break;
+    case Op::kProject: {
+      out = pad + "Project[";
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (i) out += ", ";
+        out += columns[i];
+      }
+      out += "]\n";
+      break;
+    }
+    case Op::kJoin: {
+      out = pad + "Join[";
+      if (join_pairs.empty()) {
+        out += "natural";
+      } else {
+        for (size_t i = 0; i < join_pairs.size(); ++i) {
+          if (i) out += " AND ";
+          out += join_pairs[i].first + " = " + join_pairs[i].second;
+        }
+      }
+      out += "]\n";
+      break;
+    }
+    case Op::kAggregate: {
+      out = pad + "Aggregate[by: ";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i) out += ", ";
+        out += group_by[i];
+      }
+      out += "; ";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i) out += ", ";
+        out += AggregateFnToString(aggregates[i].fn);
+        out += "(" + (aggregates[i].column.empty() ? std::string("*")
+                                                   : aggregates[i].column) +
+               ")";
+      }
+      out += "]\n";
+      break;
+    }
+    case Op::kOrderBy: {
+      out = pad + "OrderBy[";
+      for (size_t i = 0; i < order_keys.size(); ++i) {
+        if (i) out += ", ";
+        out += order_keys[i].column + (order_keys[i].descending ? " DESC" : "");
+      }
+      out += "]\n";
+      break;
+    }
+    case Op::kLimit:
+      out = pad + "Limit[" + std::to_string(limit) + "]\n";
+      break;
+  }
+  for (const auto& child : children) out += child->ToString(indent + 1);
+  return out;
+}
+
+std::vector<const AlgebraNode*> AlgebraNode::Leaves() const {
+  std::vector<const AlgebraNode*> out;
+  if (op == Op::kScan) {
+    out.push_back(this);
+    return out;
+  }
+  for (const auto& child : children) {
+    for (const AlgebraNode* leaf : child->Leaves()) out.push_back(leaf);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<AlgebraNode>> Sql2Algebra(const ParsedQuery& query) {
+  auto scan = [](const ParsedQuery::TableRef& ref) {
+    auto node = std::make_unique<AlgebraNode>();
+    node->op = AlgebraNode::Op::kScan;
+    node->table = ref.name;
+    node->alias = ref.alias;
+    node->partial_query = "select * from " + ref.name;
+    return node;
+  };
+
+  std::unique_ptr<AlgebraNode> root = scan(query.from);
+  for (const ParsedQuery::JoinClause& j : query.joins) {
+    auto join = std::make_unique<AlgebraNode>();
+    join->op = AlgebraNode::Op::kJoin;
+    if (!j.natural) join->join_pairs = j.on_pairs;
+    join->children.push_back(std::move(root));
+    join->children.push_back(scan(j.table));
+    root = std::move(join);
+  }
+  if (query.where && query.where->kind() != Predicate::Kind::kTrue) {
+    auto select = std::make_unique<AlgebraNode>();
+    select->op = AlgebraNode::Op::kSelect;
+    select->predicate = query.where;
+    select->children.push_back(std::move(root));
+    root = std::move(select);
+  }
+  if (query.HasAggregates() || !query.group_by.empty()) {
+    // Standard SQL: every plain select column must be grouped.
+    for (const std::string& col : query.select_columns) {
+      bool grouped = false;
+      for (const std::string& g : query.group_by) grouped |= g == col;
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column " + col + " must appear in GROUP BY or an aggregate");
+      }
+    }
+    auto agg = std::make_unique<AlgebraNode>();
+    agg->op = AlgebraNode::Op::kAggregate;
+    agg->group_by = query.group_by;
+    agg->aggregates = query.aggregates;
+    agg->children.push_back(std::move(root));
+    root = std::move(agg);
+  } else if (!query.select_columns.empty()) {
+    auto project = std::make_unique<AlgebraNode>();
+    project->op = AlgebraNode::Op::kProject;
+    project->columns = query.select_columns;
+    project->children.push_back(std::move(root));
+    root = std::move(project);
+  }
+  if (!query.order_by.empty()) {
+    auto order = std::make_unique<AlgebraNode>();
+    order->op = AlgebraNode::Op::kOrderBy;
+    order->order_keys = query.order_by;
+    order->children.push_back(std::move(root));
+    root = std::move(order);
+  }
+  if (query.limit != SIZE_MAX) {
+    auto lim = std::make_unique<AlgebraNode>();
+    lim->op = AlgebraNode::Op::kLimit;
+    lim->limit = query.limit;
+    lim->children.push_back(std::move(root));
+    root = std::move(lim);
+  }
+  return root;
+}
+
+Result<std::unique_ptr<AlgebraNode>> Sql2Algebra(const std::string& sql) {
+  SECMED_ASSIGN_OR_RETURN(ParsedQuery q, ParseSql(sql));
+  return Sql2Algebra(q);
+}
+
+Result<Relation> ExecuteAlgebra(const AlgebraNode& node,
+                                const Catalog& catalog) {
+  switch (node.op) {
+    case AlgebraNode::Op::kScan: {
+      auto it = catalog.find(node.table);
+      if (it == catalog.end()) {
+        return Status::NotFound("no relation named " + node.table);
+      }
+      return Qualify(it->second, node.alias);
+    }
+    case AlgebraNode::Op::kSelect: {
+      SECMED_ASSIGN_OR_RETURN(Relation in,
+                              ExecuteAlgebra(*node.children[0], catalog));
+      return Select(in, node.predicate);
+    }
+    case AlgebraNode::Op::kProject: {
+      SECMED_ASSIGN_OR_RETURN(Relation in,
+                              ExecuteAlgebra(*node.children[0], catalog));
+      return Project(in, node.columns);
+    }
+    case AlgebraNode::Op::kJoin: {
+      SECMED_ASSIGN_OR_RETURN(Relation left,
+                              ExecuteAlgebra(*node.children[0], catalog));
+      SECMED_ASSIGN_OR_RETURN(Relation right,
+                              ExecuteAlgebra(*node.children[1], catalog));
+      if (node.join_pairs.empty()) return NaturalJoin(left, right);
+      std::vector<std::string> left_cols, right_cols;
+      for (const auto& [l, r] : node.join_pairs) {
+        left_cols.push_back(l);
+        right_cols.push_back(r);
+      }
+      return EquiJoinMulti(left, left_cols, right, right_cols);
+    }
+    case AlgebraNode::Op::kAggregate: {
+      SECMED_ASSIGN_OR_RETURN(Relation in,
+                              ExecuteAlgebra(*node.children[0], catalog));
+      return Aggregate(in, node.group_by, node.aggregates);
+    }
+    case AlgebraNode::Op::kOrderBy: {
+      SECMED_ASSIGN_OR_RETURN(Relation in,
+                              ExecuteAlgebra(*node.children[0], catalog));
+      return OrderBy(in, node.order_keys);
+    }
+    case AlgebraNode::Op::kLimit: {
+      SECMED_ASSIGN_OR_RETURN(Relation in,
+                              ExecuteAlgebra(*node.children[0], catalog));
+      return Limit(in, node.limit);
+    }
+  }
+  return Status::Internal("bad algebra node");
+}
+
+Result<Relation> ExecuteSql(const std::string& sql, const Catalog& catalog) {
+  SECMED_ASSIGN_OR_RETURN(auto tree, Sql2Algebra(sql));
+  return ExecuteAlgebra(*tree, catalog);
+}
+
+}  // namespace secmed

@@ -1,0 +1,128 @@
+#ifndef SECMED_RELATIONAL_SQL_H_
+#define SECMED_RELATIONAL_SQL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/algebra.h"
+#include "relational/predicate.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// Parsed representation of the SQL subset understood by the mediator:
+///
+///   SELECT (* | item [, item ...])        item: col | fn(col|*) [AS name]
+///   FROM table [AS alias]
+///   [ (JOIN table [AS alias] ON col = col [AND col = col]...)
+///     | (NATURAL JOIN table) ]...
+///   [ WHERE predicate ]
+///   [ GROUP BY col [, col ...] ]
+///   [ ORDER BY col [ASC|DESC] [, ...] ]
+///   [ LIMIT n ]
+///
+/// Aggregate functions: COUNT, SUM, MIN, MAX, AVG. Predicates are
+/// comparisons of columns and literals combined with AND, OR, NOT and
+/// parentheses. String literals use single quotes.
+struct ParsedQuery {
+  struct TableRef {
+    std::string name;
+    std::string alias;  // equals name when no alias given
+
+    bool operator==(const TableRef& other) const {
+      return name == other.name && alias == other.alias;
+    }
+  };
+  struct JoinClause {
+    TableRef table;
+    bool natural = false;
+    /// Equality pairs of the ON clause (col = col AND col = col ...);
+    /// empty when natural.
+    std::vector<std::pair<std::string, std::string>> on_pairs;
+  };
+
+  std::vector<std::string> select_columns;  // plain columns; empty with no
+                                            // aggregates means SELECT *
+  std::vector<AggregateSpec> aggregates;    // aggregate select items
+  TableRef from;
+  std::vector<JoinClause> joins;
+  PredicatePtr where;  // never null; Predicate::True() when absent
+  std::vector<std::string> group_by;
+  std::vector<OrderKey> order_by;
+  size_t limit = SIZE_MAX;  // SIZE_MAX when absent
+
+  bool HasAggregates() const { return !aggregates.empty(); }
+
+  std::string ToString() const;
+};
+
+/// Parses the SQL subset above. Errors report position and token.
+Result<ParsedQuery> ParseSql(const std::string& sql);
+
+/// A node of the mediator's algebra tree — the output of the paper's
+/// "SQL2Algebra" library: relational operators in inner nodes, partial
+/// queries at the leaves (Section 2).
+struct AlgebraNode {
+  enum class Op { kScan, kSelect, kProject, kJoin, kAggregate, kOrderBy,
+                  kLimit };
+
+  Op op = Op::kScan;
+
+  // kScan leaves:
+  std::string table;          // global table name
+  std::string alias;          // qualifier for columns
+  std::string partial_query;  // "select * from <table>" sent to the source
+
+  // kSelect:
+  PredicatePtr predicate;
+
+  // kProject:
+  std::vector<std::string> columns;
+
+  // kJoin (binary; natural when the pair list is empty):
+  std::vector<std::pair<std::string, std::string>> join_pairs;
+
+  // kAggregate:
+  std::vector<std::string> group_by;
+  std::vector<AggregateSpec> aggregates;
+
+  // kOrderBy:
+  std::vector<OrderKey> order_keys;
+
+  // kLimit:
+  size_t limit = 0;
+
+  std::vector<std::unique_ptr<AlgebraNode>> children;
+
+  /// Pretty-prints the tree with indentation.
+  std::string ToString(int indent = 0) const;
+
+  /// All scan leaves in left-to-right order.
+  std::vector<const AlgebraNode*> Leaves() const;
+};
+
+/// Translates a parsed query into an algebra tree: scans at the leaves,
+/// joins above them, then selection, then projection.
+Result<std::unique_ptr<AlgebraNode>> Sql2Algebra(const ParsedQuery& query);
+
+/// Convenience: parse + translate.
+Result<std::unique_ptr<AlgebraNode>> Sql2Algebra(const std::string& sql);
+
+/// Name → relation catalog used by the reference executor.
+using Catalog = std::map<std::string, Relation>;
+
+/// Executes an algebra tree against plaintext relations. This is the
+/// trusted-mediator reference semantics the encrypted protocols are tested
+/// against.
+Result<Relation> ExecuteAlgebra(const AlgebraNode& node, const Catalog& catalog);
+
+/// Parses and executes a SQL string against the catalog.
+Result<Relation> ExecuteSql(const std::string& sql, const Catalog& catalog);
+
+}  // namespace secmed
+
+#endif  // SECMED_RELATIONAL_SQL_H_

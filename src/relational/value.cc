@@ -1,0 +1,95 @@
+#include "relational/value.h"
+
+namespace secmed {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt64: return "INT64";
+    case ValueType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+ValueType Value::type() const {
+  if (std::holds_alternative<std::monostate>(repr_)) return ValueType::kNull;
+  if (std::holds_alternative<int64_t>(repr_)) return ValueType::kInt64;
+  return ValueType::kString;
+}
+
+int Value::Compare(const Value& other) const {
+  ValueType a = type(), b = other.type();
+  if (a != b) return static_cast<int>(a) < static_cast<int>(b) ? -1 : 1;
+  switch (a) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64: {
+      int64_t x = as_int(), y = other.as_int();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kString: {
+      int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt64: return std::to_string(as_int());
+    case ValueType::kString: return "'" + as_string() + "'";
+  }
+  return "?";
+}
+
+void Value::EncodeTo(BinaryWriter* w) const {
+  w->WriteU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      w->WriteI64(as_int());
+      break;
+    case ValueType::kString:
+      w->WriteString(as_string());
+      break;
+  }
+}
+
+Bytes Value::Encode() const {
+  BinaryWriter w;
+  EncodeTo(&w);
+  return w.TakeBuffer();
+}
+
+Result<Value> Value::DecodeFrom(BinaryReader* r) {
+  SECMED_ASSIGN_OR_RETURN(uint8_t tag, r->ReadU8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64: {
+      SECMED_ASSIGN_OR_RETURN(int64_t v, r->ReadI64());
+      return Value::Int(v);
+    }
+    case ValueType::kString: {
+      SECMED_ASSIGN_OR_RETURN(std::string s, r->ReadString());
+      return Value::Str(std::move(s));
+    }
+  }
+  return Status::ParseError("unknown value type tag " + std::to_string(tag));
+}
+
+size_t Value::Hash() const {
+  // FNV-1a over the canonical encoding.
+  Bytes enc = Encode();
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : enc) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace secmed

@@ -1,0 +1,75 @@
+#ifndef SECMED_RELATIONAL_VALUE_H_
+#define SECMED_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/serialize.h"
+
+namespace secmed {
+
+/// Type tag of a relational value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kString = 2,
+};
+
+const char* ValueTypeToString(ValueType t);
+
+/// A single typed cell of a tuple: NULL, 64-bit integer or string.
+///
+/// Values have a total order (NULL < all integers < all strings; integers
+/// by numeric order, strings lexicographically) so relations can be sorted
+/// canonically and domains can be partitioned into ranges.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Underlying integer; must hold kInt64.
+  int64_t as_int() const { return std::get<int64_t>(repr_); }
+  /// Underlying string; must hold kString.
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+
+  /// Three-way total order across types.
+  int Compare(const Value& other) const;
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Human-readable rendering ("NULL", "42", "'abc'").
+  std::string ToString() const;
+
+  /// Canonical byte encoding, injective across types and values. Used as
+  /// hash-function input for join values and for wire serialization.
+  Bytes Encode() const;
+  void EncodeTo(BinaryWriter* w) const;
+  static Result<Value> DecodeFrom(BinaryReader* r);
+
+  /// 64-bit hash for hash-join buckets (not cryptographic).
+  size_t Hash() const;
+
+ private:
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, std::string> repr_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_RELATIONAL_VALUE_H_

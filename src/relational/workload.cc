@@ -1,0 +1,119 @@
+#include "relational/workload.h"
+
+#include <cmath>
+#include <vector>
+
+namespace secmed {
+
+namespace {
+// Draws an index in [0, n) with probability proportional to 1/(i+1)^skew.
+size_t DrawSkewed(Xoshiro256* rng, size_t n, double skew,
+                  const std::vector<double>& cdf) {
+  if (skew == 0.0 || n <= 1) return rng->NextBelow(n);
+  double u = rng->NextDouble();
+  // Binary search in the precomputed CDF.
+  size_t lo = 0, hi = n - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<double> BuildCdf(size_t n, double skew) {
+  std::vector<double> cdf(n);
+  if (skew == 0.0) return cdf;
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf[i] = total;
+  }
+  for (size_t i = 0; i < n; ++i) cdf[i] /= total;
+  return cdf;
+}
+
+std::string RandomPayload(Xoshiro256* rng, size_t len) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng->NextBelow(sizeof(kAlphabet) - 1)]);
+  }
+  return s;
+}
+
+Relation GenerateSide(Xoshiro256* rng, const std::string& join_attr,
+                      const std::string& prefix, size_t tuples, size_t domain,
+                      int64_t domain_offset, size_t common, size_t extra_cols,
+                      size_t payload_len, double skew, size_t secondary_domain,
+                      bool string_join) {
+  std::vector<Column> cols;
+  cols.push_back(
+      {join_attr, string_join ? ValueType::kString : ValueType::kInt64});
+  if (secondary_domain > 0) {
+    cols.push_back({"bjoin", ValueType::kInt64});
+  }
+  for (size_t i = 0; i < extra_cols; ++i) {
+    cols.push_back({prefix + "_c" + std::to_string(i), ValueType::kString});
+  }
+  Relation rel{Schema(std::move(cols))};
+
+  // Domain values: [0, common) shared, then disjoint tail at domain_offset.
+  std::vector<int64_t> domain_values;
+  domain_values.reserve(domain);
+  for (size_t i = 0; i < domain; ++i) {
+    if (i < common) {
+      domain_values.push_back(static_cast<int64_t>(i));
+    } else {
+      domain_values.push_back(domain_offset + static_cast<int64_t>(i));
+    }
+  }
+  const std::vector<double> cdf = BuildCdf(domain, skew);
+
+  // Guarantee every domain value appears at least once (so the active
+  // domain size is exactly `domain`), then fill the rest randomly.
+  for (size_t i = 0; i < tuples; ++i) {
+    int64_t jv = i < domain
+                     ? domain_values[i]
+                     : domain_values[DrawSkewed(rng, domain, skew, cdf)];
+    Tuple t;
+    t.push_back(string_join ? Value::Str("v" + std::to_string(jv))
+                            : Value::Int(jv));
+    if (secondary_domain > 0) {
+      t.push_back(Value::Int(
+          static_cast<int64_t>(rng->NextBelow(secondary_domain))));
+    }
+    for (size_t c = 0; c < extra_cols; ++c) {
+      t.push_back(Value::Str(RandomPayload(rng, payload_len)));
+    }
+    rel.AppendUnchecked(std::move(t));
+  }
+  return rel;
+}
+}  // namespace
+
+Workload GenerateWorkload(const WorkloadConfig& config) {
+  Xoshiro256 rng(config.seed);
+  Workload w;
+  w.join_attribute = "ajoin";
+  w.join_attributes = {"ajoin"};
+  if (config.secondary_join_domain > 0) w.join_attributes.push_back("bjoin");
+  // Offsets keep the non-common parts of the two domains disjoint.
+  w.r1 = GenerateSide(&rng, w.join_attribute, "r1", config.r1_tuples,
+                      config.r1_domain, 1000000, config.common_values,
+                      config.r1_extra_columns, config.payload_length,
+                      config.skew, config.secondary_join_domain,
+                      config.string_join_values);
+  w.r2 = GenerateSide(&rng, w.join_attribute, "r2", config.r2_tuples,
+                      config.r2_domain, 2000000, config.common_values,
+                      config.r2_extra_columns, config.payload_length,
+                      config.skew, config.secondary_join_domain,
+                      config.string_join_values);
+  return w;
+}
+
+}  // namespace secmed

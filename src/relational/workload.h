@@ -1,0 +1,65 @@
+#ifndef SECMED_RELATIONAL_WORKLOAD_H_
+#define SECMED_RELATIONAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/relation.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// Parameters of a synthetic two-relation join workload.
+///
+/// The protocols' costs depend on |R1|, |R2|, the active-domain sizes of
+/// the join attribute, the overlap between the two active domains (which
+/// drives join selectivity) and the tuple width — exactly the knobs
+/// exposed here. Benchmarks sweep these to regenerate the paper's
+/// Section 6 comparisons.
+struct WorkloadConfig {
+  /// Tuples in each source relation.
+  size_t r1_tuples = 100;
+  size_t r2_tuples = 100;
+  /// Distinct join-attribute values per relation (active domain size).
+  size_t r1_domain = 50;
+  size_t r2_domain = 50;
+  /// Number of join values common to both active domains.
+  size_t common_values = 25;
+  /// Non-join payload columns per relation.
+  size_t r1_extra_columns = 2;
+  size_t r2_extra_columns = 2;
+  /// Approximate length of generated string payload values.
+  size_t payload_length = 12;
+  /// Zipf-like skew exponent for value frequencies; 0 = uniform.
+  double skew = 0.0;
+  /// When > 0, both relations get a second join attribute "bjoin" with
+  /// values uniform in [0, secondary_join_domain) — used to exercise the
+  /// multi-attribute join extension (paper Section 8).
+  size_t secondary_join_domain = 0;
+  /// When true the join attribute is a STRING column ("v<number>") instead
+  /// of an integer — exercises string join values through the protocols.
+  bool string_join_values = false;
+  /// Seed for reproducibility.
+  uint64_t seed = 42;
+};
+
+/// A generated workload: two relations sharing the join attribute name.
+struct Workload {
+  Relation r1;
+  Relation r2;
+  /// Name of the primary join attribute Ajoin common to both schemas.
+  std::string join_attribute;
+  /// All join attributes ("ajoin", plus "bjoin" when a secondary domain
+  /// was configured).
+  std::vector<std::string> join_attributes;
+};
+
+/// Generates a workload. Join values are integers; payload columns are
+/// strings. The first `common_values` domain values are shared between
+/// R1 and R2, the remainder are disjoint, so the expected number of
+/// matching distinct values is exactly `common_values`.
+Workload GenerateWorkload(const WorkloadConfig& config);
+
+}  // namespace secmed
+
+#endif  // SECMED_RELATIONAL_WORKLOAD_H_

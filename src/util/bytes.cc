@@ -1,0 +1,77 @@
+#include "util/bytes.h"
+
+#include <cctype>
+
+namespace secmed {
+
+Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string BytesToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+void Append(Bytes* dst, const Bytes& suffix) {
+  dst->insert(dst->end(), suffix.begin(), suffix.end());
+}
+
+Bytes Concat(const Bytes& a, const Bytes& b) {
+  Bytes out = a;
+  Append(&out, b);
+  return out;
+}
+
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) return false;
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+void XorInPlace(Bytes* dst, const Bytes& src) {
+  const size_t n = dst->size() < src.size() ? dst->size() : src.size();
+  for (size_t i = 0; i < n; ++i) (*dst)[i] ^= src[i];
+}
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(const Bytes& b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (uint8_t byte : b) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0xF]);
+  }
+  return out;
+}
+
+bool IsValidHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return false;
+  for (char c : hex) {
+    if (HexNibble(c) < 0) return false;
+  }
+  return true;
+}
+
+Bytes HexDecode(std::string_view hex) {
+  if (!IsValidHex(hex)) return Bytes();
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>((HexNibble(hex[i]) << 4) |
+                                       HexNibble(hex[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace secmed

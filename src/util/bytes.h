@@ -1,0 +1,45 @@
+#ifndef SECMED_UTIL_BYTES_H_
+#define SECMED_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace secmed {
+
+/// Raw byte string used for ciphertexts, serialized messages and keys.
+using Bytes = std::vector<uint8_t>;
+
+/// Converts a std::string to Bytes (byte-for-byte).
+Bytes ToBytes(std::string_view s);
+
+/// Converts Bytes to a std::string (byte-for-byte; may contain NULs).
+std::string BytesToString(const Bytes& b);
+
+/// Appends `suffix` to `dst`.
+void Append(Bytes* dst, const Bytes& suffix);
+
+/// Concatenates two byte strings.
+Bytes Concat(const Bytes& a, const Bytes& b);
+
+/// Compares two byte strings in time dependent only on their lengths.
+/// Returns true iff they are equal. Used for MAC verification.
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
+
+/// XORs `src` into `dst` elementwise; both must have the same size.
+void XorInPlace(Bytes* dst, const Bytes& src);
+
+/// Encodes bytes as lowercase hex.
+std::string HexEncode(const Bytes& b);
+
+/// Decodes lowercase/uppercase hex; returns empty on malformed input of
+/// odd length or non-hex characters (use HexDecodeStrict for checking).
+Bytes HexDecode(std::string_view hex);
+
+/// True iff `hex` is well-formed (even length, hex digits only).
+bool IsValidHex(std::string_view hex);
+
+}  // namespace secmed
+
+#endif  // SECMED_UTIL_BYTES_H_

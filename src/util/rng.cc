@@ -1,0 +1,78 @@
+#include "util/rng.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace secmed {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Xoshiro256::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256::NextBelow(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Xoshiro256::NextInRange(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Xoshiro256::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+Bytes Xoshiro256::NextBytes(size_t n) {
+  Bytes out(n);
+  size_t i = 0;
+  while (i < n) {
+    uint64_t r = NextU64();
+    for (int k = 0; k < 8 && i < n; ++k, ++i) {
+      out[i] = static_cast<uint8_t>(r >> (8 * k));
+    }
+  }
+  return out;
+}
+
+Bytes OsRandomBytes(size_t n) {
+  Bytes out(n);
+  FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr || std::fread(out.data(), 1, n, f) != n) {
+    std::fprintf(stderr, "secmed: cannot read /dev/urandom\n");
+    std::abort();
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace secmed

@@ -1,0 +1,68 @@
+#ifndef SECMED_UTIL_RNG_H_
+#define SECMED_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace secmed {
+
+/// Fast non-cryptographic PRNG (xoshiro256**) for workload generation and
+/// reproducible test data. NOT for key material — see crypto/drbg.h.
+class Xoshiro256 {
+ public:
+  /// Seeds the generator deterministically from a 64-bit seed via SplitMix64.
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t NextU64();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fills `n` pseudorandom bytes.
+  Bytes NextBytes(size_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Reads `n` bytes from the operating system entropy source (/dev/urandom).
+/// Aborts the process if the entropy source is unavailable, since no secure
+/// operation can proceed without it.
+Bytes OsRandomBytes(size_t n);
+
+/// Abstract source of random bytes. Key generation and protocol nonces are
+/// parameterized on this interface so tests can inject deterministic
+/// randomness while production code uses a DRBG over OS entropy.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  /// Returns `n` random bytes.
+  virtual Bytes Generate(size_t n) = 0;
+};
+
+/// RandomSource view over a Xoshiro256 generator (deterministic; tests only).
+class XoshiroRandomSource : public RandomSource {
+ public:
+  explicit XoshiroRandomSource(uint64_t seed) : rng_(seed) {}
+  Bytes Generate(size_t n) override { return rng_.NextBytes(n); }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// RandomSource reading directly from the OS entropy pool.
+class OsRandomSource : public RandomSource {
+ public:
+  Bytes Generate(size_t n) override { return OsRandomBytes(n); }
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_UTIL_RNG_H_

@@ -1,0 +1,95 @@
+#include "util/serialize.h"
+
+namespace secmed {
+
+void BinaryWriter::WriteU8(uint8_t v) { buffer_.push_back(v); }
+
+void BinaryWriter::WriteU16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+
+void BinaryWriter::WriteBytes(const Bytes& b) {
+  WriteU32(static_cast<uint32_t>(b.size()));
+  WriteRaw(b);
+}
+
+void BinaryWriter::WriteString(std::string_view s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::WriteRaw(const Bytes& b) {
+  buffer_.insert(buffer_.end(), b.begin(), b.end());
+}
+
+Status BinaryReader::Need(size_t n) const {
+  if (buffer_.size() - pos_ < n) {
+    return Status::DataLoss("truncated buffer: need " + std::to_string(n) +
+                            " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  SECMED_RETURN_IF_ERROR(Need(1));
+  return buffer_[pos_++];
+}
+
+Result<uint16_t> BinaryReader::ReadU16() {
+  SECMED_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(buffer_[pos_]) |
+               static_cast<uint16_t>(buffer_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  SECMED_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buffer_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  SECMED_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buffer_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  SECMED_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<Bytes> BinaryReader::ReadBytes() {
+  SECMED_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+  return ReadRaw(n);
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  SECMED_ASSIGN_OR_RETURN(Bytes b, ReadBytes());
+  return BytesToString(b);
+}
+
+Result<Bytes> BinaryReader::ReadRaw(size_t n) {
+  SECMED_RETURN_IF_ERROR(Need(n));
+  Bytes out(buffer_.begin() + pos_, buffer_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace secmed

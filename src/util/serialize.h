@@ -1,0 +1,76 @@
+#ifndef SECMED_UTIL_SERIALIZE_H_
+#define SECMED_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace secmed {
+
+/// Appends primitive values to a byte buffer in a fixed little-endian
+/// wire format. All variable-length fields are length-prefixed with u32.
+///
+/// The wire format is used for every message that crosses a party
+/// boundary in the mediation system, so byte accounting on the network
+/// bus reflects realistic message sizes.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU8(uint8_t v);
+  void WriteU16(uint16_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  /// Writes a length-prefixed byte string.
+  void WriteBytes(const Bytes& b);
+  /// Writes a length-prefixed UTF-8 string.
+  void WriteString(std::string_view s);
+  /// Writes raw bytes with no length prefix.
+  void WriteRaw(const Bytes& b);
+
+  const Bytes& buffer() const { return buffer_; }
+  Bytes TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Reads primitive values back from a byte buffer written by BinaryWriter.
+/// Every read is bounds-checked and reports kDataLoss on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const Bytes& buffer) : buffer_(buffer) {}
+  // The reader only borrows the buffer; reading from a temporary would
+  // dangle.
+  explicit BinaryReader(Bytes&&) = delete;
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<Bytes> ReadBytes();
+  Result<std::string> ReadString();
+  /// Reads exactly `n` raw bytes.
+  Result<Bytes> ReadRaw(size_t n);
+
+  /// Number of bytes not yet consumed.
+  size_t remaining() const { return buffer_.size() - pos_; }
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+
+ private:
+  Status Need(size_t n) const;
+
+  const Bytes& buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_UTIL_SERIALIZE_H_

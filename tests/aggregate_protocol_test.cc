@@ -1,0 +1,172 @@
+// Tests of mediated aggregation over ciphertexts (COUNT/SUM of the join
+// result with aggregate-only disclosure).
+
+#include "core/aggregate_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "core/leakage.h"
+#include "core/testbed.h"
+#include "relational/algebra.h"
+
+namespace secmed {
+namespace {
+
+Workload AggWorkload(uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 30;
+  cfg.r2_tuples = 25;
+  cfg.r1_domain = 10;
+  cfg.r2_domain = 8;
+  cfg.common_values = 5;
+  cfg.seed = seed;
+  return GenerateWorkload(cfg);
+}
+
+// Adds an integer "cost" column to r2 (deterministic values incl. negatives).
+Workload WithCostColumn(Workload w) {
+  std::vector<Column> cols = w.r2.schema().columns();
+  cols.push_back({"cost", ValueType::kInt64});
+  Relation r2{Schema(std::move(cols))};
+  int64_t v = -5;
+  for (const Tuple& t : w.r2.tuples()) {
+    Tuple nt = t;
+    nt.push_back(Value::Int(v));
+    v += 7;
+    r2.AppendUnchecked(std::move(nt));
+  }
+  w.r2 = std::move(r2);
+  return w;
+}
+
+int64_t OracleCount(const Workload& w) {
+  return static_cast<int64_t>(
+      NaturalJoin(Qualify(w.r1, "medical"), Qualify(w.r2, "billing"))
+          .value()
+          .size());
+}
+
+int64_t OracleSum(const Workload& w, const std::string& col) {
+  Relation joined =
+      NaturalJoin(Qualify(w.r1, "medical"), Qualify(w.r2, "billing")).value();
+  size_t idx = joined.schema().IndexOf(col).value();
+  int64_t total = 0;
+  for (const Tuple& t : joined.tuples()) {
+    if (!t[idx].is_null()) total += t[idx].as_int();
+  }
+  return total;
+}
+
+TEST(AggregateJoinProtocolTest, CountMatchesJoinSize) {
+  Workload w = AggWorkload(61);
+  MediationTestbed tb(w);
+  AggregateJoinProtocol protocol(256);
+  int64_t count =
+      protocol.Run(tb.JoinSql(), {AggregateFn::kCount, ""}, tb.ctx()).value();
+  EXPECT_EQ(count, OracleCount(w));
+  EXPECT_GT(count, 0);
+}
+
+TEST(AggregateJoinProtocolTest, SumMatchesJoinSum) {
+  Workload w = WithCostColumn(AggWorkload(62));
+  MediationTestbed tb(w);
+  AggregateJoinProtocol protocol(256);
+  int64_t sum =
+      protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "cost"}, tb.ctx())
+          .value();
+  EXPECT_EQ(sum, OracleSum(w, "cost"));
+}
+
+TEST(AggregateJoinProtocolTest, NegativeSums) {
+  Workload w = WithCostColumn(AggWorkload(63));
+  // Make every cost negative.
+  Relation r2(w.r2.schema());
+  size_t idx = w.r2.schema().IndexOf("cost").value();
+  for (Tuple t : w.r2.tuples()) {
+    t[idx] = Value::Int(-100 - t[idx].as_int());
+    r2.AppendUnchecked(std::move(t));
+  }
+  w.r2 = std::move(r2);
+  MediationTestbed tb(w);
+  AggregateJoinProtocol protocol(256);
+  int64_t sum =
+      protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "cost"}, tb.ctx())
+          .value();
+  EXPECT_EQ(sum, OracleSum(w, "cost"));
+  EXPECT_LT(sum, 0);
+}
+
+TEST(AggregateJoinProtocolTest, EmptyIntersectionSumsToZero) {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 8;
+  cfg.r2_tuples = 8;
+  cfg.r1_domain = 4;
+  cfg.r2_domain = 4;
+  cfg.common_values = 0;
+  cfg.seed = 64;
+  Workload w = WithCostColumn(GenerateWorkload(cfg));
+  MediationTestbed tb(w);
+  AggregateJoinProtocol protocol(256);
+  EXPECT_EQ(
+      protocol.Run(tb.JoinSql(), {AggregateFn::kCount, ""}, tb.ctx()).value(),
+      0);
+}
+
+TEST(AggregateJoinProtocolTest, MediatorSeesNoPlaintextOrAggregates) {
+  Workload w = WithCostColumn(AggWorkload(65));
+  MediationTestbed tb(w);
+  AggregateJoinProtocol protocol(256);
+  ASSERT_TRUE(
+      protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "cost"}, tb.ctx()).ok());
+  LeakageReport rep = AnalyzeLeakage(
+      "aggregate", tb.bus(), tb.mediator().name(), tb.client().name(), w.r1,
+      w.r2, w.join_attribute, 0);
+  EXPECT_FALSE(rep.mediator_saw_plaintext);
+}
+
+TEST(AggregateJoinProtocolTest, ClientTrafficIsAggregateOnly) {
+  // The client must receive far fewer bytes than a full join delivers:
+  // only Paillier ciphertexts of per-value aggregates.
+  Workload w = WithCostColumn(AggWorkload(66));
+  MediationTestbed tb(w);
+  AggregateJoinProtocol protocol(256);
+  ASSERT_TRUE(
+      protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "cost"}, tb.ctx()).ok());
+  size_t agg_bytes = tb.bus().StatsOf(tb.client().name()).bytes_received;
+
+  // No payload strings of either relation reach the client.
+  Bytes view = tb.bus().ViewOf(tb.client().name());
+  std::vector<Bytes> probes = SensitiveProbes(w.r1, w.r2, w.join_attribute);
+  EXPECT_TRUE(ScanViewForProbes(view, probes).empty());
+  EXPECT_GT(agg_bytes, 0u);
+}
+
+TEST(AggregateJoinProtocolTest, RejectsBadSpecs) {
+  Workload w = AggWorkload(67);
+  MediationTestbed tb(w);
+  AggregateJoinProtocol protocol(256);
+  // Unknown column.
+  EXPECT_FALSE(
+      protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "nope"}, tb.ctx()).ok());
+  // Ambiguous column (join attribute exists in both).
+  EXPECT_FALSE(
+      protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "ajoin"}, tb.ctx()).ok());
+  // Non-integer column.
+  EXPECT_FALSE(
+      protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "r1_c0"}, tb.ctx()).ok());
+  // Unsupported function.
+  EXPECT_FALSE(
+      protocol.Run(tb.JoinSql(), {AggregateFn::kMin, "cost"}, tb.ctx()).ok());
+}
+
+TEST(AggregateJoinProtocolTest, IntersectionSizeObserved) {
+  Workload w = AggWorkload(68);
+  MediationTestbed tb(w);
+  AggregateJoinProtocol protocol(256);
+  ASSERT_TRUE(
+      protocol.Run(tb.JoinSql(), {AggregateFn::kCount, ""}, tb.ctx()).ok());
+  EXPECT_EQ(protocol.last_intersection_size(), 5u);
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,296 @@
+#include "bigint/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace secmed {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.ToDecimal(), "0");
+  EXPECT_EQ(z.BitLength(), 0u);
+}
+
+TEST(BigIntTest, ConstructFromInt64) {
+  EXPECT_EQ(BigInt(int64_t{0}).ToDecimal(), "0");
+  EXPECT_EQ(BigInt(int64_t{42}).ToDecimal(), "42");
+  EXPECT_EQ(BigInt(int64_t{-42}).ToDecimal(), "-42");
+  EXPECT_EQ(BigInt(INT64_MIN).ToDecimal(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).ToDecimal(), "9223372036854775807");
+  EXPECT_EQ(BigInt(UINT64_MAX).ToDecimal(), "18446744073709551615");
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  const char* cases[] = {
+      "0", "1", "-1", "4294967295", "4294967296", "18446744073709551616",
+      "123456789012345678901234567890123456789012345678901234567890",
+      "-99999999999999999999999999999999999999"};
+  for (const char* s : cases) {
+    auto v = BigInt::FromDecimal(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v->ToDecimal(), s);
+  }
+}
+
+TEST(BigIntTest, DecimalParseErrors) {
+  EXPECT_FALSE(BigInt::FromDecimal("").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("-").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("12a3").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("0x12").ok());
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  const char* cases[] = {"0", "1", "ff", "deadbeef",
+                         "123456789abcdef0123456789abcdef",
+                         "-fedcba9876543210"};
+  for (const char* s : cases) {
+    auto v = BigInt::FromHex(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v->ToHex(), s);
+  }
+}
+
+TEST(BigIntTest, HexDecimalAgree) {
+  auto h = BigInt::FromHex("100000000");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->ToDecimal(), "4294967296");
+  auto d = BigInt::FromDecimal("255");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToHex(), "ff");
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Bytes be = {0x01, 0x02, 0x03, 0x04, 0x05};
+  BigInt v = BigInt::FromBytes(be);
+  EXPECT_EQ(v.ToHex(), "102030405");
+  EXPECT_EQ(v.ToBytes(), be);
+  EXPECT_EQ(v.ToBytes(8), (Bytes{0, 0, 0, 0x01, 0x02, 0x03, 0x04, 0x05}));
+}
+
+TEST(BigIntTest, BytesLeadingZerosDropped) {
+  Bytes be = {0x00, 0x00, 0x7f};
+  BigInt v = BigInt::FromBytes(be);
+  EXPECT_EQ(v.ToDecimal(), "127");
+  EXPECT_EQ(v.ToBytes(), Bytes{0x7f});
+}
+
+TEST(BigIntTest, Comparisons) {
+  BigInt a(5), b(7), c(-5);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LT(c, a);
+  EXPECT_EQ(a, BigInt(5));
+  EXPECT_NE(a, c);
+  EXPECT_LE(a, a);
+  EXPECT_GE(b, a);
+  EXPECT_LT(BigInt(-7), BigInt(-5));
+}
+
+TEST(BigIntTest, AdditionSmall) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).ToDecimal(), "5");
+  EXPECT_EQ((BigInt(-2) + BigInt(3)).ToDecimal(), "1");
+  EXPECT_EQ((BigInt(2) + BigInt(-3)).ToDecimal(), "-1");
+  EXPECT_EQ((BigInt(-2) + BigInt(-3)).ToDecimal(), "-5");
+  EXPECT_EQ((BigInt(5) + BigInt(-5)).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, AdditionCarryChain) {
+  auto v = BigInt::FromHex("ffffffffffffffffffffffff").value();
+  EXPECT_EQ((v + BigInt(1)).ToHex(), "1000000000000000000000000");
+}
+
+TEST(BigIntTest, SubtractionBorrow) {
+  auto v = BigInt::FromHex("1000000000000000000000000").value();
+  EXPECT_EQ((v - BigInt(1)).ToHex(), "ffffffffffffffffffffffff");
+  EXPECT_EQ((BigInt(3) - BigInt(10)).ToDecimal(), "-7");
+}
+
+TEST(BigIntTest, MultiplySigns) {
+  EXPECT_EQ((BigInt(6) * BigInt(7)).ToDecimal(), "42");
+  EXPECT_EQ((BigInt(-6) * BigInt(7)).ToDecimal(), "-42");
+  EXPECT_EQ((BigInt(-6) * BigInt(-7)).ToDecimal(), "42");
+  EXPECT_EQ((BigInt(0) * BigInt(-7)).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, MultiplyLarge) {
+  // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+  auto v = BigInt::FromHex("ffffffffffffffffffffffffffffffff").value();
+  EXPECT_EQ((v * v).ToHex(),
+            "fffffffffffffffffffffffffffffffe"
+            "00000000000000000000000000000001");
+}
+
+TEST(BigIntTest, DivModSmall) {
+  auto qr = BigInt::DivMod(BigInt(17), BigInt(5)).value();
+  EXPECT_EQ(qr.first.ToDecimal(), "3");
+  EXPECT_EQ(qr.second.ToDecimal(), "2");
+}
+
+TEST(BigIntTest, DivModTruncatesTowardZero) {
+  auto qr = BigInt::DivMod(BigInt(-17), BigInt(5)).value();
+  EXPECT_EQ(qr.first.ToDecimal(), "-3");
+  EXPECT_EQ(qr.second.ToDecimal(), "-2");
+  qr = BigInt::DivMod(BigInt(17), BigInt(-5)).value();
+  EXPECT_EQ(qr.first.ToDecimal(), "-3");
+  EXPECT_EQ(qr.second.ToDecimal(), "2");
+  qr = BigInt::DivMod(BigInt(-17), BigInt(-5)).value();
+  EXPECT_EQ(qr.first.ToDecimal(), "3");
+  EXPECT_EQ(qr.second.ToDecimal(), "-2");
+}
+
+TEST(BigIntTest, DivByZeroFails) {
+  EXPECT_FALSE(BigInt::DivMod(BigInt(1), BigInt(0)).ok());
+}
+
+TEST(BigIntTest, MathematicalMod) {
+  EXPECT_EQ(BigInt::Mod(BigInt(-17), BigInt(5)).value().ToDecimal(), "3");
+  EXPECT_EQ(BigInt::Mod(BigInt(17), BigInt(5)).value().ToDecimal(), "2");
+  EXPECT_EQ(BigInt::Mod(BigInt(0), BigInt(5)).value().ToDecimal(), "0");
+  EXPECT_FALSE(BigInt::Mod(BigInt(1), BigInt(0)).ok());
+}
+
+TEST(BigIntTest, DivModLargeKnownValue) {
+  // 10^40 / 10^15 = 10^25, remainder 0.
+  auto a = BigInt::FromDecimal("10000000000000000000000000000000000000000").value();
+  auto b = BigInt::FromDecimal("1000000000000000").value();
+  auto qr = BigInt::DivMod(a, b).value();
+  EXPECT_EQ(qr.first.ToDecimal(), "10000000000000000000000000");
+  EXPECT_TRUE(qr.second.is_zero());
+}
+
+TEST(BigIntTest, Shifts) {
+  EXPECT_EQ((BigInt(1) << 100).ToHex(), "10000000000000000000000000");
+  EXPECT_EQ(((BigInt(1) << 100) >> 100).ToDecimal(), "1");
+  EXPECT_EQ((BigInt(0xFF) << 4).ToHex(), "ff0");
+  EXPECT_EQ((BigInt(0xFF0) >> 4).ToHex(), "ff");
+  EXPECT_EQ((BigInt(1) >> 1).ToDecimal(), "0");
+  EXPECT_EQ((BigInt(5) >> 200).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, BitLengthAndTestBit) {
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ((BigInt(1) << 100).BitLength(), 101u);
+  BigInt v(0b1010);
+  EXPECT_FALSE(v.TestBit(0));
+  EXPECT_TRUE(v.TestBit(1));
+  EXPECT_FALSE(v.TestBit(2));
+  EXPECT_TRUE(v.TestBit(3));
+  EXPECT_FALSE(v.TestBit(64));
+}
+
+TEST(BigIntTest, OddEven) {
+  EXPECT_TRUE(BigInt(3).is_odd());
+  EXPECT_TRUE(BigInt(4).is_even());
+  EXPECT_TRUE(BigInt(0).is_even());
+}
+
+TEST(BigIntTest, LowU64) {
+  EXPECT_EQ(BigInt(uint64_t{0xDEADBEEFCAFEBABE}).LowU64(),
+            uint64_t{0xDEADBEEFCAFEBABE});
+  EXPECT_EQ(((BigInt(1) << 100) + BigInt(7)).LowU64(), 7u);
+}
+
+TEST(BigIntTest, NegationAndAbs) {
+  EXPECT_EQ((-BigInt(5)).ToDecimal(), "-5");
+  EXPECT_EQ((-BigInt(-5)).ToDecimal(), "5");
+  EXPECT_EQ((-BigInt(0)).ToDecimal(), "0");
+  EXPECT_EQ(BigInt(-5).Abs().ToDecimal(), "5");
+}
+
+// Property: (a/b)*b + a%b == a on random operands across sizes.
+class BigIntDivModProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BigIntDivModProperty, QuotientRemainderIdentity) {
+  const size_t bits = GetParam();
+  XoshiroRandomSource rng(0xB16B00B5 + bits);
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt a = BigInt::RandomWithBits(bits, &rng);
+    BigInt b = BigInt::RandomWithBits(bits / 2 + 1, &rng);
+    auto qr = BigInt::DivMod(a, b).value();
+    EXPECT_EQ(qr.first * b + qr.second, a);
+    EXPECT_LT(qr.second.CompareMagnitude(b), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BigIntDivModProperty,
+                         ::testing::Values(16, 33, 64, 127, 256, 512, 1024,
+                                           2048));
+
+// Property: Karatsuba result equals schoolbook on random operands — checked
+// indirectly by verifying a*b / b == a for operands above the Karatsuba
+// threshold.
+class BigIntMulProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BigIntMulProperty, MulDivRoundTrip) {
+  const size_t bits = GetParam();
+  XoshiroRandomSource rng(0xC0FFEE + bits);
+  for (int iter = 0; iter < 20; ++iter) {
+    BigInt a = BigInt::RandomWithBits(bits, &rng);
+    BigInt b = BigInt::RandomWithBits(bits, &rng);
+    BigInt p = a * b;
+    EXPECT_EQ(p / b, a);
+    EXPECT_TRUE((p % b).is_zero());
+    EXPECT_EQ(p / a, b);
+  }
+}
+
+TEST_P(BigIntMulProperty, Distributivity) {
+  const size_t bits = GetParam();
+  XoshiroRandomSource rng(0xD157 + bits);
+  for (int iter = 0; iter < 20; ++iter) {
+    BigInt a = BigInt::RandomWithBits(bits, &rng);
+    BigInt b = BigInt::RandomWithBits(bits, &rng);
+    BigInt c = BigInt::RandomWithBits(bits, &rng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BigIntMulProperty,
+                         ::testing::Values(64, 512, 1024, 2048, 4096));
+
+TEST(BigIntTest, RandomBelowIsInRange) {
+  XoshiroRandomSource rng(99);
+  BigInt bound = BigInt::FromDecimal("1000000000000000000000").value();
+  for (int i = 0; i < 200; ++i) {
+    BigInt v = BigInt::RandomBelow(bound, &rng);
+    EXPECT_FALSE(v.is_negative());
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(BigIntTest, RandomWithBitsHasExactBitLength) {
+  XoshiroRandomSource rng(7);
+  for (size_t bits : {8u, 17u, 64u, 100u, 513u}) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(BigInt::RandomWithBits(bits, &rng).BitLength(), bits);
+    }
+  }
+}
+
+TEST(BigIntTest, CompoundAssignment) {
+  BigInt v(10);
+  v += BigInt(5);
+  EXPECT_EQ(v.ToDecimal(), "15");
+  v -= BigInt(20);
+  EXPECT_EQ(v.ToDecimal(), "-5");
+  v *= BigInt(-3);
+  EXPECT_EQ(v.ToDecimal(), "15");
+}
+
+TEST(BigIntTest, StreamOutput) {
+  std::ostringstream os;
+  os << BigInt(-123);
+  EXPECT_EQ(os.str(), "-123");
+}
+
+}  // namespace
+}  // namespace secmed

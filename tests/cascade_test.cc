@@ -1,0 +1,237 @@
+// Tests of the successive-join cascade (paper Section 8: mediator
+// hierarchies executing several join queries successively).
+
+#include "core/cascade.h"
+
+#include <gtest/gtest.h>
+
+#include "core/commutative_protocol.h"
+#include "core/das_protocol.h"
+#include "core/pm_protocol.h"
+#include "crypto/drbg.h"
+#include "mediation/client.h"
+#include "mediation/datasource.h"
+#include "mediation/mediator.h"
+#include "mediation/network.h"
+#include "relational/algebra.h"
+
+namespace secmed {
+namespace {
+
+// A three-source environment: patients ⋈ treatments ⋈ stock.
+class CascadeEnv {
+ public:
+  CascadeEnv()
+      : rng_(ToBytes("cascade-env")),
+        ca_(CertificationAuthority::Create(1024, &rng_).value()),
+        client_(Client::Create("client", 1024, 1024, &rng_).value()),
+        mediator_("base-mediator"),
+        hospital_("hospital"),
+        clinic_("clinic"),
+        pharmacy_("pharmacy") {
+    EXPECT_TRUE(client_.AcquireCredential(ca_, {{"role", "analyst"}}).ok());
+
+    patients_ = Relation{Schema({{"pid", ValueType::kInt64},
+                                 {"diag", ValueType::kString}})};
+    (void)patients_.Append({Value::Int(1), Value::Str("flu")});
+    (void)patients_.Append({Value::Int(2), Value::Str("gout")});
+    (void)patients_.Append({Value::Int(3), Value::Str("flu")});
+    (void)patients_.Append({Value::Int(4), Value::Str("acne")});
+
+    treatments_ = Relation{Schema({{"diag", ValueType::kString},
+                                   {"drug", ValueType::kString}})};
+    (void)treatments_.Append({Value::Str("flu"), Value::Str("tamiflu")});
+    (void)treatments_.Append({Value::Str("gout"), Value::Str("allopurinol")});
+    (void)treatments_.Append({Value::Str("flu"), Value::Str("rest")});
+
+    stock_ = Relation{Schema({{"drug", ValueType::kString},
+                              {"units", ValueType::kInt64}})};
+    (void)stock_.Append({Value::Str("tamiflu"), Value::Int(10)});
+    (void)stock_.Append({Value::Str("allopurinol"), Value::Int(0)});
+    (void)stock_.Append({Value::Str("aspirin"), Value::Int(99)});
+
+    for (DataSource* s : {&hospital_, &clinic_, &pharmacy_}) {
+      s->set_ca_key(ca_.public_key());
+    }
+    hospital_.AddRelation("patients", patients_);
+    clinic_.AddRelation("treatments", treatments_);
+    pharmacy_.AddRelation("stock", stock_);
+
+    mediator_.RegisterTable("patients", "hospital", patients_.schema());
+    mediator_.RegisterTable("treatments", "clinic", treatments_.schema());
+    mediator_.RegisterTable("stock", "pharmacy", stock_.schema());
+
+    ctx_.client = &client_;
+    ctx_.mediator = &mediator_;
+    ctx_.sources = {{"hospital", &hospital_},
+                    {"clinic", &clinic_},
+                    {"pharmacy", &pharmacy_}};
+    ctx_.bus = &bus_;
+    ctx_.rng = &rng_;
+  }
+
+  Relation ExpectedThreeWay() {
+    Relation l1 = NaturalJoin(Qualify(patients_, "patients"),
+                              Qualify(treatments_, "treatments"))
+                      .value();
+    // Cascade unqualifies intermediates, so the oracle does the same.
+    Relation l1u = UnqualifyRelation(l1).value();
+    return NaturalJoin(Qualify(l1u, "cascade_result_1"),
+                       Qualify(stock_, "stock"))
+        .value();
+  }
+
+  ProtocolContext* ctx() { return &ctx_; }
+  const RsaPublicKey& ca_key() const { return ca_.public_key(); }
+  NetworkBus& bus() { return bus_; }
+
+ private:
+  HmacDrbg rng_;
+  CertificationAuthority ca_;
+  Client client_;
+  Mediator mediator_;
+  DataSource hospital_, clinic_, pharmacy_;
+  Relation patients_, treatments_, stock_;
+  NetworkBus bus_;
+  ProtocolContext ctx_;
+};
+
+TEST(UnqualifyTest, StripsQualifiers) {
+  Relation r{Schema({{"a.x", ValueType::kInt64}, {"b.y", ValueType::kInt64}})};
+  Relation u = UnqualifyRelation(r).value();
+  EXPECT_EQ(u.schema().column(0).name, "x");
+  EXPECT_EQ(u.schema().column(1).name, "y");
+}
+
+TEST(UnqualifyTest, DetectsCollisions) {
+  Relation r{Schema({{"a.x", ValueType::kInt64}, {"b.x", ValueType::kInt64}})};
+  EXPECT_FALSE(UnqualifyRelation(r).ok());
+}
+
+TEST(CascadeTest, SingleJoinBehavesLikeProtocol) {
+  CascadeEnv env;
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor cascade(&comm, env.ca_key());
+  Relation result =
+      cascade.Run("SELECT * FROM patients NATURAL JOIN treatments", env.ctx())
+          .value();
+  EXPECT_EQ(result.size(), 5u);  // flu x2 patients x2 treatments + gout
+}
+
+TEST(CascadeTest, ThreeWayJoinCommutative) {
+  CascadeEnv env;
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor cascade(&comm, env.ca_key());
+  Relation result =
+      cascade
+          .Run("SELECT * FROM patients NATURAL JOIN treatments NATURAL JOIN "
+               "stock",
+               env.ctx())
+          .value();
+  EXPECT_TRUE(result.EqualsAsBag(env.ExpectedThreeWay()));
+  // flu->tamiflu rows for patients 1 and 3 plus gout->allopurinol;
+  // flu->rest has no stock row and drops out.
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(CascadeTest, ThreeWayJoinDas) {
+  CascadeEnv env;
+  DasJoinProtocol das(DasProtocolOptions{PartitionStrategy::kEquiDepth, 2, {}});
+  CascadeExecutor cascade(&das, env.ca_key());
+  Relation result =
+      cascade
+          .Run("SELECT * FROM patients NATURAL JOIN treatments NATURAL JOIN "
+               "stock",
+               env.ctx())
+          .value();
+  EXPECT_TRUE(result.EqualsAsBag(env.ExpectedThreeWay()));
+}
+
+TEST(CascadeTest, ThreeWayJoinPm) {
+  CascadeEnv env;
+  PmJoinProtocol pm;
+  CascadeExecutor cascade(&pm, env.ca_key());
+  Relation result =
+      cascade
+          .Run("SELECT * FROM patients NATURAL JOIN treatments NATURAL JOIN "
+               "stock",
+               env.ctx())
+          .value();
+  EXPECT_TRUE(result.EqualsAsBag(env.ExpectedThreeWay()));
+}
+
+TEST(CascadeTest, OnClauseJoins) {
+  CascadeEnv env;
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor cascade(&comm, env.ca_key());
+  Relation result =
+      cascade
+          .Run("SELECT * FROM patients JOIN treatments ON patients.diag = "
+               "treatments.diag JOIN stock ON treatments.drug = stock.drug",
+               env.ctx())
+          .value();
+  EXPECT_EQ(result.size(), env.ExpectedThreeWay().size());
+}
+
+TEST(CascadeTest, WhereAppliedClientSide) {
+  CascadeEnv env;
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor cascade(&comm, env.ca_key());
+  Relation result =
+      cascade
+          .Run("SELECT * FROM patients NATURAL JOIN treatments NATURAL JOIN "
+               "stock WHERE units > 0",
+               env.ctx())
+          .value();
+  for (const Tuple& t : result.tuples()) {
+    size_t units = result.schema().IndexOf("units").value();
+    EXPECT_GT(t[units].as_int(), 0);
+  }
+  EXPECT_EQ(result.size(), 2u);  // allopurinol (0 units) filtered; rest has no stock
+}
+
+TEST(CascadeTest, ProjectionAppliedClientSide) {
+  CascadeEnv env;
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor cascade(&comm, env.ca_key());
+  Relation result =
+      cascade
+          .Run("SELECT pid, drug FROM patients NATURAL JOIN treatments",
+               env.ctx())
+          .value();
+  EXPECT_EQ(result.schema().size(), 2u);
+  EXPECT_EQ(Schema::BaseName(result.schema().column(0).name), "pid");
+}
+
+TEST(CascadeTest, RejectsNoJoin) {
+  CascadeEnv env;
+  CommutativeJoinProtocol comm;
+  CascadeExecutor cascade(&comm, env.ca_key());
+  EXPECT_FALSE(cascade.Run("SELECT * FROM patients", env.ctx()).ok());
+}
+
+TEST(CascadeTest, MediatorsInHierarchyNeverSeePlaintext) {
+  CascadeEnv env;
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor cascade(&comm, env.ca_key());
+  ASSERT_TRUE(cascade
+                  .Run("SELECT * FROM patients NATURAL JOIN treatments "
+                       "NATURAL JOIN stock",
+                       env.ctx())
+                  .ok());
+  // Both hierarchy mediators routed only ciphertext: scan their views for
+  // every diagnosis/drug string.
+  for (const std::string med : {"mediator-L1", "mediator-L2"}) {
+    Bytes view = env.bus().ViewOf(med);
+    for (const char* probe : {"flu", "gout", "acne", "tamiflu",
+                              "allopurinol", "aspirin"}) {
+      Bytes needle = ToBytes(probe);
+      auto it = std::search(view.begin(), view.end(), needle.begin(),
+                            needle.end());
+      EXPECT_EQ(it, view.end()) << med << " leaked " << probe;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace secmed {
+namespace {
+
+Bytes H(const char* hex) { return HexDecode(hex); }
+
+void ExpectBlockEncrypts(const char* key_hex, const char* pt_hex,
+                         const char* ct_hex) {
+  Aes aes = Aes::Create(H(key_hex)).value();
+  Bytes block = H(pt_hex);
+  aes.EncryptBlock(block.data());
+  EXPECT_EQ(HexEncode(block), ct_hex);
+  aes.DecryptBlock(block.data());
+  EXPECT_EQ(block, H(pt_hex));
+}
+
+TEST(AesTest, Fips197Aes128) {
+  ExpectBlockEncrypts("000102030405060708090a0b0c0d0e0f",
+                      "00112233445566778899aabbccddeeff",
+                      "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, Fips197Aes192) {
+  ExpectBlockEncrypts("000102030405060708090a0b0c0d0e0f1011121314151617",
+                      "00112233445566778899aabbccddeeff",
+                      "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(AesTest, Fips197Aes256) {
+  ExpectBlockEncrypts(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+      "00112233445566778899aabbccddeeff",
+      "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(AesTest, Sp80038aAes128EcbVector) {
+  // First ECB block of SP 800-38A F.1.1.
+  ExpectBlockEncrypts("2b7e151628aed2a6abf7158809cf4f3c",
+                      "6bc1bee22e409f96e93d7e117393172a",
+                      "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(AesTest, RejectsBadKeySizes) {
+  EXPECT_FALSE(Aes::Create(Bytes(15)).ok());
+  EXPECT_FALSE(Aes::Create(Bytes(0)).ok());
+  EXPECT_FALSE(Aes::Create(Bytes(33)).ok());
+  EXPECT_TRUE(Aes::Create(Bytes(16)).ok());
+  EXPECT_TRUE(Aes::Create(Bytes(24)).ok());
+  EXPECT_TRUE(Aes::Create(Bytes(32)).ok());
+}
+
+TEST(AesCtrTest, Sp80038aCtrVectors) {
+  // SP 800-38A F.5.1 CTR-AES128: counter block starts at
+  // f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff. We model it as a 12-byte IV plus a
+  // 32-bit initial counter 0xfcfdfeff.
+  Aes aes = Aes::Create(H("2b7e151628aed2a6abf7158809cf4f3c")).value();
+  Bytes iv = H("f0f1f2f3f4f5f6f7f8f9fafb");
+  Bytes pt = H(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  Bytes ct = AesCtrTransform(aes, iv, pt, 0xfcfdfeff).value();
+  EXPECT_EQ(HexEncode(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff");
+}
+
+TEST(AesCtrTest, RoundTripArbitraryLengths) {
+  Aes aes = Aes::Create(Bytes(32, 0x42)).value();
+  Bytes iv(12, 0x07);
+  XoshiroRandomSource rng(3);
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+    Bytes pt = rng.Generate(len);
+    Bytes ct = AesCtrTransform(aes, iv, pt).value();
+    EXPECT_EQ(AesCtrTransform(aes, iv, ct).value(), pt) << len;
+    if (len > 0) {
+      EXPECT_NE(ct, pt);
+    }
+  }
+}
+
+TEST(AesCtrTest, RejectsBadIv) {
+  Aes aes = Aes::Create(Bytes(16)).value();
+  EXPECT_FALSE(AesCtrTransform(aes, Bytes(11), Bytes(4)).ok());
+  EXPECT_FALSE(AesCtrTransform(aes, Bytes(16), Bytes(4)).ok());
+}
+
+TEST(AeadTest, SealOpenRoundTrip) {
+  XoshiroRandomSource rng(1);
+  Aead aead = Aead::Create(Bytes(32, 0x11)).value();
+  Bytes pt = ToBytes("partial result of datasource S1");
+  Bytes aad = ToBytes("header");
+  Bytes sealed = aead.Seal(pt, aad, &rng).value();
+  EXPECT_EQ(aead.Open(sealed, aad).value(), pt);
+}
+
+TEST(AeadTest, EmptyPlaintext) {
+  XoshiroRandomSource rng(2);
+  Aead aead = Aead::Create(Bytes(32, 0x11)).value();
+  Bytes sealed = aead.Seal(Bytes(), Bytes(), &rng).value();
+  EXPECT_TRUE(aead.Open(sealed, Bytes()).value().empty());
+}
+
+TEST(AeadTest, TamperedCiphertextRejected) {
+  XoshiroRandomSource rng(3);
+  Aead aead = Aead::Create(Bytes(32, 0x11)).value();
+  Bytes sealed = aead.Seal(ToBytes("secret"), Bytes(), &rng).value();
+  for (size_t i = 0; i < sealed.size(); ++i) {
+    Bytes bad = sealed;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(aead.Open(bad, Bytes()).ok()) << "byte " << i;
+  }
+}
+
+TEST(AeadTest, WrongAadRejected) {
+  XoshiroRandomSource rng(4);
+  Aead aead = Aead::Create(Bytes(32, 0x11)).value();
+  Bytes sealed = aead.Seal(ToBytes("secret"), ToBytes("aad1"), &rng).value();
+  EXPECT_FALSE(aead.Open(sealed, ToBytes("aad2")).ok());
+}
+
+TEST(AeadTest, WrongKeyRejected) {
+  XoshiroRandomSource rng(5);
+  Aead a = Aead::Create(Bytes(32, 0x11)).value();
+  Aead b = Aead::Create(Bytes(32, 0x22)).value();
+  Bytes sealed = a.Seal(ToBytes("secret"), Bytes(), &rng).value();
+  EXPECT_FALSE(b.Open(sealed, Bytes()).ok());
+}
+
+TEST(AeadTest, TruncatedMessageRejected) {
+  Aead aead = Aead::Create(Bytes(32, 0x11)).value();
+  EXPECT_FALSE(aead.Open(Bytes(10), Bytes()).ok());
+}
+
+TEST(AeadTest, FreshIvPerSeal) {
+  XoshiroRandomSource rng(6);
+  Aead aead = Aead::Create(Bytes(32, 0x11)).value();
+  Bytes s1 = aead.Seal(ToBytes("same"), Bytes(), &rng).value();
+  Bytes s2 = aead.Seal(ToBytes("same"), Bytes(), &rng).value();
+  EXPECT_NE(s1, s2);
+}
+
+TEST(AeadTest, RejectsBadKeySize) {
+  EXPECT_FALSE(Aead::Create(Bytes(16)).ok());
+}
+
+TEST(AeadTest, GenerateKeySize) {
+  XoshiroRandomSource rng(7);
+  EXPECT_EQ(Aead::GenerateKey(&rng).size(), Aead::kKeySize);
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace secmed {
+namespace {
+
+TEST(Sha256Test, EmptyMessage) {
+  EXPECT_EQ(HexEncode(Sha256::Hash(Bytes())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexEncode(Sha256::Hash(ToBytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      HexEncode(Sha256::Hash(ToBytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexEncode(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes msg = ToBytes("the mediator computes the join over ciphertexts");
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(msg.data(), split);
+    h.Update(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    Bytes msg(len, 'x');
+    Bytes d1 = Sha256::Hash(msg);
+    Sha256 h;
+    for (size_t i = 0; i < len; ++i) h.Update(msg.data() + i, 1);
+    EXPECT_EQ(h.Finish(), d1) << len;
+  }
+}
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexEncode(HmacSha256(key, ToBytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(
+      HexEncode(HmacSha256(ToBytes("Jefe"),
+                           ToBytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(HexEncode(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashed) {
+  // RFC 4231 case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      HexEncode(HmacSha256(
+          key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key "
+                       "First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Mgf1Test, DeterministicAndLengthExact) {
+  Bytes seed = ToBytes("seed");
+  EXPECT_EQ(Mgf1Sha256(seed, 0).size(), 0u);
+  EXPECT_EQ(Mgf1Sha256(seed, 17).size(), 17u);
+  EXPECT_EQ(Mgf1Sha256(seed, 100).size(), 100u);
+  EXPECT_EQ(Mgf1Sha256(seed, 100), Mgf1Sha256(seed, 100));
+  // Prefix property: longer output extends shorter output.
+  Bytes a = Mgf1Sha256(seed, 32);
+  Bytes b = Mgf1Sha256(seed, 64);
+  EXPECT_EQ(Bytes(b.begin(), b.begin() + 32), a);
+}
+
+TEST(Mgf1Test, DifferentSeedsDiffer) {
+  EXPECT_NE(Mgf1Sha256(ToBytes("a"), 32), Mgf1Sha256(ToBytes("b"), 32));
+}
+
+TEST(HmacDrbgTest, DeterministicForSameSeed) {
+  HmacDrbg a(ToBytes("seed material"));
+  HmacDrbg b(ToBytes("seed material"));
+  EXPECT_EQ(a.Generate(64), b.Generate(64));
+  EXPECT_EQ(a.Generate(13), b.Generate(13));
+}
+
+TEST(HmacDrbgTest, DifferentSeedsDiffer) {
+  HmacDrbg a(ToBytes("seed 1"));
+  HmacDrbg b(ToBytes("seed 2"));
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(HmacDrbgTest, SuccessiveOutputsDiffer) {
+  HmacDrbg d(ToBytes("seed"));
+  EXPECT_NE(d.Generate(32), d.Generate(32));
+}
+
+TEST(HmacDrbgTest, ReseedChangesStream) {
+  HmacDrbg a(ToBytes("seed"));
+  HmacDrbg b(ToBytes("seed"));
+  a.Generate(8);
+  b.Generate(8);
+  b.Reseed(ToBytes("extra"));
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(HmacDrbgTest, OsSeededInstancesDiffer) {
+  HmacDrbg a, b;
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+}  // namespace
+}  // namespace secmed

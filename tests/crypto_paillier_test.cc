@@ -1,0 +1,180 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "util/bytes.h"
+
+namespace secmed {
+namespace {
+
+// Share one 512-bit keypair across tests; generation dominates runtime.
+const PaillierKeyPair& TestKeys() {
+  static const PaillierKeyPair* kp = [] {
+    HmacDrbg rng(ToBytes("paillier-test"));
+    return new PaillierKeyPair(PaillierGenerateKey(512, &rng).value());
+  }();
+  return *kp;
+}
+
+TEST(PaillierTest, EncryptDecryptRoundTrip) {
+  HmacDrbg rng(ToBytes("p1"));
+  const auto& kp = TestKeys();
+  for (uint64_t m : {0ull, 1ull, 42ull, 1234567890123456789ull}) {
+    BigInt c = kp.public_key.Encrypt(BigInt(m), &rng).value();
+    EXPECT_EQ(kp.private_key.Decrypt(c).value(), BigInt(m)) << m;
+  }
+}
+
+TEST(PaillierTest, LargePlaintextNearModulus) {
+  HmacDrbg rng(ToBytes("p2"));
+  const auto& kp = TestKeys();
+  BigInt m = kp.public_key.n() - BigInt(1);
+  BigInt c = kp.public_key.Encrypt(m, &rng).value();
+  EXPECT_EQ(kp.private_key.Decrypt(c).value(), m);
+}
+
+TEST(PaillierTest, PlaintextOutOfRangeRejected) {
+  HmacDrbg rng(ToBytes("p3"));
+  const auto& kp = TestKeys();
+  EXPECT_FALSE(kp.public_key.Encrypt(kp.public_key.n(), &rng).ok());
+  EXPECT_FALSE(kp.public_key.Encrypt(BigInt(-1), &rng).ok());
+}
+
+TEST(PaillierTest, CiphertextOutOfRangeRejected) {
+  const auto& kp = TestKeys();
+  EXPECT_FALSE(kp.private_key.Decrypt(kp.public_key.n_squared()).ok());
+  EXPECT_FALSE(kp.private_key.Decrypt(BigInt(-1)).ok());
+}
+
+TEST(PaillierTest, EncryptionIsProbabilistic) {
+  HmacDrbg rng(ToBytes("p4"));
+  const auto& kp = TestKeys();
+  BigInt c1 = kp.public_key.Encrypt(BigInt(7), &rng).value();
+  BigInt c2 = kp.public_key.Encrypt(BigInt(7), &rng).value();
+  EXPECT_NE(c1, c2);
+}
+
+TEST(PaillierTest, AdditiveHomomorphism) {
+  HmacDrbg rng(ToBytes("p5"));
+  const auto& kp = TestKeys();
+  BigInt a(123456), b(654321);
+  BigInt ca = kp.public_key.Encrypt(a, &rng).value();
+  BigInt cb = kp.public_key.Encrypt(b, &rng).value();
+  BigInt sum = kp.public_key.Add(ca, cb);
+  EXPECT_EQ(kp.private_key.Decrypt(sum).value(), a + b);
+}
+
+TEST(PaillierTest, AdditionWrapsModN) {
+  HmacDrbg rng(ToBytes("p6"));
+  const auto& kp = TestKeys();
+  BigInt a = kp.public_key.n() - BigInt(1);
+  BigInt ca = kp.public_key.Encrypt(a, &rng).value();
+  BigInt cb = kp.public_key.Encrypt(BigInt(2), &rng).value();
+  EXPECT_EQ(kp.private_key.Decrypt(kp.public_key.Add(ca, cb)).value(),
+            BigInt(1));
+}
+
+TEST(PaillierTest, ScalarMultiplication) {
+  HmacDrbg rng(ToBytes("p7"));
+  const auto& kp = TestKeys();
+  BigInt a(1000);
+  BigInt ca = kp.public_key.Encrypt(a, &rng).value();
+  BigInt c3a = kp.public_key.ScalarMul(ca, BigInt(3));
+  EXPECT_EQ(kp.private_key.Decrypt(c3a).value(), BigInt(3000));
+}
+
+TEST(PaillierTest, ScalarMulByZeroGivesZero) {
+  HmacDrbg rng(ToBytes("p8"));
+  const auto& kp = TestKeys();
+  BigInt ca = kp.public_key.Encrypt(BigInt(55), &rng).value();
+  EXPECT_EQ(
+      kp.private_key.Decrypt(kp.public_key.ScalarMul(ca, BigInt(0))).value(),
+      BigInt(0));
+}
+
+TEST(PaillierTest, AddPlainConstant) {
+  HmacDrbg rng(ToBytes("p9"));
+  const auto& kp = TestKeys();
+  BigInt ca = kp.public_key.Encrypt(BigInt(10), &rng).value();
+  BigInt c = kp.public_key.AddPlain(ca, BigInt(32));
+  EXPECT_EQ(kp.private_key.Decrypt(c).value(), BigInt(42));
+}
+
+TEST(PaillierTest, RerandomizePreservesPlaintext) {
+  HmacDrbg rng(ToBytes("p10"));
+  const auto& kp = TestKeys();
+  BigInt c = kp.public_key.Encrypt(BigInt(99), &rng).value();
+  BigInt c2 = kp.public_key.Rerandomize(c, &rng).value();
+  EXPECT_NE(c, c2);
+  EXPECT_EQ(kp.private_key.Decrypt(c2).value(), BigInt(99));
+}
+
+TEST(PaillierTest, PolynomialEvaluationUnderEncryption) {
+  // The PM building block: given E(c_k) for P(x) = sum c_k x^k, compute
+  // E(r·P(a) + payload) and check the decryption behaviour for roots and
+  // non-roots (Section 5).
+  HmacDrbg rng(ToBytes("p11"));
+  const auto& kp = TestKeys();
+  const PaillierPublicKey& pub = kp.public_key;
+
+  // P(x) = (3 - x)(7 - x) = 21 - 10x + x^2, coefficients c0=21, c1=-10, c2=1.
+  BigInt n = pub.n();
+  BigInt c0(21), c1 = n - BigInt(10), c2(1);
+  BigInt e0 = pub.Encrypt(c0, &rng).value();
+  BigInt e1 = pub.Encrypt(c1, &rng).value();
+  BigInt e2 = pub.Encrypt(BigInt(1), &rng).value();
+
+  auto eval = [&](uint64_t a, uint64_t payload) {
+    BigInt av(a);
+    // E(P(a)) = E(c0) + a*E(c1) + a^2*E(c2)
+    BigInt acc = pub.Add(
+        e0, pub.Add(pub.ScalarMul(e1, av), pub.ScalarMul(e2, av * av)));
+    BigInt r = BigInt::RandomBelow(n, &rng);
+    // E(r*P(a) + payload)
+    return pub.AddPlain(pub.ScalarMul(acc, r), BigInt(payload));
+  };
+
+  // Root: decrypts to exactly the payload.
+  EXPECT_EQ(kp.private_key.Decrypt(eval(3, 777)).value(), BigInt(777));
+  EXPECT_EQ(kp.private_key.Decrypt(eval(7, 888)).value(), BigInt(888));
+  // Non-root: decrypts to a value that is (with overwhelming probability)
+  // not the payload.
+  EXPECT_NE(kp.private_key.Decrypt(eval(5, 999)).value(), BigInt(999));
+}
+
+TEST(PaillierTest, SerializeRoundTrip) {
+  const auto& kp = TestKeys();
+  Bytes ser = kp.public_key.Serialize();
+  PaillierPublicKey back = PaillierPublicKey::Deserialize(ser).value();
+  EXPECT_EQ(back, kp.public_key);
+  HmacDrbg rng(ToBytes("p12"));
+  BigInt c = back.Encrypt(BigInt(5), &rng).value();
+  EXPECT_EQ(kp.private_key.Decrypt(c).value(), BigInt(5));
+}
+
+TEST(PaillierTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(PaillierPublicKey::Deserialize(Bytes{9}).ok());
+  EXPECT_FALSE(PaillierPublicKey::Deserialize(Bytes()).ok());
+}
+
+TEST(PaillierTest, GenerateRejectsTinyModulus) {
+  HmacDrbg rng(ToBytes("p13"));
+  EXPECT_FALSE(PaillierGenerateKey(32, &rng).ok());
+}
+
+class PaillierKeySizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PaillierKeySizeTest, RoundTripAtSize) {
+  HmacDrbg rng(ToBytes("psize" + std::to_string(GetParam())));
+  PaillierKeyPair kp = PaillierGenerateKey(GetParam(), &rng).value();
+  BigInt m(987654321);
+  BigInt c = kp.public_key.Encrypt(m, &rng).value();
+  EXPECT_EQ(kp.private_key.Decrypt(c).value(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PaillierKeySizeTest,
+                         ::testing::Values(128, 256, 512, 1024));
+
+}  // namespace
+}  // namespace secmed

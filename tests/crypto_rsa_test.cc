@@ -1,0 +1,170 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modular.h"
+#include "crypto/drbg.h"
+#include "crypto/hybrid.h"
+#include "util/bytes.h"
+
+namespace secmed {
+namespace {
+
+// Key generation is the slow part; share one 1024-bit key across tests.
+const RsaPrivateKey& TestKey() {
+  static const RsaPrivateKey* key = [] {
+    HmacDrbg rng(ToBytes("rsa-test-key"));
+    return new RsaPrivateKey(RsaGenerateKey(1024, &rng).value());
+  }();
+  return *key;
+}
+
+TEST(RsaKeyGenTest, KeyProperties) {
+  const RsaPrivateKey& key = TestKey();
+  EXPECT_EQ(key.n.BitLength(), 1024u);
+  EXPECT_EQ(key.e, BigInt(65537));
+  EXPECT_EQ(key.p * key.q, key.n);
+  // d*e ≡ 1 (mod lambda) implies raw ops invert each other; spot check.
+  BigInt m(123456789);
+  BigInt c = ModExp(m, key.e, key.n).value();
+  EXPECT_EQ(ModExp(c, key.d, key.n).value(), m);
+}
+
+TEST(RsaKeyGenTest, RejectsTinyModulus) {
+  HmacDrbg rng(ToBytes("x"));
+  EXPECT_FALSE(RsaGenerateKey(256, &rng).ok());
+}
+
+TEST(RsaPublicKeyTest, SerializeRoundTrip) {
+  RsaPublicKey pub = TestKey().PublicKey();
+  Bytes ser = pub.Serialize();
+  RsaPublicKey back = RsaPublicKey::Deserialize(ser).value();
+  EXPECT_EQ(back, pub);
+}
+
+TEST(RsaPublicKeyTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(RsaPublicKey::Deserialize(Bytes{1, 2, 3}).ok());
+  EXPECT_FALSE(RsaPublicKey::Deserialize(Bytes()).ok());
+}
+
+TEST(RsaOaepTest, RoundTrip) {
+  HmacDrbg rng(ToBytes("oaep"));
+  const RsaPrivateKey& key = TestKey();
+  for (size_t len : {0u, 1u, 32u, 62u}) {
+    Bytes pt(len, 0xAB);
+    Bytes ct = RsaOaepEncrypt(key.PublicKey(), pt, &rng).value();
+    EXPECT_EQ(ct.size(), key.PublicKey().ModulusBytes());
+    EXPECT_EQ(RsaOaepDecrypt(key, ct).value(), pt) << len;
+  }
+}
+
+TEST(RsaOaepTest, MaxPlaintextBoundary) {
+  HmacDrbg rng(ToBytes("oaep-max"));
+  const RsaPrivateKey& key = TestKey();
+  const size_t max = RsaOaepMaxPlaintext(key.PublicKey());
+  EXPECT_EQ(max, 128u - 2 * 32 - 2);
+  Bytes at_max(max, 0x55);
+  EXPECT_TRUE(RsaOaepEncrypt(key.PublicKey(), at_max, &rng).ok());
+  Bytes too_long(max + 1, 0x55);
+  EXPECT_FALSE(RsaOaepEncrypt(key.PublicKey(), too_long, &rng).ok());
+}
+
+TEST(RsaOaepTest, EncryptionIsRandomized) {
+  HmacDrbg rng(ToBytes("oaep-rand"));
+  const RsaPrivateKey& key = TestKey();
+  Bytes pt = ToBytes("session key");
+  Bytes c1 = RsaOaepEncrypt(key.PublicKey(), pt, &rng).value();
+  Bytes c2 = RsaOaepEncrypt(key.PublicKey(), pt, &rng).value();
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(RsaOaepDecrypt(key, c1).value(), pt);
+  EXPECT_EQ(RsaOaepDecrypt(key, c2).value(), pt);
+}
+
+TEST(RsaOaepTest, TamperedCiphertextRejected) {
+  HmacDrbg rng(ToBytes("oaep-tamper"));
+  const RsaPrivateKey& key = TestKey();
+  Bytes ct = RsaOaepEncrypt(key.PublicKey(), ToBytes("secret"), &rng).value();
+  for (size_t i = 0; i < ct.size(); i += 13) {
+    Bytes bad = ct;
+    bad[i] ^= 0x01;
+    auto res = RsaOaepDecrypt(key, bad);
+    if (res.ok()) {
+      // Astronomically unlikely; would indicate a padding check hole.
+      EXPECT_NE(res.value(), ToBytes("secret")) << "byte " << i;
+    }
+  }
+}
+
+TEST(RsaOaepTest, WrongLengthCiphertextRejected) {
+  const RsaPrivateKey& key = TestKey();
+  EXPECT_FALSE(RsaOaepDecrypt(key, Bytes(10)).ok());
+  EXPECT_FALSE(RsaOaepDecrypt(key, Bytes(129)).ok());
+}
+
+TEST(RsaSignTest, SignVerifyRoundTrip) {
+  const RsaPrivateKey& key = TestKey();
+  Bytes msg = ToBytes("credential: role=physician");
+  Bytes sig = RsaSign(key, msg).value();
+  EXPECT_TRUE(RsaVerify(key.PublicKey(), msg, sig).ok());
+}
+
+TEST(RsaSignTest, WrongMessageRejected) {
+  const RsaPrivateKey& key = TestKey();
+  Bytes sig = RsaSign(key, ToBytes("message A")).value();
+  EXPECT_FALSE(RsaVerify(key.PublicKey(), ToBytes("message B"), sig).ok());
+}
+
+TEST(RsaSignTest, TamperedSignatureRejected) {
+  const RsaPrivateKey& key = TestKey();
+  Bytes msg = ToBytes("message");
+  Bytes sig = RsaSign(key, msg).value();
+  sig[0] ^= 1;
+  EXPECT_FALSE(RsaVerify(key.PublicKey(), msg, sig).ok());
+  EXPECT_FALSE(RsaVerify(key.PublicKey(), msg, Bytes(5)).ok());
+}
+
+TEST(RsaSignTest, SignatureIsDeterministic) {
+  const RsaPrivateKey& key = TestKey();
+  Bytes msg = ToBytes("m");
+  EXPECT_EQ(RsaSign(key, msg).value(), RsaSign(key, msg).value());
+}
+
+TEST(HybridTest, RoundTrip) {
+  HmacDrbg rng(ToBytes("hybrid"));
+  const RsaPrivateKey& key = TestKey();
+  Bytes pt = ToBytes("an entire partial result relation, arbitrarily long: ");
+  for (int i = 0; i < 6; ++i) pt = Concat(pt, pt);  // ~3.5 KB
+  Bytes ct = HybridEncrypt(key.PublicKey(), pt, &rng).value();
+  EXPECT_EQ(HybridDecrypt(key, ct).value(), pt);
+}
+
+TEST(HybridTest, TamperRejected) {
+  HmacDrbg rng(ToBytes("hybrid-tamper"));
+  const RsaPrivateKey& key = TestKey();
+  Bytes ct = HybridEncrypt(key.PublicKey(), ToBytes("data"), &rng).value();
+  for (size_t i = 0; i < ct.size(); i += 7) {
+    Bytes bad = ct;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(HybridDecrypt(key, bad).ok()) << "byte " << i;
+  }
+}
+
+TEST(HybridTest, WrongRecipientCannotDecrypt) {
+  HmacDrbg rng(ToBytes("hybrid-wrong"));
+  const RsaPrivateKey& key = TestKey();
+  RsaPrivateKey other = RsaGenerateKey(1024, &rng).value();
+  Bytes ct = HybridEncrypt(key.PublicKey(), ToBytes("data"), &rng).value();
+  EXPECT_FALSE(HybridDecrypt(other, ct).ok());
+}
+
+TEST(SessionCipherTest, RoundTripAndTamper) {
+  HmacDrbg rng(ToBytes("session"));
+  Bytes key = rng.Generate(32);
+  Bytes ct = SessionEncrypt(key, ToBytes("tuple set payload"), &rng).value();
+  EXPECT_EQ(SessionDecrypt(key, ct).value(), ToBytes("tuple set payload"));
+  ct[ct.size() / 2] ^= 1;
+  EXPECT_FALSE(SessionDecrypt(key, ct).ok());
+}
+
+}  // namespace
+}  // namespace secmed

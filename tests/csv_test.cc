@@ -1,0 +1,88 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace secmed {
+namespace {
+
+TEST(CsvTest, BasicParseWithTypeInference) {
+  Relation r =
+      LoadCsvString("id,name,score\n1,alice,90\n2,bob,85\n").value();
+  ASSERT_EQ(r.schema().size(), 3u);
+  EXPECT_EQ(r.schema().column(0).type, ValueType::kInt64);
+  EXPECT_EQ(r.schema().column(1).type, ValueType::kString);
+  EXPECT_EQ(r.schema().column(2).type, ValueType::kInt64);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.at(0, 0), Value::Int(1));
+  EXPECT_EQ(r.at(1, 1), Value::Str("bob"));
+}
+
+TEST(CsvTest, MixedColumnBecomesString) {
+  Relation r = LoadCsvString("v\n1\nx\n2\n").value();
+  EXPECT_EQ(r.schema().column(0).type, ValueType::kString);
+  EXPECT_EQ(r.at(0, 0), Value::Str("1"));
+}
+
+TEST(CsvTest, EmptyFieldsAreNull) {
+  Relation r = LoadCsvString("a,b\n1,\n,2\n").value();
+  EXPECT_EQ(r.at(0, 0), Value::Int(1));
+  EXPECT_TRUE(r.at(0, 1).is_null());
+  EXPECT_TRUE(r.at(1, 0).is_null());
+}
+
+TEST(CsvTest, AllEmptyColumnIsString) {
+  Relation r = LoadCsvString("a,b\n1,\n2,\n").value();
+  EXPECT_EQ(r.schema().column(1).type, ValueType::kString);
+}
+
+TEST(CsvTest, QuotedFields) {
+  Relation r = LoadCsvString(
+                   "name,notes\n\"smith, jr\",\"said \"\"hi\"\"\"\n")
+                   .value();
+  EXPECT_EQ(r.at(0, 0), Value::Str("smith, jr"));
+  EXPECT_EQ(r.at(0, 1), Value::Str("said \"hi\""));
+}
+
+TEST(CsvTest, CrLfAndMissingFinalNewline) {
+  Relation r = LoadCsvString("a\r\n1\r\n2").value();
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.at(1, 0), Value::Int(2));
+}
+
+TEST(CsvTest, NegativeIntegers) {
+  Relation r = LoadCsvString("v\n-42\n7\n").value();
+  EXPECT_EQ(r.schema().column(0).type, ValueType::kInt64);
+  EXPECT_EQ(r.at(0, 0), Value::Int(-42));
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(LoadCsvString("").ok());
+  EXPECT_FALSE(LoadCsvString("a,b\n1\n").ok());          // ragged record
+  EXPECT_FALSE(LoadCsvString("a\n\"unterminated\n").ok());
+  EXPECT_FALSE(LoadCsvString("a\nfoo\"bar\n").ok());     // stray quote
+  EXPECT_FALSE(LoadCsvFile("/nonexistent/x.csv").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Relation r{Schema({{"id", ValueType::kInt64},
+                     {"name", ValueType::kString}})};
+  ASSERT_TRUE(r.Append({Value::Int(1), Value::Str("a,b \"q\"")}).ok());
+  ASSERT_TRUE(r.Append({Value::Null(), Value::Str("plain")}).ok());
+  Relation back = LoadCsvString(ToCsvString(r)).value();
+  EXPECT_TRUE(back.EqualsAsBag(r));
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Relation r{Schema({{"k", ValueType::kInt64}})};
+  ASSERT_TRUE(r.Append({Value::Int(7)}).ok());
+  const char* path = "/tmp/secmed_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(r, path).ok());
+  Relation back = LoadCsvFile(path).value();
+  EXPECT_TRUE(back.EqualsAsBag(r));
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,89 @@
+#include "crypto/elgamal.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "crypto/group_params.h"
+
+namespace secmed {
+namespace {
+
+const ElGamalKeyPair& Keys() {
+  static const ElGamalKeyPair* kp = [] {
+    HmacDrbg rng(ToBytes("elgamal-test"));
+    QrGroup group = StandardGroup(256).value();
+    return new ElGamalKeyPair(ElGamalGenerateKey(group, &rng));
+  }();
+  return *kp;
+}
+
+TEST(ElGamalTest, EncryptDecryptRoundTrip) {
+  HmacDrbg rng(ToBytes("e1"));
+  for (uint64_t m : {0ull, 1ull, 7ull, 100ull, 4095ull}) {
+    ElGamalCiphertext c = Keys().public_key.Encrypt(m, &rng).value();
+    EXPECT_EQ(Keys().private_key.DecryptSmall(c, 4096).value(), m) << m;
+  }
+}
+
+TEST(ElGamalTest, EncryptionIsProbabilistic) {
+  HmacDrbg rng(ToBytes("e2"));
+  ElGamalCiphertext a = Keys().public_key.Encrypt(5, &rng).value();
+  ElGamalCiphertext b = Keys().public_key.Encrypt(5, &rng).value();
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ElGamalTest, AdditiveHomomorphism) {
+  HmacDrbg rng(ToBytes("e3"));
+  ElGamalCiphertext a = Keys().public_key.Encrypt(30, &rng).value();
+  ElGamalCiphertext b = Keys().public_key.Encrypt(12, &rng).value();
+  ElGamalCiphertext sum = Keys().public_key.Add(a, b);
+  EXPECT_EQ(Keys().private_key.DecryptSmall(sum, 100).value(), 42u);
+}
+
+TEST(ElGamalTest, ScalarMultiplication) {
+  HmacDrbg rng(ToBytes("e4"));
+  ElGamalCiphertext c = Keys().public_key.Encrypt(9, &rng).value();
+  ElGamalCiphertext c5 = Keys().public_key.ScalarMul(c, 5);
+  EXPECT_EQ(Keys().private_key.DecryptSmall(c5, 100).value(), 45u);
+}
+
+TEST(ElGamalTest, RerandomizePreservesPlaintext) {
+  HmacDrbg rng(ToBytes("e5"));
+  ElGamalCiphertext c = Keys().public_key.Encrypt(17, &rng).value();
+  ElGamalCiphertext c2 = Keys().public_key.Rerandomize(c, &rng).value();
+  EXPECT_FALSE(c == c2);
+  EXPECT_EQ(Keys().private_key.DecryptSmall(c2, 100).value(), 17u);
+}
+
+TEST(ElGamalTest, DiscreteLogBoundEnforced) {
+  // The exponential encoding only decrypts below the bound — the reason
+  // the PM protocol uses Paillier for payload-carrying ciphertexts.
+  HmacDrbg rng(ToBytes("e6"));
+  ElGamalCiphertext c = Keys().public_key.Encrypt(5000, &rng).value();
+  EXPECT_EQ(Keys().private_key.DecryptSmall(c, 100).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(Keys().private_key.DecryptSmall(c, 6000).value(), 5000u);
+}
+
+TEST(ElGamalTest, VoteTallyScenario) {
+  // The [10] use case: homomorphic tallying of many 0/1 votes.
+  HmacDrbg rng(ToBytes("e7"));
+  const int votes[] = {1, 0, 1, 1, 0, 1, 0, 0, 1, 1};
+  ElGamalCiphertext tally = Keys().public_key.Encrypt(0, &rng).value();
+  for (int v : votes) {
+    tally = Keys().public_key.Add(
+        tally, Keys().public_key.Encrypt(static_cast<uint64_t>(v), &rng)
+                   .value());
+  }
+  EXPECT_EQ(Keys().private_key.DecryptSmall(tally, 10).value(), 6u);
+}
+
+TEST(ElGamalTest, CiphertextsLiveInTheGroup) {
+  HmacDrbg rng(ToBytes("e8"));
+  ElGamalCiphertext c = Keys().public_key.Encrypt(3, &rng).value();
+  EXPECT_TRUE(Keys().public_key.group().IsElement(c.c1));
+  EXPECT_TRUE(Keys().public_key.group().IsElement(c.c2));
+}
+
+}  // namespace
+}  // namespace secmed

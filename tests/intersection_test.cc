@@ -1,0 +1,138 @@
+// Tests of the secure mediated INTERSECTION protocols (extension of the
+// paper's Section 8: other relational operations).
+
+#include "core/intersection_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/leakage.h"
+#include "core/testbed.h"
+
+namespace secmed {
+namespace {
+
+Workload IxWorkload(uint64_t seed, size_t secondary = 0) {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 30;
+  cfg.r2_tuples = 24;
+  cfg.r1_domain = 12;
+  cfg.r2_domain = 10;
+  cfg.common_values = 5;
+  cfg.secondary_join_domain = secondary;
+  cfg.seed = seed;
+  return GenerateWorkload(cfg);
+}
+
+// Oracle: the sorted distinct common (composite) join values.
+Relation ExpectedIntersection(const Workload& w) {
+  std::vector<size_t> i1, i2;
+  for (const std::string& a : w.join_attributes) {
+    i1.push_back(w.r1.schema().IndexOf(a).value());
+    i2.push_back(w.r2.schema().IndexOf(a).value());
+  }
+  std::set<std::vector<Value>> s1, s2;
+  for (const Tuple& t : w.r1.tuples()) {
+    std::vector<Value> key;
+    for (size_t i : i1) key.push_back(t[i]);
+    s1.insert(key);
+  }
+  for (const Tuple& t : w.r2.tuples()) {
+    std::vector<Value> key;
+    for (size_t i : i2) key.push_back(t[i]);
+    s2.insert(key);
+  }
+  std::vector<Column> cols;
+  for (const std::string& a : w.join_attributes) {
+    cols.push_back({a, ValueType::kInt64});
+  }
+  Relation out{Schema(std::move(cols))};
+  for (const auto& key : s1) {
+    if (s2.count(key)) out.AppendUnchecked(key);
+  }
+  out.SortCanonically();
+  return out;
+}
+
+class IntersectionCorrectness : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<IntersectionProtocol> Make() const {
+    if (GetParam() == "commutative") {
+      return std::make_unique<CommutativeIntersectionProtocol>(256);
+    }
+    return std::make_unique<PmIntersectionProtocol>();
+  }
+};
+
+TEST_P(IntersectionCorrectness, MatchesSetIntersection) {
+  Workload w = IxWorkload(51);
+  MediationTestbed::Options opt;
+  opt.seed_label = "ix-" + GetParam();
+  MediationTestbed tb(w, opt);
+  auto protocol = Make();
+  Relation result = protocol->Run(tb.JoinSql(), tb.ctx()).value();
+  Relation expected = ExpectedIntersection(w);
+  EXPECT_TRUE(result.EqualsAsBag(expected))
+      << "got " << result.size() << " values, expected " << expected.size();
+  EXPECT_EQ(result.size(), 5u);
+}
+
+TEST_P(IntersectionCorrectness, EmptyIntersection) {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 10;
+  cfg.r2_tuples = 10;
+  cfg.r1_domain = 5;
+  cfg.r2_domain = 5;
+  cfg.common_values = 0;
+  cfg.seed = 52;
+  Workload w = GenerateWorkload(cfg);
+  MediationTestbed::Options opt;
+  opt.seed_label = "ix-empty-" + GetParam();
+  MediationTestbed tb(w, opt);
+  auto protocol = Make();
+  Relation result = protocol->Run(tb.JoinSql(), tb.ctx()).value();
+  EXPECT_EQ(result.size(), 0u);
+}
+
+TEST_P(IntersectionCorrectness, MultiAttribute) {
+  Workload w = IxWorkload(53, /*secondary=*/2);
+  MediationTestbed::Options opt;
+  opt.seed_label = "ix-multi-" + GetParam();
+  MediationTestbed tb(w, opt);
+  auto protocol = Make();
+  Relation result = protocol->Run(tb.MultiJoinSql(), tb.ctx()).value();
+  Relation expected = ExpectedIntersection(w);
+  EXPECT_TRUE(result.EqualsAsBag(expected));
+  EXPECT_EQ(result.schema().size(), 2u);
+}
+
+TEST_P(IntersectionCorrectness, MediatorNeverSeesPlaintext) {
+  Workload w = IxWorkload(54);
+  MediationTestbed::Options opt;
+  opt.seed_label = "ix-leak-" + GetParam();
+  MediationTestbed tb(w, opt);
+  auto protocol = Make();
+  ASSERT_TRUE(protocol->Run(tb.JoinSql(), tb.ctx()).ok());
+  LeakageReport rep = AnalyzeLeakage(
+      GetParam(), tb.bus(), tb.mediator().name(), tb.client().name(), w.r1,
+      w.r2, w.join_attribute, 0);
+  EXPECT_FALSE(rep.mediator_saw_plaintext);
+}
+
+TEST_P(IntersectionCorrectness, NoPayloadColumnsInResult) {
+  Workload w = IxWorkload(55);
+  MediationTestbed::Options opt;
+  opt.seed_label = "ix-cols-" + GetParam();
+  MediationTestbed tb(w, opt);
+  auto protocol = Make();
+  Relation result = protocol->Run(tb.JoinSql(), tb.ctx()).value();
+  EXPECT_EQ(result.schema().size(), 1u);
+  EXPECT_EQ(result.schema().column(0).name, "ajoin");
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, IntersectionCorrectness,
+                         ::testing::Values("commutative", "pm"));
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,69 @@
+#include "core/leakage.h"
+
+#include <gtest/gtest.h>
+
+namespace secmed {
+namespace {
+
+Relation Probed() {
+  Relation r{Schema({{"ajoin", ValueType::kInt64},
+                     {"note", ValueType::kString}})};
+  EXPECT_TRUE(r.Append({Value::Int(7), Value::Str("confidential")}).ok());
+  EXPECT_TRUE(r.Append({Value::Int(9), Value::Str("xyz")}).ok());  // short
+  EXPECT_TRUE(r.Append({Value::Null(), Value::Null()}).ok());
+  return r;
+}
+
+TEST(SensitiveProbesTest, CollectsJoinValuesAndLongStrings) {
+  Relation r = Probed();
+  std::vector<Bytes> probes = SensitiveProbes(r, r, "ajoin");
+  // Join encodings for 7 and 9, plus "confidential" (>= 4 chars);
+  // "xyz" is too short to be a meaningful probe, NULLs skipped.
+  EXPECT_EQ(probes.size(), 3u);
+  bool has_conf = false;
+  for (const Bytes& p : probes) has_conf |= p == ToBytes("confidential");
+  EXPECT_TRUE(has_conf);
+}
+
+TEST(ScanViewTest, FindsEmbeddedProbes) {
+  Bytes view = ToBytes("....confidential....");
+  std::vector<std::string> hits =
+      ScanViewForProbes(view, {ToBytes("confidential"), ToBytes("absent")});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], HexEncode(ToBytes("confidential")));
+}
+
+TEST(ScanViewTest, EmptyAndOversizedProbesIgnored) {
+  Bytes view = ToBytes("short");
+  EXPECT_TRUE(ScanViewForProbes(view, {Bytes()}).empty());
+  EXPECT_TRUE(
+      ScanViewForProbes(view, {ToBytes("much longer than the view")}).empty());
+  EXPECT_TRUE(ScanViewForProbes(Bytes(), {ToBytes("x")}).empty());
+}
+
+TEST(AnalyzeLeakageTest, ReportFromTranscript) {
+  NetworkBus bus;
+  bus.Send("s1", "mediator", "t", ToBytes("ciphertextonly"));
+  bus.Send("mediator", "client", "t", Bytes(64, 0xAA));
+  Relation r = Probed();
+  LeakageReport rep =
+      AnalyzeLeakage("test", bus, "mediator", "client", r, r, "ajoin", 5);
+  EXPECT_FALSE(rep.mediator_saw_plaintext);
+  EXPECT_EQ(rep.mediator_messages_routed, 1u);
+  EXPECT_GT(rep.client_bytes_received, 64u);
+  EXPECT_EQ(rep.client_decryption_work, 5u);
+  EXPECT_NE(rep.ToString().find("plaintext hits: none"), std::string::npos);
+}
+
+TEST(AnalyzeLeakageTest, DetectsPlaintextInMediatorView) {
+  NetworkBus bus;
+  bus.Send("s1", "mediator", "t", ToBytes("here is confidential data"));
+  Relation r = Probed();
+  LeakageReport rep =
+      AnalyzeLeakage("test", bus, "mediator", "client", r, r, "ajoin", 0);
+  EXPECT_TRUE(rep.mediator_saw_plaintext);
+  EXPECT_EQ(rep.plaintext_hits.size(), 1u);
+}
+
+}  // namespace
+}  // namespace secmed

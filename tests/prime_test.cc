@@ -1,0 +1,82 @@
+#include "bigint/prime.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+#include "util/rng.h"
+
+namespace secmed {
+namespace {
+
+TEST(PrimeTest, SmallPrimesRecognized) {
+  XoshiroRandomSource rng(1);
+  for (uint64_t p : {2u, 3u, 5u, 7u, 11u, 13u, 97u, 541u, 7919u}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt(p), &rng)) << p;
+  }
+}
+
+TEST(PrimeTest, SmallCompositesRejected) {
+  XoshiroRandomSource rng(2);
+  for (uint64_t c : {0u, 1u, 4u, 6u, 9u, 15u, 100u, 561u, 7917u}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), &rng)) << c;
+  }
+}
+
+TEST(PrimeTest, NegativeNotPrime) {
+  XoshiroRandomSource rng(3);
+  EXPECT_FALSE(IsProbablePrime(BigInt(-7), &rng));
+}
+
+TEST(PrimeTest, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller–Rabin.
+  XoshiroRandomSource rng(4);
+  for (const char* c : {"561", "1105", "1729", "2465", "2821", "6601",
+                        "41041", "825265", "321197185"}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt::FromDecimal(c).value(), &rng)) << c;
+  }
+}
+
+TEST(PrimeTest, KnownLargePrimes) {
+  XoshiroRandomSource rng(5);
+  // Mersenne primes 2^89-1, 2^107-1, 2^127-1.
+  for (size_t e : {89u, 107u, 127u}) {
+    BigInt m = (BigInt(1) << e) - BigInt(1);
+    EXPECT_TRUE(IsProbablePrime(m, &rng)) << e;
+  }
+  // 2^128 + 51 is prime.
+  EXPECT_TRUE(IsProbablePrime((BigInt(1) << 128) + BigInt(51), &rng));
+}
+
+TEST(PrimeTest, KnownLargeComposites) {
+  XoshiroRandomSource rng(6);
+  // 2^83 - 1 = 167 * ... (83 prime but 2^83-1 composite).
+  EXPECT_FALSE(IsProbablePrime((BigInt(1) << 83) - BigInt(1), &rng));
+  // Product of two primes.
+  BigInt p = (BigInt(1) << 89) - BigInt(1);
+  EXPECT_FALSE(IsProbablePrime(p * p, &rng));
+}
+
+class RandomPrimeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RandomPrimeProperty, GeneratedPrimesHaveExactBitLengthAndPass) {
+  const size_t bits = GetParam();
+  XoshiroRandomSource rng(100 + bits);
+  BigInt p = RandomPrime(bits, &rng);
+  EXPECT_EQ(p.BitLength(), bits);
+  EXPECT_TRUE(IsProbablePrime(p, &rng, 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomPrimeProperty,
+                         ::testing::Values(32, 64, 128, 256));
+
+TEST(SafePrimeTest, GeneratedSafePrimeIsSafe) {
+  XoshiroRandomSource rng(77);
+  BigInt p = RandomSafePrime(64, &rng);
+  EXPECT_EQ(p.BitLength(), 64u);
+  EXPECT_TRUE(IsProbablePrime(p, &rng, 64));
+  BigInt q = (p - BigInt(1)) >> 1;
+  EXPECT_TRUE(IsProbablePrime(q, &rng, 64));
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,110 @@
+#ifndef SECMED_TESTS_PROTOCOL_TEST_UTIL_H_
+#define SECMED_TESTS_PROTOCOL_TEST_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/protocol.h"
+#include "crypto/drbg.h"
+#include "mediation/client.h"
+#include "mediation/credential.h"
+#include "mediation/datasource.h"
+#include "mediation/mediator.h"
+#include "mediation/network.h"
+#include "relational/algebra.h"
+#include "relational/workload.h"
+
+namespace secmed {
+
+/// A fully wired mediation environment for tests and benchmarks: CA,
+/// client with credential, mediator with the embedding, two datasources
+/// holding the workload relations, and a fresh bus.
+class TestEnvironment {
+ public:
+  /// Builds the environment around a workload. Key sizes kept moderate so
+  /// test suites stay fast; protocol correctness is size-independent.
+  explicit TestEnvironment(const Workload& workload,
+                           const std::string& seed_label = "env",
+                           size_t rsa_bits = 1024, size_t paillier_bits = 1024)
+      : rng_(ToBytes("protocol-test-" + seed_label)),
+        workload_(workload),
+        mediator_("mediator"),
+        source1_("hospital"),
+        source2_("insurer") {
+    ca_ = std::make_unique<CertificationAuthority>(
+        CertificationAuthority::Create(1024, &rng_).value());
+    client_ = std::make_unique<Client>(
+        Client::Create("client", rsa_bits, paillier_bits, &rng_).value());
+    Status st = client_->AcquireCredential(
+        *ca_, {{"role", "physician"}, {"org", "clinic"}});
+    (void)st;
+
+    source1_.set_ca_key(ca_->public_key());
+    source2_.set_ca_key(ca_->public_key());
+    source1_.AddRelation("medical", workload_.r1);
+    source2_.AddRelation("billing", workload_.r2);
+
+    mediator_.RegisterTable("medical", source1_.name(), workload_.r1.schema());
+    mediator_.RegisterTable("billing", source2_.name(), workload_.r2.schema());
+
+    ctx_.client = client_.get();
+    ctx_.mediator = &mediator_;
+    ctx_.sources[source1_.name()] = &source1_;
+    ctx_.sources[source2_.name()] = &source2_;
+    ctx_.bus = &bus_;
+    ctx_.rng = &rng_;
+  }
+
+  ProtocolContext* ctx() { return &ctx_; }
+  NetworkBus& bus() { return bus_; }
+  Client& client() { return *client_; }
+  DataSource& source1() { return source1_; }
+  DataSource& source2() { return source2_; }
+  Mediator& mediator() { return mediator_; }
+  const Workload& workload() const { return workload_; }
+  HmacDrbg& rng() { return rng_; }
+
+  /// The global query joining the two workload tables on Ajoin.
+  std::string JoinSql() const {
+    return "SELECT * FROM medical JOIN billing ON medical." +
+           workload_.join_attribute + " = billing." + workload_.join_attribute;
+  }
+
+  /// Trusted-mediator reference result: the natural join of the qualified
+  /// partial results.
+  Relation ExpectedJoin() const {
+    Relation a = Qualify(workload_.r1, "medical");
+    Relation b = Qualify(workload_.r2, "billing");
+    return NaturalJoin(a, b).value();
+  }
+
+ private:
+  HmacDrbg rng_;
+  Workload workload_;
+  std::unique_ptr<CertificationAuthority> ca_;
+  std::unique_ptr<Client> client_;
+  Mediator mediator_;
+  DataSource source1_;
+  DataSource source2_;
+  NetworkBus bus_;
+  ProtocolContext ctx_;
+};
+
+/// Default workload used across protocol tests.
+inline Workload SmallWorkload(uint64_t seed = 7) {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 25;
+  cfg.r2_tuples = 20;
+  cfg.r1_domain = 10;
+  cfg.r2_domain = 8;
+  cfg.common_values = 4;
+  cfg.r1_extra_columns = 2;
+  cfg.r2_extra_columns = 1;
+  cfg.seed = seed;
+  return GenerateWorkload(cfg);
+}
+
+}  // namespace secmed
+
+#endif  // SECMED_TESTS_PROTOCOL_TEST_UTIL_H_

@@ -1,0 +1,177 @@
+// Tests of the range-selection protocol (Hore et al. [15]): bucketized
+// range queries over encrypted single-table data.
+
+#include "core/range_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "relational/algebra.h"
+
+namespace secmed {
+namespace {
+
+Relation Readings() {
+  Relation r{Schema({{"sensor", ValueType::kInt64},
+                     {"temp", ValueType::kInt64},
+                     {"site", ValueType::kString}})};
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(r.Append({Value::Int(i), Value::Int((i * 7) % 100),
+                          Value::Str(i % 2 ? "north" : "south")})
+                    .ok());
+  }
+  return r;
+}
+
+class RangeEnv {
+ public:
+  RangeEnv() : tb_(GenerateWorkload(WorkloadConfig{})) {
+    tb_.source1().AddRelation("readings", Readings());
+    tb_.mediator().RegisterTable("readings", tb_.source1().name(),
+                                 Readings().schema());
+  }
+  ProtocolContext* ctx() { return tb_.ctx(); }
+  MediationTestbed& tb() { return tb_; }
+
+ private:
+  MediationTestbed tb_;
+};
+
+Relation Oracle(const std::string& where_desc, const PredicatePtr& pred) {
+  (void)where_desc;
+  return Select(Qualify(Readings(), "readings"), pred).value();
+}
+
+TEST(RangeProtocolTest, ClosedInterval) {
+  RangeEnv env;
+  RangeSelectionProtocol protocol;
+  Relation result =
+      protocol
+          .Run("SELECT * FROM readings WHERE temp >= 20 AND temp <= 40",
+               env.ctx())
+          .value();
+  PredicatePtr pred = Predicate::And(
+      Predicate::Compare(Predicate::Operand::Col("temp"), CompareOp::kGe,
+                         Predicate::Operand::Lit(Value::Int(20))),
+      Predicate::Compare(Predicate::Operand::Col("temp"), CompareOp::kLe,
+                         Predicate::Operand::Lit(Value::Int(40))));
+  EXPECT_TRUE(result.EqualsAsBag(Oracle("20..40", pred)));
+  EXPECT_GT(result.size(), 0u);
+  // Superset property.
+  EXPECT_GE(protocol.last_superset_size(), result.size());
+}
+
+TEST(RangeProtocolTest, OpenEndedAndStrictBounds) {
+  RangeEnv env;
+  RangeSelectionProtocol protocol;
+  Relation hi = protocol.Run("SELECT * FROM readings WHERE temp > 90",
+                             env.ctx())
+                    .value();
+  for (const Tuple& t : hi.tuples()) EXPECT_GT(t[1].as_int(), 90);
+  Relation lo =
+      protocol.Run("SELECT * FROM readings WHERE temp < 7", env.ctx()).value();
+  for (const Tuple& t : lo.tuples()) EXPECT_LT(t[1].as_int(), 7);
+  EXPECT_GT(hi.size() + lo.size(), 0u);
+}
+
+TEST(RangeProtocolTest, PointQuery) {
+  RangeEnv env;
+  RangeSelectionProtocol protocol;
+  Relation result =
+      protocol.Run("SELECT * FROM readings WHERE sensor = 5", env.ctx())
+          .value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at(0, 0), Value::Int(5));
+}
+
+TEST(RangeProtocolTest, EmptyRange) {
+  RangeEnv env;
+  RangeSelectionProtocol protocol;
+  Relation result =
+      protocol
+          .Run("SELECT * FROM readings WHERE temp > 50 AND temp < 40",
+               env.ctx())
+          .value();
+  EXPECT_EQ(result.size(), 0u);
+}
+
+TEST(RangeProtocolTest, MoreBucketsTightenTheSuperset) {
+  size_t superset_coarse = 0, superset_fine = 0;
+  {
+    RangeEnv env;
+    RangeSelectionProtocol protocol({PartitionStrategy::kEquiDepth, 2});
+    ASSERT_TRUE(protocol
+                    .Run("SELECT * FROM readings WHERE temp >= 30 AND "
+                         "temp <= 35",
+                         env.ctx())
+                    .ok());
+    superset_coarse = protocol.last_superset_size();
+  }
+  {
+    RangeEnv env;
+    RangeSelectionProtocol protocol({PartitionStrategy::kEquiDepth, 16});
+    ASSERT_TRUE(protocol
+                    .Run("SELECT * FROM readings WHERE temp >= 30 AND "
+                         "temp <= 35",
+                         env.ctx())
+                    .ok());
+    superset_fine = protocol.last_superset_size();
+  }
+  EXPECT_GT(superset_coarse, superset_fine);
+}
+
+TEST(RangeProtocolTest, ConstantsNeverReachTheMediator) {
+  RangeEnv env;
+  RangeSelectionProtocol protocol;
+  ASSERT_TRUE(protocol
+                  .Run("SELECT * FROM readings WHERE temp >= 33 AND "
+                       "temp <= 44",
+                       env.ctx())
+                  .ok());
+  // The literals 33/44 appear in no mediator-bound payload as encoded
+  // values; scan for their canonical encodings.
+  Bytes view = env.tb().bus().ViewOf(env.tb().mediator().name());
+  for (int64_t v : {33, 44}) {
+    Bytes probe = Value::Int(v).Encode();
+    EXPECT_EQ(std::search(view.begin(), view.end(), probe.begin(),
+                          probe.end()),
+              view.end())
+        << v;
+  }
+}
+
+TEST(RangeProtocolTest, RejectsUnsupportedQueries) {
+  RangeEnv env;
+  RangeSelectionProtocol protocol;
+  EXPECT_FALSE(protocol.Run("SELECT * FROM readings", env.ctx()).ok());
+  EXPECT_FALSE(protocol
+                   .Run("SELECT * FROM readings WHERE site = 'north'",
+                        env.ctx())
+                   .ok());  // string column: no integer literal
+  EXPECT_FALSE(protocol
+                   .Run("SELECT * FROM readings WHERE temp = 1 OR temp = 2",
+                        env.ctx())
+                   .ok());
+  EXPECT_FALSE(protocol
+                   .Run("SELECT * FROM readings WHERE temp > 1 AND sensor < 5",
+                        env.ctx())
+                   .ok());  // two columns
+}
+
+TEST(RangeProtocolTest, ReversedOperandOrder) {
+  RangeEnv env;
+  RangeSelectionProtocol protocol;
+  // 20 <= temp is temp >= 20.
+  Relation result =
+      protocol
+          .Run("SELECT * FROM readings WHERE 20 <= temp AND 25 >= temp",
+               env.ctx())
+          .value();
+  for (const Tuple& t : result.tuples()) {
+    EXPECT_GE(t[1].as_int(), 20);
+    EXPECT_LE(t[1].as_int(), 25);
+  }
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "relational/algebra.h"
+#include "relational/sql.h"
+
+namespace secmed {
+namespace {
+
+Relation Claims() {
+  Relation r{Schema({{"diag", ValueType::kString},
+                     {"cost", ValueType::kInt64},
+                     {"region", ValueType::kString}})};
+  struct Row {
+    const char* diag;
+    int64_t cost;
+    const char* region;
+  };
+  const Row rows[] = {
+      {"flu", 100, "north"},  {"flu", 50, "south"},  {"flu", 150, "north"},
+      {"gout", 900, "north"}, {"gout", 700, "south"}, {"acne", 20, "south"},
+  };
+  for (const Row& row : rows) {
+    EXPECT_TRUE(r.Append({Value::Str(row.diag), Value::Int(row.cost),
+                          Value::Str(row.region)})
+                    .ok());
+  }
+  return r;
+}
+
+TEST(AggregateTest, GlobalCount) {
+  Relation out = Aggregate(Claims(), {}, {{AggregateFn::kCount, "", ""}})
+                     .value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(0, 0), Value::Int(6));
+  EXPECT_EQ(out.schema().column(0).name, "count_all");
+}
+
+TEST(AggregateTest, GlobalSumMinMaxAvg) {
+  Relation out = Aggregate(Claims(), {},
+                           {{AggregateFn::kSum, "cost", "total"},
+                            {AggregateFn::kMin, "cost", "lo"},
+                            {AggregateFn::kMax, "cost", "hi"},
+                            {AggregateFn::kAvg, "cost", "mean"}})
+                     .value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(0, 0), Value::Int(1920));
+  EXPECT_EQ(out.at(0, 1), Value::Int(20));
+  EXPECT_EQ(out.at(0, 2), Value::Int(900));
+  EXPECT_EQ(out.at(0, 3), Value::Int(320));
+}
+
+TEST(AggregateTest, GroupBy) {
+  Relation out = Aggregate(Claims(), {"diag"},
+                           {{AggregateFn::kCount, "", "n"},
+                            {AggregateFn::kSum, "cost", "total"}})
+                     .value();
+  ASSERT_EQ(out.size(), 3u);  // acne, flu, gout (canonical order)
+  EXPECT_EQ(out.at(0, 0), Value::Str("acne"));
+  EXPECT_EQ(out.at(0, 1), Value::Int(1));
+  EXPECT_EQ(out.at(0, 2), Value::Int(20));
+  EXPECT_EQ(out.at(1, 0), Value::Str("flu"));
+  EXPECT_EQ(out.at(1, 1), Value::Int(3));
+  EXPECT_EQ(out.at(1, 2), Value::Int(300));
+}
+
+TEST(AggregateTest, MultiColumnGroupBy) {
+  Relation out =
+      Aggregate(Claims(), {"diag", "region"}, {{AggregateFn::kCount, "", "n"}})
+          .value();
+  EXPECT_EQ(out.size(), 5u);  // flu appears in both regions
+}
+
+TEST(AggregateTest, NullsIgnored) {
+  Relation r{Schema({{"x", ValueType::kInt64}})};
+  ASSERT_TRUE(r.Append({Value::Int(10)}).ok());
+  ASSERT_TRUE(r.Append({Value::Null()}).ok());
+  Relation out = Aggregate(r, {},
+                           {{AggregateFn::kCount, "x", "n"},
+                            {AggregateFn::kCount, "", "rows"},
+                            {AggregateFn::kSum, "x", "s"}})
+                     .value();
+  EXPECT_EQ(out.at(0, 0), Value::Int(1));  // COUNT(x) skips NULL
+  EXPECT_EQ(out.at(0, 1), Value::Int(2));  // COUNT(*) counts rows
+  EXPECT_EQ(out.at(0, 2), Value::Int(10));
+}
+
+TEST(AggregateTest, EmptyInputGlobalAggregates) {
+  Relation r{Schema({{"x", ValueType::kInt64}})};
+  Relation out = Aggregate(r, {},
+                           {{AggregateFn::kCount, "", "n"},
+                            {AggregateFn::kSum, "x", "s"}})
+                     .value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(0, 0), Value::Int(0));
+  EXPECT_TRUE(out.at(0, 1).is_null());  // SUM of nothing is NULL
+}
+
+TEST(AggregateTest, SumOnStringColumnRejected) {
+  EXPECT_FALSE(Aggregate(Claims(), {}, {{AggregateFn::kSum, "diag", ""}}).ok());
+  EXPECT_FALSE(Aggregate(Claims(), {}, {{AggregateFn::kAvg, "region", ""}}).ok());
+  // MIN/MAX on strings is fine.
+  Relation out =
+      Aggregate(Claims(), {}, {{AggregateFn::kMax, "diag", "m"}}).value();
+  EXPECT_EQ(out.at(0, 0), Value::Str("gout"));
+}
+
+TEST(AggregateTest, StarOnlyForCount) {
+  EXPECT_FALSE(Aggregate(Claims(), {}, {{AggregateFn::kSum, "", ""}}).ok());
+}
+
+TEST(OrderByTest, AscendingAndDescending) {
+  Relation asc = OrderBy(Claims(), {{"cost", false}}).value();
+  EXPECT_EQ(asc.at(0, 1), Value::Int(20));
+  EXPECT_EQ(asc.at(5, 1), Value::Int(900));
+  Relation desc = OrderBy(Claims(), {{"cost", true}}).value();
+  EXPECT_EQ(desc.at(0, 1), Value::Int(900));
+}
+
+TEST(OrderByTest, MultiKeyStable) {
+  Relation out = OrderBy(Claims(), {{"region", false}, {"cost", true}}).value();
+  // north first, within north by cost desc: 900, 150, 100.
+  EXPECT_EQ(out.at(0, 1), Value::Int(900));
+  EXPECT_EQ(out.at(1, 1), Value::Int(150));
+  EXPECT_EQ(out.at(2, 1), Value::Int(100));
+}
+
+TEST(OrderByTest, UnknownColumnFails) {
+  EXPECT_FALSE(OrderBy(Claims(), {{"nope", false}}).ok());
+}
+
+TEST(LimitTest, TruncatesAndPassesThrough) {
+  EXPECT_EQ(Limit(Claims(), 2).size(), 2u);
+  EXPECT_EQ(Limit(Claims(), 100).size(), 6u);
+  EXPECT_EQ(Limit(Claims(), 0).size(), 0u);
+}
+
+TEST(SqlAggregateTest, ParseAggregateSelectList) {
+  ParsedQuery q = ParseSql(
+                      "SELECT diag, COUNT(*) AS n, SUM(cost) FROM claims "
+                      "GROUP BY diag")
+                      .value();
+  ASSERT_EQ(q.select_columns.size(), 1u);
+  ASSERT_EQ(q.aggregates.size(), 2u);
+  EXPECT_EQ(q.aggregates[0].fn, AggregateFn::kCount);
+  EXPECT_EQ(q.aggregates[0].output_name, "n");
+  EXPECT_EQ(q.aggregates[1].fn, AggregateFn::kSum);
+  EXPECT_EQ(q.aggregates[1].column, "cost");
+  ASSERT_EQ(q.group_by.size(), 1u);
+}
+
+TEST(SqlAggregateTest, ParseOrderByAndLimit) {
+  ParsedQuery q =
+      ParseSql("SELECT * FROM t ORDER BY a DESC, b LIMIT 10").value();
+  ASSERT_EQ(q.order_by.size(), 2u);
+  EXPECT_TRUE(q.order_by[0].descending);
+  EXPECT_FALSE(q.order_by[1].descending);
+  EXPECT_EQ(q.limit, 10u);
+}
+
+TEST(SqlAggregateTest, ParseErrors) {
+  EXPECT_FALSE(ParseSql("SELECT SUM(*) FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t GROUP diag").ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT( FROM t").ok());
+}
+
+TEST(SqlAggregateTest, ToStringRoundTrip) {
+  const char* sql =
+      "SELECT diag, COUNT(*) AS n FROM claims GROUP BY diag "
+      "ORDER BY diag DESC LIMIT 5";
+  ParsedQuery q1 = ParseSql(sql).value();
+  ParsedQuery q2 = ParseSql(q1.ToString()).value();
+  EXPECT_EQ(q1.ToString(), q2.ToString());
+}
+
+TEST(SqlAggregateTest, ExecuteGroupByQuery) {
+  Catalog cat{{"claims", Claims()}};
+  Relation out = ExecuteSql(
+                     "SELECT diag, SUM(cost) AS total FROM claims "
+                     "GROUP BY diag ORDER BY total DESC",
+                     cat)
+                     .value();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.at(0, 0), Value::Str("gout"));
+  EXPECT_EQ(out.at(0, 1), Value::Int(1600));
+  EXPECT_EQ(out.at(2, 0), Value::Str("acne"));
+}
+
+TEST(SqlAggregateTest, ExecuteGlobalAggregate) {
+  Catalog cat{{"claims", Claims()}};
+  Relation out =
+      ExecuteSql("SELECT COUNT(*), AVG(cost) FROM claims", cat).value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(0, 0), Value::Int(6));
+  EXPECT_EQ(out.at(0, 1), Value::Int(320));
+}
+
+TEST(SqlAggregateTest, ExecuteLimitAfterOrder) {
+  Catalog cat{{"claims", Claims()}};
+  Relation out =
+      ExecuteSql("SELECT * FROM claims ORDER BY cost DESC LIMIT 2", cat)
+          .value();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.at(0, 1), Value::Int(900));
+  EXPECT_EQ(out.at(1, 1), Value::Int(700));
+}
+
+TEST(SqlAggregateTest, UngroupedPlainColumnRejected) {
+  Catalog cat{{"claims", Claims()}};
+  EXPECT_FALSE(
+      ExecuteSql("SELECT region, COUNT(*) FROM claims GROUP BY diag", cat)
+          .ok());
+}
+
+TEST(SqlAggregateTest, WhereBeforeGroupBy) {
+  Catalog cat{{"claims", Claims()}};
+  Relation out = ExecuteSql(
+                     "SELECT diag, COUNT(*) AS n FROM claims "
+                     "WHERE region = 'north' GROUP BY diag",
+                     cat)
+                     .value();
+  ASSERT_EQ(out.size(), 2u);  // flu (2), gout (1)
+}
+
+}  // namespace
+}  // namespace secmed

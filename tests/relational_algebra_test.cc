@@ -1,0 +1,237 @@
+#include "relational/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/workload.h"
+
+namespace secmed {
+namespace {
+
+Relation Patients() {
+  Relation r{Schema({{"pid", ValueType::kInt64},
+                     {"name", ValueType::kString},
+                     {"diag", ValueType::kString}})};
+  EXPECT_TRUE(r.Append({Value::Int(1), Value::Str("alice"), Value::Str("flu")}).ok());
+  EXPECT_TRUE(r.Append({Value::Int(2), Value::Str("bob"), Value::Str("cold")}).ok());
+  EXPECT_TRUE(r.Append({Value::Int(3), Value::Str("carol"), Value::Str("flu")}).ok());
+  return r;
+}
+
+Relation Treatments() {
+  Relation r{Schema({{"diag", ValueType::kString},
+                     {"drug", ValueType::kString}})};
+  EXPECT_TRUE(r.Append({Value::Str("flu"), Value::Str("oseltamivir")}).ok());
+  EXPECT_TRUE(r.Append({Value::Str("flu"), Value::Str("rest")}).ok());
+  EXPECT_TRUE(r.Append({Value::Str("fever"), Value::Str("ibuprofen")}).ok());
+  return r;
+}
+
+TEST(SelectTest, FiltersRows) {
+  Relation out =
+      Select(Patients(), Predicate::ColumnEquals("diag", Value::Str("flu")))
+          .value();
+  EXPECT_EQ(out.size(), 2u);
+  for (const Tuple& t : out.tuples()) EXPECT_EQ(t[2], Value::Str("flu"));
+}
+
+TEST(SelectTest, TrueAndFalsePredicates) {
+  EXPECT_EQ(Select(Patients(), Predicate::True()).value().size(), 3u);
+  EXPECT_EQ(Select(Patients(), Predicate::False()).value().size(), 0u);
+}
+
+TEST(SelectTest, UnknownColumnFails) {
+  EXPECT_FALSE(
+      Select(Patients(), Predicate::ColumnEquals("nope", Value::Int(1))).ok());
+}
+
+TEST(SelectTest, NullNeverMatches) {
+  Relation r{Schema({{"x", ValueType::kInt64}})};
+  ASSERT_TRUE(r.Append({Value::Null()}).ok());
+  ASSERT_TRUE(r.Append({Value::Int(0)}).ok());
+  auto eq = Select(r, Predicate::ColumnEquals("x", Value::Int(0))).value();
+  EXPECT_EQ(eq.size(), 1u);
+  auto ne = Select(r, Predicate::Compare(Predicate::Operand::Col("x"),
+                                         CompareOp::kNe,
+                                         Predicate::Operand::Lit(Value::Int(0))))
+                .value();
+  EXPECT_EQ(ne.size(), 0u);  // NULL <> 0 is not true
+}
+
+TEST(ProjectTest, KeepsColumnsInOrder) {
+  Relation out = Project(Patients(), {"diag", "pid"}).value();
+  EXPECT_EQ(out.schema().column(0).name, "diag");
+  EXPECT_EQ(out.schema().column(1).name, "pid");
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.at(0, 0), Value::Str("flu"));
+  EXPECT_EQ(out.at(0, 1), Value::Int(1));
+}
+
+TEST(ProjectTest, UnknownColumnFails) {
+  EXPECT_FALSE(Project(Patients(), {"nope"}).ok());
+}
+
+TEST(CrossProductTest, SizesMultiply) {
+  Relation out = CrossProduct(Patients(), Treatments()).value();
+  EXPECT_EQ(out.size(), 9u);
+  EXPECT_EQ(out.schema().size(), 5u);
+}
+
+TEST(NaturalJoinTest, JoinsOnCommonColumn) {
+  Relation out = NaturalJoin(Patients(), Treatments()).value();
+  // alice-flu and carol-flu each match 2 treatment rows.
+  EXPECT_EQ(out.size(), 4u);
+  // Join column appears once.
+  EXPECT_EQ(out.schema().size(), 4u);
+  for (const Tuple& t : out.tuples()) EXPECT_EQ(t[2], Value::Str("flu"));
+}
+
+TEST(NaturalJoinTest, NoCommonColumnsIsCrossProduct) {
+  Relation a{Schema({{"x", ValueType::kInt64}})};
+  ASSERT_TRUE(a.Append({Value::Int(1)}).ok());
+  Relation b{Schema({{"y", ValueType::kInt64}})};
+  ASSERT_TRUE(b.Append({Value::Int(2)}).ok());
+  Relation out = NaturalJoin(a, b).value();
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.schema().size(), 2u);
+}
+
+TEST(NaturalJoinTest, NullsNeverJoin) {
+  Relation a{Schema({{"k", ValueType::kInt64}})};
+  ASSERT_TRUE(a.Append({Value::Null()}).ok());
+  Relation b{Schema({{"k", ValueType::kInt64}})};
+  ASSERT_TRUE(b.Append({Value::Null()}).ok());
+  EXPECT_EQ(NaturalJoin(a, b).value().size(), 0u);
+}
+
+TEST(NaturalJoinTest, QualifiedColumnsJoinByBaseName) {
+  Relation a = Qualify(Patients(), "R1");
+  Relation b = Qualify(Treatments(), "R2");
+  Relation out = NaturalJoin(a, b).value();
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(EquiJoinTest, KeepsBothColumns) {
+  Relation out =
+      EquiJoin(Patients(), "diag", Treatments(), "diag").value();
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.schema().size(), 5u);
+}
+
+TEST(EquiJoinTest, EmptyResultWhenNoMatches) {
+  Relation a{Schema({{"k", ValueType::kInt64}})};
+  ASSERT_TRUE(a.Append({Value::Int(1)}).ok());
+  Relation b{Schema({{"k2", ValueType::kInt64}})};
+  ASSERT_TRUE(b.Append({Value::Int(2)}).ok());
+  EXPECT_EQ(EquiJoin(a, "k", b, "k2").value().size(), 0u);
+}
+
+TEST(UnionTest, AppendsBags) {
+  Relation a = Patients();
+  Relation out = Union(a, a).value();
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(UnionTest, SchemaMismatchFails) {
+  EXPECT_FALSE(Union(Patients(), Treatments()).ok());
+}
+
+TEST(DistinctTest, RemovesDuplicates) {
+  Relation r{Schema({{"x", ValueType::kInt64}})};
+  for (int v : {1, 2, 1, 3, 2, 1}) ASSERT_TRUE(r.Append({Value::Int(v)}).ok());
+  Relation out = Distinct(r);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(QualifyTest, PrefixesAllColumns) {
+  Relation out = Qualify(Patients(), "P");
+  EXPECT_EQ(out.schema().column(0).name, "P.pid");
+  EXPECT_EQ(out.size(), 3u);
+}
+
+// Property: join against workload generator matches nested-loop reference.
+class JoinOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinOracleTest, HashJoinMatchesNestedLoop) {
+  WorkloadConfig cfg;
+  cfg.seed = GetParam();
+  cfg.r1_tuples = 60;
+  cfg.r2_tuples = 45;
+  cfg.r1_domain = 20;
+  cfg.r2_domain = 15;
+  cfg.common_values = 8;
+  Workload w = GenerateWorkload(cfg);
+
+  Relation fast = NaturalJoin(w.r1, w.r2).value();
+
+  // Nested-loop reference.
+  size_t ja = w.r1.schema().IndexOf(w.join_attribute).value();
+  size_t jb = w.r2.schema().IndexOf(w.join_attribute).value();
+  Relation slow(fast.schema());
+  for (const Tuple& ta : w.r1.tuples()) {
+    for (const Tuple& tb : w.r2.tuples()) {
+      if (ta[ja] == tb[jb]) {
+        Tuple t = ta;
+        for (size_t i = 0; i < tb.size(); ++i) {
+          if (i != jb) t.push_back(tb[i]);
+        }
+        slow.AppendUnchecked(std::move(t));
+      }
+    }
+  }
+  EXPECT_TRUE(fast.EqualsAsBag(slow));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinOracleTest,
+                         ::testing::Values(1, 2, 3, 7, 1234));
+
+TEST(WorkloadTest, RespectsConfiguredSizes) {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 100;
+  cfg.r2_tuples = 80;
+  cfg.r1_domain = 30;
+  cfg.r2_domain = 25;
+  cfg.common_values = 10;
+  Workload w = GenerateWorkload(cfg);
+  EXPECT_EQ(w.r1.size(), 100u);
+  EXPECT_EQ(w.r2.size(), 80u);
+  EXPECT_EQ(w.r1.ActiveDomain(w.join_attribute).value().size(), 30u);
+  EXPECT_EQ(w.r2.ActiveDomain(w.join_attribute).value().size(), 25u);
+
+  // Intersection of active domains is exactly common_values.
+  auto d1 = w.r1.ActiveDomain(w.join_attribute).value();
+  auto d2 = w.r2.ActiveDomain(w.join_attribute).value();
+  size_t common = 0;
+  for (const Value& v : d1) {
+    for (const Value& u : d2) common += v == u;
+  }
+  EXPECT_EQ(common, 10u);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  cfg.seed = 5;
+  Workload a = GenerateWorkload(cfg);
+  Workload b = GenerateWorkload(cfg);
+  EXPECT_TRUE(a.r1.EqualsAsBag(b.r1));
+  EXPECT_TRUE(a.r2.EqualsAsBag(b.r2));
+}
+
+TEST(WorkloadTest, SkewConcentratesFrequencies) {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 5000;
+  cfg.r1_domain = 50;
+  cfg.common_values = 0;
+  cfg.skew = 1.2;
+  Workload w = GenerateWorkload(cfg);
+  // Count frequency of the most common value; with skew it should be well
+  // above the uniform expectation of 100.
+  std::map<int64_t, size_t> freq;
+  size_t ja = w.r1.schema().IndexOf(w.join_attribute).value();
+  for (const Tuple& t : w.r1.tuples()) ++freq[t[ja].as_int()];
+  size_t max_freq = 0;
+  for (auto& [v, f] : freq) max_freq = std::max(max_freq, f);
+  EXPECT_GT(max_freq, 300u);
+}
+
+}  // namespace
+}  // namespace secmed

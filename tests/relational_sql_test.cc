@@ -1,0 +1,233 @@
+#include "relational/sql.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/algebra.h"
+
+namespace secmed {
+namespace {
+
+Catalog MakeCatalog() {
+  Relation patients{Schema({{"pid", ValueType::kInt64},
+                            {"name", ValueType::kString},
+                            {"diag", ValueType::kString}})};
+  EXPECT_TRUE(
+      patients.Append({Value::Int(1), Value::Str("alice"), Value::Str("flu")})
+          .ok());
+  EXPECT_TRUE(
+      patients.Append({Value::Int(2), Value::Str("bob"), Value::Str("cold")})
+          .ok());
+  Relation claims{Schema({{"cid", ValueType::kInt64},
+                          {"diag", ValueType::kString},
+                          {"cost", ValueType::kInt64}})};
+  EXPECT_TRUE(
+      claims.Append({Value::Int(10), Value::Str("flu"), Value::Int(100)}).ok());
+  EXPECT_TRUE(
+      claims.Append({Value::Int(11), Value::Str("flu"), Value::Int(50)}).ok());
+  EXPECT_TRUE(
+      claims.Append({Value::Int(12), Value::Str("acne"), Value::Int(20)}).ok());
+  return Catalog{{"patients", patients}, {"claims", claims}};
+}
+
+TEST(ParseSqlTest, SelectStar) {
+  ParsedQuery q = ParseSql("SELECT * FROM patients").value();
+  EXPECT_TRUE(q.select_columns.empty());
+  EXPECT_EQ(q.from.name, "patients");
+  EXPECT_EQ(q.from.alias, "patients");
+  EXPECT_TRUE(q.joins.empty());
+  EXPECT_EQ(q.where->kind(), Predicate::Kind::kTrue);
+}
+
+TEST(ParseSqlTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseSql("select * from t").ok());
+  EXPECT_TRUE(ParseSql("SeLeCt * FrOm t").ok());
+}
+
+TEST(ParseSqlTest, ColumnsAndAlias) {
+  ParsedQuery q =
+      ParseSql("SELECT name, diag FROM patients AS p").value();
+  ASSERT_EQ(q.select_columns.size(), 2u);
+  EXPECT_EQ(q.select_columns[0], "name");
+  EXPECT_EQ(q.from.alias, "p");
+}
+
+TEST(ParseSqlTest, JoinOn) {
+  ParsedQuery q = ParseSql(
+                      "SELECT * FROM patients JOIN claims ON "
+                      "patients.diag = claims.diag")
+                      .value();
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_FALSE(q.joins[0].natural);
+  ASSERT_EQ(q.joins[0].on_pairs.size(), 1u);
+  EXPECT_EQ(q.joins[0].on_pairs[0].first, "patients.diag");
+  EXPECT_EQ(q.joins[0].on_pairs[0].second, "claims.diag");
+}
+
+TEST(ParseSqlTest, MultiAttributeOnClause) {
+  ParsedQuery q = ParseSql(
+                      "SELECT * FROM a JOIN b ON a.x = b.x AND a.y = b.y")
+                      .value();
+  ASSERT_EQ(q.joins.size(), 1u);
+  ASSERT_EQ(q.joins[0].on_pairs.size(), 2u);
+  EXPECT_EQ(q.joins[0].on_pairs[1].first, "a.y");
+  EXPECT_EQ(q.joins[0].on_pairs[1].second, "b.y");
+}
+
+TEST(ParseSqlTest, NaturalJoin) {
+  ParsedQuery q =
+      ParseSql("SELECT * FROM patients NATURAL JOIN claims").value();
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_TRUE(q.joins[0].natural);
+}
+
+TEST(ParseSqlTest, WherePredicates) {
+  ParsedQuery q =
+      ParseSql("SELECT * FROM t WHERE a = 1 AND (b <> 'x' OR NOT c < 5)")
+          .value();
+  std::string s = q.where->ToString();
+  EXPECT_NE(s.find("AND"), std::string::npos);
+  EXPECT_NE(s.find("OR"), std::string::npos);
+  EXPECT_NE(s.find("NOT"), std::string::npos);
+}
+
+TEST(ParseSqlTest, AllComparisonOps) {
+  for (const char* op : {"=", "<>", "<", "<=", ">", ">="}) {
+    std::string sql = std::string("SELECT * FROM t WHERE a ") + op + " 1";
+    EXPECT_TRUE(ParseSql(sql).ok()) << sql;
+  }
+}
+
+TEST(ParseSqlTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t JOIN u").ok());          // missing ON
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE a = ").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t extra garbage = 1").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE a ! 1").ok());
+}
+
+TEST(ParseSqlTest, ToStringRoundTripsThroughParser) {
+  const char* queries[] = {
+      "SELECT * FROM patients",
+      "SELECT name FROM patients AS p WHERE p.diag = 'flu'",
+      "SELECT * FROM patients JOIN claims ON patients.diag = claims.diag "
+      "WHERE cost > 10",
+  };
+  for (const char* sql : queries) {
+    ParsedQuery q1 = ParseSql(sql).value();
+    ParsedQuery q2 = ParseSql(q1.ToString()).value();
+    EXPECT_EQ(q1.ToString(), q2.ToString()) << sql;
+  }
+}
+
+TEST(Sql2AlgebraTest, ScanLeafCarriesPartialQuery) {
+  auto tree = Sql2Algebra("SELECT * FROM patients").value();
+  EXPECT_EQ(tree->op, AlgebraNode::Op::kScan);
+  EXPECT_EQ(tree->partial_query, "select * from patients");
+}
+
+TEST(Sql2AlgebraTest, JoinTreeShape) {
+  auto tree = Sql2Algebra(
+                  "SELECT name FROM patients JOIN claims ON "
+                  "patients.diag = claims.diag WHERE cost > 10")
+                  .value();
+  // Project -> Select -> Join -> (Scan, Scan)
+  ASSERT_EQ(tree->op, AlgebraNode::Op::kProject);
+  const AlgebraNode* sel = tree->children[0].get();
+  ASSERT_EQ(sel->op, AlgebraNode::Op::kSelect);
+  const AlgebraNode* join = sel->children[0].get();
+  ASSERT_EQ(join->op, AlgebraNode::Op::kJoin);
+  ASSERT_EQ(join->children.size(), 2u);
+  EXPECT_EQ(join->children[0]->op, AlgebraNode::Op::kScan);
+  EXPECT_EQ(join->children[1]->op, AlgebraNode::Op::kScan);
+
+  auto leaves = tree->Leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0]->table, "patients");
+  EXPECT_EQ(leaves[1]->table, "claims");
+}
+
+TEST(Sql2AlgebraTest, ToStringShowsTree) {
+  auto tree =
+      Sql2Algebra("SELECT * FROM a NATURAL JOIN b").value();
+  std::string s = tree->ToString();
+  EXPECT_NE(s.find("Join[natural]"), std::string::npos);
+  EXPECT_NE(s.find("Scan[a]"), std::string::npos);
+}
+
+TEST(ExecuteSqlTest, SelectStar) {
+  Relation out = ExecuteSql("SELECT * FROM patients", MakeCatalog()).value();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ExecuteSqlTest, Where) {
+  Relation out =
+      ExecuteSql("SELECT * FROM patients WHERE diag = 'flu'", MakeCatalog())
+          .value();
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(0, 1), Value::Str("alice"));
+}
+
+TEST(ExecuteSqlTest, JoinOnQualifiedColumns) {
+  Relation out = ExecuteSql(
+                     "SELECT * FROM patients JOIN claims ON "
+                     "patients.diag = claims.diag",
+                     MakeCatalog())
+                     .value();
+  EXPECT_EQ(out.size(), 2u);  // alice-flu matches two claims
+  EXPECT_EQ(out.schema().size(), 6u);
+}
+
+TEST(ExecuteSqlTest, NaturalJoinMergesColumns) {
+  Relation out =
+      ExecuteSql("SELECT * FROM patients NATURAL JOIN claims", MakeCatalog())
+          .value();
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.schema().size(), 5u);  // diag merged
+}
+
+TEST(ExecuteSqlTest, ProjectionAndFilterOnJoin) {
+  Relation out = ExecuteSql(
+                     "SELECT name, cost FROM patients NATURAL JOIN claims "
+                     "WHERE cost >= 100",
+                     MakeCatalog())
+                     .value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(0, 0), Value::Str("alice"));
+  EXPECT_EQ(out.at(0, 1), Value::Int(100));
+}
+
+TEST(ExecuteSqlTest, MissingTableFails) {
+  auto res = ExecuteSql("SELECT * FROM missing", MakeCatalog());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecuteSqlTest, AliasQualifiesColumns) {
+  Relation out = ExecuteSql(
+                     "SELECT p.name FROM patients AS p WHERE p.diag = 'cold'",
+                     MakeCatalog())
+                     .value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(0, 0), Value::Str("bob"));
+}
+
+TEST(ExecuteSqlTest, ThreeWayJoin) {
+  Catalog cat = MakeCatalog();
+  Relation tariffs{Schema({{"cost", ValueType::kInt64},
+                           {"band", ValueType::kString}})};
+  ASSERT_TRUE(tariffs.Append({Value::Int(100), Value::Str("high")}).ok());
+  ASSERT_TRUE(tariffs.Append({Value::Int(50), Value::Str("low")}).ok());
+  cat.emplace("tariffs", tariffs);
+  Relation out = ExecuteSql(
+                     "SELECT name, band FROM patients NATURAL JOIN claims "
+                     "NATURAL JOIN tariffs",
+                     cat)
+                     .value();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace secmed

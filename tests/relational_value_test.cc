@@ -1,0 +1,204 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace secmed {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  Value i = Value::Int(-7);
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  EXPECT_EQ(i.as_int(), -7);
+  Value s = Value::Str("hello");
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(s.as_string(), "hello");
+}
+
+TEST(ValueTest, TotalOrderWithinTypes) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Int(-5), Value::Int(0));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Int(1000000), Value::Str(""));
+  EXPECT_LT(Value::Null(), Value::Str("x"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("abc").ToString(), "'abc'");
+}
+
+TEST(ValueTest, EncodeIsInjective) {
+  // Values that could collide under a naive encoding.
+  std::vector<Value> values = {
+      Value::Null(),       Value::Int(0),      Value::Int(1),
+      Value::Int(-1),      Value::Str(""),     Value::Str("0"),
+      Value::Str("\x01"),  Value::Int(0x30),   Value::Str("abc"),
+  };
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      if (i == j) {
+        EXPECT_EQ(values[i].Encode(), values[j].Encode());
+      } else {
+        EXPECT_NE(values[i].Encode(), values[j].Encode())
+            << values[i].ToString() << " vs " << values[j].ToString();
+      }
+    }
+  }
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  std::vector<Value> values = {Value::Null(), Value::Int(INT64_MIN),
+                               Value::Int(INT64_MAX), Value::Str(""),
+                               Value::Str("tuple with spaces and 'quotes'")};
+  for (const Value& v : values) {
+    Bytes enc = v.Encode();
+    BinaryReader r(enc);
+    Value back = Value::DecodeFrom(&r).value();
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(ValueTest, DecodeRejectsBadTag) {
+  Bytes bad = {0x09};
+  BinaryReader r(bad);
+  EXPECT_FALSE(Value::DecodeFrom(&r).ok());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+  // Different values should (overwhelmingly) hash differently.
+  EXPECT_NE(Value::Int(5).Hash(), Value::Int(6).Hash());
+  EXPECT_NE(Value::Int(5).Hash(), Value::Str("5").Hash());
+}
+
+TEST(TupleTest, EncodeDecodeRoundTrip) {
+  Tuple t = {Value::Int(1), Value::Str("alice"), Value::Null()};
+  Bytes enc = EncodeTuple(t);
+  EXPECT_EQ(DecodeTuple(enc).value(), t);
+}
+
+TEST(TupleTest, DecodeRejectsTrailingBytes) {
+  Tuple t = {Value::Int(1)};
+  Bytes enc = EncodeTuple(t);
+  enc.push_back(0);
+  EXPECT_FALSE(DecodeTuple(enc).ok());
+}
+
+TEST(SchemaTest, IndexOfExactAndBaseName) {
+  Schema s({{"R1.id", ValueType::kInt64}, {"R1.name", ValueType::kString}});
+  EXPECT_EQ(s.IndexOf("R1.id").value(), 0u);
+  EXPECT_EQ(s.IndexOf("id").value(), 0u);
+  EXPECT_EQ(s.IndexOf("name").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+}
+
+TEST(SchemaTest, AmbiguousBaseNameRejected) {
+  Schema s({{"R1.id", ValueType::kInt64}, {"R2.id", ValueType::kInt64}});
+  EXPECT_EQ(s.IndexOf("R2.id").value(), 1u);
+  auto r = s.IndexOf("id");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, Qualified) {
+  Schema s({{"id", ValueType::kInt64}, {"R0.name", ValueType::kString}});
+  Schema q = s.Qualified("T");
+  EXPECT_EQ(q.column(0).name, "T.id");
+  EXPECT_EQ(q.column(1).name, "T.name");  // old qualifier replaced
+}
+
+TEST(SchemaTest, CommonColumns) {
+  Schema a({{"R1.id", ValueType::kInt64}, {"R1.diag", ValueType::kString}});
+  Schema b({{"R2.diag", ValueType::kString}, {"R2.cost", ValueType::kInt64}});
+  auto common = a.CommonColumns(b);
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(common[0], "diag");
+}
+
+TEST(SchemaTest, EncodeDecodeRoundTrip) {
+  Schema s({{"a", ValueType::kInt64}, {"b", ValueType::kString},
+            {"c", ValueType::kNull}});
+  BinaryWriter w;
+  s.EncodeTo(&w);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(Schema::DecodeFrom(&r).value(), s);
+}
+
+TEST(RelationTest, AppendValidatesArityAndTypes) {
+  Relation rel{Schema({{"id", ValueType::kInt64}, {"n", ValueType::kString}})};
+  EXPECT_TRUE(rel.Append({Value::Int(1), Value::Str("x")}).ok());
+  EXPECT_TRUE(rel.Append({Value::Null(), Value::Null()}).ok());  // NULLs ok
+  EXPECT_FALSE(rel.Append({Value::Int(1)}).ok());                // arity
+  EXPECT_FALSE(rel.Append({Value::Str("1"), Value::Str("x")}).ok());  // type
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+TEST(RelationTest, EqualsAsBagIgnoresOrder) {
+  Schema s({{"id", ValueType::kInt64}});
+  Relation a(s), b(s);
+  ASSERT_TRUE(a.Append({Value::Int(1)}).ok());
+  ASSERT_TRUE(a.Append({Value::Int(2)}).ok());
+  ASSERT_TRUE(b.Append({Value::Int(2)}).ok());
+  ASSERT_TRUE(b.Append({Value::Int(1)}).ok());
+  EXPECT_TRUE(a.EqualsAsBag(b));
+}
+
+TEST(RelationTest, EqualsAsBagRespectsMultiplicity) {
+  Schema s({{"id", ValueType::kInt64}});
+  Relation a(s), b(s);
+  ASSERT_TRUE(a.Append({Value::Int(1)}).ok());
+  ASSERT_TRUE(a.Append({Value::Int(1)}).ok());
+  ASSERT_TRUE(b.Append({Value::Int(1)}).ok());
+  EXPECT_FALSE(a.EqualsAsBag(b));
+}
+
+TEST(RelationTest, ActiveDomain) {
+  Relation rel{Schema({{"ajoin", ValueType::kInt64}})};
+  for (int v : {3, 1, 3, 2, 1}) ASSERT_TRUE(rel.Append({Value::Int(v)}).ok());
+  auto dom = rel.ActiveDomain("ajoin").value();
+  ASSERT_EQ(dom.size(), 3u);
+  EXPECT_EQ(dom[0], Value::Int(1));
+  EXPECT_EQ(dom[1], Value::Int(2));
+  EXPECT_EQ(dom[2], Value::Int(3));
+  EXPECT_FALSE(rel.ActiveDomain("nope").ok());
+}
+
+TEST(RelationTest, SerializeRoundTrip) {
+  Relation rel{Schema({{"id", ValueType::kInt64}, {"n", ValueType::kString}})};
+  ASSERT_TRUE(rel.Append({Value::Int(1), Value::Str("alice")}).ok());
+  ASSERT_TRUE(rel.Append({Value::Int(2), Value::Null()}).ok());
+  Relation back = Relation::Deserialize(rel.Serialize()).value();
+  EXPECT_TRUE(back.EqualsAsBag(rel));
+}
+
+TEST(RelationTest, ToStringContainsData) {
+  Relation rel{Schema({{"id", ValueType::kInt64}})};
+  ASSERT_TRUE(rel.Append({Value::Int(7)}).ok());
+  std::string s = rel.ToString();
+  EXPECT_NE(s.find("id"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("1 row(s)"), std::string::npos);
+}
+
+TEST(RelationTest, ToStringTruncatesRows) {
+  Relation rel{Schema({{"id", ValueType::kInt64}})};
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(rel.Append({Value::Int(i)}).ok());
+  std::string s = rel.ToString(5);
+  EXPECT_NE(s.find("95 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secmed

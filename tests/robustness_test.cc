@@ -1,0 +1,194 @@
+// Fault-injection tests. The paper's protocols assume semi-honest parties
+// and a faithful network; against *active* tampering they provide
+// confidentiality and authenticity of the data they deliver, but not
+// completeness: a flipped bit in a (homomorphically malleable) Paillier
+// ciphertext or an unauthenticated DAS index value can silently un-match
+// a join value, dropping its tuples from the result.
+//
+// The invariants these tests pin down are therefore:
+//   1. no fabrication — a tampered run never *invents* result tuples: every
+//      returned tuple also appears in the reference result (AEAD tags and
+//      value fingerprints make spurious matches infeasible);
+//   2. frequent detection — corruption of integrity-protected messages
+//      fails loudly;
+//   3. clean failure — misrouting or truncation yields error statuses, not
+//      crashes or junk.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/commutative_protocol.h"
+#include "core/das_protocol.h"
+#include "core/pm_protocol.h"
+#include "core/testbed.h"
+#include "util/serialize.h"
+
+namespace secmed {
+namespace {
+
+Workload TinyWorkload() {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 10;
+  cfg.r2_tuples = 8;
+  cfg.r1_domain = 5;
+  cfg.r2_domain = 4;
+  cfg.common_values = 3;
+  cfg.r1_extra_columns = 1;
+  cfg.r2_extra_columns = 1;
+  cfg.seed = 31;
+  return GenerateWorkload(cfg);
+}
+
+std::unique_ptr<JoinProtocol> MakeProtocol(const std::string& which) {
+  if (which == "das") {
+    return std::make_unique<DasJoinProtocol>(
+        DasProtocolOptions{PartitionStrategy::kEquiDepth, 2, {}});
+  }
+  if (which == "commutative") {
+    return std::make_unique<CommutativeJoinProtocol>(
+        CommutativeProtocolOptions{256, false});
+  }
+  return std::make_unique<PmJoinProtocol>();
+}
+
+// True iff every tuple of `sub` occurs in `super` at least as often
+// (bag inclusion).
+bool IsSubBag(const Relation& sub, const Relation& super) {
+  if (!(sub.schema() == super.schema())) return false;
+  std::map<Bytes, int> counts;
+  for (const Tuple& t : super.tuples()) counts[EncodeTuple(t)]++;
+  for (const Tuple& t : sub.tuples()) {
+    if (--counts[EncodeTuple(t)] < 0) return false;
+  }
+  return true;
+}
+
+class TamperResistance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TamperResistance, ByteFlipsNeverFabricateResults) {
+  // First run untampered to learn the message count and reference result.
+  Workload w = TinyWorkload();
+  size_t message_count = 0;
+  Relation reference;
+  {
+    MediationTestbed::Options opt;
+    opt.seed_label = "tamper-ref-" + GetParam();
+    MediationTestbed tb(w, opt);
+    auto protocol = MakeProtocol(GetParam());
+    reference = protocol->Run(tb.JoinSql(), tb.ctx()).value();
+    message_count = tb.bus().transcript().size();
+  }
+  ASSERT_GT(message_count, 4u);
+
+  size_t failed = 0, correct = 0;
+  for (size_t target = 0; target < message_count; ++target) {
+    MediationTestbed::Options opt;
+    opt.seed_label = "tamper-ref-" + GetParam();  // same randomness
+    MediationTestbed tb(w, opt);
+    size_t counter = 0;
+    tb.bus().SetTamperHook([&counter, target](Message* msg) {
+      if (counter++ == target && !msg->payload.empty()) {
+        msg->payload[msg->payload.size() / 2] ^= 0x01;
+      }
+    });
+    auto protocol = MakeProtocol(GetParam());
+    auto result = protocol->Run(tb.JoinSql(), tb.ctx());
+    if (!result.ok()) {
+      ++failed;
+      continue;
+    }
+    // A surviving run may have lost matches (completeness is not
+    // guaranteed against active attackers) but must never invent tuples.
+    EXPECT_TRUE(IsSubBag(*result, reference))
+        << GetParam() << ": tampering message " << target
+        << " fabricated result tuples";
+    ++correct;
+  }
+  // At least the integrity-protected layers must catch some corruptions.
+  EXPECT_GE(failed, 1u) << GetParam() << ": no corruption detected at all";
+  (void)correct;
+}
+
+TEST_P(TamperResistance, TruncationNeverFabricatesResults) {
+  Workload w = TinyWorkload();
+  size_t message_count = 0;
+  Relation reference;
+  {
+    MediationTestbed::Options opt;
+    opt.seed_label = "trunc-ref-" + GetParam();
+    MediationTestbed tb(w, opt);
+    auto protocol = MakeProtocol(GetParam());
+    reference = protocol->Run(tb.JoinSql(), tb.ctx()).value();
+    message_count = tb.bus().transcript().size();
+  }
+
+  for (size_t target = 0; target < message_count; ++target) {
+    MediationTestbed::Options opt;
+    opt.seed_label = "trunc-ref-" + GetParam();
+    MediationTestbed tb(w, opt);
+    size_t counter = 0;
+    tb.bus().SetTamperHook([&counter, target](Message* msg) {
+      if (counter++ == target && msg->payload.size() > 8) {
+        msg->payload.resize(msg->payload.size() / 2);
+      }
+    });
+    auto protocol = MakeProtocol(GetParam());
+    auto result = protocol->Run(tb.JoinSql(), tb.ctx());
+    if (result.ok()) {
+      EXPECT_TRUE(IsSubBag(*result, reference))
+          << GetParam() << ": truncating message " << target
+          << " fabricated result tuples";
+    }
+  }
+}
+
+TEST_P(TamperResistance, MisroutedMessageFailsCleanly) {
+  Workload w = TinyWorkload();
+  MediationTestbed::Options opt;
+  opt.seed_label = "misroute-" + GetParam();
+  MediationTestbed tb(w, opt);
+  size_t counter = 0;
+  std::string client = tb.client().name();
+  tb.bus().SetTamperHook([&counter, client](Message* msg) {
+    if (counter++ == 3) msg->to = client;  // divert a delivery-phase message
+  });
+  auto protocol = MakeProtocol(GetParam());
+  auto result = protocol->Run(tb.JoinSql(), tb.ctx());
+  EXPECT_FALSE(result.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, TamperResistance,
+                         ::testing::Values("das", "commutative", "pm"));
+
+// Deserializers must reject random garbage without crashing.
+TEST(FuzzishDeserializeTest, RandomBytesRejectedGracefully) {
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 300; ++i) {
+    Bytes junk = rng.NextBytes(rng.NextBelow(200));
+    (void)Relation::Deserialize(junk);
+    (void)Credential::Deserialize(junk);
+    (void)RsaPublicKey::Deserialize(junk);
+    (void)PaillierPublicKey::Deserialize(junk);
+    (void)DecodeTuple(junk);
+    BinaryReader r(junk);
+    (void)Schema::DecodeFrom(&r);
+  }
+  SUCCEED();
+}
+
+// Every prefix of a valid serialization must be rejected (no over-reads).
+TEST(FuzzishDeserializeTest, AllTruncationsRejected) {
+  Relation rel{Schema({{"id", ValueType::kInt64}, {"s", ValueType::kString}})};
+  ASSERT_TRUE(rel.Append({Value::Int(1), Value::Str("abc")}).ok());
+  ASSERT_TRUE(rel.Append({Value::Int(2), Value::Null()}).ok());
+  Bytes full = rel.Serialize();
+  for (size_t len = 0; len < full.size(); ++len) {
+    Bytes prefix(full.begin(), full.begin() + len);
+    EXPECT_FALSE(Relation::Deserialize(prefix).ok()) << len;
+  }
+  EXPECT_TRUE(Relation::Deserialize(full).ok());
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,134 @@
+// Stress tests aimed at rarely exercised corners: the add-back path of
+// Knuth's algorithm D, parser robustness on hostile input, and protocol
+// behaviour at larger scale.
+
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+#include "core/commutative_protocol.h"
+#include "core/testbed.h"
+#include "relational/sql.h"
+#include "util/rng.h"
+
+namespace secmed {
+namespace {
+
+// Operands engineered to stress the q-hat estimate of algorithm D:
+// divisors whose top limb is barely normalized and dividends packed with
+// 0xFFFFFFFF limbs push the estimate to its correction (and occasionally
+// the add-back) branches. Correctness is checked via q*b + r == a.
+TEST(BigIntStress, DivisionQHatCorrections) {
+  XoshiroRandomSource rng(0xADDBACC);
+  for (int iter = 0; iter < 2000; ++iter) {
+    // Dividend: 4-8 limbs, mostly 0xFFFFFFFF with random perturbations.
+    size_t a_limbs = 4 + rng.Generate(1)[0] % 5;
+    Bytes a_be;
+    for (size_t i = 0; i < a_limbs * 4; ++i) {
+      a_be.push_back(rng.Generate(1)[0] < 40 ? rng.Generate(1)[0] : 0xFF);
+    }
+    // Divisor: 2-4 limbs with top limb near the normalization boundary.
+    size_t b_limbs = 2 + rng.Generate(1)[0] % 3;
+    Bytes b_be;
+    b_be.push_back(0x80);  // minimal normalized top byte
+    b_be.push_back(0x00);
+    b_be.push_back(0x00);
+    b_be.push_back(rng.Generate(1)[0] % 2);
+    for (size_t i = 1; i < b_limbs; ++i) {
+      for (int k = 0; k < 4; ++k) {
+        b_be.push_back(rng.Generate(1)[0] < 128 ? 0xFF : 0x00);
+      }
+    }
+    BigInt a = BigInt::FromBytes(a_be);
+    BigInt b = BigInt::FromBytes(b_be);
+    if (b.is_zero()) continue;
+    auto qr = BigInt::DivMod(a, b).value();
+    ASSERT_EQ(qr.first * b + qr.second, a)
+        << "a=" << a.ToHex() << " b=" << b.ToHex();
+    ASSERT_LT(qr.second.CompareMagnitude(b), 0);
+  }
+}
+
+TEST(BigIntStress, PowersOfTwoBoundaries) {
+  for (size_t bits : {31u, 32u, 33u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    BigInt p = BigInt(1) << bits;
+    EXPECT_EQ(p.BitLength(), bits + 1);
+    EXPECT_EQ((p - BigInt(1)).BitLength(), bits);
+    EXPECT_EQ((p / (p - BigInt(1))).ToDecimal(), "1");
+    EXPECT_EQ(p % (p - BigInt(1)), BigInt(1));
+    EXPECT_EQ((p * p) >> bits, p);
+  }
+}
+
+// The SQL tokenizer/parser must reject or accept, never crash, on random
+// printable garbage and on adversarial near-SQL strings.
+TEST(ParserStress, RandomGarbageNeverCrashes) {
+  Xoshiro256 rng(1234);
+  static const char kChars[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+      " _.,*()'=<>-\"\t\n";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string junk;
+    size_t len = rng.NextBelow(120);
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(kChars[rng.NextBelow(sizeof(kChars) - 1)]);
+    }
+    (void)ParseSql(junk);  // must not crash or hang
+  }
+  SUCCEED();
+}
+
+TEST(ParserStress, NearSqlEdgeCases) {
+  const char* cases[] = {
+      "SELECT",
+      "SELECT *",
+      "SELECT * FROM",
+      "SELECT * FROM t WHERE",
+      "SELECT * FROM t WHERE (",
+      "SELECT * FROM t WHERE ()",
+      "SELECT * FROM t WHERE (a = 1",
+      "SELECT * FROM t JOIN",
+      "SELECT * FROM t NATURAL",
+      "SELECT * FROM t GROUP",
+      "SELECT * FROM t ORDER",
+      "SELECT * FROM t ORDER BY",
+      "SELECT * FROM t LIMIT -1",
+      "SELECT COUNT() FROM t",
+      "SELECT * FROM t WHERE a = 'x' AND",
+      "SELECT * FROM t WHERE NOT",
+      "SELECT ,a FROM t",
+      "SELECT a, FROM t",
+      "SELECT * FROM t AS",
+      "SELECT * * FROM t",
+  };
+  for (const char* sql : cases) {
+    EXPECT_FALSE(ParseSql(sql).ok()) << sql;
+  }
+}
+
+TEST(ParserStress, DeeplyNestedPredicates) {
+  std::string sql = "SELECT * FROM t WHERE ";
+  for (int i = 0; i < 200; ++i) sql += "(";
+  sql += "a = 1";
+  for (int i = 0; i < 200; ++i) sql += ")";
+  EXPECT_TRUE(ParseSql(sql).ok());
+}
+
+// A larger-than-test-default workload through the recommended protocol.
+TEST(ProtocolStress, FiveHundredTuplesCommutative) {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 500;
+  cfg.r2_tuples = 400;
+  cfg.r1_domain = 120;
+  cfg.r2_domain = 100;
+  cfg.common_values = 60;
+  cfg.seed = 999;
+  Workload w = GenerateWorkload(cfg);
+  MediationTestbed tb(w);
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  Relation result = comm.Run(tb.JoinSql(), tb.ctx()).value();
+  EXPECT_TRUE(result.EqualsAsBag(tb.ExpectedJoin()));
+  EXPECT_GT(result.size(), 500u);
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,20 @@
+// Generates safe-prime group parameters for crypto/group_params.cc.
+// Usage: gen_group_params <bits> [<bits> ...]
+// Prints one `{bits, "hex"}` line per requested size.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bigint/prime.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  secmed::OsRandomSource rng;
+  for (int i = 1; i < argc; ++i) {
+    size_t bits = static_cast<size_t>(std::atoi(argv[i]));
+    secmed::BigInt p = secmed::RandomSafePrime(bits, &rng);
+    std::printf("    {%zu,\n     \"%s\"},\n", bits, p.ToHex().c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
