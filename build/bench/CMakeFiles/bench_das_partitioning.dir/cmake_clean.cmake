@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_das_partitioning.dir/bench_das_partitioning.cc.o"
+  "CMakeFiles/bench_das_partitioning.dir/bench_das_partitioning.cc.o.d"
+  "bench_das_partitioning"
+  "bench_das_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_das_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s6_interaction.dir/bench_s6_interaction.cc.o"
+  "CMakeFiles/bench_s6_interaction.dir/bench_s6_interaction.cc.o.d"
+  "bench_s6_interaction"
+  "bench_s6_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s6_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

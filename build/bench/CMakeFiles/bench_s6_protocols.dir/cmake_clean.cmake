@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s6_protocols.dir/bench_s6_protocols.cc.o"
+  "CMakeFiles/bench_s6_protocols.dir/bench_s6_protocols.cc.o.d"
+  "bench_s6_protocols"
+  "bench_s6_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s6_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

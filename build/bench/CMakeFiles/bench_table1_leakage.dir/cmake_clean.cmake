@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_leakage.dir/bench_table1_leakage.cc.o"
+  "CMakeFiles/bench_table1_leakage.dir/bench_table1_leakage.cc.o.d"
+  "bench_table1_leakage"
+  "bench_table1_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x_crossover.dir/bench_x_crossover.cc.o"
+  "CMakeFiles/bench_x_crossover.dir/bench_x_crossover.cc.o.d"
+  "bench_x_crossover"
+  "bench_x_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_insurance.dir/hospital_insurance.cpp.o"
+  "CMakeFiles/hospital_insurance.dir/hospital_insurance.cpp.o.d"
+  "hospital_insurance"
+  "hospital_insurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_insurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediator_hierarchy.dir/mediator_hierarchy.cpp.o"
+  "CMakeFiles/mediator_hierarchy.dir/mediator_hierarchy.cpp.o.d"
+  "mediator_hierarchy"
+  "mediator_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediator_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_aggregates.dir/research_aggregates.cpp.o"
+  "CMakeFiles/research_aggregates.dir/research_aggregates.cpp.o.d"
+  "research_aggregates"
+  "research_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/bigint.cc" "src/bigint/CMakeFiles/secmed_bigint.dir/bigint.cc.o" "gcc" "src/bigint/CMakeFiles/secmed_bigint.dir/bigint.cc.o.d"
+  "/root/repo/src/bigint/modular.cc" "src/bigint/CMakeFiles/secmed_bigint.dir/modular.cc.o" "gcc" "src/bigint/CMakeFiles/secmed_bigint.dir/modular.cc.o.d"
+  "/root/repo/src/bigint/prime.cc" "src/bigint/CMakeFiles/secmed_bigint.dir/prime.cc.o" "gcc" "src/bigint/CMakeFiles/secmed_bigint.dir/prime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/secmed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmed_bigint.dir/bigint.cc.o"
+  "CMakeFiles/secmed_bigint.dir/bigint.cc.o.d"
+  "CMakeFiles/secmed_bigint.dir/modular.cc.o"
+  "CMakeFiles/secmed_bigint.dir/modular.cc.o.d"
+  "CMakeFiles/secmed_bigint.dir/prime.cc.o"
+  "CMakeFiles/secmed_bigint.dir/prime.cc.o.d"
+  "libsecmed_bigint.a"
+  "libsecmed_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmed_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate_protocol.cc" "src/core/CMakeFiles/secmed_core.dir/aggregate_protocol.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/aggregate_protocol.cc.o.d"
+  "/root/repo/src/core/cascade.cc" "src/core/CMakeFiles/secmed_core.dir/cascade.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/cascade.cc.o.d"
+  "/root/repo/src/core/commutative_protocol.cc" "src/core/CMakeFiles/secmed_core.dir/commutative_protocol.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/commutative_protocol.cc.o.d"
+  "/root/repo/src/core/das_protocol.cc" "src/core/CMakeFiles/secmed_core.dir/das_protocol.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/das_protocol.cc.o.d"
+  "/root/repo/src/core/intersection_protocol.cc" "src/core/CMakeFiles/secmed_core.dir/intersection_protocol.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/intersection_protocol.cc.o.d"
+  "/root/repo/src/core/leakage.cc" "src/core/CMakeFiles/secmed_core.dir/leakage.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/leakage.cc.o.d"
+  "/root/repo/src/core/pm_protocol.cc" "src/core/CMakeFiles/secmed_core.dir/pm_protocol.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/pm_protocol.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/secmed_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/range_protocol.cc" "src/core/CMakeFiles/secmed_core.dir/range_protocol.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/range_protocol.cc.o.d"
+  "/root/repo/src/core/selection_protocol.cc" "src/core/CMakeFiles/secmed_core.dir/selection_protocol.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/selection_protocol.cc.o.d"
+  "/root/repo/src/core/testbed.cc" "src/core/CMakeFiles/secmed_core.dir/testbed.cc.o" "gcc" "src/core/CMakeFiles/secmed_core.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mediation/CMakeFiles/secmed_mediation.dir/DependInfo.cmake"
+  "/root/repo/build/src/das/CMakeFiles/secmed_das.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/secmed_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/secmed_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/secmed_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/secmed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

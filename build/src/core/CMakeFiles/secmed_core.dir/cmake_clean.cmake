@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmed_core.dir/aggregate_protocol.cc.o"
+  "CMakeFiles/secmed_core.dir/aggregate_protocol.cc.o.d"
+  "CMakeFiles/secmed_core.dir/cascade.cc.o"
+  "CMakeFiles/secmed_core.dir/cascade.cc.o.d"
+  "CMakeFiles/secmed_core.dir/commutative_protocol.cc.o"
+  "CMakeFiles/secmed_core.dir/commutative_protocol.cc.o.d"
+  "CMakeFiles/secmed_core.dir/das_protocol.cc.o"
+  "CMakeFiles/secmed_core.dir/das_protocol.cc.o.d"
+  "CMakeFiles/secmed_core.dir/intersection_protocol.cc.o"
+  "CMakeFiles/secmed_core.dir/intersection_protocol.cc.o.d"
+  "CMakeFiles/secmed_core.dir/leakage.cc.o"
+  "CMakeFiles/secmed_core.dir/leakage.cc.o.d"
+  "CMakeFiles/secmed_core.dir/pm_protocol.cc.o"
+  "CMakeFiles/secmed_core.dir/pm_protocol.cc.o.d"
+  "CMakeFiles/secmed_core.dir/protocol.cc.o"
+  "CMakeFiles/secmed_core.dir/protocol.cc.o.d"
+  "CMakeFiles/secmed_core.dir/range_protocol.cc.o"
+  "CMakeFiles/secmed_core.dir/range_protocol.cc.o.d"
+  "CMakeFiles/secmed_core.dir/selection_protocol.cc.o"
+  "CMakeFiles/secmed_core.dir/selection_protocol.cc.o.d"
+  "CMakeFiles/secmed_core.dir/testbed.cc.o"
+  "CMakeFiles/secmed_core.dir/testbed.cc.o.d"
+  "libsecmed_core.a"
+  "libsecmed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/aead.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/aead.cc.o.d"
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/commutative.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/commutative.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/commutative.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/drbg.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/drbg.cc.o.d"
+  "/root/repo/src/crypto/elgamal.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/elgamal.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/elgamal.cc.o.d"
+  "/root/repo/src/crypto/group.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/group.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/group.cc.o.d"
+  "/root/repo/src/crypto/group_params.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/group_params.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/group_params.cc.o.d"
+  "/root/repo/src/crypto/hybrid.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/hybrid.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/hybrid.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/paillier.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/paillier.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/rsa.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/rsa.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/secmed_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/secmed_crypto.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/secmed_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/secmed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmed_crypto.dir/aead.cc.o"
+  "CMakeFiles/secmed_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/aes.cc.o"
+  "CMakeFiles/secmed_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/commutative.cc.o"
+  "CMakeFiles/secmed_crypto.dir/commutative.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/drbg.cc.o"
+  "CMakeFiles/secmed_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/elgamal.cc.o"
+  "CMakeFiles/secmed_crypto.dir/elgamal.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/group.cc.o"
+  "CMakeFiles/secmed_crypto.dir/group.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/group_params.cc.o"
+  "CMakeFiles/secmed_crypto.dir/group_params.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/hybrid.cc.o"
+  "CMakeFiles/secmed_crypto.dir/hybrid.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/paillier.cc.o"
+  "CMakeFiles/secmed_crypto.dir/paillier.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/rsa.cc.o"
+  "CMakeFiles/secmed_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/secmed_crypto.dir/sha256.cc.o"
+  "CMakeFiles/secmed_crypto.dir/sha256.cc.o.d"
+  "libsecmed_crypto.a"
+  "libsecmed_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmed_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/das/das_relation.cc" "src/das/CMakeFiles/secmed_das.dir/das_relation.cc.o" "gcc" "src/das/CMakeFiles/secmed_das.dir/das_relation.cc.o.d"
+  "/root/repo/src/das/index_table.cc" "src/das/CMakeFiles/secmed_das.dir/index_table.cc.o" "gcc" "src/das/CMakeFiles/secmed_das.dir/index_table.cc.o.d"
+  "/root/repo/src/das/partition.cc" "src/das/CMakeFiles/secmed_das.dir/partition.cc.o" "gcc" "src/das/CMakeFiles/secmed_das.dir/partition.cc.o.d"
+  "/root/repo/src/das/query_translator.cc" "src/das/CMakeFiles/secmed_das.dir/query_translator.cc.o" "gcc" "src/das/CMakeFiles/secmed_das.dir/query_translator.cc.o.d"
+  "/root/repo/src/das/searchable.cc" "src/das/CMakeFiles/secmed_das.dir/searchable.cc.o" "gcc" "src/das/CMakeFiles/secmed_das.dir/searchable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/secmed_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/secmed_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/secmed_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/secmed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmed_das.dir/das_relation.cc.o"
+  "CMakeFiles/secmed_das.dir/das_relation.cc.o.d"
+  "CMakeFiles/secmed_das.dir/index_table.cc.o"
+  "CMakeFiles/secmed_das.dir/index_table.cc.o.d"
+  "CMakeFiles/secmed_das.dir/partition.cc.o"
+  "CMakeFiles/secmed_das.dir/partition.cc.o.d"
+  "CMakeFiles/secmed_das.dir/query_translator.cc.o"
+  "CMakeFiles/secmed_das.dir/query_translator.cc.o.d"
+  "CMakeFiles/secmed_das.dir/searchable.cc.o"
+  "CMakeFiles/secmed_das.dir/searchable.cc.o.d"
+  "libsecmed_das.a"
+  "libsecmed_das.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmed_das.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for secmed_das.
+# This may be replaced when dependencies are built.

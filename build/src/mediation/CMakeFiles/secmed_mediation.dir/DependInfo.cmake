@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mediation/access_policy.cc" "src/mediation/CMakeFiles/secmed_mediation.dir/access_policy.cc.o" "gcc" "src/mediation/CMakeFiles/secmed_mediation.dir/access_policy.cc.o.d"
+  "/root/repo/src/mediation/client.cc" "src/mediation/CMakeFiles/secmed_mediation.dir/client.cc.o" "gcc" "src/mediation/CMakeFiles/secmed_mediation.dir/client.cc.o.d"
+  "/root/repo/src/mediation/credential.cc" "src/mediation/CMakeFiles/secmed_mediation.dir/credential.cc.o" "gcc" "src/mediation/CMakeFiles/secmed_mediation.dir/credential.cc.o.d"
+  "/root/repo/src/mediation/datasource.cc" "src/mediation/CMakeFiles/secmed_mediation.dir/datasource.cc.o" "gcc" "src/mediation/CMakeFiles/secmed_mediation.dir/datasource.cc.o.d"
+  "/root/repo/src/mediation/mediator.cc" "src/mediation/CMakeFiles/secmed_mediation.dir/mediator.cc.o" "gcc" "src/mediation/CMakeFiles/secmed_mediation.dir/mediator.cc.o.d"
+  "/root/repo/src/mediation/network.cc" "src/mediation/CMakeFiles/secmed_mediation.dir/network.cc.o" "gcc" "src/mediation/CMakeFiles/secmed_mediation.dir/network.cc.o.d"
+  "/root/repo/src/mediation/preparatory.cc" "src/mediation/CMakeFiles/secmed_mediation.dir/preparatory.cc.o" "gcc" "src/mediation/CMakeFiles/secmed_mediation.dir/preparatory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/secmed_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/secmed_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/secmed_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/secmed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

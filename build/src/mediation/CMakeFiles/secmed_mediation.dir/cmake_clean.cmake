@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmed_mediation.dir/access_policy.cc.o"
+  "CMakeFiles/secmed_mediation.dir/access_policy.cc.o.d"
+  "CMakeFiles/secmed_mediation.dir/client.cc.o"
+  "CMakeFiles/secmed_mediation.dir/client.cc.o.d"
+  "CMakeFiles/secmed_mediation.dir/credential.cc.o"
+  "CMakeFiles/secmed_mediation.dir/credential.cc.o.d"
+  "CMakeFiles/secmed_mediation.dir/datasource.cc.o"
+  "CMakeFiles/secmed_mediation.dir/datasource.cc.o.d"
+  "CMakeFiles/secmed_mediation.dir/mediator.cc.o"
+  "CMakeFiles/secmed_mediation.dir/mediator.cc.o.d"
+  "CMakeFiles/secmed_mediation.dir/network.cc.o"
+  "CMakeFiles/secmed_mediation.dir/network.cc.o.d"
+  "CMakeFiles/secmed_mediation.dir/preparatory.cc.o"
+  "CMakeFiles/secmed_mediation.dir/preparatory.cc.o.d"
+  "libsecmed_mediation.a"
+  "libsecmed_mediation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmed_mediation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

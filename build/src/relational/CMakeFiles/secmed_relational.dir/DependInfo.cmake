@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/algebra.cc" "src/relational/CMakeFiles/secmed_relational.dir/algebra.cc.o" "gcc" "src/relational/CMakeFiles/secmed_relational.dir/algebra.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/relational/CMakeFiles/secmed_relational.dir/csv.cc.o" "gcc" "src/relational/CMakeFiles/secmed_relational.dir/csv.cc.o.d"
+  "/root/repo/src/relational/predicate.cc" "src/relational/CMakeFiles/secmed_relational.dir/predicate.cc.o" "gcc" "src/relational/CMakeFiles/secmed_relational.dir/predicate.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/relational/CMakeFiles/secmed_relational.dir/relation.cc.o" "gcc" "src/relational/CMakeFiles/secmed_relational.dir/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/secmed_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/secmed_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/sql.cc" "src/relational/CMakeFiles/secmed_relational.dir/sql.cc.o" "gcc" "src/relational/CMakeFiles/secmed_relational.dir/sql.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/secmed_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/secmed_relational.dir/value.cc.o.d"
+  "/root/repo/src/relational/workload.cc" "src/relational/CMakeFiles/secmed_relational.dir/workload.cc.o" "gcc" "src/relational/CMakeFiles/secmed_relational.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/secmed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmed_relational.dir/algebra.cc.o"
+  "CMakeFiles/secmed_relational.dir/algebra.cc.o.d"
+  "CMakeFiles/secmed_relational.dir/csv.cc.o"
+  "CMakeFiles/secmed_relational.dir/csv.cc.o.d"
+  "CMakeFiles/secmed_relational.dir/predicate.cc.o"
+  "CMakeFiles/secmed_relational.dir/predicate.cc.o.d"
+  "CMakeFiles/secmed_relational.dir/relation.cc.o"
+  "CMakeFiles/secmed_relational.dir/relation.cc.o.d"
+  "CMakeFiles/secmed_relational.dir/schema.cc.o"
+  "CMakeFiles/secmed_relational.dir/schema.cc.o.d"
+  "CMakeFiles/secmed_relational.dir/sql.cc.o"
+  "CMakeFiles/secmed_relational.dir/sql.cc.o.d"
+  "CMakeFiles/secmed_relational.dir/value.cc.o"
+  "CMakeFiles/secmed_relational.dir/value.cc.o.d"
+  "CMakeFiles/secmed_relational.dir/workload.cc.o"
+  "CMakeFiles/secmed_relational.dir/workload.cc.o.d"
+  "libsecmed_relational.a"
+  "libsecmed_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmed_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmed_util.dir/bytes.cc.o"
+  "CMakeFiles/secmed_util.dir/bytes.cc.o.d"
+  "CMakeFiles/secmed_util.dir/rng.cc.o"
+  "CMakeFiles/secmed_util.dir/rng.cc.o.d"
+  "CMakeFiles/secmed_util.dir/serialize.cc.o"
+  "CMakeFiles/secmed_util.dir/serialize.cc.o.d"
+  "CMakeFiles/secmed_util.dir/status.cc.o"
+  "CMakeFiles/secmed_util.dir/status.cc.o.d"
+  "libsecmed_util.a"
+  "libsecmed_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmed_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_protocol_test.dir/aggregate_protocol_test.cc.o"
+  "CMakeFiles/aggregate_protocol_test.dir/aggregate_protocol_test.cc.o.d"
+  "aggregate_protocol_test"
+  "aggregate_protocol_test.pdb"
+  "aggregate_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_test.dir/cascade_test.cc.o"
+  "CMakeFiles/cascade_test.dir/cascade_test.cc.o.d"
+  "cascade_test"
+  "cascade_test.pdb"
+  "cascade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

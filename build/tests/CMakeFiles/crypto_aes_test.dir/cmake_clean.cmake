@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_aes_test.dir/crypto_aes_test.cc.o"
+  "CMakeFiles/crypto_aes_test.dir/crypto_aes_test.cc.o.d"
+  "crypto_aes_test"
+  "crypto_aes_test.pdb"
+  "crypto_aes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_aes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

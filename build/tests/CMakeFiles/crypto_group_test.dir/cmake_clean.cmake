@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_group_test.dir/crypto_group_test.cc.o"
+  "CMakeFiles/crypto_group_test.dir/crypto_group_test.cc.o.d"
+  "crypto_group_test"
+  "crypto_group_test.pdb"
+  "crypto_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_settings_test.dir/das_settings_test.cc.o"
+  "CMakeFiles/das_settings_test.dir/das_settings_test.cc.o.d"
+  "das_settings_test"
+  "das_settings_test.pdb"
+  "das_settings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_settings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/das_test.dir/das_test.cc.o"
+  "CMakeFiles/das_test.dir/das_test.cc.o.d"
+  "das_test"
+  "das_test.pdb"
+  "das_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/das_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

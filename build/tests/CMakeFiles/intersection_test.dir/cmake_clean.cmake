@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersection_test.dir/intersection_test.cc.o"
+  "CMakeFiles/intersection_test.dir/intersection_test.cc.o.d"
+  "intersection_test"
+  "intersection_test.pdb"
+  "intersection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediation_test.dir/mediation_test.cc.o"
+  "CMakeFiles/mediation_test.dir/mediation_test.cc.o.d"
+  "mediation_test"
+  "mediation_test.pdb"
+  "mediation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

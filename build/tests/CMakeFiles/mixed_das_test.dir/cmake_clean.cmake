@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_das_test.dir/mixed_das_test.cc.o"
+  "CMakeFiles/mixed_das_test.dir/mixed_das_test.cc.o.d"
+  "mixed_das_test"
+  "mixed_das_test.pdb"
+  "mixed_das_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_das_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_attribute_test.dir/multi_attribute_test.cc.o"
+  "CMakeFiles/multi_attribute_test.dir/multi_attribute_test.cc.o.d"
+  "multi_attribute_test"
+  "multi_attribute_test.pdb"
+  "multi_attribute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_attribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_sweep_test.dir/protocol_sweep_test.cc.o"
+  "CMakeFiles/protocol_sweep_test.dir/protocol_sweep_test.cc.o.d"
+  "protocol_sweep_test"
+  "protocol_sweep_test.pdb"
+  "protocol_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_protocol_test.dir/range_protocol_test.cc.o"
+  "CMakeFiles/range_protocol_test.dir/range_protocol_test.cc.o.d"
+  "range_protocol_test"
+  "range_protocol_test.pdb"
+  "range_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

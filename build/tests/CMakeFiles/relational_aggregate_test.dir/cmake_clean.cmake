@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_aggregate_test.dir/relational_aggregate_test.cc.o"
+  "CMakeFiles/relational_aggregate_test.dir/relational_aggregate_test.cc.o.d"
+  "relational_aggregate_test"
+  "relational_aggregate_test.pdb"
+  "relational_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_algebra_test.dir/relational_algebra_test.cc.o"
+  "CMakeFiles/relational_algebra_test.dir/relational_algebra_test.cc.o.d"
+  "relational_algebra_test"
+  "relational_algebra_test.pdb"
+  "relational_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_group_params.dir/gen_group_params.cc.o"
+  "CMakeFiles/gen_group_params.dir/gen_group_params.cc.o.d"
+  "gen_group_params"
+  "gen_group_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_group_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

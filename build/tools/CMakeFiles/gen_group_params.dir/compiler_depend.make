@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gen_group_params.
+# This may be replaced when dependencies are built.

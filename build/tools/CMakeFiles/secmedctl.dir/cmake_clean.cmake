@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secmedctl.dir/secmedctl.cc.o"
+  "CMakeFiles/secmedctl.dir/secmedctl.cc.o.d"
+  "secmedctl"
+  "secmedctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secmedctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
