@@ -40,7 +40,13 @@ void AblateCommutativePayloadForwarding() {
       MediationTestbed::Options opt;
       opt.seed_label = "a1-" + std::to_string(tuples) + "-" +
                        std::to_string(mode);
-      MediationTestbed tb(w, opt);
+      auto tb_or = MediationTestbed::Create(w, opt);
+      if (!tb_or.ok()) {
+        std::printf("testbed setup failed: %s\n",
+                    tb_or.status().ToString().c_str());
+        return;
+      }
+      MediationTestbed& tb = **tb_or;
       CommutativeJoinProtocol comm(
           CommutativeProtocolOptions{512, /*forward_payloads=*/mode == 0});
       if (!comm.Run(tb.JoinSql(), tb.ctx()).ok()) return;
@@ -75,7 +81,13 @@ void AblateDasStrategyUnderSkew() {
     for (int s = 0; s < 2; ++s) {
       MediationTestbed::Options opt;
       opt.seed_label = "a2-" + std::to_string(skew) + "-" + std::to_string(s);
-      MediationTestbed tb(w, opt);
+      auto tb_or = MediationTestbed::Create(w, opt);
+      if (!tb_or.ok()) {
+        std::printf("testbed setup failed: %s\n",
+                    tb_or.status().ToString().c_str());
+        return;
+      }
+      MediationTestbed& tb = **tb_or;
       DasJoinProtocol das(DasProtocolOptions{strategies[s], 8, {}});
       auto result = das.Run(tb.JoinSql(), tb.ctx());
       if (!result.ok()) return;
@@ -145,7 +157,13 @@ void AblateDasTranslatorSettings() {
     MediationTestbed::Options opt;
     opt.seed_label =
         std::string("a4-") + DasTranslatorSettingToString(setting);
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    if (!tb_or.ok()) {
+      std::printf("testbed setup failed: %s\n",
+                  tb_or.status().ToString().c_str());
+      return;
+    }
+    MediationTestbed& tb = **tb_or;
     DasProtocolOptions das_opt;
     das_opt.translator = setting;
     DasJoinProtocol das(das_opt);
@@ -200,7 +218,13 @@ void ProjectOntoNetworks() {
   for (Case& c : cases) {
     MediationTestbed::Options opt;
     opt.seed_label = std::string("a5-") + c.label;
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    if (!tb_or.ok()) {
+      std::printf("testbed setup failed: %s\n",
+                  tb_or.status().ToString().c_str());
+      return;
+    }
+    MediationTestbed& tb = **tb_or;
     auto start = std::chrono::steady_clock::now();
     if (!c.protocol->Run(tb.JoinSql(), tb.ctx()).ok()) return;
     double compute = std::chrono::duration<double, std::milli>(

@@ -41,7 +41,13 @@ int main() {
   for (size_t parts : {1u, 2u, 4u, 8u, 16u, 48u}) {
     MediationTestbed::Options opt;
     opt.seed_label = "das-part-" + std::to_string(parts);
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    if (!tb_or.ok()) {
+      std::printf("testbed setup failed: %s\n",
+                  tb_or.status().ToString().c_str());
+      return 1;
+    }
+    MediationTestbed& tb = **tb_or;
     DasJoinProtocol das(DasProtocolOptions{
         parts >= 48 ? PartitionStrategy::kSingleton
                     : PartitionStrategy::kEquiDepth,

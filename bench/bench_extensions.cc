@@ -47,7 +47,13 @@ void Intersections() {
     for (int mode = 0; mode < 2; ++mode) {
       MediationTestbed::Options opt;
       opt.seed_label = "e1-" + std::to_string(domain) + std::to_string(mode);
-      MediationTestbed tb(w, opt);
+      auto tb_or = MediationTestbed::Create(w, opt);
+      if (!tb_or.ok()) {
+        std::printf("testbed setup failed: %s\n",
+                    tb_or.status().ToString().c_str());
+        return;
+      }
+      MediationTestbed& tb = **tb_or;
       auto start = std::chrono::steady_clock::now();
       Result<Relation> res =
           mode == 0
@@ -80,7 +86,13 @@ void AggregatesVsFullJoin() {
     {
       MediationTestbed::Options opt;
       opt.seed_label = "e2j-" + std::to_string(tuples);
-      MediationTestbed tb(w, opt);
+      auto tb_or = MediationTestbed::Create(w, opt);
+      if (!tb_or.ok()) {
+        std::printf("testbed setup failed: %s\n",
+                    tb_or.status().ToString().c_str());
+        return;
+      }
+      MediationTestbed& tb = **tb_or;
       CommutativeJoinProtocol join(CommutativeProtocolOptions{512, false});
       auto res = join.Run(tb.JoinSql(), tb.ctx());
       if (!res.ok()) return;
@@ -90,7 +102,13 @@ void AggregatesVsFullJoin() {
     {
       MediationTestbed::Options opt;
       opt.seed_label = "e2a-" + std::to_string(tuples);
-      MediationTestbed tb(w, opt);
+      auto tb_or = MediationTestbed::Create(w, opt);
+      if (!tb_or.ok()) {
+        std::printf("testbed setup failed: %s\n",
+                    tb_or.status().ToString().c_str());
+        return;
+      }
+      MediationTestbed& tb = **tb_or;
       AggregateJoinProtocol agg(512);
       auto res = agg.Run(tb.JoinSql(), {AggregateFn::kCount, ""}, tb.ctx());
       if (!res.ok()) return;
@@ -119,7 +137,13 @@ void SelectionVsRange() {
 
   auto run_env = [&](auto&& runner, const char* label, size_t* superset,
                      size_t* result_rows) {
-    MediationTestbed tb(GenerateWorkload(WorkloadConfig{}));
+    auto tb_or = MediationTestbed::Create(GenerateWorkload(WorkloadConfig{}));
+    if (!tb_or.ok()) {
+      std::printf("testbed setup failed: %s\n",
+                  tb_or.status().ToString().c_str());
+      return;
+    }
+    MediationTestbed& tb = **tb_or;
     tb.source1().AddRelation("readings", readings);
     tb.mediator().RegisterTable("readings", tb.source1().name(),
                                 readings.schema());

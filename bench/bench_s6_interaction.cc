@@ -55,7 +55,13 @@ int main() {
   for (Case& c : cases) {
     MediationTestbed::Options opt;
     opt.seed_label = std::string("s6-") + c.label;
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    if (!tb_or.ok()) {
+      std::printf("testbed setup failed: %s\n",
+                  tb_or.status().ToString().c_str());
+      return 1;
+    }
+    MediationTestbed& tb = **tb_or;
     auto result = c.protocol->Run(tb.JoinSql(), tb.ctx());
     if (!result.ok()) {
       std::printf("%s failed: %s\n", c.label,

@@ -30,14 +30,20 @@ Workload MakeWorkload(int64_t tuples, int64_t domain) {
 }
 
 void RunProtocol(benchmark::State& state, JoinProtocol* protocol,
-                 const Workload& w, const char* label) {
+                 const Workload& w, const char* label, size_t threads = 1) {
   size_t result_size = 0;
   size_t bytes = 0;
   for (auto _ : state) {
     state.PauseTiming();
     MediationTestbed::Options opt;
     opt.seed_label = label;
-    MediationTestbed tb(w, opt);  // key generation excluded from timing
+    opt.threads = threads;
+    auto tb_or = MediationTestbed::Create(w, opt);  // key generation excluded from timing
+    if (!tb_or.ok()) {
+      state.SkipWithError(tb_or.status().ToString().c_str());
+      return;
+    }
+    MediationTestbed& tb = **tb_or;
     state.ResumeTiming();
     auto result = protocol->Run(tb.JoinSql(), tb.ctx());
     if (!result.ok()) {
@@ -49,6 +55,7 @@ void RunProtocol(benchmark::State& state, JoinProtocol* protocol,
   }
   state.counters["result_tuples"] = static_cast<double>(result_size);
   state.counters["wire_bytes"] = static_cast<double>(bytes);
+  state.counters["threads"] = static_cast<double>(threads);
 }
 
 void BM_Das_EndToEnd(benchmark::State& state) {
@@ -107,6 +114,57 @@ BENCHMARK(BM_Commutative_GroupBits)
     ->Arg(512)
     ->Arg(768)
     ->Arg(1024);
+
+// ------------------------------------------------ parallel speedup ------
+//
+// Serial-vs-parallel speedup of the crypto execution layer. threads=1 is
+// the exact legacy serial path; divide its wall time by the threads=N row
+// to get the speedup (≈ min(N, cores) on a multicore machine, since the
+// per-tuple public-key operations dominate and parallelize embarrassingly).
+// On a single-core container the rows tie — but the transcripts stay
+// bit-identical at every thread count (tests/parallel_equivalence_test.cc),
+// so the knob only ever changes wall time, never bytes.
+
+void BM_Commutative_Threads(benchmark::State& state) {
+  static const Workload* w = new Workload(MakeWorkload(1000, 400));
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{512, false});
+  RunProtocol(state, &comm, *w, "e2e-comm-thr",
+              static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_Commutative_Threads)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
+void BM_Das_Threads(benchmark::State& state) {
+  static const Workload* w = new Workload(MakeWorkload(1000, 400));
+  DasJoinProtocol das(DasProtocolOptions{PartitionStrategy::kEquiDepth, 8, {}});
+  RunProtocol(state, &das, *w, "e2e-das-thr",
+              static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_Das_Threads)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
+// PM's O(n·m) blind evaluation makes 1k tuples impractical even in
+// parallel; the speedup is measured at the protocol's realistic scale.
+void BM_Pm_Threads(benchmark::State& state) {
+  static const Workload* w = new Workload(MakeWorkload(100, 40));
+  PmJoinProtocol pm;
+  RunProtocol(state, &pm, *w, "e2e-pm-thr",
+              static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_Pm_Threads)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 }  // namespace
 }  // namespace secmed

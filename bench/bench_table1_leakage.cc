@@ -52,7 +52,13 @@ int main() {
   {
     MediationTestbed::Options opt;
     opt.seed_label = "t1-das";
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    if (!tb_or.ok()) {
+      std::printf("testbed setup failed: %s\n",
+                  tb_or.status().ToString().c_str());
+      return 1;
+    }
+    MediationTestbed& tb = **tb_or;
     DasJoinProtocol das(DasProtocolOptions{PartitionStrategy::kEquiDepth, 4, {}});
     Relation result = das.Run(tb.JoinSql(), tb.ctx()).value();
     LeakageReport rep = AnalyzeLeakage(
@@ -79,7 +85,13 @@ int main() {
   {
     MediationTestbed::Options opt;
     opt.seed_label = "t1-comm";
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    if (!tb_or.ok()) {
+      std::printf("testbed setup failed: %s\n",
+                  tb_or.status().ToString().c_str());
+      return 1;
+    }
+    MediationTestbed& tb = **tb_or;
     CommutativeJoinProtocol comm(CommutativeProtocolOptions{512, false});
     Relation result = comm.Run(tb.JoinSql(), tb.ctx()).value();
     LeakageReport rep = AnalyzeLeakage(
@@ -105,7 +117,13 @@ int main() {
   {
     MediationTestbed::Options opt;
     opt.seed_label = "t1-pm";
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    if (!tb_or.ok()) {
+      std::printf("testbed setup failed: %s\n",
+                  tb_or.status().ToString().c_str());
+      return 1;
+    }
+    MediationTestbed& tb = **tb_or;
     PmJoinProtocol pm;
     Relation result = pm.Run(tb.JoinSql(), tb.ctx()).value();
     LeakageReport rep = AnalyzeLeakage(

@@ -53,6 +53,29 @@ void BM_Shared_HybridDecryptTuple(benchmark::State& state) {
 }
 BENCHMARK(BM_Shared_HybridDecryptTuple);
 
+void BM_Shared_HybridEncryptBatch(benchmark::State& state) {
+  // Batched tuple sealing across worker threads; the per-item RNG fork
+  // keeps the ciphertexts identical at every thread count. threads=1 is
+  // the serial baseline for the speedup ratio.
+  static const RsaPrivateKey* key =
+      new RsaPrivateKey(RsaGenerateKey(1024, &Rng()).value());
+  const size_t threads = static_cast<size_t>(state.range(0));
+  std::vector<Bytes> tuples(256);
+  for (auto& t : tuples) t = Rng().Generate(512);
+  for (auto _ : state) {
+    HmacDrbg rng(ToBytes("batch-seed"));
+    benchmark::DoNotOptimize(
+        HybridEncryptBatch(key->PublicKey(), tuples, &rng, threads).value());
+  }
+  state.SetLabel("256 x 512-byte tuples");
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_Shared_HybridEncryptBatch)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
 // ------------------------------------------------------------------ DAS --
 
 void BM_Das_CollisionFreeHash(benchmark::State& state) {

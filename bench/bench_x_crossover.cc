@@ -19,7 +19,9 @@ double TimeProtocol(JoinProtocol* protocol, const Workload& w,
                     const std::string& label) {
   MediationTestbed::Options opt;
   opt.seed_label = label;
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  if (!tb_or.ok()) return -1;
+  MediationTestbed& tb = **tb_or;
   auto start = std::chrono::steady_clock::now();
   auto result = protocol->Run(tb.JoinSql(), tb.ctx());
   auto end = std::chrono::steady_clock::now();

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "crypto/commutative.h"
 #include "crypto/group_params.h"
 #include "crypto/paillier.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -56,6 +58,7 @@ Result<int64_t> AggregateJoinProtocol::Run(const std::string& sql,
       PaillierPublicKey paillier,
       PaillierPublicKey::Deserialize(state.credentials[0].paillier_key));
   const size_t pail_bytes = (paillier.n_squared().BitLength() + 7) / 8;
+  const size_t threads = ResolveThreads(ctx->threads);
 
   // Which source owns the summed column?
   bool sum_at_source1 = false;
@@ -96,27 +99,42 @@ Result<int64_t> AggregateJoinProtocol::Run(const std::string& sql,
       Bytes enc_count;
       Bytes enc_sum;  // empty unless carries_sum
     };
-    std::vector<Entry> entries;
+    struct Item {
+      const Bytes* value_enc;
+      const Relation* tuples;
+    };
+    std::vector<Item> items;
+    items.reserve(tuple_sets.size());
     for (const auto& [value_enc, tuples] : tuple_sets) {
-      Entry e;
-      e.cipher = key.Encrypt(group.HashToGroup(value_enc)).ToBytes(group_bytes);
-      SECMED_ASSIGN_OR_RETURN(
-          BigInt enc_count,
-          paillier.Encrypt(BigInt(static_cast<uint64_t>(tuples.size())),
-                           ctx->rng));
-      e.enc_count = enc_count.ToBytes(pail_bytes);
-      if (carries_sum) {
-        int64_t sum = 0;
-        for (const Tuple& t : tuples.tuples()) {
-          if (!t[sum_col].is_null()) sum += t[sum_col].as_int();
-        }
-        SECMED_ASSIGN_OR_RETURN(
-            BigInt m, BigInt::Mod(BigInt(sum), paillier.n()));
-        SECMED_ASSIGN_OR_RETURN(BigInt enc_sum, paillier.Encrypt(m, ctx->rng));
-        e.enc_sum = enc_sum.ToBytes(pail_bytes);
-      }
-      entries.push_back(std::move(e));
+      items.push_back({&value_enc, &tuples});
     }
+    std::vector<std::unique_ptr<RandomSource>> rngs =
+        ForkN(ctx->rng, items.size());
+    std::vector<Entry> entries(items.size());
+    SECMED_RETURN_IF_ERROR(
+        ParallelForStatus(items.size(), threads, [&](size_t i) -> Status {
+          Entry& e = entries[i];
+          e.cipher = key.Encrypt(group.HashToGroup(*items[i].value_enc))
+                         .ToBytes(group_bytes);
+          SECMED_ASSIGN_OR_RETURN(
+              BigInt enc_count,
+              paillier.Encrypt(
+                  BigInt(static_cast<uint64_t>(items[i].tuples->size())),
+                  rngs[i].get()));
+          e.enc_count = enc_count.ToBytes(pail_bytes);
+          if (carries_sum) {
+            int64_t sum = 0;
+            for (const Tuple& t : items[i].tuples->tuples()) {
+              if (!t[sum_col].is_null()) sum += t[sum_col].as_int();
+            }
+            SECMED_ASSIGN_OR_RETURN(BigInt m,
+                                    BigInt::Mod(BigInt(sum), paillier.n()));
+            SECMED_ASSIGN_OR_RETURN(BigInt enc_sum,
+                                    paillier.Encrypt(m, rngs[i].get()));
+            e.enc_sum = enc_sum.ToBytes(pail_bytes);
+          }
+          return Status::OK();
+        }));
     std::sort(entries.begin(), entries.end(),
               [](const Entry& a, const Entry& b) { return a.cipher < b.cipher; });
 
@@ -184,15 +202,24 @@ Result<int64_t> AggregateJoinProtocol::Run(const std::string& sql,
     BinaryReader r(msg.payload);
     SECMED_ASSIGN_OR_RETURN(uint8_t origin, r.ReadU8());
     SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    std::vector<Bytes> singles(count);
+    std::vector<uint64_t> ids(count);
+    for (uint32_t k = 0; k < count; ++k) {
+      SECMED_ASSIGN_OR_RETURN(singles[k], r.ReadBytes());
+      SECMED_ASSIGN_OR_RETURN(ids[k], r.ReadU64());
+    }
+    std::vector<Bytes> doubled(count);
+    ParallelFor(count, threads, [&](size_t k) {
+      doubled[k] = keys[key_idx]
+                       .Encrypt(BigInt::FromBytes(singles[k]))
+                       .ToBytes(group_bytes);
+    });
     BinaryWriter w;
     w.WriteU8(origin);
     w.WriteU32(count);
     for (uint32_t k = 0; k < count; ++k) {
-      SECMED_ASSIGN_OR_RETURN(Bytes single, r.ReadBytes());
-      SECMED_ASSIGN_OR_RETURN(uint64_t id, r.ReadU64());
-      w.WriteBytes(
-          keys[key_idx].Encrypt(BigInt::FromBytes(single)).ToBytes(group_bytes));
-      w.WriteU64(id);
+      w.WriteBytes(doubled[k]);
+      w.WriteU64(ids[k]);
     }
     bus.Send(source, mediator, kMsgAggDouble, w.TakeBuffer());
     return Status::OK();

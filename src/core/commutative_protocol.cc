@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "crypto/commutative.h"
 #include "crypto/group_params.h"
 #include "crypto/hybrid.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -21,6 +23,7 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
                                               ProtocolContext* ctx) {
   SECMED_ASSIGN_OR_RETURN(RequestState state, RunRequestPhase(sql, ctx));
   SECMED_ASSIGN_OR_RETURN(QrGroup group, StandardGroup(options_.group_bits));
+  const size_t threads = ResolveThreads(ctx->threads);
   NetworkBus& bus = *ctx->bus;
   const std::string& mediator = ctx->mediator->name();
   const std::string& client = ctx->client->name();
@@ -45,17 +48,34 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
     std::map<Bytes, Relation> tuple_sets =
         GroupTuplesByJoinValue(rel, join_idx);
 
-    // Entries sorted by ciphertext (arbitrary order independent of the
-    // plaintext insertion order).
-    std::vector<std::pair<Bytes, Bytes>> entries;  // (f_ei(h(a)), enc(Tup))
+    // One commutative exponentiation plus one hybrid seal per tuple set —
+    // all independent, spread across the thread pool with per-item RNG
+    // forks. Entries afterwards sorted by ciphertext (arbitrary order
+    // independent of the plaintext insertion order).
+    struct DeliverItem {
+      const Bytes* value_enc;
+      const Relation* tuples;
+    };
+    std::vector<DeliverItem> items;
+    items.reserve(tuple_sets.size());
     for (const auto& [value_enc, tuples] : tuple_sets) {
-      BigInt hashed = group.HashToGroup(value_enc);
-      Bytes cipher = key.Encrypt(hashed).ToBytes(group_bytes);
-      SECMED_ASSIGN_OR_RETURN(
-          Bytes enc_tup,
-          HybridEncrypt(client_key, tuples.Serialize(), ctx->rng));
-      entries.emplace_back(std::move(cipher), std::move(enc_tup));
+      items.push_back(DeliverItem{&value_enc, &tuples});
     }
+    std::vector<std::unique_ptr<RandomSource>> rngs =
+        ForkN(ctx->rng, items.size());
+    std::vector<std::pair<Bytes, Bytes>> entries(  // (f_ei(h(a)), enc(Tup))
+        items.size());
+    SECMED_RETURN_IF_ERROR(ParallelForStatus(
+        items.size(), threads, [&](size_t i) -> Status {
+          BigInt hashed = group.HashToGroup(*items[i].value_enc);
+          Bytes cipher = key.Encrypt(hashed).ToBytes(group_bytes);
+          SECMED_ASSIGN_OR_RETURN(
+              Bytes enc_tup, HybridEncrypt(client_key,
+                                           items[i].tuples->Serialize(),
+                                           rngs[i].get()));
+          entries[i] = {std::move(cipher), std::move(enc_tup)};
+          return Status::OK();
+        }));
     std::sort(entries.begin(), entries.end());
 
     SECMED_ASSIGN_OR_RETURN(
@@ -134,19 +154,33 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
     BinaryReader r(msg.payload);
     SECMED_ASSIGN_OR_RETURN(uint8_t origin, r.ReadU8());
     SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    // Parse serially, exponentiate in parallel (pure compute, no RNG),
+    // serialize serially.
+    std::vector<Bytes> singles(count);
+    std::vector<Bytes> enc_tups(options_.forward_payloads ? count : 0);
+    std::vector<uint64_t> ids(options_.forward_payloads ? 0 : count);
+    for (uint32_t k = 0; k < count; ++k) {
+      SECMED_ASSIGN_OR_RETURN(singles[k], r.ReadBytes());
+      if (options_.forward_payloads) {
+        SECMED_ASSIGN_OR_RETURN(enc_tups[k], r.ReadBytes());
+      } else {
+        SECMED_ASSIGN_OR_RETURN(ids[k], r.ReadU64());
+      }
+    }
+    std::vector<Bytes> doubled(count);
+    ParallelFor(count, threads, [&](size_t k) {
+      doubled[k] =
+          ss.key.Encrypt(BigInt::FromBytes(singles[k])).ToBytes(group_bytes);
+    });
     BinaryWriter w;
     w.WriteU8(origin);
     w.WriteU32(count);
     for (uint32_t k = 0; k < count; ++k) {
-      SECMED_ASSIGN_OR_RETURN(Bytes single, r.ReadBytes());
-      BigInt doubled = ss.key.Encrypt(BigInt::FromBytes(single));
-      w.WriteBytes(doubled.ToBytes(group_bytes));
+      w.WriteBytes(doubled[k]);
       if (options_.forward_payloads) {
-        SECMED_ASSIGN_OR_RETURN(Bytes enc_tup, r.ReadBytes());
-        w.WriteBytes(enc_tup);
+        w.WriteBytes(enc_tups[k]);
       } else {
-        SECMED_ASSIGN_OR_RETURN(uint64_t id, r.ReadU64());
-        w.WriteU64(id);
+        w.WriteU64(ids[k]);
       }
     }
     bus.Send(ss.name, mediator, kMsgCommDoubleEncrypted, w.TakeBuffer());

@@ -4,6 +4,7 @@
 #include "das/das_relation.h"
 #include "das/index_table.h"
 #include "das/query_translator.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -96,7 +97,7 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
     SECMED_ASSIGN_OR_RETURN(
         d.encrypted,
         DasEncryptRelation(rel, join_attrs, d.itables, client_key, ctx->rng,
-                           clear_cols));
+                           clear_cols, ResolveThreads(ctx->threads)));
     Bytes blob;
     if (setting == DasTranslatorSetting::kClient) {
       blob = EncodeItableBlob(d.itables, rel.schema());

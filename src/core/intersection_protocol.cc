@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "crypto/commutative.h"
@@ -9,6 +10,7 @@
 #include "crypto/hybrid.h"
 #include "crypto/paillier.h"
 #include "crypto/sha256.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -75,6 +77,7 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
   const std::string& mediator = ctx->mediator->name();
   const std::string& client = ctx->client->name();
   const size_t group_bytes = (group.p().BitLength() + 7) / 8;
+  const size_t threads = ResolveThreads(ctx->threads);
 
   // Each source: encrypt hashed values with a fresh commutative key; the
   // value itself is hybrid-encrypted for the client.
@@ -84,12 +87,18 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
     CommutativeKey key = CommutativeKey::Generate(group, ctx->rng);
     SECMED_ASSIGN_OR_RETURN(std::vector<Bytes> values,
                             CompositeValues(rel, state.plan.join_attributes));
-    std::vector<std::pair<Bytes, Bytes>> entries;
-    for (const Bytes& v : values) {
-      Bytes cipher = key.Encrypt(group.HashToGroup(v)).ToBytes(group_bytes);
-      SECMED_ASSIGN_OR_RETURN(Bytes ev, HybridEncrypt(client_key, v, ctx->rng));
-      entries.emplace_back(std::move(cipher), std::move(ev));
-    }
+    std::vector<std::unique_ptr<RandomSource>> rngs =
+        ForkN(ctx->rng, values.size());
+    std::vector<std::pair<Bytes, Bytes>> entries(values.size());
+    SECMED_RETURN_IF_ERROR(
+        ParallelForStatus(values.size(), threads, [&](size_t i) -> Status {
+          const Bytes& v = values[i];
+          Bytes cipher = key.Encrypt(group.HashToGroup(v)).ToBytes(group_bytes);
+          SECMED_ASSIGN_OR_RETURN(Bytes ev,
+                                  HybridEncrypt(client_key, v, rngs[i].get()));
+          entries[i] = {std::move(cipher), std::move(ev)};
+          return Status::OK();
+        }));
     std::sort(entries.begin(), entries.end());
     BinaryWriter w;
     w.WriteU8(which);
@@ -145,15 +154,24 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
     BinaryReader r(msg.payload);
     SECMED_ASSIGN_OR_RETURN(uint8_t origin, r.ReadU8());
     SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    std::vector<Bytes> singles(count);
+    std::vector<uint64_t> ids(count);
+    for (uint32_t k = 0; k < count; ++k) {
+      SECMED_ASSIGN_OR_RETURN(singles[k], r.ReadBytes());
+      SECMED_ASSIGN_OR_RETURN(ids[k], r.ReadU64());
+    }
+    std::vector<Bytes> doubled(count);
+    ParallelFor(count, threads, [&](size_t k) {
+      doubled[k] = keys[key_idx]
+                       .Encrypt(BigInt::FromBytes(singles[k]))
+                       .ToBytes(group_bytes);
+    });
     BinaryWriter w;
     w.WriteU8(origin);
     w.WriteU32(count);
     for (uint32_t k = 0; k < count; ++k) {
-      SECMED_ASSIGN_OR_RETURN(Bytes single, r.ReadBytes());
-      SECMED_ASSIGN_OR_RETURN(uint64_t id, r.ReadU64());
-      w.WriteBytes(keys[key_idx].Encrypt(BigInt::FromBytes(single))
-                       .ToBytes(group_bytes));
-      w.WriteU64(id);
+      w.WriteBytes(doubled[k]);
+      w.WriteU64(ids[k]);
     }
     bus.Send(source, mediator, kMsgIxDouble, w.TakeBuffer());
     return Status::OK();
@@ -227,6 +245,7 @@ Result<Relation> PmIntersectionProtocol::Run(const std::string& sql,
       PaillierPublicKey paillier,
       PaillierPublicKey::Deserialize(state.credentials[0].paillier_key));
   const size_t key_bytes = (paillier.n_squared().BitLength() + 7) / 8;
+  const size_t threads = ResolveThreads(ctx->threads);
 
   // Sources: polynomial coefficients from their value fingerprints.
   std::vector<std::vector<Bytes>> values_at(3);
@@ -254,13 +273,19 @@ Result<Relation> PmIntersectionProtocol::Run(const std::string& sql,
       }
       coeffs = std::move(next);
     }
+    std::vector<std::unique_ptr<RandomSource>> rngs =
+        ForkN(ctx->rng, coeffs.size());
+    std::vector<BigInt> enc(coeffs.size());
+    SECMED_RETURN_IF_ERROR(
+        ParallelForStatus(coeffs.size(), threads, [&](size_t k) -> Status {
+          SECMED_ASSIGN_OR_RETURN(enc[k],
+                                  paillier.Encrypt(coeffs[k], rngs[k].get()));
+          return Status::OK();
+        }));
     BinaryWriter w;
     w.WriteU8(which);
     w.WriteU32(static_cast<uint32_t>(coeffs.size()));
-    for (const BigInt& c : coeffs) {
-      SECMED_ASSIGN_OR_RETURN(BigInt e, paillier.Encrypt(c, ctx->rng));
-      w.WriteBytes(e.ToBytes(key_bytes));
-    }
+    for (const BigInt& e : enc) w.WriteBytes(e.ToBytes(key_bytes));
     bus.Send(source, mediator, kMsgIxCoefficients, w.TakeBuffer());
     return Status::OK();
   };
@@ -295,29 +320,35 @@ Result<Relation> PmIntersectionProtocol::Run(const std::string& sql,
       SECMED_ASSIGN_OR_RETURN(Bytes raw, r.ReadBytes());
       enc_coeffs.push_back(BigInt::FromBytes(raw));
     }
-    std::vector<Bytes> evaluations;
-    for (const Bytes& v : values_at[which]) {
-      const Bytes fp = Fingerprint(v);
-      const BigInt a = BigInt::FromBytes(fp);
-      BigInt acc = enc_coeffs.back();
-      for (size_t k = enc_coeffs.size() - 1; k-- > 0;) {
-        acc = paillier.Add(paillier.ScalarMul(acc, a), enc_coeffs[k]);
-      }
-      Bytes m_bytes;
-      m_bytes.push_back(kMarker);
-      Append(&m_bytes, fp);
-      Append(&m_bytes, v);
-      if (m_bytes.size() > paillier.MaxPlaintextBytes()) {
-        return Status::InvalidArgument("join value too large for payload");
-      }
-      BigInt rk;
-      do {
-        rk = BigInt::RandomBelow(paillier.n(), ctx->rng);
-      } while (rk.is_zero());
-      BigInt ek = paillier.AddPlain(paillier.ScalarMul(acc, rk),
-                                    BigInt::FromBytes(m_bytes));
-      evaluations.push_back(ek.ToBytes(key_bytes));
-    }
+    const std::vector<Bytes>& values = values_at[which];
+    std::vector<std::unique_ptr<RandomSource>> rngs =
+        ForkN(ctx->rng, values.size());
+    std::vector<Bytes> evaluations(values.size());
+    SECMED_RETURN_IF_ERROR(
+        ParallelForStatus(values.size(), threads, [&](size_t i) -> Status {
+          const Bytes& v = values[i];
+          const Bytes fp = Fingerprint(v);
+          const BigInt a = BigInt::FromBytes(fp);
+          BigInt acc = enc_coeffs.back();
+          for (size_t k = enc_coeffs.size() - 1; k-- > 0;) {
+            acc = paillier.Add(paillier.ScalarMul(acc, a), enc_coeffs[k]);
+          }
+          Bytes m_bytes;
+          m_bytes.push_back(kMarker);
+          Append(&m_bytes, fp);
+          Append(&m_bytes, v);
+          if (m_bytes.size() > paillier.MaxPlaintextBytes()) {
+            return Status::InvalidArgument("join value too large for payload");
+          }
+          BigInt rk;
+          do {
+            rk = BigInt::RandomBelow(paillier.n(), rngs[i].get());
+          } while (rk.is_zero());
+          BigInt ek = paillier.AddPlain(paillier.ScalarMul(acc, rk),
+                                        BigInt::FromBytes(m_bytes));
+          evaluations[i] = ek.ToBytes(key_bytes);
+          return Status::OK();
+        }));
     std::sort(evaluations.begin(), evaluations.end());
     BinaryWriter w;
     w.WriteU8(which);

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <set>
 
 #include "crypto/hybrid.h"
 #include "crypto/paillier.h"
 #include "crypto/sha256.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -53,9 +56,33 @@ std::vector<BigInt> PolynomialFromRoots(const std::vector<BigInt>& roots,
 
 }  // namespace
 
+Result<std::vector<uint64_t>> DrawDistinctPayloadIds(size_t count,
+                                                     RandomSource* rng) {
+  constexpr int kMaxAttempts = 64;
+  std::set<uint64_t> seen;
+  std::vector<uint64_t> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    for (int attempt = 0;; ++attempt) {
+      if (attempt == kMaxAttempts) {
+        return Status::Internal(
+            "could not draw a distinct 64-bit payload ID; broken RandomSource?");
+      }
+      Bytes id_bytes = rng->Generate(kIdLen);
+      id = 0;
+      for (size_t b = 0; b < kIdLen; ++b) id = (id << 8) | id_bytes[b];
+      if (seen.insert(id).second) break;
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
 Result<Relation> PmJoinProtocol::Run(const std::string& sql,
                                      ProtocolContext* ctx) {
   SECMED_ASSIGN_OR_RETURN(RequestState state, RunRequestPhase(sql, ctx));
+  const size_t threads = ResolveThreads(ctx->threads);
   NetworkBus& bus = *ctx->bus;
   const std::string& mediator = ctx->mediator->name();
   const std::string& client = ctx->client->name();
@@ -100,14 +127,24 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
           return w.TakeBuffer();
         }(), ctx->rng));
 
+    // Coefficient encryption is one independent Paillier exponentiation
+    // per coefficient — the protocol's first hot loop. Per-item RNG forks
+    // keep the ciphertexts identical for every thread count.
+    std::vector<std::unique_ptr<RandomSource>> rngs =
+        ForkN(ctx->rng, coeffs.size());
+    std::vector<BigInt> enc(coeffs.size());
+    SECMED_RETURN_IF_ERROR(ParallelForStatus(
+        coeffs.size(), threads, [&](size_t i) -> Status {
+          SECMED_ASSIGN_OR_RETURN(enc[i],
+                                  paillier.Encrypt(coeffs[i], rngs[i].get()));
+          return Status::OK();
+        }));
+
     BinaryWriter w;
     w.WriteU8(which);
     w.WriteBytes(schema_blob);
-    w.WriteU32(static_cast<uint32_t>(coeffs.size()));
-    for (const BigInt& c : coeffs) {
-      SECMED_ASSIGN_OR_RETURN(BigInt e, paillier.Encrypt(c, ctx->rng));
-      w.WriteBytes(e.ToBytes(key_bytes));
-    }
+    w.WriteU32(static_cast<uint32_t>(enc.size()));
+    for (const BigInt& e : enc) w.WriteBytes(e.ToBytes(key_bytes));
     bus.Send(ss->name, mediator, kMsgPmCoefficients, w.TakeBuffer());
     return Status::OK();
   };
@@ -160,54 +197,81 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
       return Status::ProtocolError("opposite polynomial has no coefficients");
     }
 
-    std::vector<Bytes> evaluations;
-    // id -> session-encrypted tuple set. IDs are drawn at random (not
-    // sequential): the tuple sets are grouped in value order here, and
-    // sequential IDs would disclose the relative order of the join values
-    // to the mediator.
-    std::vector<std::pair<uint64_t, Bytes>> payload_entries;
+    // Items in deterministic (join value) order; each is an independent
+    // blind Horner evaluation — the protocol's quadratic hot loop.
+    struct EvalItem {
+      const Bytes* value_enc;
+      const Relation* tuples;
+    };
+    std::vector<EvalItem> eval_items;
+    eval_items.reserve(ss->tuple_sets.size());
     for (const auto& [value_enc, tuples] : ss->tuple_sets) {
-      const Bytes fingerprint = ValueFingerprint(value_enc);
-      const BigInt a = BigInt::FromBytes(fingerprint);
-
-      // Horner: E(P(a)) from encrypted coefficients (c0 + a c1 + ...).
-      BigInt acc = enc_coeffs.back();
-      for (size_t k = enc_coeffs.size() - 1; k-- > 0;) {
-        acc = paillier.Add(paillier.ScalarMul(acc, a), enc_coeffs[k]);
-      }
-
-      // Payload m = marker || fingerprint || (id || session key | tuples).
-      Bytes m_bytes;
-      m_bytes.push_back(kPayloadMarker);
-      Append(&m_bytes, fingerprint);
-      if (options_.session_key_payloads) {
-        Bytes id_bytes = ctx->rng->Generate(kIdLen);
-        uint64_t id = 0;
-        for (size_t b = 0; b < kIdLen; ++b) id = (id << 8) | id_bytes[b];
-        Bytes session_key = ctx->rng->Generate(kSessionKeyLen);
-        Append(&m_bytes, id_bytes);
-        Append(&m_bytes, session_key);
-        SECMED_ASSIGN_OR_RETURN(
-            Bytes enc_tup,
-            SessionEncrypt(session_key, tuples.Serialize(), ctx->rng));
-        payload_entries.emplace_back(id, std::move(enc_tup));
-      } else {
-        Append(&m_bytes, tuples.Serialize());
-      }
-      if (m_bytes.size() > paillier.MaxPlaintextBytes()) {
-        return Status::InvalidArgument(
-            "tuple-set payload exceeds the Paillier plaintext space; enable "
-            "session_key_payloads (footnote 2)");
-      }
-      const BigInt m = BigInt::FromBytes(m_bytes);
-      // ek = E(rk * P(a) + m) with fresh random rk in [1, n).
-      BigInt rk;
-      do {
-        rk = BigInt::RandomBelow(paillier.n(), ctx->rng);
-      } while (rk.is_zero());
-      BigInt ek = paillier.AddPlain(paillier.ScalarMul(acc, rk), m);
-      evaluations.push_back(ek.ToBytes(key_bytes));
+      eval_items.push_back(EvalItem{&value_enc, &tuples});
     }
+
+    // IDs are drawn at random (not sequential): the tuple sets are grouped
+    // in value order here, and sequential IDs would disclose the relative
+    // order of the join values to the mediator. Drawn distinct up front
+    // (serially, before forking) so a 64-bit collision can never make two
+    // payload-table entries shadow each other at the client.
+    std::vector<uint64_t> ids;
+    if (options_.session_key_payloads) {
+      SECMED_ASSIGN_OR_RETURN(
+          ids, DrawDistinctPayloadIds(eval_items.size(), ctx->rng));
+    }
+    std::vector<std::unique_ptr<RandomSource>> rngs =
+        ForkN(ctx->rng, eval_items.size());
+
+    std::vector<Bytes> evaluations(eval_items.size());
+    // id -> session-encrypted tuple set.
+    std::vector<std::pair<uint64_t, Bytes>> payload_entries(
+        options_.session_key_payloads ? eval_items.size() : 0);
+    SECMED_RETURN_IF_ERROR(ParallelForStatus(
+        eval_items.size(), threads, [&](size_t i) -> Status {
+          RandomSource* rng = rngs[i].get();
+          const Bytes fingerprint = ValueFingerprint(*eval_items[i].value_enc);
+          const BigInt a = BigInt::FromBytes(fingerprint);
+
+          // Horner: E(P(a)) from encrypted coefficients (c0 + a c1 + ...).
+          BigInt acc = enc_coeffs.back();
+          for (size_t k = enc_coeffs.size() - 1; k-- > 0;) {
+            acc = paillier.Add(paillier.ScalarMul(acc, a), enc_coeffs[k]);
+          }
+
+          // Payload m = marker || fingerprint || (id || session key | tuples).
+          Bytes m_bytes;
+          m_bytes.push_back(kPayloadMarker);
+          Append(&m_bytes, fingerprint);
+          if (options_.session_key_payloads) {
+            const uint64_t id = ids[i];
+            for (int b = static_cast<int>(kIdLen) - 1; b >= 0; --b) {
+              m_bytes.push_back(static_cast<uint8_t>(id >> (8 * b)));
+            }
+            Bytes session_key = rng->Generate(kSessionKeyLen);
+            Append(&m_bytes, session_key);
+            SECMED_ASSIGN_OR_RETURN(
+                Bytes enc_tup,
+                SessionEncrypt(session_key, eval_items[i].tuples->Serialize(),
+                               rng));
+            payload_entries[i] = {id, std::move(enc_tup)};
+          } else {
+            Append(&m_bytes, eval_items[i].tuples->Serialize());
+          }
+          if (m_bytes.size() > paillier.MaxPlaintextBytes()) {
+            return Status::InvalidArgument(
+                "tuple-set payload exceeds the Paillier plaintext space; "
+                "enable session_key_payloads (footnote 2)");
+          }
+          const BigInt m = BigInt::FromBytes(m_bytes);
+          // ek = E(rk * P(a) + m) with fresh random rk in [1, n).
+          BigInt rk;
+          do {
+            rk = BigInt::RandomBelow(paillier.n(), rng);
+          } while (rk.is_zero());
+          BigInt ek = paillier.AddPlain(paillier.ScalarMul(acc, rk), m);
+          evaluations[i] = ek.ToBytes(key_bytes);
+          return Status::OK();
+        }));
     // Arbitrary order, independent of plaintext order.
     std::sort(evaluations.begin(), evaluations.end());
     std::sort(payload_entries.begin(), payload_entries.end());
@@ -314,7 +378,12 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
       uint64_t id = 0;
       for (size_t b = 0; b < kIdLen; ++b) id = (id << 8) | id_bytes[b];
       SECMED_ASSIGN_OR_RETURN(Bytes sealed, er.ReadBytes());
-      payload_tables[which].emplace(id, std::move(sealed));
+      // A well-behaved source draws distinct IDs (DrawDistinctPayloadIds);
+      // a duplicate here would silently shadow one tuple set, so fail loud.
+      if (!payload_tables[which].emplace(id, std::move(sealed)).second) {
+        return Status::ProtocolError(
+            "duplicate payload-table ID in PM evaluations");
+      }
     }
   }
   last_evaluation_count_ = evaluation_count;

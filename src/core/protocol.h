@@ -21,6 +21,12 @@ struct ProtocolContext {
   std::map<std::string, DataSource*> sources;  // by datasource name
   NetworkBus* bus = nullptr;
   RandomSource* rng = nullptr;
+  /// Worker threads for the embarrassingly-parallel crypto loops
+  /// (coefficient encryption, blind evaluation, double encryption, bucket
+  /// sealing). 0 = hardware concurrency, 1 = exact legacy serial path.
+  /// Results and transcripts are bit-identical for every value under a
+  /// seeded rng (per-item RNG forking — see RandomSource::Fork).
+  size_t threads = 0;
 };
 
 /// Message types of the common request phase (Listing 1).

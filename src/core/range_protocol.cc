@@ -8,6 +8,7 @@
 #include "das/index_table.h"
 #include "relational/algebra.h"
 #include "relational/sql.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -194,7 +195,7 @@ Result<Relation> RangeSelectionProtocol::Run(const std::string& sql,
     SECMED_ASSIGN_OR_RETURN(
         DasRelation encrypted,
         DasEncryptRelation(partial, indexed_columns, itables, client_key,
-                           ctx->rng));
+                           ctx->rng, {}, ResolveThreads(ctx->threads)));
     bus.Send(plan.source, mediator, kMsgRangeEncrypted, encrypted.Serialize());
 
     BinaryWriter kw;

@@ -4,20 +4,35 @@
 
 namespace secmed {
 
+Result<std::unique_ptr<MediationTestbed>> MediationTestbed::Create(
+    const Workload& workload) {
+  return Create(workload, Options());
+}
+
+Result<std::unique_ptr<MediationTestbed>> MediationTestbed::Create(
+    const Workload& workload, Options options) {
+  std::unique_ptr<MediationTestbed> tb(
+      new MediationTestbed(workload, std::move(options)));
+  SECMED_RETURN_IF_ERROR(tb->Init());
+  return tb;
+}
+
 MediationTestbed::MediationTestbed(const Workload& workload, Options options)
     : options_(std::move(options)),
       rng_(ToBytes("secmed-testbed-" + options_.seed_label)),
       workload_(workload),
-      mediator_("mediator") {
-  ca_ = std::make_unique<CertificationAuthority>(
-      CertificationAuthority::Create(1024, &rng_).value());
-  client_ = std::make_unique<Client>(
-      Client::Create("client", options_.rsa_bits, options_.paillier_bits,
-                     &rng_)
-          .value());
-  Status st =
-      client_->AcquireCredential(*ca_, {{"role", "analyst"}});
-  (void)st;
+      mediator_("mediator") {}
+
+Status MediationTestbed::Init() {
+  SECMED_ASSIGN_OR_RETURN(CertificationAuthority ca,
+                          CertificationAuthority::Create(1024, &rng_));
+  ca_ = std::make_unique<CertificationAuthority>(std::move(ca));
+  SECMED_ASSIGN_OR_RETURN(
+      Client client, Client::Create("client", options_.rsa_bits,
+                                    options_.paillier_bits, &rng_));
+  client_ = std::make_unique<Client>(std::move(client));
+  SECMED_RETURN_IF_ERROR(
+      client_->AcquireCredential(*ca_, {{"role", "analyst"}}));
 
   source1_ = std::make_unique<DataSource>(options_.source1);
   source2_ = std::make_unique<DataSource>(options_.source2);
@@ -37,6 +52,8 @@ MediationTestbed::MediationTestbed(const Workload& workload, Options options)
   ctx_.sources[source2_->name()] = source2_.get();
   ctx_.bus = &bus_;
   ctx_.rng = &rng_;
+  ctx_.threads = options_.threads;
+  return Status::OK();
 }
 
 std::string MediationTestbed::JoinSql() const {

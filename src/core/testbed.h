@@ -31,11 +31,21 @@ class MediationTestbed {
     std::string table2 = "billing";
     std::string source1 = "hospital";
     std::string source2 = "insurer";
+    /// ProtocolContext::threads for every protocol run over this testbed:
+    /// 0 = hardware concurrency, 1 = exact legacy serial path. Results
+    /// and transcripts are bit-identical for every value.
+    size_t threads = 0;
   };
 
-  explicit MediationTestbed(const Workload& workload)
-      : MediationTestbed(workload, Options()) {}
-  MediationTestbed(const Workload& workload, Options options);
+  /// Wires a full deployment around the workload. Key generation and
+  /// credential acquisition can fail (e.g. undersized moduli); the old
+  /// constructor swallowed those errors and crashed later, this factory
+  /// surfaces them. Heap-allocated because the contained ProtocolContext
+  /// points into the testbed itself.
+  static Result<std::unique_ptr<MediationTestbed>> Create(
+      const Workload& workload);
+  static Result<std::unique_ptr<MediationTestbed>> Create(
+      const Workload& workload, Options options);
 
   ProtocolContext* ctx() { return &ctx_; }
   NetworkBus& bus() { return bus_; }
@@ -61,6 +71,11 @@ class MediationTestbed {
   void ResetBus() { bus_.Reset(); }
 
  private:
+  MediationTestbed(const Workload& workload, Options options);
+
+  /// Fallible part of construction: parties, credential, wiring.
+  Status Init();
+
   Options options_;
   HmacDrbg rng_;
   Workload workload_;

@@ -29,13 +29,15 @@ constexpr uint8_t kSbox[256] = {
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
     0xb0, 0x54, 0xbb, 0x16};
 
-uint8_t inv_sbox[256];
-bool inv_sbox_ready = false;
-
-void EnsureInvSbox() {
-  if (inv_sbox_ready) return;
-  for (int i = 0; i < 256; ++i) inv_sbox[kSbox[i]] = static_cast<uint8_t>(i);
-  inv_sbox_ready = true;
+// Inverse S-box, built once; a magic static so concurrent first uses from
+// parallel sealing loops are safe.
+const uint8_t* InvSbox() {
+  static const uint8_t* table = [] {
+    static uint8_t t[256];
+    for (int i = 0; i < 256; ++i) t[kSbox[i]] = static_cast<uint8_t>(i);
+    return t;
+  }();
+  return table;
 }
 
 constexpr uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
@@ -73,7 +75,7 @@ Result<Aes> Aes::Create(const Bytes& key) {
   aes.key_size_ = key.size();
   aes.rounds_ = static_cast<int>(key.size() / 4) + 6;
   aes.ExpandKey(key);
-  EnsureInvSbox();
+  InvSbox();
   return aes;
 }
 
@@ -114,7 +116,8 @@ void SubBytes(uint8_t state[16]) {
 }
 
 void InvSubBytes(uint8_t state[16]) {
-  for (int i = 0; i < 16; ++i) state[i] = inv_sbox[state[i]];
+  const uint8_t* inv = InvSbox();
+  for (int i = 0; i < 16; ++i) state[i] = inv[state[i]];
 }
 
 // State layout: state[4*c + r] = byte at row r, column c (column-major,

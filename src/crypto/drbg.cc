@@ -28,6 +28,14 @@ void HmacDrbg::Update(const Bytes& provided) {
 
 void HmacDrbg::Reseed(const Bytes& material) { Update(material); }
 
+std::unique_ptr<RandomSource> HmacDrbg::Fork(uint64_t index) {
+  Bytes seed = Generate(32);
+  for (int b = 0; b < 8; ++b) {
+    seed.push_back(static_cast<uint8_t>(index >> (8 * b)));
+  }
+  return std::make_unique<HmacDrbg>(seed);
+}
+
 Bytes HmacDrbg::Generate(size_t n) {
   Bytes out;
   out.reserve(n);

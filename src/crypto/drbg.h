@@ -24,6 +24,13 @@ class HmacDrbg : public RandomSource {
   /// Mixes additional entropy into the state.
   void Reseed(const Bytes& material);
 
+  /// Forks a child DRBG for item `index` of a parallel loop: the child is
+  /// seeded from 32 bytes drawn here plus the index, so its stream is a
+  /// deterministic function of (parent state at fork time, index) and the
+  /// same items produce the same bytes on any thread count. Fork children
+  /// in index order on one thread, then hand them to the workers.
+  std::unique_ptr<RandomSource> Fork(uint64_t index) override;
+
  private:
   void Update(const Bytes& provided);
 

@@ -1,6 +1,7 @@
 #include "crypto/hybrid.h"
 
 #include "crypto/aead.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -30,6 +31,21 @@ Result<Bytes> HybridDecrypt(const RsaPrivateKey& recipient,
   SECMED_ASSIGN_OR_RETURN(Bytes session_key, RsaOaepDecrypt(recipient, wrapped));
   SECMED_ASSIGN_OR_RETURN(Aead aead, Aead::Create(session_key));
   return aead.Open(sealed, Bytes());
+}
+
+Result<std::vector<Bytes>> HybridEncryptBatch(const RsaPublicKey& recipient,
+                                              const std::vector<Bytes>& plaintexts,
+                                              RandomSource* rng,
+                                              size_t threads) {
+  std::vector<std::unique_ptr<RandomSource>> rngs = ForkN(rng, plaintexts.size());
+  std::vector<Bytes> out(plaintexts.size());
+  SECMED_RETURN_IF_ERROR(ParallelForStatus(
+      plaintexts.size(), threads, [&](size_t i) -> Status {
+        SECMED_ASSIGN_OR_RETURN(
+            out[i], HybridEncrypt(recipient, plaintexts[i], rngs[i].get()));
+        return Status::OK();
+      }));
+  return out;
 }
 
 Result<Bytes> SessionEncrypt(const Bytes& session_key, const Bytes& plaintext,

@@ -23,6 +23,14 @@ Result<Bytes> HybridEncrypt(const RsaPublicKey& recipient,
 Result<Bytes> HybridDecrypt(const RsaPrivateKey& recipient,
                             const Bytes& ciphertext);
 
+/// Hybrid-encrypts every plaintext, spreading the work over up to
+/// `threads` threads (taken literally; 0 or 1 = serial). The RNG is
+/// forked once per item in index order (RandomSource::Fork), so output is
+/// bit-identical for every thread count given the same seeded `rng`.
+Result<std::vector<Bytes>> HybridEncryptBatch(
+    const RsaPublicKey& recipient, const std::vector<Bytes>& plaintexts,
+    RandomSource* rng, size_t threads = 1);
+
 /// Encrypts a payload with an explicit pre-shared session key (no RSA
 /// wrap). Used by the footnote-2 optimization of the PM protocol, where
 /// the session key itself rides inside the homomorphic polynomial payload

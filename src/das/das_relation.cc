@@ -1,6 +1,9 @@
 #include "das/das_relation.h"
 
+#include <memory>
+
 #include "crypto/hybrid.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -50,7 +53,7 @@ Result<DasRelation> DasEncryptRelation(
     const Relation& rel, const std::vector<std::string>& join_columns,
     const std::vector<IndexTable>& index_tables,
     const RsaPublicKey& client_key, RandomSource* rng,
-    const std::vector<std::string>& plaintext_columns) {
+    const std::vector<std::string>& plaintext_columns, size_t threads) {
   if (join_columns.empty() || join_columns.size() != index_tables.size()) {
     return Status::InvalidArgument(
         "join columns and index tables must match and be non-empty");
@@ -65,21 +68,24 @@ Result<DasRelation> DasEncryptRelation(
     SECMED_ASSIGN_OR_RETURN(size_t i, rel.schema().IndexOf(col));
     clear_idx.push_back(i);
   }
+  std::vector<std::unique_ptr<RandomSource>> rngs = ForkN(rng, rel.size());
   DasRelation out;
-  out.tuples.reserve(rel.size());
-  for (const Tuple& t : rel.tuples()) {
-    DasTuple dt;
-    dt.join_indexes.reserve(col_idx.size());
-    for (size_t k = 0; k < col_idx.size(); ++k) {
-      SECMED_ASSIGN_OR_RETURN(uint64_t idx,
-                              index_tables[k].IndexOf(t[col_idx[k]]));
-      dt.join_indexes.push_back(idx);
-    }
-    for (size_t i : clear_idx) dt.plaintext_cells.push_back(t[i]);
-    SECMED_ASSIGN_OR_RETURN(dt.etuple,
-                            HybridEncrypt(client_key, EncodeTuple(t), rng));
-    out.tuples.push_back(std::move(dt));
-  }
+  out.tuples.resize(rel.size());
+  SECMED_RETURN_IF_ERROR(
+      ParallelForStatus(rel.size(), threads, [&](size_t i) -> Status {
+        const Tuple& t = rel.tuples()[i];
+        DasTuple& dt = out.tuples[i];
+        dt.join_indexes.reserve(col_idx.size());
+        for (size_t k = 0; k < col_idx.size(); ++k) {
+          SECMED_ASSIGN_OR_RETURN(uint64_t idx,
+                                  index_tables[k].IndexOf(t[col_idx[k]]));
+          dt.join_indexes.push_back(idx);
+        }
+        for (size_t c : clear_idx) dt.plaintext_cells.push_back(t[c]);
+        SECMED_ASSIGN_OR_RETURN(
+            dt.etuple, HybridEncrypt(client_key, EncodeTuple(t), rngs[i].get()));
+        return Status::OK();
+      }));
   return out;
 }
 

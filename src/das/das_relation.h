@@ -49,11 +49,16 @@ struct DasRelation {
 /// columns additionally travel in the clear next to the etuple (the
 /// encrypted tuple still contains every column, so decryption is
 /// unchanged). Leave empty for the paper's fully encrypted model.
+///
+/// `threads` sealing workers run the per-tuple hybrid encryptions; the
+/// output is bit-identical for every thread count under a seeded `rng`
+/// (per-tuple RNG forking — see RandomSource::Fork).
 Result<DasRelation> DasEncryptRelation(
     const Relation& rel, const std::vector<std::string>& join_columns,
     const std::vector<IndexTable>& index_tables,
     const RsaPublicKey& client_key, RandomSource* rng,
-    const std::vector<std::string>& plaintext_columns = {});
+    const std::vector<std::string>& plaintext_columns = {},
+    size_t threads = 1);
 
 /// Single-attribute convenience overload (the paper's base protocol).
 Result<DasRelation> DasEncryptRelation(const Relation& rel,

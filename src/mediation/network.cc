@@ -48,9 +48,13 @@ Result<Message> NetworkBus::ReceiveOfType(const std::string& party,
     return Status::NotFound("no pending message for " + party);
   }
   if (it->second.front().type != type) {
+    // Drop the mismatched message: leaving it queued would make every
+    // retry fail on the same message (documented in the header).
+    Message bad = std::move(it->second.front());
+    it->second.pop_front();
     return Status::ProtocolError("expected message of type '" + type +
-                                 "' for " + party + ", got '" +
-                                 it->second.front().type + "'");
+                                 "' for " + party + ", got '" + bad.type +
+                                 "'");
   }
   return Receive(party);
 }

@@ -81,7 +81,11 @@ class NetworkBus {
   /// kNotFound when the inbox is empty.
   Result<Message> Receive(const std::string& party);
 
-  /// kNotFound unless the next message for `party` has the given type.
+  /// Pops the next message for `party` and returns it when its type
+  /// matches. kNotFound when the inbox is empty; kProtocolError when the
+  /// next message has a different type — the mismatched message is
+  /// *dequeued* in that case, so a caller retrying in a loop makes
+  /// progress instead of spinning on the same message forever.
   Result<Message> ReceiveOfType(const std::string& party,
                                 const std::string& type);
 

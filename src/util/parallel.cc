@@ -1,0 +1,54 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace secmed {
+
+size_t HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+size_t ResolveThreads(size_t threads) {
+  return threads == 0 ? HardwareConcurrency() : threads;
+}
+
+void ParallelFor(size_t n, size_t threads,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  size_t workers = threads < n ? threads : n;
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto run = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(run);
+  run();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+}
+
+Status ParallelForStatus(size_t n, size_t threads,
+                         const std::function<Status(size_t)>& body) {
+  if (n == 0) return Status::OK();
+  // Per-item slots instead of a shared "first error" so the outcome does
+  // not depend on which thread loses a race.
+  std::vector<Status> statuses(n);
+  ParallelFor(n, threads, [&](size_t i) { statuses[i] = body(i); });
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace secmed

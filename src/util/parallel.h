@@ -1,0 +1,41 @@
+#ifndef SECMED_UTIL_PARALLEL_H_
+#define SECMED_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "util/status.h"
+
+namespace secmed {
+
+/// Number of hardware threads reported by the OS; always at least 1.
+size_t HardwareConcurrency();
+
+/// Resolves a thread-count knob as used across the protocol layer:
+/// 0 means "hardware concurrency", any other value is taken literally.
+size_t ResolveThreads(size_t threads);
+
+/// Runs body(i) for every i in [0, n) on up to `threads` threads.
+///
+/// Work distribution is a shared atomic index: each worker claims the next
+/// unprocessed item until none remain, so uneven per-item costs balance
+/// without static partitioning. `threads` is taken literally (resolve a
+/// 0-means-hardware knob with ResolveThreads first); with threads <= 1 or
+/// n <= 1 the body runs inline on the calling thread and no thread is ever
+/// spawned — the exact legacy serial path.
+///
+/// The body must be safe to invoke concurrently for distinct items; the
+/// call returns only after every item has completed.
+void ParallelFor(size_t n, size_t threads,
+                 const std::function<void(size_t)>& body);
+
+/// Status-aggregating variant: runs body(i) for every i in [0, n) and
+/// returns the error of the lowest-index failing item, or OK. All items
+/// are executed regardless of failures, so the returned status is
+/// deterministic and independent of thread scheduling.
+Status ParallelForStatus(size_t n, size_t threads,
+                         const std::function<Status(size_t)>& body);
+
+}  // namespace secmed
+
+#endif  // SECMED_UTIL_PARALLEL_H_

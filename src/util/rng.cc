@@ -64,6 +64,29 @@ Bytes Xoshiro256::NextBytes(size_t n) {
   return out;
 }
 
+std::unique_ptr<RandomSource> RandomSource::Fork(uint64_t index) {
+  // Seed material from the parent stream, mixed with the index so even a
+  // degenerate parent (constant output) yields distinct children.
+  Bytes seed = Generate(8);
+  uint64_t s = index;
+  for (size_t i = 0; i < seed.size(); ++i) {
+    s = (s << 8) ^ (s >> 56) ^ seed[i];
+  }
+  return std::make_unique<XoshiroRandomSource>(s);
+}
+
+std::vector<std::unique_ptr<RandomSource>> ForkN(RandomSource* rng, size_t n) {
+  std::vector<std::unique_ptr<RandomSource>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(rng->Fork(i));
+  return out;
+}
+
+std::unique_ptr<RandomSource> OsRandomSource::Fork(uint64_t index) {
+  (void)index;
+  return std::make_unique<OsRandomSource>();
+}
+
 Bytes OsRandomBytes(size_t n) {
   Bytes out(n);
   FILE* f = std::fopen("/dev/urandom", "rb");

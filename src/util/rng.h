@@ -2,6 +2,8 @@
 #define SECMED_UTIL_RNG_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "util/bytes.h"
 
@@ -45,7 +47,23 @@ class RandomSource {
   virtual ~RandomSource() = default;
   /// Returns `n` random bytes.
   virtual Bytes Generate(size_t n) = 0;
+
+  /// Derives an independent child source for item `index` of a loop.
+  ///
+  /// Forking is how the parallel execution layer keeps seeded runs
+  /// bit-for-bit reproducible: the caller forks one child per item *in
+  /// index order on a single thread* (each fork draws seed material from
+  /// this source, advancing its state), then each parallel worker draws
+  /// only from its own child. The resulting streams depend on the parent
+  /// state and index alone, never on thread scheduling.
+  ///
+  /// The default implementation seeds a fast non-cryptographic child;
+  /// cryptographic sources (HmacDrbg) override it with a DRBG child.
+  virtual std::unique_ptr<RandomSource> Fork(uint64_t index);
 };
+
+/// Forks `n` children of `rng` in index order (see RandomSource::Fork).
+std::vector<std::unique_ptr<RandomSource>> ForkN(RandomSource* rng, size_t n);
 
 /// RandomSource view over a Xoshiro256 generator (deterministic; tests only).
 class XoshiroRandomSource : public RandomSource {
@@ -61,6 +79,8 @@ class XoshiroRandomSource : public RandomSource {
 class OsRandomSource : public RandomSource {
  public:
   Bytes Generate(size_t n) override { return OsRandomBytes(n); }
+  /// OS entropy is already independent per draw; children just read it too.
+  std::unique_ptr<RandomSource> Fork(uint64_t index) override;
 };
 
 }  // namespace secmed

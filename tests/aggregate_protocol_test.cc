@@ -59,7 +59,9 @@ int64_t OracleSum(const Workload& w, const std::string& col) {
 
 TEST(AggregateJoinProtocolTest, CountMatchesJoinSize) {
   Workload w = AggWorkload(61);
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   AggregateJoinProtocol protocol(256);
   int64_t count =
       protocol.Run(tb.JoinSql(), {AggregateFn::kCount, ""}, tb.ctx()).value();
@@ -69,7 +71,9 @@ TEST(AggregateJoinProtocolTest, CountMatchesJoinSize) {
 
 TEST(AggregateJoinProtocolTest, SumMatchesJoinSum) {
   Workload w = WithCostColumn(AggWorkload(62));
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   AggregateJoinProtocol protocol(256);
   int64_t sum =
       protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "cost"}, tb.ctx())
@@ -87,7 +91,9 @@ TEST(AggregateJoinProtocolTest, NegativeSums) {
     r2.AppendUnchecked(std::move(t));
   }
   w.r2 = std::move(r2);
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   AggregateJoinProtocol protocol(256);
   int64_t sum =
       protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "cost"}, tb.ctx())
@@ -105,7 +111,9 @@ TEST(AggregateJoinProtocolTest, EmptyIntersectionSumsToZero) {
   cfg.common_values = 0;
   cfg.seed = 64;
   Workload w = WithCostColumn(GenerateWorkload(cfg));
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   AggregateJoinProtocol protocol(256);
   EXPECT_EQ(
       protocol.Run(tb.JoinSql(), {AggregateFn::kCount, ""}, tb.ctx()).value(),
@@ -114,7 +122,9 @@ TEST(AggregateJoinProtocolTest, EmptyIntersectionSumsToZero) {
 
 TEST(AggregateJoinProtocolTest, MediatorSeesNoPlaintextOrAggregates) {
   Workload w = WithCostColumn(AggWorkload(65));
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   AggregateJoinProtocol protocol(256);
   ASSERT_TRUE(
       protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "cost"}, tb.ctx()).ok());
@@ -128,7 +138,9 @@ TEST(AggregateJoinProtocolTest, ClientTrafficIsAggregateOnly) {
   // The client must receive far fewer bytes than a full join delivers:
   // only Paillier ciphertexts of per-value aggregates.
   Workload w = WithCostColumn(AggWorkload(66));
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   AggregateJoinProtocol protocol(256);
   ASSERT_TRUE(
       protocol.Run(tb.JoinSql(), {AggregateFn::kSum, "cost"}, tb.ctx()).ok());
@@ -143,7 +155,9 @@ TEST(AggregateJoinProtocolTest, ClientTrafficIsAggregateOnly) {
 
 TEST(AggregateJoinProtocolTest, RejectsBadSpecs) {
   Workload w = AggWorkload(67);
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   AggregateJoinProtocol protocol(256);
   // Unknown column.
   EXPECT_FALSE(
@@ -161,7 +175,9 @@ TEST(AggregateJoinProtocolTest, RejectsBadSpecs) {
 
 TEST(AggregateJoinProtocolTest, IntersectionSizeObserved) {
   Workload w = AggWorkload(68);
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   AggregateJoinProtocol protocol(256);
   ASSERT_TRUE(
       protocol.Run(tb.JoinSql(), {AggregateFn::kCount, ""}, tb.ctx()).ok());

@@ -38,7 +38,9 @@ TEST_P(DasSettings, MatchesPlaintextJoin) {
   MediationTestbed::Options opt;
   opt.seed_label = std::string("das-setting-") +
                    DasTranslatorSettingToString(GetParam());
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   DasJoinProtocol das(WithSetting(GetParam()));
   Relation result = das.Run(tb.JoinSql(), tb.ctx()).value();
   EXPECT_TRUE(result.EqualsAsBag(tb.ExpectedJoin()))
@@ -52,7 +54,9 @@ TEST_P(DasSettings, TupleDataNeverReachesTheMediator) {
   MediationTestbed::Options opt;
   opt.seed_label = std::string("das-leak-") +
                    DasTranslatorSettingToString(GetParam());
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   DasJoinProtocol das(WithSetting(GetParam()));
   ASSERT_TRUE(das.Run(tb.JoinSql(), tb.ctx()).ok());
 
@@ -88,7 +92,12 @@ TEST(DasSettingsLeakage, OnlyTheMediatorSettingExposesRangesToTheMediator) {
     MediationTestbed::Options opt;
     opt.seed_label = std::string("das-ranges-") +
                      DasTranslatorSettingToString(s);
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    if (!tb_or.ok()) {
+      ADD_FAILURE() << tb_or.status().ToString();
+      return size_t{0};
+    }
+    MediationTestbed& tb = **tb_or;
     DasJoinProtocol das(WithSetting(s));
     EXPECT_TRUE(das.Run(tb.JoinSql(), tb.ctx()).ok());
     Bytes view = tb.bus().ViewOf(tb.mediator().name());
@@ -113,7 +122,9 @@ TEST(DasSettingsLeakage, OnlyTheMediatorSettingExposesRangesToTheMediator) {
 
 TEST(DasSettingsLeakage, SourceSettingExposesRangesToThePeerSource) {
   Workload w = SettingsWorkload(84);
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   DasJoinProtocol das(WithSetting(DasTranslatorSetting::kSource));
   ASSERT_TRUE(das.Run(tb.JoinSql(), tb.ctx()).ok());
   // S2 received S1's index tables over the source-to-source channel.
@@ -136,7 +147,12 @@ TEST(DasSettingsInteraction, ClientRoundsPerSetting) {
   auto client_interactions = [&](DasTranslatorSetting s) {
     MediationTestbed::Options opt;
     opt.seed_label = std::string("das-rt-") + DasTranslatorSettingToString(s);
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    if (!tb_or.ok()) {
+      ADD_FAILURE() << tb_or.status().ToString();
+      return size_t{0};
+    }
+    MediationTestbed& tb = **tb_or;
     DasJoinProtocol das(WithSetting(s));
     EXPECT_TRUE(das.Run(tb.JoinSql(), tb.ctx()).ok());
     return tb.bus().StatsOf(tb.client().name()).interactions;

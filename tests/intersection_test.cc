@@ -69,7 +69,9 @@ TEST_P(IntersectionCorrectness, MatchesSetIntersection) {
   Workload w = IxWorkload(51);
   MediationTestbed::Options opt;
   opt.seed_label = "ix-" + GetParam();
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   auto protocol = Make();
   Relation result = protocol->Run(tb.JoinSql(), tb.ctx()).value();
   Relation expected = ExpectedIntersection(w);
@@ -89,7 +91,9 @@ TEST_P(IntersectionCorrectness, EmptyIntersection) {
   Workload w = GenerateWorkload(cfg);
   MediationTestbed::Options opt;
   opt.seed_label = "ix-empty-" + GetParam();
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   auto protocol = Make();
   Relation result = protocol->Run(tb.JoinSql(), tb.ctx()).value();
   EXPECT_EQ(result.size(), 0u);
@@ -99,7 +103,9 @@ TEST_P(IntersectionCorrectness, MultiAttribute) {
   Workload w = IxWorkload(53, /*secondary=*/2);
   MediationTestbed::Options opt;
   opt.seed_label = "ix-multi-" + GetParam();
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   auto protocol = Make();
   Relation result = protocol->Run(tb.MultiJoinSql(), tb.ctx()).value();
   Relation expected = ExpectedIntersection(w);
@@ -111,7 +117,9 @@ TEST_P(IntersectionCorrectness, MediatorNeverSeesPlaintext) {
   Workload w = IxWorkload(54);
   MediationTestbed::Options opt;
   opt.seed_label = "ix-leak-" + GetParam();
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   auto protocol = Make();
   ASSERT_TRUE(protocol->Run(tb.JoinSql(), tb.ctx()).ok());
   LeakageReport rep = AnalyzeLeakage(
@@ -124,7 +132,9 @@ TEST_P(IntersectionCorrectness, NoPayloadColumnsInResult) {
   Workload w = IxWorkload(55);
   MediationTestbed::Options opt;
   opt.seed_label = "ix-cols-" + GetParam();
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   auto protocol = Make();
   Relation result = protocol->Run(tb.JoinSql(), tb.ctx()).value();
   EXPECT_EQ(result.schema().size(), 1u);

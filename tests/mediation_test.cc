@@ -282,7 +282,28 @@ TEST(NetworkBusTest, ReceiveOfTypeEnforcesOrder) {
   bus.Send("a", "b", "t1", {});
   EXPECT_EQ(bus.ReceiveOfType("b", "t2").status().code(),
             StatusCode::kProtocolError);
+  // The mismatched message is consumed by the failed receive; the next
+  // message is reachable.
+  bus.Send("a", "b", "t1", {});
   EXPECT_TRUE(bus.ReceiveOfType("b", "t1").ok());
+}
+
+// Regression: a type mismatch must dequeue the offending message so a
+// retrying caller makes progress (kNotFound on the now-empty inbox)
+// instead of spinning on the same ProtocolError forever.
+TEST(NetworkBusTest, ReceiveOfTypeMismatchDequeues) {
+  NetworkBus bus;
+  bus.Send("a", "b", "unexpected", {1});
+  ASSERT_EQ(bus.PendingFor("b"), 1u);
+  EXPECT_EQ(bus.ReceiveOfType("b", "wanted").status().code(),
+            StatusCode::kProtocolError);
+  EXPECT_EQ(bus.PendingFor("b"), 0u);
+  // Retry no longer sees the stale message: empty inbox -> kNotFound.
+  EXPECT_EQ(bus.ReceiveOfType("b", "wanted").status().code(),
+            StatusCode::kNotFound);
+  // Later well-formed traffic is unaffected.
+  bus.Send("a", "b", "wanted", {2});
+  ASSERT_TRUE(bus.ReceiveOfType("b", "wanted").ok());
 }
 
 TEST(NetworkBusTest, StatsAndInteractions) {

@@ -29,7 +29,9 @@ Workload MixedWorkload() {
 
 TEST(MixedDasTest, JoinStillCorrect) {
   Workload w = MixedWorkload();
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   DasProtocolOptions opt;
   opt.plaintext_columns = {"r1_c0"};
   DasJoinProtocol das(opt);
@@ -39,7 +41,9 @@ TEST(MixedDasTest, JoinStillCorrect) {
 
 TEST(MixedDasTest, MediatorSeesExactlyTheDeclaredColumns) {
   Workload w = MixedWorkload();
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   DasProtocolOptions opt;
   opt.plaintext_columns = {"r1_c0"};
   DasJoinProtocol das(opt);
@@ -73,7 +77,9 @@ TEST(MixedDasTest, MediatorSeesExactlyTheDeclaredColumns) {
 
 TEST(MixedDasTest, FullyEncryptedModeStaysClean) {
   Workload w = MixedWorkload();
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   DasJoinProtocol das;  // no plaintext columns
   ASSERT_TRUE(das.Run(tb.JoinSql(), tb.ctx()).ok());
   LeakageReport rep = AnalyzeLeakage(
@@ -84,7 +90,9 @@ TEST(MixedDasTest, FullyEncryptedModeStaysClean) {
 
 TEST(MixedDasTest, AbsentColumnsAreSkippedPerRelation) {
   Workload w = MixedWorkload();
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   DasProtocolOptions opt;
   opt.plaintext_columns = {"r2_c0"};  // exists only in billing
   DasJoinProtocol das(opt);

@@ -66,7 +66,9 @@ TEST(EquiJoinMultiTest, RejectsMismatchedLists) {
 
 TEST(MediatorMultiTest, PlansTwoJoinAttributes) {
   Workload w = TwoAttributeWorkload(4);
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   JoinQueryPlan plan =
       tb.mediator().PlanJoinQuery(tb.MultiJoinSql()).value();
   ASSERT_EQ(plan.join_attributes.size(), 2u);
@@ -77,7 +79,9 @@ TEST(MediatorMultiTest, PlansTwoJoinAttributes) {
 
 TEST(MediatorMultiTest, NaturalJoinPicksAllCommonColumns) {
   Workload w = TwoAttributeWorkload(5);
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   JoinQueryPlan plan =
       tb.mediator()
           .PlanJoinQuery("SELECT * FROM medical NATURAL JOIN billing")
@@ -109,7 +113,9 @@ TEST_P(MultiAttributeProtocol, MatchesPlaintextJoin) {
   Workload w = TwoAttributeWorkload(6);
   MediationTestbed::Options opt;
   opt.seed_label = "multi-" + GetParam();
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   auto protocol = Make();
   Relation result = protocol->Run(tb.MultiJoinSql(), tb.ctx()).value();
   // Oracle: natural join joins on both common columns.
@@ -122,7 +128,9 @@ TEST_P(MultiAttributeProtocol, MediatorNeverSeesPlaintext) {
   Workload w = TwoAttributeWorkload(7);
   MediationTestbed::Options opt;
   opt.seed_label = "multi-leak-" + GetParam();
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   auto protocol = Make();
   ASSERT_TRUE(protocol->Run(tb.MultiJoinSql(), tb.ctx()).ok());
   LeakageReport rep = AnalyzeLeakage(
@@ -136,13 +144,17 @@ TEST_P(MultiAttributeProtocol, StricterThanSingleAttribute) {
   Workload w = TwoAttributeWorkload(8);
   MediationTestbed::Options opt1;
   opt1.seed_label = "multi-sub1-" + GetParam();
-  MediationTestbed tb1(w, opt1);
+  auto tb1_or = MediationTestbed::Create(w, opt1);
+  ASSERT_TRUE(tb1_or.ok()) << tb1_or.status().ToString();
+  MediationTestbed& tb1 = **tb1_or;
   auto protocol = Make();
   Relation multi = protocol->Run(tb1.MultiJoinSql(), tb1.ctx()).value();
 
   MediationTestbed::Options opt2;
   opt2.seed_label = "multi-sub2-" + GetParam();
-  MediationTestbed tb2(w, opt2);
+  auto tb2_or = MediationTestbed::Create(w, opt2);
+  ASSERT_TRUE(tb2_or.ok()) << tb2_or.status().ToString();
+  MediationTestbed& tb2 = **tb2_or;
   auto protocol2 = Make();
   Relation single = protocol2->Run(tb2.JoinSql(), tb2.ctx()).value();
 

@@ -95,7 +95,9 @@ TEST_P(ProtocolSweep, MatchesOracle) {
   Workload w = GenerateWorkload(ShapeConfig(param.shape, param.seed));
   MediationTestbed::Options opt;
   opt.seed_label = CaseName({param, 0});
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   auto protocol = MakeProtocol(param.protocol);
   Relation result = protocol->Run(tb.JoinSql(), tb.ctx()).value();
   EXPECT_TRUE(result.EqualsAsBag(tb.ExpectedJoin()))

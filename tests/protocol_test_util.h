@@ -1,6 +1,8 @@
 #ifndef SECMED_TESTS_PROTOCOL_TEST_UTIL_H_
 #define SECMED_TESTS_PROTOCOL_TEST_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,21 +26,27 @@ class TestEnvironment {
  public:
   /// Builds the environment around a workload. Key sizes kept moderate so
   /// test suites stay fast; protocol correctness is size-independent.
+  /// Setup failures (key generation, credential issuance) abort with the
+  /// error printed — a half-wired environment would only fail later with
+  /// a misleading message. `threads` is ProtocolContext::threads.
   explicit TestEnvironment(const Workload& workload,
                            const std::string& seed_label = "env",
-                           size_t rsa_bits = 1024, size_t paillier_bits = 1024)
+                           size_t rsa_bits = 1024, size_t paillier_bits = 1024,
+                           size_t threads = 0)
       : rng_(ToBytes("protocol-test-" + seed_label)),
         workload_(workload),
         mediator_("mediator"),
         source1_("hospital"),
         source2_("insurer") {
-    ca_ = std::make_unique<CertificationAuthority>(
-        CertificationAuthority::Create(1024, &rng_).value());
-    client_ = std::make_unique<Client>(
-        Client::Create("client", rsa_bits, paillier_bits, &rng_).value());
-    Status st = client_->AcquireCredential(
-        *ca_, {{"role", "physician"}, {"org", "clinic"}});
-    (void)st;
+    auto ca = CertificationAuthority::Create(1024, &rng_);
+    MustOk(ca.status(), "certification authority");
+    ca_ = std::make_unique<CertificationAuthority>(std::move(ca).value());
+    auto client = Client::Create("client", rsa_bits, paillier_bits, &rng_);
+    MustOk(client.status(), "client keys");
+    client_ = std::make_unique<Client>(std::move(client).value());
+    MustOk(client_->AcquireCredential(
+               *ca_, {{"role", "physician"}, {"org", "clinic"}}),
+           "credential acquisition");
 
     source1_.set_ca_key(ca_->public_key());
     source2_.set_ca_key(ca_->public_key());
@@ -54,6 +62,7 @@ class TestEnvironment {
     ctx_.sources[source2_.name()] = &source2_;
     ctx_.bus = &bus_;
     ctx_.rng = &rng_;
+    ctx_.threads = threads;
   }
 
   ProtocolContext* ctx() { return &ctx_; }
@@ -80,6 +89,13 @@ class TestEnvironment {
   }
 
  private:
+  static void MustOk(const Status& st, const char* what) {
+    if (st.ok()) return;
+    std::fprintf(stderr, "TestEnvironment: %s failed: %s\n", what,
+                 st.ToString().c_str());
+    std::abort();
+  }
+
   HmacDrbg rng_;
   Workload workload_;
   std::unique_ptr<CertificationAuthority> ca_;

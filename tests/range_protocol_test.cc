@@ -25,16 +25,19 @@ Relation Readings() {
 
 class RangeEnv {
  public:
-  RangeEnv() : tb_(GenerateWorkload(WorkloadConfig{})) {
-    tb_.source1().AddRelation("readings", Readings());
-    tb_.mediator().RegisterTable("readings", tb_.source1().name(),
-                                 Readings().schema());
+  RangeEnv() {
+    auto tb_or = MediationTestbed::Create(GenerateWorkload(WorkloadConfig{}));
+    EXPECT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+    tb_ = std::move(tb_or).value();
+    tb_->source1().AddRelation("readings", Readings());
+    tb_->mediator().RegisterTable("readings", tb_->source1().name(),
+                                  Readings().schema());
   }
-  ProtocolContext* ctx() { return tb_.ctx(); }
-  MediationTestbed& tb() { return tb_; }
+  ProtocolContext* ctx() { return tb_->ctx(); }
+  MediationTestbed& tb() { return *tb_; }
 
  private:
-  MediationTestbed tb_;
+  std::unique_ptr<MediationTestbed> tb_;
 };
 
 Relation Oracle(const std::string& where_desc, const PredicatePtr& pred) {

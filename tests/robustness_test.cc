@@ -74,7 +74,9 @@ TEST_P(TamperResistance, ByteFlipsNeverFabricateResults) {
   {
     MediationTestbed::Options opt;
     opt.seed_label = "tamper-ref-" + GetParam();
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+    MediationTestbed& tb = **tb_or;
     auto protocol = MakeProtocol(GetParam());
     reference = protocol->Run(tb.JoinSql(), tb.ctx()).value();
     message_count = tb.bus().transcript().size();
@@ -85,7 +87,9 @@ TEST_P(TamperResistance, ByteFlipsNeverFabricateResults) {
   for (size_t target = 0; target < message_count; ++target) {
     MediationTestbed::Options opt;
     opt.seed_label = "tamper-ref-" + GetParam();  // same randomness
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+    MediationTestbed& tb = **tb_or;
     size_t counter = 0;
     tb.bus().SetTamperHook([&counter, target](Message* msg) {
       if (counter++ == target && !msg->payload.empty()) {
@@ -117,7 +121,9 @@ TEST_P(TamperResistance, TruncationNeverFabricatesResults) {
   {
     MediationTestbed::Options opt;
     opt.seed_label = "trunc-ref-" + GetParam();
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+    MediationTestbed& tb = **tb_or;
     auto protocol = MakeProtocol(GetParam());
     reference = protocol->Run(tb.JoinSql(), tb.ctx()).value();
     message_count = tb.bus().transcript().size();
@@ -126,7 +132,9 @@ TEST_P(TamperResistance, TruncationNeverFabricatesResults) {
   for (size_t target = 0; target < message_count; ++target) {
     MediationTestbed::Options opt;
     opt.seed_label = "trunc-ref-" + GetParam();
-    MediationTestbed tb(w, opt);
+    auto tb_or = MediationTestbed::Create(w, opt);
+    ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+    MediationTestbed& tb = **tb_or;
     size_t counter = 0;
     tb.bus().SetTamperHook([&counter, target](Message* msg) {
       if (counter++ == target && msg->payload.size() > 8) {
@@ -147,7 +155,9 @@ TEST_P(TamperResistance, MisroutedMessageFailsCleanly) {
   Workload w = TinyWorkload();
   MediationTestbed::Options opt;
   opt.seed_label = "misroute-" + GetParam();
-  MediationTestbed tb(w, opt);
+  auto tb_or = MediationTestbed::Create(w, opt);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   size_t counter = 0;
   std::string client = tb.client().name();
   tb.bus().SetTamperHook([&counter, client](Message* msg) {

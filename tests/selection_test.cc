@@ -130,7 +130,9 @@ TEST(SearchableTest, WrongKeysFindNothing) {
 
 TEST(SelectionProtocolTest, ExactRowsReturned) {
   Workload w = GenerateWorkload(WorkloadConfig{});
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   // Inject a recognizable relation at source1.
   tb.source1().AddRelation("cases", Cases());
   tb.mediator().RegisterTable("cases", tb.source1().name(), Cases().schema());
@@ -149,7 +151,9 @@ TEST(SelectionProtocolTest, ExactRowsReturned) {
 
 TEST(SelectionProtocolTest, ConjunctionAndIntLiterals) {
   Workload w = GenerateWorkload(WorkloadConfig{});
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   tb.source1().AddRelation("cases", Cases());
   tb.mediator().RegisterTable("cases", tb.source1().name(), Cases().schema());
 
@@ -170,7 +174,9 @@ TEST(SelectionProtocolTest, ConjunctionAndIntLiterals) {
 
 TEST(SelectionProtocolTest, MediatorSeesNoPlaintext) {
   Workload w = GenerateWorkload(WorkloadConfig{});
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   tb.source1().AddRelation("cases", Cases());
   tb.mediator().RegisterTable("cases", tb.source1().name(), Cases().schema());
 
@@ -188,7 +194,9 @@ TEST(SelectionProtocolTest, MediatorSeesNoPlaintext) {
 
 TEST(SelectionProtocolTest, PolicyFiltersBeforeSelection) {
   Workload w = GenerateWorkload(WorkloadConfig{});
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   tb.source1().AddRelation("cases", Cases());
   tb.mediator().RegisterTable("cases", tb.source1().name(), Cases().schema());
   AccessPolicy policy;
@@ -206,7 +214,9 @@ TEST(SelectionProtocolTest, PolicyFiltersBeforeSelection) {
 
 TEST(SelectionProtocolTest, RejectsUnsupportedQueries) {
   Workload w = GenerateWorkload(WorkloadConfig{});
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   tb.source1().AddRelation("cases", Cases());
   tb.mediator().RegisterTable("cases", tb.source1().name(), Cases().schema());
 

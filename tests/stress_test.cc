@@ -123,7 +123,9 @@ TEST(ProtocolStress, FiveHundredTuplesCommutative) {
   cfg.common_values = 60;
   cfg.seed = 999;
   Workload w = GenerateWorkload(cfg);
-  MediationTestbed tb(w);
+  auto tb_or = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb_or.ok()) << tb_or.status().ToString();
+  MediationTestbed& tb = **tb_or;
   CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
   Relation result = comm.Run(tb.JoinSql(), tb.ctx()).value();
   EXPECT_TRUE(result.EqualsAsBag(tb.ExpectedJoin()));
