@@ -24,7 +24,7 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
   SECMED_ASSIGN_OR_RETURN(RequestState state, RunRequestPhase(sql, ctx));
   SECMED_ASSIGN_OR_RETURN(QrGroup group, StandardGroup(options_.group_bits));
   const size_t threads = ResolveThreads(ctx->threads);
-  NetworkBus& bus = *ctx->bus;
+  Transport& bus = *ctx->bus;
   const std::string& mediator = ctx->mediator->name();
   const std::string& client = ctx->client->name();
   const size_t group_bytes = (group.p().BitLength() + 7) / 8;

@@ -63,7 +63,7 @@ const char* DasTranslatorSettingToString(DasTranslatorSetting s) {
 Result<Relation> DasJoinProtocol::Run(const std::string& sql,
                                       ProtocolContext* ctx) {
   SECMED_ASSIGN_OR_RETURN(RequestState state, RunRequestPhase(sql, ctx));
-  NetworkBus& bus = *ctx->bus;
+  Transport& bus = *ctx->bus;
   const std::string& mediator = ctx->mediator->name();
   const std::string& client = ctx->client->name();
   const std::vector<std::string>& join_attrs = state.plan.join_attributes;

@@ -73,7 +73,7 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
                                                       ProtocolContext* ctx) {
   SECMED_ASSIGN_OR_RETURN(RequestState state, RunRequestPhase(sql, ctx));
   SECMED_ASSIGN_OR_RETURN(QrGroup group, StandardGroup(group_bits_));
-  NetworkBus& bus = *ctx->bus;
+  Transport& bus = *ctx->bus;
   const std::string& mediator = ctx->mediator->name();
   const std::string& client = ctx->client->name();
   const size_t group_bytes = (group.p().BitLength() + 7) / 8;
@@ -233,7 +233,7 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
 Result<Relation> PmIntersectionProtocol::Run(const std::string& sql,
                                              ProtocolContext* ctx) {
   SECMED_ASSIGN_OR_RETURN(RequestState state, RunRequestPhase(sql, ctx));
-  NetworkBus& bus = *ctx->bus;
+  Transport& bus = *ctx->bus;
   const std::string& mediator = ctx->mediator->name();
   const std::string& client = ctx->client->name();
 

@@ -57,7 +57,7 @@ std::vector<std::string> ScanViewForProbes(const Bytes& view,
   return hits;
 }
 
-LeakageReport AnalyzeLeakage(const std::string& protocol, const NetworkBus& bus,
+LeakageReport AnalyzeLeakage(const std::string& protocol, const Transport& bus,
                              const std::string& mediator_name,
                              const std::string& client_name,
                              const Relation& r1, const Relation& r2,

@@ -45,7 +45,7 @@ std::vector<std::string> ScanViewForProbes(const Bytes& view,
                                            const std::vector<Bytes>& probes);
 
 /// Builds a report from the bus transcript after a protocol run.
-LeakageReport AnalyzeLeakage(const std::string& protocol, const NetworkBus& bus,
+LeakageReport AnalyzeLeakage(const std::string& protocol, const Transport& bus,
                              const std::string& mediator_name,
                              const std::string& client_name,
                              const Relation& r1, const Relation& r2,

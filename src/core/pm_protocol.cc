@@ -83,7 +83,7 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
                                      ProtocolContext* ctx) {
   SECMED_ASSIGN_OR_RETURN(RequestState state, RunRequestPhase(sql, ctx));
   const size_t threads = ResolveThreads(ctx->threads);
-  NetworkBus& bus = *ctx->bus;
+  Transport& bus = *ctx->bus;
   const std::string& mediator = ctx->mediator->name();
   const std::string& client = ctx->client->name();
 

@@ -31,7 +31,7 @@ Result<RequestState> RunRequestPhase(const std::string& sql,
       ctx->bus == nullptr || ctx->rng == nullptr) {
     return Status::InvalidArgument("incomplete protocol context");
   }
-  NetworkBus& bus = *ctx->bus;
+  Transport& bus = *ctx->bus;
 
   // Step 1: client -> mediator: query q with credential set CR.
   {

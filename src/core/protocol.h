@@ -19,7 +19,9 @@ struct ProtocolContext {
   Client* client = nullptr;
   Mediator* mediator = nullptr;
   std::map<std::string, DataSource*> sources;  // by datasource name
-  NetworkBus* bus = nullptr;
+  /// The transport the run communicates over: the in-process NetworkBus
+  /// or a TcpTransport of a multi-process deployment (net/transport.h).
+  Transport* bus = nullptr;
   RandomSource* rng = nullptr;
   /// Worker threads for the embarrassingly-parallel crypto loops
   /// (coefficient encryption, blind evaluation, double encryption, bucket

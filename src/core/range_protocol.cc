@@ -102,7 +102,7 @@ Result<Relation> RangeSelectionProtocol::Run(const std::string& sql,
       ctx->bus == nullptr || ctx->rng == nullptr) {
     return Status::InvalidArgument("incomplete protocol context");
   }
-  NetworkBus& bus = *ctx->bus;
+  Transport& bus = *ctx->bus;
   const std::string& mediator = ctx->mediator->name();
   const std::string& client = ctx->client->name();
 

@@ -1,0 +1,99 @@
+#ifndef SECMED_CORE_REMOTE_H_
+#define SECMED_CORE_REMOTE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/testbed.h"
+#include "net/tcp_transport.h"
+
+namespace secmed {
+
+/// Control-plane message types (session kCtlSession, party kCtlParty).
+inline constexpr char kCtlRun[] = "ctl_run";
+inline constexpr char kCtlReport[] = "ctl_report";
+inline constexpr char kCtlShutdown[] = "ctl_shutdown";
+
+/// Which parties this process hosts and where the others listen.
+/// Parties in neither set are simulation-only (never the case in the
+/// standard four-party deployment).
+struct Deployment {
+  std::set<std::string> local_parties;
+  std::map<std::string, Endpoint> directory;
+  /// Deadline for socket operations and cross-process frame waits.
+  int timeout_ms = 30000;
+};
+
+/// One mediated query of a deployment, as shipped over the control
+/// plane: every process derives its entire (deterministic) execution
+/// from this spec plus the workload/testbed flags it was started with.
+struct RunSpec {
+  uint32_t session = 1;
+  std::string protocol = "commutative";  // das | commutative | pm
+  std::string query;
+  size_t das_partitions = 4;
+  size_t group_bits = 256;
+  size_t threads = 1;
+  /// Label of the per-session DRBG; all processes must agree on it so
+  /// the replicated executions draw identical randomness.
+  std::string rng_label = "session";
+  /// Where the requesting driver listens ("host:port"); reports go back
+  /// there.
+  std::string reply_to;
+
+  Bytes Encode() const;
+  static Result<RunSpec> Decode(const Bytes& raw);
+};
+
+/// Outcome digest of one process's replicated run, exchanged over the
+/// control plane so the driver can check that all processes agreed.
+struct RunReport {
+  uint32_t session = 0;
+  std::string party_set;  // comma-joined hosted parties (diagnostics)
+  bool ok = false;
+  std::string error;
+  Bytes result_digest;  // SHA-256 of Relation::Serialize()
+  uint64_t result_rows = 0;
+  uint64_t messages = 0;     // transcript length
+  uint64_t total_bytes = 0;  // framed bytes across the transcript
+  /// Per-party (sent/received/bytes) statistics of the transport.
+  std::vector<std::pair<std::string, PartyStats>> stats;
+
+  Bytes Encode() const;
+  static Result<RunReport> Decode(const Bytes& raw);
+};
+
+/// Instantiates the delivery protocol a spec names.
+Result<std::unique_ptr<JoinProtocol>> BuildProtocol(const RunSpec& spec);
+
+/// Runs the replicated protocol driver for `spec` over `host`: a
+/// TcpTransport scoped to `deployment.local_parties` carries the hosted
+/// parties' messages over real sockets while the rest of the execution
+/// is simulated locally (see net/tcp_transport.h). On success the
+/// report carries the result digest and transport statistics;
+/// `result_out` (may be null) receives the result relation itself.
+RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
+                               const Deployment& deployment,
+                               const RunSpec& spec, Relation* result_out);
+
+/// Reference twin of RunReplicatedSession: the same spec executed over a
+/// fresh in-process NetworkBus with the same per-session seeding. A
+/// deployment is correct iff this and every process's replicated report
+/// agree on digest, message count and per-party byte statistics.
+RunReport RunLocalSession(MediationTestbed* testbed, const RunSpec& spec,
+                          Relation* result_out);
+
+/// Sends a control frame to `ep` over `host`'s pooled connections.
+Status SendCtl(PeerHost* host, const Endpoint& ep, const std::string& from,
+               const std::string& type, Bytes payload, int timeout_ms);
+
+/// Comma-splits "a,b,c" (used by the daemon flag parsers).
+std::vector<std::string> SplitCommaList(const std::string& s);
+
+}  // namespace secmed
+
+#endif  // SECMED_CORE_REMOTE_H_

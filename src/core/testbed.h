@@ -70,6 +70,20 @@ class MediationTestbed {
   /// Clears the bus between protocol runs.
   void ResetBus() { bus_.Reset(); }
 
+  /// A copy of the wired context communicating over `transport` and
+  /// drawing randomness from `rng` instead of the testbed's own. This is
+  /// how a party daemon runs several sessions over one testbed: the
+  /// parties (and their keys) are shared, while every session gets its
+  /// own transport and its own deterministically-seeded rng, so
+  /// concurrent queries neither share mutable state nor perturb each
+  /// other's randomness.
+  ProtocolContext SessionContext(Transport* transport, RandomSource* rng) {
+    ProtocolContext ctx = ctx_;
+    ctx.bus = transport;
+    ctx.rng = rng;
+    return ctx;
+  }
+
  private:
   MediationTestbed(const Workload& workload, Options options);
 

@@ -1,129 +1,17 @@
 #ifndef SECMED_MEDIATION_NETWORK_H_
 #define SECMED_MEDIATION_NETWORK_H_
 
-#include <deque>
-#include <functional>
-#include <map>
-#include <string>
-#include <vector>
+// The transport layer moved to src/net/ when it grew real socket
+// backends; this header remains so that mediation-level code (and its
+// many includers) keep compiling unchanged.
+//
+//   net/message.h    Message, PartyStats, NetworkCostModel
+//   net/transport.h  the abstract Transport contract
+//   net/bus.h        NetworkBus, the in-process implementation
+//   net/wire.h       the binary frame codec (framed sizes, sessions)
 
-#include "util/bytes.h"
-#include "util/result.h"
-
-namespace secmed {
-
-/// One protocol message between parties. Every payload is a serialized
-/// byte string, so the accounting below reflects realistic wire sizes.
-struct Message {
-  std::string from;
-  std::string to;
-  std::string type;  // e.g. "query", "partial_result", "server_query"
-  Bytes payload;
-
-  /// Approximate wire size: payload plus header fields.
-  size_t WireSize() const {
-    return payload.size() + from.size() + to.size() + type.size() + 12;
-  }
-};
-
-/// Per-party traffic statistics.
-struct PartyStats {
-  size_t messages_sent = 0;
-  size_t messages_received = 0;
-  size_t bytes_sent = 0;
-  size_t bytes_received = 0;
-  /// Number of *interactions*: maximal runs of consecutive sends — the
-  /// paper's "the client has to interact twice with the mediator".
-  size_t interactions = 0;
-};
-
-/// Cost model of a real transport, applied to a recorded transcript:
-/// every message pays one propagation delay plus its serialization time
-/// at the given bandwidth. Lets the benchmarks project the in-process
-/// measurements onto WAN/LAN deployments, where the protocols' different
-/// round counts and byte volumes dominate differently.
-struct NetworkCostModel {
-  double latency_ms = 0;         // one-way propagation delay per message
-  double bandwidth_kbps = 0;     // 0 = infinite
-
-  /// Transfer time of one message under this model.
-  double MessageMs(size_t wire_bytes) const {
-    double ms = latency_ms;
-    if (bandwidth_kbps > 0) {
-      ms += static_cast<double>(wire_bytes) * 8.0 / bandwidth_kbps;
-    }
-    return ms;
-  }
-};
-
-/// Projected total transfer time of a transcript under the model,
-/// assuming the messages are sequential (protocol phases are; the
-/// estimate is an upper bound where sends within a phase could overlap).
-double EstimateTransferMs(const std::vector<Message>& transcript,
-                          const NetworkCostModel& model);
-
-/// In-process network connecting the parties of the mediation system.
-///
-/// The bus is the substitution for the MMM's real transport (DESIGN.md):
-/// it preserves everything protocol-relevant — who sees which bytes, in
-/// which order, with full transcript capture for the leakage analyzer —
-/// while replacing sockets with FIFO queues.
-class NetworkBus {
- public:
-  /// Enqueues a message and records it in the transcript.
-  void Send(Message msg);
-
-  /// Convenience overload.
-  void Send(const std::string& from, const std::string& to,
-            const std::string& type, Bytes payload);
-
-  /// Pops the next message addressed to `party` (FIFO).
-  /// kNotFound when the inbox is empty.
-  Result<Message> Receive(const std::string& party);
-
-  /// Pops the next message for `party` and returns it when its type
-  /// matches. kNotFound when the inbox is empty; kProtocolError when the
-  /// next message has a different type — the mismatched message is
-  /// *dequeued* in that case, so a caller retrying in a loop makes
-  /// progress instead of spinning on the same message forever.
-  Result<Message> ReceiveOfType(const std::string& party,
-                                const std::string& type);
-
-  /// Number of queued messages for the party.
-  size_t PendingFor(const std::string& party) const;
-
-  /// Full ordered transcript of all messages.
-  const std::vector<Message>& transcript() const { return transcript_; }
-
-  /// Statistics for one party (zeroes if it never communicated).
-  PartyStats StatsOf(const std::string& party) const;
-
-  /// Total bytes across all messages.
-  size_t TotalBytes() const;
-
-  /// Concatenated payload bytes of every message the party received —
-  /// its complete protocol view, fed to the leakage analyzer.
-  Bytes ViewOf(const std::string& party) const;
-
-  /// Clears transcript, queues and statistics.
-  void Reset();
-
-  /// Installs a fault-injection hook invoked on every Send *before*
-  /// delivery; it may mutate the message (corrupt bytes, rewrite headers).
-  /// Used by the robustness tests to model an unreliable or actively
-  /// interfering network. Pass nullptr to remove.
-  void SetTamperHook(std::function<void(Message*)> hook) {
-    tamper_hook_ = std::move(hook);
-  }
-
- private:
-  std::function<void(Message*)> tamper_hook_;
-  std::map<std::string, std::deque<Message>> inboxes_;
-  std::vector<Message> transcript_;
-  std::string last_sender_;
-  std::map<std::string, PartyStats> stats_;
-};
-
-}  // namespace secmed
+#include "net/bus.h"        // IWYU pragma: export
+#include "net/message.h"    // IWYU pragma: export
+#include "net/transport.h"  // IWYU pragma: export
 
 #endif  // SECMED_MEDIATION_NETWORK_H_

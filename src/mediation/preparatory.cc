@@ -11,7 +11,7 @@ constexpr char kMsgCredentialIssue[] = "credential_issue";
 
 Status RunPreparatoryPhase(
     Client* client, const CertificationAuthority& ca,
-    const std::string& ca_name, NetworkBus* bus,
+    const std::string& ca_name, Transport* bus,
     const std::map<std::string, std::string>& properties) {
   if (client == nullptr || bus == nullptr) {
     return Status::InvalidArgument("client and bus are required");

@@ -21,7 +21,7 @@ namespace secmed {
 /// call; this variant exists so the message-level view — what the CA
 /// sees, what travels — is part of the recorded transcript.)
 Status RunPreparatoryPhase(Client* client, const CertificationAuthority& ca,
-                           const std::string& ca_name, NetworkBus* bus,
+                           const std::string& ca_name, Transport* bus,
                            const std::map<std::string, std::string>& properties);
 
 }  // namespace secmed

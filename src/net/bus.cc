@@ -1,4 +1,4 @@
-#include "mediation/network.h"
+#include "net/bus.h"
 
 namespace secmed {
 
@@ -9,7 +9,7 @@ double EstimateTransferMs(const std::vector<Message>& transcript,
   return total;
 }
 
-void NetworkBus::Send(Message msg) {
+Status NetworkBus::Send(Message msg) {
   if (tamper_hook_) tamper_hook_(&msg);
   PartyStats& sender = stats_[msg.from];
   sender.messages_sent++;
@@ -24,11 +24,7 @@ void NetworkBus::Send(Message msg) {
 
   inboxes_[msg.to].push_back(msg);
   transcript_.push_back(std::move(msg));
-}
-
-void NetworkBus::Send(const std::string& from, const std::string& to,
-                      const std::string& type, Bytes payload) {
-  Send(Message{from, to, type, std::move(payload)});
+  return Status::OK();
 }
 
 Result<Message> NetworkBus::Receive(const std::string& party) {

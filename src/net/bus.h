@@ -1,0 +1,50 @@
+#ifndef SECMED_NET_BUS_H_
+#define SECMED_NET_BUS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace secmed {
+
+/// In-process transport connecting the parties of the mediation system.
+///
+/// The bus is the substitution for the MMM's real transport (DESIGN.md):
+/// it preserves everything protocol-relevant — who sees which bytes, in
+/// which order, with full transcript capture for the leakage analyzer —
+/// while replacing sockets with FIFO queues. Not thread-safe; a protocol
+/// run drives it from one thread.
+class NetworkBus : public Transport {
+ public:
+  using Transport::Send;
+  Status Send(Message msg) override;
+  Result<Message> Receive(const std::string& party) override;
+  Result<Message> ReceiveOfType(const std::string& party,
+                                const std::string& type) override;
+  size_t PendingFor(const std::string& party) const override;
+  const std::vector<Message>& transcript() const override {
+    return transcript_;
+  }
+  PartyStats StatsOf(const std::string& party) const override;
+  size_t TotalBytes() const override;
+  Bytes ViewOf(const std::string& party) const override;
+  void Reset() override;
+  void SetTamperHook(std::function<void(Message*)> hook) override {
+    tamper_hook_ = std::move(hook);
+  }
+
+ private:
+  std::function<void(Message*)> tamper_hook_;
+  std::map<std::string, std::deque<Message>> inboxes_;
+  std::vector<Message> transcript_;
+  std::string last_sender_;
+  std::map<std::string, PartyStats> stats_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_NET_BUS_H_

@@ -1,0 +1,75 @@
+#ifndef SECMED_NET_MESSAGE_H_
+#define SECMED_NET_MESSAGE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace secmed {
+
+/// Fixed frame header of the net/wire codec: magic (2), version (1),
+/// flags (1), session id (4), body length (4).
+inline constexpr size_t kFrameHeaderSize = 12;
+
+/// Every variable-length frame body field (from, to, type, payload)
+/// carries a u32 length prefix (util/serialize format).
+inline constexpr size_t kFrameFieldPrefix = 4;
+
+/// One protocol message between parties. Every payload is a serialized
+/// byte string, so the accounting below reflects realistic wire sizes.
+struct Message {
+  std::string from;
+  std::string to;
+  std::string type;  // e.g. "query", "partial_result", "server_query"
+  Bytes payload;
+
+  /// Exact on-the-wire size of this message under the net/wire frame
+  /// codec: the fixed header plus four length-prefixed fields.
+  /// net/wire.cc asserts EncodeFrame(...).size() == WireSize().
+  size_t WireSize() const {
+    return kFrameHeaderSize + 4 * kFrameFieldPrefix + from.size() + to.size() +
+           type.size() + payload.size();
+  }
+};
+
+/// Per-party traffic statistics.
+struct PartyStats {
+  size_t messages_sent = 0;
+  size_t messages_received = 0;
+  size_t bytes_sent = 0;
+  size_t bytes_received = 0;
+  /// Number of *interactions*: maximal runs of consecutive sends — the
+  /// paper's "the client has to interact twice with the mediator".
+  size_t interactions = 0;
+};
+
+/// Cost model of a real transport, applied to a recorded transcript:
+/// every message pays one propagation delay plus its serialization time
+/// at the given bandwidth. Lets the benchmarks project the in-process
+/// measurements onto WAN/LAN deployments, where the protocols' different
+/// round counts and byte volumes dominate differently.
+struct NetworkCostModel {
+  double latency_ms = 0;         // one-way propagation delay per message
+  double bandwidth_kbps = 0;     // 0 = infinite
+
+  /// Transfer time of one message under this model.
+  double MessageMs(size_t wire_bytes) const {
+    double ms = latency_ms;
+    if (bandwidth_kbps > 0) {
+      ms += static_cast<double>(wire_bytes) * 8.0 / bandwidth_kbps;
+    }
+    return ms;
+  }
+};
+
+/// Projected total transfer time of a transcript under the model,
+/// assuming the messages are sequential (protocol phases are; the
+/// estimate is an upper bound where sends within a phase could overlap).
+double EstimateTransferMs(const std::vector<Message>& transcript,
+                          const NetworkCostModel& model);
+
+}  // namespace secmed
+
+#endif  // SECMED_NET_MESSAGE_H_

@@ -1,0 +1,208 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace secmed {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  const int err = errno;
+  const std::string msg = what + ": " + std::strerror(err);
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case EPIPE:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+    case ETIMEDOUT:
+      return Status::Unavailable(msg);
+    default:
+      return Status::Internal(msg);
+  }
+}
+
+/// Waits for `events` on `fd`. timeout_ms <= 0 waits indefinitely.
+Status PollFor(int fd, short events, int timeout_ms, const char* what) {
+  struct pollfd pfd{fd, events, 0};
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    if (errno == EINTR) continue;
+    return Errno(what);
+  }
+}
+
+Result<struct sockaddr_in> ResolveV4(const Endpoint& ep) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  const std::string host = ep.host == "localhost" ? "127.0.0.1" : ep.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 address '" + ep.host +
+                                   "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<Endpoint> ParseEndpoint(const std::string& s) {
+  size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return Status::InvalidArgument("endpoint '" + s + "' is not host:port");
+  }
+  char* end = nullptr;
+  unsigned long port = std::strtoul(s.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port == 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in endpoint '" + s + "'");
+  }
+  return Endpoint{s.substr(0, colon), static_cast<uint16_t>(port)};
+}
+
+TcpConn::~TcpConn() { Close(); }
+
+TcpConn& TcpConn::operator=(TcpConn&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConn::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpConn> TcpConn::Connect(const Endpoint& ep, int timeout_ms) {
+  SECMED_ASSIGN_OR_RETURN(struct sockaddr_in addr, ResolveV4(ep));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  TcpConn conn(fd);  // owns fd from here on
+
+  // Nonblocking connect + poll gives connect a deadline; the socket goes
+  // back to blocking mode afterwards (per-operation polls bound I/O).
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Errno("connect to " + ep.ToString());
+  }
+  if (rc != 0) {
+    SECMED_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms, "connect"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return Errno("connect to " + ep.ToString());
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+Status TcpConn::SendAll(const Bytes& data, int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("send on closed connection");
+  size_t off = 0;
+  while (off < data.size()) {
+    SECMED_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, timeout_ms, "send"));
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> TcpConn::RecvSome(Bytes* out, size_t max, int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("recv on closed connection");
+  SECMED_RETURN_IF_ERROR(PollFor(fd_, POLLIN, timeout_ms, "recv"));
+  const size_t old = out->size();
+  out->resize(old + max);
+  for (;;) {
+    ssize_t n = ::recv(fd_, out->data() + old, max, 0);
+    if (n >= 0) {
+      out->resize(old + static_cast<size_t>(n));
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) continue;
+    out->resize(old);
+    return Errno("recv");
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Listen(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  TcpListener listener;
+  listener.fd_ = fd;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpConn> TcpListener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("listener closed");
+  SECMED_RETURN_IF_ERROR(PollFor(fd_, POLLIN, timeout_ms, "accept"));
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpConn(fd);
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+}  // namespace secmed

@@ -1,0 +1,105 @@
+#ifndef SECMED_NET_TCP_H_
+#define SECMED_NET_TCP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// A TCP address. `host` is an IPv4 dotted quad or "localhost".
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+  bool operator==(const Endpoint& o) const {
+    return host == o.host && port == o.port;
+  }
+  bool operator<(const Endpoint& o) const {
+    return host != o.host ? host < o.host : port < o.port;
+  }
+};
+
+/// Parses "host:port". kInvalidArgument on malformed input.
+Result<Endpoint> ParseEndpoint(const std::string& s);
+
+/// One established blocking TCP connection. Movable, not copyable; the
+/// destructor closes the socket. All deadline expirations surface as
+/// kDeadlineExceeded, connection failures and peer resets as kUnavailable
+/// (transient — callers may reconnect), everything else as kInternal.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn();
+  TcpConn(TcpConn&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& o) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Connects to `ep` within `timeout_ms` (0 = OS default).
+  static Result<TcpConn> Connect(const Endpoint& ep, int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `data`, blocking up to `timeout_ms` per syscall.
+  Status SendAll(const Bytes& data, int timeout_ms);
+
+  /// Reads up to `max` bytes into `out` (appended), blocking up to
+  /// `timeout_ms`. Returns the number of bytes read; 0 = clean EOF.
+  Result<size_t> RecvSome(Bytes* out, size_t max, int timeout_ms);
+
+  /// Closes the socket early (also unblocks a reader in another thread
+  /// via shutdown, which is why Stop paths use this instead of waiting
+  /// for the destructor).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& o) noexcept : fd_(o.fd_), port_(o.port_) {
+    o.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& o) noexcept {
+    if (this != &o) {
+      Close();
+      fd_ = o.fd_;
+      port_ = o.port_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on loopback `port` (0 = OS-assigned ephemeral
+  /// port, readable from port() afterwards).
+  static Result<TcpListener> Listen(uint16_t port);
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Accepts one connection, waiting up to `timeout_ms`.
+  Result<TcpConn> Accept(int timeout_ms);
+
+  /// Closes the listening socket; a blocked Accept returns kUnavailable.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_NET_TCP_H_

@@ -1,0 +1,265 @@
+#include "net/tcp_transport.h"
+
+#include <chrono>
+
+namespace secmed {
+
+namespace {
+// Poll interval of the accept/reader loops: threads notice Stop() within
+// one interval without any cross-thread socket shutdown games.
+constexpr int kLoopPollMs = 100;
+constexpr size_t kRecvChunk = 64 * 1024;
+}  // namespace
+
+Result<std::unique_ptr<PeerHost>> PeerHost::Listen(uint16_t port) {
+  SECMED_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(port));
+  std::unique_ptr<PeerHost> host(new PeerHost());
+  host->listener_ = std::move(listener);
+  host->accept_thread_ = std::thread([h = host.get()] { h->AcceptLoop(); });
+  return host;
+}
+
+PeerHost::~PeerHost() { Stop(); }
+
+void PeerHost::Stop() {
+  if (stop_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    for (std::thread& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    readers_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_.clear();
+  }
+  listener_.Close();
+  cv_.notify_all();
+}
+
+void PeerHost::AcceptLoop() {
+  while (!stop_.load()) {
+    Result<TcpConn> conn = listener_.Accept(kLoopPollMs);
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
+      // Listener broken: no new connections, established ones keep
+      // working. Surface the condition to waiters and stop accepting.
+      FailStream(Status::Unavailable("accept loop ended: " +
+                                     conn.status().message()));
+      return;
+    }
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    readers_.emplace_back(
+        [this, c = std::make_shared<TcpConn>(std::move(conn).value())]()
+            mutable { ReaderLoop(std::move(*c)); });
+  }
+}
+
+void PeerHost::ReaderLoop(TcpConn conn) {
+  FrameDecoder decoder;
+  Bytes chunk;
+  while (!stop_.load()) {
+    chunk.clear();
+    Result<size_t> n = conn.RecvSome(&chunk, kRecvChunk, kLoopPollMs);
+    if (!n.ok()) {
+      if (n.status().code() == StatusCode::kDeadlineExceeded) continue;
+      // Peer reset mid-stream. Pending partial frame bytes are lost; if
+      // any were buffered the stream is corrupt for good.
+      if (decoder.buffered() > 0) {
+        FailStream(Status::ProtocolError(
+            "connection dropped mid-frame: " + n.status().message()));
+      }
+      return;
+    }
+    if (*n == 0) {  // clean EOF
+      if (decoder.buffered() > 0) {
+        FailStream(Status::ProtocolError("connection closed mid-frame"));
+      }
+      return;
+    }
+    decoder.Feed(chunk);
+    for (;;) {
+      Result<std::optional<WireFrame>> frame = decoder.Next();
+      if (!frame.ok()) {
+        FailStream(frame.status());
+        return;
+      }
+      if (!frame->has_value()) break;
+      Deliver(std::move(**frame));
+    }
+  }
+}
+
+void PeerHost::Deliver(WireFrame frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (frame.session == kCtlSession && frame.message.to == kCtlParty) {
+    ctl_queue_.push_back(std::move(frame.message));
+  } else {
+    inbox_[QueueKey{frame.session, frame.message.to, frame.message.from}]
+        .push_back(std::move(frame.message));
+  }
+  cv_.notify_all();
+}
+
+void PeerHost::FailStream(Status error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream_error_.ok()) stream_error_ = std::move(error);
+  cv_.notify_all();
+}
+
+Status PeerHost::SendFrame(const std::string& pair, const Endpoint& ep,
+                           const Bytes& frame, int timeout_ms) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  auto it = pool_.find(pair);
+  if (it == pool_.end()) {
+    // First use of this party pair: connect, retrying while the peer
+    // process is still coming up.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      Result<TcpConn> conn = TcpConn::Connect(ep, timeout_ms);
+      if (conn.ok()) {
+        it = pool_.emplace(pair, std::move(conn).value()).first;
+        break;
+      }
+      if (conn.status().code() != StatusCode::kUnavailable ||
+          std::chrono::steady_clock::now() >= deadline) {
+        return conn.status();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  Status st = it->second.SendAll(frame, timeout_ms);
+  if (st.ok() || st.code() != StatusCode::kUnavailable) return st;
+  // Stale pooled connection (peer restarted between sessions):
+  // reconnect once and retry the whole frame — nothing of it can have
+  // reached the application on a reset connection.
+  pool_.erase(it);
+  SECMED_ASSIGN_OR_RETURN(TcpConn fresh, TcpConn::Connect(ep, timeout_ms));
+  it = pool_.emplace(pair, std::move(fresh)).first;
+  return it->second.SendAll(frame, timeout_ms);
+}
+
+Result<Message> PeerHost::WaitFrame(uint32_t session, const std::string& to,
+                                    const std::string& from, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const QueueKey key{session, to, from};
+  const bool ready = cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [&] {
+        auto it = inbox_.find(key);
+        return (it != inbox_.end() && !it->second.empty()) ||
+               !stream_error_.ok() || stop_.load();
+      });
+  auto it = inbox_.find(key);
+  if (it != inbox_.end() && !it->second.empty()) {
+    Message msg = std::move(it->second.front());
+    it->second.pop_front();
+    return msg;
+  }
+  if (!stream_error_.ok()) return stream_error_;
+  if (stop_.load()) return Status::Unavailable("peer host stopped");
+  (void)ready;
+  return Status::DeadlineExceeded("no frame for " + to + " from " + from +
+                                  " in session " + std::to_string(session) +
+                                  " within " + std::to_string(timeout_ms) +
+                                  " ms");
+}
+
+Result<Message> PeerHost::WaitCtl(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return !ctl_queue_.empty() || !stream_error_.ok() || stop_.load();
+  });
+  if (!ctl_queue_.empty()) {
+    Message msg = std::move(ctl_queue_.front());
+    ctl_queue_.pop_front();
+    return msg;
+  }
+  if (!stream_error_.ok()) return stream_error_;
+  if (stop_.load()) return Status::Unavailable("peer host stopped");
+  return Status::DeadlineExceeded("no control frame within " +
+                                  std::to_string(timeout_ms) + " ms");
+}
+
+void PeerHost::DropSession(uint32_t session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = inbox_.begin(); it != inbox_.end();) {
+    if (it->first.session == session) {
+      it = inbox_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status TcpTransport::Send(Message msg) {
+  if (!sticky_.ok()) return sticky_;
+  if (tamper_hook_) tamper_hook_(&msg);
+  const bool wire = IsHostedHere(msg.from) && IsRemote(msg.to);
+  if (wire) {
+    Bytes frame = EncodeFrame(options_.session, msg);
+    if (frame_tamper_hook_) frame_tamper_hook_(&frame);
+    Status st = host_->SendFrame(msg.from + ">" + msg.to,
+                                 options_.directory.at(msg.to), frame,
+                                 options_.timeout_ms);
+    if (!st.ok()) {
+      sticky_ = st;
+      return st;
+    }
+  }
+  // Shadow bookkeeping after the real send: transcript, statistics and
+  // local FIFO delivery, identical to the in-process bus.
+  return shadow_.Send(std::move(msg));
+}
+
+Result<Message> TcpTransport::Receive(const std::string& party) {
+  if (!sticky_.ok()) return sticky_;
+  Result<Message> shadow = shadow_.Receive(party);
+  if (!shadow.ok()) return shadow;
+  if (IsHostedHere(shadow->to) && IsRemote(shadow->from)) {
+    // The shadow says a remote party sent this: insist on the real frame
+    // and on its bytes agreeing with the replicated execution.
+    Result<Message> wire = host_->WaitFrame(options_.session, shadow->to,
+                                            shadow->from, options_.timeout_ms);
+    if (!wire.ok()) {
+      sticky_ = wire.status();
+      return sticky_;
+    }
+    if (wire->type != shadow->type || wire->payload != shadow->payload ||
+        wire->from != shadow->from || wire->to != shadow->to) {
+      sticky_ = Status::ProtocolError(
+          "wire message from " + shadow->from + " to " + shadow->to +
+          " diverges from the replicated execution (type '" + wire->type +
+          "' vs '" + shadow->type + "', " +
+          std::to_string(wire->payload.size()) + " vs " +
+          std::to_string(shadow->payload.size()) + " payload bytes)");
+      return sticky_;
+    }
+  }
+  return shadow;
+}
+
+Result<Message> TcpTransport::ReceiveOfType(const std::string& party,
+                                            const std::string& type) {
+  // Full Receive first — even a type-mismatched message must consume its
+  // wire frame so the stream stays in sync. The mismatched message is
+  // dequeued, matching NetworkBus semantics.
+  Result<Message> msg = Receive(party);
+  if (!msg.ok()) return msg;
+  if (msg->type != type) {
+    return Status::ProtocolError("expected message of type '" + type +
+                                 "' for " + party + ", got '" + msg->type +
+                                 "'");
+  }
+  return msg;
+}
+
+void TcpTransport::Reset() {
+  shadow_.Reset();
+  sticky_ = Status::OK();
+  host_->DropSession(options_.session);
+}
+
+}  // namespace secmed

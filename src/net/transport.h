@@ -1,0 +1,83 @@
+#ifndef SECMED_NET_TRANSPORT_H_
+#define SECMED_NET_TRANSPORT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// Abstract transport connecting the parties of the mediation system.
+///
+/// Two implementations share this contract: the in-process `NetworkBus`
+/// (net/bus.h — FIFO queues, zero copies over the loopback of one
+/// address space) and the framed-socket `TcpTransport` (net/tcp_transport.h
+/// — real TCP connections between party daemons). Every protocol in
+/// src/core/ is written against this interface only, so a run is moved
+/// from a single process onto a wire by swapping the pointer in
+/// `ProtocolContext`.
+///
+/// The contract deliberately includes the observability surface — full
+/// transcript, per-party statistics and `ViewOf` — because the leakage
+/// analyzer (core/leakage.h) and the Table-1 benchmarks are defined over
+/// *whatever transport the run used*.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers a message and records it in the transcript. A real
+  /// transport surfaces connection failures here; the same error is also
+  /// latched and re-reported by the next Receive, so callers that ignore
+  /// the Status (all in-process protocol code does) still terminate.
+  virtual Status Send(Message msg) = 0;
+
+  /// Convenience overload.
+  Status Send(const std::string& from, const std::string& to,
+              const std::string& type, Bytes payload) {
+    return Send(Message{from, to, type, std::move(payload)});
+  }
+
+  /// Pops the next message addressed to `party` (FIFO).
+  /// kNotFound when the inbox is empty.
+  virtual Result<Message> Receive(const std::string& party) = 0;
+
+  /// Pops the next message for `party` and returns it when its type
+  /// matches. kNotFound when the inbox is empty; kProtocolError when the
+  /// next message has a different type — the mismatched message is
+  /// *dequeued* in that case, so a caller retrying in a loop makes
+  /// progress instead of spinning on the same message forever.
+  virtual Result<Message> ReceiveOfType(const std::string& party,
+                                        const std::string& type) = 0;
+
+  /// Number of queued messages for the party.
+  virtual size_t PendingFor(const std::string& party) const = 0;
+
+  /// Full ordered transcript of all messages.
+  virtual const std::vector<Message>& transcript() const = 0;
+
+  /// Statistics for one party (zeroes if it never communicated).
+  virtual PartyStats StatsOf(const std::string& party) const = 0;
+
+  /// Total bytes across all messages.
+  virtual size_t TotalBytes() const = 0;
+
+  /// Concatenated payload bytes of every message the party received —
+  /// its complete protocol view, fed to the leakage analyzer.
+  virtual Bytes ViewOf(const std::string& party) const = 0;
+
+  /// Clears transcript, queues and statistics.
+  virtual void Reset() = 0;
+
+  /// Installs a fault-injection hook invoked on every Send *before*
+  /// delivery; it may mutate the message (corrupt bytes, rewrite headers).
+  /// Used by the robustness tests to model an unreliable or actively
+  /// interfering network. Pass nullptr to remove.
+  virtual void SetTamperHook(std::function<void(Message*)> hook) = 0;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_NET_TRANSPORT_H_

@@ -1,0 +1,138 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/serialize.h"
+
+namespace secmed {
+
+namespace {
+
+uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+/// Validates the 12-byte header at `p` and returns the body length.
+Result<uint32_t> CheckHeader(const uint8_t* p, uint32_t* session) {
+  if (LoadU16(p) != kWireMagic) {
+    return Status::ProtocolError("bad frame magic");
+  }
+  if (p[2] != kWireVersion) {
+    return Status::ProtocolError("unsupported wire version " +
+                                 std::to_string(p[2]) + " (speak version " +
+                                 std::to_string(kWireVersion) + ")");
+  }
+  if (p[3] != 0) {
+    return Status::ProtocolError("reserved frame flags set");
+  }
+  *session = LoadU32(p + 4);
+  uint32_t body_len = LoadU32(p + 8);
+  // Reject before allocating anything: an attacker-controlled length
+  // prefix must not size a buffer.
+  if (body_len > kMaxFrameBody) {
+    return Status::ProtocolError("frame body of " + std::to_string(body_len) +
+                                 " bytes exceeds the " +
+                                 std::to_string(kMaxFrameBody) + " byte bound");
+  }
+  return body_len;
+}
+
+Result<Message> DecodeBody(const Bytes& body) {
+  BinaryReader r(body);
+  Message msg;
+  SECMED_ASSIGN_OR_RETURN(msg.from, r.ReadString());
+  SECMED_ASSIGN_OR_RETURN(msg.to, r.ReadString());
+  SECMED_ASSIGN_OR_RETURN(msg.type, r.ReadString());
+  SECMED_ASSIGN_OR_RETURN(msg.payload, r.ReadBytes());
+  if (!r.AtEnd()) {
+    return Status::ProtocolError("trailing bytes after frame body fields");
+  }
+  return msg;
+}
+
+/// Body decode failures are truncations/overruns of the inner length
+/// prefixes; report them uniformly as protocol errors so transports can
+/// treat every frame-level corruption alike.
+Result<WireFrame> MakeFrame(uint32_t session, const Bytes& body) {
+  Result<Message> msg = DecodeBody(body);
+  if (!msg.ok()) {
+    return Status::ProtocolError("corrupt frame body: " +
+                                 msg.status().message());
+  }
+  return WireFrame{session, std::move(msg).value()};
+}
+
+}  // namespace
+
+Bytes EncodeFrame(uint32_t session, const Message& msg) {
+  BinaryWriter body;
+  body.WriteString(msg.from);
+  body.WriteString(msg.to);
+  body.WriteString(msg.type);
+  body.WriteBytes(msg.payload);
+
+  BinaryWriter w;
+  w.WriteU16(kWireMagic);
+  w.WriteU8(kWireVersion);
+  w.WriteU8(0);  // flags
+  w.WriteU32(session);
+  w.WriteU32(static_cast<uint32_t>(body.size()));
+  w.WriteRaw(body.buffer());
+  return w.TakeBuffer();
+}
+
+Result<WireFrame> DecodeFrame(const Bytes& buffer) {
+  if (buffer.size() < kFrameHeaderSize) {
+    return Status::ProtocolError("truncated frame header (" +
+                                 std::to_string(buffer.size()) + " bytes)");
+  }
+  uint32_t session = 0;
+  SECMED_ASSIGN_OR_RETURN(uint32_t body_len,
+                          CheckHeader(buffer.data(), &session));
+  if (buffer.size() != kFrameHeaderSize + body_len) {
+    return Status::ProtocolError(
+        "frame length mismatch: header says " + std::to_string(body_len) +
+        " body bytes, buffer has " +
+        std::to_string(buffer.size() - kFrameHeaderSize));
+  }
+  Bytes body(buffer.begin() + kFrameHeaderSize, buffer.end());
+  return MakeFrame(session, body);
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  // Compact the decoded prefix before growing the buffer.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + consumed_);
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+Result<std::optional<WireFrame>> FrameDecoder::Next() {
+  if (!error_.ok()) return error_;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderSize) return std::optional<WireFrame>();
+  const uint8_t* p = buffer_.data() + consumed_;
+  uint32_t session = 0;
+  Result<uint32_t> body_len = CheckHeader(p, &session);
+  if (!body_len.ok()) {
+    error_ = body_len.status();
+    return error_;
+  }
+  if (avail < kFrameHeaderSize + *body_len) return std::optional<WireFrame>();
+  Bytes body(p + kFrameHeaderSize, p + kFrameHeaderSize + *body_len);
+  Result<WireFrame> frame = MakeFrame(session, body);
+  if (!frame.ok()) {
+    error_ = frame.status();
+    return error_;
+  }
+  consumed_ += kFrameHeaderSize + *body_len;
+  return std::optional<WireFrame>(std::move(frame).value());
+}
+
+}  // namespace secmed

@@ -1,0 +1,80 @@
+#ifndef SECMED_NET_WIRE_H_
+#define SECMED_NET_WIRE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/message.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// Binary frame format carrying one `Message` over a byte stream.
+///
+/// Layout (all integers little-endian, util/serialize conventions):
+///
+///   offset  size  field
+///        0     2  magic 0x4D53 ("SM")
+///        2     1  version (kWireVersion)
+///        3     1  flags (reserved, must be 0)
+///        4     4  session id (multiplexes concurrent queries)
+///        8     4  body length in bytes
+///       12   ...  body: from, to, type (u32-length-prefixed strings),
+///                 payload (u32-length-prefixed bytes)
+///
+/// The framed size of a message is therefore `Message::WireSize()` —
+/// the header plus four length-prefixed fields — which keeps the byte
+/// accounting of `NetworkBus` and `TcpTransport` identical to what
+/// actually crosses a socket.
+inline constexpr uint16_t kWireMagic = 0x4D53;  // "SM" little-endian
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Upper bound on a frame body. An incoming length prefix above this is
+/// rejected with kProtocolError *before* any allocation, so a corrupt or
+/// hostile peer cannot make a party allocate unbounded memory.
+inline constexpr uint32_t kMaxFrameBody = 64u << 20;  // 64 MiB
+
+/// One decoded frame: the session it belongs to plus the message.
+struct WireFrame {
+  uint32_t session = 0;
+  Message message;
+};
+
+/// Encodes `msg` into a single frame for `session`.
+/// The result has exactly `msg.WireSize()` bytes.
+Bytes EncodeFrame(uint32_t session, const Message& msg);
+
+/// Decodes a buffer holding exactly one whole frame. kProtocolError on
+/// bad magic/version/flags, an oversized body, trailing garbage, or a
+/// truncated body.
+Result<WireFrame> DecodeFrame(const Bytes& buffer);
+
+/// Incremental decoder for a frame stream: feed arbitrary byte chunks
+/// (as read from a socket), pull whole frames out.
+///
+/// Errors are sticky: once a stream is corrupt (bad header, oversized
+/// length prefix) there is no way to resynchronize a length-prefixed
+/// stream, so every subsequent Next() fails too.
+class FrameDecoder {
+ public:
+  /// Appends raw stream bytes.
+  void Feed(const uint8_t* data, size_t n);
+  void Feed(const Bytes& chunk) { Feed(chunk.data(), chunk.size()); }
+
+  /// Extracts the next whole frame. nullopt = need more bytes;
+  /// kProtocolError = corrupt stream (sticky).
+  Result<std::optional<WireFrame>> Next();
+
+  /// Bytes buffered but not yet consumed by a decoded frame.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  Bytes buffer_;
+  size_t consumed_ = 0;  // decoded prefix, compacted lazily
+  Status error_ = Status::OK();
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_NET_WIRE_H_

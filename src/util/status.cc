@@ -17,6 +17,8 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

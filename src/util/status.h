@@ -22,6 +22,8 @@ enum class StatusCode {
   kParseError,
   kUnimplemented,
   kInternal,
+  kUnavailable,        // transient transport failure; retry may succeed
+  kDeadlineExceeded,   // a blocking operation ran past its deadline
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -77,6 +79,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Loopback end-to-end deployment smoke test: mediator, hospital and
+# insurer daemons plus the drive client as four separate OS processes.
+# The drive client verifies every daemon's report and the in-process bus
+# reference agree bit-for-bit (result digest, message count, per-party
+# byte statistics) and exits nonzero otherwise, so this script only has
+# to orchestrate the processes.
+#
+# Run via ctest (which sets SECMEDD/SECMEDCTL), or directly:
+#   SECMEDD=build/tools/secmedd SECMEDCTL=build/tools/secmedctl \
+#       tests/net_smoke_test.sh
+set -u
+
+: "${SECMEDD:?path to the secmedd binary}"
+: "${SECMEDCTL:?path to the secmedctl binary}"
+
+workdir=$(mktemp -d)
+trap 'kill $pids 2>/dev/null; rm -rf "$workdir"' EXIT INT TERM
+pids=""
+
+# Ephemeral-ish fixed ports derived from the PID keep parallel ctest
+# invocations from colliding.
+base=$((20000 + $$ % 20000))
+p_client=$((base)); p_med=$((base + 1)); p_hosp=$((base + 2)); p_ins=$((base + 3))
+
+# Every process of the deployment must share these (replicated
+# deterministic execution — see tools/deploy_flags.h).
+common="--r1-tuples 12 --r2-tuples 10 --r1-domain 6 --r2-domain 5
+        --common-values 3 --workload-seed 97
+        --peer client=127.0.0.1:$p_client
+        --peer mediator=127.0.0.1:$p_med
+        --peer hospital=127.0.0.1:$p_hosp
+        --peer insurer=127.0.0.1:$p_ins"
+
+start_daemon() { # port party logname
+  "$SECMEDD" --listen "$1" --host-party "$2" $common \
+      2>"$workdir/$3.log" &
+  pids="$pids $!"
+}
+
+start_daemon "$p_med" mediator mediator
+start_daemon "$p_hosp" hospital hospital
+start_daemon "$p_ins" insurer insurer
+
+# Wait until all three daemons report they are listening.
+for log in mediator hospital insurer; do
+  tries=0
+  until grep -q "secmedd: hosting" "$workdir/$log.log" 2>/dev/null; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "FAIL: $log daemon did not come up" >&2
+      cat "$workdir/$log.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+done
+
+# Two back-to-back sessions over the established connections, then the
+# drive client shuts the daemons down.
+"$SECMEDCTL" drive --listen "$p_client" --host-party client \
+    --protocol commutative --group-bits 256 --sessions 2 $common
+rc=$?
+
+for log in mediator hospital insurer; do
+  echo "--- $log ---" >&2
+  cat "$workdir/$log.log" >&2
+done
+
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: drive client exited with $rc" >&2
+  exit "$rc"
+fi
+wait_rc=0
+for pid in $pids; do
+  wait "$pid" || wait_rc=$?
+done
+if [ "$wait_rc" -ne 0 ]; then
+  echo "FAIL: a daemon exited with $wait_rc" >&2
+  exit "$wait_rc"
+fi
+echo "PASS: four-process loopback deployment verified against the bus"

@@ -1,0 +1,239 @@
+// Transport-equivalence tests: a full mediated join executed over the
+// framed-TCP transport (four PeerHosts on loopback, one per party, each
+// playing one deployment process) must be byte-equivalent to the same
+// join over the in-process NetworkBus — bit-identical result relation,
+// identical transcript shape, identical per-party statistics. Also
+// exercises session multiplexing: two concurrent queries sharing the
+// same PeerHosts and pooled connections.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/remote.h"
+#include "crypto/sha256.h"
+#include "relational/workload.h"
+
+namespace secmed {
+namespace {
+
+Workload TestWorkload() {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 16;
+  cfg.r2_tuples = 14;
+  cfg.r1_domain = 8;
+  cfg.r2_domain = 7;
+  cfg.common_values = 4;
+  cfg.r1_extra_columns = 1;
+  cfg.r2_extra_columns = 1;
+  cfg.seed = 1311;
+  return GenerateWorkload(cfg);
+}
+
+/// One testbed for the whole suite: key generation is the expensive part
+/// and the parties are shared by design (their protocol-facing methods
+/// are const), exactly as one daemon process reuses its testbed across
+/// sessions.
+class NetTransportTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    auto testbed = MediationTestbed::Create(TestWorkload());
+    ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+    testbed_ = testbed->release();
+  }
+  static void TearDownTestSuite() {
+    delete testbed_;
+    testbed_ = nullptr;
+  }
+
+  static MediationTestbed* testbed_;
+};
+
+MediationTestbed* NetTransportTest::testbed_ = nullptr;
+
+/// The four standard parties, one deployment process each.
+const char* kParties[] = {"client", "mediator", "hospital", "insurer"};
+
+struct Cluster {
+  std::vector<std::unique_ptr<PeerHost>> hosts;
+  std::map<std::string, Endpoint> directory;
+
+  /// The deployment of the process hosting `party`.
+  Deployment DeploymentOf(const std::string& party, int timeout_ms) const {
+    Deployment d;
+    d.local_parties = {party};
+    d.directory = directory;
+    d.timeout_ms = timeout_ms;
+    return d;
+  }
+};
+
+Cluster StartCluster() {
+  Cluster c;
+  for (const char* party : kParties) {
+    auto host = PeerHost::Listen(0);
+    EXPECT_TRUE(host.ok()) << host.status().ToString();
+    c.directory[party] = Endpoint{"127.0.0.1", (*host)->port()};
+    c.hosts.push_back(std::move(host).value());
+  }
+  return c;
+}
+
+void ExpectReportsAgree(const RunReport& tcp, const RunReport& bus) {
+  ASSERT_TRUE(tcp.ok) << "[" << tcp.party_set << "] " << tcp.error;
+  ASSERT_TRUE(bus.ok) << bus.error;
+  EXPECT_EQ(tcp.result_digest, bus.result_digest) << tcp.party_set;
+  EXPECT_EQ(tcp.result_rows, bus.result_rows);
+  EXPECT_EQ(tcp.messages, bus.messages);
+  EXPECT_EQ(tcp.total_bytes, bus.total_bytes);
+  ASSERT_EQ(tcp.stats.size(), bus.stats.size());
+  for (size_t i = 0; i < tcp.stats.size(); ++i) {
+    EXPECT_EQ(tcp.stats[i].first, bus.stats[i].first);
+    const PartyStats& a = tcp.stats[i].second;
+    const PartyStats& b = bus.stats[i].second;
+    EXPECT_EQ(a.messages_sent, b.messages_sent) << tcp.stats[i].first;
+    EXPECT_EQ(a.messages_received, b.messages_received) << tcp.stats[i].first;
+    EXPECT_EQ(a.bytes_sent, b.bytes_sent) << tcp.stats[i].first;
+    EXPECT_EQ(a.bytes_received, b.bytes_received) << tcp.stats[i].first;
+    EXPECT_EQ(a.interactions, b.interactions) << tcp.stats[i].first;
+  }
+}
+
+/// Runs `spec` as a four-process deployment over `cluster` (one thread
+/// per process, as the daemons would) and checks every process against
+/// the in-process bus reference.
+void RunAndCompare(Cluster* cluster, const RunSpec& spec) {
+  std::vector<RunReport> reports(4);
+  std::vector<Relation> results(4);
+  std::vector<std::thread> procs;
+  for (size_t i = 0; i < 4; ++i) {
+    procs.emplace_back([&, i] {
+      reports[i] = RunReplicatedSession(
+          NetTransportTest::testbed_, cluster->hosts[i].get(),
+          cluster->DeploymentOf(kParties[i], 30000), spec, &results[i]);
+    });
+  }
+  for (std::thread& t : procs) t.join();
+  for (auto& host : cluster->hosts) host->DropSession(spec.session);
+
+  Relation bus_result;
+  RunReport bus = RunLocalSession(NetTransportTest::testbed_, spec,
+                                  &bus_result);
+  for (const RunReport& report : reports) ExpectReportsAgree(report, bus);
+
+  // Bit-identity of the relation itself, not just the digest: every
+  // process computed the same serialized bytes as the bus run.
+  for (const Relation& result : results) {
+    EXPECT_EQ(result.Serialize(), bus_result.Serialize());
+  }
+  EXPECT_EQ(Sha256::Hash(bus_result.Serialize()), bus.result_digest);
+}
+
+TEST_F(NetTransportTest, DasJoinMatchesBusAcrossFourProcesses) {
+  Cluster cluster = StartCluster();
+  RunSpec spec;
+  spec.session = 1;
+  spec.protocol = "das";
+  spec.query = testbed_->JoinSql();
+  spec.das_partitions = 3;
+  spec.rng_label = "das-equiv";
+  RunAndCompare(&cluster, spec);
+  for (auto& host : cluster.hosts) host->Stop();
+}
+
+TEST_F(NetTransportTest, PmJoinMatchesBusAcrossFourProcesses) {
+  Cluster cluster = StartCluster();
+  RunSpec spec;
+  spec.session = 1;
+  spec.protocol = "pm";
+  spec.query = testbed_->JoinSql();
+  spec.rng_label = "pm-equiv";
+  RunAndCompare(&cluster, spec);
+  for (auto& host : cluster.hosts) host->Stop();
+}
+
+TEST_F(NetTransportTest, ConcurrentSessionsMultiplexOverSharedHosts) {
+  // Two commutative joins run at the same time over the same four
+  // PeerHosts and the same pooled connections, distinguished only by
+  // session id; each must still match its own bus reference exactly.
+  Cluster cluster = StartCluster();
+  auto make_spec = [&](uint32_t session) {
+    RunSpec spec;
+    spec.session = session;
+    spec.protocol = "commutative";
+    spec.group_bits = 256;
+    spec.query = testbed_->JoinSql();
+    spec.rng_label = "mux";
+    return spec;
+  };
+
+  std::vector<RunReport> reports(8);
+  std::vector<std::thread> procs;
+  for (uint32_t session = 1; session <= 2; ++session) {
+    for (size_t i = 0; i < 4; ++i) {
+      procs.emplace_back([&, session, i] {
+        reports[(session - 1) * 4 + i] = RunReplicatedSession(
+            testbed_, cluster.hosts[i].get(),
+            cluster.DeploymentOf(kParties[i], 30000), make_spec(session),
+            nullptr);
+      });
+    }
+  }
+  for (std::thread& t : procs) t.join();
+
+  for (uint32_t session = 1; session <= 2; ++session) {
+    RunReport bus = RunLocalSession(testbed_, make_spec(session), nullptr);
+    for (size_t i = 0; i < 4; ++i) {
+      ExpectReportsAgree(reports[(session - 1) * 4 + i], bus);
+    }
+  }
+  for (auto& host : cluster.hosts) host->Stop();
+}
+
+TEST_F(NetTransportTest, ProcessesMayHostSeveralParties) {
+  // A two-process split (client+hospital | mediator+insurer): traffic
+  // inside a process stays on the shadow, traffic between them crosses
+  // TCP; the equivalence must hold regardless of the partition.
+  auto host_a = PeerHost::Listen(0);
+  auto host_b = PeerHost::Listen(0);
+  ASSERT_TRUE(host_a.ok() && host_b.ok());
+  std::map<std::string, Endpoint> directory{
+      {"client", {"127.0.0.1", (*host_a)->port()}},
+      {"hospital", {"127.0.0.1", (*host_a)->port()}},
+      {"mediator", {"127.0.0.1", (*host_b)->port()}},
+      {"insurer", {"127.0.0.1", (*host_b)->port()}},
+  };
+  Deployment da{{"client", "hospital"}, directory, 30000};
+  Deployment db{{"mediator", "insurer"}, directory, 30000};
+
+  RunSpec spec;
+  spec.session = 9;
+  spec.protocol = "commutative";
+  spec.group_bits = 256;
+  spec.query = testbed_->JoinSql();
+  spec.rng_label = "split";
+
+  RunReport ra, rb;
+  std::thread ta([&] {
+    ra = RunReplicatedSession(testbed_, host_a->get(), da, spec, nullptr);
+  });
+  std::thread tb([&] {
+    rb = RunReplicatedSession(testbed_, host_b->get(), db, spec, nullptr);
+  });
+  ta.join();
+  tb.join();
+
+  RunReport bus = RunLocalSession(testbed_, spec, nullptr);
+  ExpectReportsAgree(ra, bus);
+  ExpectReportsAgree(rb, bus);
+  (*host_a)->Stop();
+  (*host_b)->Stop();
+}
+
+}  // namespace
+}  // namespace secmed

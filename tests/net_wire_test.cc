@@ -1,0 +1,203 @@
+// Wire-format tests for the net/ frame codec: round-trip properties over
+// random messages, incremental decoding of chunked multi-frame streams,
+// and rejection of malformed, truncated, oversized and version-skewed
+// frames (always with kProtocolError, never an unbounded allocation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace secmed {
+namespace {
+
+std::string RandomToken(Xoshiro256* rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_@";
+  std::string s;
+  size_t len = rng->NextBelow(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng->NextBelow(sizeof(kAlphabet) - 1)]);
+  }
+  return s;
+}
+
+Message RandomMessage(Xoshiro256* rng, size_t max_payload) {
+  Message msg;
+  msg.from = RandomToken(rng, 24);
+  msg.to = RandomToken(rng, 24);
+  msg.type = RandomToken(rng, 32);
+  msg.payload = rng->NextBytes(rng->NextBelow(max_payload + 1));
+  return msg;
+}
+
+void ExpectSame(const Message& a, const Message& b) {
+  EXPECT_EQ(a.from, b.from);
+  EXPECT_EQ(a.to, b.to);
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+TEST(NetWireTest, RoundTripRandomMessages) {
+  Xoshiro256 rng(0x5ec3d);
+  for (int i = 0; i < 200; ++i) {
+    Message msg = RandomMessage(&rng, 512);
+    uint32_t session = static_cast<uint32_t>(rng.NextU64());
+    Bytes frame = EncodeFrame(session, msg);
+    // The frame codec is the definition of Message::WireSize(): the byte
+    // accounting of NetworkBus matches what crosses a socket exactly.
+    ASSERT_EQ(frame.size(), msg.WireSize());
+
+    auto decoded = DecodeFrame(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->session, session);
+    ExpectSame(decoded->message, msg);
+  }
+}
+
+TEST(NetWireTest, RoundTripEmptyFields) {
+  Message msg;  // everything empty
+  Bytes frame = EncodeFrame(0x1234, msg);
+  EXPECT_EQ(frame.size(), kFrameHeaderSize + 4 * kFrameFieldPrefix);
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->session, 0x1234u);
+  ExpectSame(decoded->message, msg);
+}
+
+TEST(NetWireTest, DecoderReassemblesChunkedMultiFrameStream) {
+  Xoshiro256 rng(0xfeed);
+  std::vector<Message> sent;
+  std::vector<uint32_t> sessions;
+  Bytes stream;
+  for (int i = 0; i < 50; ++i) {
+    Message msg = RandomMessage(&rng, 200);
+    uint32_t session = 1 + static_cast<uint32_t>(rng.NextBelow(4));
+    Bytes frame = EncodeFrame(session, msg);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    sent.push_back(std::move(msg));
+    sessions.push_back(session);
+  }
+
+  // Feed the concatenated stream in random-sized chunks (1..97 bytes),
+  // as a socket would deliver it, draining whole frames as they appear.
+  FrameDecoder decoder;
+  std::vector<WireFrame> got;
+  size_t off = 0;
+  while (off < stream.size()) {
+    size_t n = std::min<size_t>(1 + rng.NextBelow(97), stream.size() - off);
+    decoder.Feed(stream.data() + off, n);
+    off += n;
+    for (;;) {
+      auto next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) break;
+      got.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  for (size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i].session, sessions[i]);
+    ExpectSame(got[i].message, sent[i]);
+  }
+}
+
+TEST(NetWireTest, DecoderWaitsOnPartialFrame) {
+  Message msg{"hospital", "mediator", "partial_result", ToBytes("rows")};
+  Bytes frame = EncodeFrame(7, msg);
+  FrameDecoder decoder;
+  // Every proper prefix decodes to "need more bytes", never an error and
+  // never a frame.
+  decoder.Feed(frame.data(), frame.size() - 1);
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  decoder.Feed(frame.data() + frame.size() - 1, 1);
+  next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  ExpectSame((*next)->message, msg);
+}
+
+TEST(NetWireTest, RejectsBadMagic) {
+  Bytes frame = EncodeFrame(1, {"a", "b", "t", {}});
+  frame[0] ^= 0xff;
+  EXPECT_EQ(DecodeFrame(frame).status().code(), StatusCode::kProtocolError);
+}
+
+TEST(NetWireTest, RejectsVersionMismatch) {
+  Bytes frame = EncodeFrame(1, {"a", "b", "t", {}});
+  frame[2] = kWireVersion + 1;
+  auto decoded = DecodeFrame(frame);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+
+  // The incremental decoder rejects it too, and the error is sticky.
+  FrameDecoder decoder;
+  decoder.Feed(frame);
+  EXPECT_EQ(decoder.Next().status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(decoder.Next().status().code(), StatusCode::kProtocolError);
+}
+
+TEST(NetWireTest, RejectsReservedFlags) {
+  Bytes frame = EncodeFrame(1, {"a", "b", "t", {}});
+  frame[3] = 0x01;
+  EXPECT_EQ(DecodeFrame(frame).status().code(), StatusCode::kProtocolError);
+}
+
+TEST(NetWireTest, RejectsOversizedBodyBeforeBuffering) {
+  // A header announcing a body over kMaxFrameBody must be rejected from
+  // the header alone — a hostile peer must not be able to make the
+  // decoder buffer gigabytes.
+  BinaryWriter w;
+  w.WriteU16(kWireMagic);
+  w.WriteU8(kWireVersion);
+  w.WriteU8(0);
+  w.WriteU32(1);                  // session
+  w.WriteU32(kMaxFrameBody + 1);  // body length
+  Bytes header = w.TakeBuffer();
+
+  EXPECT_EQ(DecodeFrame(header).status().code(), StatusCode::kProtocolError);
+  FrameDecoder decoder;
+  decoder.Feed(header);  // just the header, no body at all
+  EXPECT_EQ(decoder.Next().status().code(), StatusCode::kProtocolError);
+}
+
+TEST(NetWireTest, RejectsTruncatedBody) {
+  Message msg{"client", "mediator", "query", ToBytes("SELECT *")};
+  Bytes frame = EncodeFrame(3, msg);
+  // One-shot decode of a cut-off buffer is a protocol error (the length
+  // header promises more bytes than exist).
+  for (size_t cut : {frame.size() - 1, frame.size() - 5, kFrameHeaderSize + 2,
+                     size_t{4}, size_t{0}}) {
+    Bytes truncated(frame.begin(), frame.begin() + cut);
+    EXPECT_EQ(DecodeFrame(truncated).status().code(),
+              StatusCode::kProtocolError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(NetWireTest, RejectsTrailingGarbage) {
+  Bytes frame = EncodeFrame(1, {"a", "b", "t", ToBytes("x")});
+  frame.push_back(0xab);
+  EXPECT_EQ(DecodeFrame(frame).status().code(), StatusCode::kProtocolError);
+}
+
+TEST(NetWireTest, RejectsBodyLengthFieldMismatch) {
+  // Body length that disagrees with the field prefixes inside the body:
+  // enlarge the declared payload length beyond the actual body.
+  Message msg{"a", "b", "t", ToBytes("abc")};
+  Bytes frame = EncodeFrame(1, msg);
+  // Last field is the payload length prefix at (end - payload - 4).
+  size_t prefix_at = frame.size() - msg.payload.size() - 4;
+  frame[prefix_at] = 0x7f;  // claim a much longer payload
+  EXPECT_EQ(DecodeFrame(frame).status().code(), StatusCode::kProtocolError);
+}
+
+}  // namespace
+}  // namespace secmed

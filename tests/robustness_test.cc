@@ -22,6 +22,7 @@
 #include "core/das_protocol.h"
 #include "core/pm_protocol.h"
 #include "core/testbed.h"
+#include "net/tcp_transport.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -198,6 +199,99 @@ TEST(FuzzishDeserializeTest, AllTruncationsRejected) {
     EXPECT_FALSE(Relation::Deserialize(prefix).ok()) << len;
   }
   EXPECT_TRUE(Relation::Deserialize(full).ok());
+}
+
+// --- Frame-level tampering on the TCP transport -------------------------
+//
+// Corruption *below* the message layer (on the encoded frames the
+// sockets carry) must surface as clean error statuses at the receiving
+// process: a changed byte fails the wire-vs-shadow verification, stream
+// desynchronization is a protocol error, and a withheld tail is a
+// deadline — never a crash, junk message, or unbounded allocation.
+
+/// Two single-party deployment processes (alice | bob) wired over
+/// loopback, with a frame tamper hook on alice's outbound frames.
+struct FramePair {
+  std::unique_ptr<PeerHost> host_a, host_b;
+  std::unique_ptr<TcpTransport> alice, bob;
+
+  static FramePair Create(int timeout_ms) {
+    FramePair p;
+    p.host_a = std::move(PeerHost::Listen(0)).value();
+    p.host_b = std::move(PeerHost::Listen(0)).value();
+    std::map<std::string, Endpoint> directory{
+        {"alice", {"127.0.0.1", p.host_a->port()}},
+        {"bob", {"127.0.0.1", p.host_b->port()}},
+    };
+    TcpTransport::Options oa{{"alice"}, directory, 5, timeout_ms};
+    TcpTransport::Options ob{{"bob"}, directory, 5, timeout_ms};
+    p.alice = std::make_unique<TcpTransport>(p.host_a.get(), oa);
+    p.bob = std::make_unique<TcpTransport>(p.host_b.get(), ob);
+    return p;
+  }
+
+  /// Replicated send: both processes run the same driver step.
+  void SendBoth(const Message& msg) {
+    ASSERT_TRUE(alice->Send(msg).ok());
+    ASSERT_TRUE(bob->Send(msg).ok());
+  }
+};
+
+TEST(FrameTamperTest, FlippedFrameByteFailsWireVerification) {
+  FramePair p = FramePair::Create(5000);
+  p.alice->SetFrameTamperHook([](Bytes* frame) {
+    frame->back() ^= 0x01;  // flip one payload byte, length unchanged
+  });
+  p.SendBoth({"alice", "bob", "data", ToBytes("payload-bytes")});
+  auto got = p.bob->Receive("bob");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kProtocolError);
+  // The failure is sticky: a diverged session cannot continue.
+  EXPECT_EQ(p.bob->Receive("bob").status().code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(FrameTamperTest, InflatedFrameDesynchronizesStream) {
+  FramePair p = FramePair::Create(5000);
+  bool first = true;
+  p.alice->SetFrameTamperHook([&first](Bytes* frame) {
+    if (!first) return;
+    first = false;
+    frame->push_back(0xde);  // extra trailing bytes after frame one
+    frame->push_back(0xad);
+  });
+  p.SendBoth({"alice", "bob", "data", ToBytes("one")});
+  p.SendBoth({"alice", "bob", "data", ToBytes("two")});
+  // Frame one itself decodes (its header still frames it), but the
+  // injected bytes misalign everything after it: frame two is garbage to
+  // the decoder and the stream fails for good.
+  auto first_msg = p.bob->Receive("bob");
+  ASSERT_TRUE(first_msg.ok()) << first_msg.status().ToString();
+  auto second_msg = p.bob->Receive("bob");
+  ASSERT_FALSE(second_msg.ok());
+  EXPECT_EQ(second_msg.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FrameTamperTest, TruncatedFrameTimesOutCleanly) {
+  FramePair p = FramePair::Create(700);
+  p.alice->SetFrameTamperHook([](Bytes* frame) {
+    frame->resize(frame->size() - 4);  // withhold the frame's tail
+  });
+  p.SendBoth({"alice", "bob", "data", ToBytes("never-arrives")});
+  auto got = p.bob->Receive("bob");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FrameTamperTest, CorruptHeaderFailsStream) {
+  FramePair p = FramePair::Create(5000);
+  p.alice->SetFrameTamperHook([](Bytes* frame) {
+    (*frame)[3] = 0x01;  // set a reserved flag bit in the header
+  });
+  p.SendBoth({"alice", "bob", "data", ToBytes("x")});
+  auto got = p.bob->Receive("bob");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kProtocolError);
 }
 
 }  // namespace

@@ -1,0 +1,125 @@
+// Shared flag parsing for the deployment tools (secmedd, secmedctl
+// drive): the workload/testbed knobs that every process of a deployment
+// must agree on, plus the topology (hosted parties and peer endpoints).
+//
+// All processes of one deployment MUST be started with the same workload
+// and testbed flags — the deployment replicates the deterministic
+// execution in every process and verifies the cross-process messages
+// byte-for-byte, so a process with a different workload, seed or key
+// size fails the first wire check with kProtocolError.
+
+#ifndef SECMED_TOOLS_DEPLOY_FLAGS_H_
+#define SECMED_TOOLS_DEPLOY_FLAGS_H_
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/remote.h"
+#include "core/testbed.h"
+#include "relational/workload.h"
+
+namespace secmed {
+
+struct DeployArgs {
+  uint16_t listen_port = 0;  // 0 = ephemeral (printed at startup)
+  std::set<std::string> host_parties;
+  std::map<std::string, Endpoint> peers;
+  WorkloadConfig workload;
+  MediationTestbed::Options testbed;
+  int timeout_ms = 30000;
+
+  Deployment MakeDeployment() const {
+    Deployment d;
+    d.local_parties = host_parties;
+    d.directory = peers;
+    d.timeout_ms = timeout_ms;
+    return d;
+  }
+};
+
+/// Consumes one deployment flag at argv[*i] (advancing *i past its
+/// value). Returns 1 if consumed, 0 if not a deployment flag, -1 on a
+/// malformed value.
+inline int ParseDeployFlag(int argc, char** argv, int* i, DeployArgs* args) {
+  const std::string flag = argv[*i];
+  auto next = [&]() -> const char* {
+    return *i + 1 < argc ? argv[++*i] : nullptr;
+  };
+  auto parse_size = [&](size_t* out) {
+    const char* v = next();
+    if (v == nullptr) return -1;
+    *out = std::strtoul(v, nullptr, 10);
+    return 1;
+  };
+  if (flag == "--listen") {
+    size_t port = 0;
+    if (parse_size(&port) < 0 || port > 65535) return -1;
+    args->listen_port = static_cast<uint16_t>(port);
+    return 1;
+  }
+  if (flag == "--host-party") {
+    const char* v = next();
+    if (v == nullptr) return -1;
+    for (const std::string& p : SplitCommaList(v)) args->host_parties.insert(p);
+    return 1;
+  }
+  if (flag == "--peer") {
+    const char* v = next();
+    if (v == nullptr) return -1;
+    const char* eq = std::strchr(v, '=');
+    if (eq == nullptr) return -1;
+    auto ep = ParseEndpoint(eq + 1);
+    if (!ep.ok()) {
+      std::fprintf(stderr, "%s\n", ep.status().ToString().c_str());
+      return -1;
+    }
+    args->peers[std::string(v, eq)] = *ep;
+    return 1;
+  }
+  if (flag == "--timeout-ms") {
+    size_t ms = 0;
+    if (parse_size(&ms) < 0) return -1;
+    args->timeout_ms = static_cast<int>(ms);
+    return 1;
+  }
+  if (flag == "--r1-tuples") return parse_size(&args->workload.r1_tuples);
+  if (flag == "--r2-tuples") return parse_size(&args->workload.r2_tuples);
+  if (flag == "--r1-domain") return parse_size(&args->workload.r1_domain);
+  if (flag == "--r2-domain") return parse_size(&args->workload.r2_domain);
+  if (flag == "--common-values") {
+    return parse_size(&args->workload.common_values);
+  }
+  if (flag == "--workload-seed") {
+    size_t seed = 0;
+    int rc = parse_size(&seed);
+    args->workload.seed = seed;
+    return rc;
+  }
+  if (flag == "--seed-label") {
+    const char* v = next();
+    if (v == nullptr) return -1;
+    args->testbed.seed_label = v;
+    return 1;
+  }
+  if (flag == "--rsa-bits") return parse_size(&args->testbed.rsa_bits);
+  if (flag == "--paillier-bits") {
+    return parse_size(&args->testbed.paillier_bits);
+  }
+  return 0;
+}
+
+inline const char* kDeployFlagsHelp =
+    "  --listen PORT            loopback port to listen on (0 = ephemeral)\n"
+    "  --host-party P[,P...]    parties hosted by this process\n"
+    "  --peer PARTY=HOST:PORT   where a peer party listens (repeatable)\n"
+    "  --timeout-ms N           socket/frame deadline (default 30000)\n"
+    "  --r1-tuples N ... --r2-tuples N --r1-domain N --r2-domain N\n"
+    "  --common-values N --workload-seed N   synthetic workload knobs\n"
+    "  --seed-label S --rsa-bits N --paillier-bits N  testbed knobs\n";
+
+}  // namespace secmed
+
+#endif  // SECMED_TOOLS_DEPLOY_FLAGS_H_

@@ -1,9 +1,9 @@
 // secmedctl — command-line driver of the secure mediation system.
 //
-// Loads two relations from CSV files, wires up a full in-process
-// deployment (CA, client, mediator, two datasources) and runs a join
-// query under the chosen delivery protocol, printing the global result
-// and the transcript statistics.
+// Default mode: loads two relations from CSV files, wires up a full
+// in-process deployment (CA, client, mediator, two datasources) and runs
+// a join query under the chosen delivery protocol, printing the global
+// result and the transcript statistics.
 //
 // Usage:
 //   secmedctl --table1 NAME=FILE.csv --table2 NAME=FILE.csv
@@ -17,16 +17,36 @@
 //   ./build/tools/secmedctl --table1 medical=med.csv
 //       --table2 billing=bill.csv
 //       --query "SELECT * FROM medical NATURAL JOIN billing"
+//
+// Drive mode (`secmedctl drive ...`): the client endpoint of a real
+// multi-process deployment. Hosts the client party on a TCP port, tells
+// each secmedd daemon to join one or more sessions, runs the join over
+// the wire, and verifies the deployment agreed — including against a
+// reference run over the in-process bus (bit-identical result relation
+// and identical per-party byte statistics). See tools/secmedd.cc for a
+// full deployment example; flags are shared (tools/deploy_flags.h) plus:
+//
+//   --protocol das|commutative|pm   delivery protocol  (default commutative)
+//   --sessions N                    number of back-to-back joins (default 1)
+//   --concurrent                    run the sessions concurrently
+//   --partitions N --group-bits N --threads N    protocol knobs
+//   --no-compare-bus                skip the in-process reference run
+//   --no-shutdown                   leave the daemons running at exit
 
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/commutative_protocol.h"
 #include "core/das_protocol.h"
 #include "core/pm_protocol.h"
+#include "core/remote.h"
 #include "crypto/drbg.h"
+#include "deploy_flags.h"
 #include "mediation/client.h"
 #include "mediation/datasource.h"
 #include "mediation/mediator.h"
@@ -36,6 +56,260 @@
 using namespace secmed;
 
 namespace {
+
+bool StatsEqual(const PartyStats& a, const PartyStats& b) {
+  return a.messages_sent == b.messages_sent &&
+         a.messages_received == b.messages_received &&
+         a.bytes_sent == b.bytes_sent && a.bytes_received == b.bytes_received &&
+         a.interactions == b.interactions;
+}
+
+/// True iff the two reports describe the same execution: digest, counts
+/// and per-party statistics.
+bool ReportsAgree(const RunReport& a, const RunReport& b, std::string* why) {
+  if (a.result_digest != b.result_digest) {
+    *why = "result digests differ";
+    return false;
+  }
+  if (a.result_rows != b.result_rows || a.messages != b.messages ||
+      a.total_bytes != b.total_bytes) {
+    *why = "transcript shape differs (rows/messages/bytes)";
+    return false;
+  }
+  if (a.stats.size() != b.stats.size()) {
+    *why = "party stats cardinality differs";
+    return false;
+  }
+  for (size_t i = 0; i < a.stats.size(); ++i) {
+    if (a.stats[i].first != b.stats[i].first ||
+        !StatsEqual(a.stats[i].second, b.stats[i].second)) {
+      *why = "per-party stats differ for " + a.stats[i].first;
+      return false;
+    }
+  }
+  return true;
+}
+
+int DriveUsage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s drive --listen PORT --peer PARTY=HOST:PORT ...\n"
+               "          [--protocol das|commutative|pm] [--sessions N]\n"
+               "          [--concurrent] [--partitions N] [--group-bits N]\n"
+               "          [--threads N] [--no-compare-bus] [--no-shutdown]\n%s",
+               prog, kDeployFlagsHelp);
+  return 2;
+}
+
+int DriveMain(int argc, char** argv) {
+  DeployArgs args;
+  args.host_parties.insert("client");
+  std::string protocol = "commutative";
+  size_t sessions = 1;
+  size_t partitions = 4;
+  size_t group_bits = 256;
+  size_t threads = 1;
+  bool concurrent = false;
+  bool compare_bus = true;
+  bool shutdown_peers = true;
+  for (int i = 2; i < argc; ++i) {
+    int rc = ParseDeployFlag(argc, argv, &i, &args);
+    if (rc == 1) continue;
+    if (rc < 0) return DriveUsage(argv[0]);
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--protocol") {
+      const char* v = next();
+      if (v == nullptr) return DriveUsage(argv[0]);
+      protocol = v;
+    } else if (flag == "--sessions") {
+      const char* v = next();
+      if (v == nullptr) return DriveUsage(argv[0]);
+      sessions = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--partitions") {
+      const char* v = next();
+      if (v == nullptr) return DriveUsage(argv[0]);
+      partitions = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--group-bits") {
+      const char* v = next();
+      if (v == nullptr) return DriveUsage(argv[0]);
+      group_bits = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return DriveUsage(argv[0]);
+      threads = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--concurrent") {
+      concurrent = true;
+    } else if (flag == "--no-compare-bus") {
+      compare_bus = false;
+    } else if (flag == "--no-shutdown") {
+      shutdown_peers = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return DriveUsage(argv[0]);
+    }
+  }
+  if (args.peers.empty() || sessions == 0) return DriveUsage(argv[0]);
+
+  Workload workload = GenerateWorkload(args.workload);
+  auto testbed = MediationTestbed::Create(workload, args.testbed);
+  if (!testbed.ok()) {
+    std::fprintf(stderr, "testbed: %s\n", testbed.status().ToString().c_str());
+    return 1;
+  }
+  auto host = PeerHost::Listen(args.listen_port);
+  if (!host.ok()) {
+    std::fprintf(stderr, "listen: %s\n", host.status().ToString().c_str());
+    return 1;
+  }
+  const std::string reply_to = "127.0.0.1:" + std::to_string((*host)->port());
+  std::fprintf(stderr, "drive: client on %s, %zu session(s) of %s\n",
+               reply_to.c_str(), sessions, protocol.c_str());
+
+  // One ctl_run per daemon process per session (daemons hosting several
+  // parties appear once).
+  std::set<Endpoint> daemon_eps;
+  for (const auto& [party, ep] : args.peers) daemon_eps.insert(ep);
+  const Deployment deployment = args.MakeDeployment();
+
+  auto make_spec = [&](uint32_t session) {
+    RunSpec spec;
+    spec.session = session;
+    spec.protocol = protocol;
+    spec.query = (*testbed)->JoinSql();
+    spec.das_partitions = partitions;
+    spec.group_bits = group_bits;
+    spec.threads = threads;
+    spec.rng_label = args.testbed.seed_label;
+    spec.reply_to = reply_to;
+    return spec;
+  };
+
+  // Announce every session to every daemon, then run the client side.
+  for (uint32_t s = 1; s <= sessions; ++s) {
+    RunSpec spec = make_spec(s);
+    for (const Endpoint& ep : daemon_eps) {
+      Status st = SendCtl(host->get(), ep, "client-driver", kCtlRun,
+                          spec.Encode(), args.timeout_ms);
+      if (!st.ok()) {
+        std::fprintf(stderr, "drive: announcing session %u to %s: %s\n", s,
+                     ep.ToString().c_str(), st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::vector<RunReport> own(sessions);
+  std::vector<Relation> results(sessions);
+  if (concurrent) {
+    std::vector<std::thread> workers;
+    for (uint32_t s = 1; s <= sessions; ++s) {
+      workers.emplace_back([&, s] {
+        own[s - 1] = RunReplicatedSession(testbed->get(), host->get(),
+                                          deployment, make_spec(s),
+                                          &results[s - 1]);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  } else {
+    for (uint32_t s = 1; s <= sessions; ++s) {
+      own[s - 1] = RunReplicatedSession(testbed->get(), host->get(),
+                                        deployment, make_spec(s),
+                                        &results[s - 1]);
+    }
+  }
+
+  int failures = 0;
+  for (uint32_t s = 1; s <= sessions; ++s) {
+    if (!own[s - 1].ok) {
+      std::fprintf(stderr, "drive: session %u failed locally: %s\n", s,
+                   own[s - 1].error.c_str());
+      ++failures;
+    }
+  }
+
+  // Collect one report per daemon per session and compare.
+  const size_t expected = daemon_eps.size() * sessions;
+  for (size_t got = 0; got < expected; ++got) {
+    auto ctl = (*host)->WaitCtl(args.timeout_ms);
+    if (!ctl.ok()) {
+      std::fprintf(stderr, "drive: waiting for reports: %s\n",
+                   ctl.status().ToString().c_str());
+      ++failures;
+      break;
+    }
+    if (ctl->type != kCtlReport) continue;
+    auto report = RunReport::Decode(ctl->payload);
+    if (!report.ok()) {
+      std::fprintf(stderr, "drive: bad report: %s\n",
+                   report.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (report->session == 0 || report->session > sessions) {
+      std::fprintf(stderr, "drive: report for unknown session %u\n",
+                   report->session);
+      ++failures;
+      continue;
+    }
+    const RunReport& mine = own[report->session - 1];
+    std::string why;
+    if (!report->ok) {
+      std::fprintf(stderr, "drive: session %u failed at [%s]: %s\n",
+                   report->session, report->party_set.c_str(),
+                   report->error.c_str());
+      ++failures;
+    } else if (mine.ok && !ReportsAgree(mine, *report, &why)) {
+      std::fprintf(stderr, "drive: session %u disagreement with [%s]: %s\n",
+                   report->session, report->party_set.c_str(), why.c_str());
+      ++failures;
+    } else {
+      std::fprintf(stderr, "drive: session %u report from [%s] agrees\n",
+                   report->session, report->party_set.c_str());
+    }
+  }
+
+  // Reference run over the in-process bus: the acceptance check that the
+  // TCP deployment and the single-process run are byte-equivalent.
+  if (compare_bus) {
+    for (uint32_t s = 1; s <= sessions; ++s) {
+      if (!own[s - 1].ok) continue;
+      RunReport local = RunLocalSession(testbed->get(), make_spec(s), nullptr);
+      std::string why;
+      if (!local.ok) {
+        std::fprintf(stderr, "drive: session %u bus reference failed: %s\n", s,
+                     local.error.c_str());
+        ++failures;
+      } else if (!ReportsAgree(own[s - 1], local, &why)) {
+        std::fprintf(stderr, "drive: session %u TCP vs bus: %s\n", s,
+                     why.c_str());
+        ++failures;
+      } else {
+        std::fprintf(stderr,
+                     "drive: session %u TCP == bus (%llu rows, %llu msgs, "
+                     "%llu bytes)\n",
+                     s, static_cast<unsigned long long>(local.result_rows),
+                     static_cast<unsigned long long>(local.messages),
+                     static_cast<unsigned long long>(local.total_bytes));
+      }
+    }
+  }
+
+  if (shutdown_peers) {
+    for (const Endpoint& ep : daemon_eps) {
+      (void)SendCtl(host->get(), ep, "client-driver", kCtlShutdown, Bytes(),
+                    args.timeout_ms);
+    }
+  }
+  (*host)->Stop();
+  if (failures == 0 && !results.empty()) {
+    std::printf("%s", results[0].ToString(20).c_str());
+    std::fprintf(stderr, "drive: all %zu session(s) verified over TCP\n",
+                 sessions);
+  }
+  return failures == 0 ? 0 : 1;
+}
 
 struct Args {
   std::string table1, file1;
@@ -67,6 +341,9 @@ int Usage(const char* prog) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "drive") == 0) {
+    return DriveMain(argc, argv);
+  }
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];

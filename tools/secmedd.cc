@@ -1,0 +1,137 @@
+// secmedd — party daemon of the secure mediation deployment.
+//
+// Hosts one or more parties (the mediator, a datasource, or both) as a
+// long-running process: it listens on a loopback TCP port, joins the
+// replicated execution of every query a driver announces over the
+// control plane, and keeps its connections open so a series of queries
+// (paper: "Equi-Joins over Encrypted Data for Series of Queries")
+// reuses them. Concurrent sessions are multiplexed over the same
+// sockets by session id and each runs on its own thread.
+//
+// A full loopback deployment (see tests/net_smoke_test.sh):
+//
+//   secmedd --listen 7101 --host-party mediator  <common flags>
+//   secmedd --listen 7102 --host-party hospital  <common flags>
+//   secmedd --listen 7103 --host-party insurer   <common flags>
+//   secmedctl drive --listen 7100 --host-party client
+//       --peer mediator=127.0.0.1:7101 --peer hospital=127.0.0.1:7102
+//       --peer insurer=127.0.0.1:7103 --protocol das <common flags>
+//   (one command line; broken here for readability)
+//
+// where <common flags> carry identical workload/testbed knobs and the
+// full --peer map of the other parties.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/remote.h"
+#include "deploy_flags.h"
+
+using namespace secmed;
+
+namespace {
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --listen PORT --host-party P[,P] --peer "
+               "PARTY=HOST:PORT ...\n%s",
+               prog, kDeployFlagsHelp);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DeployArgs args;
+  for (int i = 1; i < argc; ++i) {
+    int rc = ParseDeployFlag(argc, argv, &i, &args);
+    if (rc == 1) continue;
+    if (rc == 0) std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    return Usage(argv[0]);
+  }
+  if (args.host_parties.empty()) {
+    std::fprintf(stderr, "--host-party is required\n");
+    return Usage(argv[0]);
+  }
+
+  Workload workload = GenerateWorkload(args.workload);
+  auto testbed = MediationTestbed::Create(workload, args.testbed);
+  if (!testbed.ok()) {
+    std::fprintf(stderr, "testbed: %s\n", testbed.status().ToString().c_str());
+    return 1;
+  }
+
+  auto host = PeerHost::Listen(args.listen_port);
+  if (!host.ok()) {
+    std::fprintf(stderr, "listen: %s\n", host.status().ToString().c_str());
+    return 1;
+  }
+  {
+    std::string parties;
+    for (const std::string& p : args.host_parties) {
+      if (!parties.empty()) parties += ",";
+      parties += p;
+    }
+    std::fprintf(stderr, "secmedd: hosting %s on 127.0.0.1:%u\n",
+                 parties.c_str(), (*host)->port());
+    std::fflush(stderr);
+  }
+
+  const Deployment deployment = args.MakeDeployment();
+  std::vector<std::thread> sessions;
+  for (;;) {
+    auto ctl = (*host)->WaitCtl(1000);
+    if (!ctl.ok()) {
+      if (ctl.status().code() == StatusCode::kDeadlineExceeded) continue;
+      std::fprintf(stderr, "secmedd: control plane: %s\n",
+                   ctl.status().ToString().c_str());
+      break;
+    }
+    if (ctl->type == kCtlShutdown) {
+      std::fprintf(stderr, "secmedd: shutdown requested by %s\n",
+                   ctl->from.c_str());
+      break;
+    }
+    if (ctl->type != kCtlRun) {
+      std::fprintf(stderr, "secmedd: ignoring control frame '%s'\n",
+                   ctl->type.c_str());
+      continue;
+    }
+    auto spec = RunSpec::Decode(ctl->payload);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "secmedd: bad run spec: %s\n",
+                   spec.status().ToString().c_str());
+      continue;
+    }
+    sessions.emplace_back([&, spec = *spec] {
+      RunReport report = RunReplicatedSession(testbed->get(), host->get(),
+                                              deployment, spec, nullptr);
+      std::fprintf(stderr,
+                   "secmedd: session %u %s (%llu msgs, %llu bytes)%s%s\n",
+                   spec.session, report.ok ? "ok" : "FAILED",
+                   static_cast<unsigned long long>(report.messages),
+                   static_cast<unsigned long long>(report.total_bytes),
+                   report.ok ? "" : ": ", report.ok ? "" : report.error.c_str());
+      auto reply_ep = ParseEndpoint(spec.reply_to);
+      if (!reply_ep.ok()) {
+        std::fprintf(stderr, "secmedd: bad reply endpoint '%s'\n",
+                     spec.reply_to.c_str());
+        return;
+      }
+      Status st = SendCtl(host->get(), *reply_ep, report.party_set, kCtlReport,
+                          report.Encode(), args.timeout_ms);
+      if (!st.ok()) {
+        std::fprintf(stderr, "secmedd: report delivery: %s\n",
+                     st.ToString().c_str());
+      }
+      (*host)->DropSession(spec.session);
+    });
+  }
+  for (std::thread& t : sessions) {
+    if (t.joinable()) t.join();
+  }
+  (*host)->Stop();
+  return 0;
+}
