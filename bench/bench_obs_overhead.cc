@@ -1,0 +1,109 @@
+// bench_obs_overhead — the cost of the observability layer, measured two
+// ways:
+//
+//  * micro: the null-scope fast path of the instrumentation helpers
+//    (StartSpan / AddCounter with scope == nullptr must compile down to a
+//    branch) against a live scope recording for real;
+//  * macro: an end-to-end commutative join with ctx->obs null vs. a live
+//    scope — the acceptance criterion is that the null-scope run stays
+//    within 2% of the uninstrumented PR 2 numbers, i.e. the protocol
+//    pays nothing when nobody asked for a trace.
+//
+// Run the comparison with:
+//   ./build/bench/bench_obs_overhead --benchmark_repetitions=5
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/commutative_protocol.h"
+#include "core/testbed.h"
+#include "obs/scope.h"
+#include "util/parallel.h"
+
+namespace secmed {
+namespace {
+
+// ------------------------------------------------------------- micro --
+
+void BM_NullScope_SpanHelpers(benchmark::State& state) {
+  obs::Scope* scope = nullptr;
+  for (auto _ : state) {
+    obs::Span span = obs::StartSpan(scope, "client", "post", "decrypt");
+    obs::AddCounter(scope, "bench.items", 1);
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_NullScope_SpanHelpers);
+
+void BM_LiveScope_SpanHelpers(benchmark::State& state) {
+  obs::Scope scope;
+  for (auto _ : state) {
+    obs::Span span = obs::StartSpan(&scope, "client", "post", "decrypt");
+    obs::AddCounter(&scope, "bench.items", 1);
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_LiveScope_SpanHelpers);
+
+void BM_ParallelFor_Obs(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  obs::Scope scope;
+  obs::Scope* s = instrumented ? &scope : nullptr;
+  volatile uint64_t sink = 0;
+  for (auto _ : state) {
+    ParallelFor(
+        4096, 2, [&](size_t i) { sink = sink + i; }, s, "bench.loop");
+  }
+  state.counters["instrumented"] = instrumented ? 1 : 0;
+}
+BENCHMARK(BM_ParallelFor_Obs)->Arg(0)->Arg(1);
+
+// ------------------------------------------------------------- macro --
+
+void BM_Commutative_Obs(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 100;
+  cfg.r2_tuples = 100;
+  cfg.r1_domain = 40;
+  cfg.r2_domain = 40;
+  cfg.common_values = 20;
+  cfg.seed = 1234;
+  static const Workload* w = new Workload(GenerateWorkload(cfg));
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{512, false});
+  for (auto _ : state) {
+    state.PauseTiming();
+    MediationTestbed::Options opt;
+    opt.seed_label = "obs-overhead";
+    auto tb_or = MediationTestbed::Create(*w, opt);
+    if (!tb_or.ok()) {
+      state.SkipWithError(tb_or.status().ToString().c_str());
+      return;
+    }
+    MediationTestbed& tb = **tb_or;
+    // A fresh scope per iteration so the live-scope run keeps paying the
+    // recording cost instead of amortizing a huge span buffer.
+    auto scope = std::make_unique<obs::Scope>();
+    tb.ctx()->obs = instrumented ? scope.get() : nullptr;
+    tb.bus().SetObsScope(instrumented ? scope.get() : nullptr);
+    state.ResumeTiming();
+    auto result = comm.Run(tb.JoinSql(), tb.ctx());
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.counters["instrumented"] = instrumented ? 1 : 0;
+}
+BENCHMARK(BM_Commutative_Obs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3)
+    ->Arg(0)
+    ->Arg(1);
+
+}  // namespace
+}  // namespace secmed
+
+BENCHMARK_MAIN();

@@ -8,15 +8,59 @@
 // per-tuple hybrid ciphertexts and makes the client post-process a
 // superset.
 
+// Instrumented run (`--trace-out FILE` / `--report-out FILE`): every
+// protocol run traces into one obs scope, and after the suite the
+// Section-6 style table is printed straight from the run report — the
+// benchmark numbers and the instrumentation read the same spans, so they
+// cannot diverge. Without the flags the scope is null and the protocols
+// run on the no-op path (bench_obs_overhead measures that cost).
+
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "core/commutative_protocol.h"
 #include "core/das_protocol.h"
 #include "core/pm_protocol.h"
+#include "core/run_obs.h"
 #include "core/testbed.h"
 
 namespace secmed {
 namespace {
+
+/// Null unless the harness was started with an artifact flag.
+obs::Scope* g_scope = nullptr;
+
+/// Party traffic accumulated across every instrumented run of the suite
+/// (a RunReport doubles as the accumulator so PartyTrafficRows applies).
+RunReport g_traffic;
+
+void AccumulateTraffic(NetworkBus& bus) {
+  std::set<std::string> parties;
+  for (const Message& m : bus.transcript()) {
+    parties.insert(m.from);
+    parties.insert(m.to);
+  }
+  for (const std::string& p : parties) {
+    PartyStats s = bus.StatsOf(p);
+    bool merged = false;
+    for (auto& [party, sum] : g_traffic.stats) {
+      if (party == p) {
+        sum.Accumulate(s);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) g_traffic.stats.emplace_back(p, std::move(s));
+  }
+  g_traffic.messages += bus.transcript().size();
+  g_traffic.total_bytes += bus.TotalBytes();
+}
 
 Workload MakeWorkload(int64_t tuples, int64_t domain) {
   WorkloadConfig cfg;
@@ -44,6 +88,8 @@ void RunProtocol(benchmark::State& state, JoinProtocol* protocol,
       return;
     }
     MediationTestbed& tb = **tb_or;
+    tb.ctx()->obs = g_scope;
+    tb.bus().SetObsScope(g_scope);
     state.ResumeTiming();
     auto result = protocol->Run(tb.JoinSql(), tb.ctx());
     if (!result.ok()) {
@@ -52,6 +98,11 @@ void RunProtocol(benchmark::State& state, JoinProtocol* protocol,
     }
     result_size = result->size();
     bytes = tb.bus().TotalBytes();
+    if (g_scope != nullptr) {
+      state.PauseTiming();
+      AccumulateTraffic(tb.bus());
+      state.ResumeTiming();
+    }
   }
   state.counters["result_tuples"] = static_cast<double>(result_size);
   state.counters["wire_bytes"] = static_cast<double>(bytes);
@@ -169,4 +220,66 @@ BENCHMARK(BM_Pm_Threads)
 }  // namespace
 }  // namespace secmed
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace secmed;
+  // Peel off the obs artifact flags; everything else goes to the
+  // benchmark library untouched.
+  std::string trace_out;
+  std::string report_out;
+  std::vector<char*> bench_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto path_flag = [&](const char* name, std::string* out) {
+      if (flag == name) {
+        if (i + 1 >= argc) return false;
+        *out = argv[++i];
+        return true;
+      }
+      const std::string eq = std::string(name) + "=";
+      if (flag.rfind(eq, 0) == 0) {
+        *out = flag.substr(eq.size());
+        return !out->empty();
+      }
+      return false;
+    };
+    if (flag.rfind("--trace-out", 0) == 0) {
+      if (!path_flag("--trace-out", &trace_out)) return 2;
+    } else if (flag.rfind("--report-out", 0) == 0) {
+      if (!path_flag("--report-out", &report_out)) return 2;
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+
+  std::unique_ptr<obs::Scope> scope;
+  if (!trace_out.empty() || !report_out.empty()) {
+    scope = std::make_unique<obs::Scope>();
+    g_scope = scope.get();
+  }
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (scope != nullptr) {
+    obs::RunInfo info;
+    info.protocol = "s6-suite";
+    info.query = "bench_s6_protocols";
+    info.messages = g_traffic.messages;
+    info.total_bytes = g_traffic.total_bytes;
+    std::vector<obs::PartyTraffic> traffic = PartyTrafficRows(g_traffic);
+    Status st =
+        WriteObsArtifacts(*scope, info, traffic, trace_out, report_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    // The Section-6 table, produced from the report itself.
+    std::printf("%s", obs::RenderRunReportTable(info, *scope, traffic).c_str());
+  }
+  return 0;
+}

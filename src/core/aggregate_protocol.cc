@@ -111,6 +111,8 @@ Result<int64_t> AggregateJoinProtocol::Run(const std::string& sql,
     std::vector<std::unique_ptr<RandomSource>> rngs =
         ForkN(ctx->rng, items.size());
     std::vector<Entry> entries(items.size());
+    std::string loop_label = obs::SpanName(
+        which == 1 ? "source1" : "source2", "delivery", "agg.encrypt_sets");
     SECMED_RETURN_IF_ERROR(
         ParallelForStatus(items.size(), threads, [&](size_t i) -> Status {
           Entry& e = entries[i];
@@ -134,7 +136,7 @@ Result<int64_t> AggregateJoinProtocol::Run(const std::string& sql,
             e.enc_sum = enc_sum.ToBytes(pail_bytes);
           }
           return Status::OK();
-        }));
+        }, ctx->obs, loop_label.c_str()));
     std::sort(entries.begin(), entries.end(),
               [](const Entry& a, const Entry& b) { return a.cipher < b.cipher; });
 
@@ -209,11 +211,13 @@ Result<int64_t> AggregateJoinProtocol::Run(const std::string& sql,
       SECMED_ASSIGN_OR_RETURN(ids[k], r.ReadU64());
     }
     std::vector<Bytes> doubled(count);
+    std::string loop_label = obs::SpanName(
+        key_idx == 0 ? "source1" : "source2", "delivery", "agg.double_encrypt");
     ParallelFor(count, threads, [&](size_t k) {
       doubled[k] = keys[key_idx]
                        .Encrypt(BigInt::FromBytes(singles[k]))
                        .ToBytes(group_bytes);
-    });
+    }, ctx->obs, loop_label.c_str());
     BinaryWriter w;
     w.WriteU8(origin);
     w.WriteU32(count);

@@ -41,6 +41,9 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
   auto source_deliver = [&](const std::string& source, const Relation& rel,
                             const RsaPublicKey& client_key,
                             uint8_t which) -> Status {
+    const char* role = which == 1 ? "source1" : "source2";
+    obs::Span span =
+        obs::StartSpan(ctx->obs, role, "delivery", "comm.deliver");
     CommutativeKey key = CommutativeKey::Generate(group, ctx->rng);
     SECMED_ASSIGN_OR_RETURN(
         std::vector<size_t> join_idx,
@@ -65,6 +68,8 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
         ForkN(ctx->rng, items.size());
     std::vector<std::pair<Bytes, Bytes>> entries(  // (f_ei(h(a)), enc(Tup))
         items.size());
+    std::string loop_label =
+        obs::SpanName(role, "delivery", "comm.encrypt_sets");
     SECMED_RETURN_IF_ERROR(ParallelForStatus(
         items.size(), threads, [&](size_t i) -> Status {
           BigInt hashed = group.HashToGroup(*items[i].value_enc);
@@ -75,7 +80,7 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
                                            rngs[i].get()));
           entries[i] = {std::move(cipher), std::move(enc_tup)};
           return Status::OK();
-        }));
+        }, ctx->obs, loop_label.c_str()));
     std::sort(entries.begin(), entries.end());
 
     SECMED_ASSIGN_OR_RETURN(
@@ -96,6 +101,7 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
     }
     bus.Send(source, mediator, kMsgCommMessageSet, w.TakeBuffer());
     source_states.push_back(SourceState{std::move(key), source});
+    span.AddItems(entries.size());
     return Status::OK();
   };
   SECMED_RETURN_IF_ERROR(
@@ -112,6 +118,8 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
   };
   std::vector<std::vector<MediatorEntry>> med_entries(3);  // by `which`
   std::vector<Bytes> schema_blobs(3);
+  obs::Span exchange_span =
+      obs::StartSpan(ctx->obs, "mediator", "delivery", "comm.exchange");
   for (int i = 0; i < 2; ++i) {
     SECMED_ASSIGN_OR_RETURN(Message msg,
                             bus.ReceiveOfType(mediator, kMsgCommMessageSet));
@@ -145,10 +153,13 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
   };
   forward_to(1, state.plan.source2);
   forward_to(2, state.plan.source1);
+  exchange_span.End();
 
   // Steps 5/6 at each source: apply the own key on top of the received
   // single ciphertexts and return the double ciphertexts.
-  auto source_double = [&](const SourceState& ss) -> Status {
+  auto source_double = [&](const SourceState& ss, const char* role) -> Status {
+    obs::Span span =
+        obs::StartSpan(ctx->obs, role, "delivery", "comm.double_encrypt");
     SECMED_ASSIGN_OR_RETURN(Message msg,
                             bus.ReceiveOfType(ss.name, kMsgCommExchange));
     BinaryReader r(msg.payload);
@@ -168,10 +179,13 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
       }
     }
     std::vector<Bytes> doubled(count);
+    std::string loop_label =
+        obs::SpanName(role, "delivery", "comm.double_encrypt");
     ParallelFor(count, threads, [&](size_t k) {
       doubled[k] =
           ss.key.Encrypt(BigInt::FromBytes(singles[k])).ToBytes(group_bytes);
-    });
+    }, ctx->obs, loop_label.c_str());
+    span.AddItems(count);
     BinaryWriter w;
     w.WriteU8(origin);
     w.WriteU32(count);
@@ -186,12 +200,15 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
     bus.Send(ss.name, mediator, kMsgCommDoubleEncrypted, w.TakeBuffer());
     return Status::OK();
   };
-  for (const SourceState& ss : source_states) {
-    SECMED_RETURN_IF_ERROR(source_double(ss));
+  for (size_t s = 0; s < source_states.size(); ++s) {
+    SECMED_RETURN_IF_ERROR(
+        source_double(source_states[s], s == 0 ? "source1" : "source2"));
   }
 
   // Step 7 at the mediator: match equal double ciphertexts and combine the
   // corresponding encrypted tuple sets into the encrypted global result.
+  obs::Span match_span =
+      obs::StartSpan(ctx->obs, "mediator", "delivery", "comm.match");
   std::map<Bytes, std::pair<std::vector<Bytes>, std::vector<Bytes>>> matches;
   for (int i = 0; i < 2; ++i) {
     SECMED_ASSIGN_OR_RETURN(
@@ -233,9 +250,12 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
   result_writer.WriteU32(static_cast<uint32_t>(matched));
   result_writer.WriteRaw(pair_writer.buffer());
   bus.Send(mediator, client, kMsgCommResult, result_writer.TakeBuffer());
+  match_span.AddItems(matched);
+  match_span.End();
 
   // Step 8 at the client: decrypt the tuple-set pairs and construct the
   // join tuples (cross product of each corresponding pair).
+  obs::Span decrypt_span = obs::StartSpan(ctx->obs, "client", "post", "decrypt");
   SECMED_ASSIGN_OR_RETURN(Message msg, bus.ReceiveOfType(client, kMsgCommResult));
   BinaryReader r(msg.payload);
   Schema schema1, schema2;
@@ -267,6 +287,7 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
     SECMED_ASSIGN_OR_RETURN(Relation tup2, Relation::Deserialize(p2));
     AppendJoinedCrossProduct(tup1, tup2, j2, &result);
   }
+  decrypt_span.AddItems(pairs);
   return result;
 }
 

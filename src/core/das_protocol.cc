@@ -77,16 +77,21 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
   //             peer source (secure channel);
   //   kMediator: sealed schema for the client, plaintext itables for the
   //             mediator.
-  auto build = [&](const Relation& rel, const RsaPublicKey& client_key)
-      -> Result<SourceDelivery> {
+  auto build = [&](const Relation& rel, const RsaPublicKey& client_key,
+                   const char* role) -> Result<SourceDelivery> {
     SourceDelivery d;
-    for (const std::string& attr : join_attrs) {
-      Bytes salt = ctx->rng->Generate(16);
-      SECMED_ASSIGN_OR_RETURN(
-          IndexTable itable,
-          IndexTable::Build(rel, attr, options_.strategy,
-                            options_.num_partitions, salt));
-      d.itables.push_back(std::move(itable));
+    {
+      obs::Span span =
+          obs::StartSpan(ctx->obs, role, "delivery", "das.build_itables");
+      for (const std::string& attr : join_attrs) {
+        Bytes salt = ctx->rng->Generate(16);
+        SECMED_ASSIGN_OR_RETURN(
+            IndexTable itable,
+            IndexTable::Build(rel, attr, options_.strategy,
+                              options_.num_partitions, salt));
+        d.itables.push_back(std::move(itable));
+      }
+      span.AddItems(join_attrs.size());
     }
     std::vector<std::string> clear_cols;
     for (const std::string& col : options_.plaintext_columns) {
@@ -94,10 +99,18 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
         clear_cols.push_back(Schema::BaseName(col));
       }
     }
-    SECMED_ASSIGN_OR_RETURN(
-        d.encrypted,
-        DasEncryptRelation(rel, join_attrs, d.itables, client_key, ctx->rng,
-                           clear_cols, ResolveThreads(ctx->threads)));
+    {
+      obs::Span span =
+          obs::StartSpan(ctx->obs, role, "delivery", "das.encrypt_relation");
+      std::string label = obs::SpanName(role, "delivery", "das.encrypt_relation");
+      SECMED_ASSIGN_OR_RETURN(
+          d.encrypted,
+          DasEncryptRelation(rel, join_attrs, d.itables, client_key, ctx->rng,
+                             clear_cols, ResolveThreads(ctx->threads),
+                             ctx->obs, label.c_str()));
+      span.AddItems(rel.size());
+    }
+    obs::Span span = obs::StartSpan(ctx->obs, role, "delivery", "das.seal");
     Bytes blob;
     if (setting == DasTranslatorSetting::kClient) {
       blob = EncodeItableBlob(d.itables, rel.schema());
@@ -111,8 +124,10 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
     return d;
   };
 
-  SECMED_ASSIGN_OR_RETURN(SourceDelivery d1, build(state.r1, state.client_key1));
-  SECMED_ASSIGN_OR_RETURN(SourceDelivery d2, build(state.r2, state.client_key2));
+  SECMED_ASSIGN_OR_RETURN(
+      SourceDelivery d1, build(state.r1, state.client_key1, "source1"));
+  SECMED_ASSIGN_OR_RETURN(
+      SourceDelivery d2, build(state.r2, state.client_key2, "source2"));
 
   // Step 3: each source sends <RiS, blob(s)> to the mediator; non-client
   // settings additionally expose the index tables to the translator party.
@@ -154,6 +169,8 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
   DasRelation r1s, r2s;
   std::vector<IndexTable> med_itables1, med_itables2;
   Bytes sealed1, sealed2;
+  obs::Span route_span =
+      obs::StartSpan(ctx->obs, "mediator", "delivery", "das.route");
   for (int i = 0; i < 2; ++i) {
     SECMED_ASSIGN_OR_RETURN(Message msg,
                             bus.ReceiveOfType(mediator, kMsgDasEncryptedResult));
@@ -183,11 +200,14 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
       bus.Send(mediator, client, kMsgDasIndexTable, w.TakeBuffer());
     }
   }
+  route_span.End();
 
   // The server query, produced by the party the setting selects.
   Schema schema1, schema2;  // learned by the client before post-processing
   if (setting == DasTranslatorSetting::kClient) {
     // Step 5 at the client: decrypt index tables, translate, reply with qS.
+    obs::Span span =
+        obs::StartSpan(ctx->obs, "client", "delivery", "das.translate");
     std::vector<IndexTable> itables1, itables2;
     for (int i = 0; i < 2; ++i) {
       SECMED_ASSIGN_OR_RETURN(Message msg,
@@ -208,6 +228,8 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
   // Step 6 at the mediator: obtain qS (received or self-translated) and
   // evaluate it over the encrypted relations.
   {
+    obs::Span span =
+        obs::StartSpan(ctx->obs, "mediator", "delivery", "das.evaluate");
     DasServerQuery query;
     if (setting == DasTranslatorSetting::kMediator) {
       query = TranslateToServerQuery(med_itables1, med_itables2);
@@ -246,6 +268,9 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
   SECMED_ASSIGN_OR_RETURN(DasServerResult rc,
                           DasServerResult::Deserialize(rc_raw));
   last_server_result_size_ = rc.size();
+  obs::Span span =
+      obs::StartSpan(ctx->obs, "client", "post", "das.apply_client_query");
+  span.AddItems(rc.size());
   return ApplyClientQuery(rc, schema1, schema2, join_attrs,
                           ctx->client->private_key());
 }

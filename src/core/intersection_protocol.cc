@@ -84,12 +84,16 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
   std::vector<CommutativeKey> keys;
   auto deliver = [&](const std::string& source, const Relation& rel,
                      const RsaPublicKey& client_key, uint8_t which) -> Status {
+    const char* role = which == 1 ? "source1" : "source2";
+    obs::Span span =
+        obs::StartSpan(ctx->obs, role, "delivery", "ix.encrypt_values");
     CommutativeKey key = CommutativeKey::Generate(group, ctx->rng);
     SECMED_ASSIGN_OR_RETURN(std::vector<Bytes> values,
                             CompositeValues(rel, state.plan.join_attributes));
     std::vector<std::unique_ptr<RandomSource>> rngs =
         ForkN(ctx->rng, values.size());
     std::vector<std::pair<Bytes, Bytes>> entries(values.size());
+    std::string loop_label = obs::SpanName(role, "delivery", "ix.encrypt_values");
     SECMED_RETURN_IF_ERROR(
         ParallelForStatus(values.size(), threads, [&](size_t i) -> Status {
           const Bytes& v = values[i];
@@ -98,7 +102,8 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
                                   HybridEncrypt(client_key, v, rngs[i].get()));
           entries[i] = {std::move(cipher), std::move(ev)};
           return Status::OK();
-        }));
+        }, ctx->obs, loop_label.c_str()));
+    span.AddItems(values.size());
     std::sort(entries.begin(), entries.end());
     BinaryWriter w;
     w.WriteU8(which);
@@ -149,6 +154,9 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
 
   // Sources double-encrypt.
   auto double_at = [&](const std::string& source, size_t key_idx) -> Status {
+    const char* role = key_idx == 0 ? "source1" : "source2";
+    obs::Span span =
+        obs::StartSpan(ctx->obs, role, "delivery", "ix.double_encrypt");
     SECMED_ASSIGN_OR_RETURN(Message msg,
                             bus.ReceiveOfType(source, kMsgIxExchange));
     BinaryReader r(msg.payload);
@@ -161,11 +169,13 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
       SECMED_ASSIGN_OR_RETURN(ids[k], r.ReadU64());
     }
     std::vector<Bytes> doubled(count);
+    std::string loop_label = obs::SpanName(role, "delivery", "ix.double_encrypt");
     ParallelFor(count, threads, [&](size_t k) {
       doubled[k] = keys[key_idx]
                        .Encrypt(BigInt::FromBytes(singles[k]))
                        .ToBytes(group_bytes);
-    });
+    }, ctx->obs, loop_label.c_str());
+    span.AddItems(count);
     BinaryWriter w;
     w.WriteU8(origin);
     w.WriteU32(count);
@@ -276,12 +286,14 @@ Result<Relation> PmIntersectionProtocol::Run(const std::string& sql,
     std::vector<std::unique_ptr<RandomSource>> rngs =
         ForkN(ctx->rng, coeffs.size());
     std::vector<BigInt> enc(coeffs.size());
+    std::string loop_label = obs::SpanName(
+        which == 1 ? "source1" : "source2", "delivery", "ix.encrypt_coeffs");
     SECMED_RETURN_IF_ERROR(
         ParallelForStatus(coeffs.size(), threads, [&](size_t k) -> Status {
           SECMED_ASSIGN_OR_RETURN(enc[k],
                                   paillier.Encrypt(coeffs[k], rngs[k].get()));
           return Status::OK();
-        }));
+        }, ctx->obs, loop_label.c_str()));
     BinaryWriter w;
     w.WriteU8(which);
     w.WriteU32(static_cast<uint32_t>(coeffs.size()));
@@ -324,6 +336,8 @@ Result<Relation> PmIntersectionProtocol::Run(const std::string& sql,
     std::vector<std::unique_ptr<RandomSource>> rngs =
         ForkN(ctx->rng, values.size());
     std::vector<Bytes> evaluations(values.size());
+    std::string loop_label = obs::SpanName(
+        which == 1 ? "source1" : "source2", "delivery", "ix.evaluate");
     SECMED_RETURN_IF_ERROR(
         ParallelForStatus(values.size(), threads, [&](size_t i) -> Status {
           const Bytes& v = values[i];
@@ -348,7 +362,7 @@ Result<Relation> PmIntersectionProtocol::Run(const std::string& sql,
                                         BigInt::FromBytes(m_bytes));
           evaluations[i] = ek.ToBytes(key_bytes);
           return Status::OK();
-        }));
+        }, ctx->obs, loop_label.c_str()));
     std::sort(evaluations.begin(), evaluations.end());
     BinaryWriter w;
     w.WriteU8(which);

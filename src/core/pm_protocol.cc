@@ -109,6 +109,9 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
   };
   std::vector<SourceState> sources(2);
   auto source_coefficients = [&](SourceState* ss, uint8_t which) -> Status {
+    const char* role = which == 1 ? "source1" : "source2";
+    obs::Span span =
+        obs::StartSpan(ctx->obs, role, "delivery", "pm.encrypt_coeffs");
     SECMED_ASSIGN_OR_RETURN(
         std::vector<size_t> join_idx,
         JoinColumnIndexes(ss->rel->schema(), state.plan.join_attributes));
@@ -133,12 +136,15 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
     std::vector<std::unique_ptr<RandomSource>> rngs =
         ForkN(ctx->rng, coeffs.size());
     std::vector<BigInt> enc(coeffs.size());
+    std::string loop_label =
+        obs::SpanName(role, "delivery", "pm.encrypt_coeffs");
     SECMED_RETURN_IF_ERROR(ParallelForStatus(
         coeffs.size(), threads, [&](size_t i) -> Status {
           SECMED_ASSIGN_OR_RETURN(enc[i],
                                   paillier.Encrypt(coeffs[i], rngs[i].get()));
           return Status::OK();
-        }));
+        }, ctx->obs, loop_label.c_str()));
+    span.AddItems(enc.size());
 
     BinaryWriter w;
     w.WriteU8(which);
@@ -157,6 +163,8 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
 
   // Step 4 at the mediator: forward coefficients to the opposite source,
   // keep the schema blobs for the client.
+  obs::Span forward_span =
+      obs::StartSpan(ctx->obs, "mediator", "delivery", "pm.forward");
   std::vector<Bytes> schema_blobs(3);
   for (int i = 0; i < 2; ++i) {
     SECMED_ASSIGN_OR_RETURN(Message msg,
@@ -177,10 +185,14 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
     w.WriteRaw(rest);
     bus.Send(mediator, opposite, kMsgPmExchange, w.TakeBuffer());
   }
+  forward_span.End();
 
   // Steps 5/6 at each source: blind evaluation of the opposite polynomial
   // at the own values, payload attached.
   auto source_evaluate = [&](SourceState* ss, uint8_t which) -> Status {
+    const char* role = which == 1 ? "source1" : "source2";
+    obs::Span span =
+        obs::StartSpan(ctx->obs, role, "delivery", "pm.evaluate");
     SECMED_ASSIGN_OR_RETURN(Message msg,
                             bus.ReceiveOfType(ss->name, kMsgPmExchange));
     BinaryReader r(msg.payload);
@@ -226,6 +238,7 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
     // id -> session-encrypted tuple set.
     std::vector<std::pair<uint64_t, Bytes>> payload_entries(
         options_.session_key_payloads ? eval_items.size() : 0);
+    std::string loop_label = obs::SpanName(role, "delivery", "pm.evaluate");
     SECMED_RETURN_IF_ERROR(ParallelForStatus(
         eval_items.size(), threads, [&](size_t i) -> Status {
           RandomSource* rng = rngs[i].get();
@@ -271,7 +284,8 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
           BigInt ek = paillier.AddPlain(paillier.ScalarMul(acc, rk), m);
           evaluations[i] = ek.ToBytes(key_bytes);
           return Status::OK();
-        }));
+        }, ctx->obs, loop_label.c_str()));
+    span.AddItems(eval_items.size());
     // Arbitrary order, independent of plaintext order.
     std::sort(evaluations.begin(), evaluations.end());
     std::sort(payload_entries.begin(), payload_entries.end());
@@ -298,6 +312,8 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
   // Step 7 at the mediator: ship the n + m encrypted values (and, in the
   // footnote-2 mode, the session-encrypted payload tables) to the client.
   {
+    obs::Span span =
+        obs::StartSpan(ctx->obs, "mediator", "delivery", "pm.ship_result");
     BinaryWriter w;
     w.WriteBytes(schema_blobs[1]);
     w.WriteBytes(schema_blobs[2]);
@@ -311,6 +327,7 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
 
   // Step 8 at the client: decrypt everything, keep well-formed payloads,
   // match fingerprints across the two sources, combine tuple sets.
+  obs::Span decrypt_span = obs::StartSpan(ctx->obs, "client", "post", "decrypt");
   SECMED_ASSIGN_OR_RETURN(Message msg, bus.ReceiveOfType(client, kMsgPmResult));
   BinaryReader r(msg.payload);
   Schema schema1, schema2;
@@ -387,7 +404,11 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
     }
   }
   last_evaluation_count_ = evaluation_count;
+  decrypt_span.AddItems(evaluation_count);
+  decrypt_span.End();
 
+  obs::Span match_span =
+      obs::StartSpan(ctx->obs, "client", "post", "pm.match_fingerprints");
   SECMED_ASSIGN_OR_RETURN(
       Schema joined_schema,
       JoinedSchema(schema1, schema2, state.plan.join_attributes));

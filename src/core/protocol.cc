@@ -35,6 +35,8 @@ Result<RequestState> RunRequestPhase(const std::string& sql,
 
   // Step 1: client -> mediator: query q with credential set CR.
   {
+    obs::Span span =
+        obs::StartSpan(ctx->obs, "client", "request", "submit_query");
     BinaryWriter w;
     w.WriteString(sql);
     w.WriteRaw(EncodeCredentials(ctx->client->credentials()));
@@ -45,6 +47,7 @@ Result<RequestState> RunRequestPhase(const std::string& sql,
   // Step 2: mediator localizes S1, S2 and decomposes q.
   RequestState state;
   {
+    obs::Span span = obs::StartSpan(ctx->obs, "mediator", "request", "plan");
     SECMED_ASSIGN_OR_RETURN(
         Message msg, bus.ReceiveOfType(ctx->mediator->name(), kMsgGlobalQuery));
     BinaryReader r(msg.payload);
@@ -66,9 +69,13 @@ Result<RequestState> RunRequestPhase(const std::string& sql,
     send_partial(state.plan.source2, state.plan.partial_query2);
   }
 
-  // Step 4: each Si checks credentials and executes qi.
-  auto execute_at = [&](const std::string& source_name, Relation* result,
-                        RsaPublicKey* client_key) -> Status {
+  // Step 4: each Si checks credentials and executes qi. Span names use
+  // the *role* (source1/source2), not the deployment party name, so the
+  // set of span names is the same for every testbed naming.
+  auto execute_at = [&](const std::string& source_name, const char* role,
+                        Relation* result, RsaPublicKey* client_key) -> Status {
+    obs::Span span = obs::StartSpan(ctx->obs, role, "request",
+                                    "execute_partial");
     auto it = ctx->sources.find(source_name);
     if (it == ctx->sources.end()) {
       return Status::NotFound("datasource " + source_name + " not in context");
@@ -85,12 +92,13 @@ Result<RequestState> RunRequestPhase(const std::string& sql,
     SECMED_ASSIGN_OR_RETURN(*result,
                             source->ExecutePartialQuery(partial_sql, creds));
     SECMED_ASSIGN_OR_RETURN(*client_key, source->ClientKeyFrom(creds));
+    span.AddItems(result->size());
     return Status::OK();
   };
-  SECMED_RETURN_IF_ERROR(
-      execute_at(state.plan.source1, &state.r1, &state.client_key1));
-  SECMED_RETURN_IF_ERROR(
-      execute_at(state.plan.source2, &state.r2, &state.client_key2));
+  SECMED_RETURN_IF_ERROR(execute_at(state.plan.source1, "source1", &state.r1,
+                                    &state.client_key1));
+  SECMED_RETURN_IF_ERROR(execute_at(state.plan.source2, "source2", &state.r2,
+                                    &state.client_key2));
   return state;
 }
 

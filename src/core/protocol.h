@@ -8,6 +8,7 @@
 #include "mediation/datasource.h"
 #include "mediation/mediator.h"
 #include "mediation/network.h"
+#include "obs/scope.h"
 #include "relational/relation.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -29,6 +30,12 @@ struct ProtocolContext {
   /// Results and transcripts are bit-identical for every value under a
   /// seeded rng (per-item RNG forking — see RandomSource::Fork).
   size_t threads = 0;
+  /// Observability scope (obs/scope.h). Null — the default — disables
+  /// all instrumentation at negligible cost (one predicted branch per
+  /// probe; bench_obs_overhead verifies < 2% on full protocol runs).
+  /// Span names follow `party/phase/operation`, e.g.
+  /// `source1/delivery/pm.encrypt_coeffs` or `client/post/decrypt`.
+  obs::Scope* obs = nullptr;
 };
 
 /// Message types of the common request phase (Listing 1).

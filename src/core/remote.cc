@@ -60,6 +60,14 @@ Bytes RunReport::Encode() const {
     w.WriteU64(s.bytes_sent);
     w.WriteU64(s.bytes_received);
     w.WriteU64(s.interactions);
+    w.WriteU32(static_cast<uint32_t>(s.by_type.size()));
+    for (const auto& [type, ts] : s.by_type) {
+      w.WriteString(type);
+      w.WriteU64(ts.messages_sent);
+      w.WriteU64(ts.messages_received);
+      w.WriteU64(ts.bytes_sent);
+      w.WriteU64(ts.bytes_received);
+    }
   }
   return w.TakeBuffer();
 }
@@ -86,6 +94,16 @@ Result<RunReport> RunReport::Decode(const Bytes& raw) {
     SECMED_ASSIGN_OR_RETURN(s.bytes_sent, r.ReadU64());
     SECMED_ASSIGN_OR_RETURN(s.bytes_received, r.ReadU64());
     SECMED_ASSIGN_OR_RETURN(s.interactions, r.ReadU64());
+    SECMED_ASSIGN_OR_RETURN(uint32_t types, r.ReadU32());
+    for (uint32_t k = 0; k < types; ++k) {
+      SECMED_ASSIGN_OR_RETURN(std::string type, r.ReadString());
+      MessageTypeStats ts;
+      SECMED_ASSIGN_OR_RETURN(ts.messages_sent, r.ReadU64());
+      SECMED_ASSIGN_OR_RETURN(ts.messages_received, r.ReadU64());
+      SECMED_ASSIGN_OR_RETURN(ts.bytes_sent, r.ReadU64());
+      SECMED_ASSIGN_OR_RETURN(ts.bytes_received, r.ReadU64());
+      s.by_type.emplace(std::move(type), ts);
+    }
     rep.stats.emplace_back(std::move(party), s);
   }
   return rep;
@@ -114,7 +132,8 @@ namespace {
 /// over `transport` with the deterministic per-session DRBG and collect
 /// the report.
 RunReport RunOverTransport(MediationTestbed* testbed, Transport* transport,
-                           const RunSpec& spec, Relation* result_out) {
+                           const RunSpec& spec, Relation* result_out,
+                           obs::Scope* obs) {
   RunReport report;
   report.session = spec.session;
 
@@ -125,13 +144,19 @@ RunReport RunOverTransport(MediationTestbed* testbed, Transport* transport,
                                std::to_string(spec.session)));
   ProtocolContext ctx = testbed->SessionContext(transport, &session_rng);
   ctx.threads = spec.threads;
+  ctx.obs = obs;
+  transport->SetObsScope(obs);
 
   auto protocol = BuildProtocol(spec);
   if (!protocol.ok()) {
     report.error = protocol.status().ToString();
+    transport->SetObsScope(nullptr);
     return report;
   }
   Result<Relation> result = (*protocol)->Run(spec.query, &ctx);
+  // Detach before returning: the scope may not outlive the transport
+  // (TcpTransport shares it with the long-lived PeerHost).
+  transport->SetObsScope(nullptr);
   if (!result.ok()) {
     report.error = result.status().ToString();
     return report;
@@ -155,7 +180,8 @@ RunReport RunOverTransport(MediationTestbed* testbed, Transport* transport,
 
 RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
                                const Deployment& deployment,
-                               const RunSpec& spec, Relation* result_out) {
+                               const RunSpec& spec, Relation* result_out,
+                               obs::Scope* obs) {
   TcpTransport::Options topt;
   topt.local_parties = deployment.local_parties;
   topt.directory = deployment.directory;
@@ -163,7 +189,8 @@ RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
   topt.timeout_ms = deployment.timeout_ms;
   TcpTransport transport(host, std::move(topt));
 
-  RunReport report = RunOverTransport(testbed, &transport, spec, result_out);
+  RunReport report =
+      RunOverTransport(testbed, &transport, spec, result_out, obs);
   std::string joined;
   for (const std::string& p : deployment.local_parties) {
     if (!joined.empty()) joined += ",";
@@ -174,9 +201,9 @@ RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
 }
 
 RunReport RunLocalSession(MediationTestbed* testbed, const RunSpec& spec,
-                          Relation* result_out) {
+                          Relation* result_out, obs::Scope* obs) {
   NetworkBus bus;
-  RunReport report = RunOverTransport(testbed, &bus, spec, result_out);
+  RunReport report = RunOverTransport(testbed, &bus, spec, result_out, obs);
   report.party_set = "local-bus";
   return report;
 }

@@ -76,16 +76,20 @@ Result<std::unique_ptr<JoinProtocol>> BuildProtocol(const RunSpec& spec);
 /// is simulated locally (see net/tcp_transport.h). On success the
 /// report carries the result digest and transport statistics;
 /// `result_out` (may be null) receives the result relation itself.
+/// A non-null `obs` scope instruments the whole session — protocol
+/// phases, crypto loops and the wire layer — and is detached from the
+/// transport before returning.
 RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
                                const Deployment& deployment,
-                               const RunSpec& spec, Relation* result_out);
+                               const RunSpec& spec, Relation* result_out,
+                               obs::Scope* obs = nullptr);
 
 /// Reference twin of RunReplicatedSession: the same spec executed over a
 /// fresh in-process NetworkBus with the same per-session seeding. A
 /// deployment is correct iff this and every process's replicated report
 /// agree on digest, message count and per-party byte statistics.
 RunReport RunLocalSession(MediationTestbed* testbed, const RunSpec& spec,
-                          Relation* result_out);
+                          Relation* result_out, obs::Scope* obs = nullptr);
 
 /// Sends a control frame to `ep` over `host`'s pooled connections.
 Status SendCtl(PeerHost* host, const Endpoint& ep, const std::string& from,

@@ -1,0 +1,69 @@
+#include "core/run_obs.h"
+
+namespace secmed {
+
+namespace {
+
+obs::PartyTraffic TrafficRow(const std::string& party, const PartyStats& s) {
+  obs::PartyTraffic row;
+  row.party = party;
+  row.messages_sent = s.messages_sent;
+  row.messages_received = s.messages_received;
+  row.bytes_sent = s.bytes_sent;
+  row.bytes_received = s.bytes_received;
+  row.interactions = s.interactions;
+  for (const auto& [type, ts] : s.by_type) {
+    obs::MessageTypeTraffic t;
+    t.type = type;
+    t.messages_sent = ts.messages_sent;
+    t.bytes_sent = ts.bytes_sent;
+    t.messages_received = ts.messages_received;
+    t.bytes_received = ts.bytes_received;
+    row.by_type.push_back(std::move(t));
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<obs::PartyTraffic> PartyTrafficRows(
+    const Transport& transport, const std::vector<std::string>& parties) {
+  std::vector<obs::PartyTraffic> rows;
+  rows.reserve(parties.size());
+  for (const std::string& party : parties) {
+    rows.push_back(TrafficRow(party, transport.StatsOf(party)));
+  }
+  return rows;
+}
+
+std::vector<obs::PartyTraffic> PartyTrafficRows(const RunReport& report) {
+  std::vector<obs::PartyTraffic> rows;
+  rows.reserve(report.stats.size());
+  for (const auto& [party, s] : report.stats) {
+    rows.push_back(TrafficRow(party, s));
+  }
+  return rows;
+}
+
+Status WriteObsArtifacts(const obs::Scope& scope, const obs::RunInfo& info,
+                         const std::vector<obs::PartyTraffic>& traffic,
+                         const std::string& trace_path,
+                         const std::string& report_path) {
+  std::string error;
+  if (!trace_path.empty()) {
+    if (!obs::WriteTextFile(trace_path, obs::RenderChromeTrace(scope.tracer()),
+                            &error)) {
+      return Status::Internal("writing trace file: " + error);
+    }
+  }
+  if (!report_path.empty()) {
+    if (!obs::WriteTextFile(report_path,
+                            obs::RenderRunReportJson(info, scope, traffic),
+                            &error)) {
+      return Status::Internal("writing report file: " + error);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace secmed

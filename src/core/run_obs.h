@@ -1,0 +1,34 @@
+#ifndef SECMED_CORE_RUN_OBS_H_
+#define SECMED_CORE_RUN_OBS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/remote.h"
+#include "net/transport.h"
+#include "obs/report.h"
+
+namespace secmed {
+
+/// Traffic rows for the obs run report, copied verbatim from
+/// `Transport::StatsOf` for the given parties — by construction the
+/// report's per-party byte totals equal what the transport counted.
+std::vector<obs::PartyTraffic> PartyTrafficRows(
+    const Transport& transport, const std::vector<std::string>& parties);
+
+/// Same rows from a RunReport's embedded statistics (used by drive mode,
+/// where the daemons' reports are the only view of the remote runs).
+std::vector<obs::PartyTraffic> PartyTrafficRows(const RunReport& report);
+
+/// Writes the run artifacts a `--trace-out` / `--report-out` pair asks
+/// for: the Chrome trace JSON of `scope`'s spans and/or the structured
+/// run report (JSON). Empty paths are skipped. Returns a Status carrying
+/// the first file error.
+Status WriteObsArtifacts(const obs::Scope& scope, const obs::RunInfo& info,
+                         const std::vector<obs::PartyTraffic>& traffic,
+                         const std::string& trace_path,
+                         const std::string& report_path);
+
+}  // namespace secmed
+
+#endif  // SECMED_CORE_RUN_OBS_H_

@@ -53,7 +53,8 @@ Result<DasRelation> DasEncryptRelation(
     const Relation& rel, const std::vector<std::string>& join_columns,
     const std::vector<IndexTable>& index_tables,
     const RsaPublicKey& client_key, RandomSource* rng,
-    const std::vector<std::string>& plaintext_columns, size_t threads) {
+    const std::vector<std::string>& plaintext_columns, size_t threads,
+    obs::Scope* scope, const char* label) {
   if (join_columns.empty() || join_columns.size() != index_tables.size()) {
     return Status::InvalidArgument(
         "join columns and index tables must match and be non-empty");
@@ -85,7 +86,7 @@ Result<DasRelation> DasEncryptRelation(
         SECMED_ASSIGN_OR_RETURN(
             dt.etuple, HybridEncrypt(client_key, EncodeTuple(t), rngs[i].get()));
         return Status::OK();
-      }));
+      }, scope, label != nullptr ? label : "das.encrypt_relation"));
   return out;
 }
 

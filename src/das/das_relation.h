@@ -6,6 +6,7 @@
 
 #include "crypto/rsa.h"
 #include "das/index_table.h"
+#include "obs/scope.h"
 #include "relational/relation.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -53,12 +54,16 @@ struct DasRelation {
 /// `threads` sealing workers run the per-tuple hybrid encryptions; the
 /// output is bit-identical for every thread count under a seeded `rng`
 /// (per-tuple RNG forking — see RandomSource::Fork).
+///
+/// A non-null `scope` instruments the sealing loop (per-worker spans and
+/// items counters under `label`, default "das.encrypt_relation").
 Result<DasRelation> DasEncryptRelation(
     const Relation& rel, const std::vector<std::string>& join_columns,
     const std::vector<IndexTable>& index_tables,
     const RsaPublicKey& client_key, RandomSource* rng,
     const std::vector<std::string>& plaintext_columns = {},
-    size_t threads = 1);
+    size_t threads = 1, obs::Scope* scope = nullptr,
+    const char* label = nullptr);
 
 /// Single-attribute convenience overload (the paper's base protocol).
 Result<DasRelation> DasEncryptRelation(const Relation& rel,

@@ -11,16 +11,30 @@ double EstimateTransferMs(const std::vector<Message>& transcript,
 
 Status NetworkBus::Send(Message msg) {
   if (tamper_hook_) tamper_hook_(&msg);
+  size_t wire = msg.WireSize();
   PartyStats& sender = stats_[msg.from];
   sender.messages_sent++;
-  sender.bytes_sent += msg.WireSize();
+  sender.bytes_sent += wire;
+  MessageTypeStats& sent_slice = sender.by_type[msg.type];
+  sent_slice.messages_sent++;
+  sent_slice.bytes_sent += wire;
   if (last_sender_ != msg.from) {
     sender.interactions++;
     last_sender_ = msg.from;
   }
   PartyStats& receiver = stats_[msg.to];
   receiver.messages_received++;
-  receiver.bytes_received += msg.WireSize();
+  receiver.bytes_received += wire;
+  MessageTypeStats& recv_slice = receiver.by_type[msg.type];
+  recv_slice.messages_received++;
+  recv_slice.bytes_received += wire;
+
+  if (obs_ != nullptr) {
+    obs_->metrics().Add("bus.messages", 1);
+    obs_->metrics().Add("bus.bytes", wire);
+    obs_->metrics().RaiseMax("bus.queue_depth_max",
+                             inboxes_[msg.to].size() + 1);
+  }
 
   inboxes_[msg.to].push_back(msg);
   transcript_.push_back(std::move(msg));

@@ -36,8 +36,10 @@ class NetworkBus : public Transport {
   void SetTamperHook(std::function<void(Message*)> hook) override {
     tamper_hook_ = std::move(hook);
   }
+  void SetObsScope(obs::Scope* scope) override { obs_ = scope; }
 
  private:
+  obs::Scope* obs_ = nullptr;
   std::function<void(Message*)> tamper_hook_;
   std::map<std::string, std::deque<Message>> inboxes_;
   std::vector<Message> transcript_;

@@ -2,6 +2,7 @@
 #define SECMED_NET_MESSAGE_H_
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,27 @@ struct Message {
   }
 };
 
+/// One message type's slice of a party's traffic.
+struct MessageTypeStats {
+  size_t messages_sent = 0;
+  size_t messages_received = 0;
+  size_t bytes_sent = 0;
+  size_t bytes_received = 0;
+
+  bool operator==(const MessageTypeStats& o) const {
+    return messages_sent == o.messages_sent &&
+           messages_received == o.messages_received &&
+           bytes_sent == o.bytes_sent && bytes_received == o.bytes_received;
+  }
+
+  void Accumulate(const MessageTypeStats& o) {
+    messages_sent += o.messages_sent;
+    messages_received += o.messages_received;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+  }
+};
+
 /// Per-party traffic statistics.
 struct PartyStats {
   size_t messages_sent = 0;
@@ -43,6 +65,21 @@ struct PartyStats {
   /// Number of *interactions*: maximal runs of consecutive sends — the
   /// paper's "the client has to interact twice with the mediator".
   size_t interactions = 0;
+  /// Breakdown of the totals above by message type. The totals are the
+  /// exact sums over this map, so leakage analyses and the obs run
+  /// report read one source of truth.
+  std::map<std::string, MessageTypeStats> by_type;
+
+  /// Adds another party's (or run's) statistics onto this one, slice by
+  /// slice — used to fold multi-session statistics into one report row.
+  void Accumulate(const PartyStats& o) {
+    messages_sent += o.messages_sent;
+    messages_received += o.messages_received;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    interactions += o.interactions;
+    for (const auto& [type, slice] : o.by_type) by_type[type].Accumulate(slice);
+  }
 };
 
 /// Cost model of a real transport, applied to a recorded transcript:

@@ -93,12 +93,21 @@ void PeerHost::ReaderLoop(TcpConn conn) {
 }
 
 void PeerHost::Deliver(WireFrame frame) {
+  obs::Scope* scope = obs();
+  if (scope != nullptr) {
+    scope->metrics().Add("net.frames_received", 1);
+    scope->metrics().Add("net.wire_bytes_received", frame.message.WireSize());
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (frame.session == kCtlSession && frame.message.to == kCtlParty) {
     ctl_queue_.push_back(std::move(frame.message));
   } else {
-    inbox_[QueueKey{frame.session, frame.message.to, frame.message.from}]
-        .push_back(std::move(frame.message));
+    auto& queue =
+        inbox_[QueueKey{frame.session, frame.message.to, frame.message.from}];
+    queue.push_back(std::move(frame.message));
+    if (scope != nullptr) {
+      scope->metrics().RaiseMax("net.queue_depth_max", queue.size());
+    }
   }
   cv_.notify_all();
 }
@@ -111,6 +120,22 @@ void PeerHost::FailStream(Status error) {
 
 Status PeerHost::SendFrame(const std::string& pair, const Endpoint& ep,
                            const Bytes& frame, int timeout_ms) {
+  obs::Scope* scope = obs();
+  uint64_t start_ns = scope != nullptr ? scope->tracer().NowNanos() : 0;
+  Status st = SendFrameLocked(pair, ep, frame, timeout_ms);
+  if (scope != nullptr) {
+    scope->metrics().Observe("net.frame_send_ns",
+                             scope->tracer().NowNanos() - start_ns);
+    if (st.ok()) {
+      scope->metrics().Add("net.frames_sent", 1);
+      scope->metrics().Add("net.wire_bytes_sent", frame.size());
+    }
+  }
+  return st;
+}
+
+Status PeerHost::SendFrameLocked(const std::string& pair, const Endpoint& ep,
+                                 const Bytes& frame, int timeout_ms) {
   std::lock_guard<std::mutex> lock(pool_mutex_);
   auto it = pool_.find(pair);
   if (it == pool_.end()) {
@@ -122,6 +147,9 @@ Status PeerHost::SendFrame(const std::string& pair, const Endpoint& ep,
       Result<TcpConn> conn = TcpConn::Connect(ep, timeout_ms);
       if (conn.ok()) {
         it = pool_.emplace(pair, std::move(conn).value()).first;
+        if (obs::Scope* scope = obs()) {
+          scope->metrics().Add("net.connects", 1);
+        }
         break;
       }
       if (conn.status().code() != StatusCode::kUnavailable ||
@@ -137,6 +165,9 @@ Status PeerHost::SendFrame(const std::string& pair, const Endpoint& ep,
   // reconnect once and retry the whole frame — nothing of it can have
   // reached the application on a reset connection.
   pool_.erase(it);
+  if (obs::Scope* scope = obs()) {
+    scope->metrics().Add("net.reconnects", 1);
+  }
   SECMED_ASSIGN_OR_RETURN(TcpConn fresh, TcpConn::Connect(ep, timeout_ms));
   it = pool_.emplace(pair, std::move(fresh)).first;
   return it->second.SendAll(frame, timeout_ms);
@@ -144,6 +175,8 @@ Status PeerHost::SendFrame(const std::string& pair, const Endpoint& ep,
 
 Result<Message> PeerHost::WaitFrame(uint32_t session, const std::string& to,
                                     const std::string& from, int timeout_ms) {
+  obs::Scope* scope = obs();
+  uint64_t start_ns = scope != nullptr ? scope->tracer().NowNanos() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   const QueueKey key{session, to, from};
   const bool ready = cv_.wait_for(
@@ -153,6 +186,10 @@ Result<Message> PeerHost::WaitFrame(uint32_t session, const std::string& to,
                !stream_error_.ok() || stop_.load();
       });
   auto it = inbox_.find(key);
+  if (scope != nullptr) {
+    scope->metrics().Observe("net.frame_wait_ns",
+                             scope->tracer().NowNanos() - start_ns);
+  }
   if (it != inbox_.end() && !it->second.empty()) {
     Message msg = std::move(it->second.front());
     it->second.pop_front();

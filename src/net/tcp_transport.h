@@ -74,15 +74,29 @@ class PeerHost {
   /// Drops all frames buffered for `session` (a finished query).
   void DropSession(uint32_t session);
 
+  /// Attaches an observability scope; the host then records per-frame
+  /// send/wait latency histograms, wire byte/frame counters, reconnects
+  /// and the high-water inbound queue depth. Null detaches. May be
+  /// called from any thread; the scope must outlive the host or the
+  /// next call.
+  void SetObsScope(obs::Scope* scope) {
+    obs_.store(scope, std::memory_order_release);
+  }
+
  private:
+  obs::Scope* obs() const { return obs_.load(std::memory_order_acquire); }
+
   PeerHost() = default;
 
   void AcceptLoop();
   void ReaderLoop(TcpConn conn);
   void Deliver(WireFrame frame);
   void FailStream(Status error);
+  Status SendFrameLocked(const std::string& pair, const Endpoint& ep,
+                         const Bytes& frame, int timeout_ms);
 
   TcpListener listener_;
+  std::atomic<obs::Scope*> obs_{nullptr};
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
 
@@ -177,6 +191,13 @@ class TcpTransport : public Transport {
   void Reset() override;
   void SetTamperHook(std::function<void(Message*)> hook) override {
     tamper_hook_ = std::move(hook);
+  }
+
+  /// Feeds the scope to the local shadow bus *and* the shared PeerHost,
+  /// so one attach captures both message-level and wire-level metrics.
+  void SetObsScope(obs::Scope* scope) override {
+    shadow_.SetObsScope(scope);
+    host_->SetObsScope(scope);
   }
 
   /// Fault injection below the message layer: mutates the *encoded

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "obs/scope.h"
 #include "util/result.h"
 
 namespace secmed {
@@ -76,6 +77,12 @@ class Transport {
   /// Used by the robustness tests to model an unreliable or actively
   /// interfering network. Pass nullptr to remove.
   virtual void SetTamperHook(std::function<void(Message*)> hook) = 0;
+
+  /// Attaches an observability scope: the transport then feeds live
+  /// counters and latency histograms (frame timings, queue depths,
+  /// reconnects) into it. Null detaches. The scope must outlive the
+  /// transport or the next SetObsScope call. Default: ignored.
+  virtual void SetObsScope(obs::Scope* scope) { (void)scope; }
 };
 
 }  // namespace secmed

@@ -1,0 +1,51 @@
+#ifndef SECMED_OBS_CLOCK_H_
+#define SECMED_OBS_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace secmed {
+namespace obs {
+
+/// Nanosecond time source of the tracing layer. Injectable so seeded
+/// protocol runs stay deterministic in tests: production code uses the
+/// process-wide MonotonicClock, tests inject a ManualClock and advance
+/// it explicitly.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary fixed origin; never decreases.
+  virtual uint64_t NowNanos() const = 0;
+};
+
+/// std::chrono::steady_clock — the wall-time source of real runs.
+class MonotonicClock : public Clock {
+ public:
+  uint64_t NowNanos() const override;
+
+  /// Shared process-wide instance (the default of Tracer).
+  static const MonotonicClock* Default();
+};
+
+/// Manually advanced clock for deterministic tests. Thread-safe.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  uint64_t NowNanos() const override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+
+  void Advance(uint64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_ns_;
+};
+
+}  // namespace obs
+}  // namespace secmed
+
+#endif  // SECMED_OBS_CLOCK_H_

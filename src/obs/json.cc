@@ -1,0 +1,293 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace secmed {
+namespace obs {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::Number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::String(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> v) {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  j.array_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::Object(std::map<std::string, JsonValue> v) {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  j.object_ = std::move(v);
+  return j;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& why) {
+    if (error_ != nullptr) {
+      *error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, JsonValue value, JsonValue* out) {
+    size_t len = 0;
+    while (word[len] != '\0') ++len;
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    *out = std::move(value);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode (no surrogate-pair handling: the emitters only
+          // escape control bytes, which stay below U+0800).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    *out = JsonValue::Number(v);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (++depth_ > 64) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    bool ok;
+    switch (text_[pos_]) {
+      case 'n': ok = Literal("null", JsonValue::Null(), out); break;
+      case 't': ok = Literal("true", JsonValue::Bool(true), out); break;
+      case 'f': ok = Literal("false", JsonValue::Bool(false), out); break;
+      case '"': {
+        std::string s;
+        ok = ParseString(&s);
+        if (ok) *out = JsonValue::String(std::move(s));
+        break;
+      }
+      case '[': ok = ParseArray(out); break;
+      case '{': ok = ParseObject(out); break;
+      default: ok = ParseNumber(out); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = JsonValue::Array(std::move(items));
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!ParseValue(&item)) return false;
+      items.push_back(std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = JsonValue::Array(std::move(items));
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = JsonValue::Object(std::move(members));
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      members[std::move(key)] = std::move(value);
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = JsonValue::Object(std::move(members));
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  return Parser(text, error).Parse(out);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace secmed

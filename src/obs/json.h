@@ -1,0 +1,64 @@
+#ifndef SECMED_OBS_JSON_H_
+#define SECMED_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace secmed {
+namespace obs {
+
+/// Minimal JSON document model, just enough to validate and round-trip
+/// the artifacts this library emits (Chrome traces, run reports,
+/// BENCH_protocols.json). Numbers are stored as double — exact for the
+/// integer magnitudes the reports contain (< 2^53).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue Null();
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string v);
+  static JsonValue Array(std::vector<JsonValue> v);
+  static JsonValue Object(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document. Returns false (with a position-
+/// annotated message in *error, if non-null) on malformed input or
+/// trailing garbage.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+/// Escapes `s` for inclusion inside JSON double quotes.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace secmed
+
+#endif  // SECMED_OBS_JSON_H_

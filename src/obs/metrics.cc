@@ -1,0 +1,69 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace secmed {
+namespace obs {
+
+size_t HistogramBucketIndex(uint64_t value) {
+  if (value <= 1) return 0;
+  size_t index = static_cast<size_t>(std::bit_width(value)) - 1;
+  return index < kHistogramBuckets ? index : kHistogramBuckets - 1;
+}
+
+uint64_t HistogramBucketLowerBound(size_t index) {
+  if (index == 0) return 0;
+  return uint64_t{1} << index;
+}
+
+void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::RaiseMax(const std::string& name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t& current = counters_[name];
+  if (value > current) current = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Histogram& h = histograms_[name];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (value > h.max) h.max = value;
+  h.count++;
+  h.sum += value;
+  h.buckets[HistogramBucketIndex(value)]++;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = h.count;
+    snap.sum = h.sum;
+    snap.min = h.min;
+    snap.max = h.max;
+    snap.buckets = h.buckets;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace obs
+}  // namespace secmed

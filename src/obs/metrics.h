@@ -1,0 +1,80 @@
+#ifndef SECMED_OBS_METRICS_H_
+#define SECMED_OBS_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace secmed {
+namespace obs {
+
+/// Latency histograms use fixed log2-scaled buckets: bucket i covers
+/// [2^i, 2^(i+1)) with bucket 0 additionally holding 0, and the last
+/// bucket open-ended. 48 buckets span 1 ns .. ~3.9 hours, so one layout
+/// fits every latency and size distribution in the system.
+inline constexpr size_t kHistogramBuckets = 48;
+
+/// Bucket index of `value` under the fixed log2 layout.
+size_t HistogramBucketIndex(uint64_t value);
+
+/// Inclusive lower bound of bucket `index` (0 for bucket 0).
+uint64_t HistogramBucketLowerBound(size_t index);
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when count == 0
+  uint64_t max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// Thread-safe registry of named counters and latency histograms.
+/// Everything is keyed by flat string names ("net.frame.sent_bytes",
+/// "hospital/delivery/pm.encrypt_coeffs.items"); the report layer groups
+/// them for presentation.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the counter `name` (created at 0).
+  void Add(const std::string& name, uint64_t delta);
+
+  /// Raises the counter `name` to `value` if it is below it — a
+  /// high-watermark gauge (e.g. maximum queue depth).
+  void RaiseMax(const std::string& name, uint64_t value);
+
+  /// Records one observation into the histogram `name`.
+  void Observe(const std::string& name, uint64_t value);
+
+  std::map<std::string, uint64_t> Counters() const;
+  std::vector<HistogramSnapshot> Histograms() const;
+
+  /// Current value of one counter (0 if absent).
+  uint64_t CounterValue(const std::string& name) const;
+
+ private:
+  struct Histogram {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace secmed
+
+#endif  // SECMED_OBS_METRICS_H_

@@ -1,0 +1,245 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/json.h"
+
+namespace secmed {
+namespace obs {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+/// Milliseconds with microsecond resolution, as a JSON-safe number.
+std::string Ms(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void SplitSpanName(const std::string& name, std::string* party,
+                   std::string* phase, std::string* op) {
+  size_t first = name.find('/');
+  size_t second = first == std::string::npos ? std::string::npos
+                                             : name.find('/', first + 1);
+  if (first == std::string::npos || second == std::string::npos) {
+    party->clear();
+    phase->clear();
+    *op = name;
+    return;
+  }
+  *party = name.substr(0, first);
+  *phase = name.substr(first + 1, second - first - 1);
+  *op = name.substr(second + 1);
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const Tracer& tracer) {
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  uint32_t max_tid = 0;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    max_tid = std::max(max_tid, s.thread_index);
+    // Complete event: ts/dur in (fractional) microseconds.
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\",\"cat\":\"secmed\"";
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":" + U64(s.thread_index + 1);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.duration_ns) / 1e3);
+    out += buf;
+    if (s.items > 0) {
+      out += ",\"args\":{\"items\":" + U64(s.items) + "}";
+    }
+    out += "}";
+  }
+  // Thread-name metadata so viewers label the tracks.
+  for (uint32_t tid = 0; tid <= max_tid && !spans.empty(); ++tid) {
+    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           U64(tid + 1) + ",\"args\":{\"name\":\"worker-" + U64(tid) + "\"}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<SpanAggregate> AggregateSpans(const Tracer& tracer) {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanRecord& s : tracer.Snapshot()) {
+    SpanAggregate& agg = by_name[s.name];
+    if (agg.count == 0) {
+      agg.name = s.name;
+      SplitSpanName(s.name, &agg.party, &agg.phase, &agg.op);
+      agg.min_ns = s.duration_ns;
+    }
+    agg.count++;
+    agg.total_ns += s.duration_ns;
+    agg.min_ns = std::min(agg.min_ns, s.duration_ns);
+    agg.max_ns = std::max(agg.max_ns, s.duration_ns);
+    agg.items += s.items;
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) out.push_back(std::move(agg));
+  return out;
+}
+
+std::string RenderRunReportJson(const RunInfo& info, const Scope& scope,
+                                const std::vector<PartyTraffic>& traffic) {
+  std::string out = "{\n  \"run\": {";
+  out += "\"protocol\":\"" + JsonEscape(info.protocol) + "\"";
+  out += ",\"query\":\"" + JsonEscape(info.query) + "\"";
+  out += ",\"sessions\":" + U64(info.sessions);
+  out += ",\"threads\":" + U64(info.threads);
+  out += ",\"messages\":" + U64(info.messages);
+  out += ",\"total_bytes\":" + U64(info.total_bytes);
+  out += "},\n  \"spans\": [";
+  bool first = true;
+  for (const SpanAggregate& a : AggregateSpans(scope.tracer())) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\":\"" + JsonEscape(a.name) + "\"";
+    out += ",\"party\":\"" + JsonEscape(a.party) + "\"";
+    out += ",\"phase\":\"" + JsonEscape(a.phase) + "\"";
+    out += ",\"op\":\"" + JsonEscape(a.op) + "\"";
+    out += ",\"count\":" + U64(a.count);
+    out += ",\"total_ms\":" + Ms(a.total_ns);
+    out += ",\"min_ms\":" + Ms(a.min_ns);
+    out += ",\"max_ms\":" + Ms(a.max_ns);
+    out += ",\"items\":" + U64(a.items) + "}";
+  }
+  out += "\n  ],\n  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : scope.metrics().Counters()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + JsonEscape(name) + "\": " + U64(value);
+  }
+  out += "\n  },\n  \"histograms\": [";
+  first = true;
+  for (const HistogramSnapshot& h : scope.metrics().Histograms()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\":\"" + JsonEscape(h.name) + "\"";
+    out += ",\"count\":" + U64(h.count);
+    out += ",\"sum\":" + U64(h.sum);
+    out += ",\"min\":" + U64(h.min);
+    out += ",\"max\":" + U64(h.max);
+    // Sparse bucket encoding: [lower_bound, count] pairs.
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) out += ",";
+      bfirst = false;
+      out += "[" + U64(HistogramBucketLowerBound(i)) + "," +
+             U64(h.buckets[i]) + "]";
+    }
+    out += "]}";
+  }
+  out += "\n  ],\n  \"traffic\": [";
+  first = true;
+  for (const PartyTraffic& p : traffic) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"party\":\"" + JsonEscape(p.party) + "\"";
+    out += ",\"messages_sent\":" + U64(p.messages_sent);
+    out += ",\"messages_received\":" + U64(p.messages_received);
+    out += ",\"bytes_sent\":" + U64(p.bytes_sent);
+    out += ",\"bytes_received\":" + U64(p.bytes_received);
+    out += ",\"interactions\":" + U64(p.interactions);
+    out += ",\"by_type\":[";
+    bool tfirst = true;
+    for (const MessageTypeTraffic& t : p.by_type) {
+      if (!tfirst) out += ",";
+      tfirst = false;
+      out += "{\"type\":\"" + JsonEscape(t.type) + "\"";
+      out += ",\"messages_sent\":" + U64(t.messages_sent);
+      out += ",\"bytes_sent\":" + U64(t.bytes_sent);
+      out += ",\"messages_received\":" + U64(t.messages_received);
+      out += ",\"bytes_received\":" + U64(t.bytes_received) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string RenderRunReportTable(const RunInfo& info, const Scope& scope,
+                                 const std::vector<PartyTraffic>& traffic) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "run: protocol=%s sessions=%u threads=%llu messages=%llu "
+                "total_bytes=%llu\n",
+                info.protocol.c_str(), info.sessions,
+                static_cast<unsigned long long>(info.threads),
+                static_cast<unsigned long long>(info.messages),
+                static_cast<unsigned long long>(info.total_bytes));
+  out += line;
+  out += "\n  party      phase     operation                        count"
+         "     total ms       items\n";
+  out += "  ---------- --------- ------------------------------ ------- "
+         "------------ -----------\n";
+  for (const SpanAggregate& a : AggregateSpans(scope.tracer())) {
+    std::snprintf(line, sizeof(line), "  %-10s %-9s %-30s %7llu %12.3f %11llu\n",
+                  a.party.c_str(), a.phase.c_str(), a.op.c_str(),
+                  static_cast<unsigned long long>(a.count),
+                  static_cast<double>(a.total_ns) / 1e6,
+                  static_cast<unsigned long long>(a.items));
+    out += line;
+  }
+  out += "\n  party        sent msgs     sent bytes   recv msgs     recv "
+         "bytes  interactions\n";
+  out += "  ---------- ----------- -------------- ----------- "
+         "-------------- ------------\n";
+  for (const PartyTraffic& p : traffic) {
+    std::snprintf(line, sizeof(line),
+                  "  %-10s %11llu %14llu %11llu %14llu %12llu\n",
+                  p.party.c_str(),
+                  static_cast<unsigned long long>(p.messages_sent),
+                  static_cast<unsigned long long>(p.bytes_sent),
+                  static_cast<unsigned long long>(p.messages_received),
+                  static_cast<unsigned long long>(p.bytes_received),
+                  static_cast<unsigned long long>(p.interactions));
+    out += line;
+    for (const MessageTypeTraffic& t : p.by_type) {
+      std::snprintf(line, sizeof(line),
+                    "    %-24s %9llu msgs / %12llu B sent, %9llu / %12llu "
+                    "recv\n",
+                    t.type.c_str(),
+                    static_cast<unsigned long long>(t.messages_sent),
+                    static_cast<unsigned long long>(t.bytes_sent),
+                    static_cast<unsigned long long>(t.messages_received),
+                    static_cast<unsigned long long>(t.bytes_received));
+      out += line;
+    }
+  }
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  f.close();
+  if (!f) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace secmed

@@ -1,0 +1,89 @@
+#ifndef SECMED_OBS_REPORT_H_
+#define SECMED_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/scope.h"
+
+namespace secmed {
+namespace obs {
+
+/// ------------------------------------------------------ Chrome trace --
+///
+/// Renders every recorded span as a Chrome trace-event "complete" event
+/// (ph "X", microsecond timestamps) — the file loads directly into
+/// chrome://tracing and Perfetto. Thread tracks follow the tracer's
+/// stable thread indexes.
+std::string RenderChromeTrace(const Tracer& tracer);
+
+/// -------------------------------------------------------- run report --
+
+/// Per-message-type slice of one party's traffic.
+struct MessageTypeTraffic {
+  std::string type;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// One party's traffic row, copied from the transport statistics so the
+/// report and `Transport::StatsOf` can never diverge.
+struct PartyTraffic {
+  std::string party;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t interactions = 0;
+  std::vector<MessageTypeTraffic> by_type;
+};
+
+/// Identification of the run the report describes.
+struct RunInfo {
+  std::string protocol;
+  std::string query;
+  uint32_t sessions = 1;
+  uint64_t threads = 1;
+  uint64_t messages = 0;     // transcript length
+  uint64_t total_bytes = 0;  // framed bytes across the transcript
+};
+
+/// All spans with one name, folded: the party/phase/op decomposition of
+/// the name plus count/total/min/max durations and summed items.
+struct SpanAggregate {
+  std::string name;
+  std::string party;  // first '/'-segment of the name ("" if unparseable)
+  std::string phase;  // second segment
+  std::string op;     // remainder
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+  uint64_t items = 0;
+};
+
+/// Folds the tracer's spans by name, sorted by name.
+std::vector<SpanAggregate> AggregateSpans(const Tracer& tracer);
+
+/// The structured per-run report (see docs/OBSERVABILITY.md for the
+/// schema): run info, span aggregates by party × phase × operation,
+/// counters, histograms and per-party traffic.
+std::string RenderRunReportJson(const RunInfo& info, const Scope& scope,
+                                const std::vector<PartyTraffic>& traffic);
+
+/// Human-readable counterpart of the JSON report.
+std::string RenderRunReportTable(const RunInfo& info, const Scope& scope,
+                                 const std::vector<PartyTraffic>& traffic);
+
+/// Writes `content` to `path`. On failure returns false and describes
+/// the problem in *error (if non-null).
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error);
+
+}  // namespace obs
+}  // namespace secmed
+
+#endif  // SECMED_OBS_REPORT_H_

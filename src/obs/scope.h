@@ -1,0 +1,63 @@
+#ifndef SECMED_OBS_SCOPE_H_
+#define SECMED_OBS_SCOPE_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace secmed {
+namespace obs {
+
+/// One run's observability context: a tracer plus a metrics registry.
+/// Protocol and transport code receives a `Scope*` that may be null —
+/// the free helpers below turn a null scope into a no-op at the cost of
+/// a single branch, which is the contract that lets instrumentation
+/// stay in hot paths permanently (verified by bench_obs_overhead).
+class Scope {
+ public:
+  /// `clock` = nullptr uses the process-wide monotonic clock.
+  explicit Scope(const Clock* clock = nullptr) : tracer_(clock) {}
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+};
+
+/// Starts a span on `scope`, or an inert span when `scope` is null.
+inline Span StartSpan(Scope* scope, std::string name) {
+  if (scope == nullptr) return Span();
+  return Span(&scope->tracer(), std::move(name));
+}
+
+inline Span StartSpan(Scope* scope, const std::string& party,
+                      const std::string& phase, const std::string& op) {
+  if (scope == nullptr) return Span();
+  return Span(&scope->tracer(), SpanName(party, phase, op));
+}
+
+/// Counter/histogram helpers tolerating a null scope.
+inline void AddCounter(Scope* scope, const std::string& name, uint64_t delta) {
+  if (scope != nullptr) scope->metrics().Add(name, delta);
+}
+
+inline void RaiseMaxGauge(Scope* scope, const std::string& name,
+                          uint64_t value) {
+  if (scope != nullptr) scope->metrics().RaiseMax(name, value);
+}
+
+inline void ObserveValue(Scope* scope, const std::string& name,
+                         uint64_t value) {
+  if (scope != nullptr) scope->metrics().Observe(name, value);
+}
+
+}  // namespace obs
+}  // namespace secmed
+
+#endif  // SECMED_OBS_SCOPE_H_

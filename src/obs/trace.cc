@@ -1,0 +1,62 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+namespace secmed {
+namespace obs {
+
+uint64_t MonotonicClock::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const MonotonicClock* MonotonicClock::Default() {
+  static const MonotonicClock clock;
+  return &clock;
+}
+
+uint32_t Tracer::ThreadIndexLocked(std::thread::id id) {
+  auto it = thread_indexes_.find(id);
+  if (it != thread_indexes_.end()) return it->second;
+  uint32_t index = static_cast<uint32_t>(thread_indexes_.size());
+  thread_indexes_.emplace(id, index);
+  return index;
+}
+
+void Tracer::Record(std::string name, uint64_t start_ns, uint64_t end_ns,
+                    uint64_t items) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.start_ns = start_ns;
+  record.duration_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  record.items = items;
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.thread_index = ThreadIndexLocked(std::this_thread::get_id());
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<std::string> Tracer::SpanNames() const {
+  std::set<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const SpanRecord& s : spans_) names.insert(s.name);
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+}  // namespace obs
+}  // namespace secmed

@@ -1,0 +1,134 @@
+#ifndef SECMED_OBS_TRACE_H_
+#define SECMED_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace secmed {
+namespace obs {
+
+/// One completed span. `thread_index` is a small per-tracer index
+/// assigned to OS threads in order of first appearance (stable within a
+/// run, meaningless across runs — it exists so trace viewers can lay
+/// spans out on per-thread tracks).
+struct SpanRecord {
+  std::string name;  // "party/phase/operation" (see docs/OBSERVABILITY.md)
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t thread_index = 0;
+  uint64_t items = 0;  // optional work-size annotation (0 = none)
+};
+
+/// Low-overhead thread-safe span recorder. Spans are buffered in memory
+/// and exported after the run (Chrome trace JSON / run report —
+/// obs/report.h); recording one span is a clock read plus one short
+/// critical section appending to a vector.
+class Tracer {
+ public:
+  /// `clock` = nullptr uses the process-wide monotonic clock. The clock
+  /// must outlive the tracer.
+  explicit Tracer(const Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : MonotonicClock::Default()) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  uint64_t NowNanos() const { return clock_->NowNanos(); }
+
+  /// Records a completed span. Any thread.
+  void Record(std::string name, uint64_t start_ns, uint64_t end_ns,
+              uint64_t items);
+
+  /// Snapshot of all spans recorded so far, in recording order.
+  std::vector<SpanRecord> Snapshot() const;
+
+  size_t span_count() const;
+
+  /// Distinct span names, sorted — the determinism guard compares these
+  /// across thread counts.
+  std::vector<std::string> SpanNames() const;
+
+ private:
+  uint32_t ThreadIndexLocked(std::thread::id id);
+
+  const Clock* clock_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::thread::id, uint32_t> thread_indexes_;
+};
+
+/// RAII span handle. A default-constructed (or null-tracer) Span is
+/// inert: construction, AddItems and destruction cost one branch each —
+/// the zero-cost no-op path of an uninstrumented run.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, std::string name)
+      : tracer_(tracer), name_(std::move(name)) {
+    if (tracer_ != nullptr) start_ns_ = tracer_->NowNanos();
+  }
+  Span(Span&& o) noexcept
+      : tracer_(o.tracer_),
+        name_(std::move(o.name_)),
+        start_ns_(o.start_ns_),
+        items_(o.items_) {
+    o.tracer_ = nullptr;
+  }
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      End();
+      tracer_ = o.tracer_;
+      name_ = std::move(o.name_);
+      start_ns_ = o.start_ns_;
+      items_ = o.items_;
+      o.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// Annotates the span with a work size (e.g. loop items processed).
+  void AddItems(uint64_t n) { items_ += n; }
+
+  /// Ends the span now (the destructor would otherwise). Idempotent.
+  void End() {
+    if (tracer_ == nullptr) return;
+    tracer_->Record(std::move(name_), start_ns_, tracer_->NowNanos(), items_);
+    tracer_ = nullptr;
+  }
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  uint64_t start_ns_ = 0;
+  uint64_t items_ = 0;
+};
+
+/// Canonical span name: "party/phase/op" — e.g.
+/// SpanName("hospital", "delivery", "pm.encrypt_coeffs").
+inline std::string SpanName(const std::string& party, const std::string& phase,
+                            const std::string& op) {
+  std::string name;
+  name.reserve(party.size() + phase.size() + op.size() + 2);
+  name += party;
+  name += '/';
+  name += phase;
+  name += '/';
+  name += op;
+  return name;
+}
+
+}  // namespace obs
+}  // namespace secmed
+
+#endif  // SECMED_OBS_TRACE_H_

@@ -6,6 +6,16 @@
 
 namespace secmed {
 
+namespace {
+
+/// Worker-span name for an instrumented loop; label-only, so the set of
+/// span names is identical at every thread count.
+std::string WorkerSpanName(const char* label) {
+  return std::string(label != nullptr ? label : "parallel") + "/worker";
+}
+
+}  // namespace
+
 size_t HardwareConcurrency() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<size_t>(n);
@@ -16,19 +26,38 @@ size_t ResolveThreads(size_t threads) {
 }
 
 void ParallelFor(size_t n, size_t threads,
-                 const std::function<void(size_t)>& body) {
+                 const std::function<void(size_t)>& body, obs::Scope* scope,
+                 const char* label) {
   if (n == 0) return;
   size_t workers = threads < n ? threads : n;
   if (workers <= 1) {
+    uint64_t start_ns = scope != nullptr ? scope->tracer().NowNanos() : 0;
+    obs::Span span = obs::StartSpan(scope, WorkerSpanName(label));
     for (size_t i = 0; i < n; ++i) body(i);
+    span.AddItems(n);
+    span.End();
+    if (scope != nullptr && label != nullptr) {
+      scope->metrics().Add(std::string(label) + ".items", n);
+      scope->metrics().Add(std::string(label) + ".worker_ns",
+                           scope->tracer().NowNanos() - start_ns);
+    }
     return;
   }
   std::atomic<size_t> next{0};
+  std::atomic<uint64_t> worker_ns{0};
   auto run = [&] {
+    obs::Span span = obs::StartSpan(scope, WorkerSpanName(label));
+    uint64_t start_ns =
+        scope != nullptr ? scope->tracer().NowNanos() : 0;
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
       body(i);
+      span.AddItems(1);
+    }
+    if (scope != nullptr) {
+      worker_ns.fetch_add(scope->tracer().NowNanos() - start_ns,
+                          std::memory_order_relaxed);
     }
   };
   std::vector<std::thread> pool;
@@ -36,15 +65,22 @@ void ParallelFor(size_t n, size_t threads,
   for (size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(run);
   run();  // the calling thread is worker 0
   for (std::thread& t : pool) t.join();
+  if (scope != nullptr && label != nullptr) {
+    scope->metrics().Add(std::string(label) + ".items", n);
+    scope->metrics().Add(std::string(label) + ".worker_ns",
+                         worker_ns.load(std::memory_order_relaxed));
+  }
 }
 
 Status ParallelForStatus(size_t n, size_t threads,
-                         const std::function<Status(size_t)>& body) {
+                         const std::function<Status(size_t)>& body,
+                         obs::Scope* scope, const char* label) {
   if (n == 0) return Status::OK();
   // Per-item slots instead of a shared "first error" so the outcome does
   // not depend on which thread loses a race.
   std::vector<Status> statuses(n);
-  ParallelFor(n, threads, [&](size_t i) { statuses[i] = body(i); });
+  ParallelFor(
+      n, threads, [&](size_t i) { statuses[i] = body(i); }, scope, label);
   for (Status& st : statuses) {
     if (!st.ok()) return std::move(st);
   }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "obs/scope.h"
 #include "util/status.h"
 
 namespace secmed {
@@ -24,17 +25,28 @@ size_t ResolveThreads(size_t threads);
 /// n <= 1 the body runs inline on the calling thread and no thread is ever
 /// spawned — the exact legacy serial path.
 ///
+/// When `scope` is non-null the loop is instrumented: every worker
+/// (including the serial inline path) records one span `<label>/worker`
+/// annotated with the items it claimed, and the counters
+/// `<label>.items` / `<label>.worker_ns` accumulate loop totals, from
+/// which the report derives items/sec. The span *name* only depends on
+/// `label`, never on the thread count — the determinism guard relies on
+/// that. A null scope adds a single predicted branch (the legacy path).
+///
 /// The body must be safe to invoke concurrently for distinct items; the
 /// call returns only after every item has completed.
 void ParallelFor(size_t n, size_t threads,
-                 const std::function<void(size_t)>& body);
+                 const std::function<void(size_t)>& body,
+                 obs::Scope* scope = nullptr, const char* label = nullptr);
 
 /// Status-aggregating variant: runs body(i) for every i in [0, n) and
 /// returns the error of the lowest-index failing item, or OK. All items
 /// are executed regardless of failures, so the returned status is
 /// deterministic and independent of thread scheduling.
 Status ParallelForStatus(size_t n, size_t threads,
-                         const std::function<Status(size_t)>& body);
+                         const std::function<Status(size_t)>& body,
+                         obs::Scope* scope = nullptr,
+                         const char* label = nullptr);
 
 }  // namespace secmed
 

@@ -1,0 +1,292 @@
+// Unit tests of the observability layer: deterministic tracing under an
+// injected clock, histogram bucket boundaries, tracer thread-safety under
+// ParallelFor, and JSON schema round-trips of both export formats.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/scope.h"
+#include "util/parallel.h"
+
+namespace secmed {
+namespace {
+
+// ------------------------------------------------------------ tracer --
+
+TEST(Tracer, ManualClockIsDeterministic) {
+  obs::ManualClock clock(1000);
+  obs::Tracer tracer(&clock);
+  {
+    obs::Span outer(&tracer, "client/request/submit_query");
+    clock.Advance(500);
+    {
+      obs::Span inner(&tracer, "mediator/request/plan");
+      inner.AddItems(3);
+      clock.Advance(250);
+    }
+    clock.Advance(250);
+  }
+  std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner ends first (RAII), so it is recorded first.
+  EXPECT_EQ(spans[0].name, "mediator/request/plan");
+  EXPECT_EQ(spans[0].start_ns, 1500u);
+  EXPECT_EQ(spans[0].duration_ns, 250u);
+  EXPECT_EQ(spans[0].items, 3u);
+  EXPECT_EQ(spans[1].name, "client/request/submit_query");
+  EXPECT_EQ(spans[1].start_ns, 1000u);
+  EXPECT_EQ(spans[1].duration_ns, 1000u);
+  EXPECT_EQ(spans[1].items, 0u);
+}
+
+TEST(Tracer, InertSpanRecordsNothing) {
+  obs::Span inert;  // no tracer
+  inert.AddItems(7);
+  inert.End();
+  EXPECT_FALSE(inert.active());
+
+  obs::Span from_null_scope = obs::StartSpan(nullptr, "a", "b", "c");
+  EXPECT_FALSE(from_null_scope.active());
+}
+
+TEST(Tracer, EndIsIdempotentAndMoveTransfersOwnership) {
+  obs::ManualClock clock;
+  obs::Tracer tracer(&clock);
+  obs::Span a(&tracer, "x/y/z");
+  obs::Span b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  b.End();
+  b.End();  // no double record
+  EXPECT_EQ(tracer.span_count(), 1u);
+}
+
+TEST(Tracer, SpanNamesSortedAndDeduplicated) {
+  obs::Tracer tracer;
+  tracer.Record("b/p/op", 0, 1, 0);
+  tracer.Record("a/p/op", 1, 2, 0);
+  tracer.Record("b/p/op", 2, 3, 0);
+  EXPECT_EQ(tracer.SpanNames(),
+            (std::vector<std::string>{"a/p/op", "b/p/op"}));
+}
+
+TEST(Tracer, ThreadSafeUnderParallelFor) {
+  obs::Scope scope;
+  constexpr size_t kItems = 2000;
+  ParallelFor(
+      kItems, 8,
+      [&](size_t i) {
+        obs::Span span =
+            obs::StartSpan(&scope, "worker", "stress", "op" + std::to_string(i % 4));
+        obs::AddCounter(&scope, "stress.items", 1);
+        scope.metrics().Observe("stress.value_ns", i);
+      },
+      &scope, "stress.loop");
+  // One span per item, plus the instrumented loop's per-worker spans.
+  EXPECT_GE(scope.tracer().span_count(), kItems);
+  EXPECT_EQ(scope.metrics().CounterValue("stress.items"), kItems);
+  EXPECT_EQ(scope.metrics().CounterValue("stress.loop.items"), kItems);
+  std::vector<obs::HistogramSnapshot> hists = scope.metrics().Histograms();
+  bool found = false;
+  for (const auto& h : hists) {
+    if (h.name != "stress.value_ns") continue;
+    found = true;
+    EXPECT_EQ(h.count, kItems);
+    EXPECT_EQ(h.min, 0u);
+    EXPECT_EQ(h.max, kItems - 1);
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------- histogram --
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 holds 0 and [1,2); bucket i>=1 covers [2^i, 2^(i+1)).
+  EXPECT_EQ(obs::HistogramBucketIndex(0), 0u);
+  EXPECT_EQ(obs::HistogramBucketIndex(1), 0u);
+  EXPECT_EQ(obs::HistogramBucketIndex(2), 1u);
+  EXPECT_EQ(obs::HistogramBucketIndex(3), 1u);
+  EXPECT_EQ(obs::HistogramBucketIndex(4), 2u);
+  EXPECT_EQ(obs::HistogramBucketIndex(7), 2u);
+  EXPECT_EQ(obs::HistogramBucketIndex(8), 3u);
+  for (size_t i = 1; i + 1 < obs::kHistogramBuckets; ++i) {
+    const uint64_t lower = obs::HistogramBucketLowerBound(i);
+    EXPECT_EQ(lower, uint64_t{1} << i);
+    EXPECT_EQ(obs::HistogramBucketIndex(lower), i);
+    EXPECT_EQ(obs::HistogramBucketIndex(lower - 1), i - 1);
+    EXPECT_EQ(obs::HistogramBucketIndex(2 * lower - 1), i);
+  }
+  // The last bucket is open-ended.
+  EXPECT_EQ(obs::HistogramBucketIndex(~uint64_t{0}),
+            obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::HistogramBucketLowerBound(0), 0u);
+}
+
+TEST(Histogram, ObserveAggregates) {
+  obs::MetricsRegistry metrics;
+  metrics.Observe("h", 1);
+  metrics.Observe("h", 5);
+  metrics.Observe("h", 5);
+  metrics.Observe("h", 1000);
+  std::vector<obs::HistogramSnapshot> hists = metrics.Histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  const obs::HistogramSnapshot& h = hists[0];
+  EXPECT_EQ(h.name, "h");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 1011u);
+  EXPECT_EQ(h.min, 1u);
+  EXPECT_EQ(h.max, 1000u);
+  EXPECT_EQ(h.buckets[obs::HistogramBucketIndex(1)], 1u);
+  EXPECT_EQ(h.buckets[obs::HistogramBucketIndex(5)], 2u);
+  EXPECT_EQ(h.buckets[obs::HistogramBucketIndex(1000)], 1u);
+}
+
+TEST(Metrics, CountersAndGauges) {
+  obs::MetricsRegistry metrics;
+  metrics.Add("c", 2);
+  metrics.Add("c", 3);
+  metrics.RaiseMax("g", 10);
+  metrics.RaiseMax("g", 4);  // below the watermark: no effect
+  EXPECT_EQ(metrics.CounterValue("c"), 5u);
+  EXPECT_EQ(metrics.CounterValue("g"), 10u);
+  EXPECT_EQ(metrics.CounterValue("absent"), 0u);
+}
+
+// ------------------------------------------------- JSON round-trips --
+
+TEST(ChromeTrace, SchemaRoundTrip) {
+  obs::ManualClock clock;
+  obs::Tracer tracer(&clock);
+  {
+    obs::Span s(&tracer, "source1/delivery/pm.encrypt_coeffs");
+    s.AddItems(42);
+    clock.Advance(1500);
+  }
+  {
+    obs::Span s(&tracer, R"(needs "escaping"\here)");
+    clock.Advance(10);
+  }
+  std::string text = obs::RenderChromeTrace(tracer);
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(text, &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 2 complete events + 1 thread_name metadata event (single thread).
+  ASSERT_EQ(events->array().size(), 3u);
+  const obs::JsonValue& first = events->array()[0];
+  EXPECT_EQ(first.Find("name")->string(), "source1/delivery/pm.encrypt_coeffs");
+  EXPECT_EQ(first.Find("ph")->string(), "X");
+  EXPECT_EQ(first.Find("cat")->string(), "secmed");
+  EXPECT_EQ(first.Find("dur")->number(), 1.5);  // microseconds
+  EXPECT_EQ(first.Find("args")->Find("items")->number(), 42.0);
+  EXPECT_EQ(events->array()[1].Find("name")->string(),
+            R"(needs "escaping"\here)");
+  EXPECT_EQ(events->array()[2].Find("ph")->string(), "M");
+}
+
+TEST(RunReport, JsonSchemaRoundTrip) {
+  obs::Scope scope;
+  {
+    obs::Span s = obs::StartSpan(&scope, "mediator", "delivery", "comm.match");
+    s.AddItems(12);
+  }
+  scope.metrics().Add("bus.messages", 9);
+  scope.metrics().Observe("net.frame_send_ns", 12345);
+
+  obs::RunInfo info;
+  info.protocol = "commutative";
+  info.query = "SELECT * FROM a NATURAL JOIN b";
+  info.sessions = 2;
+  info.threads = 4;
+  info.messages = 9;
+  info.total_bytes = 1234;
+
+  obs::PartyTraffic row;
+  row.party = "mediator";
+  row.messages_sent = 4;
+  row.messages_received = 5;
+  row.bytes_sent = 600;
+  row.bytes_received = 634;
+  row.interactions = 2;
+  obs::MessageTypeTraffic slice;
+  slice.type = "enc_set";
+  slice.messages_received = 5;
+  slice.bytes_received = 634;
+  row.by_type.push_back(slice);
+
+  std::string text = obs::RenderRunReportJson(info, scope, {row});
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(text, &doc, &error)) << error;
+
+  const obs::JsonValue* run = doc.Find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->Find("protocol")->string(), "commutative");
+  EXPECT_EQ(run->Find("sessions")->number(), 2.0);
+  EXPECT_EQ(run->Find("messages")->number(), 9.0);
+  EXPECT_EQ(run->Find("total_bytes")->number(), 1234.0);
+
+  const obs::JsonValue* spans = doc.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->array().size(), 1u);
+  EXPECT_EQ(spans->array()[0].Find("party")->string(), "mediator");
+  EXPECT_EQ(spans->array()[0].Find("phase")->string(), "delivery");
+  EXPECT_EQ(spans->array()[0].Find("op")->string(), "comm.match");
+  EXPECT_EQ(spans->array()[0].Find("items")->number(), 12.0);
+
+  EXPECT_EQ(doc.Find("counters")->Find("bus.messages")->number(), 9.0);
+
+  const obs::JsonValue* hists = doc.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_EQ(hists->array().size(), 1u);
+  EXPECT_EQ(hists->array()[0].Find("name")->string(), "net.frame_send_ns");
+  EXPECT_EQ(hists->array()[0].Find("sum")->number(), 12345.0);
+
+  const obs::JsonValue* traffic = doc.Find("traffic");
+  ASSERT_NE(traffic, nullptr);
+  ASSERT_EQ(traffic->array().size(), 1u);
+  const obs::JsonValue& party = traffic->array()[0];
+  EXPECT_EQ(party.Find("party")->string(), "mediator");
+  EXPECT_EQ(party.Find("bytes_sent")->number(), 600.0);
+  EXPECT_EQ(party.Find("bytes_received")->number(), 634.0);
+  ASSERT_EQ(party.Find("by_type")->array().size(), 1u);
+  EXPECT_EQ(party.Find("by_type")->array()[0].Find("type")->string(),
+            "enc_set");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  obs::JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(obs::ParseJson("{\"a\": 1,", &doc, &error));
+  EXPECT_FALSE(obs::ParseJson("{} trailing", &doc, &error));
+  EXPECT_FALSE(obs::ParseJson("", &doc, &error));
+  EXPECT_TRUE(obs::ParseJson("{\"a\": [1, 2.5, \"x\", true, null]}", &doc,
+                             &error))
+      << error;
+}
+
+TEST(RunReport, TableContainsSpansAndTraffic) {
+  obs::Scope scope;
+  { obs::Span s = obs::StartSpan(&scope, "client", "post", "decrypt"); }
+  obs::RunInfo info;
+  info.protocol = "pm";
+  obs::PartyTraffic row;
+  row.party = "client";
+  row.bytes_sent = 77;
+  std::string table = obs::RenderRunReportTable(info, scope, {row});
+  EXPECT_NE(table.find("decrypt"), std::string::npos);
+  EXPECT_NE(table.find("client"), std::string::npos);
+  EXPECT_NE(table.find("77"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secmed

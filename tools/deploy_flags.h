@@ -30,6 +30,12 @@ struct DeployArgs {
   WorkloadConfig workload;
   MediationTestbed::Options testbed;
   int timeout_ms = 30000;
+  /// Observability artifacts: Chrome trace-event JSON and structured run
+  /// report. Empty = instrumentation disabled (null obs scope).
+  std::string trace_out;
+  std::string report_out;
+
+  bool WantsObs() const { return !trace_out.empty() || !report_out.empty(); }
 
   Deployment MakeDeployment() const {
     Deployment d;
@@ -54,6 +60,26 @@ inline int ParseDeployFlag(int argc, char** argv, int* i, DeployArgs* args) {
     *out = std::strtoul(v, nullptr, 10);
     return 1;
   };
+  // --trace-out / --report-out accept both `--flag FILE` and
+  // `--flag=FILE` spellings.
+  auto parse_path = [&](const char* name, std::string* out) {
+    const std::string eq = std::string(name) + "=";
+    if (flag == name) {
+      const char* v = next();
+      if (v == nullptr) return -1;
+      *out = v;
+      return 1;
+    }
+    if (flag.rfind(eq, 0) == 0) {
+      *out = flag.substr(eq.size());
+      return out->empty() ? -1 : 1;
+    }
+    return 0;
+  };
+  if (int rc = parse_path("--trace-out", &args->trace_out); rc != 0) return rc;
+  if (int rc = parse_path("--report-out", &args->report_out); rc != 0) {
+    return rc;
+  }
   if (flag == "--listen") {
     size_t port = 0;
     if (parse_size(&port) < 0 || port > 65535) return -1;
@@ -118,7 +144,9 @@ inline const char* kDeployFlagsHelp =
     "  --timeout-ms N           socket/frame deadline (default 30000)\n"
     "  --r1-tuples N ... --r2-tuples N --r1-domain N --r2-domain N\n"
     "  --common-values N --workload-seed N   synthetic workload knobs\n"
-    "  --seed-label S --rsa-bits N --paillier-bits N  testbed knobs\n";
+    "  --seed-label S --rsa-bits N --paillier-bits N  testbed knobs\n"
+    "  --trace-out FILE         write a Chrome trace-event JSON of the run\n"
+    "  --report-out FILE        write the structured run report (JSON)\n";
 
 }  // namespace secmed
 

@@ -12,6 +12,8 @@
 //             [--partitions N]                  (DAS, default 4)
 //             [--group-bits N]                  (commutative, default 512)
 //             [--csv-out FILE]                  (write result as CSV)
+//             [--trace-out FILE]                (Chrome trace-event JSON)
+//             [--report-out FILE]               (structured run report)
 //
 // Example:
 //   ./build/tools/secmedctl --table1 medical=med.csv
@@ -33,6 +35,7 @@
 //   --no-compare-bus                skip the in-process reference run
 //   --no-shutdown                   leave the daemons running at exit
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -45,6 +48,7 @@
 #include "core/das_protocol.h"
 #include "core/pm_protocol.h"
 #include "core/remote.h"
+#include "core/run_obs.h"
 #include "crypto/drbg.h"
 #include "deploy_flags.h"
 #include "mediation/client.h"
@@ -64,8 +68,28 @@ bool StatsEqual(const PartyStats& a, const PartyStats& b) {
          a.interactions == b.interactions;
 }
 
+/// Field-by-field expected-vs-actual diff of two parties' statistics,
+/// e.g. "bytes_sent 1204 vs 1188, interactions 2 vs 3". Empty when equal.
+std::string StatsDiff(const PartyStats& expected, const PartyStats& actual) {
+  std::string diff;
+  auto field = [&](const char* name, size_t e, size_t a) {
+    if (e == a) return;
+    if (!diff.empty()) diff += ", ";
+    diff += std::string(name) + " " + std::to_string(e) + " vs " +
+            std::to_string(a);
+  };
+  field("messages_sent", expected.messages_sent, actual.messages_sent);
+  field("messages_received", expected.messages_received,
+        actual.messages_received);
+  field("bytes_sent", expected.bytes_sent, actual.bytes_sent);
+  field("bytes_received", expected.bytes_received, actual.bytes_received);
+  field("interactions", expected.interactions, actual.interactions);
+  return diff;
+}
+
 /// True iff the two reports describe the same execution: digest, counts
-/// and per-party statistics.
+/// and per-party statistics. On mismatch `why` carries a per-party
+/// expected-vs-actual breakdown, not just the first offending party.
 bool ReportsAgree(const RunReport& a, const RunReport& b, std::string* why) {
   if (a.result_digest != b.result_digest) {
     *why = "result digests differ";
@@ -73,19 +97,36 @@ bool ReportsAgree(const RunReport& a, const RunReport& b, std::string* why) {
   }
   if (a.result_rows != b.result_rows || a.messages != b.messages ||
       a.total_bytes != b.total_bytes) {
-    *why = "transcript shape differs (rows/messages/bytes)";
+    *why = "transcript shape differs: rows " + std::to_string(a.result_rows) +
+           " vs " + std::to_string(b.result_rows) + ", messages " +
+           std::to_string(a.messages) + " vs " + std::to_string(b.messages) +
+           ", bytes " + std::to_string(a.total_bytes) + " vs " +
+           std::to_string(b.total_bytes);
     return false;
   }
   if (a.stats.size() != b.stats.size()) {
-    *why = "party stats cardinality differs";
+    *why = "party stats cardinality differs (" +
+           std::to_string(a.stats.size()) + " vs " +
+           std::to_string(b.stats.size()) + " parties)";
     return false;
   }
+  std::string diffs;
   for (size_t i = 0; i < a.stats.size(); ++i) {
-    if (a.stats[i].first != b.stats[i].first ||
-        !StatsEqual(a.stats[i].second, b.stats[i].second)) {
-      *why = "per-party stats differ for " + a.stats[i].first;
-      return false;
+    if (a.stats[i].first != b.stats[i].first) {
+      if (!diffs.empty()) diffs += "; ";
+      diffs += "party order differs at index " + std::to_string(i) + " (" +
+               a.stats[i].first + " vs " + b.stats[i].first + ")";
+      continue;
     }
+    if (!StatsEqual(a.stats[i].second, b.stats[i].second)) {
+      if (!diffs.empty()) diffs += "; ";
+      diffs += a.stats[i].first + ": " +
+               StatsDiff(a.stats[i].second, b.stats[i].second);
+    }
+  }
+  if (!diffs.empty()) {
+    *why = "per-party stats differ (expected vs actual) — " + diffs;
+    return false;
   }
   return true;
 }
@@ -167,6 +208,12 @@ int DriveMain(int argc, char** argv) {
   std::fprintf(stderr, "drive: client on %s, %zu session(s) of %s\n",
                reply_to.c_str(), sessions, protocol.c_str());
 
+  // One scope across all sessions (the tracer is thread-safe, so the
+  // concurrent mode interleaves safely); null when no artifact was asked
+  // for, which keeps the instrumented code on its no-op path.
+  std::unique_ptr<obs::Scope> scope;
+  if (args.WantsObs()) scope = std::make_unique<obs::Scope>();
+
   // One ctl_run per daemon process per session (daemons hosting several
   // parties appear once).
   std::set<Endpoint> daemon_eps;
@@ -208,7 +255,7 @@ int DriveMain(int argc, char** argv) {
       workers.emplace_back([&, s] {
         own[s - 1] = RunReplicatedSession(testbed->get(), host->get(),
                                           deployment, make_spec(s),
-                                          &results[s - 1]);
+                                          &results[s - 1], scope.get());
       });
     }
     for (std::thread& t : workers) t.join();
@@ -216,7 +263,7 @@ int DriveMain(int argc, char** argv) {
     for (uint32_t s = 1; s <= sessions; ++s) {
       own[s - 1] = RunReplicatedSession(testbed->get(), host->get(),
                                         deployment, make_spec(s),
-                                        &results[s - 1]);
+                                        &results[s - 1], scope.get());
     }
   }
 
@@ -296,6 +343,45 @@ int DriveMain(int argc, char** argv) {
     }
   }
 
+  // Emit the requested observability artifacts. The traffic rows are the
+  // transport statistics embedded in this process's own run reports
+  // (copied from Transport::StatsOf), summed over the sessions — for a
+  // single session they are exactly StatsOf of the session transport.
+  if (scope != nullptr) {
+    RunReport agg;
+    for (const RunReport& rep : own) {
+      if (!rep.ok) continue;
+      agg.messages += rep.messages;
+      agg.total_bytes += rep.total_bytes;
+      for (const auto& [party, s] : rep.stats) {
+        auto it = std::find_if(agg.stats.begin(), agg.stats.end(),
+                               [&](const auto& e) { return e.first == party; });
+        if (it == agg.stats.end()) {
+          agg.stats.emplace_back(party, s);
+        } else {
+          it->second.Accumulate(s);
+        }
+      }
+    }
+    obs::RunInfo info;
+    info.protocol = protocol;
+    info.query = (*testbed)->JoinSql();
+    info.sessions = static_cast<uint32_t>(sessions);
+    info.threads = threads;
+    info.messages = agg.messages;
+    info.total_bytes = agg.total_bytes;
+    std::vector<obs::PartyTraffic> traffic = PartyTrafficRows(agg);
+    Status st = WriteObsArtifacts(*scope, info, traffic, args.trace_out,
+                                  args.report_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "drive: %s\n", st.ToString().c_str());
+      ++failures;
+    } else {
+      std::fprintf(stderr, "%s",
+                   obs::RenderRunReportTable(info, *scope, traffic).c_str());
+    }
+  }
+
   if (shutdown_peers) {
     for (const Endpoint& ep : daemon_eps) {
       (void)SendCtl(host->get(), ep, "client-driver", kCtlShutdown, Bytes(),
@@ -319,6 +405,8 @@ struct Args {
   size_t partitions = 4;
   size_t group_bits = 512;
   std::string csv_out;
+  std::string trace_out;
+  std::string report_out;
 };
 
 bool ParseTableArg(const char* arg, std::string* name, std::string* file) {
@@ -333,7 +421,8 @@ int Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --table1 NAME=FILE --table2 NAME=FILE --query SQL\n"
                "          [--protocol das|commutative|pm] [--partitions N]\n"
-               "          [--group-bits N] [--csv-out FILE]\n",
+               "          [--group-bits N] [--csv-out FILE]\n"
+               "          [--trace-out FILE] [--report-out FILE]\n",
                prog);
   return 2;
 }
@@ -380,6 +469,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       args.csv_out = v;
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      args.trace_out = v;
+    } else if (flag.rfind("--trace-out=", 0) == 0) {
+      args.trace_out = flag.substr(std::strlen("--trace-out="));
+      if (args.trace_out.empty()) return Usage(argv[0]);
+    } else if (flag == "--report-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      args.report_out = v;
+    } else if (flag.rfind("--report-out=", 0) == 0) {
+      args.report_out = flag.substr(std::strlen("--report-out="));
+      if (args.report_out.empty()) return Usage(argv[0]);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return Usage(argv[0]);
@@ -423,13 +526,22 @@ int main(int argc, char** argv) {
   mediator.RegisterTable(args.table1, s1.name(), r1->schema());
   mediator.RegisterTable(args.table2, s2.name(), r2->schema());
 
+  // Instrumentation is opt-in: no artifact flags → null scope → the
+  // instrumented code stays on its no-op path.
+  std::unique_ptr<obs::Scope> scope;
+  if (!args.trace_out.empty() || !args.report_out.empty()) {
+    scope = std::make_unique<obs::Scope>();
+  }
+
   NetworkBus bus;
+  bus.SetObsScope(scope.get());
   ProtocolContext ctx;
   ctx.client = &client.value();
   ctx.mediator = &mediator;
   ctx.sources = {{s1.name(), &s1}, {s2.name(), &s2}};
   ctx.bus = &bus;
   ctx.rng = &rng;
+  ctx.obs = scope.get();
 
   std::unique_ptr<JoinProtocol> protocol;
   if (args.protocol == "das") {
@@ -469,5 +581,25 @@ int main(int argc, char** argv) {
                "%zu bytes\n",
                args.protocol.c_str(), med.messages_received,
                med.bytes_received, bus.TotalBytes());
+
+  if (scope != nullptr) {
+    obs::RunInfo info;
+    info.protocol = args.protocol;
+    info.query = args.query;
+    info.sessions = 1;
+    info.threads = 1;
+    info.messages = bus.transcript().size();
+    info.total_bytes = bus.TotalBytes();
+    std::vector<obs::PartyTraffic> traffic = PartyTrafficRows(
+        bus, {client->name(), mediator.name(), s1.name(), s2.name()});
+    Status st = WriteObsArtifacts(*scope, info, traffic, args.trace_out,
+                                  args.report_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%s",
+                 obs::RenderRunReportTable(info, *scope, traffic).c_str());
+  }
   return 0;
 }

@@ -22,16 +22,25 @@
 // full --peer map of the other parties.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/remote.h"
+#include "core/run_obs.h"
 #include "deploy_flags.h"
 
 using namespace secmed;
 
 namespace {
+
+/// "trace.json" + session 3 → "trace.json.s3" — each session of a daemon
+/// gets its own artifact files so concurrent sessions never interleave.
+std::string SessionPath(const std::string& path, uint32_t session) {
+  if (path.empty()) return path;
+  return path + ".s" + std::to_string(session);
+}
 
 int Usage(const char* prog) {
   std::fprintf(stderr,
@@ -106,8 +115,30 @@ int main(int argc, char** argv) {
       continue;
     }
     sessions.emplace_back([&, spec = *spec] {
+      // Per-session scope: each session thread traces into its own
+      // artifacts (suffix ".s<N>"), so traces of concurrent sessions
+      // stay separable.
+      std::unique_ptr<obs::Scope> scope;
+      if (args.WantsObs()) scope = std::make_unique<obs::Scope>();
       RunReport report = RunReplicatedSession(testbed->get(), host->get(),
-                                              deployment, spec, nullptr);
+                                              deployment, spec, nullptr,
+                                              scope.get());
+      if (scope != nullptr && report.ok) {
+        obs::RunInfo info;
+        info.protocol = spec.protocol;
+        info.query = spec.query;
+        info.sessions = 1;
+        info.threads = static_cast<uint32_t>(spec.threads);
+        info.messages = report.messages;
+        info.total_bytes = report.total_bytes;
+        Status obs_st = WriteObsArtifacts(
+            *scope, info, PartyTrafficRows(report),
+            SessionPath(args.trace_out, spec.session),
+            SessionPath(args.report_out, spec.session));
+        if (!obs_st.ok()) {
+          std::fprintf(stderr, "secmedd: %s\n", obs_st.ToString().c_str());
+        }
+      }
       std::fprintf(stderr,
                    "secmedd: session %u %s (%llu msgs, %llu bytes)%s%s\n",
                    spec.session, report.ok ? "ok" : "FAILED",
