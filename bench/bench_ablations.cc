@@ -18,6 +18,8 @@
 #include "crypto/drbg.h"
 #include "crypto/hybrid.h"
 
+#include "bench_env.h"
+
 using namespace secmed;
 
 namespace {
@@ -244,6 +246,7 @@ void ProjectOntoNetworks() {
 }  // namespace
 
 int main() {
+  secmed::BenchCheckBuild();
   std::printf("=== Design-choice ablations ===\n\n");
   AblateCommutativePayloadForwarding();
   AblateDasStrategyUnderSkew();

@@ -18,9 +18,12 @@
 #include "core/testbed.h"
 #include "das/index_table.h"
 
+#include "bench_env.h"
+
 using namespace secmed;
 
 int main() {
+  secmed::BenchCheckBuild();
   WorkloadConfig cfg;
   cfg.r1_tuples = 120;
   cfg.r2_tuples = 120;

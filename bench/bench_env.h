@@ -1,0 +1,55 @@
+// Build-mode guard shared by every benchmark main. Numbers from an
+// unoptimized (-O0) binary are meaningless and must never be recorded:
+// BenchCheckBuild() screams on stderr when __OPTIMIZE__ is absent and
+// stamps the build mode into the benchmark context, so any JSON written
+// by an unoptimized run carries "secmed_build": "unoptimized" and
+// tools/bench_diff.py can refuse it.
+
+#ifndef SECMED_BENCH_BENCH_ENV_H_
+#define SECMED_BENCH_BENCH_ENV_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace secmed {
+
+#if defined(__OPTIMIZE__)
+inline constexpr bool kBenchOptimizedBuild = true;
+#else
+inline constexpr bool kBenchOptimizedBuild = false;
+#endif
+
+/// Call once at the top of every benchmark main, before
+/// benchmark::Initialize.
+inline void BenchCheckBuild() {
+  benchmark::AddCustomContext(
+      "secmed_build", kBenchOptimizedBuild ? "optimized" : "unoptimized");
+  if (!kBenchOptimizedBuild) {
+    std::fprintf(
+        stderr,
+        "\n"
+        "*********************************************************************\n"
+        "** WARNING: this benchmark was built WITHOUT compiler optimization **\n"
+        "** (-O0 / no __OPTIMIZE__). Timings are meaningless — do NOT       **\n"
+        "** record or compare them. Rebuild with the Release preset:        **\n"
+        "**     cmake --preset bench && cmake --build --preset bench        **\n"
+        "*********************************************************************\n"
+        "\n");
+  }
+}
+
+}  // namespace secmed
+
+/// Drop-in replacement for BENCHMARK_MAIN() that stamps the build mode.
+#define SECMED_BENCH_MAIN()                                           \
+  int main(int argc, char** argv) {                                   \
+    secmed::BenchCheckBuild();                                        \
+    benchmark::Initialize(&argc, argv);                               \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                              \
+    benchmark::Shutdown();                                            \
+    return 0;                                                         \
+  }
+
+#endif  // SECMED_BENCH_BENCH_ENV_H_

@@ -19,6 +19,8 @@
 #include "core/selection_protocol.h"
 #include "core/testbed.h"
 
+#include "bench_env.h"
+
 using namespace secmed;
 
 namespace {
@@ -194,6 +196,7 @@ void SelectionVsRange() {
 }  // namespace
 
 int main() {
+  secmed::BenchCheckBuild();
   std::printf("=== Extension-protocol experiments ===\n\n");
   Intersections();
   AggregatesVsFullJoin();

@@ -1,0 +1,277 @@
+// Micro-benchmarks for the modular-exponentiation fast paths (the
+// quantitative backing for DESIGN.md's fast-path section):
+//
+//   - generic schoolbook square-and-multiply vs the Montgomery context's
+//     sliding-window recoded exponentiation vs the fixed-base table;
+//   - Paillier encryption: naive r^n, the recoded inline path, and the
+//     pool-backed online cost (r^n amortized off the measured path);
+//   - Paillier decryption: single full-width exponentiation (no CRT) vs
+//     the two half-width CRT exponentiations — the ≥3x headline;
+//   - ElGamal encryption: generic group Pow vs the fixed-base tables
+//     (≥2x) vs the pool-backed online cost;
+//   - commutative encryption: generic Pow vs the once-per-key recoding.
+//
+// Compare runs with tools/bench_diff.py.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_env.h"
+
+#include <memory>
+#include <vector>
+
+#include "bigint/fastexp.h"
+#include "bigint/modular.h"
+#include "crypto/commutative.h"
+#include "crypto/elgamal.h"
+#include "crypto/group_params.h"
+#include "crypto/paillier.h"
+#include "crypto/randomizer_pool.h"
+#include "util/rng.h"
+
+namespace secmed {
+namespace {
+
+constexpr size_t kGroupBits = 1024;
+constexpr size_t kPaillierBits = 1024;
+constexpr size_t kPoolItems = 32;
+
+// Schoolbook square-and-multiply without Montgomery arithmetic: the
+// baseline every fast path is measured against.
+BigInt NaiveModExp(const BigInt& base, const BigInt& exp, const BigInt& mod) {
+  BigInt result(1);
+  BigInt b = BigInt::Mod(base, mod).value();
+  for (size_t i = exp.BitLength(); i-- > 0;) {
+    result = (result * result) % mod;
+    if (exp.TestBit(i)) result = (result * b) % mod;
+  }
+  return result;
+}
+
+struct ModExpFixture {
+  QrGroup group;
+  BigInt base;
+  BigInt exp;
+  std::shared_ptr<const MontgomeryContext> ctx;
+
+  ModExpFixture()
+      : group(StandardGroup(kGroupBits).value()),
+        base(0),
+        exp(0),
+        ctx(group.mont_ctx()) {
+    XoshiroRandomSource rng(7001);
+    base = BigInt::RandomBelow(group.p(), &rng);
+    exp = BigInt::RandomBelow(group.q(), &rng);
+  }
+};
+
+ModExpFixture& Fx() {
+  static ModExpFixture* fx = new ModExpFixture();
+  return *fx;
+}
+
+void BM_ModExp_Naive(benchmark::State& state) {
+  ModExpFixture& fx = Fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveModExp(fx.base, fx.exp, fx.group.p()));
+  }
+}
+BENCHMARK(BM_ModExp_Naive);
+
+void BM_ModExp_MontgomeryRecoded(benchmark::State& state) {
+  ModExpFixture& fx = Fx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.ctx->Exp(fx.base, fx.exp));
+  }
+}
+BENCHMARK(BM_ModExp_MontgomeryRecoded);
+
+void BM_ModExp_FixedExponentRecoding(benchmark::State& state) {
+  // The per-key amortization: recode once, exponentiate many times.
+  ModExpFixture& fx = Fx();
+  const ExponentRecoding rec = ExponentRecoding::Create(fx.exp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.ctx->ExpWithRecoding(fx.base, rec));
+  }
+}
+BENCHMARK(BM_ModExp_FixedExponentRecoding);
+
+void BM_ModExp_FixedBaseTable(benchmark::State& state) {
+  // The per-base amortization: one table, many exponents.
+  ModExpFixture& fx = Fx();
+  static FixedBaseTable* table =
+      new FixedBaseTable(fx.group.MakeFixedBaseTable(fx.base).value());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Pow(fx.exp));
+  }
+}
+BENCHMARK(BM_ModExp_FixedBaseTable);
+
+// ---------------------------------------------------------------- Paillier
+
+struct PaillierFixture {
+  PaillierKeyPair keys;
+  BigInt m;
+  BigInt c;
+  PaillierRandomizerPool pool;
+
+  PaillierFixture()
+      : keys([] {
+          XoshiroRandomSource rng(7002);
+          return PaillierGenerateKey(kPaillierBits, &rng).value();
+        }()),
+        m(123456789) {
+    XoshiroRandomSource rng(7003);
+    c = keys.public_key.Encrypt(m, &rng).value();
+    std::vector<std::unique_ptr<RandomSource>> rngs = ForkN(&rng, kPoolItems);
+    pool = PaillierRandomizerPool::Precompute(keys.public_key, rngs,
+                                              /*per_item=*/1, /*threads=*/1);
+  }
+};
+
+PaillierFixture& Pf() {
+  static PaillierFixture* fx = new PaillierFixture();
+  return *fx;
+}
+
+void BM_PaillierEncrypt_Naive(benchmark::State& state) {
+  PaillierFixture& fx = Pf();
+  XoshiroRandomSource rng(7004);
+  const BigInt& n = fx.keys.public_key.n();
+  const BigInt& n2 = fx.keys.public_key.n_squared();
+  for (auto _ : state) {
+    BigInt r = fx.keys.public_key.DrawRandomizerBase(&rng);
+    BigInt rn = NaiveModExp(r, n, n2);
+    benchmark::DoNotOptimize(
+        fx.keys.public_key.EncryptWithRandomizer(fx.m, rn).value());
+  }
+}
+BENCHMARK(BM_PaillierEncrypt_Naive);
+
+void BM_PaillierEncrypt_Inline(benchmark::State& state) {
+  PaillierFixture& fx = Pf();
+  XoshiroRandomSource rng(7004);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.keys.public_key.Encrypt(fx.m, &rng).value());
+  }
+}
+BENCHMARK(BM_PaillierEncrypt_Inline);
+
+void BM_PaillierEncrypt_Pooled(benchmark::State& state) {
+  // Online cost only: the r^n exponentiations happened at pool build.
+  PaillierFixture& fx = Pf();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.pool.Encrypt(fx.keys.public_key, fx.m, i).value());
+    i = (i + 1) % kPoolItems;
+  }
+}
+BENCHMARK(BM_PaillierEncrypt_Pooled);
+
+void BM_PaillierDecrypt_NoCrt(benchmark::State& state) {
+  PaillierFixture& fx = Pf();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.keys.private_key.DecryptNoCrt(fx.c).value());
+  }
+}
+BENCHMARK(BM_PaillierDecrypt_NoCrt);
+
+void BM_PaillierDecrypt_Crt(benchmark::State& state) {
+  PaillierFixture& fx = Pf();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.keys.private_key.Decrypt(fx.c).value());
+  }
+}
+BENCHMARK(BM_PaillierDecrypt_Crt);
+
+// ----------------------------------------------------------------- ElGamal
+
+struct ElGamalFixture {
+  QrGroup group;
+  ElGamalKeyPair keys;
+  ElGamalRandomizerPool pool;
+
+  ElGamalFixture()
+      : group(StandardGroup(kGroupBits).value()), keys([this] {
+          XoshiroRandomSource rng(7005);
+          return ElGamalGenerateKey(group, &rng);
+        }()) {
+    XoshiroRandomSource rng(7006);
+    std::vector<std::unique_ptr<RandomSource>> rngs = ForkN(&rng, kPoolItems);
+    pool = ElGamalRandomizerPool::Precompute(keys.public_key, rngs,
+                                             /*per_item=*/1, /*threads=*/1);
+  }
+};
+
+ElGamalFixture& Ef() {
+  static ElGamalFixture* fx = new ElGamalFixture();
+  return *fx;
+}
+
+void BM_ElGamalEncrypt_GenericPow(benchmark::State& state) {
+  // What Encrypt cost before the fixed-base tables: three generic
+  // exponentiations plus a product.
+  ElGamalFixture& fx = Ef();
+  XoshiroRandomSource rng(7007);
+  const ElGamalPublicKey& pub = fx.keys.public_key;
+  const BigInt m(17);
+  for (auto _ : state) {
+    BigInt r = pub.DrawRandomizer(&rng);
+    BigInt c1 = fx.group.Pow(pub.g(), r);
+    BigInt c2 =
+        (fx.group.Pow(pub.g(), m) * fx.group.Pow(pub.h(), r)) % fx.group.p();
+    benchmark::DoNotOptimize(c1);
+    benchmark::DoNotOptimize(c2);
+  }
+}
+BENCHMARK(BM_ElGamalEncrypt_GenericPow);
+
+void BM_ElGamalEncrypt_Table(benchmark::State& state) {
+  ElGamalFixture& fx = Ef();
+  XoshiroRandomSource rng(7007);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.keys.public_key.Encrypt(17, &rng).value());
+  }
+}
+BENCHMARK(BM_ElGamalEncrypt_Table);
+
+void BM_ElGamalEncrypt_Pooled(benchmark::State& state) {
+  ElGamalFixture& fx = Ef();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.pool.Encrypt(fx.keys.public_key, 17, i).value());
+    i = (i + 1) % kPoolItems;
+  }
+}
+BENCHMARK(BM_ElGamalEncrypt_Pooled);
+
+// ------------------------------------------------------------- Commutative
+
+void BM_CommutativeEncrypt_GenericPow(benchmark::State& state) {
+  ModExpFixture& fx = Fx();
+  XoshiroRandomSource rng(7008);
+  CommutativeKey key = CommutativeKey::Generate(fx.group, &rng);
+  const BigInt x = fx.group.Pow(fx.base, BigInt(2));  // a group element
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.group.Pow(x, key.exponent()));
+  }
+}
+BENCHMARK(BM_CommutativeEncrypt_GenericPow);
+
+void BM_CommutativeEncrypt_Recoded(benchmark::State& state) {
+  ModExpFixture& fx = Fx();
+  XoshiroRandomSource rng(7008);
+  CommutativeKey key = CommutativeKey::Generate(fx.group, &rng);
+  const BigInt x = fx.group.Pow(fx.base, BigInt(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Encrypt(x));
+  }
+}
+BENCHMARK(BM_CommutativeEncrypt_Recoded);
+
+}  // namespace
+}  // namespace secmed
+
+SECMED_BENCH_MAIN();

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_env.h"
+
 #include <memory>
 
 #include "core/commutative_protocol.h"
@@ -106,4 +108,4 @@ BENCHMARK(BM_Commutative_Obs)
 }  // namespace
 }  // namespace secmed
 
-BENCHMARK_MAIN();
+SECMED_BENCH_MAIN();

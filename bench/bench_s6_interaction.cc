@@ -20,9 +20,12 @@
 #include "core/pm_protocol.h"
 #include "core/testbed.h"
 
+#include "bench_env.h"
+
 using namespace secmed;
 
 int main() {
+  secmed::BenchCheckBuild();
   WorkloadConfig cfg;
   cfg.r1_tuples = 40;
   cfg.r2_tuples = 40;

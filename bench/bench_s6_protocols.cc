@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_env.h"
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -222,6 +224,7 @@ BENCHMARK(BM_Pm_Threads)
 
 int main(int argc, char** argv) {
   using namespace secmed;
+  BenchCheckBuild();
   // Peel off the obs artifact flags; everything else goes to the
   // benchmark library untouched.
   std::string trace_out;

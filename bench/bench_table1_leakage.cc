@@ -23,9 +23,12 @@
 #include "core/pm_protocol.h"
 #include "core/testbed.h"
 
+#include "bench_env.h"
+
 using namespace secmed;
 
 int main() {
+  secmed::BenchCheckBuild();
   WorkloadConfig cfg;
   cfg.r1_tuples = 50;
   cfg.r2_tuples = 40;

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_env.h"
+
 #include "bigint/modular.h"
 #include "crypto/commutative.h"
 #include "crypto/drbg.h"
@@ -236,4 +238,4 @@ BENCHMARK(BM_Bigint_ModExp)->Arg(512)->Arg(1024)->Arg(2048);
 }  // namespace
 }  // namespace secmed
 
-BENCHMARK_MAIN();
+SECMED_BENCH_MAIN();

@@ -12,6 +12,8 @@
 #include "core/pm_protocol.h"
 #include "core/testbed.h"
 
+#include "bench_env.h"
+
 using namespace secmed;
 
 namespace {
@@ -31,6 +33,7 @@ double TimeProtocol(JoinProtocol* protocol, const Workload& w,
 }  // namespace
 
 int main() {
+  secmed::BenchCheckBuild();
   std::printf("=== PM vs commutative scaling (Section 6) ===\n\n");
   std::printf("%8s %8s %14s %12s %10s\n", "domain", "tuples", "comm(ms)",
               "pm(ms)", "pm/comm");

@@ -1,0 +1,119 @@
+#include "bigint/fastexp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace secmed {
+
+namespace {
+int AutoWindowBits(size_t exp_bits) {
+  if (exp_bits <= 12) return 2;
+  if (exp_bits <= 80) return 3;
+  if (exp_bits <= 240) return 4;
+  if (exp_bits <= 768) return 5;
+  return 6;
+}
+}  // namespace
+
+ExponentRecoding ExponentRecoding::Create(const BigInt& exp) {
+  return CreateWithWindow(exp, AutoWindowBits(exp.BitLength()));
+}
+
+ExponentRecoding ExponentRecoding::CreateWithWindow(const BigInt& exp,
+                                                    int window_bits) {
+  assert(!exp.is_negative());
+  window_bits = std::max(1, std::min(window_bits, 12));
+  ExponentRecoding rec;
+  rec.window_bits_ = window_bits;
+  rec.exp_bits_ = exp.BitLength();
+
+  const size_t w = static_cast<size_t>(window_bits);
+  uint32_t squarings = 0;
+  size_t i = rec.exp_bits_;  // next unprocessed bit is i - 1
+  while (i > 0) {
+    if (!exp.TestBit(i - 1)) {
+      ++squarings;
+      --i;
+      continue;
+    }
+    // Greedy window [lo, i): widest span <= w bits ending in a set bit,
+    // so the digit is always odd.
+    size_t lo = (i >= w) ? i - w : 0;
+    while (!exp.TestBit(lo)) ++lo;
+    uint32_t digit = 0;
+    for (size_t k = i; k-- > lo;) {
+      digit = (digit << 1) | (exp.TestBit(k) ? 1u : 0u);
+    }
+    rec.steps_.push_back({squarings + static_cast<uint32_t>(i - lo), digit});
+    squarings = 0;
+    i = lo;
+  }
+  rec.trailing_squarings_ = squarings;
+  return rec;
+}
+
+Result<FixedBaseTable> FixedBaseTable::Create(
+    std::shared_ptr<const MontgomeryContext> ctx, const BigInt& base,
+    size_t max_exp_bits, int window_bits) {
+  if (ctx == nullptr) {
+    return Status::InvalidArgument("FixedBaseTable needs a Montgomery context");
+  }
+  if (base.is_negative()) {
+    return Status::InvalidArgument("FixedBaseTable base must be non-negative");
+  }
+  if (max_exp_bits == 0) {
+    return Status::InvalidArgument("max_exp_bits must be positive");
+  }
+  if (window_bits < 1 || window_bits > 8) {
+    return Status::InvalidArgument("window_bits must be in [1, 8]");
+  }
+
+  FixedBaseTable t;
+  t.base_ = base;
+  t.max_exp_bits_ = max_exp_bits;
+  t.window_bits_ = window_bits;
+
+  const size_t w = static_cast<size_t>(window_bits);
+  const size_t windows = (max_exp_bits + w - 1) / w;
+  const size_t digits = (static_cast<size_t>(1) << w) - 1;
+  t.table_.resize(windows);
+
+  // power = base^(2^(w*i)) in the Montgomery domain; each window's digit
+  // column is a short multiplication chain off it.
+  BigInt power = ctx->ToMont(base);
+  for (size_t i = 0; i < windows; ++i) {
+    std::vector<BigInt>& col = t.table_[i];
+    col.resize(digits);
+    col[0] = power;
+    for (size_t d = 1; d < digits; ++d) col[d] = ctx->MulMont(col[d - 1], power);
+    if (i + 1 < windows) {
+      for (size_t k = 0; k < w; ++k) power = ctx->MulMont(power, power);
+    }
+  }
+  t.ctx_ = std::move(ctx);
+  return t;
+}
+
+BigInt FixedBaseTable::Pow(const BigInt& exp) const {
+  if (exp.is_negative() || exp.BitLength() > max_exp_bits_) {
+    return ctx_->Exp(base_, exp);  // generic fallback for oversized exponents
+  }
+  const size_t w = static_cast<size_t>(window_bits_);
+  const size_t windows = (exp.BitLength() + w - 1) / w;
+  BigInt acc = ctx_->MontOne();
+  bool have_acc = false;
+  for (size_t i = 0; i < windows; ++i) {
+    uint32_t digit = 0;
+    for (size_t k = w; k-- > 0;) {
+      digit = (digit << 1) | (exp.TestBit(i * w + k) ? 1u : 0u);
+    }
+    if (digit == 0) continue;
+    const BigInt& entry = table_[i][digit - 1];
+    acc = have_acc ? ctx_->MulMont(acc, entry) : entry;
+    have_acc = true;
+  }
+  return ctx_->FromMont(acc);
+}
+
+}  // namespace secmed

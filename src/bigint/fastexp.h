@@ -1,0 +1,84 @@
+#ifndef SECMED_BIGINT_FASTEXP_H_
+#define SECMED_BIGINT_FASTEXP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "bigint/modular.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// Sliding-window recoding of a fixed non-negative exponent.
+///
+/// The exponent is scanned once, left to right, into a sequence of steps
+/// "square s times, then multiply by base^digit" with every digit odd, so
+/// an exponentiation only needs the odd powers base^1, base^3, ...,
+/// base^(2^w - 1). Recode once per key (Pohlig–Hellman e/e^{-1}, RSA-CRT
+/// d_p/d_q, Paillier n and p-1/q-1) and reuse across every value.
+class ExponentRecoding {
+ public:
+  struct Step {
+    uint32_t squarings;  // squarings to apply before the multiply
+    uint32_t digit;      // odd multiplier digit, 1 <= digit < 2^window_bits
+  };
+
+  /// Recodes with a window size chosen from the exponent's bit length.
+  static ExponentRecoding Create(const BigInt& exp);
+
+  /// Recodes with an explicit window size (1..12 bits).
+  static ExponentRecoding CreateWithWindow(const BigInt& exp, int window_bits);
+
+  const std::vector<Step>& steps() const { return steps_; }
+  /// Squarings after the last multiply (trailing zero bits of the exponent).
+  uint32_t trailing_squarings() const { return trailing_squarings_; }
+  int window_bits() const { return window_bits_; }
+  /// Bit length of the recoded exponent; 0 means the exponent was zero.
+  size_t exp_bits() const { return exp_bits_; }
+
+ private:
+  std::vector<Step> steps_;
+  uint32_t trailing_squarings_ = 0;
+  int window_bits_ = 1;
+  size_t exp_bits_ = 0;
+};
+
+/// Precomputed radix-2^w powers of a fixed base for fast g^x.
+///
+/// Stores base^(d * 2^(w*i)) in the Montgomery domain for every window i
+/// and digit d, so Pow costs one Montgomery multiplication per non-zero
+/// exponent window and no squarings at all. Pays for itself after a
+/// handful of exponentiations; ElGamal g/h, the QR-group generator and the
+/// PM masking path reuse one table across thousands.
+class FixedBaseTable {
+ public:
+  /// Builds a table covering exponents up to `max_exp_bits` bits.
+  /// `window_bits` trades table size for multiplications (1..8 bits).
+  static Result<FixedBaseTable> Create(
+      std::shared_ptr<const MontgomeryContext> ctx, const BigInt& base,
+      size_t max_exp_bits, int window_bits = 4);
+
+  /// base^exp mod m. Exponents longer than max_exp_bits (or negative) fall
+  /// back to the context's generic exponentiation.
+  BigInt Pow(const BigInt& exp) const;
+
+  const BigInt& base() const { return base_; }
+  size_t max_exp_bits() const { return max_exp_bits_; }
+  int window_bits() const { return window_bits_; }
+
+ private:
+  FixedBaseTable() = default;
+
+  std::shared_ptr<const MontgomeryContext> ctx_;
+  BigInt base_;
+  size_t max_exp_bits_ = 0;
+  int window_bits_ = 0;
+  // table_[i][d - 1] = base^(d * 2^(window_bits*i)), Montgomery domain.
+  std::vector<std::vector<BigInt>> table_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_BIGINT_FASTEXP_H_

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "bigint/fastexp.h"
+
 namespace secmed {
 
 BigInt Gcd(const BigInt& a, const BigInt& b) {
@@ -215,23 +217,35 @@ BigInt MontgomeryContext::Mul(const BigInt& a, const BigInt& b) const {
 
 BigInt MontgomeryContext::Exp(const BigInt& base, const BigInt& exp) const {
   assert(!exp.is_negative());
-  // 4-bit fixed-window exponentiation in the Montgomery domain.
-  const BigInt base_m = ToMont(base);
-  std::vector<BigInt> table(16);
-  table[0] = one_mont_;
-  for (int i = 1; i < 16; ++i) table[i] = MulMont(table[i - 1], base_m);
+  return ExpWithRecoding(base, ExponentRecoding::Create(exp));
+}
 
-  const size_t bits = exp.BitLength();
-  if (bits == 0) return FromMont(one_mont_);
-  const size_t windows = (bits + 3) / 4;
-  BigInt acc = one_mont_;
-  for (size_t w = windows; w-- > 0;) {
-    for (int k = 0; k < 4; ++k) acc = MulMont(acc, acc);
-    int digit = 0;
-    for (int k = 3; k >= 0; --k) {
-      digit = (digit << 1) | (exp.TestBit(w * 4 + k) ? 1 : 0);
+BigInt MontgomeryContext::ExpWithRecoding(const BigInt& base,
+                                          const ExponentRecoding& rec) const {
+  if (rec.steps().empty()) return FromMont(one_mont_);  // exponent was zero
+
+  // Odd-power table: odd[k] = base^(2k+1) in the Montgomery domain.
+  const size_t odd_count = static_cast<size_t>(1)
+                           << (rec.window_bits() - 1);
+  const BigInt base_m = ToMont(base);
+  std::vector<BigInt> odd(odd_count);
+  odd[0] = base_m;
+  if (odd_count > 1) {
+    const BigInt base_sq = MulMont(base_m, base_m);
+    for (size_t k = 1; k < odd_count; ++k) {
+      odd[k] = MulMont(odd[k - 1], base_sq);
     }
-    if (digit != 0) acc = MulMont(acc, table[digit]);
+  }
+
+  // The accumulator starts as the first step's digit: squaring 1 is free.
+  BigInt acc = odd[rec.steps()[0].digit >> 1];
+  for (size_t s = 1; s < rec.steps().size(); ++s) {
+    const ExponentRecoding::Step& step = rec.steps()[s];
+    for (uint32_t k = 0; k < step.squarings; ++k) acc = MulMont(acc, acc);
+    acc = MulMont(acc, odd[step.digit >> 1]);
+  }
+  for (uint32_t k = 0; k < rec.trailing_squarings(); ++k) {
+    acc = MulMont(acc, acc);
   }
   return FromMont(acc);
 }

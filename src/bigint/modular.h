@@ -8,6 +8,8 @@
 
 namespace secmed {
 
+class ExponentRecoding;  // bigint/fastexp.h
+
 /// Greatest common divisor of |a| and |b|; Gcd(0, 0) == 0.
 BigInt Gcd(const BigInt& a, const BigInt& b);
 
@@ -54,6 +56,13 @@ class MontgomeryContext {
   BigInt Mul(const BigInt& a, const BigInt& b) const;
   /// base^exp mod m; base and result in the normal domain. exp >= 0.
   BigInt Exp(const BigInt& base, const BigInt& exp) const;
+  /// base^exp mod m with the exponent recoded ahead of time. For fixed
+  /// exponents (Pohlig–Hellman keys, CRT exponents, Paillier n) this skips
+  /// the per-call window scan and uses the recoding's tuned window size.
+  BigInt ExpWithRecoding(const BigInt& base, const ExponentRecoding& rec) const;
+
+  /// Montgomery representation of 1 (R mod m); seed for accumulators.
+  const BigInt& MontOne() const { return one_mont_; }
 
  private:
   MontgomeryContext() = default;

@@ -178,13 +178,14 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
         SECMED_ASSIGN_OR_RETURN(ids[k], r.ReadU64());
       }
     }
-    std::vector<Bytes> doubled(count);
     std::string loop_label =
         obs::SpanName(role, "delivery", "comm.double_encrypt");
-    ParallelFor(count, threads, [&](size_t k) {
-      doubled[k] =
-          ss.key.Encrypt(BigInt::FromBytes(singles[k])).ToBytes(group_bytes);
-    }, ctx->obs, loop_label.c_str());
+    std::vector<BigInt> xs(count);
+    for (uint32_t k = 0; k < count; ++k) xs[k] = BigInt::FromBytes(singles[k]);
+    std::vector<BigInt> enc =
+        ss.key.EncryptMany(xs, threads, ctx->obs, loop_label.c_str());
+    std::vector<Bytes> doubled(count);
+    for (uint32_t k = 0; k < count; ++k) doubled[k] = enc[k].ToBytes(group_bytes);
     span.AddItems(count);
     BinaryWriter w;
     w.WriteU8(origin);

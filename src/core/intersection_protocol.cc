@@ -9,6 +9,7 @@
 #include "crypto/group_params.h"
 #include "crypto/hybrid.h"
 #include "crypto/paillier.h"
+#include "crypto/randomizer_pool.h"
 #include "crypto/sha256.h"
 #include "util/parallel.h"
 #include "util/serialize.h"
@@ -168,13 +169,13 @@ Result<Relation> CommutativeIntersectionProtocol::Run(const std::string& sql,
       SECMED_ASSIGN_OR_RETURN(singles[k], r.ReadBytes());
       SECMED_ASSIGN_OR_RETURN(ids[k], r.ReadU64());
     }
-    std::vector<Bytes> doubled(count);
     std::string loop_label = obs::SpanName(role, "delivery", "ix.double_encrypt");
-    ParallelFor(count, threads, [&](size_t k) {
-      doubled[k] = keys[key_idx]
-                       .Encrypt(BigInt::FromBytes(singles[k]))
-                       .ToBytes(group_bytes);
-    }, ctx->obs, loop_label.c_str());
+    std::vector<BigInt> xs(count);
+    for (uint32_t k = 0; k < count; ++k) xs[k] = BigInt::FromBytes(singles[k]);
+    std::vector<BigInt> enc =
+        keys[key_idx].EncryptMany(xs, threads, ctx->obs, loop_label.c_str());
+    std::vector<Bytes> doubled(count);
+    for (uint32_t k = 0; k < count; ++k) doubled[k] = enc[k].ToBytes(group_bytes);
     span.AddItems(count);
     BinaryWriter w;
     w.WriteU8(origin);
@@ -286,14 +287,28 @@ Result<Relation> PmIntersectionProtocol::Run(const std::string& sql,
     std::vector<std::unique_ptr<RandomSource>> rngs =
         ForkN(ctx->rng, coeffs.size());
     std::vector<BigInt> enc(coeffs.size());
-    std::string loop_label = obs::SpanName(
-        which == 1 ? "source1" : "source2", "delivery", "ix.encrypt_coeffs");
-    SECMED_RETURN_IF_ERROR(
-        ParallelForStatus(coeffs.size(), threads, [&](size_t k) -> Status {
-          SECMED_ASSIGN_OR_RETURN(enc[k],
-                                  paillier.Encrypt(coeffs[k], rngs[k].get()));
-          return Status::OK();
-        }, ctx->obs, loop_label.c_str()));
+    const char* src_role = which == 1 ? "source1" : "source2";
+    std::string loop_label =
+        obs::SpanName(src_role, "delivery", "ix.encrypt_coeffs");
+    if (ctx->use_crypto_pools) {
+      std::string pool_label =
+          obs::SpanName(src_role, "delivery", "ix.pool_randomizers");
+      PaillierRandomizerPool rpool = PaillierRandomizerPool::Precompute(
+          paillier, rngs, 1, threads, ctx->obs, pool_label.c_str());
+      SECMED_RETURN_IF_ERROR(
+          ParallelForStatus(coeffs.size(), threads, [&](size_t k) -> Status {
+            SECMED_ASSIGN_OR_RETURN(enc[k],
+                                    rpool.Encrypt(paillier, coeffs[k], k));
+            return Status::OK();
+          }, ctx->obs, loop_label.c_str()));
+    } else {
+      SECMED_RETURN_IF_ERROR(
+          ParallelForStatus(coeffs.size(), threads, [&](size_t k) -> Status {
+            SECMED_ASSIGN_OR_RETURN(enc[k],
+                                    paillier.Encrypt(coeffs[k], rngs[k].get()));
+            return Status::OK();
+          }, ctx->obs, loop_label.c_str()));
+    }
     BinaryWriter w;
     w.WriteU8(which);
     w.WriteU32(static_cast<uint32_t>(coeffs.size()));

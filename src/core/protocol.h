@@ -36,6 +36,12 @@ struct ProtocolContext {
   /// Span names follow `party/phase/operation`, e.g.
   /// `source1/delivery/pm.encrypt_coeffs` or `client/post/decrypt`.
   obs::Scope* obs = nullptr;
+  /// Use precomputed randomizer pools (crypto/randomizer_pool.h) for the
+  /// Paillier encryption loops: the r^n exponentiations run in a batch
+  /// ahead of the online encryption pass. Pools draw from the same
+  /// per-item forked RNG streams as the inline path, so transcripts are
+  /// bit-identical with pools on or off at any thread count.
+  bool use_crypto_pools = true;
 };
 
 /// Message types of the common request phase (Listing 1).

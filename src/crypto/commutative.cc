@@ -1,8 +1,16 @@
 #include "crypto/commutative.h"
 
 #include "bigint/modular.h"
+#include "util/parallel.h"
 
 namespace secmed {
+
+CommutativeKey::CommutativeKey(QrGroup group, BigInt e, BigInt e_inv)
+    : group_(std::move(group)), e_(std::move(e)), e_inv_(std::move(e_inv)) {
+  rec_e_ = std::make_shared<const ExponentRecoding>(ExponentRecoding::Create(e_));
+  rec_e_inv_ =
+      std::make_shared<const ExponentRecoding>(ExponentRecoding::Create(e_inv_));
+}
 
 CommutativeKey CommutativeKey::Generate(const QrGroup& group,
                                         RandomSource* rng) {
@@ -22,11 +30,22 @@ Result<CommutativeKey> CommutativeKey::FromExponent(const QrGroup& group,
 }
 
 BigInt CommutativeKey::Encrypt(const BigInt& x) const {
-  return group_.Pow(x, e_);
+  return group_.PowWithRecoding(x, *rec_e_);
 }
 
 BigInt CommutativeKey::Decrypt(const BigInt& c) const {
-  return group_.Pow(c, e_inv_);
+  return group_.PowWithRecoding(c, *rec_e_inv_);
+}
+
+std::vector<BigInt> CommutativeKey::EncryptMany(const std::vector<BigInt>& xs,
+                                                size_t threads,
+                                                obs::Scope* scope,
+                                                const char* label) const {
+  std::vector<BigInt> out(xs.size());
+  ParallelFor(
+      xs.size(), threads, [&](size_t i) { out[i] = Encrypt(xs[i]); }, scope,
+      label);
+  return out;
 }
 
 }  // namespace secmed

@@ -1,7 +1,12 @@
 #ifndef SECMED_CRYPTO_COMMUTATIVE_H_
 #define SECMED_CRYPTO_COMMUTATIVE_H_
 
+#include <memory>
+#include <vector>
+
+#include "bigint/fastexp.h"
 #include "crypto/group.h"
+#include "obs/scope.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -17,6 +22,10 @@ namespace secmed {
 ///   - invertibility: f_e^{-1} = f_d with d = e^{-1} mod q;
 ///   - secrecy:       distinguishing (x, x^e, y, y^e) from (x, x^e, y, z)
 ///     is the decisional Diffie–Hellman problem in QR(p).
+///
+/// The exponents e and e^{-1} are fixed for the key's lifetime, so both
+/// are window-recoded at construction; every Encrypt/Decrypt reuses the
+/// recoding instead of re-scanning the exponent.
 class CommutativeKey {
  public:
   /// Draws a fresh secret exponent e uniformly from [1, q).
@@ -32,16 +41,26 @@ class CommutativeKey {
   /// f_e^{-1}(c) = c^(e^{-1} mod q) mod p.
   BigInt Decrypt(const BigInt& c) const;
 
+  /// Encrypts a batch under ParallelFor. The output order matches the
+  /// input order regardless of thread count (encryption is deterministic,
+  /// so batching never perturbs transcripts).
+  std::vector<BigInt> EncryptMany(const std::vector<BigInt>& xs,
+                                  size_t threads,
+                                  obs::Scope* scope = nullptr,
+                                  const char* label = nullptr) const;
+
   const BigInt& exponent() const { return e_; }
   const QrGroup& group() const { return group_; }
 
  private:
-  CommutativeKey(QrGroup group, BigInt e, BigInt e_inv)
-      : group_(std::move(group)), e_(std::move(e)), e_inv_(std::move(e_inv)) {}
+  CommutativeKey(QrGroup group, BigInt e, BigInt e_inv);
 
   QrGroup group_;
   BigInt e_;
   BigInt e_inv_;
+  // Fixed exponents recoded once per key (shared so keys stay copyable).
+  std::shared_ptr<const ExponentRecoding> rec_e_;
+  std::shared_ptr<const ExponentRecoding> rec_e_inv_;
 };
 
 }  // namespace secmed

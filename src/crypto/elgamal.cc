@@ -1,22 +1,72 @@
 #include "crypto/elgamal.h"
 
 #include <cmath>
+#include <mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "bigint/modular.h"
 
 namespace secmed {
 
+// Immutable snapshot of a built baby-step table; swapped atomically under
+// the cache mutex so concurrent decryptions search without locking.
+struct ElGamalBsgsTable {
+  uint64_t max_message = 0;
+  uint64_t step = 0;
+  std::unordered_map<std::string, uint64_t> baby;  // g^j -> j, j in [0, step]
+  BigInt giant;                                    // g^{-step} mod p
+};
+
+struct ElGamalBsgsCache {
+  std::mutex mu;
+  std::shared_ptr<const ElGamalBsgsTable> table;
+};
+
+ElGamalPublicKey::ElGamalPublicKey(QrGroup group, BigInt g, BigInt h)
+    : group_(std::move(group)), g_(std::move(g)), h_(std::move(h)) {
+  // Both bases are fixed for the key's lifetime; precompute their power
+  // tables. Failure (only possible for degenerate parameters) leaves the
+  // generic Pow fallback.
+  auto tg = group_.MakeFixedBaseTable(g_);
+  if (tg.ok()) {
+    table_g_ = std::make_shared<const FixedBaseTable>(std::move(tg).value());
+  }
+  auto th = group_.MakeFixedBaseTable(h_);
+  if (th.ok()) {
+    table_h_ = std::make_shared<const FixedBaseTable>(std::move(th).value());
+  }
+}
+
+BigInt ElGamalPublicKey::DrawRandomizer(RandomSource* rng) const {
+  return BigInt::RandomBelow(group_.q() - BigInt(1), rng) + BigInt(1);
+}
+
+ElGamalCiphertext ElGamalPublicKey::MakeRandomizerPair(const BigInt& r) const {
+  ElGamalCiphertext pair;
+  pair.c1 = table_g_ != nullptr ? table_g_->Pow(r) : group_.Pow(g_, r);
+  pair.c2 = table_h_ != nullptr ? table_h_->Pow(r) : group_.Pow(h_, r);
+  return pair;
+}
+
+Result<ElGamalCiphertext> ElGamalPublicKey::EncryptWithRandomizer(
+    uint64_t m, const ElGamalCiphertext& gr_hr) const {
+  ElGamalCiphertext c;
+  c.c1 = gr_hr.c1;
+  if (m == 0) {
+    c.c2 = gr_hr.c2;  // g^0 = 1: skip the exponentiation and the product
+    return c;
+  }
+  BigInt g_m =
+      table_g_ != nullptr ? table_g_->Pow(BigInt(m)) : group_.Pow(g_, BigInt(m));
+  SECMED_ASSIGN_OR_RETURN(c.c2, ModMul(g_m, gr_hr.c2, group_.p()));
+  return c;
+}
+
 Result<ElGamalCiphertext> ElGamalPublicKey::Encrypt(uint64_t m,
                                                     RandomSource* rng) const {
-  BigInt r = BigInt::RandomBelow(group_.q() - BigInt(1), rng) + BigInt(1);
-  ElGamalCiphertext c;
-  c.c1 = group_.Pow(g_, r);
-  BigInt g_m = group_.Pow(g_, BigInt(m));
-  BigInt h_r = group_.Pow(h_, r);
-  // Multiply in the group (mod p) via the cached context.
-  SECMED_ASSIGN_OR_RETURN(c.c2, ModMul(g_m, h_r, group_.p()));
-  return c;
+  return EncryptWithRandomizer(m, MakeRandomizerPair(DrawRandomizer(rng)));
 }
 
 ElGamalCiphertext ElGamalPublicKey::Add(const ElGamalCiphertext& a,
@@ -41,11 +91,18 @@ Result<ElGamalCiphertext> ElGamalPublicKey::Rerandomize(
   return Add(c, zero);
 }
 
+ElGamalPrivateKey::ElGamalPrivateKey(ElGamalPublicKey pub, BigInt x)
+    : pub_(std::move(pub)),
+      x_(std::move(x)),
+      rec_x_(std::make_shared<const ExponentRecoding>(
+          ExponentRecoding::Create(x_))),
+      bsgs_(std::make_shared<ElGamalBsgsCache>()) {}
+
 BigInt ElGamalPrivateKey::DecryptToGroupElement(
     const ElGamalCiphertext& c) const {
   const QrGroup& group = pub_.group();
   // g^m = c2 / c1^x
-  BigInt c1_x = group.Pow(c.c1, x_);
+  BigInt c1_x = group.PowWithRecoding(c.c1, *rec_x_);
   BigInt inv = ModInverse(c1_x, group.p()).value();
   return ModMul(c.c2, inv, group.p()).value();
 }
@@ -55,30 +112,41 @@ Result<uint64_t> ElGamalPrivateKey::DecryptSmall(const ElGamalCiphertext& c,
   const QrGroup& group = pub_.group();
   const BigInt target = DecryptToGroupElement(c);
 
-  // Baby-step/giant-step on g^m = target, 0 <= m <= max_message.
-  const uint64_t step =
-      static_cast<uint64_t>(std::ceil(std::sqrt(
-          static_cast<double>(max_message + 1))));
-  std::unordered_map<std::string, uint64_t> baby;  // g^j -> j
-  BigInt cur(1);
-  for (uint64_t j = 0; j <= step; ++j) {
-    Bytes key = cur.ToBytes();
-    baby.emplace(std::string(key.begin(), key.end()), j);
-    SECMED_ASSIGN_OR_RETURN(cur, ModMul(cur, pub_.g(), group.p()));
+  // Fetch (or build) the cached baby-step table. A table built for a
+  // larger bound stays valid for smaller ones: the search below never
+  // walks past max_message.
+  std::shared_ptr<const ElGamalBsgsTable> table;
+  {
+    std::lock_guard<std::mutex> lock(bsgs_->mu);
+    if (bsgs_->table == nullptr || bsgs_->table->max_message < max_message) {
+      auto t = std::make_shared<ElGamalBsgsTable>();
+      t->max_message = max_message;
+      t->step = static_cast<uint64_t>(
+          std::ceil(std::sqrt(static_cast<double>(max_message + 1))));
+      BigInt cur(1);
+      for (uint64_t j = 0; j <= t->step; ++j) {
+        Bytes key = cur.ToBytes();
+        t->baby.emplace(std::string(key.begin(), key.end()), j);
+        SECMED_ASSIGN_OR_RETURN(cur, ModMul(cur, pub_.g(), group.p()));
+      }
+      // giant = g^{-step}
+      BigInt g_step = group.Pow(pub_.g(), BigInt(t->step));
+      SECMED_ASSIGN_OR_RETURN(t->giant, ModInverse(g_step, group.p()));
+      bsgs_->table = std::move(t);
+    }
+    table = bsgs_->table;
   }
-  // giant = g^{-step}
-  BigInt g_step = group.Pow(pub_.g(), BigInt(step));
-  SECMED_ASSIGN_OR_RETURN(BigInt giant, ModInverse(g_step, group.p()));
 
+  // Giant steps over g^m = target, 0 <= m <= max_message.
   BigInt gamma = target;
-  for (uint64_t i = 0; i * step <= max_message; ++i) {
+  for (uint64_t i = 0; i * table->step <= max_message; ++i) {
     Bytes key = gamma.ToBytes();
-    auto it = baby.find(std::string(key.begin(), key.end()));
-    if (it != baby.end()) {
-      uint64_t m = i * step + it->second;
+    auto it = table->baby.find(std::string(key.begin(), key.end()));
+    if (it != table->baby.end()) {
+      uint64_t m = i * table->step + it->second;
       if (m <= max_message) return m;
     }
-    SECMED_ASSIGN_OR_RETURN(gamma, ModMul(gamma, giant, group.p()));
+    SECMED_ASSIGN_OR_RETURN(gamma, ModMul(gamma, table->giant, group.p()));
   }
   return Status::OutOfRange("plaintext exceeds the discrete-log bound");
 }

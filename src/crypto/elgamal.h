@@ -1,6 +1,9 @@
 #ifndef SECMED_CRYPTO_ELGAMAL_H_
 #define SECMED_CRYPTO_ELGAMAL_H_
 
+#include <memory>
+
+#include "bigint/fastexp.h"
 #include "crypto/group.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -29,17 +32,36 @@ struct ElGamalCiphertext {
   }
 };
 
+// Lazily built baby-step/giant-step state shared by DecryptSmall calls
+// (definition in elgamal.cc).
+struct ElGamalBsgsCache;
+
 class ElGamalPublicKey {
  public:
-  ElGamalPublicKey(QrGroup group, BigInt g, BigInt h)
-      : group_(std::move(group)), g_(std::move(g)), h_(std::move(h)) {}
+  /// Builds the key and precomputes fixed-base tables for g and h, so the
+  /// three exponentiations in Encrypt cost one table lookup pass each.
+  ElGamalPublicKey(QrGroup group, BigInt g, BigInt h);
 
   const QrGroup& group() const { return group_; }
   const BigInt& g() const { return g_; }
   const BigInt& h() const { return h_; }
 
-  /// Encrypts m >= 0 (in the exponent).
+  /// Encrypts m >= 0 (in the exponent). When m == 0 the g^m factor is
+  /// skipped entirely — the Rerandomize path pays only g^r and h^r.
   Result<ElGamalCiphertext> Encrypt(uint64_t m, RandomSource* rng) const;
+
+  /// Draws the encryption randomness r uniform in [1, q) — the same draw
+  /// Encrypt performs. Exposed so randomizer pools can consume the same
+  /// RNG stream as the inline path.
+  BigInt DrawRandomizer(RandomSource* rng) const;
+
+  /// The expensive half of Encrypt: (g^r, h^r) via the fixed-base tables.
+  ElGamalCiphertext MakeRandomizerPair(const BigInt& r) const;
+
+  /// Finishes an encryption given a precomputed (g^r, h^r) pair: at most
+  /// one table pass (g^m) and one modular product.
+  Result<ElGamalCiphertext> EncryptWithRandomizer(
+      uint64_t m, const ElGamalCiphertext& gr_hr) const;
 
   /// E(a) ⊕ E(b) = E(a + b).
   ElGamalCiphertext Add(const ElGamalCiphertext& a,
@@ -56,12 +78,15 @@ class ElGamalPublicKey {
   QrGroup group_;
   BigInt g_;
   BigInt h_;
+  // Fixed-base power tables (null only if table construction failed, in
+  // which case the code falls back to generic exponentiation).
+  std::shared_ptr<const FixedBaseTable> table_g_;
+  std::shared_ptr<const FixedBaseTable> table_h_;
 };
 
 class ElGamalPrivateKey {
  public:
-  ElGamalPrivateKey(ElGamalPublicKey pub, BigInt x)
-      : pub_(std::move(pub)), x_(std::move(x)) {}
+  ElGamalPrivateKey(ElGamalPublicKey pub, BigInt x);
 
   const ElGamalPublicKey& public_key() const { return pub_; }
 
@@ -70,13 +95,18 @@ class ElGamalPrivateKey {
 
   /// Recovers m itself for 0 <= m <= max_message via baby-step/giant-step
   /// (O(sqrt(max_message)) group operations); kOutOfRange if m exceeds
-  /// the bound.
+  /// the bound. The baby-step table and giant step are cached across
+  /// calls (and grown on demand), so bulk count-decryption loops pay the
+  /// table build once instead of per ciphertext.
   Result<uint64_t> DecryptSmall(const ElGamalCiphertext& c,
                                 uint64_t max_message) const;
 
  private:
   ElGamalPublicKey pub_;
   BigInt x_;
+  // The secret exponent is fixed: recode once for DecryptToGroupElement.
+  std::shared_ptr<const ExponentRecoding> rec_x_;
+  std::shared_ptr<ElGamalBsgsCache> bsgs_;
 };
 
 struct ElGamalKeyPair {

@@ -17,6 +17,7 @@ Result<QrGroup> QrGroup::Create(const BigInt& safe_prime,
   SECMED_ASSIGN_OR_RETURN(MontgomeryContext ctx,
                           MontgomeryContext::Create(safe_prime));
   g.ctx_ = std::make_shared<const MontgomeryContext>(std::move(ctx));
+  g.rec_q_ = std::make_shared<const ExponentRecoding>(ExponentRecoding::Create(q));
   if (check_primality) {
     OsRandomSource rng;
     if (!IsProbablePrime(safe_prime, &rng) || !IsProbablePrime(q, &rng)) {
@@ -28,7 +29,7 @@ Result<QrGroup> QrGroup::Create(const BigInt& safe_prime,
 
 bool QrGroup::IsElement(const BigInt& x) const {
   if (x.is_zero() || x.is_negative() || x >= p_) return false;
-  return ctx_->Exp(x, q_) == BigInt(1);
+  return ctx_->ExpWithRecoding(x, *rec_q_) == BigInt(1);
 }
 
 BigInt QrGroup::HashToGroup(const Bytes& input) const {
@@ -56,6 +57,16 @@ BigInt QrGroup::RandomElement(RandomSource* rng) const {
 
 BigInt QrGroup::Pow(const BigInt& x, const BigInt& e) const {
   return ctx_->Exp(x, e);
+}
+
+BigInt QrGroup::PowWithRecoding(const BigInt& x,
+                                const ExponentRecoding& rec) const {
+  return ctx_->ExpWithRecoding(x, rec);
+}
+
+Result<FixedBaseTable> QrGroup::MakeFixedBaseTable(const BigInt& base,
+                                                   int window_bits) const {
+  return FixedBaseTable::Create(ctx_, base, q_.BitLength(), window_bits);
 }
 
 }  // namespace secmed

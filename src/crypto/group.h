@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "bigint/bigint.h"
+#include "bigint/fastexp.h"
 #include "bigint/modular.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -42,12 +43,28 @@ class QrGroup {
   /// x^e mod p via the cached Montgomery context.
   BigInt Pow(const BigInt& x, const BigInt& e) const;
 
+  /// x^e mod p with a pre-recoded exponent (fixed-exponent fast path for
+  /// Pohlig–Hellman keys: recode e once, reuse for every hashed value).
+  BigInt PowWithRecoding(const BigInt& x, const ExponentRecoding& rec) const;
+
+  /// The cached Montgomery context for p (shared with tables/pools).
+  const std::shared_ptr<const MontgomeryContext>& mont_ctx() const {
+    return ctx_;
+  }
+
+  /// Builds a fixed-base power table for `base`, covering exponents up to
+  /// |q| bits (the full exponent range of the group).
+  Result<FixedBaseTable> MakeFixedBaseTable(const BigInt& base,
+                                            int window_bits = 4) const;
+
  private:
   QrGroup() = default;
 
   BigInt p_;
   BigInt q_;
   std::shared_ptr<const MontgomeryContext> ctx_;
+  // q recoded once: IsElement runs x^q per membership test.
+  std::shared_ptr<const ExponentRecoding> rec_q_;
 };
 
 }  // namespace secmed

@@ -1,0 +1,50 @@
+#include "crypto/randomizer_pool.h"
+
+#include "util/parallel.h"
+
+namespace secmed {
+
+PaillierRandomizerPool PaillierRandomizerPool::Precompute(
+    const PaillierPublicKey& key,
+    const std::vector<std::unique_ptr<RandomSource>>& rngs, size_t per_item,
+    size_t threads, obs::Scope* scope, const char* label) {
+  PaillierRandomizerPool pool;
+  pool.per_item_ = per_item;
+  // Serial base draws in item order: the deterministic part that fixes
+  // the RNG stream positions (cheap — a gcd per draw).
+  std::vector<BigInt> bases(rngs.size() * per_item);
+  for (size_t i = 0; i < rngs.size(); ++i) {
+    for (size_t k = 0; k < per_item; ++k) {
+      bases[i * per_item + k] = key.DrawRandomizerBase(rngs[i].get());
+    }
+  }
+  // The r^n exponentiations carry no RNG state: parallelize freely.
+  pool.pool_.resize(bases.size());
+  ParallelFor(
+      bases.size(), threads,
+      [&](size_t j) { pool.pool_[j] = key.MakeRandomizer(bases[j]); }, scope,
+      label);
+  return pool;
+}
+
+ElGamalRandomizerPool ElGamalRandomizerPool::Precompute(
+    const ElGamalPublicKey& key,
+    const std::vector<std::unique_ptr<RandomSource>>& rngs, size_t per_item,
+    size_t threads, obs::Scope* scope, const char* label) {
+  ElGamalRandomizerPool pool;
+  pool.per_item_ = per_item;
+  std::vector<BigInt> rs(rngs.size() * per_item);
+  for (size_t i = 0; i < rngs.size(); ++i) {
+    for (size_t k = 0; k < per_item; ++k) {
+      rs[i * per_item + k] = key.DrawRandomizer(rngs[i].get());
+    }
+  }
+  pool.pool_.resize(rs.size());
+  ParallelFor(
+      rs.size(), threads,
+      [&](size_t j) { pool.pool_[j] = key.MakeRandomizerPair(rs[j]); }, scope,
+      label);
+  return pool;
+}
+
+}  // namespace secmed

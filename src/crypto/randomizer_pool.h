@@ -1,0 +1,85 @@
+#ifndef SECMED_CRYPTO_RANDOMIZER_POOL_H_
+#define SECMED_CRYPTO_RANDOMIZER_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "crypto/elgamal.h"
+#include "crypto/paillier.h"
+#include "obs/scope.h"
+#include "util/rng.h"
+
+namespace secmed {
+
+/// Precomputed Paillier randomizers (r^n mod n^2) for a batch of
+/// encryptions, moving the expensive exponentiation off the online path:
+/// Encrypt-with-pool is two Montgomery multiplications.
+///
+/// Transcript contract: Precompute draws the randomizer bases from
+/// `rngs[i]` in item order — exactly the draws the inline Encrypt path
+/// would make first for item i — so pooled and unpooled runs consume
+/// identical RNG streams and produce bit-identical ciphertexts. Any
+/// further draws an item body makes continue from the same stream
+/// position in both modes.
+class PaillierRandomizerPool {
+ public:
+  /// Precomputes `per_item` randomizers per item (one per Encrypt call
+  /// the item body will make, in call order). The base draws run serially
+  /// in item order; the r^n exponentiations run under ParallelFor.
+  static PaillierRandomizerPool Precompute(
+      const PaillierPublicKey& key,
+      const std::vector<std::unique_ptr<RandomSource>>& rngs, size_t per_item,
+      size_t threads, obs::Scope* scope = nullptr,
+      const char* label = nullptr);
+
+  /// The `k`-th precomputed randomizer (r^n) for item `item`.
+  const BigInt& Get(size_t item, size_t k = 0) const {
+    return pool_[item * per_item_ + k];
+  }
+
+  /// Pool-backed encryption: key.EncryptWithRandomizer(m, Get(item, k)).
+  Result<BigInt> Encrypt(const PaillierPublicKey& key, const BigInt& m,
+                         size_t item, size_t k = 0) const {
+    return key.EncryptWithRandomizer(m, Get(item, k));
+  }
+
+  size_t items() const { return per_item_ == 0 ? 0 : pool_.size() / per_item_; }
+  size_t per_item() const { return per_item_; }
+
+ private:
+  size_t per_item_ = 0;
+  std::vector<BigInt> pool_;  // item-major: [item * per_item + k]
+};
+
+/// ElGamal analogue: precomputed (g^r, h^r) pairs. Same transcript
+/// contract as PaillierRandomizerPool.
+class ElGamalRandomizerPool {
+ public:
+  static ElGamalRandomizerPool Precompute(
+      const ElGamalPublicKey& key,
+      const std::vector<std::unique_ptr<RandomSource>>& rngs, size_t per_item,
+      size_t threads, obs::Scope* scope = nullptr,
+      const char* label = nullptr);
+
+  /// The `k`-th precomputed (g^r, h^r) pair for item `item`.
+  const ElGamalCiphertext& Get(size_t item, size_t k = 0) const {
+    return pool_[item * per_item_ + k];
+  }
+
+  /// Pool-backed encryption: key.EncryptWithRandomizer(m, Get(item, k)).
+  Result<ElGamalCiphertext> Encrypt(const ElGamalPublicKey& key, uint64_t m,
+                                    size_t item, size_t k = 0) const {
+    return key.EncryptWithRandomizer(m, Get(item, k));
+  }
+
+  size_t items() const { return per_item_ == 0 ? 0 : pool_.size() / per_item_; }
+  size_t per_item() const { return per_item_; }
+
+ private:
+  size_t per_item_ = 0;
+  std::vector<ElGamalCiphertext> pool_;  // item-major
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_CRYPTO_RANDOMIZER_POOL_H_

@@ -1,11 +1,38 @@
 #include "crypto/rsa.h"
 
+#include "bigint/fastexp.h"
 #include "bigint/modular.h"
 #include "bigint/prime.h"
 #include "crypto/sha256.h"
 #include "util/serialize.h"
 
 namespace secmed {
+
+struct RsaCrtCache {
+  RsaCrtCache(MontgomeryContext cp, MontgomeryContext cq, ExponentRecoding rp,
+              ExponentRecoding rq)
+      : ctx_p(std::move(cp)),
+        ctx_q(std::move(cq)),
+        rec_dp(std::move(rp)),
+        rec_dq(std::move(rq)) {}
+
+  MontgomeryContext ctx_p;
+  MontgomeryContext ctx_q;
+  ExponentRecoding rec_dp;
+  ExponentRecoding rec_dq;
+};
+
+Status RsaPrivateKey::Precompute() {
+  if (p.is_zero() || q.is_zero() || d_p.is_zero() || d_q.is_zero()) {
+    return Status::InvalidArgument("RSA CRT parameters are missing");
+  }
+  SECMED_ASSIGN_OR_RETURN(MontgomeryContext ctx_p, MontgomeryContext::Create(p));
+  SECMED_ASSIGN_OR_RETURN(MontgomeryContext ctx_q, MontgomeryContext::Create(q));
+  crt_cache = std::make_shared<const RsaCrtCache>(
+      std::move(ctx_p), std::move(ctx_q), ExponentRecoding::Create(d_p),
+      ExponentRecoding::Create(d_q));
+  return Status::OK();
+}
 
 namespace {
 constexpr size_t kHashLen = Sha256::kDigestSize;
@@ -16,10 +43,18 @@ const Bytes& EmptyLabelHash() {
   return *h;
 }
 
-// Raw RSA with the private key using the Chinese remainder theorem.
+// Raw RSA with the private key using the Chinese remainder theorem. The
+// cached contexts/recodings skip the per-call Montgomery setup and window
+// scan; keys without a cache take the generic path.
 BigInt RsaPrivateOp(const RsaPrivateKey& key, const BigInt& c) {
-  BigInt m1 = ModExp(c, key.d_p, key.p).value();
-  BigInt m2 = ModExp(c, key.d_q, key.q).value();
+  BigInt m1, m2;
+  if (key.crt_cache != nullptr) {
+    m1 = key.crt_cache->ctx_p.ExpWithRecoding(c, key.crt_cache->rec_dp);
+    m2 = key.crt_cache->ctx_q.ExpWithRecoding(c, key.crt_cache->rec_dq);
+  } else {
+    m1 = ModExp(c, key.d_p, key.p).value();
+    m2 = ModExp(c, key.d_q, key.q).value();
+  }
   BigInt h = BigInt::Mod((m1 - m2) * key.q_inv, key.p).value();
   return m2 + h * key.q;
 }
@@ -67,6 +102,7 @@ Result<RsaPrivateKey> RsaGenerateKey(size_t bits, RandomSource* rng) {
     key.d_p = key.d % (p - BigInt(1));
     key.d_q = key.d % (q - BigInt(1));
     key.q_inv = ModInverse(q, p).value();
+    SECMED_RETURN_IF_ERROR(key.Precompute());
     return key;
   }
 }

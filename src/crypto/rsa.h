@@ -1,6 +1,8 @@
 #ifndef SECMED_CRYPTO_RSA_H_
 #define SECMED_CRYPTO_RSA_H_
 
+#include <memory>
+
 #include "bigint/bigint.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -25,6 +27,10 @@ struct RsaPublicKey {
   }
 };
 
+// Cached Montgomery contexts (mod p, mod q) and recoded CRT exponents for
+// the private operation (definition in rsa.cc).
+struct RsaCrtCache;
+
 /// RSA private key with CRT parameters for fast decryption/signing.
 struct RsaPrivateKey {
   BigInt n;
@@ -37,6 +43,13 @@ struct RsaPrivateKey {
   BigInt q_inv;  // q^{-1} mod p
 
   RsaPublicKey PublicKey() const { return {n, e}; }
+
+  /// Builds the CRT fast-path cache from p/q/d_p/d_q (called by
+  /// RsaGenerateKey). Without it the private operation falls back to
+  /// per-call ModExp, which rebuilds both Montgomery contexts every time.
+  Status Precompute();
+
+  std::shared_ptr<const RsaCrtCache> crt_cache;  // null: slow path
 };
 
 /// RSA keypair generation with public exponent 65537.

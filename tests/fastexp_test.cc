@@ -1,0 +1,297 @@
+// Property tests for the modular-exponentiation fast paths: sliding-window
+// exponent recoding, fixed-base tables, Paillier CRT decryption and the
+// randomizer pools must all agree with the textbook slow paths bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bigint/fastexp.h"
+#include "bigint/modular.h"
+#include "bigint/prime.h"
+#include "crypto/commutative.h"
+#include "crypto/elgamal.h"
+#include "crypto/group_params.h"
+#include "crypto/paillier.h"
+#include "crypto/randomizer_pool.h"
+#include "crypto/rsa.h"
+#include "util/rng.h"
+
+namespace secmed {
+namespace {
+
+// Reference square-and-multiply, independent of the windowed code paths.
+BigInt NaiveModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  BigInt result = BigInt::Mod(BigInt(1), m).value();
+  BigInt b = BigInt::Mod(base, m).value();
+  for (size_t i = exp.BitLength(); i-- > 0;) {
+    result = BigInt::Mod(result * result, m).value();
+    if (exp.TestBit(i)) result = BigInt::Mod(result * b, m).value();
+  }
+  return result;
+}
+
+BigInt RandomOddModulus(size_t bits, RandomSource* rng) {
+  BigInt m = BigInt::RandomWithBits(bits, rng);
+  if (m.is_even()) m = m + BigInt(1);
+  return m;
+}
+
+// ---------------------------------------------------- ExponentRecoding --
+
+TEST(ExponentRecoding, MatchesNaiveExpAcrossSizesAndWindows) {
+  XoshiroRandomSource rng(101);
+  for (size_t bits : {1u, 7u, 13u, 64u, 129u, 512u}) {
+    BigInt m = RandomOddModulus(257, &rng);
+    auto ctx = MontgomeryContext::Create(m).value();
+    for (int window = 1; window <= 6; ++window) {
+      BigInt base = BigInt::RandomBelow(m, &rng);
+      BigInt exp = BigInt::RandomWithBits(bits, &rng);
+      ExponentRecoding rec = ExponentRecoding::CreateWithWindow(exp, window);
+      EXPECT_EQ(ctx.ExpWithRecoding(base, rec), NaiveModExp(base, exp, m))
+          << "bits=" << bits << " window=" << window;
+    }
+  }
+}
+
+TEST(ExponentRecoding, ZeroAndOneExponents) {
+  XoshiroRandomSource rng(102);
+  BigInt m = RandomOddModulus(128, &rng);
+  auto ctx = MontgomeryContext::Create(m).value();
+  BigInt base = BigInt::RandomBelow(m, &rng);
+  EXPECT_EQ(ctx.ExpWithRecoding(base, ExponentRecoding::Create(BigInt(0))),
+            BigInt(1));
+  EXPECT_EQ(ctx.ExpWithRecoding(base, ExponentRecoding::Create(BigInt(1))),
+            base);
+  // Powers of two exercise the trailing-squarings path.
+  for (size_t k : {1u, 5u, 31u, 64u}) {
+    BigInt exp = BigInt(1) << k;
+    EXPECT_EQ(ctx.ExpWithRecoding(base, ExponentRecoding::Create(exp)),
+              NaiveModExp(base, exp, m))
+        << "2^" << k;
+  }
+}
+
+TEST(ExponentRecoding, ContextExpStillMatchesFreeModExp) {
+  XoshiroRandomSource rng(103);
+  for (int trial = 0; trial < 16; ++trial) {
+    BigInt m = RandomOddModulus(192, &rng);
+    auto ctx = MontgomeryContext::Create(m).value();
+    BigInt base = BigInt::RandomBelow(m, &rng);
+    BigInt exp = BigInt::RandomWithBits(160, &rng);
+    EXPECT_EQ(ctx.Exp(base, exp), ModExp(base, exp, m).value());
+  }
+}
+
+// ------------------------------------------------------ FixedBaseTable --
+
+TEST(FixedBaseTable, MatchesGenericExp) {
+  XoshiroRandomSource rng(201);
+  BigInt m = RandomOddModulus(384, &rng);
+  auto ctx = std::make_shared<const MontgomeryContext>(
+      MontgomeryContext::Create(m).value());
+  BigInt base = BigInt::RandomBelow(m, &rng);
+  for (int window = 1; window <= 6; ++window) {
+    FixedBaseTable table =
+        FixedBaseTable::Create(ctx, base, 256, window).value();
+    for (size_t bits : {1u, 17u, 255u, 256u}) {
+      BigInt exp = BigInt::RandomWithBits(bits, &rng);
+      EXPECT_EQ(table.Pow(exp), ctx->Exp(base, exp))
+          << "window=" << window << " bits=" << bits;
+    }
+    EXPECT_EQ(table.Pow(BigInt(0)), BigInt(1)) << "window=" << window;
+  }
+}
+
+TEST(FixedBaseTable, OversizedExponentFallsBack) {
+  XoshiroRandomSource rng(202);
+  BigInt m = RandomOddModulus(256, &rng);
+  auto ctx = std::make_shared<const MontgomeryContext>(
+      MontgomeryContext::Create(m).value());
+  BigInt base = BigInt::RandomBelow(m, &rng);
+  FixedBaseTable table = FixedBaseTable::Create(ctx, base, 64).value();
+  BigInt exp = BigInt::RandomWithBits(200, &rng);  // beyond max_exp_bits
+  EXPECT_EQ(table.Pow(exp), ctx->Exp(base, exp));
+}
+
+TEST(FixedBaseTable, RejectsBadParameters) {
+  XoshiroRandomSource rng(203);
+  BigInt m = RandomOddModulus(64, &rng);
+  auto ctx = std::make_shared<const MontgomeryContext>(
+      MontgomeryContext::Create(m).value());
+  EXPECT_FALSE(FixedBaseTable::Create(nullptr, BigInt(2), 64).ok());
+  EXPECT_FALSE(FixedBaseTable::Create(ctx, BigInt(2), 0).ok());
+  EXPECT_FALSE(FixedBaseTable::Create(ctx, BigInt(2), 64, 0).ok());
+  EXPECT_FALSE(FixedBaseTable::Create(ctx, BigInt(2), 64, 9).ok());
+}
+
+// ------------------------------------------------- Paillier CRT + pool --
+
+TEST(PaillierCrt, DecryptMatchesNoCrtOnRandomPlaintexts) {
+  XoshiroRandomSource rng(301);
+  PaillierKeyPair kp = PaillierGenerateKey(256, &rng).value();
+  ASSERT_TRUE(kp.private_key.has_crt());
+  for (int trial = 0; trial < 32; ++trial) {
+    BigInt m = BigInt::RandomBelow(kp.public_key.n(), &rng);
+    BigInt c = kp.public_key.Encrypt(m, &rng).value();
+    EXPECT_EQ(kp.private_key.Decrypt(c).value(), m);
+    EXPECT_EQ(kp.private_key.DecryptNoCrt(c).value(), m);
+  }
+}
+
+TEST(PaillierCrt, EdgePlaintexts) {
+  XoshiroRandomSource rng(302);
+  PaillierKeyPair kp = PaillierGenerateKey(128, &rng).value();
+  for (const BigInt& m :
+       {BigInt(0), BigInt(1), kp.public_key.n() - BigInt(1)}) {
+    BigInt c = kp.public_key.Encrypt(m, &rng).value();
+    EXPECT_EQ(kp.private_key.Decrypt(c).value(), m);
+    EXPECT_EQ(kp.private_key.DecryptNoCrt(c).value(), m);
+  }
+}
+
+TEST(PaillierCrt, SerializationRoundTripsCrtParams) {
+  XoshiroRandomSource rng(303);
+  PaillierKeyPair kp = PaillierGenerateKey(128, &rng).value();
+  PaillierPrivateKey restored =
+      PaillierPrivateKey::Deserialize(kp.private_key.Serialize()).value();
+  EXPECT_TRUE(restored.has_crt());
+  BigInt m(123456);
+  BigInt c = kp.public_key.Encrypt(m, &rng).value();
+  EXPECT_EQ(restored.Decrypt(c).value(), m);
+
+  // A key built without the factorization round-trips without CRT.
+  PaillierPrivateKey plain =
+      PaillierPrivateKey::Deserialize(
+          PaillierPrivateKey(kp.public_key, BigInt(0), BigInt(0)).Serialize())
+          .value();
+  EXPECT_FALSE(plain.has_crt());
+}
+
+TEST(PaillierPool, PooledEncryptionMatchesInlineBitForBit) {
+  XoshiroRandomSource key_rng(304);
+  PaillierKeyPair kp = PaillierGenerateKey(128, &key_rng).value();
+  const size_t items = 9;
+  // Same master seed → same forked streams for the pooled and inline runs.
+  XoshiroRandomSource rng_a(42), rng_b(42);
+  auto rngs_a = ForkN(&rng_a, items);
+  auto rngs_b = ForkN(&rng_b, items);
+
+  PaillierRandomizerPool pool =
+      PaillierRandomizerPool::Precompute(kp.public_key, rngs_a, 1, 4);
+  ASSERT_EQ(pool.items(), items);
+  for (size_t i = 0; i < items; ++i) {
+    BigInt m(static_cast<uint64_t>(1000 + i));
+    BigInt pooled = pool.Encrypt(kp.public_key, m, i).value();
+    BigInt inline_c = kp.public_key.Encrypt(m, rngs_b[i].get()).value();
+    EXPECT_EQ(pooled, inline_c) << "item " << i;
+  }
+}
+
+// ---------------------------------------------------- ElGamal fast path --
+
+TEST(ElGamalFast, EncryptMatchesGenericPow) {
+  XoshiroRandomSource rng(401);
+  QrGroup group = StandardGroup(256).value();
+  ElGamalKeyPair kp = ElGamalGenerateKey(group, &rng);
+  // Fixed-base encryption must agree with the generic group power.
+  XoshiroRandomSource ra(7), rb(7);
+  for (uint64_t m : {0ull, 1ull, 17ull, 4095ull}) {
+    ElGamalCiphertext c = kp.public_key.Encrypt(m, &ra).value();
+    BigInt r = kp.public_key.DrawRandomizer(&rb);
+    EXPECT_EQ(c.c1, group.Pow(kp.public_key.g(), r)) << m;
+    BigInt expect_c2 = ModMul(group.Pow(kp.public_key.g(), BigInt(m)),
+                              group.Pow(kp.public_key.h(), r), group.p())
+                           .value();
+    EXPECT_EQ(c.c2, expect_c2) << m;
+    EXPECT_EQ(kp.private_key.DecryptSmall(c, 4100).value(), m);
+  }
+}
+
+TEST(ElGamalFast, PooledEncryptionMatchesInlineBitForBit) {
+  XoshiroRandomSource rng(402);
+  QrGroup group = StandardGroup(256).value();
+  ElGamalKeyPair kp = ElGamalGenerateKey(group, &rng);
+  const size_t items = 7;
+  XoshiroRandomSource rng_a(99), rng_b(99);
+  auto rngs_a = ForkN(&rng_a, items);
+  auto rngs_b = ForkN(&rng_b, items);
+  ElGamalRandomizerPool pool =
+      ElGamalRandomizerPool::Precompute(kp.public_key, rngs_a, 1, 4);
+  ASSERT_EQ(pool.items(), items);
+  for (size_t i = 0; i < items; ++i) {
+    uint64_t m = i * 3;
+    ElGamalCiphertext pooled = pool.Encrypt(kp.public_key, m, i).value();
+    ElGamalCiphertext inline_c =
+        kp.public_key.Encrypt(m, rngs_b[i].get()).value();
+    EXPECT_EQ(pooled, inline_c) << "item " << i;
+  }
+}
+
+TEST(ElGamalFast, BsgsCacheSurvivesGrowingBounds) {
+  XoshiroRandomSource rng(403);
+  QrGroup group = StandardGroup(256).value();
+  ElGamalKeyPair kp = ElGamalGenerateKey(group, &rng);
+  // Small bound first, then a larger one (forces a rebuild), then small
+  // again (reuses the larger table).
+  ElGamalCiphertext c1 = kp.public_key.Encrypt(9, &rng).value();
+  EXPECT_EQ(kp.private_key.DecryptSmall(c1, 10).value(), 9u);
+  ElGamalCiphertext c2 = kp.public_key.Encrypt(5000, &rng).value();
+  EXPECT_EQ(kp.private_key.DecryptSmall(c2, 6000).value(), 5000u);
+  ElGamalCiphertext c3 = kp.public_key.Encrypt(3, &rng).value();
+  EXPECT_EQ(kp.private_key.DecryptSmall(c3, 10).value(), 3u);
+  // Out-of-range still detected with a cached table present.
+  EXPECT_EQ(kp.private_key.DecryptSmall(c2, 100).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------- commutative fast path --
+
+TEST(CommutativeFast, RecodedKeyMatchesGenericPow) {
+  XoshiroRandomSource rng(501);
+  QrGroup group = StandardGroup(256).value();
+  CommutativeKey key = CommutativeKey::Generate(group, &rng);
+  for (int trial = 0; trial < 8; ++trial) {
+    BigInt x = group.RandomElement(&rng);
+    BigInt c = key.Encrypt(x);
+    EXPECT_EQ(c, group.Pow(x, key.exponent()));
+    EXPECT_EQ(key.Decrypt(c), x);
+  }
+}
+
+TEST(CommutativeFast, EncryptManyMatchesScalarLoopAnyThreads) {
+  XoshiroRandomSource rng(502);
+  QrGroup group = StandardGroup(256).value();
+  CommutativeKey key = CommutativeKey::Generate(group, &rng);
+  std::vector<BigInt> xs;
+  for (int i = 0; i < 13; ++i) xs.push_back(group.RandomElement(&rng));
+  std::vector<BigInt> serial = key.EncryptMany(xs, 1);
+  std::vector<BigInt> parallel = key.EncryptMany(xs, 4);
+  ASSERT_EQ(serial.size(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(serial[i], key.Encrypt(xs[i])) << i;
+    EXPECT_EQ(serial[i], parallel[i]) << i;
+  }
+}
+
+// ----------------------------------------------------------- RSA cache --
+
+TEST(RsaFast, CachedPrivateOpMatchesSlowPath) {
+  XoshiroRandomSource rng(601);
+  RsaPrivateKey key = RsaGenerateKey(1024, &rng).value();
+  ASSERT_NE(key.crt_cache, nullptr);
+  RsaPrivateKey slow = key;
+  slow.crt_cache = nullptr;  // force the per-call ModExp path
+  Bytes msg = rng.Generate(24);
+  Bytes sig_fast = RsaSign(key, msg).value();
+  Bytes sig_slow = RsaSign(slow, msg).value();
+  EXPECT_EQ(sig_fast, sig_slow);
+  EXPECT_TRUE(RsaVerify(key.PublicKey(), msg, sig_fast).ok());
+  Bytes ct = RsaOaepEncrypt(key.PublicKey(), msg, &rng).value();
+  EXPECT_EQ(RsaOaepDecrypt(key, ct).value(), msg);
+  EXPECT_EQ(RsaOaepDecrypt(slow, ct).value(), msg);
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,161 @@
+// Tier-1 guarantee of the randomizer-pool fast path: precomputing the
+// Paillier r^n randomizers off the online path must never change a byte
+// of any protocol transcript or result — pools draw from the same
+// per-item forked RNG streams as the inline encryption path, at any
+// thread count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregate_protocol.h"
+#include "core/intersection_protocol.h"
+#include "core/pm_protocol.h"
+#include "core/testbed.h"
+#include "relational/algebra.h"
+
+namespace secmed {
+namespace {
+
+Workload PoolWorkload() {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = 28;
+  cfg.r2_tuples = 22;
+  cfg.r1_domain = 11;
+  cfg.r2_domain = 9;
+  cfg.common_values = 5;
+  cfg.r1_extra_columns = 2;
+  cfg.r2_extra_columns = 1;
+  cfg.seed = 911;
+  return GenerateWorkload(cfg);
+}
+
+// Adds an integer "cost" column to r2 for the SUM variant.
+Workload WithCostColumn(Workload w) {
+  std::vector<Column> cols = w.r2.schema().columns();
+  cols.push_back({"cost", ValueType::kInt64});
+  Relation r2{Schema(std::move(cols))};
+  int64_t v = -5;
+  for (const Tuple& t : w.r2.tuples()) {
+    Tuple nt = t;
+    nt.push_back(Value::Int(v));
+    v += 7;
+    r2.AppendUnchecked(std::move(nt));
+  }
+  w.r2 = std::move(r2);
+  return w;
+}
+
+struct RunOutput {
+  Bytes result;
+  std::vector<Bytes> payloads;
+};
+
+template <typename RunFn>
+RunOutput RunWith(const Workload& w, const std::string& label, size_t threads,
+                  bool pools, RunFn run) {
+  MediationTestbed::Options opt;
+  opt.seed_label = "pool-eq-" + label;  // same seed for every variant
+  opt.threads = threads;
+  auto tb_or = MediationTestbed::Create(w, opt);
+  if (!tb_or.ok()) {
+    ADD_FAILURE() << tb_or.status().ToString();
+    return {};
+  }
+  MediationTestbed& tb = **tb_or;
+  tb.ctx()->use_crypto_pools = pools;
+  RunOutput out;
+  out.result = run(tb);
+  for (const Message& m : tb.bus().transcript()) {
+    out.payloads.push_back(m.payload);
+  }
+  return out;
+}
+
+// Runs all four {pools, threads} combinations and requires byte-identical
+// results and transcripts across the board.
+template <typename RunFn>
+void ExpectPoolInvariant(const Workload& w, const std::string& label,
+                         RunFn run) {
+  const RunOutput base = RunWith(w, label, 1, false, run);
+  ASSERT_FALSE(base.payloads.empty()) << label;
+  struct Variant {
+    size_t threads;
+    bool pools;
+    const char* name;
+  };
+  const Variant variants[] = {{1, true, "pool-t1"},
+                              {4, false, "inline-t4"},
+                              {4, true, "pool-t4"}};
+  for (const Variant& v : variants) {
+    RunOutput out = RunWith(w, label, v.threads, v.pools, run);
+    EXPECT_EQ(base.result, out.result)
+        << label << "/" << v.name << ": result differs";
+    ASSERT_EQ(base.payloads.size(), out.payloads.size())
+        << label << "/" << v.name << ": message count differs";
+    for (size_t i = 0; i < base.payloads.size(); ++i) {
+      EXPECT_EQ(base.payloads[i] == out.payloads[i], true)
+          << label << "/" << v.name << ": payload of message " << i
+          << " differs";
+    }
+  }
+}
+
+TEST(PoolEquivalence, PmProtocol) {
+  Workload w = PoolWorkload();
+  ExpectPoolInvariant(w, "pm", [](MediationTestbed& tb) -> Bytes {
+    PmJoinProtocol pm;
+    auto r = pm.Run(tb.JoinSql(), tb.ctx());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->Serialize() : Bytes();
+  });
+}
+
+TEST(PoolEquivalence, AggregateCount) {
+  Workload w = PoolWorkload();
+  ExpectPoolInvariant(w, "agg-count", [](MediationTestbed& tb) -> Bytes {
+    AggregateJoinProtocol agg(256);
+    auto r = agg.Run(tb.JoinSql(), JoinAggregateSpec{AggregateFn::kCount, ""},
+                     tb.ctx());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    int64_t v = r.ok() ? *r : -1;
+    Bytes enc;
+    for (int b = 0; b < 8; ++b) {
+      enc.push_back(static_cast<uint8_t>(static_cast<uint64_t>(v) >> (8 * b)));
+    }
+    return enc;
+  });
+}
+
+TEST(PoolEquivalence, AggregateSum) {
+  // SUM exercises per_item = 2: two pooled randomizers per tuple set, in
+  // the same order the inline path draws them.
+  Workload w = WithCostColumn(PoolWorkload());
+  ExpectPoolInvariant(w, "agg-sum", [](MediationTestbed& tb) -> Bytes {
+    AggregateJoinProtocol agg(256);
+    auto r = agg.Run(tb.JoinSql(),
+                     JoinAggregateSpec{AggregateFn::kSum, "cost"}, tb.ctx());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    int64_t v = r.ok() ? *r : -1;
+    Bytes enc;
+    for (int b = 0; b < 8; ++b) {
+      enc.push_back(static_cast<uint8_t>(static_cast<uint64_t>(v) >> (8 * b)));
+    }
+    return enc;
+  });
+}
+
+TEST(PoolEquivalence, PmIntersection) {
+  Workload w = PoolWorkload();
+  ExpectPoolInvariant(w, "pm-ix", [](MediationTestbed& tb) -> Bytes {
+    PmIntersectionProtocol ix;
+    auto r = ix.Run(tb.JoinSql(), tb.ctx());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->Serialize() : Bytes();
+  });
+}
+
+}  // namespace
+}  // namespace secmed

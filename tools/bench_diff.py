@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files (e.g. BENCH_protocols.json across
+PRs): per-benchmark time ratio, sorted worst-first, with a regression
+threshold for CI.
+
+    tools/bench_diff.py OLD.json NEW.json [--threshold 1.15] [--check]
+
+Exit status with --check: 1 if any benchmark present in both files got
+slower than threshold x old, else 0. Files recorded from an unoptimized
+build (bench_env.h stamps "secmed_build": "unoptimized" into the context)
+are refused unless --allow-unoptimized is given, because such numbers are
+not comparable to anything.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path, allow_unoptimized):
+    with open(path) as f:
+        data = json.load(f)
+    ctx = data.get("context", {})
+    if ctx.get("secmed_build") == "unoptimized" and not allow_unoptimized:
+        sys.exit(
+            f"{path}: recorded from an UNOPTIMIZED build "
+            "(context.secmed_build) — rerun with the 'bench' preset or pass "
+            "--allow-unoptimized"
+        )
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) — compare raw runs.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def fmt_time(value, unit):
+    return f"{value:,.0f} {unit}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=1.15,
+        help="ratio new/old above which a benchmark counts as a regression "
+        "(default 1.15)",
+    )
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any shared benchmark regressed past the threshold",
+    )
+    ap.add_argument("--allow-unoptimized", action="store_true")
+    args = ap.parse_args()
+
+    old = load(args.old, args.allow_unoptimized)
+    new = load(args.new, args.allow_unoptimized)
+
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        sys.exit("no benchmark names in common between the two files")
+
+    rows = []
+    for name in shared:
+        o, ou = old[name]
+        n, nu = new[name]
+        if ou != nu:
+            sys.exit(f"{name}: time units differ ({ou} vs {nu})")
+        ratio = n / o if o > 0 else float("inf")
+        rows.append((ratio, name, o, n, ou))
+    rows.sort(reverse=True)
+
+    width = max(len(name) for _, name, _, _, _ in rows)
+    print(f"{'benchmark':<{width}}  {'old':>14}  {'new':>14}  {'new/old':>8}")
+    regressions = []
+    for ratio, name, o, n, unit in rows:
+        marker = ""
+        if ratio > args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(name)
+        elif ratio < 1 / args.threshold:
+            marker = "  (improved)"
+        print(
+            f"{name:<{width}}  {fmt_time(o, unit):>14}  {fmt_time(n, unit):>14}"
+            f"  {ratio:>7.2f}x{marker}"
+        )
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"\nonly in {args.old}: " + ", ".join(only_old))
+    if only_new:
+        print(f"only in {args.new}: " + ", ".join(only_new))
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed past "
+            f"{args.threshold:.2f}x: " + ", ".join(regressions)
+        )
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
