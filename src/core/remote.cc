@@ -48,6 +48,7 @@ Bytes RunReport::Encode() const {
   w.WriteString(party_set);
   w.WriteU8(ok ? 1 : 0);
   w.WriteString(error);
+  w.WriteU32(error_code);
   w.WriteBytes(result_digest);
   w.WriteU64(result_rows);
   w.WriteU64(messages);
@@ -80,6 +81,7 @@ Result<RunReport> RunReport::Decode(const Bytes& raw) {
   SECMED_ASSIGN_OR_RETURN(uint8_t ok, r.ReadU8());
   rep.ok = ok != 0;
   SECMED_ASSIGN_OR_RETURN(rep.error, r.ReadString());
+  SECMED_ASSIGN_OR_RETURN(rep.error_code, r.ReadU32());
   SECMED_ASSIGN_OR_RETURN(rep.result_digest, r.ReadBytes());
   SECMED_ASSIGN_OR_RETURN(rep.result_rows, r.ReadU64());
   SECMED_ASSIGN_OR_RETURN(rep.messages, r.ReadU64());
@@ -150,15 +152,25 @@ RunReport RunOverTransport(MediationTestbed* testbed, Transport* transport,
   auto protocol = BuildProtocol(spec);
   if (!protocol.ok()) {
     report.error = protocol.status().ToString();
+    report.error_code = static_cast<uint32_t>(protocol.status().code());
     transport->SetObsScope(nullptr);
     return report;
   }
   Result<Relation> result = (*protocol)->Run(spec.query, &ctx);
+  if (!result.ok()) {
+    // Unrecoverable failure: tell every peer process before giving up,
+    // so their blocked Receives return kAborted promptly instead of
+    // waiting out their full deadline budgets. No-op on the local bus;
+    // TcpTransport suppresses the broadcast when the failure *is* a
+    // received abort (re-broadcasting would echo forever).
+    transport->Abort(result.status());
+  }
   // Detach before returning: the scope may not outlive the transport
   // (TcpTransport shares it with the long-lived PeerHost).
   transport->SetObsScope(nullptr);
   if (!result.ok()) {
     report.error = result.status().ToString();
+    report.error_code = static_cast<uint32_t>(result.status().code());
     return report;
   }
 
@@ -187,6 +199,9 @@ RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
   topt.directory = deployment.directory;
   topt.session = spec.session;
   topt.timeout_ms = deployment.timeout_ms;
+  topt.retry = deployment.retry;
+  topt.faults = deployment.faults;
+  host->SetRetryPolicy(deployment.retry);
   TcpTransport transport(host, std::move(topt));
 
   RunReport report =

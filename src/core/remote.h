@@ -26,6 +26,12 @@ struct Deployment {
   std::map<std::string, Endpoint> directory;
   /// Deadline for socket operations and cross-process frame waits.
   int timeout_ms = 30000;
+  /// Retry policy for transient connect/send/receive failures
+  /// (docs/ROBUSTNESS.md); the defaults suit loopback deployments.
+  RetryPolicy retry{};
+  /// Optional frame-level fault injector shared by every session of the
+  /// deployment (not owned; must outlive the sessions). Null disables.
+  FaultInjector* faults = nullptr;
 };
 
 /// One mediated query of a deployment, as shipped over the control
@@ -56,6 +62,11 @@ struct RunReport {
   std::string party_set;  // comma-joined hosted parties (diagnostics)
   bool ok = false;
   std::string error;
+  /// StatusCode of the failure (0 = kOk when `ok`), so drivers and tests
+  /// can tell a clean abort (kAborted) from a hang-until-deadline
+  /// (kDeadlineExceeded) or a detected corruption (kProtocolError)
+  /// without parsing the error text.
+  uint32_t error_code = 0;
   Bytes result_digest;  // SHA-256 of Relation::Serialize()
   uint64_t result_rows = 0;
   uint64_t messages = 0;     // transcript length

@@ -1,8 +1,22 @@
 #include "crypto/randomizer_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "util/parallel.h"
 
 namespace secmed {
+
+void RandomizerPoolBoundsAbort(const char* pool_name, size_t item, size_t k,
+                               size_t items, size_t per_item) {
+  std::fprintf(stderr,
+               "randomizer pool '%s': item %zu draw %zu out of bounds "
+               "(%zu items x %zu per item)\n",
+               pool_name != nullptr ? pool_name : "?", item, k, items,
+               per_item);
+  std::fflush(stderr);
+  std::abort();
+}
 
 PaillierRandomizerPool PaillierRandomizerPool::Precompute(
     const PaillierPublicKey& key,
@@ -10,6 +24,7 @@ PaillierRandomizerPool PaillierRandomizerPool::Precompute(
     size_t threads, obs::Scope* scope, const char* label) {
   PaillierRandomizerPool pool;
   pool.per_item_ = per_item;
+  if (label != nullptr) pool.name_ = label;
   // Serial base draws in item order: the deterministic part that fixes
   // the RNG stream positions (cheap — a gcd per draw).
   std::vector<BigInt> bases(rngs.size() * per_item);
@@ -33,6 +48,7 @@ ElGamalRandomizerPool ElGamalRandomizerPool::Precompute(
     size_t threads, obs::Scope* scope, const char* label) {
   ElGamalRandomizerPool pool;
   pool.per_item_ = per_item;
+  if (label != nullptr) pool.name_ = label;
   std::vector<BigInt> rs(rngs.size() * per_item);
   for (size_t i = 0; i < rngs.size(); ++i) {
     for (size_t k = 0; k < per_item; ++k) {

@@ -2,6 +2,7 @@
 #define SECMED_CRYPTO_RANDOMIZER_POOL_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "crypto/elgamal.h"
@@ -10,6 +11,17 @@
 #include "util/rng.h"
 
 namespace secmed {
+
+/// Aborts the process with a diagnostic naming the pool and the
+/// out-of-range draw: "randomizer pool 'enc-r1': item 12 draw 3 out of
+/// bounds (10 items x 2 per item)". An over-drawn pool is a protocol
+/// bug (the precompute count and the item body's Encrypt calls fell out
+/// of step) and silently reading past `pool_` would reuse — or invent —
+/// randomizers, which breaks encryption semantics without any visible
+/// failure; crashing loudly at the draw site is the only safe behavior.
+[[noreturn]] void RandomizerPoolBoundsAbort(const char* pool_name, size_t item,
+                                            size_t k, size_t items,
+                                            size_t per_item);
 
 /// Precomputed Paillier randomizers (r^n mod n^2) for a batch of
 /// encryptions, moving the expensive exponentiation off the online path:
@@ -32,8 +44,13 @@ class PaillierRandomizerPool {
       size_t threads, obs::Scope* scope = nullptr,
       const char* label = nullptr);
 
-  /// The `k`-th precomputed randomizer (r^n) for item `item`.
+  /// The `k`-th precomputed randomizer (r^n) for item `item`. Aborts
+  /// with a named diagnostic on an over-draw (see
+  /// RandomizerPoolBoundsAbort) — never reads past the pool.
   const BigInt& Get(size_t item, size_t k = 0) const {
+    if (item >= items() || k >= per_item_) {
+      RandomizerPoolBoundsAbort(name_.c_str(), item, k, items(), per_item_);
+    }
     return pool_[item * per_item_ + k];
   }
 
@@ -48,7 +65,8 @@ class PaillierRandomizerPool {
 
  private:
   size_t per_item_ = 0;
-  std::vector<BigInt> pool_;  // item-major: [item * per_item + k]
+  std::string name_ = "paillier";  // diagnostics only (the obs label)
+  std::vector<BigInt> pool_;       // item-major: [item * per_item + k]
 };
 
 /// ElGamal analogue: precomputed (g^r, h^r) pairs. Same transcript
@@ -61,8 +79,12 @@ class ElGamalRandomizerPool {
       size_t threads, obs::Scope* scope = nullptr,
       const char* label = nullptr);
 
-  /// The `k`-th precomputed (g^r, h^r) pair for item `item`.
+  /// The `k`-th precomputed (g^r, h^r) pair for item `item`. Aborts
+  /// with a named diagnostic on an over-draw, like the Paillier pool.
   const ElGamalCiphertext& Get(size_t item, size_t k = 0) const {
+    if (item >= items() || k >= per_item_) {
+      RandomizerPoolBoundsAbort(name_.c_str(), item, k, items(), per_item_);
+    }
     return pool_[item * per_item_ + k];
   }
 
@@ -77,6 +99,7 @@ class ElGamalRandomizerPool {
 
  private:
   size_t per_item_ = 0;
+  std::string name_ = "elgamal";         // diagnostics only (the obs label)
   std::vector<ElGamalCiphertext> pool_;  // item-major
 };
 

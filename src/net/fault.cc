@@ -1,0 +1,193 @@
+#include "net/fault.h"
+
+#include <cstdlib>
+
+#include "net/message.h"
+
+namespace secmed {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr FaultKind kAllKinds[] = {
+    FaultKind::kDrop,     FaultKind::kDelay,   FaultKind::kDuplicate,
+    FaultKind::kTruncate, FaultKind::kBitFlip, FaultKind::kDisconnect,
+};
+
+}  // namespace
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kBitFlip: return "bitflip";
+    case FaultKind::kDisconnect: return "disconnect";
+  }
+  return "unknown";
+}
+
+Result<FaultKind> FaultKindFromString(const std::string& s) {
+  for (FaultKind kind : kAllKinds) {
+    if (s == FaultKindToString(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown fault kind '" + s + "'");
+}
+
+Result<FaultSpec> FaultSpec::Parse(const std::string& s) {
+  FaultSpec spec;
+  std::string head = s;
+  std::string opts;
+  if (size_t colon = s.find(':'); colon != std::string::npos) {
+    head = s.substr(0, colon);
+    opts = s.substr(colon + 1);
+  }
+  // head: kind[@index][xN]
+  std::string kind = head;
+  if (size_t at = head.find('@'); at != std::string::npos) {
+    kind = head.substr(0, at);
+    std::string idx = head.substr(at + 1);
+    if (size_t x = idx.find('x'); x != std::string::npos) {
+      spec.count = std::strtoull(idx.c_str() + x + 1, nullptr, 10);
+      idx = idx.substr(0, x);
+    }
+    spec.frame_index = std::strtoull(idx.c_str(), nullptr, 10);
+  }
+  SECMED_ASSIGN_OR_RETURN(spec.kind, FaultKindFromString(kind));
+  size_t start = 0;
+  while (start < opts.size()) {
+    size_t comma = opts.find(',', start);
+    if (comma == std::string::npos) comma = opts.size();
+    const std::string kv = opts.substr(start, comma - start);
+    start = comma + 1;
+    if (kv.empty()) continue;
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault option '" + kv +
+                                     "' is not key=value");
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    if (key == "from") {
+      spec.from = value;
+    } else if (key == "to") {
+      spec.to = value;
+    } else if (key == "session") {
+      spec.session = static_cast<uint32_t>(std::strtoul(value.c_str(),
+                                                        nullptr, 10));
+    } else if (key == "ms") {
+      spec.delay_ms = static_cast<int>(std::strtol(value.c_str(), nullptr,
+                                                   10));
+    } else {
+      return Status::InvalidArgument("unknown fault option '" + key + "'");
+    }
+  }
+  if (spec.kind == FaultKind::kDelay && spec.delay_ms <= 0) {
+    return Status::InvalidArgument("delay fault needs ms=N > 0");
+  }
+  return spec;
+}
+
+std::string FaultSpec::ToString() const {
+  std::string out = FaultKindToString(kind);
+  out += "@" + std::to_string(frame_index);
+  if (count != 1) out += "x" + std::to_string(count);
+  std::string opts;
+  auto add = [&](const std::string& kv) {
+    opts += (opts.empty() ? ":" : ",") + kv;
+  };
+  if (session != 0) add("session=" + std::to_string(session));
+  if (!from.empty()) add("from=" + from);
+  if (!to.empty()) add("to=" + to);
+  if (delay_ms != 0) add("ms=" + std::to_string(delay_ms));
+  return out + opts;
+}
+
+FaultInjector FaultInjector::Seeded(uint64_t seed, size_t n,
+                                    uint64_t frame_span) {
+  std::vector<FaultSpec> schedule;
+  schedule.reserve(n);
+  uint64_t state = seed;
+  for (size_t i = 0; i < n; ++i) {
+    FaultSpec spec;
+    const uint64_t k = Mix64(state ^ (i * 3 + 1));
+    spec.kind = kAllKinds[k % (sizeof(kAllKinds) / sizeof(kAllKinds[0]))];
+    spec.frame_index =
+        frame_span == 0 ? 0 : Mix64(state ^ (i * 3 + 2)) % frame_span;
+    if (spec.kind == FaultKind::kDelay) {
+      spec.delay_ms = 1 + static_cast<int>(Mix64(state ^ (i * 3 + 3)) % 50);
+    }
+    schedule.push_back(spec);
+  }
+  return FaultInjector(std::move(schedule));
+}
+
+FaultInjector::Action FaultInjector::Apply(uint32_t session,
+                                           const std::string& from,
+                                           const std::string& to, Bytes* frame,
+                                           obs::Scope* scope) {
+  Action action;
+  if (schedule_.empty()) return action;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    const FaultSpec& spec = schedule_[i];
+    if (spec.session != 0 && spec.session != session) continue;
+    if (!spec.from.empty() && spec.from != from) continue;
+    if (!spec.to.empty() && spec.to != to) continue;
+    const uint64_t seen = matched_[i]++;
+    if (seen < spec.frame_index) continue;
+    if (spec.count != 0 && seen >= spec.frame_index + spec.count) continue;
+    ++fired_[i];
+    switch (spec.kind) {
+      case FaultKind::kDrop:
+        action.drop = true;
+        break;
+      case FaultKind::kDelay:
+        action.delay_ms += spec.delay_ms;
+        break;
+      case FaultKind::kDuplicate:
+        action.duplicate = true;
+        break;
+      case FaultKind::kTruncate:
+        if (frame->size() > 4) frame->resize(frame->size() - 4);
+        break;
+      case FaultKind::kBitFlip:
+        if (!frame->empty()) {
+          // Flip in the body, past the header — a header flip is the
+          // (also covered) desync case, a body flip the silent one.
+          (*frame)[frame->size() - 1 - frame->size() % 7] ^= 0x04;
+        }
+        break;
+      case FaultKind::kDisconnect:
+        action.disconnect = true;
+        break;
+    }
+    if (scope != nullptr) {
+      scope->metrics().Add("net.faults_injected", 1);
+      scope->metrics().Add(
+          std::string("net.fault_") + FaultKindToString(spec.kind), 1);
+      const uint64_t now = scope->tracer().NowNanos();
+      scope->tracer().Record(
+          std::string("fault/") + FaultKindToString(spec.kind) + "/" + from +
+              ">" + to,
+          now, now, seen);
+    }
+  }
+  return action;
+}
+
+uint64_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (uint64_t f : fired_) total += f;
+  return total;
+}
+
+}  // namespace secmed

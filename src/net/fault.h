@@ -1,0 +1,126 @@
+#ifndef SECMED_NET_FAULT_H_
+#define SECMED_NET_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/scope.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// What a scheduled fault does to one encoded frame on the send path.
+///
+/// All faults operate *below* the message layer, on the exact bytes the
+/// socket would carry — the receiving process sees what a lossy,
+/// corrupting, or crashing network would really hand it:
+///
+///  - kDrop:       the frame is never written (receiver waits it out).
+///  - kDelay:      the frame is written `delay_ms` late.
+///  - kDuplicate:  the frame is written twice back-to-back.
+///  - kTruncate:   only a prefix of the frame is written (the stream
+///                 desynchronizes or the receiver stalls mid-frame).
+///  - kBitFlip:    one payload byte is XOR-flipped (wire-vs-shadow
+///                 verification fails loudly at the receiver).
+///  - kDisconnect: the pooled connection is force-closed *before* the
+///                 frame is written; the frame provably never reached
+///                 the peer, so the sender's retry layer may reconnect
+///                 and resend it — the one fault retries fully recover.
+enum class FaultKind : uint8_t {
+  kDrop,
+  kDelay,
+  kDuplicate,
+  kTruncate,
+  kBitFlip,
+  kDisconnect,
+};
+
+const char* FaultKindToString(FaultKind kind);
+Result<FaultKind> FaultKindFromString(const std::string& s);
+
+/// One scheduled fault: a kind plus the predicate selecting which frames
+/// it fires on. Empty string / 0 fields are wildcards.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDrop;
+  /// Session predicate (0 = any session, including control frames).
+  uint32_t session = 0;
+  /// Sender / receiver party predicates (empty = any).
+  std::string from;
+  std::string to;
+  /// Fires on the nth matching frame (0-based) counted per spec over
+  /// the frames the predicate fields match.
+  uint64_t frame_index = 0;
+  /// How many consecutive matching frames the fault hits from
+  /// `frame_index` on (0 = every one from there).
+  uint64_t count = 1;
+  /// kDelay only: how long the frame is held back.
+  int delay_ms = 0;
+
+  /// "kind[@index][xN][:key=value,...]" — e.g.
+  ///   "drop@3"                     drop the 4th matching frame
+  ///   "bitflip@0:from=hospital"    flip the first frame hospital sends
+  ///   "delay@2x5:ms=40,session=2"  delay 5 frames of session 2 by 40 ms
+  /// Keys: from=P to=P session=N ms=N.
+  static Result<FaultSpec> Parse(const std::string& s);
+
+  std::string ToString() const;
+};
+
+/// Deterministic, seed-scheduled fault injector for the frame layer of
+/// `TcpTransport` (the send path consults it for every outbound frame).
+///
+/// Determinism contract: whether a fault fires depends only on the
+/// schedule and the sequence of matching frames — never on wall-clock
+/// time or an unseeded RNG — so a failing matrix-test case replays
+/// exactly from its seed. Thread-safe (sessions share one injector).
+class FaultInjector {
+ public:
+  /// What the send path must do with the current frame.
+  struct Action {
+    bool drop = false;        // do not write the frame
+    bool duplicate = false;   // write it twice
+    bool disconnect = false;  // close the pooled connection first
+    int delay_ms = 0;         // sleep before writing
+    // kTruncate/kBitFlip mutate the frame bytes in place.
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(std::vector<FaultSpec> schedule)
+      : schedule_(std::move(schedule)), fired_(schedule_.size(), 0),
+        matched_(schedule_.size(), 0) {}
+
+  /// A pseudo-random schedule derived entirely from `seed`: `n` faults
+  /// with kinds, frame indexes (< `frame_span`) and delay parameters
+  /// drawn from a SplitMix64 stream. Two runs from the same seed inject
+  /// identical faults.
+  static FaultInjector Seeded(uint64_t seed, size_t n, uint64_t frame_span);
+
+  /// Consults the schedule for one outbound frame and applies byte
+  /// mutations (truncate, bit-flip) to `frame` in place. Fired faults
+  /// are counted into `scope` (counters `net.faults_injected`,
+  /// `net.fault_<kind>`) and recorded as zero-length spans named
+  /// `fault/<kind>/<from]>[to>`, so the run report shows exactly which
+  /// faults fired. Cheap when nothing matches: one mutex + integer
+  /// compares per spec.
+  Action Apply(uint32_t session, const std::string& from,
+               const std::string& to, Bytes* frame, obs::Scope* scope);
+
+  /// Total faults fired so far.
+  uint64_t fired() const;
+
+  bool empty() const { return schedule_.empty(); }
+  const std::vector<FaultSpec>& schedule() const { return schedule_; }
+
+ private:
+  std::vector<FaultSpec> schedule_;
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> fired_;    // per spec
+  std::vector<uint64_t> matched_;  // per spec: matching frames seen
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_NET_FAULT_H_

@@ -1,0 +1,70 @@
+#include "net/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+namespace secmed {
+
+namespace {
+
+/// SplitMix64 — the jitter must be deterministic per (seed, attempt) and
+/// independent of every other RNG stream in the process (protocol
+/// transcripts are bit-identical with retries on or off).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int RetryPolicy::BackoffMs(int attempt) const {
+  if (attempt <= 0) return 0;
+  double base = initial_backoff_ms * std::pow(multiplier, attempt - 1);
+  int capped = static_cast<int>(std::min<double>(base, max_backoff_ms));
+  if (capped <= 0) return 0;
+  const int jitter_span = capped / 2;
+  if (jitter_span == 0) return capped;
+  const uint64_t draw =
+      Mix64(jitter_seed ^ (0xa0b0c0d0ULL + static_cast<uint64_t>(attempt)));
+  return capped + static_cast<int>(draw % static_cast<uint64_t>(jitter_span));
+}
+
+int DeadlineBudget::RemainingMs() const {
+  if (unbounded()) return std::numeric_limits<int>::max() / 2;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start_);
+  const long long left = total_ms_ - elapsed.count();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left, total_ms_));
+}
+
+int DeadlineBudget::ElapsedMs() const {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start_);
+  return static_cast<int>(
+      std::min<long long>(elapsed.count(), std::numeric_limits<int>::max()));
+}
+
+int DeadlineBudget::SliceMs(int want_ms) const {
+  if (unbounded()) return want_ms;
+  return std::min(want_ms, RemainingMs());
+}
+
+void SleepForMs(int ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+Status ExhaustedBudget(Status last, const std::string& op,
+                       const DeadlineBudget& budget, int attempts) {
+  return Status(last.code(),
+                last.message() + " (op '" + op + "' gave up after " +
+                    std::to_string(attempts) + " attempt(s), " +
+                    std::to_string(budget.ElapsedMs()) + " of " +
+                    std::to_string(budget.total_ms()) + " ms budget)");
+}
+
+}  // namespace secmed

@@ -1,0 +1,95 @@
+#ifndef SECMED_NET_RETRY_H_
+#define SECMED_NET_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace secmed {
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// The mediation deployment retries exactly two classes of failure:
+/// kUnavailable (a peer connection reset, refused, or reported dead —
+/// the frame provably never reached the peer's application layer, so a
+/// resend cannot duplicate protocol state) and, on the receive side,
+/// waiting out a transient peer disconnect. Everything else —
+/// kProtocolError, kAborted, kDeadlineExceeded — is terminal for the
+/// session.
+///
+/// Jitter is a pure function of (seed, attempt): two processes given the
+/// same seed replay identical backoff sequences, which keeps the fault
+/// matrix tests (tests/fault_injection_test.cc) reproducible down to the
+/// sleep schedule.
+struct RetryPolicy {
+  /// Total tries per operation, the first one included. 1 = no retries.
+  int max_attempts = 4;
+  /// Backoff before retry k (k >= 1) is
+  ///   min(initial_backoff_ms * multiplier^(k-1), max_backoff_ms)
+  /// plus jitter in [0, backoff/2].
+  int initial_backoff_ms = 20;
+  double multiplier = 2.0;
+  int max_backoff_ms = 2000;
+  /// Seed of the deterministic jitter stream.
+  uint64_t jitter_seed = 0;
+
+  /// True for the status codes a retry may fix (see class comment).
+  static bool IsRetryable(const Status& st) {
+    return st.code() == StatusCode::kUnavailable;
+  }
+
+  /// Backoff (including jitter) before attempt `attempt` (1-based count
+  /// of *failed* attempts so far; attempt 0 returns 0).
+  int BackoffMs(int attempt) const;
+};
+
+/// A total wall-clock budget for one operation, measured against
+/// steady_clock from construction. Every blocking sub-step of the
+/// operation — connect, poll, send, frame wait, backoff sleep — draws
+/// its per-call timeout from `RemainingMs()`, so the operation as a
+/// whole can never exceed the budget no matter how many times its inner
+/// loops re-arm (the bug class fixed in TcpConn::SendAll/RecvSome, where
+/// a peer draining one byte per poll extended a "deadline" forever).
+class DeadlineBudget {
+ public:
+  /// `total_ms` <= 0 means unbounded (Remaining() reports a large
+  /// sentinel and Expired() is always false).
+  explicit DeadlineBudget(int total_ms)
+      : total_ms_(total_ms), start_(std::chrono::steady_clock::now()) {}
+
+  bool unbounded() const { return total_ms_ <= 0; }
+
+  /// Milliseconds left, clamped to >= 0.
+  int RemainingMs() const;
+
+  bool Expired() const { return !unbounded() && RemainingMs() <= 0; }
+
+  /// Milliseconds elapsed since construction.
+  int ElapsedMs() const;
+
+  /// min(want_ms, RemainingMs()) — the timeout to hand a blocking
+  /// sub-step that would otherwise wait `want_ms`.
+  int SliceMs(int want_ms) const;
+
+  int total_ms() const { return total_ms_; }
+
+ private:
+  int total_ms_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Sleeps for `ms` (no-op for ms <= 0). Thin wrapper so retry loops
+/// don't pull <thread> into every header.
+void SleepForMs(int ms);
+
+/// Decorates a terminal status with the operation's budget accounting,
+/// e.g. "... (op 'wait frame' exhausted 2000 ms budget after 3
+/// attempts)". Keeps the original code.
+Status ExhaustedBudget(Status last, const std::string& op,
+                       const DeadlineBudget& budget, int attempts);
+
+}  // namespace secmed
+
+#endif  // SECMED_NET_RETRY_H_

@@ -1,5 +1,7 @@
 #include "net/tcp.h"
 
+#include "net/retry.h"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -125,10 +127,35 @@ Result<TcpConn> TcpConn::Connect(const Endpoint& ep, int timeout_ms) {
 
 Status TcpConn::SendAll(const Bytes& data, int timeout_ms) {
   if (fd_ < 0) return Status::FailedPrecondition("send on closed connection");
+  // `timeout_ms` is a *total* budget for the whole write, measured
+  // against steady_clock from here. Re-arming the full timeout on every
+  // loop iteration (the old behavior) let a peer draining one byte per
+  // poll extend the "deadline" indefinitely; now every poll gets only
+  // the remaining slice, and an EAGAIN after a successful poll consumes
+  // budget like any other iteration instead of being a free retry.
+  const DeadlineBudget budget(timeout_ms);
   size_t off = 0;
   while (off < data.size()) {
-    SECMED_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, timeout_ms, "send"));
-    ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    const auto expired = [&] {
+      return Status::DeadlineExceeded(
+          "send of " + std::to_string(data.size()) + " bytes exceeded its " +
+          std::to_string(timeout_ms) + " ms budget (" + std::to_string(off) +
+          " bytes written)");
+    };
+    if (budget.Expired()) return expired();
+    Status ready = PollFor(
+        fd_, POLLOUT, budget.unbounded() ? -1 : budget.RemainingMs(), "send");
+    if (!ready.ok()) {
+      // Report partial progress on a timeout: "2 MB stuck at 48 KB
+      // written" points at a stalled peer, which "timed out" alone hides.
+      if (ready.code() == StatusCode::kDeadlineExceeded) return expired();
+      return ready;
+    }
+    // MSG_DONTWAIT: POLLOUT only promises *some* buffer space; a blocking
+    // send of a large remainder would then sleep until the peer drains it
+    // all, putting the wait outside the budget's reach.
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Errno("send");
@@ -140,17 +167,27 @@ Status TcpConn::SendAll(const Bytes& data, int timeout_ms) {
 
 Result<size_t> TcpConn::RecvSome(Bytes* out, size_t max, int timeout_ms) {
   if (fd_ < 0) return Status::FailedPrecondition("recv on closed connection");
-  SECMED_RETURN_IF_ERROR(PollFor(fd_, POLLIN, timeout_ms, "recv"));
+  // Same total-budget semantics as SendAll: a poll that wakes without
+  // data (spurious readiness, EAGAIN) re-polls with the *remaining*
+  // budget rather than a fresh full timeout.
+  const DeadlineBudget budget(timeout_ms);
   const size_t old = out->size();
-  out->resize(old + max);
   for (;;) {
-    ssize_t n = ::recv(fd_, out->data() + old, max, 0);
+    if (budget.Expired()) {
+      out->resize(old);
+      return Status::DeadlineExceeded("recv timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    SECMED_RETURN_IF_ERROR(PollFor(
+        fd_, POLLIN, budget.unbounded() ? -1 : budget.RemainingMs(), "recv"));
+    out->resize(old + max);
+    ssize_t n = ::recv(fd_, out->data() + old, max, MSG_DONTWAIT);
     if (n >= 0) {
       out->resize(old + static_cast<size_t>(n));
       return static_cast<size_t>(n);
     }
-    if (errno == EINTR) continue;
     out->resize(old);
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     return Errno("recv");
   }
 }

@@ -46,11 +46,15 @@ class TcpConn {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Writes all of `data`, blocking up to `timeout_ms` per syscall.
+  /// Writes all of `data` within a *total* budget of `timeout_ms`
+  /// (measured against steady_clock; <= 0 = unbounded). A slow-draining
+  /// peer cannot extend the deadline: every internal poll gets only the
+  /// remaining slice of the budget.
   Status SendAll(const Bytes& data, int timeout_ms);
 
-  /// Reads up to `max` bytes into `out` (appended), blocking up to
-  /// `timeout_ms`. Returns the number of bytes read; 0 = clean EOF.
+  /// Reads up to `max` bytes into `out` (appended), within a total
+  /// budget of `timeout_ms` (same semantics as SendAll). Returns the
+  /// number of bytes read; 0 = clean EOF.
   Result<size_t> RecvSome(Bytes* out, size_t max, int timeout_ms);
 
   /// Closes the socket early (also unblocks a reader in another thread

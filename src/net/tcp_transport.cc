@@ -1,5 +1,6 @@
 #include "net/tcp_transport.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace secmed {
@@ -9,6 +10,19 @@ namespace {
 // one interval without any cross-thread socket shutdown games.
 constexpr int kLoopPollMs = 100;
 constexpr size_t kRecvChunk = 64 * 1024;
+// Budget of one abort-broadcast frame. Deliberately short: the broadcast
+// runs on the already-failed session's thread, a peer that cannot take
+// the frame this fast is dead (and fails on its own budget anyway), and
+// the acceptance bound — every party unblocked within 2x the configured
+// deadline — must hold even when several peers are unreachable.
+constexpr int kAbortSendMs = 2000;
+
+/// PollFor and cv_.wait_for treat <= 0 as "no deadline"; a budget that
+/// still has time left must therefore never round down to 0 mid-flight.
+int BoundedMs(const DeadlineBudget& budget, int fallback_ms) {
+  if (budget.unbounded()) return fallback_ms;
+  return std::max(1, budget.RemainingMs());
+}
 }  // namespace
 
 Result<std::unique_ptr<PeerHost>> PeerHost::Listen(uint16_t port) {
@@ -60,22 +74,40 @@ void PeerHost::AcceptLoop() {
 void PeerHost::ReaderLoop(TcpConn conn) {
   FrameDecoder decoder;
   Bytes chunk;
+  // Every sender party this connection has carried, with the sessions it
+  // sent in. When the connection dies, exactly these parties are marked
+  // down — a failure is scoped to the peer process it came from, never
+  // to the whole host (unless the stream corrupted before any frame
+  // identified a sender, where no scoping is possible).
+  std::map<std::string, std::set<uint32_t>> senders;
   while (!stop_.load()) {
     chunk.clear();
     Result<size_t> n = conn.RecvSome(&chunk, kRecvChunk, kLoopPollMs);
-    if (!n.ok()) {
-      if (n.status().code() == StatusCode::kDeadlineExceeded) continue;
-      // Peer reset mid-stream. Pending partial frame bytes are lost; if
-      // any were buffered the stream is corrupt for good.
-      if (decoder.buffered() > 0) {
-        FailStream(Status::ProtocolError(
-            "connection dropped mid-frame: " + n.status().message()));
+    const bool clean_eof = n.ok() && *n == 0;
+    if (!n.ok() || clean_eof) {
+      if (!clean_eof && n.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;
       }
-      return;
-    }
-    if (*n == 0) {  // clean EOF
+      // Connection gone — peer process death, restart, or a forced
+      // disconnect. (A killed process closes its sockets cleanly, so
+      // EOF and reset are the same event here.) Pending partial frame
+      // bytes mean the stream is corrupt for good; otherwise the peers
+      // it carried are down-but-maybe-coming-back (kUnavailable, which
+      // the send/receive retry layers treat as transient).
       if (decoder.buffered() > 0) {
-        FailStream(Status::ProtocolError("connection closed mid-frame"));
+        const Status err = Status::ProtocolError(
+            clean_eof ? "connection closed mid-frame"
+                      : "connection dropped mid-frame: " +
+                            n.status().message());
+        if (senders.empty()) {
+          FailStream(err);
+        } else {
+          MarkPeersDown(senders, err);
+        }
+      } else if (!senders.empty()) {
+        MarkPeersDown(senders,
+                      clean_eof ? Status::Unavailable("peer disconnected")
+                                : n.status());
       }
       return;
     }
@@ -83,10 +115,18 @@ void PeerHost::ReaderLoop(TcpConn conn) {
     for (;;) {
       Result<std::optional<WireFrame>> frame = decoder.Next();
       if (!frame.ok()) {
-        FailStream(frame.status());
+        // Undecodable inbound bytes. Scope the damage to the parties of
+        // this connection when any are known; a first-frame corruption
+        // has no sender to blame and fails the host.
+        if (senders.empty()) {
+          FailStream(frame.status());
+        } else {
+          MarkPeersDown(senders, frame.status());
+        }
         return;
       }
       if (!frame->has_value()) break;
+      senders[(*frame)->message.from].insert((*frame)->session);
       Deliver(std::move(**frame));
     }
   }
@@ -98,7 +138,19 @@ void PeerHost::Deliver(WireFrame frame) {
     scope->metrics().Add("net.frames_received", 1);
     scope->metrics().Add("net.wire_bytes_received", frame.message.WireSize());
   }
+  if (frame.message.to == kAbortParty) {
+    if (scope != nullptr) scope->metrics().Add("net.aborts_received", 1);
+    AbortSession(frame.session,
+                 Status::Aborted("session " + std::to_string(frame.session) +
+                                 " aborted by [" + frame.message.from + "]: " +
+                                 std::string(frame.message.payload.begin(),
+                                             frame.message.payload.end())));
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
+  // A frame from a previously-down party: it reconnected. Clear the
+  // mark so its waiters go back to normal frame waits.
+  peer_down_.erase(frame.message.from);
   if (frame.session == kCtlSession && frame.message.to == kCtlParty) {
     ctl_queue_.push_back(std::move(frame.message));
   } else {
@@ -118,11 +170,114 @@ void PeerHost::FailStream(Status error) {
   cv_.notify_all();
 }
 
+void PeerHost::MarkPeersDown(
+    const std::map<std::string, std::set<uint32_t>>& senders,
+    const Status& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [party, sessions] : senders) {
+    if (peer_down_.count(party) > 0) continue;
+    std::string in_sessions;
+    for (uint32_t s : sessions) {
+      if (s == kCtlSession) continue;
+      if (!in_sessions.empty()) in_sessions += ",";
+      in_sessions += std::to_string(s);
+    }
+    PeerDown down;
+    down.status = Status(
+        error.code(),
+        "party '" + party + "' disconnected" +
+            (in_sessions.empty() ? "" : " (session " + in_sessions + ")") +
+            ": " + error.message());
+    peer_down_.emplace(party, std::move(down));
+  }
+  cv_.notify_all();
+}
+
+void PeerHost::AbortSession(uint32_t session, Status reason) {
+  if (reason.code() != StatusCode::kAborted) {
+    reason = Status::Aborted(reason.ToString());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_aborts_.count(session) > 0) return;  // first reason wins
+  session_aborts_.emplace(session, std::move(reason));
+  // Reclaim the session's buffered frames right away — nobody may ever
+  // drain them now.
+  for (auto it = inbox_.begin(); it != inbox_.end();) {
+    if (it->first.session == session) {
+      it = inbox_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cv_.notify_all();
+}
+
+Status PeerHost::SessionAbort(uint32_t session) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = session_aborts_.find(session);
+  return it != session_aborts_.end() ? it->second : Status::OK();
+}
+
+void PeerHost::CloseConnection(const std::string& pair) {
+  std::shared_ptr<PooledConn> pc;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    auto it = pool_.find(pair);
+    if (it == pool_.end()) return;
+    pc = it->second;
+  }
+  std::lock_guard<std::mutex> lock(pc->mutex);
+  pc->conn.Close();
+}
+
+void PeerHost::SetRetryPolicy(const RetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  retry_ = policy;
+}
+
+RetryPolicy PeerHost::retry_policy() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return retry_;
+}
+
+std::shared_ptr<PeerHost::PooledConn> PeerHost::PoolSlot(
+    const std::string& pair) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  std::shared_ptr<PooledConn>& slot = pool_[pair];
+  if (slot == nullptr) slot = std::make_shared<PooledConn>();
+  return slot;
+}
+
+Status PeerHost::ConnectWithRetry(PooledConn* pc, const Endpoint& ep,
+                                  const DeadlineBudget& budget,
+                                  const RetryPolicy& policy) {
+  // Connect attempts are budget-driven, not attempt-capped: a daemon
+  // that is still starting up refuses connections for an unknown number
+  // of attempts but a very knowable amount of time. Backoff paces the
+  // attempts so a long budget does not hammer the listen queue.
+  Status last = Status::OK();
+  for (int attempt = 1;; ++attempt) {
+    Result<TcpConn> conn = TcpConn::Connect(ep, BoundedMs(budget, 0));
+    if (conn.ok()) {
+      pc->conn = std::move(conn).value();
+      if (obs::Scope* scope = obs()) scope->metrics().Add("net.connects", 1);
+      return Status::OK();
+    }
+    last = conn.status();
+    if (!RetryPolicy::IsRetryable(last)) return last;
+    if (budget.Expired()) {
+      return ExhaustedBudget(last, "connect to " + ep.ToString(), budget,
+                             attempt);
+    }
+    SleepForMs(std::min(policy.BackoffMs(attempt), BoundedMs(budget, 0)));
+  }
+}
+
 Status PeerHost::SendFrame(const std::string& pair, const Endpoint& ep,
                            const Bytes& frame, int timeout_ms) {
   obs::Scope* scope = obs();
   uint64_t start_ns = scope != nullptr ? scope->tracer().NowNanos() : 0;
-  Status st = SendFrameLocked(pair, ep, frame, timeout_ms);
+  Status st = SendFrameImpl(pair, ep, frame, timeout_ms);
   if (scope != nullptr) {
     scope->metrics().Observe("net.frame_send_ns",
                              scope->tracer().NowNanos() - start_ns);
@@ -134,43 +289,48 @@ Status PeerHost::SendFrame(const std::string& pair, const Endpoint& ep,
   return st;
 }
 
-Status PeerHost::SendFrameLocked(const std::string& pair, const Endpoint& ep,
-                                 const Bytes& frame, int timeout_ms) {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
-  auto it = pool_.find(pair);
-  if (it == pool_.end()) {
-    // First use of this party pair: connect, retrying while the peer
-    // process is still coming up.
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(timeout_ms);
-    for (;;) {
-      Result<TcpConn> conn = TcpConn::Connect(ep, timeout_ms);
-      if (conn.ok()) {
-        it = pool_.emplace(pair, std::move(conn).value()).first;
-        if (obs::Scope* scope = obs()) {
-          scope->metrics().Add("net.connects", 1);
-        }
-        break;
+Status PeerHost::SendFrameImpl(const std::string& pair, const Endpoint& ep,
+                               const Bytes& frame, int timeout_ms) {
+  const RetryPolicy policy = retry_policy();
+  const DeadlineBudget budget(timeout_ms);
+  // Per-pair lock: one pair's frames must not interleave on the wire,
+  // but a retry loop stuck on a dead peer must not stall the sends of
+  // other pairs — concurrent sessions keep running (the pool map lock
+  // above was only held long enough to find the slot).
+  std::shared_ptr<PooledConn> pc = PoolSlot(pair);
+  std::lock_guard<std::mutex> lock(pc->mutex);
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      if (budget.Expired()) break;
+      if (obs::Scope* scope = obs()) {
+        scope->metrics().Add("net.send_retries", 1);
       }
-      if (conn.status().code() != StatusCode::kUnavailable ||
-          std::chrono::steady_clock::now() >= deadline) {
-        return conn.status();
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      SleepForMs(std::min(policy.BackoffMs(attempt - 1), BoundedMs(budget, 0)));
     }
+    if (!pc->conn.valid()) {
+      // First use, or the previous attempt closed a stale connection
+      // (and the forced-disconnect fault closes it under our feet).
+      Status st = ConnectWithRetry(pc.get(), ep, budget, policy);
+      if (!st.ok()) return st;
+      if (attempt > 1) {
+        if (obs::Scope* scope = obs()) {
+          scope->metrics().Add("net.reconnects", 1);
+        }
+      }
+    }
+    Status st = pc->conn.SendAll(frame, BoundedMs(budget, timeout_ms));
+    if (st.ok() || !RetryPolicy::IsRetryable(st)) return st;
+    // Reset connection (peer restarted between sessions, or died). The
+    // frame stream on it is unusable either way: close it and resend
+    // the whole frame on a fresh connection — nothing of a frame on a
+    // reset connection can have reached the peer application in a
+    // decodable state, and the receiver treats a torn prefix as a
+    // stream error, never as data.
+    last = st;
+    pc->conn.Close();
   }
-  Status st = it->second.SendAll(frame, timeout_ms);
-  if (st.ok() || st.code() != StatusCode::kUnavailable) return st;
-  // Stale pooled connection (peer restarted between sessions):
-  // reconnect once and retry the whole frame — nothing of it can have
-  // reached the application on a reset connection.
-  pool_.erase(it);
-  if (obs::Scope* scope = obs()) {
-    scope->metrics().Add("net.reconnects", 1);
-  }
-  SECMED_ASSIGN_OR_RETURN(TcpConn fresh, TcpConn::Connect(ep, timeout_ms));
-  it = pool_.emplace(pair, std::move(fresh)).first;
-  return it->second.SendAll(frame, timeout_ms);
+  return ExhaustedBudget(last, "send " + pair, budget, policy.max_attempts);
 }
 
 Result<Message> PeerHost::WaitFrame(uint32_t session, const std::string& to,
@@ -179,25 +339,32 @@ Result<Message> PeerHost::WaitFrame(uint32_t session, const std::string& to,
   uint64_t start_ns = scope != nullptr ? scope->tracer().NowNanos() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   const QueueKey key{session, to, from};
-  const bool ready = cv_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms), [&] {
-        auto it = inbox_.find(key);
-        return (it != inbox_.end() && !it->second.empty()) ||
-               !stream_error_.ok() || stop_.load();
-      });
-  auto it = inbox_.find(key);
+  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    auto it = inbox_.find(key);
+    return (it != inbox_.end() && !it->second.empty()) ||
+           session_aborts_.count(session) > 0 || !stream_error_.ok() ||
+           peer_down_.count(from) > 0 || stop_.load();
+  });
   if (scope != nullptr) {
     scope->metrics().Observe("net.frame_wait_ns",
                              scope->tracer().NowNanos() - start_ns);
   }
+  // An abort outranks a queued frame: the session is dead either way,
+  // and the abort carries the reason every party should report.
+  if (auto ab = session_aborts_.find(session); ab != session_aborts_.end()) {
+    return ab->second;
+  }
+  auto it = inbox_.find(key);
   if (it != inbox_.end() && !it->second.empty()) {
     Message msg = std::move(it->second.front());
     it->second.pop_front();
     return msg;
   }
   if (!stream_error_.ok()) return stream_error_;
+  if (auto pd = peer_down_.find(from); pd != peer_down_.end()) {
+    return pd->second.status;
+  }
   if (stop_.load()) return Status::Unavailable("peer host stopped");
-  (void)ready;
   return Status::DeadlineExceeded("no frame for " + to + " from " + from +
                                   " in session " + std::to_string(session) +
                                   " within " + std::to_string(timeout_ms) +
@@ -206,13 +373,27 @@ Result<Message> PeerHost::WaitFrame(uint32_t session, const std::string& to,
 
 Result<Message> PeerHost::WaitCtl(int timeout_ms) {
   std::unique_lock<std::mutex> lock(mutex_);
+  auto unnotified = [&] {
+    return std::find_if(peer_down_.begin(), peer_down_.end(),
+                        [](const auto& e) { return !e.second.ctl_notified; });
+  };
   cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
-    return !ctl_queue_.empty() || !stream_error_.ok() || stop_.load();
+    return !ctl_queue_.empty() || !stream_error_.ok() ||
+           unnotified() != peer_down_.end() || stop_.load();
   });
   if (!ctl_queue_.empty()) {
     Message msg = std::move(ctl_queue_.front());
     ctl_queue_.pop_front();
     return msg;
+  }
+  if (auto it = unnotified(); it != peer_down_.end()) {
+    // Synthesize the one-shot peer-down notification (kCtlPeerDown doc
+    // in the header): an event, not a sticky error, so long-running
+    // control loops stay alive across client generations.
+    it->second.ctl_notified = true;
+    const std::string detail = it->second.status.message();
+    return Message{it->first, kCtlParty, kCtlPeerDown,
+                   Bytes(detail.begin(), detail.end())};
   }
   if (!stream_error_.ok()) return stream_error_;
   if (stop_.load()) return Status::Unavailable("peer host stopped");
@@ -229,6 +410,17 @@ void PeerHost::DropSession(uint32_t session) {
       ++it;
     }
   }
+  // The session id may be reused by a later query.
+  session_aborts_.erase(session);
+}
+
+std::string TcpTransport::LocalLabel() const {
+  std::string label;
+  for (const std::string& p : options_.local_parties) {
+    if (!label.empty()) label += ",";
+    label += p;
+  }
+  return label.empty() ? "?" : label;
 }
 
 Status TcpTransport::Send(Message msg) {
@@ -238,12 +430,27 @@ Status TcpTransport::Send(Message msg) {
   if (wire) {
     Bytes frame = EncodeFrame(options_.session, msg);
     if (frame_tamper_hook_) frame_tamper_hook_(&frame);
-    Status st = host_->SendFrame(msg.from + ">" + msg.to,
-                                 options_.directory.at(msg.to), frame,
-                                 options_.timeout_ms);
-    if (!st.ok()) {
-      sticky_ = st;
-      return st;
+    FaultInjector::Action fault;
+    if (options_.faults != nullptr) {
+      fault = options_.faults->Apply(options_.session, msg.from, msg.to,
+                                     &frame, obs_scope_);
+    }
+    const std::string pair = msg.from + ">" + msg.to;
+    const Endpoint& ep = options_.directory.at(msg.to);
+    // Order matters: the forced disconnect closes the pooled connection
+    // *before* the write, so the frame provably never reached the peer
+    // and the send retry layer may reconnect and resend it safely.
+    if (fault.disconnect) host_->CloseConnection(pair);
+    if (fault.delay_ms > 0) SleepForMs(fault.delay_ms);
+    if (!fault.drop) {
+      Status st = host_->SendFrame(pair, ep, frame, options_.timeout_ms);
+      if (st.ok() && fault.duplicate) {
+        st = host_->SendFrame(pair, ep, frame, options_.timeout_ms);
+      }
+      if (!st.ok()) {
+        sticky_ = st;
+        return st;
+      }
     }
   }
   // Shadow bookkeeping after the real send: transcript, statistics and
@@ -258,8 +465,7 @@ Result<Message> TcpTransport::Receive(const std::string& party) {
   if (IsHostedHere(shadow->to) && IsRemote(shadow->from)) {
     // The shadow says a remote party sent this: insist on the real frame
     // and on its bytes agreeing with the replicated execution.
-    Result<Message> wire = host_->WaitFrame(options_.session, shadow->to,
-                                            shadow->from, options_.timeout_ms);
+    Result<Message> wire = WaitWireFrame(shadow->to, shadow->from);
     if (!wire.ok()) {
       sticky_ = wire.status();
       return sticky_;
@@ -278,6 +484,43 @@ Result<Message> TcpTransport::Receive(const std::string& party) {
   return shadow;
 }
 
+Result<Message> TcpTransport::WaitWireFrame(const std::string& to,
+                                            const std::string& from) {
+  // One deadline budget bounds the whole wait including retries. A
+  // transient failure (kUnavailable: the sender's process disconnected,
+  // perhaps to come right back — the forced-disconnect fault, a daemon
+  // restart) surfaces from WaitFrame immediately; backing off and
+  // retrying gives the reconnect a chance while keeping a genuinely
+  // dead peer loud, named, and bounded by the budget.
+  const DeadlineBudget budget(options_.timeout_ms);
+  Status last = Status::OK();
+  for (int attempt = 1;; ++attempt) {
+    Result<Message> wire = host_->WaitFrame(
+        options_.session, to, from,
+        budget.unbounded() ? options_.timeout_ms : BoundedMs(budget, 1));
+    if (wire.ok()) return wire;
+    Status st = wire.status();
+    if (st.code() == StatusCode::kDeadlineExceeded && !last.ok()) {
+      // The budget ran out while waiting for a reconnect; the earlier
+      // named transient error explains the failure better than a bare
+      // deadline would.
+      return ExhaustedBudget(last, "receive " + to + "<" + from, budget,
+                             attempt);
+    }
+    if (!RetryPolicy::IsRetryable(st)) return st;
+    last = st;
+    if (attempt >= options_.retry.max_attempts || budget.Expired()) {
+      return ExhaustedBudget(last, "receive " + to + "<" + from, budget,
+                             attempt);
+    }
+    if (obs_scope_ != nullptr) {
+      obs_scope_->metrics().Add("net.recv_retries", 1);
+    }
+    SleepForMs(std::min(options_.retry.BackoffMs(attempt),
+                        BoundedMs(budget, options_.retry.max_backoff_ms)));
+  }
+}
+
 Result<Message> TcpTransport::ReceiveOfType(const std::string& party,
                                             const std::string& type) {
   // Full Receive first — even a type-mismatched message must consume its
@@ -293,9 +536,42 @@ Result<Message> TcpTransport::ReceiveOfType(const std::string& party,
   return msg;
 }
 
+void TcpTransport::Abort(const Status& reason) {
+  host_->AbortSession(options_.session, reason);
+  if (sticky_.ok() || sticky_.code() != StatusCode::kAborted) {
+    sticky_ = host_->SessionAbort(options_.session);
+  }
+  if (abort_sent_) return;
+  abort_sent_ = true;
+  // A kAborted reason means another party started this abort and told
+  // us; re-broadcasting would echo aborts around the deployment.
+  if (reason.code() == StatusCode::kAborted) return;
+  Message notice{LocalLabel(), kAbortParty, kMsgAbort,
+                 ToBytes(reason.ToString())};
+  const Bytes frame = EncodeFrame(options_.session, notice);
+  // One frame per peer *process*: parties sharing a daemon share its
+  // PeerHost, where the abort lands session-wide. A dedicated pool pair
+  // keyed by endpoint keeps the broadcast off the protocol pairs' locks
+  // (one of which may be the stuck connection that caused the abort).
+  std::set<Endpoint> eps;
+  for (const auto& [party, ep] : options_.directory) {
+    if (IsRemote(party)) eps.insert(ep);
+  }
+  for (const Endpoint& ep : eps) {
+    Status st = host_->SendFrame("@abort>" + ep.ToString(), ep, frame,
+                                 std::min(options_.timeout_ms, kAbortSendMs));
+    if (obs_scope_ != nullptr && st.ok()) {
+      obs_scope_->metrics().Add("net.aborts_sent", 1);
+    }
+    // Best effort: an unreachable peer is either already down or will
+    // fail on its own deadline budget.
+  }
+}
+
 void TcpTransport::Reset() {
   shadow_.Reset();
   sticky_ = Status::OK();
+  abort_sent_ = false;
   host_->DropSession(options_.session);
 }
 

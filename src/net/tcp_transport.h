@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "net/bus.h"
+#include "net/fault.h"
+#include "net/retry.h"
 #include "net/tcp.h"
 #include "net/wire.h"
 
@@ -23,6 +25,25 @@ namespace secmed {
 /// protocol messages.
 inline constexpr char kCtlParty[] = "@ctl";
 inline constexpr uint32_t kCtlSession = 0;
+
+/// Type of the synthetic control message WaitCtl returns when a peer
+/// process disconnects (its reader thread saw EOF or a reset): `from` is
+/// the dead party, the payload the underlying error. Synthesized — never
+/// on the wire — so control-plane loops can react to peer death without
+/// a sticky error killing them: secmedd logs and keeps serving, the
+/// drive client fails fast naming the dead party instead of blocking
+/// until its full report deadline. Each death is reported once.
+inline constexpr char kCtlPeerDown[] = "ctl_peer_down";
+
+/// Reserved pseudo-party of the session-abort control frame. A frame
+/// addressed to it (in the aborting session, any sender) tells the
+/// receiving process to abort that session: the frame is not queued,
+/// every blocked and future WaitFrame of the session returns kAborted,
+/// and the session's buffered frames are reclaimed. Other sessions
+/// multiplexed on the same sockets are untouched. The payload carries
+/// the human-readable abort reason, `from` the aborting party.
+inline constexpr char kAbortParty[] = "@abort";
+inline constexpr char kMsgAbort[] = "abort";
 
 /// The socket endpoint of one deployment process (a party daemon or the
 /// client driver). Owns the listener, the accept/reader threads, the
@@ -36,6 +57,23 @@ inline constexpr uint32_t kCtlSession = 0;
 /// PeerHost, which is how concurrent queries are multiplexed over the
 /// same sockets. Frames addressed to `kCtlParty` land in a separate
 /// control queue read by the daemon main loop.
+///
+/// Failure semantics (docs/ROBUSTNESS.md):
+///  - Sends run under the host's RetryPolicy within a per-operation
+///    DeadlineBudget: kUnavailable connect/write failures reconnect and
+///    resend with bounded exponential backoff; everything else is
+///    terminal.
+///  - A reader thread that sees its connection close (peer death,
+///    forced disconnect) marks every sender party it had carried as
+///    *down*: blocked WaitFrame/WaitCtl calls for those parties fail
+///    immediately with an error naming the dead party (kUnavailable) —
+///    not after the full frame-wait deadline. A later frame from the
+///    party (it reconnected) clears the mark.
+///  - A corrupt inbound stream marks its senders down with a sticky
+///    kProtocolError; if the stream was corrupt before any frame
+///    identified a sender, the whole host fails (no way to scope it).
+///  - Session aborts are per-session: AbortSession (or an inbound
+///    abort frame) fails only that session's waiters with kAborted.
 ///
 /// Thread-safety: fully thread-safe; every method may be called from any
 /// thread.
@@ -54,31 +92,55 @@ class PeerHost {
   void Stop();
 
   /// Sends one encoded frame to the process at `ep` over the pooled
-  /// connection for `pair` (e.g. "hospital>mediator"), establishing it on
-  /// first use. A send on a stale pooled connection (peer restarted)
-  /// reconnects once and retries; while the peer is still starting up,
-  /// connecting is retried until `timeout_ms` elapses.
+  /// connection for `pair` (e.g. "hospital>mediator"), establishing it
+  /// on first use. `timeout_ms` is the *total* budget of the operation:
+  /// connect attempts (retried while the peer is still starting up),
+  /// writes, reconnects of stale pooled connections, and the retry
+  /// backoff sleeps all draw from it. Distinct pairs send concurrently;
+  /// one pair's sends are serialized (frame streams must not interleave).
   Status SendFrame(const std::string& pair, const Endpoint& ep,
                    const Bytes& frame, int timeout_ms);
 
   /// Blocks until a frame of `session` addressed to `to` and sent by
-  /// `from` arrives, or `timeout_ms` elapses (kDeadlineExceeded). A
-  /// corrupt inbound stream fails every waiter with kProtocolError.
+  /// `from` arrives, or `timeout_ms` elapses (kDeadlineExceeded). Fails
+  /// early with kAborted if the session aborts, kUnavailable naming the
+  /// party if `from`'s process disconnects, kProtocolError if its
+  /// stream corrupts.
   Result<Message> WaitFrame(uint32_t session, const std::string& to,
                             const std::string& from, int timeout_ms);
 
   /// Blocks for the next control frame (session kCtlSession, party
-  /// kCtlParty) from any sender.
+  /// kCtlParty) from any sender. Fails early (kUnavailable, naming the
+  /// party) if a connected peer process dies while waiting.
   Result<Message> WaitCtl(int timeout_ms);
 
-  /// Drops all frames buffered for `session` (a finished query).
+  /// Marks `session` aborted with `reason` (coerced to kAborted): every
+  /// blocked and future WaitFrame of the session returns it immediately
+  /// and the session's buffered frames are dropped. Idempotent — the
+  /// first reason wins. Other sessions are untouched.
+  void AbortSession(uint32_t session, Status reason);
+
+  /// The abort status of `session` (kAborted) or OK.
+  Status SessionAbort(uint32_t session) const;
+
+  /// Drops all frames buffered for `session` and clears its abort mark
+  /// (a finished query; the session id may be reused).
   void DropSession(uint32_t session);
 
+  /// Force-closes the pooled outbound connection for `pair` (used by
+  /// the forced-disconnect fault). The next SendFrame reconnects.
+  void CloseConnection(const std::string& pair);
+
+  /// Retry policy for SendFrame connect/write failures. Applies to
+  /// subsequent calls; set it before the deployment starts sending.
+  void SetRetryPolicy(const RetryPolicy& policy);
+  RetryPolicy retry_policy() const;
+
   /// Attaches an observability scope; the host then records per-frame
-  /// send/wait latency histograms, wire byte/frame counters, reconnects
-  /// and the high-water inbound queue depth. Null detaches. May be
-  /// called from any thread; the scope must outlive the host or the
-  /// next call.
+  /// send/wait latency histograms, wire byte/frame counters, reconnects,
+  /// retries, aborts and the high-water inbound queue depth. Null
+  /// detaches. May be called from any thread; the scope must outlive
+  /// the host or the next call.
   void SetObsScope(obs::Scope* scope) {
     obs_.store(scope, std::memory_order_release);
   }
@@ -88,12 +150,29 @@ class PeerHost {
 
   PeerHost() = default;
 
+  /// One pooled outbound connection. `mutex` serializes connect/write
+  /// on the pair so concurrent sessions cannot interleave frame bytes;
+  /// the pool map itself is only locked long enough to find the slot,
+  /// so a dead peer stalling one pair never blocks sends on others.
+  struct PooledConn {
+    std::mutex mutex;
+    TcpConn conn;
+  };
+
   void AcceptLoop();
   void ReaderLoop(TcpConn conn);
   void Deliver(WireFrame frame);
   void FailStream(Status error);
-  Status SendFrameLocked(const std::string& pair, const Endpoint& ep,
-                         const Bytes& frame, int timeout_ms);
+  /// Marks every sender in `senders` (party -> sessions seen on the
+  /// dead connection) as down with `error`; waiters fail immediately.
+  void MarkPeersDown(const std::map<std::string, std::set<uint32_t>>& senders,
+                     const Status& error);
+  std::shared_ptr<PooledConn> PoolSlot(const std::string& pair);
+  Status ConnectWithRetry(PooledConn* pc, const Endpoint& ep,
+                          const DeadlineBudget& budget,
+                          const RetryPolicy& policy);
+  Status SendFrameImpl(const std::string& pair, const Endpoint& ep,
+                       const Bytes& frame, int timeout_ms);
 
   TcpListener listener_;
   std::atomic<obs::Scope*> obs_{nullptr};
@@ -103,11 +182,13 @@ class PeerHost {
   std::mutex readers_mutex_;
   std::vector<std::thread> readers_;
 
-  std::mutex pool_mutex_;
-  std::map<std::string, TcpConn> pool_;  // by party-pair key
+  mutable std::mutex pool_mutex_;
+  std::map<std::string, std::shared_ptr<PooledConn>> pool_;  // by pair key
+  RetryPolicy retry_;  // guarded by pool_mutex_
 
   // (session, to, from) -> FIFO of inbound messages, plus the control
-  // queue and a sticky stream error.
+  // queue, per-session abort marks, per-party down marks, and a sticky
+  // host-wide stream error (listener death, unattributable corruption).
   struct QueueKey {
     uint32_t session;
     std::string to;
@@ -118,10 +199,19 @@ class PeerHost {
       return from < o.from;
     }
   };
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<QueueKey, std::deque<Message>> inbox_;
   std::deque<Message> ctl_queue_;
+  std::map<uint32_t, Status> session_aborts_;
+  /// Parties whose carrying connection died, keyed by sender party.
+  /// `ctl_notified` makes the WaitCtl peer-down message one-shot; the
+  /// mark itself stays until a fresh frame from the party clears it.
+  struct PeerDown {
+    Status status;
+    bool ctl_notified = false;
+  };
+  std::map<std::string, PeerDown> peer_down_;
   Status stream_error_ = Status::OK();
 };
 
@@ -151,6 +241,14 @@ class PeerHost {
 /// only completes if every cross-process message arrived over TCP with
 /// the exact bytes of the reference execution.
 ///
+/// Failure semantics: Send and Receive each run under a per-operation
+/// DeadlineBudget of `options.timeout_ms`. Transient failures
+/// (kUnavailable — peer restarting, forced disconnect) are retried per
+/// `options.retry`; terminal failures latch into the sticky status. On
+/// an unrecoverable failure the session runner calls `Abort`, which
+/// broadcasts an abort frame to every peer process so their blocked
+/// Receives return kAborted within their own budgets instead of hanging.
+///
 /// Not thread-safe (like NetworkBus): one driver thread per session.
 /// Several TcpTransports over one PeerHost run concurrently.
 class TcpTransport : public Transport {
@@ -163,8 +261,14 @@ class TcpTransport : public Transport {
     std::map<std::string, Endpoint> directory;
     /// Session id stamped on every frame of this transport.
     uint32_t session = 1;
-    /// Deadline for blocking socket operations and frame waits.
+    /// Per-operation deadline budget for sends and frame waits.
     int timeout_ms = 30000;
+    /// Retry policy for transient send/receive failures.
+    RetryPolicy retry{};
+    /// Optional fault injector consulted for every outbound wire frame
+    /// (not owned; shared across the deployment's transports). Null —
+    /// the default — disables fault injection entirely.
+    FaultInjector* faults = nullptr;
   };
 
   TcpTransport(PeerHost* host, Options options)
@@ -193,9 +297,18 @@ class TcpTransport : public Transport {
     tamper_hook_ = std::move(hook);
   }
 
+  /// Aborts this transport's session deployment-wide: broadcasts an
+  /// abort frame (carrying `reason`) to every peer process, marks the
+  /// session aborted on the local host, and latches the sticky status
+  /// to kAborted. Idempotent. Best-effort on the wire — a peer that
+  /// cannot be reached was either already down or will hit its own
+  /// deadline budget.
+  void Abort(const Status& reason) override;
+
   /// Feeds the scope to the local shadow bus *and* the shared PeerHost,
   /// so one attach captures both message-level and wire-level metrics.
   void SetObsScope(obs::Scope* scope) override {
+    obs_scope_ = scope;
     shadow_.SetObsScope(scope);
     host_->SetObsScope(scope);
   }
@@ -203,7 +316,8 @@ class TcpTransport : public Transport {
   /// Fault injection below the message layer: mutates the *encoded
   /// frame* (truncate, inflate, flip header bytes) before it is written
   /// to the socket. The receiving process surfaces the corruption as
-  /// kProtocolError — exercised by robustness_test.
+  /// kProtocolError — exercised by robustness_test. For scheduled,
+  /// deterministic fault campaigns use Options::faults instead.
   void SetFrameTamperHook(std::function<void(Bytes*)> hook) {
     frame_tamper_hook_ = std::move(hook);
   }
@@ -217,11 +331,21 @@ class TcpTransport : public Transport {
   bool IsRemote(const std::string& party) const {
     return !IsHostedHere(party) && options_.directory.count(party) > 0;
   }
+  /// A short label of this process's hosted parties for abort frames.
+  std::string LocalLabel() const;
+  /// The retrying wait for the wire twin of a shadow-received message:
+  /// one DeadlineBudget of options_.timeout_ms bounds the whole wait,
+  /// transient (kUnavailable) failures back off and retry per
+  /// options_.retry.
+  Result<Message> WaitWireFrame(const std::string& to,
+                                const std::string& from);
 
   PeerHost* host_;
   Options options_;
   NetworkBus shadow_;
   Status sticky_ = Status::OK();
+  bool abort_sent_ = false;
+  obs::Scope* obs_scope_ = nullptr;
   std::function<void(Message*)> tamper_hook_;
   std::function<void(Bytes*)> frame_tamper_hook_;
 };

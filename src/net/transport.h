@@ -78,6 +78,14 @@ class Transport {
   /// interfering network. Pass nullptr to remove.
   virtual void SetTamperHook(std::function<void(Message*)> hook) = 0;
 
+  /// Declares the current session unrecoverably failed for `reason`.
+  /// A deployment transport broadcasts the abort to every peer process
+  /// so their blocked Receives return kAborted promptly instead of
+  /// waiting out their full deadlines; the in-process bus has no peers
+  /// and ignores it. Idempotent. The session runner calls this on any
+  /// terminal protocol failure (core/remote.cc).
+  virtual void Abort(const Status& reason) { (void)reason; }
+
   /// Attaches an observability scope: the transport then feeds live
   /// counters and latency histograms (frame timings, queue depths,
   /// reconnects) into it. Null detaches. The scope must outlive the

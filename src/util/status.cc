@@ -19,6 +19,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted: return "ABORTED";
   }
   return "UNKNOWN";
 }

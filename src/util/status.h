@@ -24,6 +24,7 @@ enum class StatusCode {
   kInternal,
   kUnavailable,        // transient transport failure; retry may succeed
   kDeadlineExceeded,   // a blocking operation ran past its deadline
+  kAborted,            // the session was aborted (by this or another party)
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -85,6 +86,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

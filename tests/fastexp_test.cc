@@ -189,6 +189,25 @@ TEST(PaillierPool, PooledEncryptionMatchesInlineBitForBit) {
   }
 }
 
+// Regression for the silent over-draw bug: Get past the precomputed
+// range used to read out-of-bounds pool memory (reusing or inventing
+// randomizers without any visible failure). It must now abort with a
+// diagnostic naming the pool and the draw.
+TEST(PaillierPoolDeathTest, OverDrawAbortsWithNamedDiagnostic) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  XoshiroRandomSource key_rng(305);
+  PaillierKeyPair kp = PaillierGenerateKey(128, &key_rng).value();
+  XoshiroRandomSource rng(43);
+  auto rngs = ForkN(&rng, 3);
+  PaillierRandomizerPool pool = PaillierRandomizerPool::Precompute(
+      kp.public_key, rngs, 2, 1, nullptr, "enc-r1");
+  ASSERT_EQ(pool.items(), 3u);
+  // One draw past the item range, one past the per-item range.
+  EXPECT_DEATH(pool.Get(3, 0),
+               "randomizer pool 'enc-r1': item 3 draw 0 out of bounds");
+  EXPECT_DEATH(pool.Get(0, 2), "out of bounds \\(3 items x 2 per item\\)");
+}
+
 // ---------------------------------------------------- ElGamal fast path --
 
 TEST(ElGamalFast, EncryptMatchesGenericPow) {

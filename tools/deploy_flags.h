@@ -14,8 +14,10 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "core/remote.h"
 #include "core/testbed.h"
@@ -30,6 +32,16 @@ struct DeployArgs {
   WorkloadConfig workload;
   MediationTestbed::Options testbed;
   int timeout_ms = 30000;
+  /// Retry knobs for transient connect/send/receive failures
+  /// (docs/ROBUSTNESS.md).
+  RetryPolicy retry;
+  /// Fault-injection schedule (--fault SPEC, repeatable) and/or a seeded
+  /// pseudo-random schedule (--fault-seed N with --fault-n N
+  /// [--fault-span N]). Faults fire on this process's *outbound* frames.
+  std::vector<FaultSpec> fault_specs;
+  uint64_t fault_seed = 0;
+  size_t fault_n = 0;
+  uint64_t fault_span = 64;
   /// Observability artifacts: Chrome trace-event JSON and structured run
   /// report. Empty = instrumentation disabled (null obs scope).
   std::string trace_out;
@@ -37,11 +49,28 @@ struct DeployArgs {
 
   bool WantsObs() const { return !trace_out.empty() || !report_out.empty(); }
 
+  bool WantsFaults() const { return !fault_specs.empty() || fault_n > 0; }
+
+  /// Builds the injector the flags describe (explicit specs first, then
+  /// the seeded schedule appended). Null when no fault flag was given.
+  std::unique_ptr<FaultInjector> MakeFaultInjector() const {
+    if (!WantsFaults()) return nullptr;
+    std::vector<FaultSpec> schedule = fault_specs;
+    if (fault_n > 0) {
+      FaultInjector seeded =
+          FaultInjector::Seeded(fault_seed, fault_n, fault_span);
+      schedule.insert(schedule.end(), seeded.schedule().begin(),
+                      seeded.schedule().end());
+    }
+    return std::make_unique<FaultInjector>(std::move(schedule));
+  }
+
   Deployment MakeDeployment() const {
     Deployment d;
     d.local_parties = host_parties;
     d.directory = peers;
     d.timeout_ms = timeout_ms;
+    d.retry = retry;
     return d;
   }
 };
@@ -111,6 +140,51 @@ inline int ParseDeployFlag(int argc, char** argv, int* i, DeployArgs* args) {
     args->timeout_ms = static_cast<int>(ms);
     return 1;
   }
+  if (flag == "--retry-attempts") {
+    size_t n = 0;
+    if (parse_size(&n) < 0 || n == 0) return -1;
+    args->retry.max_attempts = static_cast<int>(n);
+    return 1;
+  }
+  if (flag == "--retry-backoff-ms") {
+    size_t ms = 0;
+    if (parse_size(&ms) < 0) return -1;
+    args->retry.initial_backoff_ms = static_cast<int>(ms);
+    return 1;
+  }
+  if (flag == "--retry-max-backoff-ms") {
+    size_t ms = 0;
+    if (parse_size(&ms) < 0) return -1;
+    args->retry.max_backoff_ms = static_cast<int>(ms);
+    return 1;
+  }
+  if (flag == "--fault") {
+    const char* v = next();
+    if (v == nullptr) return -1;
+    auto spec = FaultSpec::Parse(v);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return -1;
+    }
+    args->fault_specs.push_back(*spec);
+    return 1;
+  }
+  if (flag == "--fault-seed") {
+    size_t seed = 0;
+    int rc = parse_size(&seed);
+    args->fault_seed = seed;
+    // The seed also seeds the backoff jitter, so one flag pins the whole
+    // nondeterministic surface of a fault campaign.
+    args->retry.jitter_seed = seed;
+    return rc;
+  }
+  if (flag == "--fault-n") return parse_size(&args->fault_n);
+  if (flag == "--fault-span") {
+    size_t span = 0;
+    int rc = parse_size(&span);
+    args->fault_span = span;
+    return rc;
+  }
   if (flag == "--r1-tuples") return parse_size(&args->workload.r1_tuples);
   if (flag == "--r2-tuples") return parse_size(&args->workload.r2_tuples);
   if (flag == "--r1-domain") return parse_size(&args->workload.r1_domain);
@@ -142,6 +216,15 @@ inline const char* kDeployFlagsHelp =
     "  --host-party P[,P...]    parties hosted by this process\n"
     "  --peer PARTY=HOST:PORT   where a peer party listens (repeatable)\n"
     "  --timeout-ms N           socket/frame deadline (default 30000)\n"
+    "  --retry-attempts N       attempts per transient failure (default 4)\n"
+    "  --retry-backoff-ms N     initial retry backoff (default 20)\n"
+    "  --retry-max-backoff-ms N backoff cap (default 2000)\n"
+    "  --fault SPEC             inject a frame fault, repeatable; SPEC is\n"
+    "                           kind[@index][xN][:key=val,...], kinds drop|\n"
+    "                           delay|duplicate|truncate|bitflip|disconnect,\n"
+    "                           keys from= to= session= ms=\n"
+    "  --fault-seed N --fault-n N [--fault-span N]\n"
+    "                           seeded pseudo-random fault schedule\n"
     "  --r1-tuples N ... --r2-tuples N --r1-domain N --r2-domain N\n"
     "  --common-values N --workload-seed N   synthetic workload knobs\n"
     "  --seed-label S --rsa-bits N --paillier-bits N  testbed knobs\n"

@@ -218,7 +218,9 @@ int DriveMain(int argc, char** argv) {
   // parties appear once).
   std::set<Endpoint> daemon_eps;
   for (const auto& [party, ep] : args.peers) daemon_eps.insert(ep);
-  const Deployment deployment = args.MakeDeployment();
+  std::unique_ptr<FaultInjector> faults = args.MakeFaultInjector();
+  Deployment deployment = args.MakeDeployment();
+  deployment.faults = faults.get();
 
   auto make_spec = [&](uint32_t session) {
     RunSpec spec;
@@ -283,6 +285,15 @@ int DriveMain(int argc, char** argv) {
     if (!ctl.ok()) {
       std::fprintf(stderr, "drive: waiting for reports: %s\n",
                    ctl.status().ToString().c_str());
+      ++failures;
+      break;
+    }
+    if (ctl->type == kCtlPeerDown) {
+      // A daemon process died. Fail now, naming it, instead of blocking
+      // until the full report deadline for frames that can never come.
+      std::fprintf(stderr, "drive: %s\n",
+                   std::string(ctl->payload.begin(), ctl->payload.end())
+                       .c_str());
       ++failures;
       break;
     }

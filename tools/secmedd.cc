@@ -88,7 +88,19 @@ int main(int argc, char** argv) {
     std::fflush(stderr);
   }
 
-  const Deployment deployment = args.MakeDeployment();
+  // The injector (if any) is shared by every session of this daemon and
+  // fires on the daemon's outbound frames only — each process injects
+  // its own faults, so a deployment-wide campaign gives every daemon the
+  // same --fault/--fault-seed flags.
+  std::unique_ptr<FaultInjector> faults = args.MakeFaultInjector();
+  if (faults != nullptr) {
+    for (const FaultSpec& spec : faults->schedule()) {
+      std::fprintf(stderr, "secmedd: fault scheduled: %s\n",
+                   spec.ToString().c_str());
+    }
+  }
+  Deployment deployment = args.MakeDeployment();
+  deployment.faults = faults.get();
   std::vector<std::thread> sessions;
   for (;;) {
     auto ctl = (*host)->WaitCtl(1000);
@@ -102,6 +114,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "secmedd: shutdown requested by %s\n",
                    ctl->from.c_str());
       break;
+    }
+    if (ctl->type == kCtlPeerDown) {
+      // A client (or peer daemon) went away. Running sessions notice on
+      // their own; the daemon itself keeps serving the next driver.
+      std::fprintf(stderr, "secmedd: %s\n",
+                   std::string(ctl->payload.begin(), ctl->payload.end())
+                       .c_str());
+      continue;
     }
     if (ctl->type != kCtlRun) {
       std::fprintf(stderr, "secmedd: ignoring control frame '%s'\n",
