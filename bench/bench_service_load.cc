@@ -1,0 +1,129 @@
+// Load benchmark of the query service layer (src/service/): closed-loop
+// client streams against a long-lived QueryService, cold (no prepared
+// cache — every session recomputes its delivery crypto) vs warm (the
+// prepared-dataset registry reuses it across the session series). The
+// warm/cold ratio is the headline number of docs/SERVICE.md: a series
+// of joins against unchanged relations pays the source-side encryption
+// once, not per query.
+//
+// Each benchmark iteration runs a full load (kQueries queries over
+// kClients closed-loop clients); the reported counters carry the
+// harness's own measurements (throughput, exact latency percentiles,
+// cache hit rate) next to google-benchmark's wall time.
+//
+// Smoke scale by default so the CI regression step can afford it; scale
+// up with --benchmark_filter and the workload knobs baked into
+// MakeTestbed if deeper runs are wanted.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_env.h"
+
+#include <memory>
+#include <string>
+
+#include "core/testbed.h"
+#include "service/load_harness.h"
+#include "service/query_service.h"
+
+namespace secmed {
+namespace {
+
+constexpr size_t kClients = 2;
+constexpr size_t kQueries = 8;
+
+/// One shared testbed (keygen is seconds of RSA/Paillier work and not
+/// what this benchmark measures).
+MediationTestbed* SharedTestbed() {
+  static MediationTestbed* testbed = [] {
+    WorkloadConfig cfg;
+    cfg.seed = 1234;
+    auto t = MediationTestbed::Create(GenerateWorkload(cfg));
+    if (!t.ok()) {
+      std::fprintf(stderr, "testbed: %s\n", t.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(t).value().release();
+  }();
+  return testbed;
+}
+
+void RunServiceLoad(benchmark::State& state, const std::string& protocol,
+                    bool prepared) {
+  MediationTestbed* testbed = SharedTestbed();
+  LoadStats last;
+  for (auto _ : state) {
+    // A fresh service per iteration: the cache starts empty either way,
+    // and the warm variant pre-runs one uncounted query so the measured
+    // stream is the steady state.
+    QueryService::Options opt;
+    opt.max_concurrent = kClients;
+    opt.use_prepared = prepared;
+    QueryService service(testbed, opt);
+    LoadConfig cfg;
+    cfg.clients = kClients;
+    cfg.queries = kQueries;
+    cfg.query.protocol = protocol;
+    cfg.query.sql = testbed->JoinSql();
+    if (prepared) {
+      state.PauseTiming();
+      auto warm = service.Run(cfg.query);
+      if (!warm.ok() || !warm->status.ok()) {
+        state.SkipWithError("warmup query failed");
+        return;
+      }
+      state.ResumeTiming();
+    }
+    last = RunLoadHarness(&service, cfg);
+    if (last.errors > 0 || !last.digests_agree) {
+      state.SkipWithError("load run failed or results diverged");
+      return;
+    }
+  }
+  state.counters["qps"] = last.throughput_qps;
+  state.counters["p50_ms"] = last.p50_ms;
+  state.counters["p95_ms"] = last.p95_ms;
+  state.counters["p99_ms"] = last.p99_ms;
+  state.counters["shed_rate"] = last.shed_rate;
+  state.counters["cache_hit_rate"] = last.cache_hit_rate;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(last.completed));
+}
+
+void BM_ServiceLoad_Cold(benchmark::State& state, const char* protocol) {
+  RunServiceLoad(state, protocol, false);
+}
+
+void BM_ServiceLoad_Warm(benchmark::State& state, const char* protocol) {
+  RunServiceLoad(state, protocol, true);
+}
+
+BENCHMARK_CAPTURE(BM_ServiceLoad_Cold, commutative, "commutative")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_ServiceLoad_Warm, commutative, "commutative")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_ServiceLoad_Cold, das, "das")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_ServiceLoad_Warm, das, "das")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_ServiceLoad_Cold, pm, "pm")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_ServiceLoad_Warm, pm, "pm")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace secmed
+
+SECMED_BENCH_MAIN()

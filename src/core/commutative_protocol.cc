@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 
+#include "core/prepared.h"
 #include "crypto/commutative.h"
 #include "crypto/group_params.h"
 #include "crypto/hybrid.h"
@@ -17,6 +18,22 @@ constexpr char kMsgCommMessageSet[] = "comm_message_set";
 constexpr char kMsgCommExchange[] = "comm_exchange";
 constexpr char kMsgCommDoubleEncrypted[] = "comm_double_encrypted";
 constexpr char kMsgCommResult[] = "comm_result";
+
+/// Prepared delivery state of one source (steps 1-3): the commutative
+/// key and the serialized message set minus its source tag. Both are
+/// derived from the entry's prepare RNG, so the key a warm session
+/// double-encrypts with matches the ciphertexts of the cached payload.
+struct PreparedCommDeliver : PreparedValue {
+  CommutativeKey key;
+  Bytes payload;
+  uint32_t entries = 0;
+
+  PreparedCommDeliver(CommutativeKey k, Bytes p, uint32_t n)
+      : key(std::move(k)), payload(std::move(p)), entries(n) {}
+  size_t ByteSize() const override {
+    return payload.size() + 4 * ((key.group().p().BitLength() + 7) / 8);
+  }
+};
 }  // namespace
 
 Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
@@ -44,64 +61,98 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
     const char* role = which == 1 ? "source1" : "source2";
     obs::Span span =
         obs::StartSpan(ctx->obs, role, "delivery", "comm.deliver");
-    CommutativeKey key = CommutativeKey::Generate(group, ctx->rng);
-    SECMED_ASSIGN_OR_RETURN(
-        std::vector<size_t> join_idx,
-        JoinColumnIndexes(rel.schema(), state.plan.join_attributes));
-    std::map<Bytes, Relation> tuple_sets =
-        GroupTuplesByJoinValue(rel, join_idx);
 
-    // One commutative exponentiation plus one hybrid seal per tuple set —
-    // all independent, spread across the thread pool with per-item RNG
-    // forks. Entries afterwards sorted by ciphertext (arbitrary order
-    // independent of the plaintext insertion order).
-    struct DeliverItem {
-      const Bytes* value_enc;
-      const Relation* tuples;
+    // Steps 1-3 as a pure function of (relation, join attrs, group,
+    // client key) and the supplied randomness: generate the commutative
+    // key, encrypt the hashed join values, seal the tuple sets and the
+    // schema, and serialize everything after the source tag.
+    auto compute = [&](RandomSource* rng)
+        -> Result<std::shared_ptr<const PreparedCommDeliver>> {
+      CommutativeKey key = CommutativeKey::Generate(group, rng);
+      SECMED_ASSIGN_OR_RETURN(
+          std::vector<size_t> join_idx,
+          JoinColumnIndexes(rel.schema(), state.plan.join_attributes));
+      std::map<Bytes, Relation> tuple_sets =
+          GroupTuplesByJoinValue(rel, join_idx);
+
+      // One commutative exponentiation plus one hybrid seal per tuple set —
+      // all independent, spread across the thread pool with per-item RNG
+      // forks. Entries afterwards sorted by ciphertext (arbitrary order
+      // independent of the plaintext insertion order).
+      struct DeliverItem {
+        const Bytes* value_enc;
+        const Relation* tuples;
+      };
+      std::vector<DeliverItem> items;
+      items.reserve(tuple_sets.size());
+      for (const auto& [value_enc, tuples] : tuple_sets) {
+        items.push_back(DeliverItem{&value_enc, &tuples});
+      }
+      std::vector<std::unique_ptr<RandomSource>> rngs =
+          ForkN(rng, items.size());
+      std::vector<std::pair<Bytes, Bytes>> entries(  // (f_ei(h(a)), enc(Tup))
+          items.size());
+      std::string loop_label =
+          obs::SpanName(role, "delivery", "comm.encrypt_sets");
+      SECMED_RETURN_IF_ERROR(ParallelForStatus(
+          items.size(), threads, [&](size_t i) -> Status {
+            BigInt hashed = group.HashToGroup(*items[i].value_enc);
+            Bytes cipher = key.Encrypt(hashed).ToBytes(group_bytes);
+            SECMED_ASSIGN_OR_RETURN(
+                Bytes enc_tup, HybridEncrypt(client_key,
+                                             items[i].tuples->Serialize(),
+                                             rngs[i].get()));
+            entries[i] = {std::move(cipher), std::move(enc_tup)};
+            return Status::OK();
+          }, ctx->obs, loop_label.c_str()));
+      std::sort(entries.begin(), entries.end());
+
+      SECMED_ASSIGN_OR_RETURN(
+          Bytes schema_blob,
+          HybridEncrypt(client_key, [&] {
+            BinaryWriter w;
+            rel.schema().EncodeTo(&w);
+            return w.TakeBuffer();
+          }(), rng));
+
+      BinaryWriter w;
+      w.WriteBytes(schema_blob);
+      w.WriteU32(static_cast<uint32_t>(entries.size()));
+      for (const auto& [cipher, enc_tup] : entries) {
+        w.WriteBytes(cipher);
+        w.WriteBytes(enc_tup);
+      }
+      return std::make_shared<const PreparedCommDeliver>(
+          std::move(key), w.TakeBuffer(),
+          static_cast<uint32_t>(entries.size()));
     };
-    std::vector<DeliverItem> items;
-    items.reserve(tuple_sets.size());
-    for (const auto& [value_enc, tuples] : tuple_sets) {
-      items.push_back(DeliverItem{&value_enc, &tuples});
-    }
-    std::vector<std::unique_ptr<RandomSource>> rngs =
-        ForkN(ctx->rng, items.size());
-    std::vector<std::pair<Bytes, Bytes>> entries(  // (f_ei(h(a)), enc(Tup))
-        items.size());
-    std::string loop_label =
-        obs::SpanName(role, "delivery", "comm.encrypt_sets");
-    SECMED_RETURN_IF_ERROR(ParallelForStatus(
-        items.size(), threads, [&](size_t i) -> Status {
-          BigInt hashed = group.HashToGroup(*items[i].value_enc);
-          Bytes cipher = key.Encrypt(hashed).ToBytes(group_bytes);
-          SECMED_ASSIGN_OR_RETURN(
-              Bytes enc_tup, HybridEncrypt(client_key,
-                                           items[i].tuples->Serialize(),
-                                           rngs[i].get()));
-          entries[i] = {std::move(cipher), std::move(enc_tup)};
-          return Status::OK();
-        }, ctx->obs, loop_label.c_str()));
-    std::sort(entries.begin(), entries.end());
 
-    SECMED_ASSIGN_OR_RETURN(
-        Bytes schema_blob,
-        HybridEncrypt(client_key, [&] {
-          BinaryWriter w;
-          rel.schema().EncodeTo(&w);
-          return w.TakeBuffer();
-        }(), ctx->rng));
+    std::shared_ptr<const PreparedCommDeliver> prepared;
+    if (ctx->prepared != nullptr) {
+      BinaryWriter mat;
+      mat.WriteU32(static_cast<uint32_t>(options_.group_bits));
+      mat.WriteU32(static_cast<uint32_t>(state.plan.join_attributes.size()));
+      for (const std::string& a : state.plan.join_attributes) {
+        mat.WriteString(a);
+      }
+      mat.WriteBytes(client_key.Serialize());
+      mat.WriteBytes(rel.Serialize());
+      std::string cache_key =
+          PreparedKey("comm.deliver", source,
+                      SourceCatalogVersion(ctx, source), mat.TakeBuffer());
+      SECMED_ASSIGN_OR_RETURN(
+          prepared, GetOrCompute<PreparedCommDeliver>(ctx->prepared,
+                                                      cache_key, compute));
+    } else {
+      SECMED_ASSIGN_OR_RETURN(prepared, compute(ctx->rng));
+    }
 
     BinaryWriter w;
     w.WriteU8(which);
-    w.WriteBytes(schema_blob);
-    w.WriteU32(static_cast<uint32_t>(entries.size()));
-    for (const auto& [cipher, enc_tup] : entries) {
-      w.WriteBytes(cipher);
-      w.WriteBytes(enc_tup);
-    }
+    w.WriteRaw(prepared->payload);
     bus.Send(source, mediator, kMsgCommMessageSet, w.TakeBuffer());
-    source_states.push_back(SourceState{std::move(key), source});
-    span.AddItems(entries.size());
+    source_states.push_back(SourceState{prepared->key, source});
+    span.AddItems(prepared->entries);
     return Status::OK();
   };
   SECMED_RETURN_IF_ERROR(
@@ -162,43 +213,71 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
         obs::StartSpan(ctx->obs, role, "delivery", "comm.double_encrypt");
     SECMED_ASSIGN_OR_RETURN(Message msg,
                             bus.ReceiveOfType(ss.name, kMsgCommExchange));
-    BinaryReader r(msg.payload);
-    SECMED_ASSIGN_OR_RETURN(uint8_t origin, r.ReadU8());
-    SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
-    // Parse serially, exponentiate in parallel (pure compute, no RNG),
-    // serialize serially.
-    std::vector<Bytes> singles(count);
-    std::vector<Bytes> enc_tups(options_.forward_payloads ? count : 0);
-    std::vector<uint64_t> ids(options_.forward_payloads ? 0 : count);
-    for (uint32_t k = 0; k < count; ++k) {
-      SECMED_ASSIGN_OR_RETURN(singles[k], r.ReadBytes());
-      if (options_.forward_payloads) {
-        SECMED_ASSIGN_OR_RETURN(enc_tups[k], r.ReadBytes());
-      } else {
-        SECMED_ASSIGN_OR_RETURN(ids[k], r.ReadU64());
+
+    // Double encryption is deterministic in (own exponent, received
+    // message), so the whole reply payload is cacheable as one blob.
+    size_t count_out = 0;
+    auto compute = [&](RandomSource*)
+        -> Result<std::shared_ptr<const PreparedBlob>> {
+      BinaryReader r(msg.payload);
+      SECMED_ASSIGN_OR_RETURN(uint8_t origin, r.ReadU8());
+      SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+      // Parse serially, exponentiate in parallel (pure compute, no RNG),
+      // serialize serially.
+      std::vector<Bytes> singles(count);
+      std::vector<Bytes> enc_tups(options_.forward_payloads ? count : 0);
+      std::vector<uint64_t> ids(options_.forward_payloads ? 0 : count);
+      for (uint32_t k = 0; k < count; ++k) {
+        SECMED_ASSIGN_OR_RETURN(singles[k], r.ReadBytes());
+        if (options_.forward_payloads) {
+          SECMED_ASSIGN_OR_RETURN(enc_tups[k], r.ReadBytes());
+        } else {
+          SECMED_ASSIGN_OR_RETURN(ids[k], r.ReadU64());
+        }
       }
-    }
-    std::string loop_label =
-        obs::SpanName(role, "delivery", "comm.double_encrypt");
-    std::vector<BigInt> xs(count);
-    for (uint32_t k = 0; k < count; ++k) xs[k] = BigInt::FromBytes(singles[k]);
-    std::vector<BigInt> enc =
-        ss.key.EncryptMany(xs, threads, ctx->obs, loop_label.c_str());
-    std::vector<Bytes> doubled(count);
-    for (uint32_t k = 0; k < count; ++k) doubled[k] = enc[k].ToBytes(group_bytes);
-    span.AddItems(count);
-    BinaryWriter w;
-    w.WriteU8(origin);
-    w.WriteU32(count);
-    for (uint32_t k = 0; k < count; ++k) {
-      w.WriteBytes(doubled[k]);
-      if (options_.forward_payloads) {
-        w.WriteBytes(enc_tups[k]);
-      } else {
-        w.WriteU64(ids[k]);
+      std::string loop_label =
+          obs::SpanName(role, "delivery", "comm.double_encrypt");
+      std::vector<BigInt> xs(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        xs[k] = BigInt::FromBytes(singles[k]);
       }
+      std::vector<BigInt> enc =
+          ss.key.EncryptMany(xs, threads, ctx->obs, loop_label.c_str());
+      std::vector<Bytes> doubled(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        doubled[k] = enc[k].ToBytes(group_bytes);
+      }
+      count_out = count;
+      BinaryWriter w;
+      w.WriteU8(origin);
+      w.WriteU32(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        w.WriteBytes(doubled[k]);
+        if (options_.forward_payloads) {
+          w.WriteBytes(enc_tups[k]);
+        } else {
+          w.WriteU64(ids[k]);
+        }
+      }
+      return std::make_shared<const PreparedBlob>(w.TakeBuffer());
+    };
+
+    std::shared_ptr<const PreparedBlob> reply;
+    if (ctx->prepared != nullptr) {
+      BinaryWriter mat;
+      mat.WriteBytes(ss.key.exponent().ToBytes());
+      mat.WriteBytes(msg.payload);
+      std::string cache_key =
+          PreparedKey("comm.double", ss.name,
+                      SourceCatalogVersion(ctx, ss.name), mat.TakeBuffer());
+      SECMED_ASSIGN_OR_RETURN(
+          reply, GetOrCompute<PreparedBlob>(ctx->prepared, cache_key,
+                                            compute));
+    } else {
+      SECMED_ASSIGN_OR_RETURN(reply, compute(nullptr));
     }
-    bus.Send(ss.name, mediator, kMsgCommDoubleEncrypted, w.TakeBuffer());
+    span.AddItems(count_out);
+    bus.Send(ss.name, mediator, kMsgCommDoubleEncrypted, reply->bytes);
     return Status::OK();
   };
   for (size_t s = 0; s < source_states.size(); ++s) {
@@ -262,8 +341,7 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
   Schema schema1, schema2;
   for (int which = 1; which <= 2; ++which) {
     SECMED_ASSIGN_OR_RETURN(Bytes blob, r.ReadBytes());
-    SECMED_ASSIGN_OR_RETURN(Bytes plain,
-                            HybridDecrypt(ctx->client->private_key(), blob));
+    SECMED_ASSIGN_OR_RETURN(Bytes plain, ClientHybridDecrypt(ctx, blob));
     BinaryReader sr(plain);
     SECMED_ASSIGN_OR_RETURN(Schema schema, Schema::DecodeFrom(&sr));
     (which == 1 ? schema1 : schema2) = std::move(schema);
@@ -280,10 +358,8 @@ Result<Relation> CommutativeJoinProtocol::Run(const std::string& sql,
   for (uint32_t k = 0; k < pairs; ++k) {
     SECMED_ASSIGN_OR_RETURN(Bytes e1, r.ReadBytes());
     SECMED_ASSIGN_OR_RETURN(Bytes e2, r.ReadBytes());
-    SECMED_ASSIGN_OR_RETURN(Bytes p1,
-                            HybridDecrypt(ctx->client->private_key(), e1));
-    SECMED_ASSIGN_OR_RETURN(Bytes p2,
-                            HybridDecrypt(ctx->client->private_key(), e2));
+    SECMED_ASSIGN_OR_RETURN(Bytes p1, ClientHybridDecrypt(ctx, e1));
+    SECMED_ASSIGN_OR_RETURN(Bytes p2, ClientHybridDecrypt(ctx, e2));
     SECMED_ASSIGN_OR_RETURN(Relation tup1, Relation::Deserialize(p1));
     SECMED_ASSIGN_OR_RETURN(Relation tup2, Relation::Deserialize(p2));
     AppendJoinedCrossProduct(tup1, tup2, j2, &result);

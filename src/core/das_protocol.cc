@@ -1,5 +1,6 @@
 #include "core/das_protocol.h"
 
+#include "core/prepared.h"
 #include "crypto/hybrid.h"
 #include "das/das_relation.h"
 #include "das/index_table.h"
@@ -49,6 +50,17 @@ struct SourceDelivery {
   std::vector<IndexTable> itables;
   Bytes sealed_blob;  // itables+schema (client setting) or schema only
 };
+
+/// Cached delivery state of one source: salted index tables, the
+/// DAS-encrypted relation and the sealed blob, all derived from the
+/// entry's prepare RNG. The relation's name field is stamped per send,
+/// so sessions copy out of the entry instead of aliasing it.
+struct PreparedDasDelivery : PreparedValue {
+  SourceDelivery delivery;
+  size_t approx_bytes = 0;
+
+  size_t ByteSize() const override { return approx_bytes; }
+};
 }  // namespace
 
 const char* DasTranslatorSettingToString(DasTranslatorSetting s) {
@@ -77,14 +89,15 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
   //             peer source (secure channel);
   //   kMediator: sealed schema for the client, plaintext itables for the
   //             mediator.
-  auto build = [&](const Relation& rel, const RsaPublicKey& client_key,
-                   const char* role) -> Result<SourceDelivery> {
+  auto build_with = [&](const Relation& rel, const RsaPublicKey& client_key,
+                        const char* role,
+                        RandomSource* rng) -> Result<SourceDelivery> {
     SourceDelivery d;
     {
       obs::Span span =
           obs::StartSpan(ctx->obs, role, "delivery", "das.build_itables");
       for (const std::string& attr : join_attrs) {
-        Bytes salt = ctx->rng->Generate(16);
+        Bytes salt = rng->Generate(16);
         SECMED_ASSIGN_OR_RETURN(
             IndexTable itable,
             IndexTable::Build(rel, attr, options_.strategy,
@@ -105,7 +118,7 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
       std::string label = obs::SpanName(role, "delivery", "das.encrypt_relation");
       SECMED_ASSIGN_OR_RETURN(
           d.encrypted,
-          DasEncryptRelation(rel, join_attrs, d.itables, client_key, ctx->rng,
+          DasEncryptRelation(rel, join_attrs, d.itables, client_key, rng,
                              clear_cols, ResolveThreads(ctx->threads),
                              ctx->obs, label.c_str()));
       span.AddItems(rel.size());
@@ -120,14 +133,52 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
       blob = w.TakeBuffer();
     }
     SECMED_ASSIGN_OR_RETURN(d.sealed_blob,
-                            HybridEncrypt(client_key, blob, ctx->rng));
+                            HybridEncrypt(client_key, blob, rng));
     return d;
+  };
+  auto build = [&](const std::string& source, const Relation& rel,
+                   const RsaPublicKey& client_key,
+                   const char* role) -> Result<SourceDelivery> {
+    if (ctx->prepared == nullptr) {
+      return build_with(rel, client_key, role, ctx->rng);
+    }
+    BinaryWriter mat;
+    mat.WriteU8(static_cast<uint8_t>(setting));
+    mat.WriteU32(static_cast<uint32_t>(options_.strategy));
+    mat.WriteU32(static_cast<uint32_t>(options_.num_partitions));
+    mat.WriteU32(static_cast<uint32_t>(options_.plaintext_columns.size()));
+    for (const std::string& col : options_.plaintext_columns) {
+      mat.WriteString(col);
+    }
+    mat.WriteU32(static_cast<uint32_t>(join_attrs.size()));
+    for (const std::string& a : join_attrs) mat.WriteString(a);
+    mat.WriteBytes(client_key.Serialize());
+    mat.WriteBytes(rel.Serialize());
+    std::string cache_key = PreparedKey(
+        "das.build", source, SourceCatalogVersion(ctx, source),
+        mat.TakeBuffer());
+    SECMED_ASSIGN_OR_RETURN(
+        std::shared_ptr<const PreparedDasDelivery> entry,
+        GetOrCompute<PreparedDasDelivery>(
+            ctx->prepared, cache_key,
+            [&](RandomSource* rng)
+                -> Result<std::shared_ptr<const PreparedDasDelivery>> {
+              auto e = std::make_shared<PreparedDasDelivery>();
+              SECMED_ASSIGN_OR_RETURN(e->delivery,
+                                      build_with(rel, client_key, role, rng));
+              e->approx_bytes = e->delivery.sealed_blob.size() +
+                                e->delivery.encrypted.Serialize().size();
+              return std::shared_ptr<const PreparedDasDelivery>(std::move(e));
+            }));
+    return entry->delivery;  // copy: sessions stamp encrypted.name per send
   };
 
   SECMED_ASSIGN_OR_RETURN(
-      SourceDelivery d1, build(state.r1, state.client_key1, "source1"));
+      SourceDelivery d1,
+      build(state.plan.source1, state.r1, state.client_key1, "source1"));
   SECMED_ASSIGN_OR_RETURN(
-      SourceDelivery d2, build(state.r2, state.client_key2, "source2"));
+      SourceDelivery d2,
+      build(state.plan.source2, state.r2, state.client_key2, "source2"));
 
   // Step 3: each source sends <RiS, blob(s)> to the mediator; non-client
   // settings additionally expose the index tables to the translator party.
@@ -215,8 +266,7 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
       BinaryReader r(msg.payload);
       SECMED_ASSIGN_OR_RETURN(uint8_t which, r.ReadU8());
       SECMED_ASSIGN_OR_RETURN(Bytes blob, r.ReadBytes());
-      SECMED_ASSIGN_OR_RETURN(Bytes plain,
-                              HybridDecrypt(ctx->client->private_key(), blob));
+      SECMED_ASSIGN_OR_RETURN(Bytes plain, ClientHybridDecrypt(ctx, blob));
       Schema* schema = which == 1 ? &schema1 : &schema2;
       std::vector<IndexTable>* itables = which == 1 ? &itables1 : &itables2;
       SECMED_RETURN_IF_ERROR(DecodeItableBlob(plain, schema, itables));
@@ -257,8 +307,7 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
   if (setting != DasTranslatorSetting::kClient) {
     for (int which = 1; which <= 2; ++which) {
       SECMED_ASSIGN_OR_RETURN(Bytes blob, r.ReadBytes());
-      SECMED_ASSIGN_OR_RETURN(Bytes plain,
-                              HybridDecrypt(ctx->client->private_key(), blob));
+      SECMED_ASSIGN_OR_RETURN(Bytes plain, ClientHybridDecrypt(ctx, blob));
       BinaryReader sr(plain);
       SECMED_ASSIGN_OR_RETURN(Schema schema, Schema::DecodeFrom(&sr));
       (which == 1 ? schema1 : schema2) = std::move(schema);
@@ -271,8 +320,13 @@ Result<Relation> DasJoinProtocol::Run(const std::string& sql,
   obs::Span span =
       obs::StartSpan(ctx->obs, "client", "post", "das.apply_client_query");
   span.AddItems(rc.size());
+  // Per-etuple hybrid decryption through the prepared cache: warm
+  // sessions see the same ciphertexts (the delivery is cache-derived)
+  // and skip the RSA work, which dominates the DAS client cost.
   return ApplyClientQuery(rc, schema1, schema2, join_attrs,
-                          ctx->client->private_key());
+                          [ctx](const Bytes& etuple) {
+                            return ClientHybridDecrypt(ctx, etuple);
+                          });
 }
 
 }  // namespace secmed

@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "core/prepared.h"
 #include "crypto/hybrid.h"
 #include "crypto/paillier.h"
 #include "crypto/randomizer_pool.h"
@@ -120,53 +121,84 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
     for (const auto& [value_enc, tuples] : ss->tuple_sets) {
       ss->own_roots.push_back(BigInt::FromBytes(ValueFingerprint(value_enc)));
     }
-    std::vector<BigInt> coeffs =
-        PolynomialFromRoots(ss->own_roots, paillier.n());
 
-    SECMED_ASSIGN_OR_RETURN(
-        Bytes schema_blob,
-        HybridEncrypt(*ss->client_key, [&] {
-          BinaryWriter w;
-          ss->rel->schema().EncodeTo(&w);
-          return w.TakeBuffer();
-        }(), ctx->rng));
+    // Sealed schema + encrypted polynomial as a pure function of the
+    // relation, keys and join attributes under the supplied randomness —
+    // everything after the source tag of the coefficients message.
+    auto compute = [&](RandomSource* rng)
+        -> Result<std::shared_ptr<const PreparedBlob>> {
+      std::vector<BigInt> coeffs =
+          PolynomialFromRoots(ss->own_roots, paillier.n());
 
-    // Coefficient encryption is one independent Paillier exponentiation
-    // per coefficient — the protocol's first hot loop. Per-item RNG forks
-    // keep the ciphertexts identical for every thread count.
-    std::vector<std::unique_ptr<RandomSource>> rngs =
-        ForkN(ctx->rng, coeffs.size());
-    std::vector<BigInt> enc(coeffs.size());
-    std::string loop_label =
-        obs::SpanName(role, "delivery", "pm.encrypt_coeffs");
-    if (ctx->use_crypto_pools) {
-      // Precompute the r^n randomizers off the online path; the encrypt
-      // pass below is then one modular product per coefficient.
-      std::string pool_label =
-          obs::SpanName(role, "delivery", "pm.pool_randomizers");
-      PaillierRandomizerPool rpool = PaillierRandomizerPool::Precompute(
-          paillier, rngs, 1, threads, ctx->obs, pool_label.c_str());
-      SECMED_RETURN_IF_ERROR(ParallelForStatus(
-          coeffs.size(), threads, [&](size_t i) -> Status {
-            SECMED_ASSIGN_OR_RETURN(enc[i],
-                                    rpool.Encrypt(paillier, coeffs[i], i));
-            return Status::OK();
-          }, ctx->obs, loop_label.c_str()));
+      SECMED_ASSIGN_OR_RETURN(
+          Bytes schema_blob,
+          HybridEncrypt(*ss->client_key, [&] {
+            BinaryWriter w;
+            ss->rel->schema().EncodeTo(&w);
+            return w.TakeBuffer();
+          }(), rng));
+
+      // Coefficient encryption is one independent Paillier exponentiation
+      // per coefficient — the protocol's first hot loop. Per-item RNG forks
+      // keep the ciphertexts identical for every thread count.
+      std::vector<std::unique_ptr<RandomSource>> rngs =
+          ForkN(rng, coeffs.size());
+      std::vector<BigInt> enc(coeffs.size());
+      std::string loop_label =
+          obs::SpanName(role, "delivery", "pm.encrypt_coeffs");
+      if (ctx->use_crypto_pools) {
+        // Precompute the r^n randomizers off the online path; the encrypt
+        // pass below is then one modular product per coefficient.
+        std::string pool_label =
+            obs::SpanName(role, "delivery", "pm.pool_randomizers");
+        PaillierRandomizerPool rpool = PaillierRandomizerPool::Precompute(
+            paillier, rngs, 1, threads, ctx->obs, pool_label.c_str());
+        SECMED_RETURN_IF_ERROR(ParallelForStatus(
+            coeffs.size(), threads, [&](size_t i) -> Status {
+              SECMED_ASSIGN_OR_RETURN(enc[i],
+                                      rpool.Encrypt(paillier, coeffs[i], i));
+              return Status::OK();
+            }, ctx->obs, loop_label.c_str()));
+      } else {
+        SECMED_RETURN_IF_ERROR(ParallelForStatus(
+            coeffs.size(), threads, [&](size_t i) -> Status {
+              SECMED_ASSIGN_OR_RETURN(
+                  enc[i], paillier.Encrypt(coeffs[i], rngs[i].get()));
+              return Status::OK();
+            }, ctx->obs, loop_label.c_str()));
+      }
+      span.AddItems(enc.size());
+
+      BinaryWriter w;
+      w.WriteBytes(schema_blob);
+      w.WriteU32(static_cast<uint32_t>(enc.size()));
+      for (const BigInt& e : enc) w.WriteBytes(e.ToBytes(key_bytes));
+      return std::make_shared<const PreparedBlob>(w.TakeBuffer());
+    };
+
+    std::shared_ptr<const PreparedBlob> payload;
+    if (ctx->prepared != nullptr) {
+      BinaryWriter mat;
+      mat.WriteBytes(state.credentials[0].paillier_key);
+      mat.WriteBytes(ss->client_key->Serialize());
+      mat.WriteU32(static_cast<uint32_t>(state.plan.join_attributes.size()));
+      for (const std::string& a : state.plan.join_attributes) {
+        mat.WriteString(a);
+      }
+      mat.WriteBytes(ss->rel->Serialize());
+      std::string cache_key =
+          PreparedKey("pm.coeffs", ss->name,
+                      SourceCatalogVersion(ctx, ss->name), mat.TakeBuffer());
+      SECMED_ASSIGN_OR_RETURN(
+          payload,
+          GetOrCompute<PreparedBlob>(ctx->prepared, cache_key, compute));
     } else {
-      SECMED_RETURN_IF_ERROR(ParallelForStatus(
-          coeffs.size(), threads, [&](size_t i) -> Status {
-            SECMED_ASSIGN_OR_RETURN(enc[i],
-                                    paillier.Encrypt(coeffs[i], rngs[i].get()));
-            return Status::OK();
-          }, ctx->obs, loop_label.c_str()));
+      SECMED_ASSIGN_OR_RETURN(payload, compute(ctx->rng));
     }
-    span.AddItems(enc.size());
 
     BinaryWriter w;
     w.WriteU8(which);
-    w.WriteBytes(schema_blob);
-    w.WriteU32(static_cast<uint32_t>(enc.size()));
-    for (const BigInt& e : enc) w.WriteBytes(e.ToBytes(key_bytes));
+    w.WriteRaw(payload->bytes);
     bus.Send(ss->name, mediator, kMsgPmCoefficients, w.TakeBuffer());
     return Status::OK();
   };
@@ -211,114 +243,148 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
         obs::StartSpan(ctx->obs, role, "delivery", "pm.evaluate");
     SECMED_ASSIGN_OR_RETURN(Message msg,
                             bus.ReceiveOfType(ss->name, kMsgPmExchange));
-    BinaryReader r(msg.payload);
-    SECMED_ASSIGN_OR_RETURN(uint8_t origin, r.ReadU8());
-    (void)origin;
-    SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
-    std::vector<BigInt> enc_coeffs;
-    enc_coeffs.reserve(std::min<size_t>(count, r.remaining()));
-    for (uint32_t k = 0; k < count; ++k) {
-      SECMED_ASSIGN_OR_RETURN(Bytes raw, r.ReadBytes());
-      enc_coeffs.push_back(BigInt::FromBytes(raw));
-    }
-    if (enc_coeffs.empty()) {
-      return Status::ProtocolError("opposite polynomial has no coefficients");
-    }
 
-    // Items in deterministic (join value) order; each is an independent
-    // blind Horner evaluation — the protocol's quadratic hot loop.
-    struct EvalItem {
-      const Bytes* value_enc;
-      const Relation* tuples;
-    };
-    std::vector<EvalItem> eval_items;
-    eval_items.reserve(ss->tuple_sets.size());
-    for (const auto& [value_enc, tuples] : ss->tuple_sets) {
-      eval_items.push_back(EvalItem{&value_enc, &tuples});
-    }
+    // Blind evaluation of the received polynomial over the own tuple sets
+    // — a pure function of the exchange message, the own relation and the
+    // keys under the supplied randomness (everything after the source tag
+    // of the evaluations message).
+    auto compute = [&](RandomSource* prep_rng)
+        -> Result<std::shared_ptr<const PreparedBlob>> {
+      BinaryReader r(msg.payload);
+      SECMED_ASSIGN_OR_RETURN(uint8_t origin, r.ReadU8());
+      (void)origin;
+      SECMED_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+      std::vector<BigInt> enc_coeffs;
+      enc_coeffs.reserve(std::min<size_t>(count, r.remaining()));
+      for (uint32_t k = 0; k < count; ++k) {
+        SECMED_ASSIGN_OR_RETURN(Bytes raw, r.ReadBytes());
+        enc_coeffs.push_back(BigInt::FromBytes(raw));
+      }
+      if (enc_coeffs.empty()) {
+        return Status::ProtocolError("opposite polynomial has no coefficients");
+      }
 
-    // IDs are drawn at random (not sequential): the tuple sets are grouped
-    // in value order here, and sequential IDs would disclose the relative
-    // order of the join values to the mediator. Drawn distinct up front
-    // (serially, before forking) so a 64-bit collision can never make two
-    // payload-table entries shadow each other at the client.
-    std::vector<uint64_t> ids;
-    if (options_.session_key_payloads) {
-      SECMED_ASSIGN_OR_RETURN(
-          ids, DrawDistinctPayloadIds(eval_items.size(), ctx->rng));
-    }
-    std::vector<std::unique_ptr<RandomSource>> rngs =
-        ForkN(ctx->rng, eval_items.size());
+      // Items in deterministic (join value) order; each is an independent
+      // blind Horner evaluation — the protocol's quadratic hot loop.
+      struct EvalItem {
+        const Bytes* value_enc;
+        const Relation* tuples;
+      };
+      std::vector<EvalItem> eval_items;
+      eval_items.reserve(ss->tuple_sets.size());
+      for (const auto& [value_enc, tuples] : ss->tuple_sets) {
+        eval_items.push_back(EvalItem{&value_enc, &tuples});
+      }
 
-    std::vector<Bytes> evaluations(eval_items.size());
-    // id -> session-encrypted tuple set.
-    std::vector<std::pair<uint64_t, Bytes>> payload_entries(
-        options_.session_key_payloads ? eval_items.size() : 0);
-    std::string loop_label = obs::SpanName(role, "delivery", "pm.evaluate");
-    SECMED_RETURN_IF_ERROR(ParallelForStatus(
-        eval_items.size(), threads, [&](size_t i) -> Status {
-          RandomSource* rng = rngs[i].get();
-          const Bytes fingerprint = ValueFingerprint(*eval_items[i].value_enc);
-          const BigInt a = BigInt::FromBytes(fingerprint);
+      // IDs are drawn at random (not sequential): the tuple sets are grouped
+      // in value order here, and sequential IDs would disclose the relative
+      // order of the join values to the mediator. Drawn distinct up front
+      // (serially, before forking) so a 64-bit collision can never make two
+      // payload-table entries shadow each other at the client.
+      std::vector<uint64_t> ids;
+      if (options_.session_key_payloads) {
+        SECMED_ASSIGN_OR_RETURN(
+            ids, DrawDistinctPayloadIds(eval_items.size(), prep_rng));
+      }
+      std::vector<std::unique_ptr<RandomSource>> rngs =
+          ForkN(prep_rng, eval_items.size());
 
-          // Horner: E(P(a)) from encrypted coefficients (c0 + a c1 + ...).
-          BigInt acc = enc_coeffs.back();
-          for (size_t k = enc_coeffs.size() - 1; k-- > 0;) {
-            acc = paillier.Add(paillier.ScalarMul(acc, a), enc_coeffs[k]);
-          }
+      std::vector<Bytes> evaluations(eval_items.size());
+      // id -> session-encrypted tuple set.
+      std::vector<std::pair<uint64_t, Bytes>> payload_entries(
+          options_.session_key_payloads ? eval_items.size() : 0);
+      std::string loop_label = obs::SpanName(role, "delivery", "pm.evaluate");
+      SECMED_RETURN_IF_ERROR(ParallelForStatus(
+          eval_items.size(), threads, [&](size_t i) -> Status {
+            RandomSource* rng = rngs[i].get();
+            const Bytes fingerprint =
+                ValueFingerprint(*eval_items[i].value_enc);
+            const BigInt a = BigInt::FromBytes(fingerprint);
 
-          // Payload m = marker || fingerprint || (id || session key | tuples).
-          Bytes m_bytes;
-          m_bytes.push_back(kPayloadMarker);
-          Append(&m_bytes, fingerprint);
-          if (options_.session_key_payloads) {
-            const uint64_t id = ids[i];
-            for (int b = static_cast<int>(kIdLen) - 1; b >= 0; --b) {
-              m_bytes.push_back(static_cast<uint8_t>(id >> (8 * b)));
+            // Horner: E(P(a)) from encrypted coefficients (c0 + a c1 + ...).
+            BigInt acc = enc_coeffs.back();
+            for (size_t k = enc_coeffs.size() - 1; k-- > 0;) {
+              acc = paillier.Add(paillier.ScalarMul(acc, a), enc_coeffs[k]);
             }
-            Bytes session_key = rng->Generate(kSessionKeyLen);
-            Append(&m_bytes, session_key);
-            SECMED_ASSIGN_OR_RETURN(
-                Bytes enc_tup,
-                SessionEncrypt(session_key, eval_items[i].tuples->Serialize(),
-                               rng));
-            payload_entries[i] = {id, std::move(enc_tup)};
-          } else {
-            Append(&m_bytes, eval_items[i].tuples->Serialize());
-          }
-          if (m_bytes.size() > paillier.MaxPlaintextBytes()) {
-            return Status::InvalidArgument(
-                "tuple-set payload exceeds the Paillier plaintext space; "
-                "enable session_key_payloads (footnote 2)");
-          }
-          const BigInt m = BigInt::FromBytes(m_bytes);
-          // ek = E(rk * P(a) + m) with fresh random rk in [1, n).
-          BigInt rk;
-          do {
-            rk = BigInt::RandomBelow(paillier.n(), rng);
-          } while (rk.is_zero());
-          BigInt ek = paillier.AddPlain(paillier.ScalarMul(acc, rk), m);
-          evaluations[i] = ek.ToBytes(key_bytes);
-          return Status::OK();
-        }, ctx->obs, loop_label.c_str()));
-    span.AddItems(eval_items.size());
-    // Arbitrary order, independent of plaintext order.
-    std::sort(evaluations.begin(), evaluations.end());
-    std::sort(payload_entries.begin(), payload_entries.end());
+
+            // Payload m = marker || fingerprint || (id || session key | tuples).
+            Bytes m_bytes;
+            m_bytes.push_back(kPayloadMarker);
+            Append(&m_bytes, fingerprint);
+            if (options_.session_key_payloads) {
+              const uint64_t id = ids[i];
+              for (int b = static_cast<int>(kIdLen) - 1; b >= 0; --b) {
+                m_bytes.push_back(static_cast<uint8_t>(id >> (8 * b)));
+              }
+              Bytes session_key = rng->Generate(kSessionKeyLen);
+              Append(&m_bytes, session_key);
+              SECMED_ASSIGN_OR_RETURN(
+                  Bytes enc_tup,
+                  SessionEncrypt(session_key,
+                                 eval_items[i].tuples->Serialize(), rng));
+              payload_entries[i] = {id, std::move(enc_tup)};
+            } else {
+              Append(&m_bytes, eval_items[i].tuples->Serialize());
+            }
+            if (m_bytes.size() > paillier.MaxPlaintextBytes()) {
+              return Status::InvalidArgument(
+                  "tuple-set payload exceeds the Paillier plaintext space; "
+                  "enable session_key_payloads (footnote 2)");
+            }
+            const BigInt m = BigInt::FromBytes(m_bytes);
+            // ek = E(rk * P(a) + m) with fresh random rk in [1, n).
+            BigInt rk;
+            do {
+              rk = BigInt::RandomBelow(paillier.n(), rng);
+            } while (rk.is_zero());
+            BigInt ek = paillier.AddPlain(paillier.ScalarMul(acc, rk), m);
+            evaluations[i] = ek.ToBytes(key_bytes);
+            return Status::OK();
+          }, ctx->obs, loop_label.c_str()));
+      span.AddItems(eval_items.size());
+      // Arbitrary order, independent of plaintext order.
+      std::sort(evaluations.begin(), evaluations.end());
+      std::sort(payload_entries.begin(), payload_entries.end());
+
+      BinaryWriter w;
+      w.WriteU32(static_cast<uint32_t>(evaluations.size()));
+      for (const Bytes& e : evaluations) w.WriteBytes(e);
+      w.WriteU32(static_cast<uint32_t>(payload_entries.size()));
+      for (const auto& [id, sealed] : payload_entries) {
+        // Big-endian so the table order (sorted by random id) carries no
+        // structure either.
+        for (int b = static_cast<int>(kIdLen) - 1; b >= 0; --b) {
+          w.WriteU8(static_cast<uint8_t>(id >> (8 * b)));
+        }
+        w.WriteBytes(sealed);
+      }
+      return std::make_shared<const PreparedBlob>(w.TakeBuffer());
+    };
+
+    std::shared_ptr<const PreparedBlob> payload;
+    if (ctx->prepared != nullptr) {
+      BinaryWriter mat;
+      mat.WriteBytes(msg.payload);
+      mat.WriteBytes(state.credentials[0].paillier_key);
+      mat.WriteU8(options_.session_key_payloads ? 1 : 0);
+      mat.WriteU32(static_cast<uint32_t>(state.plan.join_attributes.size()));
+      for (const std::string& a : state.plan.join_attributes) {
+        mat.WriteString(a);
+      }
+      mat.WriteBytes(ss->rel->Serialize());
+      std::string cache_key =
+          PreparedKey("pm.evaluate", ss->name,
+                      SourceCatalogVersion(ctx, ss->name), mat.TakeBuffer());
+      SECMED_ASSIGN_OR_RETURN(
+          payload,
+          GetOrCompute<PreparedBlob>(ctx->prepared, cache_key, compute));
+    } else {
+      SECMED_ASSIGN_OR_RETURN(payload, compute(ctx->rng));
+    }
 
     BinaryWriter w;
     w.WriteU8(which);
-    w.WriteU32(static_cast<uint32_t>(evaluations.size()));
-    for (const Bytes& e : evaluations) w.WriteBytes(e);
-    w.WriteU32(static_cast<uint32_t>(payload_entries.size()));
-    for (const auto& [id, sealed] : payload_entries) {
-      // Big-endian so the table order (sorted by random id) carries no
-      // structure either.
-      for (int b = static_cast<int>(kIdLen) - 1; b >= 0; --b) {
-        w.WriteU8(static_cast<uint8_t>(id >> (8 * b)));
-      }
-      w.WriteBytes(sealed);
-    }
+    w.WriteRaw(payload->bytes);
     bus.Send(ss->name, mediator, kMsgPmEvaluations, w.TakeBuffer());
     return Status::OK();
   };
@@ -349,8 +415,7 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
   Schema schema1, schema2;
   for (int which = 1; which <= 2; ++which) {
     SECMED_ASSIGN_OR_RETURN(Bytes blob, r.ReadBytes());
-    SECMED_ASSIGN_OR_RETURN(Bytes plain,
-                            HybridDecrypt(ctx->client->private_key(), blob));
+    SECMED_ASSIGN_OR_RETURN(Bytes plain, ClientHybridDecrypt(ctx, blob));
     BinaryReader sr(plain);
     SECMED_ASSIGN_OR_RETURN(Schema schema, Schema::DecodeFrom(&sr));
     (which == 1 ? schema1 : schema2) = std::move(schema);
@@ -379,10 +444,7 @@ Result<Relation> PmJoinProtocol::Run(const std::string& sql,
     evaluation_count += count;
     for (uint32_t k = 0; k < count; ++k) {
       SECMED_ASSIGN_OR_RETURN(Bytes e_raw, er.ReadBytes());
-      SECMED_ASSIGN_OR_RETURN(
-          BigInt m, ctx->client->paillier_private_key().Decrypt(
-                        BigInt::FromBytes(e_raw)));
-      Bytes m_bytes = m.ToBytes();
+      SECMED_ASSIGN_OR_RETURN(Bytes m_bytes, ClientPaillierDecrypt(ctx, e_raw));
       // Masked non-members decrypt to random values; real payloads carry
       // the marker byte and a plausible structure.
       if (m_bytes.size() < 1 + kValueHashLen || m_bytes[0] != kPayloadMarker) {

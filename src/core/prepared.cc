@@ -1,0 +1,74 @@
+#include "core/prepared.h"
+
+#include "bigint/bigint.h"
+#include "crypto/hybrid.h"
+#include "crypto/paillier.h"
+#include "crypto/sha256.h"
+
+namespace secmed {
+
+std::string PreparedDigest(const Bytes& material) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  Bytes digest = Sha256::Hash(material);
+  std::string hex;
+  hex.reserve(digest.size() * 2);
+  for (uint8_t b : digest) {
+    hex.push_back(kHex[b >> 4]);
+    hex.push_back(kHex[b & 0x0f]);
+  }
+  return hex;
+}
+
+std::string PreparedKey(const std::string& kind, const std::string& party,
+                        uint64_t version, const Bytes& material) {
+  return kind + "/" + party + "/v" + std::to_string(version) + "/" +
+         PreparedDigest(material);
+}
+
+Result<Bytes> ClientHybridDecrypt(ProtocolContext* ctx, const Bytes& blob) {
+  if (ctx->prepared == nullptr) {
+    return HybridDecrypt(ctx->client->private_key(), blob);
+  }
+  std::string key =
+      PreparedKey("client.decrypt", ctx->client->name(), 0, blob);
+  SECMED_ASSIGN_OR_RETURN(
+      std::shared_ptr<const PreparedBlob> entry,
+      GetOrCompute<PreparedBlob>(
+          ctx->prepared, key,
+          [&](RandomSource*) -> Result<std::shared_ptr<const PreparedBlob>> {
+            SECMED_ASSIGN_OR_RETURN(
+                Bytes plain, HybridDecrypt(ctx->client->private_key(), blob));
+            return std::make_shared<const PreparedBlob>(std::move(plain));
+          }));
+  return entry->bytes;
+}
+
+Result<Bytes> ClientPaillierDecrypt(ProtocolContext* ctx,
+                                    const Bytes& ciphertext) {
+  auto decrypt = [&]() -> Result<Bytes> {
+    SECMED_ASSIGN_OR_RETURN(BigInt m,
+                            ctx->client->paillier_private_key().Decrypt(
+                                BigInt::FromBytes(ciphertext)));
+    return m.ToBytes();
+  };
+  if (ctx->prepared == nullptr) return decrypt();
+  std::string key =
+      PreparedKey("client.pdec", ctx->client->name(), 0, ciphertext);
+  SECMED_ASSIGN_OR_RETURN(
+      std::shared_ptr<const PreparedBlob> entry,
+      GetOrCompute<PreparedBlob>(
+          ctx->prepared, key,
+          [&](RandomSource*) -> Result<std::shared_ptr<const PreparedBlob>> {
+            SECMED_ASSIGN_OR_RETURN(Bytes plain, decrypt());
+            return std::make_shared<const PreparedBlob>(std::move(plain));
+          }));
+  return entry->bytes;
+}
+
+uint64_t SourceCatalogVersion(const ProtocolContext* ctx,
+                              const std::string& name) {
+  auto it = ctx->sources.find(name);
+  return it == ctx->sources.end() ? 0 : it->second->catalog_version();
+}
+
+}  // namespace secmed

@@ -15,6 +15,8 @@
 
 namespace secmed {
 
+class PreparedCache;  // core/prepared.h
+
 /// The parties and infrastructure a protocol run executes over.
 struct ProtocolContext {
   Client* client = nullptr;
@@ -36,6 +38,15 @@ struct ProtocolContext {
   /// Span names follow `party/phase/operation`, e.g.
   /// `source1/delivery/pm.encrypt_coeffs` or `client/post/decrypt`.
   obs::Scope* obs = nullptr;
+  /// Prepared-dataset cache of a long-lived service deployment
+  /// (core/prepared.h, src/service/). Null — the default — keeps every
+  /// protocol on its legacy one-shot path with unchanged transcripts.
+  /// Non-null routes the per-relation delivery work (domain hashing,
+  /// commutative/homomorphic encryption, tuple-set sealing) and the
+  /// client's repeated decryptions through the cache; all cached bytes
+  /// are pure functions of their keys, so warm and cold sessions are
+  /// byte-identical.
+  PreparedCache* prepared = nullptr;
   /// Use precomputed randomizer pools (crypto/randomizer_pool.h) for the
   /// Paillier encryption loops: the r^n exponentiations run in a batch
   /// ahead of the online encryption pass. Pools draw from the same

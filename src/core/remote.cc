@@ -19,6 +19,7 @@ Bytes RunSpec::Encode() const {
   w.WriteU32(static_cast<uint32_t>(threads));
   w.WriteString(rng_label);
   w.WriteString(reply_to);
+  w.WriteU8(use_prepared ? 1 : 0);
   return w.TakeBuffer();
 }
 
@@ -33,6 +34,8 @@ Result<RunSpec> RunSpec::Decode(const Bytes& raw) {
   SECMED_ASSIGN_OR_RETURN(uint32_t threads, r.ReadU32());
   SECMED_ASSIGN_OR_RETURN(spec.rng_label, r.ReadString());
   SECMED_ASSIGN_OR_RETURN(spec.reply_to, r.ReadString());
+  SECMED_ASSIGN_OR_RETURN(uint8_t use_prepared, r.ReadU8());
+  spec.use_prepared = use_prepared != 0;
   spec.das_partitions = partitions;
   spec.group_bits = bits;
   spec.threads = threads;
@@ -135,7 +138,7 @@ namespace {
 /// the report.
 RunReport RunOverTransport(MediationTestbed* testbed, Transport* transport,
                            const RunSpec& spec, Relation* result_out,
-                           obs::Scope* obs) {
+                           obs::Scope* obs, PreparedCache* prepared) {
   RunReport report;
   report.session = spec.session;
 
@@ -147,6 +150,7 @@ RunReport RunOverTransport(MediationTestbed* testbed, Transport* transport,
   ProtocolContext ctx = testbed->SessionContext(transport, &session_rng);
   ctx.threads = spec.threads;
   ctx.obs = obs;
+  ctx.prepared = spec.use_prepared ? prepared : nullptr;
   transport->SetObsScope(obs);
 
   auto protocol = BuildProtocol(spec);
@@ -193,7 +197,7 @@ RunReport RunOverTransport(MediationTestbed* testbed, Transport* transport,
 RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
                                const Deployment& deployment,
                                const RunSpec& spec, Relation* result_out,
-                               obs::Scope* obs) {
+                               obs::Scope* obs, PreparedCache* prepared) {
   TcpTransport::Options topt;
   topt.local_parties = deployment.local_parties;
   topt.directory = deployment.directory;
@@ -205,7 +209,7 @@ RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
   TcpTransport transport(host, std::move(topt));
 
   RunReport report =
-      RunOverTransport(testbed, &transport, spec, result_out, obs);
+      RunOverTransport(testbed, &transport, spec, result_out, obs, prepared);
   std::string joined;
   for (const std::string& p : deployment.local_parties) {
     if (!joined.empty()) joined += ",";
@@ -216,9 +220,11 @@ RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
 }
 
 RunReport RunLocalSession(MediationTestbed* testbed, const RunSpec& spec,
-                          Relation* result_out, obs::Scope* obs) {
+                          Relation* result_out, obs::Scope* obs,
+                          PreparedCache* prepared) {
   NetworkBus bus;
-  RunReport report = RunOverTransport(testbed, &bus, spec, result_out, obs);
+  RunReport report =
+      RunOverTransport(testbed, &bus, spec, result_out, obs, prepared);
   report.party_set = "local-bus";
   return report;
 }

@@ -50,6 +50,12 @@ struct RunSpec {
   /// Where the requesting driver listens ("host:port"); reports go back
   /// there.
   std::string reply_to;
+  /// Run with the process's prepared-dataset cache attached
+  /// (core/prepared.h). Carried in the spec so every process of a
+  /// replicated deployment takes the same path; prepared bytes are
+  /// key-derived, so mixed cache *contents* across processes stay
+  /// byte-identical regardless.
+  bool use_prepared = false;
 
   Bytes Encode() const;
   static Result<RunSpec> Decode(const Bytes& raw);
@@ -90,17 +96,22 @@ Result<std::unique_ptr<JoinProtocol>> BuildProtocol(const RunSpec& spec);
 /// A non-null `obs` scope instruments the whole session — protocol
 /// phases, crypto loops and the wire layer — and is detached from the
 /// transport before returning.
+/// A non-null `prepared` cache is attached to the session when the spec
+/// sets use_prepared (ignored otherwise), memoizing the per-relation
+/// delivery crypto across the daemon's sessions.
 RunReport RunReplicatedSession(MediationTestbed* testbed, PeerHost* host,
                                const Deployment& deployment,
                                const RunSpec& spec, Relation* result_out,
-                               obs::Scope* obs = nullptr);
+                               obs::Scope* obs = nullptr,
+                               PreparedCache* prepared = nullptr);
 
 /// Reference twin of RunReplicatedSession: the same spec executed over a
 /// fresh in-process NetworkBus with the same per-session seeding. A
 /// deployment is correct iff this and every process's replicated report
 /// agree on digest, message count and per-party byte statistics.
 RunReport RunLocalSession(MediationTestbed* testbed, const RunSpec& spec,
-                          Relation* result_out, obs::Scope* obs = nullptr);
+                          Relation* result_out, obs::Scope* obs = nullptr,
+                          PreparedCache* prepared = nullptr);
 
 /// Sends a control frame to `ep` over `host`'s pooled connections.
 Status SendCtl(PeerHost* host, const Endpoint& ep, const std::string& from,

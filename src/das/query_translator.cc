@@ -145,7 +145,7 @@ DasServerResult EvaluateServerQuery(const DasRelation& r1,
 Result<Relation> ApplyClientQuery(const DasServerResult& server_result,
                                   const Schema& schema1, const Schema& schema2,
                                   const std::vector<std::string>& join_columns,
-                                  const RsaPrivateKey& client_key) {
+                                  const EtupleDecryptFn& decrypt_fn) {
   if (join_columns.empty()) {
     return Status::InvalidArgument("no join columns given");
   }
@@ -172,7 +172,7 @@ Result<Relation> ApplyClientQuery(const DasServerResult& server_result,
     std::string key(etuple.begin(), etuple.end());
     auto it = cache.find(key);
     if (it != cache.end()) return it->second;
-    SECMED_ASSIGN_OR_RETURN(Bytes plain, HybridDecrypt(client_key, etuple));
+    SECMED_ASSIGN_OR_RETURN(Bytes plain, decrypt_fn(etuple));
     SECMED_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(plain));
     cache.emplace(std::move(key), t);
     return t;
@@ -197,6 +197,16 @@ Result<Relation> ApplyClientQuery(const DasServerResult& server_result,
     out.AppendUnchecked(std::move(t));
   }
   return out;
+}
+
+Result<Relation> ApplyClientQuery(const DasServerResult& server_result,
+                                  const Schema& schema1, const Schema& schema2,
+                                  const std::vector<std::string>& join_columns,
+                                  const RsaPrivateKey& client_key) {
+  return ApplyClientQuery(server_result, schema1, schema2, join_columns,
+                          [&client_key](const Bytes& etuple) {
+                            return HybridDecrypt(client_key, etuple);
+                          });
 }
 
 Result<Relation> ApplyClientQuery(const DasServerResult& server_result,

@@ -1,6 +1,7 @@
 #ifndef SECMED_DAS_QUERY_TRANSLATOR_H_
 #define SECMED_DAS_QUERY_TRANSLATOR_H_
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -52,10 +53,21 @@ DasServerQuery TranslateToServerQuery(const IndexTable& itable1,
 DasServerResult EvaluateServerQuery(const DasRelation& r1, const DasRelation& r2,
                                     const DasServerQuery& query);
 
+/// Decrypts one etuple ciphertext to its tuple encoding. Injectable so
+/// the protocol layer can route the per-etuple hybrid decryption — the
+/// dominant client cost of DAS — through its cross-session prepared
+/// cache; the key-based overloads below plug in a plain HybridDecrypt.
+using EtupleDecryptFn = std::function<Result<Bytes>(const Bytes&)>;
+
 /// Client-side post-processing: decrypts each etuple pair (decryptDAS) and
 /// keeps exactly the pairs whose real values agree on every join column
 /// (CondC), producing the natural join of the partial results with each
-/// join column appearing once.
+/// join column appearing once. Each distinct etuple is decrypted once.
+Result<Relation> ApplyClientQuery(const DasServerResult& server_result,
+                                  const Schema& schema1, const Schema& schema2,
+                                  const std::vector<std::string>& join_columns,
+                                  const EtupleDecryptFn& decrypt);
+
 Result<Relation> ApplyClientQuery(const DasServerResult& server_result,
                                   const Schema& schema1, const Schema& schema2,
                                   const std::vector<std::string>& join_columns,

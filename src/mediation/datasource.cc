@@ -4,10 +4,12 @@ namespace secmed {
 
 void DataSource::AddRelation(const std::string& table, Relation rel) {
   catalog_[table] = std::move(rel);
+  ++catalog_version_;
 }
 
 void DataSource::SetPolicy(const std::string& table, AccessPolicy policy) {
   policies_[table] = std::move(policy);
+  ++catalog_version_;
 }
 
 Result<Schema> DataSource::TableSchema(const std::string& table) const {

@@ -35,6 +35,14 @@ class DataSource {
   /// Sets the CA key used to verify presented credentials.
   void set_ca_key(const RsaPublicKey& key) { ca_key_ = key; }
 
+  /// Monotone version of the catalog + policy state, bumped by
+  /// AddRelation and SetPolicy. Prepared-dataset cache keys
+  /// (core/prepared.h) embed it, so any data or policy change retires
+  /// every prepared entry derived from the old state — the explicit
+  /// invalidation half of the cache contract (the other half is the
+  /// content digest inside the key).
+  uint64_t catalog_version() const { return catalog_version_; }
+
   bool HasTable(const std::string& table) const {
     return catalog_.count(table) > 0;
   }
@@ -61,6 +69,7 @@ class DataSource {
   Catalog catalog_;
   std::map<std::string, AccessPolicy> policies_;
   RsaPublicKey ca_key_;
+  uint64_t catalog_version_ = 0;
 };
 
 }  // namespace secmed

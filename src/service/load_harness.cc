@@ -1,0 +1,169 @@
+#include "service/load_harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace secmed {
+
+namespace {
+
+/// Exact percentile of a sorted sample (nearest-rank).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * sorted.size()));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+/// Shared mutable state of one load run; all clients funnel through it.
+struct Collector {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::vector<double> latencies_ms;
+  uint64_t outstanding = 0;  // submitted - (completed + shed + errors)
+  LoadStats stats;
+
+  void Record(const QueryOutcome& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (out.status.ok()) {
+      ++stats.completed;
+      latencies_ms.push_back(out.latency_ms);
+      if (stats.result_digest.empty()) {
+        stats.result_digest = out.result_digest;
+      } else if (stats.result_digest != out.result_digest) {
+        stats.digests_agree = false;
+      }
+    } else {
+      ++stats.errors;
+    }
+    --outstanding;
+    done_cv.notify_all();
+  }
+
+  void Shed() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++stats.shed;
+    --outstanding;
+    done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+LoadStats RunLoadHarness(QueryService* service, const LoadConfig& config) {
+  Collector collector;
+  const PreparedRegistryStats cache_before = service->cache().Stats();
+  const auto start = std::chrono::steady_clock::now();
+
+  if (config.open_rate_qps > 0.0) {
+    // Open loop: one pacer submits on a fixed schedule; completions are
+    // recorded from the service's worker threads via the callback.
+    const auto interval = std::chrono::duration<double>(
+        1.0 / config.open_rate_qps);
+    {
+      std::lock_guard<std::mutex> lock(collector.mu);
+      collector.outstanding = config.queries;
+      collector.stats.submitted = config.queries;
+    }
+    for (size_t q = 0; q < config.queries; ++q) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<std::chrono::steady_clock::
+                                                 duration>(interval * q));
+      auto id = service->Submit(config.query, [&collector](QueryOutcome out) {
+        collector.Record(out);
+      });
+      if (!id.ok()) collector.Shed();
+    }
+  } else {
+    // Closed loop: `clients` threads, each running its next query the
+    // moment the previous one returns.
+    std::atomic<size_t> next{0};
+    {
+      std::lock_guard<std::mutex> lock(collector.mu);
+      collector.outstanding = config.queries;
+      collector.stats.submitted = config.queries;
+    }
+    std::vector<std::thread> clients;
+    const size_t n = std::max<size_t>(1, config.clients);
+    clients.reserve(n);
+    for (size_t c = 0; c < n; ++c) {
+      clients.emplace_back([&] {
+        for (;;) {
+          if (next.fetch_add(1) >= config.queries) return;
+          auto out = service->Run(config.query);
+          if (!out.ok()) {
+            collector.Shed();
+          } else {
+            collector.Record(*out);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(collector.mu);
+    collector.done_cv.wait(lock, [&] { return collector.outstanding == 0; });
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  LoadStats stats = collector.stats;
+  stats.wall_ms = wall_ms;
+  if (wall_ms > 0.0) stats.throughput_qps = stats.completed * 1000.0 / wall_ms;
+  if (stats.submitted > 0) {
+    stats.shed_rate = static_cast<double>(stats.shed) / stats.submitted;
+  }
+  std::vector<double>& lat = collector.latencies_ms;
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    double sum = 0.0;
+    for (double v : lat) sum += v;
+    stats.mean_ms = sum / lat.size();
+    stats.p50_ms = Percentile(lat, 50.0);
+    stats.p95_ms = Percentile(lat, 95.0);
+    stats.p99_ms = Percentile(lat, 99.0);
+    stats.max_ms = lat.back();
+  }
+  const PreparedRegistryStats cache_after = service->cache().Stats();
+  const uint64_t hits = cache_after.hits - cache_before.hits;
+  const uint64_t misses = cache_after.misses - cache_before.misses;
+  if (hits + misses > 0) {
+    stats.cache_hit_rate = static_cast<double>(hits) / (hits + misses);
+  }
+  return stats;
+}
+
+std::string RenderLoadStats(const std::string& label, const LoadStats& s) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s:\n"
+      "  queries     %llu submitted, %llu ok, %llu shed, %llu failed\n"
+      "  wall        %.1f ms  (%.2f queries/s)\n"
+      "  latency     p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, "
+      "mean %.2f ms, max %.2f ms\n"
+      "  shed rate   %.1f%%\n"
+      "  cache       %.1f%% hit rate\n"
+      "  result      %s\n",
+      label.c_str(), static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.errors), s.wall_ms, s.throughput_qps,
+      s.p50_ms, s.p95_ms, s.p99_ms, s.mean_ms, s.max_ms, 100.0 * s.shed_rate,
+      100.0 * s.cache_hit_rate,
+      s.digests_agree ? "all digests agree" : "DIGESTS DISAGREE");
+  return buf;
+}
+
+}  // namespace secmed

@@ -1,0 +1,94 @@
+#include "service/prepared_registry.h"
+
+#include <utility>
+
+#include "crypto/drbg.h"
+
+namespace secmed {
+
+PreparedDatasetRegistry::PreparedDatasetRegistry(Options options)
+    : options_(std::move(options)) {}
+
+std::shared_ptr<const PreparedValue> PreparedDatasetRegistry::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    obs::AddCounter(options_.obs, "service.cache.miss", 1);
+    return nullptr;
+  }
+  ++stats_.hits;
+  obs::AddCounter(options_.obs, "service.cache.hit", 1);
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.value;
+}
+
+std::shared_ptr<const PreparedValue> PreparedDatasetRegistry::Put(
+    const std::string& key, std::shared_ptr<const PreparedValue> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // First insert wins; the racing value holds identical bytes by the
+    // determinism contract, so dropping it loses nothing.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.value;
+  }
+  Entry e;
+  e.bytes = value->ByteSize();
+  e.value = std::move(value);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+  stats_.resident_bytes += e.bytes;
+  auto inserted = entries_.emplace(key, std::move(e)).first;
+  ++stats_.inserts;
+  stats_.entries = entries_.size();
+  obs::AddCounter(options_.obs, "service.cache.insert", 1);
+  EvictToBudgetLocked();
+  obs::RaiseMaxGauge(options_.obs, "service.cache.max_resident_bytes",
+                     stats_.resident_bytes);
+  return inserted->second.value;
+}
+
+std::unique_ptr<RandomSource> PreparedDatasetRegistry::PrepareRng(
+    const std::string& key) {
+  std::string seed = "secmed-prepare-" + options_.label + ":" + key;
+  return std::make_unique<HmacDrbg>(Bytes(seed.begin(), seed.end()));
+}
+
+size_t PreparedDatasetRegistry::Invalidate(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    stats_.resident_bytes -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    it = entries_.erase(it);
+    ++dropped;
+  }
+  stats_.invalidations += dropped;
+  stats_.entries = entries_.size();
+  obs::AddCounter(options_.obs, "service.cache.invalidate", dropped);
+  return dropped;
+}
+
+PreparedRegistryStats PreparedDatasetRegistry::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PreparedDatasetRegistry::EvictToBudgetLocked() {
+  if (options_.max_bytes == 0) return;
+  while (stats_.resident_bytes > options_.max_bytes && lru_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    stats_.resident_bytes -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+    obs::AddCounter(options_.obs, "service.cache.evict", 1);
+  }
+  stats_.entries = entries_.size();
+}
+
+}  // namespace secmed

@@ -1,0 +1,102 @@
+#ifndef SECMED_SERVICE_PREPARED_REGISTRY_H_
+#define SECMED_SERVICE_PREPARED_REGISTRY_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include <mutex>
+
+#include "core/prepared.h"
+#include "obs/scope.h"
+
+namespace secmed {
+
+/// Point-in-time counters of a PreparedDatasetRegistry.
+struct PreparedRegistryStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;      // LRU byte-budget evictions
+  uint64_t invalidations = 0;  // entries dropped by Invalidate/Clear
+  size_t entries = 0;
+  size_t resident_bytes = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// The prepared-dataset registry of a long-lived mediation service: a
+/// thread-safe LRU cache under a byte budget, implementing the
+/// PreparedCache interface the protocols in src/core/ program against.
+///
+/// Keys are minted by PreparedKey() and embed the owning datasource's
+/// catalog version plus a content digest, so entries never need
+/// revalidation — a data or policy change mints different keys and the
+/// stale generation ages out through the LRU (or is dropped eagerly via
+/// Invalidate). Entry bytes are pure functions of their keys (the
+/// determinism contract in core/prepared.h): eviction and recomputation
+/// are always safe, and concurrent sessions racing to populate a key
+/// insert identical values (first insert wins).
+class PreparedDatasetRegistry : public PreparedCache {
+ public:
+  struct Options {
+    /// Byte budget for resident entries; least-recently-used entries are
+    /// evicted when an insert exceeds it. 0 = unlimited. A single entry
+    /// larger than the whole budget is still admitted (and evicts
+    /// everything else) — refusing it would force every session to
+    /// recompute the largest relation, the opposite of the cache's job.
+    size_t max_bytes = 256ull << 20;
+    /// Domain separator of the prepare RNG: PrepareRng(key) is an
+    /// HmacDrbg seeded from "secmed-prepare-<label>:<key>". Every
+    /// process of a replicated deployment must use the same label so
+    /// prepared bytes agree across processes.
+    std::string label = "service";
+    /// Counter/gauge sink ("service.cache.*"); null disables.
+    obs::Scope* obs = nullptr;
+  };
+
+  PreparedDatasetRegistry() : PreparedDatasetRegistry(Options{}) {}
+  explicit PreparedDatasetRegistry(Options options);
+
+  std::shared_ptr<const PreparedValue> Get(const std::string& key) override;
+  std::shared_ptr<const PreparedValue> Put(
+      const std::string& key,
+      std::shared_ptr<const PreparedValue> value) override;
+  std::unique_ptr<RandomSource> PrepareRng(const std::string& key) override;
+
+  /// Drops every entry whose key starts with `prefix` and returns how
+  /// many were dropped. "" clears everything. The explicit-invalidation
+  /// hook for data/policy changes: e.g. Invalidate("das.build/hospital/")
+  /// after reloading that source's relations.
+  size_t Invalidate(const std::string& prefix);
+
+  /// Drops all entries.
+  void Clear() { Invalidate(""); }
+
+  PreparedRegistryStats Stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const PreparedValue> value;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Evicts LRU entries until the budget holds (never the just-touched
+  /// front entry). Caller holds mu_.
+  void EvictToBudgetLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  PreparedRegistryStats stats_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_SERVICE_PREPARED_REGISTRY_H_

@@ -1,0 +1,118 @@
+#include "service/query_service.h"
+
+#include <future>
+#include <utility>
+
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+#include "net/bus.h"
+#include "util/serialize.h"
+
+namespace secmed {
+
+QueryService::QueryService(MediationTestbed* testbed, Options options)
+    : testbed_(testbed),
+      options_(std::move(options)),
+      registry_([&] {
+        PreparedDatasetRegistry::Options ropt;
+        ropt.max_bytes = options_.cache_bytes;
+        ropt.label = options_.rng_label;
+        ropt.obs = options_.obs;
+        return ropt;
+      }()),
+      scheduler_([&] {
+        SessionScheduler::Options sopt;
+        sopt.max_concurrent = options_.max_concurrent;
+        sopt.queue_depth = options_.queue_depth;
+        sopt.obs = options_.obs;
+        return sopt;
+      }()) {}
+
+QueryService::~QueryService() { Drain(std::chrono::milliseconds(0)); }
+
+Result<uint64_t> QueryService::Submit(const Query& query,
+                                      std::function<void(QueryOutcome)> done) {
+  return scheduler_.Submit(
+      [this, query, done = std::move(done)](uint64_t session_id) {
+        done(Execute(query, session_id));
+      });
+}
+
+Result<QueryOutcome> QueryService::Run(const Query& query) {
+  auto promise = std::make_shared<std::promise<QueryOutcome>>();
+  std::future<QueryOutcome> future = promise->get_future();
+  SECMED_ASSIGN_OR_RETURN(
+      uint64_t id,
+      Submit(query, [promise](QueryOutcome out) {
+        promise->set_value(std::move(out));
+      }));
+  (void)id;
+  return future.get();
+}
+
+QueryOutcome QueryService::Execute(const Query& query, uint64_t session_id) {
+  const auto start = std::chrono::steady_clock::now();
+  QueryOutcome out;
+  out.session_id = session_id;
+
+  // Session isolation as in core/remote.cc RunOverTransport: a private
+  // bus and a session-ID-seeded DRBG, so the execution is a function of
+  // (query, session id) alone — concurrency cannot perturb it.
+  NetworkBus bus;
+  HmacDrbg session_rng(ToBytes("secmed-session-" + options_.rng_label + "-" +
+                               std::to_string(session_id)));
+  ProtocolContext ctx = testbed_->SessionContext(&bus, &session_rng);
+  ctx.threads = options_.threads;
+  ctx.obs = options_.obs;
+  ctx.prepared = options_.use_prepared ? &registry_ : nullptr;
+
+  RunSpec spec;
+  spec.protocol = query.protocol;
+  spec.das_partitions = query.das_partitions;
+  spec.group_bits = query.group_bits;
+  auto protocol = BuildProtocol(spec);
+  if (!protocol.ok()) {
+    out.status = protocol.status();
+  } else {
+    Result<Relation> result = (*protocol)->Run(query.sql, &ctx);
+    if (result.ok()) {
+      out.result = std::move(result).value();
+      // Canonical digest: the result is a bag and its delivery order
+      // depends on the per-session RNG, so hash the canonically sorted
+      // tuples — digests then compare across sessions and across
+      // warm/cold runs, where raw serialization order would differ.
+      Relation canonical = out.result;
+      canonical.SortCanonically();
+      out.result_digest = Sha256::Hash(canonical.Serialize());
+      out.status = Status::OK();
+    } else {
+      out.status = result.status();
+    }
+  }
+
+  out.messages = bus.transcript().size();
+  if (options_.record_transcripts) {
+    out.transcript.reserve(bus.transcript().size());
+    for (const Message& m : bus.transcript()) {
+      BinaryWriter w;
+      w.WriteString(m.from);
+      w.WriteString(m.to);
+      w.WriteString(m.type);
+      w.WriteBytes(m.payload);
+      out.transcript.push_back(w.TakeBuffer());
+    }
+  }
+
+  out.latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  obs::ObserveValue(options_.obs, "service.query.latency_us",
+                    static_cast<uint64_t>(out.latency_ms * 1000.0));
+  obs::AddCounter(options_.obs,
+                  out.status.ok() ? "service.query.ok" : "service.query.error",
+                  1);
+  return out;
+}
+
+}  // namespace secmed

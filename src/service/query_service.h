@@ -1,0 +1,104 @@
+#ifndef SECMED_SERVICE_QUERY_SERVICE_H_
+#define SECMED_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/remote.h"
+#include "core/testbed.h"
+#include "service/prepared_registry.h"
+#include "service/scheduler.h"
+
+namespace secmed {
+
+/// Outcome of one mediated query executed by the QueryService.
+struct QueryOutcome {
+  uint64_t session_id = 0;
+  Status status;       // protocol outcome; OK iff `result` is meaningful
+  Relation result;     // the client's reconstructed join result
+  /// SHA-256 of the canonically sorted result (the relation is a bag;
+  /// delivery order varies with the session RNG, its contents must not).
+  Bytes result_digest;
+  double latency_ms = 0.0;  // admission-to-completion wall time
+  uint64_t messages = 0;    // transcript length
+  /// Message payloads of the session's bus, in send order, when
+  /// Options::record_transcripts is set (determinism tests).
+  std::vector<Bytes> transcript;
+};
+
+/// The long-lived in-process mediation service: one shared
+/// MediationTestbed (parties + keys + relations), a PreparedDatasetRegistry
+/// memoizing the per-relation delivery crypto across sessions, and a
+/// SessionScheduler bounding concurrency and shedding overload.
+///
+/// Every accepted query runs as its own session: a fresh NetworkBus and a
+/// session-ID-seeded DRBG, so concurrent sessions share no mutable state
+/// except the cache, whose entries are key-derived and therefore
+/// identical however the sessions interleave. Consequently a query's
+/// result AND transcript are functions of (query, session id) alone —
+/// the same under any concurrency, and the same warm or cold.
+class QueryService {
+ public:
+  struct Options {
+    size_t max_concurrent = 4;   // SessionScheduler::Options
+    size_t queue_depth = 16;
+    size_t cache_bytes = 256ull << 20;  // registry byte budget; 0 = unlimited
+    /// Attach the prepared cache to sessions (false = every session
+    /// recomputes all delivery crypto; the cold baseline of the load
+    /// harness).
+    bool use_prepared = true;
+    /// Per-session DRBG label, as in RunSpec::rng_label.
+    std::string rng_label = "service";
+    /// ProtocolContext::threads inside each session.
+    size_t threads = 1;
+    /// Capture per-session bus transcripts into QueryOutcome.
+    bool record_transcripts = false;
+    obs::Scope* obs = nullptr;  // service-wide metrics; null disables
+  };
+
+  /// A query to mediate. Protocol parameters mirror RunSpec.
+  struct Query {
+    std::string protocol = "commutative";  // das | commutative | pm
+    std::string sql;
+    size_t das_partitions = 4;
+    size_t group_bits = 256;
+  };
+
+  /// `testbed` must outlive the service.
+  QueryService(MediationTestbed* testbed, Options options);
+  ~QueryService();
+
+  /// Admits the query and invokes `done` with its outcome on a worker
+  /// thread. Returns the assigned session ID, or kUnavailable when the
+  /// scheduler sheds (the query never ran; `done` is not called).
+  Result<uint64_t> Submit(const Query& query,
+                          std::function<void(QueryOutcome)> done);
+
+  /// Admits the query and blocks for its outcome. Sheds like Submit.
+  Result<QueryOutcome> Run(const Query& query);
+
+  /// Stops admission and waits for in-flight sessions (<= 0: forever).
+  Status Drain(std::chrono::milliseconds timeout) {
+    return scheduler_.Drain(timeout);
+  }
+
+  PreparedDatasetRegistry& cache() { return registry_; }
+  SessionScheduler& scheduler() { return scheduler_; }
+  MediationTestbed& testbed() { return *testbed_; }
+
+ private:
+  /// Runs one admitted session on the calling (worker) thread.
+  QueryOutcome Execute(const Query& query, uint64_t session_id);
+
+  MediationTestbed* testbed_;
+  Options options_;
+  PreparedDatasetRegistry registry_;
+  SessionScheduler scheduler_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,112 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace secmed {
+
+SessionScheduler::SessionScheduler(Options options)
+    : options_(std::move(options)) {
+  if (options_.max_concurrent == 0) options_.max_concurrent = 1;
+  workers_.reserve(options_.max_concurrent);
+  for (size_t i = 0; i < options_.max_concurrent; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SessionScheduler::~SessionScheduler() {
+  Drain(std::chrono::milliseconds(0));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Result<uint64_t> SessionScheduler::Submit(SessionFn fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (draining_ || stopping_) {
+    ++stats_.shed;
+    obs::AddCounter(options_.obs, "service.sched.shed", 1);
+    return Status::Unavailable("scheduler is draining; not accepting sessions");
+  }
+  // Admit while a worker is idle even when queue_depth is 0; the queue
+  // bound applies to sessions *waiting* beyond the pool.
+  size_t waiting = queue_.size();
+  size_t idle = options_.max_concurrent - std::min(options_.max_concurrent,
+                                                   in_flight_);
+  if (idle == 0 && waiting >= options_.queue_depth) {
+    ++stats_.shed;
+    obs::AddCounter(options_.obs, "service.sched.shed", 1);
+    return Status::Unavailable(
+        "session queue full (" + std::to_string(waiting) + " waiting, " +
+        std::to_string(in_flight_) + " running)");
+  }
+  uint64_t id = next_id_++;
+  queue_.push_back(Job{id, std::move(fn)});
+  ++stats_.accepted;
+  stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth,
+                                              queue_.size());
+  obs::AddCounter(options_.obs, "service.sched.accepted", 1);
+  obs::RaiseMaxGauge(options_.obs, "service.sched.max_queue_depth",
+                     queue_.size());
+  lock.unlock();
+  work_cv_.notify_one();
+  return id;
+}
+
+Status SessionScheduler::Drain(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  auto done = [this] { return queue_.empty() && in_flight_ == 0; };
+  if (timeout.count() <= 0) {
+    idle_cv_.wait(lock, done);
+    return Status::OK();
+  }
+  if (!idle_cv_.wait_for(lock, timeout, done)) {
+    return Status::DeadlineExceeded(
+        "drain deadline ran out with " + std::to_string(queue_.size()) +
+        " queued and " + std::to_string(in_flight_) + " running sessions");
+  }
+  return Status::OK();
+}
+
+SessionScheduler::Stats SessionScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SessionScheduler::Pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + in_flight_;
+}
+
+void SessionScheduler::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      stats_.max_in_flight = std::max<uint64_t>(stats_.max_in_flight,
+                                                in_flight_);
+      obs::RaiseMaxGauge(options_.obs, "service.sched.max_in_flight",
+                         in_flight_);
+    }
+    job.fn(job.id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      ++stats_.completed;
+      obs::AddCounter(options_.obs, "service.sched.completed", 1);
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace secmed

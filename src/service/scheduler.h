@@ -1,0 +1,99 @@
+#ifndef SECMED_SERVICE_SCHEDULER_H_
+#define SECMED_SERVICE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/scope.h"
+#include "util/result.h"
+
+namespace secmed {
+
+/// Admission control and execution of mediation sessions: a fixed worker
+/// pool runs at most `max_concurrent` sessions at once, excess
+/// submissions wait in a bounded queue, and overflow is shed immediately
+/// with kUnavailable — a loaded service degrades by refusing work, never
+/// by hanging or crashing (docs/SERVICE.md).
+///
+/// Lifecycle: accept from construction on; Drain() stops admission and
+/// waits for the queue and the in-flight sessions to finish under a
+/// deadline (the secmedd SIGTERM path); the destructor drains without a
+/// deadline.
+class SessionScheduler {
+ public:
+  struct Options {
+    /// Worker pool size == maximum concurrently running sessions.
+    size_t max_concurrent = 4;
+    /// Bounded wait queue in front of the pool; a submission finding the
+    /// queue full is shed. 0 = no queueing (admission only while a
+    /// worker is idle).
+    size_t queue_depth = 16;
+    /// Counter/gauge sink ("service.sched.*"); null disables.
+    obs::Scope* obs = nullptr;
+  };
+
+  /// A session body; receives the scheduler-assigned session ID.
+  /// Failures are the callback's own concern (report channels, promises)
+  /// — the scheduler only tracks completion.
+  using SessionFn = std::function<void(uint64_t session_id)>;
+
+  explicit SessionScheduler(Options options);
+  ~SessionScheduler();
+
+  SessionScheduler(const SessionScheduler&) = delete;
+  SessionScheduler& operator=(const SessionScheduler&) = delete;
+
+  /// Admits `fn` and returns its assigned session ID, or kUnavailable
+  /// when the wait queue is full or the scheduler is draining. Never
+  /// blocks the caller on session execution.
+  Result<uint64_t> Submit(SessionFn fn);
+
+  /// Stops admission and waits until every queued and in-flight session
+  /// has finished, up to `timeout` (<= 0 waits forever). Returns
+  /// kDeadlineExceeded — with sessions still running — if the budget
+  /// runs out; safe to call more than once.
+  Status Drain(std::chrono::milliseconds timeout);
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;
+    uint64_t shed = 0;  // refused with kUnavailable
+    uint64_t completed = 0;
+    uint64_t max_queue_depth = 0;  // high-watermark
+    uint64_t max_in_flight = 0;    // high-watermark
+  };
+  Stats stats() const;
+
+  /// Sessions currently queued + running (diagnostics).
+  size_t Pending() const;
+
+ private:
+  struct Job {
+    uint64_t id;
+    SessionFn fn;
+  };
+
+  void WorkerLoop();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // queue non-empty or shutting down
+  std::condition_variable idle_cv_;  // a session finished / queue drained
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  uint64_t next_id_ = 1;
+  size_t in_flight_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;  // workers exit once the queue is empty
+  Stats stats_;
+};
+
+}  // namespace secmed
+
+#endif  // SECMED_SERVICE_SCHEDULER_H_

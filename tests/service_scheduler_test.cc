@@ -1,0 +1,140 @@
+// SessionScheduler admission control: bounded concurrency, bounded
+// queueing, immediate kUnavailable shedding on overflow (never a hang or
+// a crash), and graceful drain semantics — the failure-mode half of the
+// query service layer (docs/SERVICE.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "service/scheduler.h"
+
+namespace secmed {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(SessionSchedulerTest, RunsEverySubmittedSessionOnce) {
+  SessionScheduler::Options opt;
+  opt.max_concurrent = 2;
+  opt.queue_depth = 16;
+  SessionScheduler sched(opt);
+
+  std::atomic<int> runs{0};
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto id = sched.Submit([&runs](uint64_t) { ++runs; });
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  EXPECT_TRUE(sched.Drain(milliseconds(0)).ok());
+  EXPECT_EQ(runs.load(), 8);
+
+  // Session IDs are unique and monotone.
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], ids[i - 1]);
+
+  SessionScheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.accepted, 8u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(SessionSchedulerTest, ShedsOverflowWithUnavailableWithoutBlocking) {
+  SessionScheduler::Options opt;
+  opt.max_concurrent = 2;
+  opt.queue_depth = 1;
+  SessionScheduler sched(opt);
+
+  // Two sessions occupy the pool (blocked on the gate), one waits in the
+  // queue; the fourth submission must be refused immediately.
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<int> started{0};
+  auto blocker = [&](uint64_t) {
+    ++started;
+    open.wait();
+  };
+  ASSERT_TRUE(sched.Submit(blocker).ok());
+  ASSERT_TRUE(sched.Submit(blocker).ok());
+  while (started.load() < 2) std::this_thread::sleep_for(milliseconds(1));
+  ASSERT_TRUE(sched.Submit(blocker).ok());  // queued
+
+  const auto before = std::chrono::steady_clock::now();
+  auto overflow = sched.Submit(blocker);
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kUnavailable);
+  // Shedding is a refusal, not a wait: far under the gate's lifetime.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+
+  gate.set_value();
+  EXPECT_TRUE(sched.Drain(milliseconds(0)).ok());
+  SessionScheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_GE(stats.max_in_flight, 2u);
+}
+
+TEST(SessionSchedulerTest, DrainStopsAdmission) {
+  SessionScheduler sched(SessionScheduler::Options{});
+  EXPECT_TRUE(sched.Drain(milliseconds(0)).ok());
+  auto late = sched.Submit([](uint64_t) {});
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SessionSchedulerTest, DrainHonoursDeadlineThenFinishes) {
+  SessionScheduler::Options opt;
+  opt.max_concurrent = 1;
+  SessionScheduler sched(opt);
+
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(sched.Submit([&](uint64_t) {
+                     started = true;
+                     open.wait();
+                   })
+                  .ok());
+  while (!started.load()) std::this_thread::sleep_for(milliseconds(1));
+
+  Status timed_out = sched.Drain(milliseconds(50));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.code(), StatusCode::kDeadlineExceeded);
+
+  gate.set_value();
+  EXPECT_TRUE(sched.Drain(milliseconds(0)).ok());
+  EXPECT_EQ(sched.stats().completed, 1u);
+  EXPECT_EQ(sched.Pending(), 0u);
+}
+
+TEST(SessionSchedulerTest, ZeroQueueDepthAdmitsOnlyIdleWorkers) {
+  SessionScheduler::Options opt;
+  opt.max_concurrent = 1;
+  opt.queue_depth = 0;
+  SessionScheduler sched(opt);
+
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(sched.Submit([&](uint64_t) {
+                     started = true;
+                     open.wait();
+                   })
+                  .ok());
+  while (!started.load()) std::this_thread::sleep_for(milliseconds(1));
+  auto second = sched.Submit([](uint64_t) {});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  gate.set_value();
+  EXPECT_TRUE(sched.Drain(milliseconds(0)).ok());
+}
+
+}  // namespace
+}  // namespace secmed

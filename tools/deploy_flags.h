@@ -46,6 +46,27 @@ struct DeployArgs {
   /// report. Empty = instrumentation disabled (null obs scope).
   std::string trace_out;
   std::string report_out;
+  /// Protocol/session knobs of the driver tools (`secmedctl drive`,
+  /// `secmedctl bench-load`). Daemons take their per-session protocol
+  /// parameters from the announced RunSpec instead.
+  std::string protocol = "commutative";
+  size_t sessions = 1;
+  size_t partitions = 4;
+  size_t group_bits = 256;
+  size_t threads = 1;
+  bool concurrent = false;
+  /// Query-service knobs (docs/SERVICE.md), honoured by secmedd and the
+  /// in-process service of `secmedctl bench-load`: bounded concurrency
+  /// with a bounded wait queue (overflow sheds with kUnavailable), the
+  /// byte budget of the prepared-dataset cache, and the deadline of a
+  /// graceful drain. --prepared attaches the cache to sessions; like the
+  /// workload knobs it must agree across a replicated deployment (it is
+  /// carried in the RunSpec, so the driver's setting is authoritative).
+  size_t max_sessions = 4;
+  size_t queue_depth = 16;
+  size_t cache_bytes = 256ull << 20;
+  int drain_timeout_ms = 10000;
+  bool use_prepared = false;
 
   bool WantsObs() const { return !trace_out.empty() || !report_out.empty(); }
 
@@ -210,6 +231,86 @@ inline int ParseDeployFlag(int argc, char** argv, int* i, DeployArgs* args) {
   }
   return 0;
 }
+
+/// Consumes one protocol/session flag (the drive/bench workload shape).
+/// Same contract as ParseDeployFlag.
+inline int ParseProtocolFlag(int argc, char** argv, int* i, DeployArgs* args) {
+  const std::string flag = argv[*i];
+  auto parse_size = [&](size_t* out) {
+    if (*i + 1 >= argc) return -1;
+    *out = std::strtoul(argv[++*i], nullptr, 10);
+    return 1;
+  };
+  if (flag == "--protocol") {
+    if (*i + 1 >= argc) return -1;
+    args->protocol = argv[++*i];
+    return 1;
+  }
+  if (flag == "--sessions") return parse_size(&args->sessions);
+  if (flag == "--partitions") return parse_size(&args->partitions);
+  if (flag == "--group-bits") return parse_size(&args->group_bits);
+  if (flag == "--threads") return parse_size(&args->threads);
+  if (flag == "--concurrent") {
+    args->concurrent = true;
+    return 1;
+  }
+  return 0;
+}
+
+/// Consumes one query-service flag (admission, caching, drain). Same
+/// contract as ParseDeployFlag.
+inline int ParseServiceFlag(int argc, char** argv, int* i, DeployArgs* args) {
+  const std::string flag = argv[*i];
+  auto parse_size = [&](size_t* out) {
+    if (*i + 1 >= argc) return -1;
+    *out = std::strtoul(argv[++*i], nullptr, 10);
+    return 1;
+  };
+  if (flag == "--max-sessions") {
+    size_t n = 0;
+    if (parse_size(&n) < 0 || n == 0) return -1;
+    args->max_sessions = n;
+    return 1;
+  }
+  if (flag == "--queue-depth") return parse_size(&args->queue_depth);
+  if (flag == "--cache-bytes") return parse_size(&args->cache_bytes);
+  if (flag == "--drain-timeout" || flag == "--drain-timeout-ms") {
+    size_t ms = 0;
+    if (parse_size(&ms) < 0) return -1;
+    args->drain_timeout_ms = static_cast<int>(ms);
+    return 1;
+  }
+  if (flag == "--prepared") {
+    args->use_prepared = true;
+    return 1;
+  }
+  if (flag == "--no-prepared") {
+    args->use_prepared = false;
+    return 1;
+  }
+  return 0;
+}
+
+inline const char* kProtocolFlagsHelp =
+    "  --protocol das|commutative|pm   delivery protocol (default "
+    "commutative)\n"
+    "  --sessions N             number of back-to-back joins (default 1)\n"
+    "  --concurrent             run the sessions concurrently\n"
+    "  --partitions N           DAS partitions (default 4)\n"
+    "  --group-bits N           commutative-group modulus bits (default 256)\n"
+    "  --threads N              intra-session worker threads (default 1)\n";
+
+inline const char* kServiceFlagsHelp =
+    "  --max-sessions N         concurrently running sessions (default 4)\n"
+    "  --queue-depth N          bounded wait queue in front of the pool;\n"
+    "                           overflow is shed with kUnavailable "
+    "(default 16)\n"
+    "  --cache-bytes N          prepared-dataset cache budget in bytes,\n"
+    "                           0 = unlimited (default 268435456)\n"
+    "  --drain-timeout MS       graceful-shutdown drain deadline, 0 = wait\n"
+    "                           forever (default 10000)\n"
+    "  --prepared               reuse prepared datasets across sessions\n"
+    "                           (--no-prepared recomputes every session)\n";
 
 inline const char* kDeployFlagsHelp =
     "  --listen PORT            loopback port to listen on (0 = ephemeral)\n"

@@ -26,18 +26,26 @@
 // the wire, and verifies the deployment agreed — including against a
 // reference run over the in-process bus (bit-identical result relation
 // and identical per-party byte statistics). See tools/secmedd.cc for a
-// full deployment example; flags are shared (tools/deploy_flags.h) plus:
+// full deployment example; flags are shared (tools/deploy_flags.h:
+// deployment + protocol + service sections) plus:
 //
-//   --protocol das|commutative|pm   delivery protocol  (default commutative)
-//   --sessions N                    number of back-to-back joins (default 1)
-//   --concurrent                    run the sessions concurrently
-//   --partitions N --group-bits N --threads N    protocol knobs
 //   --no-compare-bus                skip the in-process reference run
 //   --no-shutdown                   leave the daemons running at exit
+//
+// With --prepared the whole deployment reuses prepared datasets across
+// the session series (the flag rides in the RunSpec, so the daemons
+// follow the driver's setting).
+//
+// Bench-load mode (`secmedctl bench-load ...`): closed/open-loop load
+// harness against the in-process query service (src/service/) — same
+// workload/protocol/service flags, plus --clients/--queries/--open-rate
+// and --compare-cold for the warm-vs-cold speedup check. See
+// docs/SERVICE.md.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <set>
 #include <string>
@@ -56,6 +64,9 @@
 #include "mediation/mediator.h"
 #include "mediation/network.h"
 #include "relational/csv.h"
+#include "service/load_harness.h"
+#include "service/prepared_registry.h"
+#include "service/query_service.h"
 
 using namespace secmed;
 
@@ -134,55 +145,24 @@ bool ReportsAgree(const RunReport& a, const RunReport& b, std::string* why) {
 int DriveUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s drive --listen PORT --peer PARTY=HOST:PORT ...\n"
-               "          [--protocol das|commutative|pm] [--sessions N]\n"
-               "          [--concurrent] [--partitions N] [--group-bits N]\n"
-               "          [--threads N] [--no-compare-bus] [--no-shutdown]\n%s",
-               prog, kDeployFlagsHelp);
+               "          [--no-compare-bus] [--no-shutdown]\n%s%s%s",
+               prog, kProtocolFlagsHelp, kServiceFlagsHelp, kDeployFlagsHelp);
   return 2;
 }
 
 int DriveMain(int argc, char** argv) {
   DeployArgs args;
   args.host_parties.insert("client");
-  std::string protocol = "commutative";
-  size_t sessions = 1;
-  size_t partitions = 4;
-  size_t group_bits = 256;
-  size_t threads = 1;
-  bool concurrent = false;
   bool compare_bus = true;
   bool shutdown_peers = true;
   for (int i = 2; i < argc; ++i) {
     int rc = ParseDeployFlag(argc, argv, &i, &args);
+    if (rc == 0) rc = ParseProtocolFlag(argc, argv, &i, &args);
+    if (rc == 0) rc = ParseServiceFlag(argc, argv, &i, &args);
     if (rc == 1) continue;
     if (rc < 0) return DriveUsage(argv[0]);
     std::string flag = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (flag == "--protocol") {
-      const char* v = next();
-      if (v == nullptr) return DriveUsage(argv[0]);
-      protocol = v;
-    } else if (flag == "--sessions") {
-      const char* v = next();
-      if (v == nullptr) return DriveUsage(argv[0]);
-      sessions = std::strtoul(v, nullptr, 10);
-    } else if (flag == "--partitions") {
-      const char* v = next();
-      if (v == nullptr) return DriveUsage(argv[0]);
-      partitions = std::strtoul(v, nullptr, 10);
-    } else if (flag == "--group-bits") {
-      const char* v = next();
-      if (v == nullptr) return DriveUsage(argv[0]);
-      group_bits = std::strtoul(v, nullptr, 10);
-    } else if (flag == "--threads") {
-      const char* v = next();
-      if (v == nullptr) return DriveUsage(argv[0]);
-      threads = std::strtoul(v, nullptr, 10);
-    } else if (flag == "--concurrent") {
-      concurrent = true;
-    } else if (flag == "--no-compare-bus") {
+    if (flag == "--no-compare-bus") {
       compare_bus = false;
     } else if (flag == "--no-shutdown") {
       shutdown_peers = false;
@@ -191,7 +171,11 @@ int DriveMain(int argc, char** argv) {
       return DriveUsage(argv[0]);
     }
   }
-  if (args.peers.empty() || sessions == 0) return DriveUsage(argv[0]);
+  if (args.peers.empty() || args.sessions == 0) return DriveUsage(argv[0]);
+  const std::string protocol = args.protocol;
+  const size_t sessions = args.sessions;
+  const size_t threads = args.threads;
+  const bool concurrent = args.concurrent;
 
   Workload workload = GenerateWorkload(args.workload);
   auto testbed = MediationTestbed::Create(workload, args.testbed);
@@ -227,13 +211,25 @@ int DriveMain(int argc, char** argv) {
     spec.session = session;
     spec.protocol = protocol;
     spec.query = (*testbed)->JoinSql();
-    spec.das_partitions = partitions;
-    spec.group_bits = group_bits;
+    spec.das_partitions = args.partitions;
+    spec.group_bits = args.group_bits;
     spec.threads = threads;
     spec.rng_label = args.testbed.seed_label;
     spec.reply_to = reply_to;
+    spec.use_prepared = args.use_prepared;
     return spec;
   };
+
+  // The driver replicates every session too, so it keeps its own
+  // prepared cache. Its label matches the daemons' (both derive from
+  // --seed-label), so prepared bytes agree across the whole deployment
+  // and the byte-for-byte wire verification keeps passing warm or cold.
+  PreparedDatasetRegistry registry([&] {
+    PreparedDatasetRegistry::Options ropt;
+    ropt.max_bytes = args.cache_bytes;
+    ropt.label = args.testbed.seed_label;
+    return ropt;
+  }());
 
   // Announce every session to every daemon, then run the client side.
   for (uint32_t s = 1; s <= sessions; ++s) {
@@ -257,7 +253,8 @@ int DriveMain(int argc, char** argv) {
       workers.emplace_back([&, s] {
         own[s - 1] = RunReplicatedSession(testbed->get(), host->get(),
                                           deployment, make_spec(s),
-                                          &results[s - 1], scope.get());
+                                          &results[s - 1], scope.get(),
+                                          &registry);
       });
     }
     for (std::thread& t : workers) t.join();
@@ -265,7 +262,8 @@ int DriveMain(int argc, char** argv) {
     for (uint32_t s = 1; s <= sessions; ++s) {
       own[s - 1] = RunReplicatedSession(testbed->get(), host->get(),
                                         deployment, make_spec(s),
-                                        &results[s - 1], scope.get());
+                                        &results[s - 1], scope.get(),
+                                        &registry);
     }
   }
 
@@ -333,7 +331,8 @@ int DriveMain(int argc, char** argv) {
   if (compare_bus) {
     for (uint32_t s = 1; s <= sessions; ++s) {
       if (!own[s - 1].ok) continue;
-      RunReport local = RunLocalSession(testbed->get(), make_spec(s), nullptr);
+      RunReport local = RunLocalSession(testbed->get(), make_spec(s), nullptr,
+                                        nullptr, &registry);
       std::string why;
       if (!local.ok) {
         std::fprintf(stderr, "drive: session %u bus reference failed: %s\n", s,
@@ -408,6 +407,194 @@ int DriveMain(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+int BenchLoadUsage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s bench-load [--clients N] [--queries N]\n"
+               "          [--open-rate QPS] [--compare-cold]\n"
+               "          [--require-speedup X] [--json-out FILE]\n%s%s%s",
+               prog, kProtocolFlagsHelp, kServiceFlagsHelp, kDeployFlagsHelp);
+  return 2;
+}
+
+/// google-benchmark-shaped JSON of the load runs (context + benchmarks
+/// with real_time/time_unit), so tools/bench_diff.py diffs bench-load
+/// results across commits like any other recorded benchmark file.
+Status WriteBenchLoadJson(
+    const std::string& path, const std::string& protocol,
+    const std::vector<std::pair<std::string, LoadStats>>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot write " + path);
+  std::time_t now = std::time(nullptr);
+  char date[64];
+  std::strftime(date, sizeof(date), "%FT%T%z", std::localtime(&now));
+#if defined(__OPTIMIZE__)
+  const char* build = "optimized";
+#else
+  const char* build = "unoptimized";
+#endif
+  std::fprintf(f,
+               "{\n  \"context\": {\n    \"date\": \"%s\",\n"
+               "    \"executable\": \"secmedctl bench-load\",\n"
+               "    \"secmed_build\": \"%s\"\n  },\n  \"benchmarks\": [\n",
+               date, build);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const std::string& label = runs[i].first;
+    const LoadStats& s = runs[i].second;
+    std::fprintf(
+        f,
+        "    {\n      \"name\": \"BM_ServiceLoad/%s/%s\",\n"
+        "      \"run_type\": \"iteration\",\n      \"iterations\": %llu,\n"
+        "      \"real_time\": %.1f,\n      \"cpu_time\": %.1f,\n"
+        "      \"time_unit\": \"ns\",\n"
+        "      \"qps\": %.3f,\n      \"p50_ms\": %.3f,\n"
+        "      \"p95_ms\": %.3f,\n      \"p99_ms\": %.3f,\n"
+        "      \"shed_rate\": %.4f,\n      \"cache_hit_rate\": %.4f\n    }%s\n",
+        protocol.c_str(), label.c_str(),
+        static_cast<unsigned long long>(
+            s.completed == 0 ? 1 : s.completed),
+        s.mean_ms * 1e6, s.mean_ms * 1e6, s.throughput_qps, s.p50_ms, s.p95_ms,
+        s.p99_ms, s.shed_rate, s.cache_hit_rate,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return Status::OK();
+}
+
+int BenchLoadMain(int argc, char** argv) {
+  DeployArgs args;
+  args.use_prepared = true;  // bench the warm service unless --no-prepared
+  size_t clients = 0;  // 0 = --max-sessions
+  size_t queries = 64;
+  double open_rate = 0.0;
+  bool compare_cold = false;
+  double require_speedup = 0.0;
+  std::string json_out;
+  for (int i = 2; i < argc; ++i) {
+    int rc = ParseDeployFlag(argc, argv, &i, &args);
+    if (rc == 0) rc = ParseProtocolFlag(argc, argv, &i, &args);
+    if (rc == 0) rc = ParseServiceFlag(argc, argv, &i, &args);
+    if (rc == 1) continue;
+    if (rc < 0) return BenchLoadUsage(argv[0]);
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--clients") {
+      const char* v = next();
+      if (v == nullptr) return BenchLoadUsage(argv[0]);
+      clients = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--queries") {
+      const char* v = next();
+      if (v == nullptr) return BenchLoadUsage(argv[0]);
+      queries = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--open-rate") {
+      const char* v = next();
+      if (v == nullptr) return BenchLoadUsage(argv[0]);
+      open_rate = std::strtod(v, nullptr);
+    } else if (flag == "--compare-cold") {
+      compare_cold = true;
+    } else if (flag == "--require-speedup") {
+      const char* v = next();
+      if (v == nullptr) return BenchLoadUsage(argv[0]);
+      require_speedup = std::strtod(v, nullptr);
+    } else if (flag == "--json-out") {
+      const char* v = next();
+      if (v == nullptr) return BenchLoadUsage(argv[0]);
+      json_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return BenchLoadUsage(argv[0]);
+    }
+  }
+  if (queries == 0) return BenchLoadUsage(argv[0]);
+
+  Workload workload = GenerateWorkload(args.workload);
+  auto testbed = MediationTestbed::Create(workload, args.testbed);
+  if (!testbed.ok()) {
+    std::fprintf(stderr, "testbed: %s\n", testbed.status().ToString().c_str());
+    return 1;
+  }
+
+  // Each mode gets a fresh service (and so a fresh cache): "cold" never
+  // attaches the cache, "warm" attaches it and runs one uncounted query
+  // first, so the measured run is the steady state of a long-lived
+  // service.
+  auto run_mode = [&](bool prepared, bool warmup) {
+    QueryService::Options opt;
+    opt.max_concurrent = args.max_sessions;
+    opt.queue_depth = args.queue_depth;
+    opt.cache_bytes = args.cache_bytes;
+    opt.use_prepared = prepared;
+    opt.rng_label = args.testbed.seed_label;
+    opt.threads = args.threads;
+    QueryService service(testbed->get(), opt);
+    LoadConfig cfg;
+    cfg.clients = clients != 0 ? clients : args.max_sessions;
+    cfg.queries = queries;
+    cfg.open_rate_qps = open_rate;
+    cfg.query.protocol = args.protocol;
+    cfg.query.sql = (*testbed)->JoinSql();
+    cfg.query.das_partitions = args.partitions;
+    cfg.query.group_bits = args.group_bits;
+    if (warmup) {
+      auto warm = service.Run(cfg.query);
+      if (!warm.ok() || !warm->status.ok()) {
+        std::fprintf(stderr, "bench-load: warmup query failed\n");
+      }
+    }
+    return RunLoadHarness(&service, cfg);
+  };
+
+  std::vector<std::pair<std::string, LoadStats>> runs;
+  int failures = 0;
+  if (compare_cold) {
+    LoadStats cold = run_mode(false, false);
+    std::fprintf(stderr, "%s",
+                 RenderLoadStats("cold (no prepared cache)", cold).c_str());
+    LoadStats warm = run_mode(true, true);
+    std::fprintf(stderr, "%s",
+                 RenderLoadStats("warm (prepared cache)", warm).c_str());
+    runs.emplace_back("cold", cold);
+    runs.emplace_back("warm", warm);
+    if (cold.errors > 0 || warm.errors > 0) {
+      std::fprintf(stderr, "bench-load: FAIL: queries failed\n");
+      ++failures;
+    }
+    if (!cold.digests_agree || !warm.digests_agree ||
+        (cold.completed > 0 && warm.completed > 0 &&
+         cold.result_digest != warm.result_digest)) {
+      std::fprintf(
+          stderr,
+          "bench-load: FAIL: warm and cold results are not byte-identical\n");
+      ++failures;
+    }
+    const double speedup = cold.throughput_qps > 0.0
+                               ? warm.throughput_qps / cold.throughput_qps
+                               : 0.0;
+    std::fprintf(stderr, "bench-load: warm/cold speedup %.2fx\n", speedup);
+    if (require_speedup > 0.0 && speedup < require_speedup) {
+      std::fprintf(stderr, "bench-load: FAIL: speedup below %.2fx\n",
+                   require_speedup);
+      ++failures;
+    }
+  } else {
+    LoadStats s = run_mode(args.use_prepared, args.use_prepared);
+    const std::string label = args.use_prepared ? "warm" : "cold";
+    std::fprintf(stderr, "%s", RenderLoadStats(label, s).c_str());
+    runs.emplace_back(label, s);
+    if (s.errors > 0 || !s.digests_agree) ++failures;
+  }
+  if (!json_out.empty()) {
+    Status st = WriteBenchLoadJson(json_out, args.protocol, runs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench-load: %s\n", st.ToString().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 struct Args {
   std::string table1, file1;
   std::string table2, file2;
@@ -443,6 +630,9 @@ int Usage(const char* prog) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "drive") == 0) {
     return DriveMain(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "bench-load") == 0) {
+    return BenchLoadMain(argc, argv);
   }
   Args args;
   for (int i = 1; i < argc; ++i) {

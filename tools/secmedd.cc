@@ -5,8 +5,14 @@
 // replicated execution of every query a driver announces over the
 // control plane, and keeps its connections open so a series of queries
 // (paper: "Equi-Joins over Encrypted Data for Series of Queries")
-// reuses them. Concurrent sessions are multiplexed over the same
-// sockets by session id and each runs on its own thread.
+// reuses them. Sessions run on a bounded worker pool (--max-sessions)
+// with a bounded wait queue (--queue-depth); overflow is shed with a
+// kUnavailable report instead of queueing without bound. A daemon-wide
+// prepared-dataset cache (--prepared, --cache-bytes) reuses each
+// relation's delivery crypto across the session series.
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting new sessions, finish
+// the in-flight ones under --drain-timeout, flush reports, then exit.
 //
 // A full loopback deployment (see tests/net_smoke_test.sh):
 //
@@ -21,15 +27,17 @@
 // where <common flags> carry identical workload/testbed knobs and the
 // full --peer map of the other parties.
 
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/remote.h"
 #include "core/run_obs.h"
 #include "deploy_flags.h"
+#include "service/prepared_registry.h"
+#include "service/scheduler.h"
 
 using namespace secmed;
 
@@ -42,11 +50,57 @@ std::string SessionPath(const std::string& path, uint32_t session) {
   return path + ".s" + std::to_string(session);
 }
 
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleSignal(int signum) { g_signal = signum; }
+
+void InstallSignalHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+/// The daemon's final run report: admission and cache statistics of the
+/// whole service lifetime, written next to the per-session artifacts.
+Status WriteServiceReport(const std::string& path,
+                          const SessionScheduler::Stats& sched,
+                          const PreparedRegistryStats& cache, bool drained) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot write " + path);
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"sessions\": {\"submitted\": %llu, \"accepted\": %llu,\n"
+      "    \"shed\": %llu, \"completed\": %llu,\n"
+      "    \"max_queue_depth\": %llu, \"max_in_flight\": %llu},\n"
+      "  \"cache\": {\"hits\": %llu, \"misses\": %llu, \"inserts\": %llu,\n"
+      "    \"evictions\": %llu, \"invalidations\": %llu,\n"
+      "    \"entries\": %zu, \"resident_bytes\": %zu},\n"
+      "  \"drained\": %s\n"
+      "}\n",
+      static_cast<unsigned long long>(sched.submitted),
+      static_cast<unsigned long long>(sched.accepted),
+      static_cast<unsigned long long>(sched.shed),
+      static_cast<unsigned long long>(sched.completed),
+      static_cast<unsigned long long>(sched.max_queue_depth),
+      static_cast<unsigned long long>(sched.max_in_flight),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.inserts),
+      static_cast<unsigned long long>(cache.evictions),
+      static_cast<unsigned long long>(cache.invalidations), cache.entries,
+      cache.resident_bytes, drained ? "true" : "false");
+  std::fclose(f);
+  return Status::OK();
+}
+
 int Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --listen PORT --host-party P[,P] --peer "
-               "PARTY=HOST:PORT ...\n%s",
-               prog, kDeployFlagsHelp);
+               "PARTY=HOST:PORT ...\n%s%s",
+               prog, kDeployFlagsHelp, kServiceFlagsHelp);
   return 2;
 }
 
@@ -56,6 +110,7 @@ int main(int argc, char** argv) {
   DeployArgs args;
   for (int i = 1; i < argc; ++i) {
     int rc = ParseDeployFlag(argc, argv, &i, &args);
+    if (rc == 0) rc = ParseServiceFlag(argc, argv, &i, &args);
     if (rc == 1) continue;
     if (rc == 0) std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
     return Usage(argv[0]);
@@ -77,16 +132,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "listen: %s\n", host.status().ToString().c_str());
     return 1;
   }
-  {
-    std::string parties;
-    for (const std::string& p : args.host_parties) {
-      if (!parties.empty()) parties += ",";
-      parties += p;
-    }
-    std::fprintf(stderr, "secmedd: hosting %s on 127.0.0.1:%u\n",
-                 parties.c_str(), (*host)->port());
-    std::fflush(stderr);
+  std::string parties;
+  for (const std::string& p : args.host_parties) {
+    if (!parties.empty()) parties += ",";
+    parties += p;
   }
+  std::fprintf(stderr, "secmedd: hosting %s on 127.0.0.1:%u\n", parties.c_str(),
+               (*host)->port());
+  std::fflush(stderr);
+  InstallSignalHandlers();
 
   // The injector (if any) is shared by every session of this daemon and
   // fires on the daemon's outbound frames only — each process injects
@@ -101,8 +155,82 @@ int main(int argc, char** argv) {
   }
   Deployment deployment = args.MakeDeployment();
   deployment.faults = faults.get();
-  std::vector<std::thread> sessions;
+
+  // Daemon-wide prepared-dataset cache. The label seeds the prepare RNG,
+  // so it must agree across the deployment — like the workload knobs it
+  // derives from --seed-label. Whether a session actually uses the cache
+  // is decided per RunSpec (the driver's --prepared flag).
+  PreparedDatasetRegistry registry([&] {
+    PreparedDatasetRegistry::Options ropt;
+    ropt.max_bytes = args.cache_bytes;
+    ropt.label = args.testbed.seed_label;
+    return ropt;
+  }());
+
+  // Run-session body, shared between pool execution and the shed path's
+  // report shape. Runs on a scheduler worker; the scheduler-assigned ID
+  // is ignored in favour of the wire session id.
+  auto run_session = [&](const RunSpec& spec) {
+    // Per-session scope: each session thread traces into its own
+    // artifacts (suffix ".s<N>"), so traces of concurrent sessions
+    // stay separable.
+    std::unique_ptr<obs::Scope> scope;
+    if (args.WantsObs()) scope = std::make_unique<obs::Scope>();
+    RunReport report =
+        RunReplicatedSession(testbed->get(), host->get(), deployment, spec,
+                             nullptr, scope.get(), &registry);
+    if (scope != nullptr && report.ok) {
+      obs::RunInfo info;
+      info.protocol = spec.protocol;
+      info.query = spec.query;
+      info.sessions = 1;
+      info.threads = static_cast<uint32_t>(spec.threads);
+      info.messages = report.messages;
+      info.total_bytes = report.total_bytes;
+      Status obs_st = WriteObsArtifacts(
+          *scope, info, PartyTrafficRows(report),
+          SessionPath(args.trace_out, spec.session),
+          SessionPath(args.report_out, spec.session));
+      if (!obs_st.ok()) {
+        std::fprintf(stderr, "secmedd: %s\n", obs_st.ToString().c_str());
+      }
+    }
+    std::fprintf(stderr, "secmedd: session %u %s (%llu msgs, %llu bytes)%s%s\n",
+                 spec.session, report.ok ? "ok" : "FAILED",
+                 static_cast<unsigned long long>(report.messages),
+                 static_cast<unsigned long long>(report.total_bytes),
+                 report.ok ? "" : ": ", report.ok ? "" : report.error.c_str());
+    auto reply_ep = ParseEndpoint(spec.reply_to);
+    if (!reply_ep.ok()) {
+      std::fprintf(stderr, "secmedd: bad reply endpoint '%s'\n",
+                   spec.reply_to.c_str());
+      return;
+    }
+    Status st = SendCtl(host->get(), *reply_ep, report.party_set, kCtlReport,
+                        report.Encode(), args.timeout_ms);
+    if (!st.ok()) {
+      std::fprintf(stderr, "secmedd: report delivery: %s\n",
+                   st.ToString().c_str());
+    }
+    (*host)->DropSession(spec.session);
+  };
+
+  // Admission control in front of the pool: at most --max-sessions run
+  // at once, at most --queue-depth wait, the rest shed immediately with
+  // a kUnavailable report so drivers fail fast instead of timing out.
+  SessionScheduler scheduler([&] {
+    SessionScheduler::Options sopt;
+    sopt.max_concurrent = args.max_sessions;
+    sopt.queue_depth = args.queue_depth;
+    return sopt;
+  }());
+
   for (;;) {
+    if (g_signal != 0) {
+      std::fprintf(stderr, "secmedd: caught signal %d, draining\n",
+                   static_cast<int>(g_signal));
+      break;
+    }
     auto ctl = (*host)->WaitCtl(1000);
     if (!ctl.ok()) {
       if (ctl.status().code() == StatusCode::kDeadlineExceeded) continue;
@@ -134,54 +262,52 @@ int main(int argc, char** argv) {
                    spec.status().ToString().c_str());
       continue;
     }
-    sessions.emplace_back([&, spec = *spec] {
-      // Per-session scope: each session thread traces into its own
-      // artifacts (suffix ".s<N>"), so traces of concurrent sessions
-      // stay separable.
-      std::unique_ptr<obs::Scope> scope;
-      if (args.WantsObs()) scope = std::make_unique<obs::Scope>();
-      RunReport report = RunReplicatedSession(testbed->get(), host->get(),
-                                              deployment, spec, nullptr,
-                                              scope.get());
-      if (scope != nullptr && report.ok) {
-        obs::RunInfo info;
-        info.protocol = spec.protocol;
-        info.query = spec.query;
-        info.sessions = 1;
-        info.threads = static_cast<uint32_t>(spec.threads);
-        info.messages = report.messages;
-        info.total_bytes = report.total_bytes;
-        Status obs_st = WriteObsArtifacts(
-            *scope, info, PartyTrafficRows(report),
-            SessionPath(args.trace_out, spec.session),
-            SessionPath(args.report_out, spec.session));
-        if (!obs_st.ok()) {
-          std::fprintf(stderr, "secmedd: %s\n", obs_st.ToString().c_str());
-        }
+    auto admitted = scheduler.Submit(
+        [&run_session, spec = *spec](uint64_t) { run_session(spec); });
+    if (!admitted.ok()) {
+      // Shed: tell the driver right away — a kUnavailable report beats a
+      // driver-side timeout. The report carries this daemon's party set
+      // so the driver can attribute the refusal.
+      std::fprintf(stderr, "secmedd: session %u shed: %s\n", spec->session,
+                   admitted.status().ToString().c_str());
+      RunReport shed;
+      shed.session = spec->session;
+      shed.party_set = parties;
+      shed.ok = false;
+      shed.error = admitted.status().ToString();
+      shed.error_code = static_cast<uint32_t>(admitted.status().code());
+      auto reply_ep = ParseEndpoint(spec->reply_to);
+      if (reply_ep.ok()) {
+        (void)SendCtl(host->get(), *reply_ep, parties, kCtlReport,
+                      shed.Encode(), args.timeout_ms);
       }
-      std::fprintf(stderr,
-                   "secmedd: session %u %s (%llu msgs, %llu bytes)%s%s\n",
-                   spec.session, report.ok ? "ok" : "FAILED",
-                   static_cast<unsigned long long>(report.messages),
-                   static_cast<unsigned long long>(report.total_bytes),
-                   report.ok ? "" : ": ", report.ok ? "" : report.error.c_str());
-      auto reply_ep = ParseEndpoint(spec.reply_to);
-      if (!reply_ep.ok()) {
-        std::fprintf(stderr, "secmedd: bad reply endpoint '%s'\n",
-                     spec.reply_to.c_str());
-        return;
-      }
-      Status st = SendCtl(host->get(), *reply_ep, report.party_set, kCtlReport,
-                          report.Encode(), args.timeout_ms);
-      if (!st.ok()) {
-        std::fprintf(stderr, "secmedd: report delivery: %s\n",
-                     st.ToString().c_str());
-      }
-      (*host)->DropSession(spec.session);
-    });
+    }
   }
-  for (std::thread& t : sessions) {
-    if (t.joinable()) t.join();
+
+  // Graceful drain: admission is closed, in-flight and queued sessions
+  // get --drain-timeout to finish and flush their reports.
+  Status drain =
+      scheduler.Drain(std::chrono::milliseconds(args.drain_timeout_ms));
+  if (!drain.ok()) {
+    std::fprintf(stderr, "secmedd: drain: %s\n", drain.ToString().c_str());
+  }
+  SessionScheduler::Stats sched = scheduler.stats();
+  PreparedRegistryStats cache = registry.Stats();
+  std::fprintf(stderr,
+               "secmedd: served %llu session(s) (%llu shed), cache %llu hit / "
+               "%llu miss / %llu evicted, %zu entr%s resident (%zu bytes)\n",
+               static_cast<unsigned long long>(sched.completed),
+               static_cast<unsigned long long>(sched.shed),
+               static_cast<unsigned long long>(cache.hits),
+               static_cast<unsigned long long>(cache.misses),
+               static_cast<unsigned long long>(cache.evictions), cache.entries,
+               cache.entries == 1 ? "y" : "ies", cache.resident_bytes);
+  if (!args.report_out.empty()) {
+    Status st = WriteServiceReport(args.report_out + ".service", sched, cache,
+                                   drain.ok());
+    if (!st.ok()) {
+      std::fprintf(stderr, "secmedd: %s\n", st.ToString().c_str());
+    }
   }
   (*host)->Stop();
   return 0;
