@@ -20,7 +20,9 @@
 
 #include "core/commutative_protocol.h"
 #include "core/testbed.h"
+#include "obs/log.h"
 #include "obs/scope.h"
+#include "obs/window.h"
 #include "util/parallel.h"
 
 namespace secmed {
@@ -63,8 +65,13 @@ BENCHMARK(BM_ParallelFor_Obs)->Arg(0)->Arg(1);
 
 // ------------------------------------------------------------- macro --
 
+// Arg: 0 = uninstrumented, 1 = live scope, 2 = the full telemetry plane
+// of the service path (live scope + windowed metrics + one structured
+// event per session — what secmedd pays per query with telemetry on).
+// The CI gate compares 2 against 0: telemetry-on must stay within 3%.
 void BM_Commutative_Obs(benchmark::State& state) {
-  const bool instrumented = state.range(0) != 0;
+  const int mode = static_cast<int>(state.range(0));
+  const bool instrumented = mode != 0;
   WorkloadConfig cfg;
   cfg.r1_tuples = 100;
   cfg.r2_tuples = 100;
@@ -74,6 +81,17 @@ void BM_Commutative_Obs(benchmark::State& state) {
   cfg.seed = 1234;
   static const Workload* w = new Workload(GenerateWorkload(cfg));
   CommutativeJoinProtocol comm(CommutativeProtocolOptions{512, false});
+  // Daemon-lifetime objects: one windowed registry and one event log
+  // across all sessions, as in tools/secmedd.cc. The sink swallows the
+  // lines so the benchmark measures formatting, not stderr.
+  obs::WindowRegistry windows;
+  obs::EventLog elog([] {
+    obs::EventLog::Options lopt;
+    lopt.sink = [](const std::string& line) {
+      benchmark::DoNotOptimize(line.size());
+    };
+    return lopt;
+  }());
   for (auto _ : state) {
     state.PauseTiming();
     MediationTestbed::Options opt;
@@ -90,20 +108,31 @@ void BM_Commutative_Obs(benchmark::State& state) {
     tb.ctx()->obs = instrumented ? scope.get() : nullptr;
     tb.bus().SetObsScope(instrumented ? scope.get() : nullptr);
     state.ResumeTiming();
+    const uint64_t start_ns = mode == 2 ? windows.NowNanos() : 0;
     auto result = comm.Run(tb.JoinSql(), tb.ctx());
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;
     }
+    if (mode == 2) {
+      const uint64_t dur_ns = windows.NowNanos() - start_ns;
+      windows.Add("sessions.completed", 1);
+      windows.Observe("session.latency_ns", dur_ns);
+      windows.Observe("session.latency_ns.commutative", dur_ns);
+      elog.Log(obs::LogLevel::kInfo, "session.done",
+               {{"session", "1"}, {"ok", "1"}, {"protocol", "commutative"}});
+    }
     benchmark::DoNotOptimize(result->size());
   }
   state.counters["instrumented"] = instrumented ? 1 : 0;
+  state.counters["mode"] = mode;
 }
 BENCHMARK(BM_Commutative_Obs)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3)
     ->Arg(0)
-    ->Arg(1);
+    ->Arg(1)
+    ->Arg(2);
 
 }  // namespace
 }  // namespace secmed

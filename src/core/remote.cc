@@ -151,6 +151,14 @@ RunReport RunOverTransport(MediationTestbed* testbed, Transport* transport,
   ctx.threads = spec.threads;
   ctx.obs = obs;
   ctx.prepared = spec.use_prepared ? prepared : nullptr;
+  if (obs != nullptr && !obs->trace().valid()) {
+    // Deployment-wide distributed trace id, derived from the shared
+    // seed label: every process computes the same id with no
+    // negotiation, so the spans of all parties merge under one trace
+    // (secmedctl trace-merge). Set-if-unset keeps a daemon-wide
+    // telemetry scope on its first id across sessions.
+    obs->set_trace(obs::TraceContext::Derive(spec.rng_label));
+  }
   transport->SetObsScope(obs);
 
   auto protocol = BuildProtocol(spec);

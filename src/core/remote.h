@@ -17,6 +17,12 @@ namespace secmed {
 inline constexpr char kCtlRun[] = "ctl_run";
 inline constexpr char kCtlReport[] = "ctl_report";
 inline constexpr char kCtlShutdown[] = "ctl_shutdown";
+/// Telemetry scrape requests. The payload is the "host:port" reply
+/// endpoint; the daemon answers with a frame of the same type carrying
+/// the stats snapshot JSON (obs/window.h schema secmed.stats.v1) or the
+/// Chrome trace JSON of its telemetry scope, respectively.
+inline constexpr char kCtlStats[] = "ctl_stats";
+inline constexpr char kCtlTrace[] = "ctl_trace";
 
 /// Which parties this process hosts and where the others listen.
 /// Parties in neither set are simulation-only (never the case in the

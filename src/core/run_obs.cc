@@ -48,10 +48,15 @@ std::vector<obs::PartyTraffic> PartyTrafficRows(const RunReport& report) {
 Status WriteObsArtifacts(const obs::Scope& scope, const obs::RunInfo& info,
                          const std::vector<obs::PartyTraffic>& traffic,
                          const std::string& trace_path,
-                         const std::string& report_path) {
+                         const std::string& report_path,
+                         const std::string& process_name) {
   std::string error;
   if (!trace_path.empty()) {
-    if (!obs::WriteTextFile(trace_path, obs::RenderChromeTrace(scope.tracer()),
+    obs::ChromeTraceOptions copt;
+    copt.process_name = process_name;
+    copt.trace_id_hex = scope.trace().TraceIdHex();
+    if (!obs::WriteTextFile(trace_path,
+                            obs::RenderChromeTrace(scope.tracer(), copt),
                             &error)) {
       return Status::Internal("writing trace file: " + error);
     }

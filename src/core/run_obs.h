@@ -23,11 +23,14 @@ std::vector<obs::PartyTraffic> PartyTrafficRows(const RunReport& report);
 /// Writes the run artifacts a `--trace-out` / `--report-out` pair asks
 /// for: the Chrome trace JSON of `scope`'s spans and/or the structured
 /// run report (JSON). Empty paths are skipped. Returns a Status carrying
-/// the first file error.
+/// the first file error. `process_name` (e.g. the hosted party set)
+/// labels the trace's process lane and, with the scope's trace id,
+/// lets `secmedctl trace-merge` splice per-party traces into one view.
 Status WriteObsArtifacts(const obs::Scope& scope, const obs::RunInfo& info,
                          const std::vector<obs::PartyTraffic>& traffic,
                          const std::string& trace_path,
-                         const std::string& report_path);
+                         const std::string& report_path,
+                         const std::string& process_name = "");
 
 }  // namespace secmed
 

@@ -14,6 +14,13 @@ namespace secmed {
 /// flags (1), session id (4), body length (4).
 inline constexpr size_t kFrameHeaderSize = 12;
 
+/// Optional trace extension between the header and the body (flag bit
+/// 0x01 of the v2 codec): 16-byte trace id + 8-byte parent span id.
+/// Telemetry framing, deliberately excluded from Message::WireSize() —
+/// the protocol cost accounting measures the mediation protocols, not
+/// whether tracing happened to be on.
+inline constexpr size_t kFrameTraceExtSize = 24;
+
 /// Every variable-length frame body field (from, to, type, payload)
 /// carries a u32 length prefix (util/serialize format).
 inline constexpr size_t kFrameFieldPrefix = 4;

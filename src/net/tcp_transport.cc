@@ -136,7 +136,15 @@ void PeerHost::Deliver(WireFrame frame) {
   obs::Scope* scope = obs();
   if (scope != nullptr) {
     scope->metrics().Add("net.frames_received", 1);
-    scope->metrics().Add("net.wire_bytes_received", frame.message.WireSize());
+    // wire_size is the frame's actual footprint including any trace
+    // extension; frames synthesized locally (wire_size 0) fall back to
+    // the untraced message size.
+    scope->metrics().Add("net.wire_bytes_received",
+                         frame.wire_size > 0 ? frame.wire_size
+                                             : frame.message.WireSize());
+    if (frame.trace.valid()) {
+      scope->metrics().Add("net.frames_traced_received", 1);
+    }
   }
   if (frame.message.to == kAbortParty) {
     if (scope != nullptr) scope->metrics().Add("net.aborts_received", 1);
@@ -165,6 +173,8 @@ void PeerHost::Deliver(WireFrame frame) {
 }
 
 void PeerHost::FailStream(Status error) {
+  obs::LogEvent(event_log(), obs::LogLevel::kError, "net.stream_error",
+                {{"error", error.ToString()}});
   std::lock_guard<std::mutex> lock(mutex_);
   if (stream_error_.ok()) stream_error_ = std::move(error);
   cv_.notify_all();
@@ -188,6 +198,10 @@ void PeerHost::MarkPeersDown(
         "party '" + party + "' disconnected" +
             (in_sessions.empty() ? "" : " (session " + in_sessions + ")") +
             ": " + error.message());
+    obs::LogEvent(event_log(), obs::LogLevel::kWarn, "net.peer_down",
+                  {{"party", party},
+                   {"sessions", in_sessions},
+                   {"error", error.message()}});
     peer_down_.emplace(party, std::move(down));
   }
   cv_.notify_all();
@@ -199,6 +213,9 @@ void PeerHost::AbortSession(uint32_t session, Status reason) {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   if (session_aborts_.count(session) > 0) return;  // first reason wins
+  obs::LogEvent(event_log(), obs::LogLevel::kWarn, "net.session_abort",
+                {{"session", std::to_string(session)},
+                 {"reason", reason.message()}});
   session_aborts_.emplace(session, std::move(reason));
   // Reclaim the session's buffered frames right away — nobody may ever
   // drain them now.
@@ -305,7 +322,12 @@ Status PeerHost::SendFrameImpl(const std::string& pair, const Endpoint& ep,
       if (budget.Expired()) break;
       if (obs::Scope* scope = obs()) {
         scope->metrics().Add("net.send_retries", 1);
+        scope->metrics().Add("net.send_retries." + pair, 1);
       }
+      obs::LogEvent(event_log(), obs::LogLevel::kWarn, "net.send_retry",
+                    {{"pair", pair},
+                     {"attempt", std::to_string(attempt)},
+                     {"error", last.message()}});
       SleepForMs(std::min(policy.BackoffMs(attempt - 1), BoundedMs(budget, 0)));
     }
     if (!pc->conn.valid()) {
@@ -316,7 +338,10 @@ Status PeerHost::SendFrameImpl(const std::string& pair, const Endpoint& ep,
       if (attempt > 1) {
         if (obs::Scope* scope = obs()) {
           scope->metrics().Add("net.reconnects", 1);
+          scope->metrics().Add("net.reconnects." + pair, 1);
         }
+        obs::LogEvent(event_log(), obs::LogLevel::kInfo, "net.reconnect",
+                      {{"pair", pair}, {"endpoint", ep.ToString()}});
       }
     }
     Status st = pc->conn.SendAll(frame, BoundedMs(budget, timeout_ms));
@@ -428,7 +453,15 @@ Status TcpTransport::Send(Message msg) {
   if (tamper_hook_) tamper_hook_(&msg);
   const bool wire = IsHostedHere(msg.from) && IsRemote(msg.to);
   if (wire) {
-    Bytes frame = EncodeFrame(options_.session, msg);
+    // Stamp the scope's distributed trace context onto the frame (an
+    // unset context encodes an untraced v2 frame of unchanged size).
+    // Carried at the frame layer, outside the message body, so the
+    // replicated-execution byte verification and the shadow statistics
+    // are identical whether or not telemetry is on.
+    Bytes frame = EncodeFrame(
+        options_.session, msg,
+        obs_scope_ != nullptr ? obs_scope_->CurrentTrace()
+                              : obs::TraceContext{});
     if (frame_tamper_hook_) frame_tamper_hook_(&frame);
     FaultInjector::Action fault;
     if (options_.faults != nullptr) {
@@ -437,6 +470,17 @@ Status TcpTransport::Send(Message msg) {
     }
     const std::string pair = msg.from + ">" + msg.to;
     const Endpoint& ep = options_.directory.at(msg.to);
+    if (fault.drop || fault.duplicate || fault.disconnect ||
+        fault.delay_ms > 0) {
+      obs::LogEvent(host_->event_log(), obs::LogLevel::kWarn,
+                    "net.fault_injected",
+                    {{"pair", pair},
+                     {"session", std::to_string(options_.session)},
+                     {"drop", fault.drop ? "1" : "0"},
+                     {"duplicate", fault.duplicate ? "1" : "0"},
+                     {"disconnect", fault.disconnect ? "1" : "0"},
+                     {"delay_ms", std::to_string(fault.delay_ms)}});
+    }
     // Order matters: the forced disconnect closes the pooled connection
     // *before* the write, so the frame provably never reached the peer
     // and the send retry layer may reconnect and resend it safely.
@@ -546,6 +590,11 @@ void TcpTransport::Abort(const Status& reason) {
   // A kAborted reason means another party started this abort and told
   // us; re-broadcasting would echo aborts around the deployment.
   if (reason.code() == StatusCode::kAborted) return;
+  obs::LogEvent(host_->event_log(), obs::LogLevel::kError,
+                "net.abort_broadcast",
+                {{"session", std::to_string(options_.session)},
+                 {"from", LocalLabel()},
+                 {"reason", reason.ToString()}});
   Message notice{LocalLabel(), kAbortParty, kMsgAbort,
                  ToBytes(reason.ToString())};
   const Bytes frame = EncodeFrame(options_.session, notice);

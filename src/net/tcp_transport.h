@@ -17,6 +17,7 @@
 #include "net/retry.h"
 #include "net/tcp.h"
 #include "net/wire.h"
+#include "obs/log.h"
 
 namespace secmed {
 
@@ -145,6 +146,17 @@ class PeerHost {
     obs_.store(scope, std::memory_order_release);
   }
 
+  /// Attaches a structured event logger: retries, reconnects, peer
+  /// death, stream corruption and aborts are then logged as JSON events
+  /// (all failure/lifecycle paths, never per-frame). Null detaches. The
+  /// logger must outlive the host or the next call.
+  void SetEventLog(obs::EventLog* log) {
+    event_log_.store(log, std::memory_order_release);
+  }
+  obs::EventLog* event_log() const {
+    return event_log_.load(std::memory_order_acquire);
+  }
+
  private:
   obs::Scope* obs() const { return obs_.load(std::memory_order_acquire); }
 
@@ -176,6 +188,7 @@ class PeerHost {
 
   TcpListener listener_;
   std::atomic<obs::Scope*> obs_{nullptr};
+  std::atomic<obs::EventLog*> event_log_{nullptr};
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
 

@@ -17,29 +17,55 @@ uint32_t LoadU32(const uint8_t* p) {
          static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
 }
 
-/// Validates the 12-byte header at `p` and returns the body length.
-Result<uint32_t> CheckHeader(const uint8_t* p, uint32_t* session) {
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+struct Header {
+  uint32_t session = 0;
+  uint32_t body_len = 0;
+  /// Bytes between the fixed header and the body (the trace extension
+  /// when the flag is set).
+  size_t ext_len = 0;
+};
+
+/// Validates the 12-byte header at `p` and returns its parsed fields.
+Result<Header> CheckHeader(const uint8_t* p) {
   if (LoadU16(p) != kWireMagic) {
     return Status::ProtocolError("bad frame magic");
   }
-  if (p[2] != kWireVersion) {
+  const uint8_t version = p[2];
+  const uint8_t flags = p[3];
+  if (version != kWireVersion && version != kWireVersionV1) {
     return Status::ProtocolError("unsupported wire version " +
-                                 std::to_string(p[2]) + " (speak version " +
+                                 std::to_string(version) + " (speak version " +
                                  std::to_string(kWireVersion) + ")");
   }
-  if (p[3] != 0) {
+  // v1 predates flag bits entirely; v2 defines only the trace bit.
+  const uint8_t known = version == kWireVersionV1 ? 0 : kFrameFlagTrace;
+  if ((flags & ~known) != 0) {
     return Status::ProtocolError("reserved frame flags set");
   }
-  *session = LoadU32(p + 4);
-  uint32_t body_len = LoadU32(p + 8);
+  Header h;
+  h.session = LoadU32(p + 4);
+  h.body_len = LoadU32(p + 8);
+  h.ext_len = (flags & kFrameFlagTrace) != 0 ? kFrameTraceExtSize : 0;
   // Reject before allocating anything: an attacker-controlled length
   // prefix must not size a buffer.
-  if (body_len > kMaxFrameBody) {
-    return Status::ProtocolError("frame body of " + std::to_string(body_len) +
-                                 " bytes exceeds the " +
-                                 std::to_string(kMaxFrameBody) + " byte bound");
+  if (h.body_len > kMaxFrameBody) {
+    return Status::ProtocolError(
+        "frame body of " + std::to_string(h.body_len) + " bytes exceeds the " +
+        std::to_string(kMaxFrameBody) + " byte bound");
   }
-  return body_len;
+  return h;
+}
+
+obs::TraceContext DecodeTraceExt(const uint8_t* p) {
+  obs::TraceContext trace;
+  std::memcpy(trace.trace_id.data(), p, obs::TraceContext::kTraceIdSize);
+  trace.parent_span = LoadU64(p + obs::TraceContext::kTraceIdSize);
+  return trace;
 }
 
 Result<Message> DecodeBody(const Bytes& body) {
@@ -58,32 +84,51 @@ Result<Message> DecodeBody(const Bytes& body) {
 /// Body decode failures are truncations/overruns of the inner length
 /// prefixes; report them uniformly as protocol errors so transports can
 /// treat every frame-level corruption alike.
-Result<WireFrame> MakeFrame(uint32_t session, const Bytes& body) {
+Result<WireFrame> MakeFrame(const Header& header, const uint8_t* frame_start,
+                            const Bytes& body) {
   Result<Message> msg = DecodeBody(body);
   if (!msg.ok()) {
     return Status::ProtocolError("corrupt frame body: " +
                                  msg.status().message());
   }
-  return WireFrame{session, std::move(msg).value()};
+  WireFrame frame;
+  frame.session = header.session;
+  frame.message = std::move(msg).value();
+  if (header.ext_len == kFrameTraceExtSize) {
+    frame.trace = DecodeTraceExt(frame_start + kFrameHeaderSize);
+  }
+  frame.wire_size = kFrameHeaderSize + header.ext_len + header.body_len;
+  return frame;
 }
 
 }  // namespace
 
-Bytes EncodeFrame(uint32_t session, const Message& msg) {
+Bytes EncodeFrame(uint32_t session, const Message& msg,
+                  const obs::TraceContext& trace) {
   BinaryWriter body;
   body.WriteString(msg.from);
   body.WriteString(msg.to);
   body.WriteString(msg.type);
   body.WriteBytes(msg.payload);
 
+  const bool traced = trace.valid();
   BinaryWriter w;
   w.WriteU16(kWireMagic);
   w.WriteU8(kWireVersion);
-  w.WriteU8(0);  // flags
+  w.WriteU8(traced ? kFrameFlagTrace : 0);
   w.WriteU32(session);
   w.WriteU32(static_cast<uint32_t>(body.size()));
+  if (traced) {
+    for (uint8_t b : trace.trace_id) w.WriteU8(b);
+    w.WriteU32(static_cast<uint32_t>(trace.parent_span));
+    w.WriteU32(static_cast<uint32_t>(trace.parent_span >> 32));
+  }
   w.WriteRaw(body.buffer());
   return w.TakeBuffer();
+}
+
+Bytes EncodeFrame(uint32_t session, const Message& msg) {
+  return EncodeFrame(session, msg, obs::TraceContext{});
 }
 
 Result<WireFrame> DecodeFrame(const Bytes& buffer) {
@@ -91,17 +136,17 @@ Result<WireFrame> DecodeFrame(const Bytes& buffer) {
     return Status::ProtocolError("truncated frame header (" +
                                  std::to_string(buffer.size()) + " bytes)");
   }
-  uint32_t session = 0;
-  SECMED_ASSIGN_OR_RETURN(uint32_t body_len,
-                          CheckHeader(buffer.data(), &session));
-  if (buffer.size() != kFrameHeaderSize + body_len) {
+  SECMED_ASSIGN_OR_RETURN(Header header, CheckHeader(buffer.data()));
+  const size_t framed = kFrameHeaderSize + header.ext_len + header.body_len;
+  if (buffer.size() != framed) {
     return Status::ProtocolError(
-        "frame length mismatch: header says " + std::to_string(body_len) +
-        " body bytes, buffer has " +
+        "frame length mismatch: header says " +
+        std::to_string(header.ext_len + header.body_len) +
+        " bytes after the header, buffer has " +
         std::to_string(buffer.size() - kFrameHeaderSize));
   }
-  Bytes body(buffer.begin() + kFrameHeaderSize, buffer.end());
-  return MakeFrame(session, body);
+  Bytes body(buffer.begin() + kFrameHeaderSize + header.ext_len, buffer.end());
+  return MakeFrame(header, buffer.data(), body);
 }
 
 void FrameDecoder::Feed(const uint8_t* data, size_t n) {
@@ -118,20 +163,21 @@ Result<std::optional<WireFrame>> FrameDecoder::Next() {
   const size_t avail = buffer_.size() - consumed_;
   if (avail < kFrameHeaderSize) return std::optional<WireFrame>();
   const uint8_t* p = buffer_.data() + consumed_;
-  uint32_t session = 0;
-  Result<uint32_t> body_len = CheckHeader(p, &session);
-  if (!body_len.ok()) {
-    error_ = body_len.status();
+  Result<Header> header = CheckHeader(p);
+  if (!header.ok()) {
+    error_ = header.status();
     return error_;
   }
-  if (avail < kFrameHeaderSize + *body_len) return std::optional<WireFrame>();
-  Bytes body(p + kFrameHeaderSize, p + kFrameHeaderSize + *body_len);
-  Result<WireFrame> frame = MakeFrame(session, body);
+  const size_t framed =
+      kFrameHeaderSize + header->ext_len + header->body_len;
+  if (avail < framed) return std::optional<WireFrame>();
+  Bytes body(p + kFrameHeaderSize + header->ext_len, p + framed);
+  Result<WireFrame> frame = MakeFrame(*header, p, body);
   if (!frame.ok()) {
     error_ = frame.status();
     return error_;
   }
-  consumed_ += kFrameHeaderSize + *body_len;
+  consumed_ += framed;
   return std::optional<WireFrame>(std::move(frame).value());
 }
 

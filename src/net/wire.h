@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "net/message.h"
+#include "obs/trace_context.h"
 #include "util/result.h"
 
 namespace secmed {
@@ -16,34 +17,59 @@ namespace secmed {
 ///
 ///   offset  size  field
 ///        0     2  magic 0x4D53 ("SM")
-///        2     1  version (kWireVersion)
-///        3     1  flags (reserved, must be 0)
+///        2     1  version (kWireVersion; version 1 is still decoded)
+///        3     1  flags (bit 0x01 = trace extension; others reserved)
 ///        4     4  session id (multiplexes concurrent queries)
-///        8     4  body length in bytes
-///       12   ...  body: from, to, type (u32-length-prefixed strings),
+///        8     4  body length in bytes (excludes the trace extension)
+///       12    24  trace extension, only when flag 0x01 is set:
+///                 16-byte trace id + 8-byte parent span id (LE)
+///      ...   ...  body: from, to, type (u32-length-prefixed strings),
 ///                 payload (u32-length-prefixed bytes)
 ///
-/// The framed size of a message is therefore `Message::WireSize()` —
+/// The framed size of an *untraced* message is `Message::WireSize()` —
 /// the header plus four length-prefixed fields — which keeps the byte
-/// accounting of `NetworkBus` and `TcpTransport` identical to what
-/// actually crosses a socket.
+/// accounting of `NetworkBus` and `TcpTransport` identical across
+/// processes regardless of telemetry settings: the protocol cost model
+/// deliberately excludes the optional trace extension (its actual bytes
+/// are still visible as WireFrame::wire_size and the net.wire_bytes_*
+/// counters).
+///
+/// Version history: v1 framed identically but had no flag bits (flags
+/// had to be 0). The decoder accepts v1 frames so a telemetry-enabled
+/// build interoperates with older peers; it emits v2.
 inline constexpr uint16_t kWireMagic = 0x4D53;  // "SM" little-endian
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireVersionV1 = 1;
+
+/// Flag bit 0x01: the 24-byte trace extension follows the header.
+inline constexpr uint8_t kFrameFlagTrace = 0x01;
 
 /// Upper bound on a frame body. An incoming length prefix above this is
 /// rejected with kProtocolError *before* any allocation, so a corrupt or
 /// hostile peer cannot make a party allocate unbounded memory.
 inline constexpr uint32_t kMaxFrameBody = 64u << 20;  // 64 MiB
 
-/// One decoded frame: the session it belongs to plus the message.
+/// One decoded frame: the session it belongs to, the message, and the
+/// telemetry envelope (trace invalid when the frame carried none).
 struct WireFrame {
   uint32_t session = 0;
   Message message;
+  /// Distributed trace context from the trace extension; !valid() on
+  /// untraced (or v1) frames.
+  obs::TraceContext trace;
+  /// Actual framed size in bytes, including any trace extension. 0 when
+  /// the frame was constructed locally rather than decoded.
+  size_t wire_size = 0;
 };
 
-/// Encodes `msg` into a single frame for `session`.
+/// Encodes `msg` into a single untraced frame for `session`.
 /// The result has exactly `msg.WireSize()` bytes.
 Bytes EncodeFrame(uint32_t session, const Message& msg);
+
+/// Encodes `msg` with a trace extension when `trace.valid()` (result is
+/// `msg.WireSize() + kFrameTraceExtSize` bytes), untraced otherwise.
+Bytes EncodeFrame(uint32_t session, const Message& msg,
+                  const obs::TraceContext& trace);
 
 /// Decodes a buffer holding exactly one whole frame. kProtocolError on
 /// bad magic/version/flags, an oversized body, trailing garbage, or a

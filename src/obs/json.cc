@@ -276,7 +276,11 @@ std::string JsonEscape(const std::string& s) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        // Control characters (including DEL) become \u escapes; bytes
+        // >= 0x80 pass through untouched — they are UTF-8 continuation
+        // or lead bytes, and escaping them would break byte-for-byte
+        // round-tripping through ParseJson (which decodes \u to UTF-8).
+        if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
           char buf[8];
           std::snprintf(buf, sizeof(buf), "\\u%04x",
                         static_cast<unsigned>(static_cast<unsigned char>(c)));
@@ -286,6 +290,74 @@ std::string JsonEscape(const std::string& s) {
         }
     }
   }
+  return out;
+}
+
+namespace {
+
+void RenderJsonTo(const JsonValue& v, std::string* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.bool_value() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber: {
+      const double d = v.number();
+      // Integral magnitudes (the overwhelmingly common case in traces
+      // and reports) render without an exponent or trailing ".0".
+      if (d == static_cast<double>(static_cast<int64_t>(d)) &&
+          d >= -9.007199254740992e15 && d <= 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        *out += buf;
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        *out += buf;
+      }
+      break;
+    }
+    case JsonValue::Kind::kString:
+      *out += '"';
+      *out += JsonEscape(v.string());
+      *out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.array()) {
+        if (!first) *out += ',';
+        first = false;
+        RenderJsonTo(item, out);
+      }
+      *out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.object()) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += JsonEscape(key);
+        *out += "\":";
+        RenderJsonTo(value, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderJson(const JsonValue& v) {
+  std::string out;
+  RenderJsonTo(v, &out);
   return out;
 }
 

@@ -55,8 +55,15 @@ class JsonValue {
 /// trailing garbage.
 bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
 
-/// Escapes `s` for inclusion inside JSON double quotes.
+/// Escapes `s` for inclusion inside JSON double quotes. Control bytes
+/// (including DEL) become \u escapes; bytes >= 0x80 pass through as-is,
+/// so UTF-8 strings round-trip byte-for-byte through ParseJson.
 std::string JsonEscape(const std::string& s);
+
+/// Serializes a document (object keys sorted, arrays in order, no
+/// insignificant whitespace). ParseJson ∘ RenderJson is the identity on
+/// parsed documents up to key order and number formatting.
+std::string RenderJson(const JsonValue& v);
 
 }  // namespace obs
 }  // namespace secmed

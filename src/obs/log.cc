@@ -1,0 +1,135 @@
+#include "obs/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace secmed {
+namespace obs {
+
+namespace {
+
+constexpr uint64_t kRateWindowNs = 1'000'000'000;
+
+void StderrSink(const std::string& line) {
+  fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+EventLog::EventLog() : EventLog(Options()) {}
+
+EventLog::EventLog(Options opt)
+    : opt_(std::move(opt)),
+      clock_(opt_.clock != nullptr ? opt_.clock : MonotonicClock::Default()) {
+  if (!opt_.sink) opt_.sink = StderrSink;
+}
+
+void EventLog::SetTrace(const TraceContext& ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_ = ctx;
+}
+
+void EventLog::Log(LogLevel level, const std::string& event,
+                   const std::vector<Field>& fields) {
+  if (!enabled(level)) return;
+  const uint64_t now = clock_->NowNanos();
+
+  std::string line;
+  std::string suppressed_line;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RateState& rate = rates_[event];
+    if (now - rate.window_start_ns >= kRateWindowNs) {
+      // Window rollover: report what the limiter swallowed, once, so a
+      // quiet log still accounts for every event.
+      if (rate.suppressed_in_window > 0) {
+        char buf[160];
+        snprintf(buf, sizeof(buf),
+                 "{\"ts_ns\":%" PRIu64
+                 ",\"level\":\"warn\",\"event\":\"log.suppressed\","
+                 "\"of\":\"%s\",\"count\":%" PRIu64 "}",
+                 now, JsonEscape(event).c_str(), rate.suppressed_in_window);
+        suppressed_line = buf;
+        ++emitted_;
+      }
+      rate.window_start_ns = now;
+      rate.in_window = 0;
+      rate.suppressed_in_window = 0;
+    }
+    if (opt_.max_per_sec > 0 && rate.in_window >= opt_.max_per_sec) {
+      ++rate.suppressed_in_window;
+      ++suppressed_;
+      if (!suppressed_line.empty()) opt_.sink(suppressed_line);
+      return;
+    }
+    ++rate.in_window;
+    ++emitted_;
+
+    char head[96];
+    snprintf(head, sizeof(head), "{\"ts_ns\":%" PRIu64 ",\"level\":\"%s\"",
+             now, LogLevelName(level));
+    line = head;
+    line += ",\"event\":\"";
+    line += JsonEscape(event);
+    line += '"';
+    if (trace_.valid()) {
+      line += ",\"trace\":\"";
+      line += trace_.TraceIdHex();
+      line += '"';
+    }
+    for (const Field& f : fields) {
+      line += ",\"";
+      line += JsonEscape(f.first);
+      line += "\":\"";
+      line += JsonEscape(f.second);
+      line += '"';
+    }
+    line += '}';
+  }
+  if (!suppressed_line.empty()) opt_.sink(suppressed_line);
+  opt_.sink(line);
+}
+
+uint64_t EventLog::emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+uint64_t EventLog::suppressed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suppressed_;
+}
+
+}  // namespace obs
+}  // namespace secmed

@@ -1,0 +1,108 @@
+#ifndef SECMED_OBS_LOG_H_
+#define SECMED_OBS_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/trace_context.h"
+
+namespace secmed {
+namespace obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error" (case-sensitive); false on
+/// anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// Structured JSON-lines event logger for the service path. Each event
+/// is one line: {"ts_ns":...,"level":"...","event":"net.retry",
+/// "trace":"<hex>", ...fields}. Replaces the ad-hoc stderr prints of
+/// the transport and daemon so operators can grep/join events by name
+/// and correlate them with distributed traces.
+///
+/// Events are rate-limited per event name (not globally): a chatty
+/// failure loop ("net.retry" at line rate) cannot drown the log, and a
+/// one-line summary of what was suppressed is emitted when the
+/// per-second window rolls over. All logging sits on failure/lifecycle
+/// paths, never per-frame hot paths — the null-logger path of LogEvent
+/// below is a single branch.
+class EventLog {
+ public:
+  using Field = std::pair<std::string, std::string>;
+  using Sink = std::function<void(const std::string& line)>;
+
+  struct Options {
+    LogLevel min_level = LogLevel::kInfo;
+    /// Max lines per event name per second; 0 disables the limiter.
+    uint64_t max_per_sec = 200;
+    /// nullptr uses the process-wide monotonic clock.
+    const Clock* clock = nullptr;
+    /// nullptr writes lines to stderr.
+    Sink sink;
+  };
+
+  EventLog();
+  explicit EventLog(Options opt);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Trace context stamped onto subsequent lines (the "trace" field is
+  /// omitted while the context is invalid). Thread-safe.
+  void SetTrace(const TraceContext& ctx);
+
+  /// Emits one event. `fields` values are rendered as JSON strings with
+  /// full escaping, so arbitrary bytes are safe. Thread-safe.
+  void Log(LogLevel level, const std::string& event,
+           const std::vector<Field>& fields = {});
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(opt_.min_level);
+  }
+
+  /// Lines written / dropped by the rate limiter, for tests and the
+  /// daemon's own stats.
+  uint64_t emitted() const;
+  uint64_t suppressed() const;
+
+ private:
+  struct RateState {
+    uint64_t window_start_ns = 0;
+    uint64_t in_window = 0;
+    uint64_t suppressed_in_window = 0;
+  };
+
+  Options opt_;
+  const Clock* clock_;
+  mutable std::mutex mutex_;
+  TraceContext trace_;
+  std::map<std::string, RateState> rates_;
+  uint64_t emitted_ = 0;
+  uint64_t suppressed_ = 0;
+};
+
+/// Null-tolerant logging helper: a single branch when `log` is null,
+/// mirroring the obs::Scope span/counter helpers.
+inline void LogEvent(EventLog* log, LogLevel level, const std::string& event,
+                     const std::vector<EventLog::Field>& fields = {}) {
+  if (log != nullptr) log->Log(level, event, fields);
+}
+
+}  // namespace obs
+}  // namespace secmed
+
+#endif  // SECMED_OBS_LOG_H_

@@ -39,9 +39,18 @@ void SplitSpanName(const std::string& name, std::string* party,
 
 }  // namespace
 
-std::string RenderChromeTrace(const Tracer& tracer) {
+std::string RenderChromeTrace(const Tracer& tracer,
+                              const ChromeTraceOptions& options) {
   std::vector<SpanRecord> spans = tracer.Snapshot();
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const std::string pid = U64(options.pid);
+  std::string out = "{\"displayTimeUnit\":\"ms\"";
+  if (!options.trace_id_hex.empty()) {
+    // Non-standard top-level block; trace viewers ignore it, trace-merge
+    // reads it to verify all parties joined one distributed trace.
+    out += ",\"secmed\":{\"trace_id\":\"" + JsonEscape(options.trace_id_hex) +
+           "\"}";
+  }
+  out += ",\"traceEvents\":[";
   bool first = true;
   uint32_t max_tid = 0;
   for (const SpanRecord& s : spans) {
@@ -50,7 +59,8 @@ std::string RenderChromeTrace(const Tracer& tracer) {
     max_tid = std::max(max_tid, s.thread_index);
     // Complete event: ts/dur in (fractional) microseconds.
     out += "{\"name\":\"" + JsonEscape(s.name) + "\",\"cat\":\"secmed\"";
-    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":" + U64(s.thread_index + 1);
+    out += ",\"ph\":\"X\",\"pid\":" + pid + ",\"tid\":" +
+           U64(s.thread_index + 1);
     char buf[64];
     std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
                   static_cast<double>(s.start_ns) / 1e3,
@@ -61,13 +71,72 @@ std::string RenderChromeTrace(const Tracer& tracer) {
     }
     out += "}";
   }
-  // Thread-name metadata so viewers label the tracks.
+  // Process/thread-name metadata so viewers label the lanes.
+  if (!options.process_name.empty() && !spans.empty()) {
+    out += ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid +
+           ",\"args\":{\"name\":\"" + JsonEscape(options.process_name) +
+           "\"}}";
+  }
   for (uint32_t tid = 0; tid <= max_tid && !spans.empty(); ++tid) {
-    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
-           U64(tid + 1) + ",\"args\":{\"name\":\"worker-" + U64(tid) + "\"}}";
+    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid +
+           ",\"tid\":" + U64(tid + 1) + ",\"args\":{\"name\":\"worker-" +
+           U64(tid) + "\"}}";
   }
   out += "]}";
   return out;
+}
+
+std::string RenderChromeTrace(const Tracer& tracer) {
+  return RenderChromeTrace(tracer, ChromeTraceOptions{});
+}
+
+bool MergeChromeTraces(const std::vector<std::string>& docs, std::string* out,
+                       std::string* error) {
+  std::vector<JsonValue> merged;
+  std::string trace_id;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const std::string where = "input " + std::to_string(i + 1);
+    JsonValue doc;
+    std::string parse_error;
+    if (!ParseJson(docs[i], &doc, &parse_error)) {
+      if (error != nullptr) *error = where + ": " + parse_error;
+      return false;
+    }
+    const JsonValue* events = doc.Find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      if (error != nullptr) *error = where + ": no traceEvents array";
+      return false;
+    }
+    const JsonValue* secmed = doc.Find("secmed");
+    const JsonValue* id =
+        secmed != nullptr ? secmed->Find("trace_id") : nullptr;
+    if (id != nullptr && id->is_string() && !id->string().empty()) {
+      if (trace_id.empty()) {
+        trace_id = id->string();
+      } else if (trace_id != id->string()) {
+        if (error != nullptr) {
+          *error = where + ": trace id " + id->string() +
+                   " does not match earlier inputs' " + trace_id;
+        }
+        return false;
+      }
+    }
+    for (const JsonValue& event : events->array()) {
+      if (!event.is_object()) continue;
+      std::map<std::string, JsonValue> fields = event.object();
+      fields["pid"] = JsonValue::Number(static_cast<double>(i + 1));
+      merged.push_back(JsonValue::Object(std::move(fields)));
+    }
+  }
+  std::map<std::string, JsonValue> root;
+  root["displayTimeUnit"] = JsonValue::String("ms");
+  if (!trace_id.empty()) {
+    root["secmed"] = JsonValue::Object(
+        {{"trace_id", JsonValue::String(trace_id)}});
+  }
+  root["traceEvents"] = JsonValue::Array(std::move(merged));
+  *out = RenderJson(JsonValue::Object(std::move(root)));
+  return true;
 }
 
 std::vector<SpanAggregate> AggregateSpans(const Tracer& tracer) {

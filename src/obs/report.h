@@ -18,6 +18,32 @@ namespace obs {
 /// stable thread indexes.
 std::string RenderChromeTrace(const Tracer& tracer);
 
+/// Lane and identity options for multi-process traces. Each party of a
+/// deployment renders with its own pid + process_name so `secmedctl
+/// trace-merge` can splice the files into one view with one lane per
+/// party; trace_id_hex (when set) is recorded in a top-level "secmed"
+/// object so the merge can verify all inputs share one distributed
+/// trace.
+struct ChromeTraceOptions {
+  int pid = 1;
+  std::string process_name;  // "" = no process_name metadata event
+  std::string trace_id_hex;  // "" = no trace id annotation
+};
+
+std::string RenderChromeTrace(const Tracer& tracer,
+                              const ChromeTraceOptions& options);
+
+/// Splices several Chrome trace documents (RenderChromeTrace shape) into
+/// one: input i's events — process_name metadata included — move to pid
+/// lane i+1, so each party shows as its own process row. All inputs
+/// carrying a trace id must carry the same one (it is kept in the merged
+/// "secmed" object); a mismatch, malformed input, or a missing
+/// traceEvents array fails with a message in *error (if non-null).
+/// Timestamps are left untouched — processes of one loopback deployment
+/// share the monotonic clock, so their lanes align.
+bool MergeChromeTraces(const std::vector<std::string>& docs, std::string* out,
+                       std::string* error);
+
 /// -------------------------------------------------------- run report --
 
 /// Per-message-type slice of one party's traffic.

@@ -1,8 +1,11 @@
 #ifndef SECMED_OBS_SCOPE_H_
 #define SECMED_OBS_SCOPE_H_
 
+#include <mutex>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace secmed {
 namespace obs {
@@ -25,9 +28,31 @@ class Scope {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Distributed trace context of this scope's run (invalid until set).
+  /// Setting it is idempotent and thread-safe — concurrent sessions of
+  /// one deployment all derive the same id (obs/trace_context.h).
+  void set_trace(const TraceContext& ctx) {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    trace_ = ctx;
+  }
+  TraceContext trace() const {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    return trace_;
+  }
+
+  /// The context to stamp on an outbound frame right now: the scope's
+  /// trace id with the most recently completed span as the parent.
+  TraceContext CurrentTrace() const {
+    TraceContext ctx = trace();
+    ctx.parent_span = tracer_.last_span_id();
+    return ctx;
+  }
+
  private:
   Tracer tracer_;
   MetricsRegistry metrics_;
+  mutable std::mutex trace_mutex_;
+  TraceContext trace_;
 };
 
 /// Starts a span on `scope`, or an inert span when `scope` is null.

@@ -36,6 +36,8 @@ void Tracer::Record(std::string name, uint64_t start_ns, uint64_t end_ns,
   record.items = items;
   std::lock_guard<std::mutex> lock(mutex_);
   record.thread_index = ThreadIndexLocked(std::this_thread::get_id());
+  record.span_id = spans_.size() + 1;
+  last_span_id_.store(record.span_id, std::memory_order_relaxed);
   spans_.push_back(std::move(record));
 }
 

@@ -1,6 +1,7 @@
 #ifndef SECMED_OBS_TRACE_H_
 #define SECMED_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -23,6 +24,10 @@ struct SpanRecord {
   uint64_t duration_ns = 0;
   uint32_t thread_index = 0;
   uint64_t items = 0;  // optional work-size annotation (0 = none)
+  /// Per-tracer recording sequence number, starting at 1. Stamped onto
+  /// outbound wire frames as the parent-span reference of distributed
+  /// traces (obs/trace_context.h).
+  uint64_t span_id = 0;
 };
 
 /// Low-overhead thread-safe span recorder. Spans are buffered in memory
@@ -50,6 +55,12 @@ class Tracer {
 
   size_t span_count() const;
 
+  /// Id of the most recently recorded span (0 before the first). Span
+  /// ids are the 1-based recording sequence, so this equals span_count.
+  uint64_t last_span_id() const {
+    return last_span_id_.load(std::memory_order_relaxed);
+  }
+
   /// Distinct span names, sorted — the determinism guard compares these
   /// across thread counts.
   std::vector<std::string> SpanNames() const;
@@ -58,6 +69,7 @@ class Tracer {
   uint32_t ThreadIndexLocked(std::thread::id id);
 
   const Clock* clock_;
+  std::atomic<uint64_t> last_span_id_{0};
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
   std::map<std::thread::id, uint32_t> thread_indexes_;

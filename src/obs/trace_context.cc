@@ -1,0 +1,74 @@
+#include "obs/trace_context.h"
+
+namespace secmed {
+namespace obs {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+/// FNV-1a over `s` with a caller-chosen offset basis, then finalized
+/// with the splitmix64 mixer so nearby labels diverge in every byte.
+uint64_t MixedHash(const std::string& s, uint64_t basis) {
+  uint64_t h = basis;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string TraceContext::TraceIdHex() const {
+  if (!valid()) return "";
+  std::string out;
+  out.reserve(2 * kTraceIdSize);
+  for (uint8_t b : trace_id) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+bool TraceContext::TraceIdFromHex(const std::string& hex, TraceContext* out) {
+  if (hex.size() != 2 * kTraceIdSize) return false;
+  std::array<uint8_t, kTraceIdSize> id{};
+  for (size_t i = 0; i < kTraceIdSize; ++i) {
+    int hi = HexNibble(hex[2 * i]);
+    int lo = HexNibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    id[i] = static_cast<uint8_t>(hi << 4 | lo);
+  }
+  out->trace_id = id;
+  return true;
+}
+
+TraceContext TraceContext::Derive(const std::string& label) {
+  TraceContext ctx;
+  const uint64_t h1 = MixedHash(label, 0xcbf29ce484222325ull);
+  const uint64_t h2 = MixedHash(label, 0x9e3779b97f4a7c15ull);
+  for (size_t i = 0; i < 8; ++i) {
+    ctx.trace_id[i] = static_cast<uint8_t>(h1 >> (8 * i));
+    ctx.trace_id[8 + i] = static_cast<uint8_t>(h2 >> (8 * i));
+  }
+  // An all-zero digest would read as "no context"; pin one bit so every
+  // derived id is valid.
+  if (!ctx.valid()) ctx.trace_id[0] = 1;
+  return ctx;
+}
+
+}  // namespace obs
+}  // namespace secmed

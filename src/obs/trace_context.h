@@ -1,0 +1,61 @@
+#ifndef SECMED_OBS_TRACE_CONTEXT_H_
+#define SECMED_OBS_TRACE_CONTEXT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace secmed {
+namespace obs {
+
+/// Cross-process trace correlation: a 16-byte trace id naming one
+/// deployment-wide trace plus the sender's most recently completed span
+/// (the "parent" a receiver stitches an inbound frame under). Carried in
+/// the optional trace extension of wire frames (net/wire.h) and stamped
+/// onto structured log lines, so the spans of all four parties of a
+/// deployment merge into a single Chrome trace under one id.
+///
+/// An all-zero trace id is the *invalid* (absent) context — frames
+/// carry no extension and log lines no "trace" field. Every process of
+/// a deployment derives the same id deterministically from the shared
+/// session seed label (Derive), so no negotiation round is needed.
+struct TraceContext {
+  static constexpr size_t kTraceIdSize = 16;
+
+  std::array<uint8_t, kTraceIdSize> trace_id{};
+  /// Span id of the sender's most recently completed span at send time
+  /// (0 = none). Span ids are per-process recording sequence numbers
+  /// (obs::Tracer), unique within one party's trace lane.
+  uint64_t parent_span = 0;
+
+  bool valid() const {
+    for (uint8_t b : trace_id) {
+      if (b != 0) return true;
+    }
+    return false;
+  }
+
+  /// Lower-case hex of the trace id ("" when invalid).
+  std::string TraceIdHex() const;
+
+  /// Parses 32 hex chars into the trace id; false on malformed input.
+  static bool TraceIdFromHex(const std::string& hex, TraceContext* out);
+
+  /// Deterministic non-zero trace id from a deployment label. Every
+  /// process started with the same --seed-label computes the same id —
+  /// the trace analogue of the replicated-execution seeding contract.
+  /// (Non-cryptographic: a trace id names a run, it protects nothing.)
+  static TraceContext Derive(const std::string& label);
+
+  bool operator==(const TraceContext& o) const {
+    return trace_id == o.trace_id && parent_span == o.parent_span;
+  }
+  bool SameTrace(const TraceContext& o) const {
+    return trace_id == o.trace_id;
+  }
+};
+
+}  // namespace obs
+}  // namespace secmed
+
+#endif  // SECMED_OBS_TRACE_CONTEXT_H_

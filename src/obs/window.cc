@@ -1,0 +1,576 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace secmed {
+namespace obs {
+
+namespace {
+
+/// Shortest round-trip decimal form of `v` — generated JSON re-parses to
+/// the identical double, which is what makes RenderStatsJson ∘
+/// ParseStatsJson the identity on rendered snapshots.
+std::string DoubleText(double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, end);
+}
+
+std::string U64Text(uint64_t v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
+  *out += "{\"count\":";
+  *out += U64Text(h.count);
+  *out += ",\"sum\":";
+  *out += U64Text(h.sum);
+  *out += ",\"min\":";
+  *out += U64Text(h.min);
+  *out += ",\"max\":";
+  *out += U64Text(h.max);
+  *out += ",\"buckets\":[";
+  bool first = true;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) *out += ',';
+    first = false;
+    *out += '[';
+    *out += U64Text(i);
+    *out += ',';
+    *out += U64Text(h.buckets[i]);
+    *out += ']';
+  }
+  *out += "]}";
+}
+
+bool ReadU64(const JsonValue* v, uint64_t* out) {
+  if (v == nullptr || !v->is_number() || v->number() < 0) return false;
+  *out = static_cast<uint64_t>(v->number());
+  return true;
+}
+
+bool ReadDouble(const JsonValue* v, double* out) {
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->number();
+  return true;
+}
+
+bool ParseHistogramJson(const JsonValue* v, HistogramSnapshot* out,
+                        std::string* error) {
+  if (v == nullptr || !v->is_object()) {
+    if (error != nullptr) *error = "histogram entry is not an object";
+    return false;
+  }
+  if (!ReadU64(v->Find("count"), &out->count) ||
+      !ReadU64(v->Find("sum"), &out->sum) ||
+      !ReadU64(v->Find("min"), &out->min) ||
+      !ReadU64(v->Find("max"), &out->max)) {
+    if (error != nullptr) *error = "histogram entry missing numeric field";
+    return false;
+  }
+  const JsonValue* buckets = v->Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) {
+    if (error != nullptr) *error = "histogram entry missing buckets array";
+    return false;
+  }
+  out->buckets.fill(0);
+  for (const JsonValue& pair : buckets->array()) {
+    uint64_t index = 0;
+    uint64_t count = 0;
+    if (!pair.is_array() || pair.array().size() != 2 ||
+        !ReadU64(&pair.array()[0], &index) ||
+        !ReadU64(&pair.array()[1], &count) || index >= kHistogramBuckets) {
+      if (error != nullptr) *error = "malformed histogram bucket pair";
+      return false;
+    }
+    out->buckets[index] = count;
+  }
+  return true;
+}
+
+/// Escapes a label value for the Prometheus exposition format (inside
+/// double quotes: backslash, quote and newline).
+std::string PromLabelEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromLabels(const std::map<std::string, std::string>& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += PrometheusName(k).substr(std::strlen("secmed_"));
+    out += "=\"";
+    out += PromLabelEscape(v);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void WindowRegistry::HistogramCells::Observe(uint64_t value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  ++buckets[HistogramBucketIndex(value)];
+}
+
+WindowRegistry::WindowRegistry() : WindowRegistry(Options()) {}
+
+WindowRegistry::WindowRegistry(Options opt, const Clock* clock)
+    : opt_(opt),
+      clock_(clock != nullptr ? clock : MonotonicClock::Default()) {
+  if (opt_.buckets == 0) opt_.buckets = 1;
+  if (opt_.bucket_ns == 0) opt_.bucket_ns = 1;
+  start_ns_ = clock_->NowNanos();
+}
+
+void WindowRegistry::Add(const std::string& name, uint64_t delta) {
+  const uint64_t bucket = CurrentBucket();
+  std::lock_guard<std::mutex> lock(mutex_);
+  CounterEntry& entry = counters_[name];
+  if (entry.ring.empty()) entry.ring.resize(opt_.buckets);
+  entry.cumulative += delta;
+  CounterSlot& slot = entry.ring[bucket % opt_.buckets];
+  if (slot.bucket != bucket) {
+    slot.bucket = bucket;
+    slot.value = 0;
+  }
+  slot.value += delta;
+}
+
+void WindowRegistry::SetGauge(const std::string& name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void WindowRegistry::Observe(const std::string& name, uint64_t value) {
+  const uint64_t bucket = CurrentBucket();
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramEntry& entry = histograms_[name];
+  if (entry.ring.empty()) entry.ring.resize(opt_.buckets);
+  entry.cumulative.Observe(value);
+  HistogramSlot& slot = entry.ring[bucket % opt_.buckets];
+  if (slot.bucket != bucket) {
+    slot.bucket = bucket;
+    slot.cells = HistogramCells{};
+  }
+  slot.cells.Observe(value);
+}
+
+WindowRegistry::Snapshot WindowRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  const uint64_t now = clock_->NowNanos();
+  const uint64_t bucket = now / opt_.bucket_ns;
+  // A slot is live when its bucket is one of the trailing `opt_.buckets`
+  // bucket indices ending at the current one.
+  const uint64_t oldest_live =
+      bucket >= opt_.buckets - 1 ? bucket - (opt_.buckets - 1) : 0;
+  snap.at_ns = now;
+  snap.window_ns = opt_.window_ns();
+  // Rates divide by the part of the window that has actually elapsed, so
+  // a registry younger than its window does not under-report.
+  const uint64_t covered_ns =
+      std::min<uint64_t>(opt_.window_ns(), now - std::min(start_ns_, now));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : counters_) {
+    CounterStat stat;
+    stat.name = name;
+    stat.cumulative = entry.cumulative;
+    for (const CounterSlot& slot : entry.ring) {
+      if (slot.bucket != kEmptyBucket && slot.bucket >= oldest_live &&
+          slot.bucket <= bucket) {
+        stat.windowed += slot.value;
+      }
+    }
+    stat.rate_per_s =
+        covered_ns > 0 ? stat.windowed * 1e9 / static_cast<double>(covered_ns)
+                       : 0.0;
+    snap.counters.push_back(std::move(stat));
+  }
+  for (const auto& [name, value] : gauges_) {
+    snap.gauges.push_back(GaugeStat{name, value});
+  }
+  for (const auto& [name, entry] : histograms_) {
+    HistogramStat stat;
+    stat.name = name;
+    stat.cumulative.name = name;
+    stat.cumulative.count = entry.cumulative.count;
+    stat.cumulative.sum = entry.cumulative.sum;
+    stat.cumulative.min = entry.cumulative.min;
+    stat.cumulative.max = entry.cumulative.max;
+    stat.cumulative.buckets = entry.cumulative.buckets;
+    HistogramCells windowed;
+    for (const HistogramSlot& slot : entry.ring) {
+      if (slot.bucket == kEmptyBucket || slot.bucket < oldest_live ||
+          slot.bucket > bucket || slot.cells.count == 0) {
+        continue;
+      }
+      if (windowed.count == 0) {
+        windowed.min = slot.cells.min;
+        windowed.max = slot.cells.max;
+      } else {
+        windowed.min = std::min(windowed.min, slot.cells.min);
+        windowed.max = std::max(windowed.max, slot.cells.max);
+      }
+      windowed.count += slot.cells.count;
+      windowed.sum += slot.cells.sum;
+      for (size_t i = 0; i < kHistogramBuckets; ++i) {
+        windowed.buckets[i] += slot.cells.buckets[i];
+      }
+    }
+    stat.windowed.name = name;
+    stat.windowed.count = windowed.count;
+    stat.windowed.sum = windowed.sum;
+    stat.windowed.min = windowed.min;
+    stat.windowed.max = windowed.max;
+    stat.windowed.buckets = windowed.buckets;
+    const HistogramSnapshot& basis =
+        stat.windowed.count > 0 ? stat.windowed : stat.cumulative;
+    stat.p50 = HistogramPercentile(basis, 0.50);
+    stat.p95 = HistogramPercentile(basis, 0.95);
+    stat.p99 = HistogramPercentile(basis, 0.99);
+    snap.histograms.push_back(std::move(stat));
+  }
+  return snap;
+}
+
+double HistogramPercentile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(h.count);
+  double cum = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    const double next = cum + static_cast<double>(h.buckets[i]);
+    if (next >= rank) {
+      const double lower =
+          static_cast<double>(HistogramBucketLowerBound(i));
+      const double upper =
+          i + 1 < kHistogramBuckets
+              ? static_cast<double>(HistogramBucketLowerBound(i + 1))
+              : static_cast<double>(h.max) + 1;
+      const double frac =
+          (rank - cum) / static_cast<double>(h.buckets[i]);
+      const double value = lower + frac * (upper - lower);
+      return std::clamp(value, static_cast<double>(h.min),
+                        static_cast<double>(h.max));
+    }
+    cum = next;
+  }
+  return static_cast<double>(h.max);
+}
+
+WindowRegistry::Snapshot DeltaStats(const WindowRegistry::Snapshot& prev,
+                                    const WindowRegistry::Snapshot& cur) {
+  WindowRegistry::Snapshot out = cur;
+  const uint64_t elapsed_ns = cur.at_ns > prev.at_ns ? cur.at_ns - prev.at_ns : 0;
+  std::map<std::string, uint64_t> prev_cumulative;
+  for (const auto& c : prev.counters) prev_cumulative[c.name] = c.cumulative;
+  for (auto& c : out.counters) {
+    auto it = prev_cumulative.find(c.name);
+    const uint64_t base = it != prev_cumulative.end() ? it->second : 0;
+    c.windowed = c.cumulative >= base ? c.cumulative - base : 0;
+    c.rate_per_s = elapsed_ns > 0
+                       ? c.windowed * 1e9 / static_cast<double>(elapsed_ns)
+                       : 0.0;
+  }
+  out.window_ns = elapsed_ns;
+  return out;
+}
+
+std::string RenderStatsJson(const WindowRegistry::Snapshot& snapshot) {
+  std::string out = "{\"schema\":\"secmed.stats.v1\",\"at_ns\":";
+  out += U64Text(snapshot.at_ns);
+  out += ",\"window_ns\":";
+  out += U64Text(snapshot.window_ns);
+  out += ",\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : snapshot.labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(k);
+    out += "\":\"";
+    out += JsonEscape(v);
+    out += '"';
+  }
+  out += "},\"counters\":[";
+  first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(c.name);
+    out += "\",\"cumulative\":";
+    out += U64Text(c.cumulative);
+    out += ",\"windowed\":";
+    out += U64Text(c.windowed);
+    out += ",\"rate_per_s\":";
+    out += DoubleText(c.rate_per_s);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(g.name);
+    out += "\",\"value\":";
+    out += U64Text(g.value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(h.name);
+    out += "\",\"cumulative\":";
+    AppendHistogramJson(h.cumulative, &out);
+    out += ",\"windowed\":";
+    AppendHistogramJson(h.windowed, &out);
+    out += ",\"p50\":";
+    out += DoubleText(h.p50);
+    out += ",\"p95\":";
+    out += DoubleText(h.p95);
+    out += ",\"p99\":";
+    out += DoubleText(h.p99);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool ParseStatsJson(const std::string& text, WindowRegistry::Snapshot* out,
+                    std::string* error) {
+  JsonValue doc;
+  if (!ParseJson(text, &doc, error)) return false;
+  if (!doc.is_object()) {
+    if (error != nullptr) *error = "stats document is not an object";
+    return false;
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string() != "secmed.stats.v1") {
+    if (error != nullptr) *error = "missing or unsupported stats schema";
+    return false;
+  }
+  WindowRegistry::Snapshot snap;
+  if (!ReadU64(doc.Find("at_ns"), &snap.at_ns) ||
+      !ReadU64(doc.Find("window_ns"), &snap.window_ns)) {
+    if (error != nullptr) *error = "missing at_ns/window_ns";
+    return false;
+  }
+  if (const JsonValue* labels = doc.Find("labels");
+      labels != nullptr && labels->is_object()) {
+    for (const auto& [k, v] : labels->object()) {
+      if (!v.is_string()) {
+        if (error != nullptr) *error = "label value is not a string";
+        return false;
+      }
+      snap.labels[k] = v.string();
+    }
+  }
+  if (const JsonValue* counters = doc.Find("counters");
+      counters != nullptr && counters->is_array()) {
+    for (const JsonValue& c : counters->array()) {
+      WindowRegistry::CounterStat stat;
+      const JsonValue* name = c.Find("name");
+      if (name == nullptr || !name->is_string() ||
+          !ReadU64(c.Find("cumulative"), &stat.cumulative) ||
+          !ReadU64(c.Find("windowed"), &stat.windowed) ||
+          !ReadDouble(c.Find("rate_per_s"), &stat.rate_per_s)) {
+        if (error != nullptr) *error = "malformed counter entry";
+        return false;
+      }
+      stat.name = name->string();
+      snap.counters.push_back(std::move(stat));
+    }
+  }
+  if (const JsonValue* gauges = doc.Find("gauges");
+      gauges != nullptr && gauges->is_array()) {
+    for (const JsonValue& g : gauges->array()) {
+      WindowRegistry::GaugeStat stat;
+      const JsonValue* name = g.Find("name");
+      if (name == nullptr || !name->is_string() ||
+          !ReadU64(g.Find("value"), &stat.value)) {
+        if (error != nullptr) *error = "malformed gauge entry";
+        return false;
+      }
+      stat.name = name->string();
+      snap.gauges.push_back(std::move(stat));
+    }
+  }
+  if (const JsonValue* histograms = doc.Find("histograms");
+      histograms != nullptr && histograms->is_array()) {
+    for (const JsonValue& h : histograms->array()) {
+      WindowRegistry::HistogramStat stat;
+      const JsonValue* name = h.Find("name");
+      if (name == nullptr || !name->is_string() ||
+          !ParseHistogramJson(h.Find("cumulative"), &stat.cumulative, error) ||
+          !ParseHistogramJson(h.Find("windowed"), &stat.windowed, error) ||
+          !ReadDouble(h.Find("p50"), &stat.p50) ||
+          !ReadDouble(h.Find("p95"), &stat.p95) ||
+          !ReadDouble(h.Find("p99"), &stat.p99)) {
+        if (error != nullptr && error->empty()) {
+          *error = "malformed histogram entry";
+        }
+        return false;
+      }
+      stat.name = name->string();
+      stat.cumulative.name = stat.name;
+      stat.windowed.name = stat.name;
+      snap.histograms.push_back(std::move(stat));
+    }
+  }
+  *out = std::move(snap);
+  return true;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "secmed_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const WindowRegistry::Snapshot& snapshot) {
+  std::string out;
+  const std::string labels = PromLabels(snapshot.labels);
+  for (const auto& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + labels + " " + U64Text(c.cumulative) + "\n";
+    const std::string rate = PrometheusName(c.name) + "_rate_per_second";
+    out += "# TYPE " + rate + " gauge\n";
+    out += rate + labels + " " + DoubleText(c.rate_per_s) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + labels + " " + U64Text(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cum = 0;
+    size_t highest = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.cumulative.buckets[i] != 0) highest = i;
+    }
+    for (size_t i = 0; i <= highest && h.cumulative.count > 0; ++i) {
+      cum += h.cumulative.buckets[i];
+      const uint64_t le = i + 1 < kHistogramBuckets
+                              ? HistogramBucketLowerBound(i + 1)
+                              : h.cumulative.max;
+      out += name + "_bucket" +
+             PromLabels(snapshot.labels, "le=\"" + U64Text(le) + "\"") + " " +
+             U64Text(cum) + "\n";
+    }
+    out += name + "_bucket" + PromLabels(snapshot.labels, "le=\"+Inf\"") +
+           " " + U64Text(h.cumulative.count) + "\n";
+    out += name + "_sum" + labels + " " + U64Text(h.cumulative.sum) + "\n";
+    out += name + "_count" + labels + " " + U64Text(h.cumulative.count) + "\n";
+  }
+  return out;
+}
+
+std::string RenderStatsTable(const WindowRegistry::Snapshot& snapshot) {
+  char line[256];
+  std::string out;
+  snprintf(line, sizeof(line), "stats at %.3f s (window %.1f s)\n",
+           snapshot.at_ns / 1e9, snapshot.window_ns / 1e9);
+  out += line;
+  if (!snapshot.labels.empty()) {
+    out += "  ";
+    bool first = true;
+    for (const auto& [k, v] : snapshot.labels) {
+      if (!first) out += "  ";
+      first = false;
+      out += k + "=" + v;
+    }
+    out += '\n';
+  }
+  if (!snapshot.counters.empty()) {
+    snprintf(line, sizeof(line), "  %-42s %14s %12s %10s\n", "counter",
+             "total", "window", "rate/s");
+    out += line;
+    for (const auto& c : snapshot.counters) {
+      snprintf(line, sizeof(line), "  %-42s %14" PRIu64 " %12" PRIu64
+               " %10.2f\n",
+               c.name.c_str(), c.cumulative, c.windowed, c.rate_per_s);
+      out += line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    snprintf(line, sizeof(line), "  %-42s %14s\n", "gauge", "value");
+    out += line;
+    for (const auto& g : snapshot.gauges) {
+      snprintf(line, sizeof(line), "  %-42s %14" PRIu64 "\n", g.name.c_str(),
+               g.value);
+      out += line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    snprintf(line, sizeof(line), "  %-42s %10s %12s %12s %12s %14s\n",
+             "histogram", "count", "p50", "p95", "p99", "max");
+    out += line;
+    for (const auto& h : snapshot.histograms) {
+      const HistogramSnapshot& basis =
+          h.windowed.count > 0 ? h.windowed : h.cumulative;
+      snprintf(line, sizeof(line),
+               "  %-42s %10" PRIu64 " %12.0f %12.0f %12.0f %14" PRIu64 "\n",
+               h.name.c_str(), basis.count, h.p50, h.p95, h.p99, basis.max);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace secmed

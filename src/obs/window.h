@@ -1,0 +1,180 @@
+#ifndef SECMED_OBS_WINDOW_H_
+#define SECMED_OBS_WINDOW_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace secmed {
+namespace obs {
+
+/// Rolling time-bucketed metrics for the live scrape path of a
+/// long-running service (secmedd answering ctl_stats): each counter and
+/// histogram keeps a cumulative total *and* a ring of per-time-bucket
+/// slices, so a snapshot reports both lifetime totals and the activity
+/// of the trailing window ("shed rate over the last minute") without
+/// the scraper having to keep state.
+///
+/// Time comes from the injectable Clock (obs/clock.h): production uses
+/// the monotonic clock, tests drive a ManualClock through bucket
+/// rotations deterministically. Thread-safe; concurrent writers merge
+/// under one mutex (cheap next to the session work they measure —
+/// these are per-session/per-frame events, not per-tuple ones).
+class WindowRegistry {
+ public:
+  struct Options {
+    /// Ring length × bucket width = the trailing window. The defaults
+    /// (12 × 5 s) give a one-minute window with 5-second resolution.
+    size_t buckets = 12;
+    uint64_t bucket_ns = 5ull * 1000 * 1000 * 1000;
+    uint64_t window_ns() const { return buckets * bucket_ns; }
+  };
+
+  /// `clock` = nullptr uses the process-wide monotonic clock.
+  WindowRegistry();
+  explicit WindowRegistry(Options opt, const Clock* clock = nullptr);
+
+  WindowRegistry(const WindowRegistry&) = delete;
+  WindowRegistry& operator=(const WindowRegistry&) = delete;
+
+  /// Adds `delta` to counter `name` in the current time bucket.
+  void Add(const std::string& name, uint64_t delta);
+
+  /// Sets gauge `name` to `value` (last write wins — gauges are
+  /// point-in-time levels, not rates, so they have no window).
+  void SetGauge(const std::string& name, uint64_t value);
+
+  /// Records one observation into histogram `name` (log2 buckets, the
+  /// layout of obs/metrics.h).
+  void Observe(const std::string& name, uint64_t value);
+
+  struct CounterStat {
+    std::string name;
+    uint64_t cumulative = 0;  // since registry construction
+    uint64_t windowed = 0;    // within the trailing window
+    double rate_per_s = 0.0;  // windowed / covered window seconds
+  };
+
+  struct GaugeStat {
+    std::string name;
+    uint64_t value = 0;
+  };
+
+  struct HistogramStat {
+    std::string name;
+    HistogramSnapshot cumulative;
+    HistogramSnapshot windowed;
+    /// Percentiles of the *windowed* distribution when it has samples,
+    /// of the cumulative one otherwise (a quiet service still reports
+    /// its lifetime latency shape).
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// Point-in-time scrape: every counter/gauge/histogram with both its
+  /// lifetime and trailing-window view. This is the payload of the
+  /// ctl_stats reply, rendered by RenderStatsJson below.
+  struct Snapshot {
+    uint64_t at_ns = 0;
+    uint64_t window_ns = 0;
+    /// Scrape identity labels ("party_set", "port", ...), carried into
+    /// the JSON and the Prometheus exposition.
+    std::map<std::string, std::string> labels;
+    std::vector<CounterStat> counters;
+    std::vector<GaugeStat> gauges;
+    std::vector<HistogramStat> histograms;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+  uint64_t NowNanos() const { return clock_->NowNanos(); }
+  const Options& options() const { return opt_; }
+
+ private:
+  /// One ring slot: the absolute bucket index it holds data for (a slot
+  /// whose bucket fell out of the window is stale and rewritten in
+  /// place — rotation costs nothing until the slot is touched again).
+  struct CounterSlot {
+    uint64_t bucket = kEmptyBucket;
+    uint64_t value = 0;
+  };
+  struct CounterEntry {
+    uint64_t cumulative = 0;
+    std::vector<CounterSlot> ring;
+  };
+  struct HistogramCells {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+
+    void Observe(uint64_t value);
+  };
+  struct HistogramSlot {
+    uint64_t bucket = kEmptyBucket;
+    HistogramCells cells;
+  };
+  struct HistogramEntry {
+    HistogramCells cumulative;
+    std::vector<HistogramSlot> ring;
+  };
+
+  static constexpr uint64_t kEmptyBucket = ~uint64_t{0};
+
+  uint64_t CurrentBucket() const { return clock_->NowNanos() / opt_.bucket_ns; }
+
+  Options opt_;
+  const Clock* clock_;
+  uint64_t start_ns_ = 0;  // for partial-window rate denominators
+  mutable std::mutex mutex_;
+  std::map<std::string, CounterEntry> counters_;
+  std::map<std::string, uint64_t> gauges_;
+  std::map<std::string, HistogramEntry> histograms_;
+};
+
+/// q-th percentile (q in [0,1]) of a log2-bucketed histogram, linearly
+/// interpolated within the crossing bucket and clamped to [min, max].
+/// 0 when the histogram is empty.
+double HistogramPercentile(const HistogramSnapshot& h, double q);
+
+/// Scrape-over-scrape delta for `secmedctl stats --watch`: `cur` with
+/// every counter's `windowed`/`rate_per_s` replaced by the cumulative
+/// growth since `prev` (clamped at 0) over the elapsed wall time.
+/// Gauges and histograms keep cur's values (windowed views already roll).
+WindowRegistry::Snapshot DeltaStats(const WindowRegistry::Snapshot& prev,
+                                    const WindowRegistry::Snapshot& cur);
+
+/// JSON of one snapshot (schema "secmed.stats.v1", documented in
+/// docs/OBSERVABILITY.md). Round-trips through ParseStatsJson exactly.
+std::string RenderStatsJson(const WindowRegistry::Snapshot& snapshot);
+
+/// Parses RenderStatsJson output back into a snapshot; false (with a
+/// message in *error, if non-null) on malformed or wrong-schema input.
+bool ParseStatsJson(const std::string& text, WindowRegistry::Snapshot* out,
+                    std::string* error);
+
+/// Prometheus text exposition (version 0.0.4) of one snapshot: counters
+/// as `secmed_<name>_total`, gauges as `secmed_<name>`, histograms as
+/// classic `_bucket{le=...}`/`_sum`/`_count` families from the
+/// cumulative log2 buckets. Snapshot labels become metric labels.
+std::string RenderPrometheus(const WindowRegistry::Snapshot& snapshot);
+
+/// Human-readable table of one snapshot (the `secmedctl stats` output).
+std::string RenderStatsTable(const WindowRegistry::Snapshot& snapshot);
+
+/// Sanitizes an internal metric name ("session.latency_ns/pm") into a
+/// Prometheus-legal one ([a-zA-Z0-9_:], never digit-initial).
+std::string PrometheusName(const std::string& name);
+
+}  // namespace obs
+}  // namespace secmed
+
+#endif  // SECMED_OBS_WINDOW_H_

@@ -3,8 +3,17 @@
 # insurer daemons plus the drive client as four separate OS processes.
 # The drive client verifies every daemon's report and the in-process bus
 # reference agree bit-for-bit (result digest, message count, per-party
-# byte statistics) and exits nonzero otherwise, so this script only has
-# to orchestrate the processes.
+# byte statistics) and exits nonzero otherwise.
+#
+# On top of the correctness run this script exercises the telemetry
+# plane end to end: the drive client collects every party's spans over
+# ctl_trace into one merged Chrome trace (checked for all four process
+# lanes and a single trace id), `secmedctl stats` scrapes the daemons'
+# windowed metrics (round-trip through the JSON codec is checked by the
+# tool itself), and `secmedctl shutdown` drains the daemons.
+#
+# Set SMOKE_ARTIFACTS to a directory to keep the merged trace, the stats
+# snapshot and the daemon logs (the CI job uploads them).
 #
 # Run via ctest (which sets SECMEDD/SECMEDCTL), or directly:
 #   SECMEDD=build/tools/secmedd SECMEDCTL=build/tools/secmedctl \
@@ -18,19 +27,29 @@ workdir=$(mktemp -d)
 trap 'kill $pids 2>/dev/null; rm -rf "$workdir"' EXIT INT TERM
 pids=""
 
+fail() {
+  echo "FAIL: $1" >&2
+  for log in mediator hospital insurer; do
+    echo "--- $log ---" >&2
+    cat "$workdir/$log.log" >&2
+  done
+  exit 1
+}
+
 # Ephemeral-ish fixed ports derived from the PID keep parallel ctest
 # invocations from colliding.
 base=$((20000 + $$ % 20000))
 p_client=$((base)); p_med=$((base + 1)); p_hosp=$((base + 2)); p_ins=$((base + 3))
+p_stats=$((base + 4)); p_shut=$((base + 5))
 
 # Every process of the deployment must share these (replicated
 # deterministic execution — see tools/deploy_flags.h).
+daemons="--peer mediator=127.0.0.1:$p_med
+         --peer hospital=127.0.0.1:$p_hosp
+         --peer insurer=127.0.0.1:$p_ins"
 common="--r1-tuples 12 --r2-tuples 10 --r1-domain 6 --r2-domain 5
         --common-values 3 --workload-seed 97
-        --peer client=127.0.0.1:$p_client
-        --peer mediator=127.0.0.1:$p_med
-        --peer hospital=127.0.0.1:$p_hosp
-        --peer insurer=127.0.0.1:$p_ins"
+        --peer client=127.0.0.1:$p_client $daemons"
 
 start_daemon() { # port party logname
   "$SECMEDD" --listen "$1" --host-party "$2" $common \
@@ -42,35 +61,69 @@ start_daemon "$p_med" mediator mediator
 start_daemon "$p_hosp" hospital hospital
 start_daemon "$p_ins" insurer insurer
 
-# Wait until all three daemons report they are listening.
+# Wait until all three daemons log their startup event.
 for log in mediator hospital insurer; do
   tries=0
-  until grep -q "secmedd: hosting" "$workdir/$log.log" 2>/dev/null; do
+  until grep -q '"event":"daemon.start"' "$workdir/$log.log" 2>/dev/null; do
     tries=$((tries + 1))
     if [ "$tries" -gt 100 ]; then
-      echo "FAIL: $log daemon did not come up" >&2
-      cat "$workdir/$log.log" >&2
-      exit 1
+      fail "$log daemon did not come up"
     fi
     sleep 0.1
   done
 done
 
-# Two back-to-back sessions over the established connections, then the
-# drive client shuts the daemons down.
+# Two back-to-back sessions over the established connections. The drive
+# client leaves the daemons running (--no-shutdown) so the stats scrape
+# below hits a live service, and pulls every party's spans into one
+# merged Chrome trace (--trace-out).
 "$SECMEDCTL" drive --listen "$p_client" --host-party client \
-    --protocol commutative --group-bits 256 --sessions 2 $common
+    --protocol commutative --group-bits 256 --sessions 2 \
+    --trace-out "$workdir/trace.json" --no-shutdown $common
 rc=$?
+if [ "$rc" -ne 0 ]; then
+  fail "drive client exited with $rc"
+fi
+
+# One distributed trace: all four parties as process lanes under a
+# single trace id.
+merged="$workdir/trace.json.merged"
+[ -s "$merged" ] || fail "no merged trace at $merged"
+grep -q '"trace_id"' "$merged" || fail "merged trace carries no trace id"
+for party in client mediator hospital insurer; do
+  grep -q "\"name\":\"$party\"" "$merged" ||
+      fail "merged trace has no process lane for $party"
+done
+
+# Offline merge of the same lane must agree with itself (exercises the
+# trace-merge subcommand; input 1 of the merged file is the client lane).
+"$SECMEDCTL" trace-merge --out "$workdir/remerged.json" \
+    "$workdir/trace.json" "$merged" 2>/dev/null ||
+    fail "trace-merge subcommand failed"
+
+# Live metrics scrape: the tool checks every snapshot round-trips
+# through the JSON codec, this script checks the content.
+"$SECMEDCTL" stats --listen "$p_stats" $daemons \
+    --json-out "$workdir/stats.json" --prom-out "$workdir/stats.prom" \
+    >"$workdir/stats.txt" ||
+    fail "stats scrape failed"
+grep -q '"schema":"secmed.stats.v1"' "$workdir/stats.json" ||
+    fail "stats snapshot has no schema marker"
+grep -q 'sessions.completed' "$workdir/stats.json" ||
+    fail "stats snapshot has no session counters"
+grep -q '^secmed_sessions_completed_total' "$workdir/stats.prom" ||
+    fail "prometheus exposition has no session counter"
+grep -q 'session.latency_ns' "$workdir/stats.txt" ||
+    fail "stats table has no latency histogram"
+
+"$SECMEDCTL" shutdown --listen "$p_shut" $daemons ||
+    fail "shutdown failed"
 
 for log in mediator hospital insurer; do
   echo "--- $log ---" >&2
   cat "$workdir/$log.log" >&2
 done
 
-if [ "$rc" -ne 0 ]; then
-  echo "FAIL: drive client exited with $rc" >&2
-  exit "$rc"
-fi
 wait_rc=0
 for pid in $pids; do
   wait "$pid" || wait_rc=$?
@@ -79,4 +132,11 @@ if [ "$wait_rc" -ne 0 ]; then
   echo "FAIL: a daemon exited with $wait_rc" >&2
   exit "$wait_rc"
 fi
-echo "PASS: four-process loopback deployment verified against the bus"
+
+if [ -n "${SMOKE_ARTIFACTS:-}" ]; then
+  mkdir -p "$SMOKE_ARTIFACTS"
+  cp "$merged" "$workdir/stats.json" "$workdir/stats.prom" \
+      "$workdir"/*.log "$SMOKE_ARTIFACTS/" 2>/dev/null || true
+fi
+
+echo "PASS: four-process loopback deployment verified (bus agreement, merged trace, stats scrape)"

@@ -145,9 +145,112 @@ TEST(NetWireTest, RejectsVersionMismatch) {
 }
 
 TEST(NetWireTest, RejectsReservedFlags) {
-  Bytes frame = EncodeFrame(1, {"a", "b", "t", {}});
+  // 0x01 is the trace-extension flag; everything above it is reserved.
+  for (uint8_t flags : {uint8_t{0x02}, uint8_t{0x80}, uint8_t{0xfe}}) {
+    Bytes frame = EncodeFrame(1, {"a", "b", "t", {}});
+    frame[3] = flags;
+    EXPECT_EQ(DecodeFrame(frame).status().code(), StatusCode::kProtocolError)
+        << "flags=" << static_cast<int>(flags);
+  }
+}
+
+TEST(NetWireTest, DecodesVersion1Frames) {
+  // An untraced v2 frame is byte-identical to a v1 frame except for the
+  // version byte, so rewriting it *is* a v1 frame — peers one wire
+  // version behind stay decodable.
+  Message msg{"hospital", "mediator", "partial_query", ToBytes("q")};
+  Bytes frame = EncodeFrame(9, msg);
+  frame[2] = kWireVersionV1;
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->session, 9u);
+  ExpectSame(decoded->message, msg);
+  EXPECT_FALSE(decoded->trace.valid());
+
+  // v1 had no flags at all — any nonzero flag byte is an error there,
+  // including the v2 trace bit.
   frame[3] = 0x01;
   EXPECT_EQ(DecodeFrame(frame).status().code(), StatusCode::kProtocolError);
+}
+
+TEST(NetWireTest, TracedRoundTripCarriesContext) {
+  Message msg{"client", "mediator", "global_query", ToBytes("SELECT *")};
+  obs::TraceContext trace = obs::TraceContext::Derive("wire-test");
+  trace.parent_span = 0x1122334455667788ull;
+
+  Bytes untraced = EncodeFrame(5, msg);
+  Bytes framed = EncodeFrame(5, msg, trace);
+  // The extension is the only difference: exactly kFrameTraceExtSize
+  // extra bytes, and WireSize() deliberately keeps counting the untraced
+  // size so protocol byte accounting is identical with telemetry on.
+  ASSERT_EQ(framed.size(), untraced.size() + kFrameTraceExtSize);
+  ASSERT_EQ(untraced.size(), msg.WireSize());
+
+  auto decoded = DecodeFrame(framed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->session, 5u);
+  ExpectSame(decoded->message, msg);
+  EXPECT_EQ(decoded->trace, trace);
+  EXPECT_EQ(decoded->wire_size, framed.size());
+
+  // An invalid (all-zero) context encodes as a plain untraced frame.
+  Bytes no_trace = EncodeFrame(5, msg, obs::TraceContext{});
+  EXPECT_EQ(no_trace, untraced);
+}
+
+TEST(NetWireTest, DecoderHandlesMixedTracedStream) {
+  Xoshiro256 rng(0x7ace);
+  obs::TraceContext trace = obs::TraceContext::Derive("mixed-stream");
+  Bytes stream;
+  std::vector<Message> sent;
+  std::vector<bool> traced;
+  for (int i = 0; i < 40; ++i) {
+    Message msg = RandomMessage(&rng, 160);
+    bool with_trace = rng.NextBelow(2) == 1;
+    trace.parent_span = i;
+    Bytes frame = with_trace ? EncodeFrame(1, msg, trace)
+                             : EncodeFrame(1, msg);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    sent.push_back(std::move(msg));
+    traced.push_back(with_trace);
+  }
+  FrameDecoder decoder;
+  std::vector<WireFrame> got;
+  size_t off = 0;
+  while (off < stream.size()) {
+    size_t n = std::min<size_t>(1 + rng.NextBelow(61), stream.size() - off);
+    decoder.Feed(stream.data() + off, n);
+    off += n;
+    for (;;) {
+      auto next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) break;
+      got.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ExpectSame(got[i].message, sent[i]);
+    EXPECT_EQ(got[i].trace.valid(), static_cast<bool>(traced[i])) << i;
+    if (traced[i]) {
+      EXPECT_TRUE(got[i].trace.SameTrace(trace));
+      EXPECT_EQ(got[i].trace.parent_span, i);
+    }
+  }
+}
+
+TEST(NetWireTest, RejectsTruncatedTraceExtension) {
+  Message msg{"a", "b", "t", ToBytes("x")};
+  Bytes frame = EncodeFrame(1, msg, obs::TraceContext::Derive("trunc"));
+  // Cut inside the extension: one-shot decode must fail, the incremental
+  // decoder must keep waiting (no frame, no error).
+  Bytes cut(frame.begin(), frame.begin() + kFrameHeaderSize + 7);
+  EXPECT_EQ(DecodeFrame(cut).status().code(), StatusCode::kProtocolError);
+  FrameDecoder decoder;
+  decoder.Feed(cut);
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
 }
 
 TEST(NetWireTest, RejectsOversizedBodyBeforeBuffering) {

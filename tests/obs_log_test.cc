@@ -1,0 +1,140 @@
+// Structured event-log tests: level filtering, per-event rate limiting
+// with suppression accounting, trace correlation, and the guarantee that
+// every emitted line is valid JSON even for hostile field bytes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/trace_context.h"
+
+namespace secmed {
+namespace {
+
+struct CapturedLog {
+  obs::ManualClock clock{0};
+  std::vector<std::string> lines;
+
+  obs::EventLog Make(obs::LogLevel min_level = obs::LogLevel::kDebug,
+                     uint64_t max_per_sec = 0) {
+    obs::EventLog::Options opt;
+    opt.min_level = min_level;
+    opt.max_per_sec = max_per_sec;
+    opt.clock = &clock;
+    opt.sink = [this](const std::string& line) { lines.push_back(line); };
+    return obs::EventLog(std::move(opt));
+  }
+};
+
+obs::JsonValue MustParse(const std::string& line) {
+  obs::JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(obs::ParseJson(line, &doc, &error)) << error << " in: " << line;
+  return doc;
+}
+
+TEST(EventLog, LevelFilter) {
+  CapturedLog cap;
+  obs::EventLog log = cap.Make(obs::LogLevel::kWarn);
+  log.Log(obs::LogLevel::kDebug, "a");
+  log.Log(obs::LogLevel::kInfo, "b");
+  log.Log(obs::LogLevel::kWarn, "c");
+  log.Log(obs::LogLevel::kError, "d");
+  ASSERT_EQ(cap.lines.size(), 2u);
+  EXPECT_NE(cap.lines[0].find("\"event\":\"c\""), std::string::npos);
+  EXPECT_NE(cap.lines[1].find("\"level\":\"error\""), std::string::npos);
+  EXPECT_EQ(log.emitted(), 2u);
+  EXPECT_EQ(log.suppressed(), 0u);
+}
+
+TEST(EventLog, LineShapeAndEscaping) {
+  CapturedLog cap;
+  cap.clock.Advance(42);
+  obs::EventLog log = cap.Make();
+  const std::string hostile = "quote\" slash\\ nl\n nul\x01 del\x7f";
+  log.Log(obs::LogLevel::kInfo, "session.done",
+          {{"protocol", "commutative"}, {"odd", hostile}});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  auto doc = MustParse(cap.lines[0]);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("ts_ns")->number(), 42.0);
+  EXPECT_EQ(doc.Find("level")->string(), "info");
+  EXPECT_EQ(doc.Find("event")->string(), "session.done");
+  EXPECT_EQ(doc.Find("protocol")->string(), "commutative");
+  // Escaping must round-trip arbitrary bytes through a JSON parser.
+  EXPECT_EQ(doc.Find("odd")->string(), hostile);
+  EXPECT_EQ(doc.Find("trace"), nullptr);  // no trace set yet
+}
+
+TEST(EventLog, TraceCorrelation) {
+  CapturedLog cap;
+  obs::EventLog log = cap.Make();
+  const obs::TraceContext trace = obs::TraceContext::Derive("log-test");
+  log.SetTrace(trace);
+  log.Log(obs::LogLevel::kInfo, "session.done");
+  ASSERT_EQ(cap.lines.size(), 1u);
+  auto doc = MustParse(cap.lines[0]);
+  ASSERT_NE(doc.Find("trace"), nullptr);
+  EXPECT_EQ(doc.Find("trace")->string(), trace.TraceIdHex());
+
+  // Clearing the context drops the field again.
+  log.SetTrace(obs::TraceContext());
+  log.Log(obs::LogLevel::kInfo, "session.done");
+  ASSERT_EQ(cap.lines.size(), 2u);
+  EXPECT_EQ(MustParse(cap.lines[1]).Find("trace"), nullptr);
+}
+
+TEST(EventLog, RateLimitIsPerEventName) {
+  CapturedLog cap;
+  obs::EventLog log = cap.Make(obs::LogLevel::kDebug, /*max_per_sec=*/3);
+  for (int i = 0; i < 10; ++i) log.Log(obs::LogLevel::kInfo, "net.retry");
+  // A different event name has its own budget.
+  log.Log(obs::LogLevel::kInfo, "daemon.start");
+  EXPECT_EQ(cap.lines.size(), 4u);
+  EXPECT_EQ(log.emitted(), 4u);
+  EXPECT_EQ(log.suppressed(), 7u);
+
+  // Window rollover surfaces the suppression summary exactly once.
+  cap.clock.Advance(1'000'000'000);
+  log.Log(obs::LogLevel::kInfo, "net.retry");
+  ASSERT_EQ(cap.lines.size(), 6u);
+  auto summary = MustParse(cap.lines[4]);
+  EXPECT_EQ(summary.Find("event")->string(), "log.suppressed");
+  EXPECT_EQ(summary.Find("of")->string(), "net.retry");
+  EXPECT_EQ(summary.Find("count")->number(), 7.0);
+  EXPECT_EQ(MustParse(cap.lines[5]).Find("event")->string(), "net.retry");
+  EXPECT_EQ(log.suppressed(), 7u);
+}
+
+TEST(EventLog, ZeroMaxDisablesLimiter) {
+  CapturedLog cap;
+  obs::EventLog log = cap.Make(obs::LogLevel::kDebug, /*max_per_sec=*/0);
+  for (int i = 0; i < 500; ++i) log.Log(obs::LogLevel::kInfo, "net.retry");
+  EXPECT_EQ(cap.lines.size(), 500u);
+  EXPECT_EQ(log.suppressed(), 0u);
+}
+
+TEST(EventLog, NullHelperIsANoOp) {
+  obs::LogEvent(nullptr, obs::LogLevel::kError, "never", {{"k", "v"}});
+  CapturedLog cap;
+  obs::EventLog log = cap.Make();
+  obs::LogEvent(&log, obs::LogLevel::kInfo, "once");
+  EXPECT_EQ(cap.lines.size(), 1u);
+}
+
+TEST(ParseLogLevel, AcceptsKnownNamesOnly) {
+  obs::LogLevel level = obs::LogLevel::kInfo;
+  EXPECT_TRUE(obs::ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::ParseLogLevel("error", &level));
+  EXPECT_EQ(level, obs::LogLevel::kError);
+  EXPECT_FALSE(obs::ParseLogLevel("INFO", &level));
+  EXPECT_FALSE(obs::ParseLogLevel("", &level));
+}
+
+}  // namespace
+}  // namespace secmed

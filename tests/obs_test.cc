@@ -274,6 +274,94 @@ TEST(Json, RejectsMalformedInput) {
       << error;
 }
 
+TEST(Json, EscapeRoundTripsArbitraryBytes) {
+  // Curated hostile strings plus a deterministic byte-soup sweep: for any
+  // byte string s, `{"k":"<JsonEscape(s)>"}` must parse back to s. This is
+  // the contract the event log and stats scrape rely on for metric/field
+  // names they do not control.
+  std::vector<std::string> cases = {
+      "",
+      "plain",
+      "quote\" backslash\\ slash/",
+      std::string("embedded\0nul", 12),
+      "ctl\x01\x02\x1f del\x7f",
+      "newline\n return\r tab\t",
+      "utf8 caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x94\x92",
+      "lone continuation \x80\xbf and \xff\xfe",  // invalid UTF-8 bytes
+  };
+  uint64_t x = 0x9e3779b97f4a7c15ull;  // deterministic splitmix-style sweep
+  for (int i = 0; i < 64; ++i) {
+    std::string s;
+    for (int j = 0; j < 48; ++j) {
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      s.push_back(static_cast<char>(x & 0xff));
+    }
+    cases.push_back(s);
+  }
+  for (const std::string& s : cases) {
+    const std::string doc_text = "{\"k\":\"" + obs::JsonEscape(s) + "\"}";
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::ParseJson(doc_text, &doc, &error))
+        << error << " for escaped form: " << doc_text;
+    ASSERT_NE(doc.Find("k"), nullptr);
+    EXPECT_EQ(doc.Find("k")->string(), s);
+    // RenderJson of the parsed doc must re-parse to the same string too.
+    obs::JsonValue again;
+    ASSERT_TRUE(obs::ParseJson(obs::RenderJson(doc), &again, &error)) << error;
+    EXPECT_EQ(again.Find("k")->string(), s);
+  }
+}
+
+TEST(ChromeTrace, MergeAssignsLanesAndKeepsTraceId) {
+  obs::ManualClock clock(1000);
+  obs::Tracer t1(&clock);
+  { obs::Span s(&t1, "client/request/submit_query"); clock.Advance(10); }
+  obs::Tracer t2(&clock);
+  { obs::Span s(&t2, "mediator/request/plan"); clock.Advance(10); }
+
+  obs::ChromeTraceOptions copt;
+  copt.trace_id_hex = "00112233445566778899aabbccddeeff";
+  copt.pid = 7;  // merge must override this with the lane index
+  copt.process_name = "client";
+  const std::string doc1 = obs::RenderChromeTrace(t1, copt);
+  copt.process_name = "mediator";
+  const std::string doc2 = obs::RenderChromeTrace(t2, copt);
+
+  std::string merged, error;
+  ASSERT_TRUE(obs::MergeChromeTraces({doc1, doc2}, &merged, &error)) << error;
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::ParseJson(merged, &doc, &error)) << error;
+  ASSERT_NE(doc.Find("secmed"), nullptr);
+  EXPECT_EQ(doc.Find("secmed")->Find("trace_id")->string(),
+            copt.trace_id_hex);
+  const auto* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::set<double> pids;
+  std::set<std::string> names;
+  for (const auto& ev : events->array()) {
+    pids.insert(ev.Find("pid")->number());
+    names.insert(ev.Find("name")->string());
+  }
+  EXPECT_EQ(pids, (std::set<double>{1.0, 2.0}));
+  EXPECT_TRUE(names.count("client/request/submit_query"));
+  EXPECT_TRUE(names.count("mediator/request/plan"));
+  EXPECT_TRUE(names.count("process_name"));
+
+  // A lane recorded under a different trace id must be rejected.
+  copt.trace_id_hex = "ffeeddccbbaa99887766554433221100";
+  const std::string doc3 = obs::RenderChromeTrace(t2, copt);
+  EXPECT_FALSE(obs::MergeChromeTraces({doc1, doc3}, &merged, &error));
+  EXPECT_NE(error.find("trace id"), std::string::npos) << error;
+
+  // Malformed input and missing traceEvents fail cleanly.
+  EXPECT_FALSE(obs::MergeChromeTraces({"not json"}, &merged, &error));
+  EXPECT_FALSE(obs::MergeChromeTraces({"{}"}, &merged, &error));
+}
+
 TEST(RunReport, TableContainsSpansAndTraffic) {
   obs::Scope scope;
   { obs::Span s = obs::StartSpan(&scope, "client", "post", "decrypt"); }

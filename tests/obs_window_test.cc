@@ -1,0 +1,250 @@
+// Windowed-metrics tests: deterministic bucket rotation under a
+// ManualClock, snapshot/delta correctness, cross-thread merge under
+// ParallelFor, and the scrape codecs (stats JSON round-trip exactness,
+// Prometheus exposition shape).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/window.h"
+#include "util/parallel.h"
+
+namespace secmed {
+namespace {
+
+obs::WindowRegistry::Options SmallWindow() {
+  obs::WindowRegistry::Options opt;
+  opt.buckets = 4;
+  opt.bucket_ns = 100;  // 400 ns window, easy to rotate by hand
+  return opt;
+}
+
+const obs::WindowRegistry::CounterStat* FindCounter(
+    const obs::WindowRegistry::Snapshot& snap, const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const obs::WindowRegistry::HistogramStat* FindHistogram(
+    const obs::WindowRegistry::Snapshot& snap, const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(WindowRegistry, BucketRotationExpiresOldCounts) {
+  obs::ManualClock clock(0);
+  obs::WindowRegistry windows(SmallWindow(), &clock);
+
+  windows.Add("reqs", 5);
+  clock.Advance(100);  // next bucket
+  windows.Add("reqs", 3);
+
+  auto snap = windows.TakeSnapshot();
+  const auto* c = FindCounter(snap, "reqs");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->cumulative, 8u);
+  EXPECT_EQ(c->windowed, 8u);  // both buckets still inside the window
+
+  // Rotate until the first bucket (value 5) falls out: window covers
+  // buckets [now/100-3, now/100]. At t=400 bucket 0 expires.
+  clock.Advance(300);
+  snap = windows.TakeSnapshot();
+  c = FindCounter(snap, "reqs");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->cumulative, 8u);
+  EXPECT_EQ(c->windowed, 3u);
+
+  // And once everything expired, the window is empty but the lifetime
+  // total survives.
+  clock.Advance(10'000);
+  snap = windows.TakeSnapshot();
+  c = FindCounter(snap, "reqs");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->cumulative, 8u);
+  EXPECT_EQ(c->windowed, 0u);
+}
+
+TEST(WindowRegistry, StaleSlotIsReusedInPlace) {
+  obs::ManualClock clock(0);
+  obs::WindowRegistry windows(SmallWindow(), &clock);
+  windows.Add("reqs", 7);
+  // Come back to the same ring slot one full revolution later: the stale
+  // slice must not leak into the fresh one.
+  clock.Advance(400);
+  windows.Add("reqs", 2);
+  auto snap = windows.TakeSnapshot();
+  const auto* c = FindCounter(snap, "reqs");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->cumulative, 9u);
+  EXPECT_EQ(c->windowed, 2u);
+}
+
+TEST(WindowRegistry, HistogramWindowAndPercentiles) {
+  obs::ManualClock clock(0);
+  obs::WindowRegistry windows(SmallWindow(), &clock);
+  for (uint64_t v = 1; v <= 100; ++v) windows.Observe("lat", v);
+  clock.Advance(100);
+  windows.Observe("lat", 1000);
+
+  auto snap = windows.TakeSnapshot();
+  const auto* h = FindHistogram(snap, "lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->cumulative.count, 101u);
+  EXPECT_EQ(h->windowed.count, 101u);
+  EXPECT_EQ(h->windowed.min, 1u);
+  EXPECT_EQ(h->windowed.max, 1000u);
+  EXPECT_GT(h->p50, 0.0);
+  EXPECT_LE(h->p50, h->p95);
+  EXPECT_LE(h->p95, h->p99);
+  EXPECT_LE(h->p99, 1000.0);
+
+  // After the uniform batch expires (bucket 0 leaves the window at
+  // t=400) only the outlier in bucket 1 remains windowed — the
+  // percentiles snap to it.
+  clock.Advance(300);
+  snap = windows.TakeSnapshot();
+  h = FindHistogram(snap, "lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->cumulative.count, 101u);
+  EXPECT_EQ(h->windowed.count, 1u);
+  EXPECT_EQ(h->p50, 1000.0);
+
+  // Fully quiet window: percentiles fall back to the cumulative shape.
+  clock.Advance(10'000);
+  snap = windows.TakeSnapshot();
+  h = FindHistogram(snap, "lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->windowed.count, 0u);
+  EXPECT_GT(h->p50, 0.0);
+  EXPECT_LT(h->p50, 1000.0);
+}
+
+TEST(WindowRegistry, CrossThreadMergeIsExact) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    obs::ManualClock clock(0);
+    obs::WindowRegistry windows(SmallWindow(), &clock);
+    constexpr size_t kItems = 10'000;
+    ParallelFor(
+        kItems, threads,
+        [&](size_t i) {
+          windows.Add("ops", 1);
+          windows.Observe("size", i % 64);
+        },
+        nullptr, "window-test");
+    auto snap = windows.TakeSnapshot();
+    const auto* c = FindCounter(snap, "ops");
+    ASSERT_NE(c, nullptr) << threads << " threads";
+    EXPECT_EQ(c->cumulative, kItems) << threads << " threads";
+    EXPECT_EQ(c->windowed, kItems) << threads << " threads";
+    const auto* h = FindHistogram(snap, "size");
+    ASSERT_NE(h, nullptr) << threads << " threads";
+    EXPECT_EQ(h->cumulative.count, kItems) << threads << " threads";
+    uint64_t expected_sum = 0;
+    for (size_t i = 0; i < kItems; ++i) expected_sum += i % 64;
+    EXPECT_EQ(h->cumulative.sum, expected_sum) << threads << " threads";
+  }
+}
+
+TEST(WindowRegistry, DeltaStatsReportsGrowthBetweenScrapes) {
+  obs::ManualClock clock(0);
+  obs::WindowRegistry windows(SmallWindow(), &clock);
+  windows.Add("reqs", 10);
+  auto first = windows.TakeSnapshot();
+
+  clock.Advance(200);
+  windows.Add("reqs", 4);
+  windows.Add("fresh", 2);  // appears only in the second scrape
+  auto second = windows.TakeSnapshot();
+
+  auto delta = obs::DeltaStats(first, second);
+  EXPECT_EQ(delta.window_ns, 200u);
+  const auto* reqs = FindCounter(delta, "reqs");
+  ASSERT_NE(reqs, nullptr);
+  EXPECT_EQ(reqs->cumulative, 14u);
+  EXPECT_EQ(reqs->windowed, 4u);  // growth since `first`, not the ring view
+  EXPECT_DOUBLE_EQ(reqs->rate_per_s, 4 * 1e9 / 200.0);
+  const auto* fresh = FindCounter(delta, "fresh");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->windowed, 2u);  // unknown in `prev` counts from zero
+}
+
+TEST(WindowStats, JsonRoundTripIsExact) {
+  obs::ManualClock clock(12'345);
+  obs::WindowRegistry windows(SmallWindow(), &clock);
+  windows.Add("net.send_retries.a>b", 3);
+  windows.Observe("session.latency_ns", 1'000'000);
+  windows.Observe("session.latency_ns", 2'000'000);
+  windows.SetGauge("scheduler.pending", 2);
+  auto snap = windows.TakeSnapshot();
+  // Labels with every awkward character class: quotes, control bytes,
+  // DEL, UTF-8.
+  snap.labels["party_set"] = "mediator,hospital";
+  snap.labels["odd \"key\""] = "line\nbreak\ttab \x7f del \xc3\xa9 utf8";
+
+  const std::string json = obs::RenderStatsJson(snap);
+  obs::WindowRegistry::Snapshot parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParseStatsJson(json, &parsed, &error)) << error;
+  // The wire contract of `secmedctl stats`: render ∘ parse is identity.
+  EXPECT_EQ(obs::RenderStatsJson(parsed), json);
+  EXPECT_EQ(parsed.labels, snap.labels);
+  ASSERT_EQ(parsed.counters.size(), 1u);
+  EXPECT_EQ(parsed.counters[0].name, "net.send_retries.a>b");
+  EXPECT_EQ(parsed.counters[0].cumulative, 3u);
+  ASSERT_EQ(parsed.histograms.size(), 1u);
+  EXPECT_EQ(parsed.histograms[0].cumulative.count, 2u);
+  EXPECT_EQ(parsed.histograms[0].cumulative.sum, 3'000'000u);
+}
+
+TEST(WindowStats, ParseRejectsWrongSchema) {
+  obs::WindowRegistry::Snapshot out;
+  std::string error;
+  EXPECT_FALSE(obs::ParseStatsJson("{\"schema\":\"other.v9\"}", &out, &error));
+  EXPECT_FALSE(obs::ParseStatsJson("not json", &out, &error));
+}
+
+TEST(WindowStats, PrometheusExposition) {
+  EXPECT_EQ(obs::PrometheusName("session.latency_ns.pm"),
+            "secmed_session_latency_ns_pm");
+  EXPECT_EQ(obs::PrometheusName("net.reconnects.a>b"),
+            "secmed_net_reconnects_a_b");
+
+  obs::ManualClock clock(0);
+  obs::WindowRegistry windows(SmallWindow(), &clock);
+  windows.Add("sessions.completed", 2);
+  windows.SetGauge("scheduler.pending", 1);
+  windows.Observe("session.latency_ns", 500);
+  auto snap = windows.TakeSnapshot();
+  snap.labels["party_set"] = "mediator";
+
+  const std::string prom = obs::RenderPrometheus(snap);
+  EXPECT_NE(
+      prom.find(
+          "secmed_sessions_completed_total{party_set=\"mediator\"} 2\n"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE secmed_scheduler_pending gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("secmed_session_latency_ns_bucket{party_set="
+                      "\"mediator\",le=\"+Inf\"} 1\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("secmed_session_latency_ns_count{party_set="
+                      "\"mediator\"} 1\n"),
+            std::string::npos);
+
+  // The human table renders the same snapshot without choking.
+  const std::string table = obs::RenderStatsTable(snap);
+  EXPECT_NE(table.find("sessions.completed"), std::string::npos);
+  EXPECT_NE(table.find("session.latency_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace secmed

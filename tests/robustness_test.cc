@@ -286,7 +286,9 @@ TEST(FrameTamperTest, TruncatedFrameTimesOutCleanly) {
 TEST(FrameTamperTest, CorruptHeaderFailsStream) {
   FramePair p = FramePair::Create(5000);
   p.alice->SetFrameTamperHook([](Bytes* frame) {
-    (*frame)[3] = 0x01;  // set a reserved flag bit in the header
+    // Set a reserved flag bit (0x01 is the legitimate trace flag since
+    // wire v2, so it no longer counts as corruption).
+    (*frame)[3] = 0x80;
   });
   p.SendBoth({"alice", "bob", "data", ToBytes("x")});
   auto got = p.bob->Receive("bob");

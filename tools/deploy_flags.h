@@ -21,6 +21,7 @@
 
 #include "core/remote.h"
 #include "core/testbed.h"
+#include "obs/log.h"
 #include "relational/workload.h"
 
 namespace secmed {
@@ -67,6 +68,13 @@ struct DeployArgs {
   size_t cache_bytes = 256ull << 20;
   int drain_timeout_ms = 10000;
   bool use_prepared = false;
+  /// Live telemetry plane of secmedd (docs/OBSERVABILITY.md): a
+  /// daemon-wide obs scope + windowed metrics registry + structured
+  /// event log, on by default. --no-telemetry turns the whole plane off
+  /// (ctl_stats/ctl_trace then answer with an error note); --log-level
+  /// sets the event-log threshold.
+  bool telemetry = true;
+  std::string log_level = "info";
 
   bool WantsObs() const { return !trace_out.empty() || !report_out.empty(); }
 
@@ -288,6 +296,20 @@ inline int ParseServiceFlag(int argc, char** argv, int* i, DeployArgs* args) {
     args->use_prepared = false;
     return 1;
   }
+  if (flag == "--telemetry") {
+    args->telemetry = true;
+    return 1;
+  }
+  if (flag == "--no-telemetry") {
+    args->telemetry = false;
+    return 1;
+  }
+  if (flag == "--log-level") {
+    if (*i + 1 >= argc) return -1;
+    args->log_level = argv[++*i];
+    obs::LogLevel level;
+    return obs::ParseLogLevel(args->log_level, &level) ? 1 : -1;
+  }
   return 0;
 }
 
@@ -310,7 +332,11 @@ inline const char* kServiceFlagsHelp =
     "  --drain-timeout MS       graceful-shutdown drain deadline, 0 = wait\n"
     "                           forever (default 10000)\n"
     "  --prepared               reuse prepared datasets across sessions\n"
-    "                           (--no-prepared recomputes every session)\n";
+    "                           (--no-prepared recomputes every session)\n"
+    "  --no-telemetry           disable the live telemetry plane (stats\n"
+    "                           scrape, trace collection, event log)\n"
+    "  --log-level LEVEL        event-log threshold: debug|info|warn|error\n"
+    "                           (default info)\n";
 
 inline const char* kDeployFlagsHelp =
     "  --listen PORT            loopback port to listen on (0 = ephemeral)\n"

@@ -41,13 +41,26 @@
 // workload/protocol/service flags, plus --clients/--queries/--open-rate
 // and --compare-cold for the warm-vs-cold speedup check. See
 // docs/SERVICE.md.
+//
+// Telemetry modes (docs/OBSERVABILITY.md):
+//   secmedctl stats --peer ... [--watch] [--prom-out F] [--json-out F]
+//       scrapes every daemon over ctl_stats and renders the windowed
+//       metrics snapshot (table, Prometheus exposition, raw JSON).
+//   secmedctl trace-merge --out F IN...
+//       splices per-party Chrome traces into one file with one process
+//       lane per input, verifying they share a single trace id.
+//   secmedctl shutdown --peer ...
+//       asks every daemon to drain and exit.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <fstream>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,7 +76,11 @@
 #include "mediation/datasource.h"
 #include "mediation/mediator.h"
 #include "mediation/network.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/window.h"
 #include "relational/csv.h"
+#include "util/bytes.h"
 #include "service/load_harness.h"
 #include "service/prepared_registry.h"
 #include "service/query_service.h"
@@ -382,13 +399,78 @@ int DriveMain(int argc, char** argv) {
     info.total_bytes = agg.total_bytes;
     std::vector<obs::PartyTraffic> traffic = PartyTrafficRows(agg);
     Status st = WriteObsArtifacts(*scope, info, traffic, args.trace_out,
-                                  args.report_out);
+                                  args.report_out, "client");
     if (!st.ok()) {
       std::fprintf(stderr, "drive: %s\n", st.ToString().c_str());
       ++failures;
     } else {
       std::fprintf(stderr, "%s",
                    obs::RenderRunReportTable(info, *scope, traffic).c_str());
+    }
+  }
+
+  // Distributed trace collection: pull every daemon's telemetry spans
+  // over ctl_trace and splice them with this process's own into one
+  // Chrome trace — one lane per party process, one shared trace id.
+  if (scope != nullptr && !args.trace_out.empty()) {
+    obs::ChromeTraceOptions copt;
+    copt.process_name = "client";
+    copt.trace_id_hex = scope->trace().TraceIdHex();
+    std::vector<std::string> lanes;
+    lanes.push_back(obs::RenderChromeTrace(scope->tracer(), copt));
+    // The --peer map names this process too — scrape the real daemons.
+    std::set<Endpoint> scrape_eps;
+    for (const Endpoint& ep : daemon_eps) {
+      if (ep.ToString() != reply_to) scrape_eps.insert(ep);
+    }
+    for (const Endpoint& ep : scrape_eps) {
+      Status st = SendCtl(host->get(), ep, "client-driver", kCtlTrace,
+                          ToBytes(reply_to), args.timeout_ms);
+      if (!st.ok()) {
+        std::fprintf(stderr, "drive: trace scrape of %s: %s\n",
+                     ep.ToString().c_str(), st.ToString().c_str());
+        ++failures;
+      }
+    }
+    size_t remaining = scrape_eps.size();
+    for (size_t spins = 0; remaining > 0 && spins < 4 * scrape_eps.size();
+         ++spins) {
+      auto ctl = (*host)->WaitCtl(args.timeout_ms);
+      if (!ctl.ok()) {
+        std::fprintf(stderr, "drive: waiting for traces: %s\n",
+                     ctl.status().ToString().c_str());
+        ++failures;
+        break;
+      }
+      if (ctl->type != kCtlTrace) continue;
+      --remaining;
+      std::string body(ctl->payload.begin(), ctl->payload.end());
+      obs::JsonValue doc;
+      if (obs::ParseJson(body, &doc, nullptr) &&
+          doc.Find("error") != nullptr) {
+        // Daemon runs with --no-telemetry; its lane is simply absent.
+        std::fprintf(stderr, "drive: trace scrape of [%s]: %s\n",
+                     ctl->from.c_str(),
+                     doc.Find("error")->string().c_str());
+        continue;
+      }
+      lanes.push_back(std::move(body));
+    }
+    std::string merged, error;
+    if (!obs::MergeChromeTraces(lanes, &merged, &error)) {
+      std::fprintf(stderr, "drive: trace merge: %s\n", error.c_str());
+      for (size_t i = 0; i < lanes.size(); ++i)
+        std::fprintf(stderr, "lane %zu: %.200s\n", i + 1, lanes[i].c_str());
+      ++failures;
+    } else {
+      const std::string path = args.trace_out + ".merged";
+      if (!obs::WriteTextFile(path, merged, &error)) {
+        std::fprintf(stderr, "drive: %s\n", error.c_str());
+        ++failures;
+      } else {
+        std::fprintf(stderr, "drive: merged trace (%zu lanes) -> %s\n",
+                     lanes.size(), path.c_str());
+      }
     }
   }
 
@@ -595,6 +677,254 @@ int BenchLoadMain(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Unique daemon endpoints of the --peer map (daemons hosting several
+/// parties appear once).
+std::set<Endpoint> DaemonEndpoints(const DeployArgs& args) {
+  std::set<Endpoint> eps;
+  for (const auto& [party, ep] : args.peers) eps.insert(ep);
+  return eps;
+}
+
+int StatsUsage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s stats --peer PARTY=HOST:PORT ... [--listen PORT]\n"
+               "          [--watch] [--interval-ms N] [--count N]\n"
+               "          [--prom-out FILE] [--json-out FILE]\n",
+               prog);
+  return 2;
+}
+
+/// One scrape round: ask every daemon for its windowed-metrics snapshot
+/// over ctl_stats and collect the JSON replies (party set -> body).
+/// Partial results are returned with a failure count, so --watch keeps
+/// going when one daemon is slow.
+int ScrapeStats(PeerHost* host, const std::set<Endpoint>& eps,
+                const std::string& reply_to, int timeout_ms,
+                std::vector<std::pair<std::string, std::string>>* bodies) {
+  int failures = 0;
+  for (const Endpoint& ep : eps) {
+    Status st = SendCtl(host, ep, "stats-client", kCtlStats, ToBytes(reply_to),
+                        timeout_ms);
+    if (!st.ok()) {
+      std::fprintf(stderr, "stats: scraping %s: %s\n", ep.ToString().c_str(),
+                   st.ToString().c_str());
+      ++failures;
+    }
+  }
+  size_t remaining = eps.size();
+  for (size_t spins = 0; remaining > 0 && spins < 4 * eps.size(); ++spins) {
+    auto ctl = host->WaitCtl(timeout_ms);
+    if (!ctl.ok()) {
+      std::fprintf(stderr, "stats: waiting for snapshots: %s\n",
+                   ctl.status().ToString().c_str());
+      ++failures;
+      break;
+    }
+    if (ctl->type != kCtlStats) continue;
+    --remaining;
+    bodies->emplace_back(ctl->from,
+                         std::string(ctl->payload.begin(), ctl->payload.end()));
+  }
+  failures += static_cast<int>(remaining);
+  std::sort(bodies->begin(), bodies->end());
+  return failures;
+}
+
+int StatsMain(int argc, char** argv) {
+  DeployArgs args;
+  bool watch = false;
+  size_t interval_ms = 2000;
+  size_t count = 0;  // 0 = until interrupted (--watch) / exactly 1 scrape
+  std::string prom_out;
+  std::string json_out;
+  for (int i = 2; i < argc; ++i) {
+    int rc = ParseDeployFlag(argc, argv, &i, &args);
+    if (rc == 1) continue;
+    if (rc < 0) return StatsUsage(argv[0]);
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--watch") {
+      watch = true;
+    } else if (flag == "--interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return StatsUsage(argv[0]);
+      interval_ms = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--count") {
+      const char* v = next();
+      if (v == nullptr) return StatsUsage(argv[0]);
+      count = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--prom-out") {
+      const char* v = next();
+      if (v == nullptr) return StatsUsage(argv[0]);
+      prom_out = v;
+    } else if (flag == "--json-out") {
+      const char* v = next();
+      if (v == nullptr) return StatsUsage(argv[0]);
+      json_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return StatsUsage(argv[0]);
+    }
+  }
+  if (args.peers.empty()) return StatsUsage(argv[0]);
+  std::set<Endpoint> eps = DaemonEndpoints(args);
+
+  auto host = PeerHost::Listen(args.listen_port);
+  if (!host.ok()) {
+    std::fprintf(stderr, "listen: %s\n", host.status().ToString().c_str());
+    return 1;
+  }
+  const std::string reply_to = "127.0.0.1:" + std::to_string((*host)->port());
+
+  // Previous round's parsed snapshot per party set, for --watch deltas.
+  std::map<std::string, obs::WindowRegistry::Snapshot> previous;
+  const size_t rounds = count != 0 ? count : (watch ? SIZE_MAX : 1);
+  int failures = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::vector<std::pair<std::string, std::string>> bodies;
+    failures +=
+        ScrapeStats(host->get(), eps, reply_to, args.timeout_ms, &bodies);
+    std::string json_all;
+    std::string prom_all;
+    for (const auto& [from, body] : bodies) {
+      obs::WindowRegistry::Snapshot snap;
+      std::string error;
+      if (!obs::ParseStatsJson(body, &snap, &error)) {
+        std::fprintf(stderr, "stats: [%s] bad snapshot: %s (%s)\n",
+                     from.c_str(), error.c_str(),
+                     body.substr(0, 120).c_str());
+        ++failures;
+        continue;
+      }
+      // The render/parse pair is the wire contract — a snapshot that
+      // does not survive the round trip is a bug, so check every scrape.
+      if (obs::RenderStatsJson(snap) != body) {
+        std::fprintf(stderr, "stats: [%s] snapshot does not round-trip\n",
+                     from.c_str());
+        ++failures;
+      }
+      json_all += body;
+      json_all += '\n';
+      prom_all += obs::RenderPrometheus(snap);
+      const auto prev = previous.find(from);
+      if (watch && prev != previous.end()) {
+        std::printf("=== %s (delta over %.1fs) ===\n%s", from.c_str(),
+                    static_cast<double>(snap.at_ns - prev->second.at_ns) / 1e9,
+                    obs::RenderStatsTable(obs::DeltaStats(prev->second, snap))
+                        .c_str());
+      } else {
+        std::printf("=== %s ===\n%s", from.c_str(),
+                    obs::RenderStatsTable(snap).c_str());
+      }
+      previous[from] = std::move(snap);
+    }
+    std::fflush(stdout);
+    if (!json_out.empty() && !json_all.empty()) {
+      std::string error;
+      if (!obs::WriteTextFile(json_out, json_all, &error)) {
+        std::fprintf(stderr, "stats: %s\n", error.c_str());
+        ++failures;
+      }
+    }
+    if (!prom_out.empty() && !prom_all.empty()) {
+      std::string error;
+      if (!obs::WriteTextFile(prom_out, prom_all, &error)) {
+        std::fprintf(stderr, "stats: %s\n", error.c_str());
+        ++failures;
+      }
+    }
+  }
+  (*host)->Stop();
+  return failures == 0 ? 0 : 1;
+}
+
+int TraceMergeUsage(const char* prog) {
+  std::fprintf(stderr, "usage: %s trace-merge --out FILE IN.json ...\n", prog);
+  return 2;
+}
+
+int TraceMergeMain(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--out") {
+      if (i + 1 >= argc) return TraceMergeUsage(argv[0]);
+      out_path = argv[++i];
+    } else if (flag.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return TraceMergeUsage(argv[0]);
+    } else {
+      inputs.push_back(flag);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) return TraceMergeUsage(argv[0]);
+  std::vector<std::string> docs;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "trace-merge: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    docs.push_back(buf.str());
+  }
+  std::string merged, error;
+  if (!obs::MergeChromeTraces(docs, &merged, &error)) {
+    std::fprintf(stderr, "trace-merge: %s\n", error.c_str());
+    return 1;
+  }
+  if (!obs::WriteTextFile(out_path, merged, &error)) {
+    std::fprintf(stderr, "trace-merge: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "trace-merge: %zu lane(s) -> %s\n", docs.size(),
+               out_path.c_str());
+  return 0;
+}
+
+int ShutdownMain(int argc, char** argv) {
+  DeployArgs args;
+  for (int i = 2; i < argc; ++i) {
+    int rc = ParseDeployFlag(argc, argv, &i, &args);
+    if (rc == 1) continue;
+    if (rc == 0) std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    if (rc != 1) {
+      std::fprintf(stderr, "usage: %s shutdown --peer PARTY=HOST:PORT ...\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (args.peers.empty()) {
+    std::fprintf(stderr, "usage: %s shutdown --peer PARTY=HOST:PORT ...\n",
+                 argv[0]);
+    return 2;
+  }
+  auto host = PeerHost::Listen(args.listen_port);
+  if (!host.ok()) {
+    std::fprintf(stderr, "listen: %s\n", host.status().ToString().c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const Endpoint& ep : DaemonEndpoints(args)) {
+    Status st = SendCtl(host->get(), ep, "shutdown-client", kCtlShutdown,
+                        Bytes(), args.timeout_ms);
+    if (!st.ok()) {
+      std::fprintf(stderr, "shutdown: %s: %s\n", ep.ToString().c_str(),
+                   st.ToString().c_str());
+      ++failures;
+    }
+  }
+  (*host)->Stop();
+  return failures == 0 ? 0 : 1;
+}
+
 struct Args {
   std::string table1, file1;
   std::string table2, file2;
@@ -633,6 +963,15 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "bench-load") == 0) {
     return BenchLoadMain(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {
+    return StatsMain(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "trace-merge") == 0) {
+    return TraceMergeMain(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "shutdown") == 0) {
+    return ShutdownMain(argc, argv);
   }
   Args args;
   for (int i = 1; i < argc; ++i) {

@@ -11,6 +11,15 @@
 // prepared-dataset cache (--prepared, --cache-bytes) reuses each
 // relation's delivery crypto across the session series.
 //
+// Live telemetry plane (docs/OBSERVABILITY.md), on by default:
+//  - a structured JSON-lines event log on stderr (--log-level),
+//  - a daemon-wide obs scope + windowed metrics registry, scraped over
+//    the control plane: `secmedctl stats` sends ctl_stats, the daemon
+//    answers with a stats snapshot JSON; `secmedctl trace-merge` (and
+//    drive --trace-out) collects the daemon's spans via ctl_trace.
+// --no-telemetry turns the scope/metrics plane off (the event log
+// stays — it is the daemon's diagnostic voice).
+//
 // SIGTERM/SIGINT drain gracefully: stop accepting new sessions, finish
 // the in-flight ones under --drain-timeout, flush reports, then exit.
 //
@@ -30,14 +39,19 @@
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/remote.h"
 #include "core/run_obs.h"
 #include "deploy_flags.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/window.h"
 #include "service/prepared_registry.h"
 #include "service/scheduler.h"
+#include "util/bytes.h"
 
 using namespace secmed;
 
@@ -62,37 +76,71 @@ void InstallSignalHandlers() {
   sigaction(SIGINT, &sa, nullptr);
 }
 
-/// The daemon's final run report: admission and cache statistics of the
-/// whole service lifetime, written next to the per-session artifacts.
-Status WriteServiceReport(const std::string& path,
-                          const SessionScheduler::Stats& sched,
-                          const PreparedRegistryStats& cache, bool drained) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::Internal("cannot write " + path);
-  std::fprintf(
-      f,
-      "{\n"
-      "  \"sessions\": {\"submitted\": %llu, \"accepted\": %llu,\n"
-      "    \"shed\": %llu, \"completed\": %llu,\n"
-      "    \"max_queue_depth\": %llu, \"max_in_flight\": %llu},\n"
-      "  \"cache\": {\"hits\": %llu, \"misses\": %llu, \"inserts\": %llu,\n"
-      "    \"evictions\": %llu, \"invalidations\": %llu,\n"
-      "    \"entries\": %zu, \"resident_bytes\": %zu},\n"
-      "  \"drained\": %s\n"
-      "}\n",
+/// Mirrors the cumulative counters of the obs scope into the windowed
+/// registry (as deltas since the previous call), so the scrape path
+/// reports windowed rates for the wire/transport counters too.
+class ScopeMirror {
+ public:
+  void Collect(const obs::Scope& scope, obs::WindowRegistry* windows) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, value] : scope.metrics().Counters()) {
+      uint64_t& last = last_[name];
+      if (value > last) windows->Add(name, value - last);
+      last = value;
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, uint64_t> last_;
+};
+
+/// The daemon's main report: service-lifetime admission and cache
+/// statistics embedded as a "service" section, with cross-links to the
+/// per-session artifact files written under the same base path.
+Status WriteDaemonReport(const std::string& path,
+                         const SessionScheduler::Stats& sched,
+                         const PreparedRegistryStats& cache, bool drained,
+                         const std::vector<uint32_t>& report_sessions) {
+  std::string out = "{\n  \"service\": {\n";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"sessions\": {\"submitted\": %llu, \"accepted\": %llu,\n"
+      "      \"shed\": %llu, \"completed\": %llu,\n"
+      "      \"max_queue_depth\": %llu, \"max_in_flight\": %llu},\n",
       static_cast<unsigned long long>(sched.submitted),
       static_cast<unsigned long long>(sched.accepted),
       static_cast<unsigned long long>(sched.shed),
       static_cast<unsigned long long>(sched.completed),
       static_cast<unsigned long long>(sched.max_queue_depth),
-      static_cast<unsigned long long>(sched.max_in_flight),
+      static_cast<unsigned long long>(sched.max_in_flight));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"cache\": {\"hits\": %llu, \"misses\": %llu, \"inserts\": %llu,\n"
+      "      \"evictions\": %llu, \"invalidations\": %llu,\n"
+      "      \"entries\": %zu, \"resident_bytes\": %zu},\n",
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.inserts),
       static_cast<unsigned long long>(cache.evictions),
       static_cast<unsigned long long>(cache.invalidations), cache.entries,
-      cache.resident_bytes, drained ? "true" : "false");
-  std::fclose(f);
+      cache.resident_bytes);
+  out += buf;
+  out += std::string("    \"drained\": ") + (drained ? "true" : "false") +
+         "\n  },\n  \"session_reports\": [";
+  bool first = true;
+  for (uint32_t s : report_sessions) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + obs::JsonEscape(SessionPath(path, s)) + "\"";
+  }
+  out += "]\n}\n";
+  std::string error;
+  if (!obs::WriteTextFile(path, out, &error)) {
+    return Status::Internal("cannot write " + path + ": " + error);
+  }
   return Status::OK();
 }
 
@@ -120,16 +168,26 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
+  // The structured event log is the daemon's diagnostic channel from
+  // here on (JSON lines on stderr, grep by "event":...).
+  obs::EventLog elog([&] {
+    obs::EventLog::Options lopt;
+    obs::ParseLogLevel(args.log_level, &lopt.min_level);
+    return lopt;
+  }());
+
   Workload workload = GenerateWorkload(args.workload);
   auto testbed = MediationTestbed::Create(workload, args.testbed);
   if (!testbed.ok()) {
-    std::fprintf(stderr, "testbed: %s\n", testbed.status().ToString().c_str());
+    elog.Log(obs::LogLevel::kError, "daemon.testbed_error",
+             {{"error", testbed.status().ToString()}});
     return 1;
   }
 
   auto host = PeerHost::Listen(args.listen_port);
   if (!host.ok()) {
-    std::fprintf(stderr, "listen: %s\n", host.status().ToString().c_str());
+    elog.Log(obs::LogLevel::kError, "daemon.listen_error",
+             {{"error", host.status().ToString()}});
     return 1;
   }
   std::string parties;
@@ -137,8 +195,26 @@ int main(int argc, char** argv) {
     if (!parties.empty()) parties += ",";
     parties += p;
   }
-  std::fprintf(stderr, "secmedd: hosting %s on 127.0.0.1:%u\n", parties.c_str(),
-               (*host)->port());
+
+  // Daemon-wide telemetry plane: spans/counters of every session that
+  // does not write its own artifacts land in this scope (scraped via
+  // ctl_trace), the windowed registry answers ctl_stats.
+  std::unique_ptr<obs::Scope> telemetry;
+  std::unique_ptr<obs::WindowRegistry> windows;
+  ScopeMirror mirror;
+  if (args.telemetry) {
+    telemetry = std::make_unique<obs::Scope>();
+    windows = std::make_unique<obs::WindowRegistry>();
+    (*host)->SetObsScope(telemetry.get());
+  }
+  (*host)->SetEventLog(&elog);
+
+  // Startup event — tests/net_smoke_test.sh greps "daemon.start" for
+  // readiness, so it must be the first thing after the port is bound.
+  elog.Log(obs::LogLevel::kInfo, "daemon.start",
+           {{"parties", parties},
+            {"port", std::to_string((*host)->port())},
+            {"telemetry", args.telemetry ? "on" : "off"}});
   std::fflush(stderr);
   InstallSignalHandlers();
 
@@ -149,8 +225,8 @@ int main(int argc, char** argv) {
   std::unique_ptr<FaultInjector> faults = args.MakeFaultInjector();
   if (faults != nullptr) {
     for (const FaultSpec& spec : faults->schedule()) {
-      std::fprintf(stderr, "secmedd: fault scheduled: %s\n",
-                   spec.ToString().c_str());
+      elog.Log(obs::LogLevel::kInfo, "daemon.fault_scheduled",
+               {{"spec", spec.ToString()}});
     }
   }
   Deployment deployment = args.MakeDeployment();
@@ -167,19 +243,40 @@ int main(int argc, char** argv) {
     return ropt;
   }());
 
+  // Sessions that wrote their own artifacts, for the main report's
+  // cross-links; guarded — sessions complete on pool workers.
+  std::mutex artifact_mutex;
+  std::vector<uint32_t> report_sessions;
+
   // Run-session body, shared between pool execution and the shed path's
   // report shape. Runs on a scheduler worker; the scheduler-assigned ID
   // is ignored in favour of the wire session id.
   auto run_session = [&](const RunSpec& spec) {
-    // Per-session scope: each session thread traces into its own
-    // artifacts (suffix ".s<N>"), so traces of concurrent sessions
-    // stay separable.
-    std::unique_ptr<obs::Scope> scope;
-    if (args.WantsObs()) scope = std::make_unique<obs::Scope>();
+    // With --trace-out/--report-out each session traces into its own
+    // scope and artifacts (suffix ".s<N>"), so concurrent sessions stay
+    // separable. Otherwise sessions trace into the daemon-wide
+    // telemetry scope, where ctl_trace picks the spans up.
+    std::unique_ptr<obs::Scope> own_scope;
+    if (args.WantsObs()) own_scope = std::make_unique<obs::Scope>();
+    obs::Scope* scope =
+        own_scope != nullptr ? own_scope.get() : telemetry.get();
+    const uint64_t start_ns =
+        windows != nullptr ? windows->NowNanos() : 0;
     RunReport report =
         RunReplicatedSession(testbed->get(), host->get(), deployment, spec,
-                             nullptr, scope.get(), &registry);
-    if (scope != nullptr && report.ok) {
+                             nullptr, scope, &registry);
+    if (scope != nullptr && elog.enabled(obs::LogLevel::kInfo)) {
+      // Correlate subsequent log lines with the deployment-wide trace
+      // (the scope derived it from the spec's shared seed label).
+      elog.SetTrace(scope->trace());
+    }
+    if (windows != nullptr) {
+      const uint64_t dur_ns = windows->NowNanos() - start_ns;
+      windows->Add(report.ok ? "sessions.completed" : "sessions.failed", 1);
+      windows->Observe("session.latency_ns", dur_ns);
+      windows->Observe("session.latency_ns." + spec.protocol, dur_ns);
+    }
+    if (own_scope != nullptr && report.ok) {
       obs::RunInfo info;
       info.protocol = spec.protocol;
       info.query = spec.query;
@@ -188,29 +285,39 @@ int main(int argc, char** argv) {
       info.messages = report.messages;
       info.total_bytes = report.total_bytes;
       Status obs_st = WriteObsArtifacts(
-          *scope, info, PartyTrafficRows(report),
+          *own_scope, info, PartyTrafficRows(report),
           SessionPath(args.trace_out, spec.session),
-          SessionPath(args.report_out, spec.session));
+          SessionPath(args.report_out, spec.session), parties);
       if (!obs_st.ok()) {
-        std::fprintf(stderr, "secmedd: %s\n", obs_st.ToString().c_str());
+        elog.Log(obs::LogLevel::kWarn, "session.artifact_error",
+                 {{"session", std::to_string(spec.session)},
+                  {"error", obs_st.ToString()}});
+      } else if (!args.report_out.empty()) {
+        std::lock_guard<std::mutex> lock(artifact_mutex);
+        report_sessions.push_back(spec.session);
       }
     }
-    std::fprintf(stderr, "secmedd: session %u %s (%llu msgs, %llu bytes)%s%s\n",
-                 spec.session, report.ok ? "ok" : "FAILED",
-                 static_cast<unsigned long long>(report.messages),
-                 static_cast<unsigned long long>(report.total_bytes),
-                 report.ok ? "" : ": ", report.ok ? "" : report.error.c_str());
+    elog.Log(report.ok ? obs::LogLevel::kInfo : obs::LogLevel::kError,
+             "session.done",
+             {{"session", std::to_string(spec.session)},
+              {"ok", report.ok ? "1" : "0"},
+              {"protocol", spec.protocol},
+              {"messages", std::to_string(report.messages)},
+              {"bytes", std::to_string(report.total_bytes)},
+              {"error", report.error}});
     auto reply_ep = ParseEndpoint(spec.reply_to);
     if (!reply_ep.ok()) {
-      std::fprintf(stderr, "secmedd: bad reply endpoint '%s'\n",
-                   spec.reply_to.c_str());
+      elog.Log(obs::LogLevel::kWarn, "session.bad_reply_endpoint",
+               {{"session", std::to_string(spec.session)},
+                {"reply_to", spec.reply_to}});
       return;
     }
     Status st = SendCtl(host->get(), *reply_ep, report.party_set, kCtlReport,
                         report.Encode(), args.timeout_ms);
     if (!st.ok()) {
-      std::fprintf(stderr, "secmedd: report delivery: %s\n",
-                   st.ToString().c_str());
+      elog.Log(obs::LogLevel::kWarn, "session.report_delivery_error",
+               {{"session", std::to_string(spec.session)},
+                {"error", st.ToString()}});
     }
     (*host)->DropSession(spec.session);
   };
@@ -225,41 +332,95 @@ int main(int argc, char** argv) {
     return sopt;
   }());
 
+  // Builds the scrape snapshot answered to ctl_stats: windowed wire and
+  // session metrics, plus point-in-time scheduler and cache gauges.
+  auto take_snapshot = [&]() {
+    mirror.Collect(*telemetry, windows.get());
+    SessionScheduler::Stats sched = scheduler.stats();
+    windows->SetGauge("scheduler.pending", scheduler.Pending());
+    windows->SetGauge("scheduler.max_queue_depth", sched.max_queue_depth);
+    windows->SetGauge("scheduler.max_in_flight", sched.max_in_flight);
+    PreparedRegistryStats cache = registry.Stats();
+    windows->SetGauge("cache.entries", cache.entries);
+    windows->SetGauge("cache.resident_bytes", cache.resident_bytes);
+    windows->SetGauge("cache.hit_permille",
+                      static_cast<uint64_t>(cache.HitRate() * 1000));
+    obs::WindowRegistry::Snapshot snap = windows->TakeSnapshot();
+    snap.labels["party_set"] = parties;
+    snap.labels["port"] = std::to_string((*host)->port());
+    return snap;
+  };
+
   for (;;) {
     if (g_signal != 0) {
-      std::fprintf(stderr, "secmedd: caught signal %d, draining\n",
-                   static_cast<int>(g_signal));
+      elog.Log(obs::LogLevel::kInfo, "daemon.signal",
+               {{"signal", std::to_string(static_cast<int>(g_signal))}});
       break;
     }
+    // Sessions detach the host's obs scope when they finish
+    // (RunOverTransport's scope-lifetime contract); reattach the
+    // daemon-wide telemetry scope so between-session wire activity —
+    // and the next session, if it has no scope of its own — stays
+    // instrumented.
+    if (telemetry != nullptr) (*host)->SetObsScope(telemetry.get());
     auto ctl = (*host)->WaitCtl(1000);
     if (!ctl.ok()) {
       if (ctl.status().code() == StatusCode::kDeadlineExceeded) continue;
-      std::fprintf(stderr, "secmedd: control plane: %s\n",
-                   ctl.status().ToString().c_str());
+      elog.Log(obs::LogLevel::kError, "daemon.ctl_error",
+               {{"error", ctl.status().ToString()}});
       break;
     }
     if (ctl->type == kCtlShutdown) {
-      std::fprintf(stderr, "secmedd: shutdown requested by %s\n",
-                   ctl->from.c_str());
+      elog.Log(obs::LogLevel::kInfo, "daemon.shutdown",
+               {{"from", ctl->from}});
       break;
     }
     if (ctl->type == kCtlPeerDown) {
       // A client (or peer daemon) went away. Running sessions notice on
       // their own; the daemon itself keeps serving the next driver.
-      std::fprintf(stderr, "secmedd: %s\n",
-                   std::string(ctl->payload.begin(), ctl->payload.end())
-                       .c_str());
+      // (PeerHost already logged net.peer_down with the details.)
+      elog.Log(obs::LogLevel::kDebug, "daemon.peer_down_notice",
+               {{"party", ctl->from}});
+      continue;
+    }
+    if (ctl->type == kCtlStats || ctl->type == kCtlTrace) {
+      // Telemetry scrape: the payload is the reply "host:port".
+      const std::string reply(ctl->payload.begin(), ctl->payload.end());
+      auto reply_ep = ParseEndpoint(reply);
+      if (!reply_ep.ok()) {
+        elog.Log(obs::LogLevel::kWarn, "daemon.bad_scrape_endpoint",
+                 {{"type", ctl->type}, {"reply_to", reply}});
+        continue;
+      }
+      std::string body;
+      if (telemetry == nullptr) {
+        body = "{\"error\":\"telemetry disabled on " +
+               obs::JsonEscape(parties) + "\"}";
+      } else if (ctl->type == kCtlStats) {
+        body = obs::RenderStatsJson(take_snapshot());
+      } else {
+        obs::ChromeTraceOptions copt;
+        copt.process_name = parties;
+        copt.trace_id_hex = telemetry->trace().TraceIdHex();
+        body = obs::RenderChromeTrace(telemetry->tracer(), copt);
+      }
+      Status st = SendCtl(host->get(), *reply_ep, parties, ctl->type,
+                          ToBytes(body), args.timeout_ms);
+      if (!st.ok()) {
+        elog.Log(obs::LogLevel::kWarn, "daemon.scrape_reply_error",
+                 {{"type", ctl->type}, {"error", st.ToString()}});
+      }
       continue;
     }
     if (ctl->type != kCtlRun) {
-      std::fprintf(stderr, "secmedd: ignoring control frame '%s'\n",
-                   ctl->type.c_str());
+      elog.Log(obs::LogLevel::kWarn, "daemon.unknown_ctl",
+               {{"type", ctl->type}});
       continue;
     }
     auto spec = RunSpec::Decode(ctl->payload);
     if (!spec.ok()) {
-      std::fprintf(stderr, "secmedd: bad run spec: %s\n",
-                   spec.status().ToString().c_str());
+      elog.Log(obs::LogLevel::kWarn, "daemon.bad_run_spec",
+               {{"error", spec.status().ToString()}});
       continue;
     }
     auto admitted = scheduler.Submit(
@@ -268,8 +429,10 @@ int main(int argc, char** argv) {
       // Shed: tell the driver right away — a kUnavailable report beats a
       // driver-side timeout. The report carries this daemon's party set
       // so the driver can attribute the refusal.
-      std::fprintf(stderr, "secmedd: session %u shed: %s\n", spec->session,
-                   admitted.status().ToString().c_str());
+      elog.Log(obs::LogLevel::kWarn, "session.shed",
+               {{"session", std::to_string(spec->session)},
+                {"error", admitted.status().ToString()}});
+      if (windows != nullptr) windows->Add("sessions.shed", 1);
       RunReport shed;
       shed.session = spec->session;
       shed.party_set = parties;
@@ -289,26 +452,32 @@ int main(int argc, char** argv) {
   Status drain =
       scheduler.Drain(std::chrono::milliseconds(args.drain_timeout_ms));
   if (!drain.ok()) {
-    std::fprintf(stderr, "secmedd: drain: %s\n", drain.ToString().c_str());
+    elog.Log(obs::LogLevel::kWarn, "daemon.drain_error",
+             {{"error", drain.ToString()}});
   }
   SessionScheduler::Stats sched = scheduler.stats();
   PreparedRegistryStats cache = registry.Stats();
-  std::fprintf(stderr,
-               "secmedd: served %llu session(s) (%llu shed), cache %llu hit / "
-               "%llu miss / %llu evicted, %zu entr%s resident (%zu bytes)\n",
-               static_cast<unsigned long long>(sched.completed),
-               static_cast<unsigned long long>(sched.shed),
-               static_cast<unsigned long long>(cache.hits),
-               static_cast<unsigned long long>(cache.misses),
-               static_cast<unsigned long long>(cache.evictions), cache.entries,
-               cache.entries == 1 ? "y" : "ies", cache.resident_bytes);
+  elog.Log(obs::LogLevel::kInfo, "daemon.exit",
+           {{"completed", std::to_string(sched.completed)},
+            {"shed", std::to_string(sched.shed)},
+            {"cache_hits", std::to_string(cache.hits)},
+            {"cache_misses", std::to_string(cache.misses)},
+            {"cache_entries", std::to_string(cache.entries)},
+            {"log_suppressed", std::to_string(elog.suppressed())}});
   if (!args.report_out.empty()) {
-    Status st = WriteServiceReport(args.report_out + ".service", sched, cache,
-                                   drain.ok());
+    std::vector<uint32_t> sessions_with_reports;
+    {
+      std::lock_guard<std::mutex> lock(artifact_mutex);
+      sessions_with_reports = report_sessions;
+    }
+    Status st = WriteDaemonReport(args.report_out, sched, cache, drain.ok(),
+                                  sessions_with_reports);
     if (!st.ok()) {
-      std::fprintf(stderr, "secmedd: %s\n", st.ToString().c_str());
+      elog.Log(obs::LogLevel::kWarn, "daemon.report_error",
+               {{"error", st.ToString()}});
     }
   }
   (*host)->Stop();
+  (*host)->SetEventLog(nullptr);
   return 0;
 }
