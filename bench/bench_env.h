@@ -25,6 +25,16 @@ inline constexpr bool kBenchOptimizedBuild = false;
 inline void BenchCheckBuild() {
   benchmark::AddCustomContext(
       "secmed_build", kBenchOptimizedBuild ? "optimized" : "unoptimized");
+  // Our CMake build type, distinct from google-benchmark's own
+  // "library_build_type" (which reports how the *library* was compiled —
+  // a debug libbenchmark only skews timer overhead, not the measured
+  // kernels, but our own build type must match across compared runs).
+#ifdef SECMED_CMAKE_BUILD_TYPE
+  benchmark::AddCustomContext("secmed_cmake_build_type",
+                              SECMED_CMAKE_BUILD_TYPE);
+#else
+  benchmark::AddCustomContext("secmed_cmake_build_type", "unknown");
+#endif
   if (!kBenchOptimizedBuild) {
     std::fprintf(
         stderr,

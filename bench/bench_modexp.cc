@@ -22,6 +22,7 @@
 
 #include "bigint/fastexp.h"
 #include "bigint/modular.h"
+#include "bigint/mont_kernel.h"
 #include "crypto/commutative.h"
 #include "crypto/elgamal.h"
 #include "crypto/group_params.h"
@@ -34,6 +35,7 @@ namespace {
 
 constexpr size_t kGroupBits = 1024;
 constexpr size_t kPaillierBits = 1024;
+constexpr size_t kPaillierBitsLarge = 2048;
 constexpr size_t kPoolItems = 32;
 
 // Schoolbook square-and-multiply without Montgomery arithmetic: the
@@ -95,6 +97,47 @@ void BM_ModExp_FixedExponentRecoding(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModExp_FixedExponentRecoding);
+
+// 2048-bit exponentiation over a fixed random odd modulus (no standard
+// safe-prime group at this size; Montgomery exponentiation only needs an
+// odd modulus). This is the acceptance-gate size for the limb kernel.
+struct ModExp2048Fixture {
+  BigInt m;
+  BigInt base;
+  BigInt exp;
+  std::shared_ptr<const MontgomeryContext> ctx;
+
+  ModExp2048Fixture() : m(0), base(0), exp(0) {
+    XoshiroRandomSource rng(7010);
+    m = BigInt::RandomWithBits(2048, &rng);
+    if (m.is_even()) m += BigInt(1);
+    base = BigInt::RandomBelow(m, &rng);
+    exp = BigInt::RandomWithBits(2048, &rng);
+    ctx = std::make_shared<const MontgomeryContext>(
+        MontgomeryContext::Create(m).value());
+  }
+};
+
+ModExp2048Fixture& Fx2048() {
+  static ModExp2048Fixture* fx = new ModExp2048Fixture();
+  return *fx;
+}
+
+void BM_ModExp_MontgomeryRecoded2048(benchmark::State& state) {
+  ModExp2048Fixture& fx = Fx2048();
+  // Per-kernel counters: the muls/sqrs mix is what justifies the dedicated
+  // squaring routine (a sliding-window exponentiation is ~bits squarings
+  // vs ~bits/(w+1) multiplies, so most kernel calls take the cheaper path).
+  montk::ResetKernelCounters();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.ctx->Exp(fx.base, fx.exp));
+  }
+  const montk::KernelCounters kc = montk::ReadKernelCounters();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["kernel_muls_per_op"] = static_cast<double>(kc.muls) / iters;
+  state.counters["kernel_sqrs_per_op"] = static_cast<double>(kc.sqrs) / iters;
+}
+BENCHMARK(BM_ModExp_MontgomeryRecoded2048);
 
 void BM_ModExp_FixedBaseTable(benchmark::State& state) {
   // The per-base amortization: one table, many exponents.
@@ -185,6 +228,37 @@ void BM_PaillierDecrypt_Crt(benchmark::State& state) {
 }
 BENCHMARK(BM_PaillierDecrypt_Crt);
 
+// 2048-bit-modulus Paillier key: each CRT half runs a 2048-bit
+// exponentiation mod p^2 — the acceptance-gate size for CRT decryption.
+struct Paillier2048Fixture {
+  PaillierKeyPair keys;
+  BigInt m;
+  BigInt c;
+
+  Paillier2048Fixture()
+      : keys([] {
+          XoshiroRandomSource rng(7011);
+          return PaillierGenerateKey(kPaillierBitsLarge, &rng).value();
+        }()),
+        m(987654321) {
+    XoshiroRandomSource rng(7012);
+    c = keys.public_key.Encrypt(m, &rng).value();
+  }
+};
+
+Paillier2048Fixture& Pf2048() {
+  static Paillier2048Fixture* fx = new Paillier2048Fixture();
+  return *fx;
+}
+
+void BM_PaillierDecrypt_Crt2048(benchmark::State& state) {
+  Paillier2048Fixture& fx = Pf2048();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.keys.private_key.Decrypt(fx.c).value());
+  }
+}
+BENCHMARK(BM_PaillierDecrypt_Crt2048);
+
 // ----------------------------------------------------------------- ElGamal
 
 struct ElGamalFixture {
@@ -270,6 +344,35 @@ void BM_CommutativeEncrypt_Recoded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CommutativeEncrypt_Recoded);
+
+// ------------------------------------------------- Karatsuba threshold sweep
+//
+// BigInt::operator* still backs the non-Montgomery paths (Paillier 1+m·n,
+// CRT recombination, key generation, division-based reductions). The sweep
+// multiplies two 4096-bit magnitudes (128 u32 limbs — deep enough for two
+// Karatsuba levels at the smallest thresholds) across candidate thresholds;
+// the committed default in bigint.cc follows the minimum of this curve.
+void BM_BigIntMul_KaratsubaSweep(benchmark::State& state) {
+  const size_t threshold = static_cast<size_t>(state.range(0));
+  XoshiroRandomSource rng(7020);
+  const BigInt a = BigInt::RandomWithBits(4096, &rng);
+  const BigInt b = BigInt::RandomWithBits(4096, &rng);
+  const size_t saved = BigInt::karatsuba_threshold();
+  BigInt::set_karatsuba_threshold(threshold);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  BigInt::set_karatsuba_threshold(saved);
+}
+BENCHMARK(BM_BigIntMul_KaratsubaSweep)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(24)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Arg(128);  // 128: schoolbook all the way at this operand size
 
 }  // namespace
 }  // namespace secmed

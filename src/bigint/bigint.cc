@@ -1,13 +1,18 @@
 #include "bigint/bigint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace secmed {
 
 namespace {
 constexpr uint64_t kBase = 1ULL << 32;
-constexpr size_t kKaratsubaThreshold = 32;  // limbs
+// Default from the BM_BigIntMul_KaratsubaSweep curve in EXPERIMENTS.md
+// (the per-recursion vector allocations make schoolbook competitive well
+// past the textbook crossover); overridable at runtime via
+// BigInt::set_karatsuba_threshold for re-tuning on other hosts.
+std::atomic<size_t> g_karatsuba_threshold{48};  // limbs
 
 // Removes trailing zero limbs.
 void Trim(std::vector<uint32_t>* v) {
@@ -32,6 +37,22 @@ BigInt::BigInt(uint64_t v) {
 void BigInt::Normalize() {
   Trim(&limbs_);
   if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::FromLimbs(std::vector<uint32_t> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.Normalize();
+  return out;
+}
+
+size_t BigInt::karatsuba_threshold() {
+  return g_karatsuba_threshold.load(std::memory_order_relaxed);
+}
+
+void BigInt::set_karatsuba_threshold(size_t limbs) {
+  if (limbs < 2) limbs = 2;
+  g_karatsuba_threshold.store(limbs, std::memory_order_relaxed);
 }
 
 Result<BigInt> BigInt::FromDecimal(std::string_view s) {
@@ -284,7 +305,9 @@ std::vector<uint32_t> BigInt::MulSchoolbook(const std::vector<uint32_t>& a,
 
 std::vector<uint32_t> BigInt::MulKaratsuba(const std::vector<uint32_t>& a,
                                            const std::vector<uint32_t>& b) {
-  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+  const size_t threshold =
+      g_karatsuba_threshold.load(std::memory_order_relaxed);
+  if (a.size() < threshold || b.size() < threshold) {
     return MulSchoolbook(a, b);
   }
   const size_t half = std::max(a.size(), b.size()) / 2;

@@ -36,6 +36,9 @@ class BigInt {
   static Result<BigInt> FromHex(std::string_view s);
   /// Interprets big-endian bytes as a non-negative integer.
   static BigInt FromBytes(const Bytes& be);
+  /// Builds a non-negative integer from little-endian base-2^32 limbs
+  /// (trailing zeros allowed; the value is normalized).
+  static BigInt FromLimbs(std::vector<uint32_t> limbs);
 
   /// Renders as decimal with leading '-' if negative.
   std::string ToDecimal() const;
@@ -104,6 +107,12 @@ class BigInt {
 
   /// Access to raw limbs (little-endian base 2^32); for tests/diagnostics.
   const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+  /// Limb count at or above which multiplication switches from schoolbook
+  /// to Karatsuba. Tunable so bench_modexp can sweep it; the default is
+  /// chosen from the committed sweep in EXPERIMENTS.md.
+  static size_t karatsuba_threshold();
+  static void set_karatsuba_threshold(size_t limbs);
 
  private:
   void Normalize();

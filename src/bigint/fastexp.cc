@@ -73,22 +73,31 @@ Result<FixedBaseTable> FixedBaseTable::Create(
   t.base_ = base;
   t.max_exp_bits_ = max_exp_bits;
   t.window_bits_ = window_bits;
+  t.n_ = ctx->limb_count();
 
   const size_t w = static_cast<size_t>(window_bits);
   const size_t windows = (max_exp_bits + w - 1) / w;
   const size_t digits = (static_cast<size_t>(1) << w) - 1;
-  t.table_.resize(windows);
+  const size_t n = t.n_;
+  t.table_.resize(windows * digits * n);
 
   // power = base^(2^(w*i)) in the Montgomery domain; each window's digit
-  // column is a short multiplication chain off it.
-  BigInt power = ctx->ToMont(base);
+  // column is a short multiplication chain off it. Everything stays raw
+  // limbs — the only BigInt conversion is packing the base once.
+  std::vector<Limb> power(n);
+  std::vector<Limb> scratch(ctx->scratch_limbs());
+  ctx->ToMontInto(power.data(), base, scratch.data());
   for (size_t i = 0; i < windows; ++i) {
-    std::vector<BigInt>& col = t.table_[i];
-    col.resize(digits);
-    col[0] = power;
-    for (size_t d = 1; d < digits; ++d) col[d] = ctx->MulMont(col[d - 1], power);
+    Limb* col = t.table_.data() + i * digits * n;
+    for (size_t k = 0; k < n; ++k) col[k] = power[k];
+    for (size_t d = 1; d < digits; ++d) {
+      ctx->MontMulInto(col + d * n, col + (d - 1) * n, power.data(),
+                       scratch.data());
+    }
     if (i + 1 < windows) {
-      for (size_t k = 0; k < w; ++k) power = ctx->MulMont(power, power);
+      for (size_t k = 0; k < w; ++k) {
+        ctx->MontSqrInto(power.data(), power.data(), scratch.data());
+      }
     }
   }
   t.ctx_ = std::move(ctx);
@@ -101,7 +110,10 @@ BigInt FixedBaseTable::Pow(const BigInt& exp) const {
   }
   const size_t w = static_cast<size_t>(window_bits_);
   const size_t windows = (exp.BitLength() + w - 1) / w;
-  BigInt acc = ctx_->MontOne();
+  const size_t digits = (static_cast<size_t>(1) << w) - 1;
+  const size_t n = n_;
+  std::vector<Limb> acc(n);
+  std::vector<Limb> scratch(ctx_->scratch_limbs());
   bool have_acc = false;
   for (size_t i = 0; i < windows; ++i) {
     uint32_t digit = 0;
@@ -109,11 +121,20 @@ BigInt FixedBaseTable::Pow(const BigInt& exp) const {
       digit = (digit << 1) | (exp.TestBit(i * w + k) ? 1u : 0u);
     }
     if (digit == 0) continue;
-    const BigInt& entry = table_[i][digit - 1];
-    acc = have_acc ? ctx_->MulMont(acc, entry) : entry;
-    have_acc = true;
+    const Limb* entry = table_.data() + (i * digits + (digit - 1)) * n;
+    if (have_acc) {
+      ctx_->MontMulInto(acc.data(), acc.data(), entry, scratch.data());
+    } else {
+      for (size_t k = 0; k < n; ++k) acc[k] = entry[k];
+      have_acc = true;
+    }
   }
-  return ctx_->FromMont(acc);
+  if (!have_acc) {
+    const std::vector<Limb>& one = ctx_->MontOneLimbs();
+    for (size_t k = 0; k < n; ++k) acc[k] = one[k];
+  }
+  ctx_->FromMontInto(acc.data(), acc.data(), scratch.data());
+  return ctx_->LimbsToBigInt(acc.data());
 }
 
 }  // namespace secmed

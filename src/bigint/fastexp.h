@@ -71,12 +71,16 @@ class FixedBaseTable {
  private:
   FixedBaseTable() = default;
 
+  using Limb = MontgomeryContext::Limb;
+
   std::shared_ptr<const MontgomeryContext> ctx_;
   BigInt base_;
   size_t max_exp_bits_ = 0;
   int window_bits_ = 0;
-  // table_[i][d - 1] = base^(d * 2^(window_bits*i)), Montgomery domain.
-  std::vector<std::vector<BigInt>> table_;
+  size_t n_ = 0;  // limbs per entry (== ctx_->limb_count())
+  // Flat raw-limb storage, Montgomery domain: entry (window i, digit d) is
+  // base^(d * 2^(window_bits*i)) at offset (i * digits + (d - 1)) * n_.
+  std::vector<Limb> table_;
 };
 
 }  // namespace secmed

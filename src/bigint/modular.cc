@@ -1,6 +1,7 @@
 #include "bigint/modular.h"
 
 #include <cassert>
+#include <utility>
 
 #include "bigint/fastexp.h"
 
@@ -78,6 +79,176 @@ Result<BigInt> ModExpGeneric(const BigInt& base, const BigInt& exp,
   }
   return result;
 }
+
+// ---------------------------------------------------------------------------
+// Shared limb-level plumbing for both limb widths. MontgomeryContext
+// instantiates this with the native Limb; MontgomeryContextRef32 pins it to
+// uint32_t so the two kernels stay differentially testable against each
+// other regardless of the host.
+
+/// BigInt u32 limbs -> L limbs, exactly n entries. For 64-bit limbs each
+/// pair of u32 limbs packs into one; the value must already be < 2^(n*B).
+template <typename L>
+std::vector<L> PackLimbs(const BigInt& x, size_t n) {
+  const std::vector<uint32_t>& src = x.limbs();
+  std::vector<L> out(n, 0);
+  if constexpr (sizeof(L) == 8) {
+    for (size_t i = 0; i < src.size(); ++i) {
+      out[i / 2] |= static_cast<L>(src[i]) << (32 * (i % 2));
+    }
+  } else {
+    for (size_t i = 0; i < src.size(); ++i) out[i] = src[i];
+  }
+  return out;
+}
+
+/// L limbs -> BigInt, through the u32 limb constructor (no byte strings).
+template <typename L>
+BigInt UnpackLimbs(const L* a, size_t n) {
+  std::vector<uint32_t> out;
+  if constexpr (sizeof(L) == 8) {
+    out.resize(n * 2);
+    for (size_t i = 0; i < n; ++i) {
+      out[2 * i] = static_cast<uint32_t>(a[i]);
+      out[2 * i + 1] = static_cast<uint32_t>(a[i] >> 32);
+    }
+  } else {
+    out.assign(a, a + n);
+  }
+  return BigInt::FromLimbs(std::move(out));
+}
+
+/// Reduces x into [0, m) first — this is what fixes the old PadLimbs
+/// truncation bug: operands wider than the modulus (or negative) are
+/// reduced, never silently chopped to n limbs.
+template <typename L>
+std::vector<L> PackReduced(const BigInt& x, const BigInt& m, size_t n) {
+  if (x.is_negative() || x >= m) {
+    return PackLimbs<L>(BigInt::Mod(x, m).value(), n);
+  }
+  return PackLimbs<L>(x, n);
+}
+
+template <typename L>
+struct RawParts {
+  std::vector<L> mod, r2, one, unit;
+  size_t n = 0;
+  L inv = 0;
+};
+
+/// Non-owning view of a context's precomputed limb vectors; what the shared
+/// impl helpers actually operate on (no copies at the call sites).
+template <typename L>
+struct RawView {
+  const L* mod;
+  const L* r2;
+  const L* one;
+  const L* unit;
+  size_t n;
+  L inv;
+};
+
+template <typename L>
+RawParts<L> BuildRawParts(const BigInt& modulus, BigInt* one_mont_out) {
+  constexpr int B = montk::kBits<L>;
+  RawParts<L> p;
+  p.n = (modulus.BitLength() + B - 1) / B;
+  p.mod = PackLimbs<L>(modulus, p.n);
+  p.inv = montk::NegInvLimb<L>(p.mod[0]);
+  const BigInt r = BigInt(1) << (static_cast<size_t>(B) * p.n);
+  const BigInt one_mont = BigInt::Mod(r, modulus).value();
+  p.one = PackLimbs<L>(one_mont, p.n);
+  p.r2 = PackLimbs<L>(BigInt::Mod(one_mont * one_mont, modulus).value(), p.n);
+  p.unit.assign(p.n, 0);
+  p.unit[0] = 1;
+  if (one_mont_out != nullptr) *one_mont_out = one_mont;
+  return p;
+}
+
+/// a * b mod m (normal domain): two kernel calls — ab·R^-1, then ×R² — so
+/// no ToMont conversion of either operand is needed.
+template <typename L>
+BigInt MulImpl(const RawView<L>& p, const BigInt& modulus, const BigInt& a,
+               const BigInt& b) {
+  std::vector<L> av = PackReduced<L>(a, modulus, p.n);
+  std::vector<L> bv = PackReduced<L>(b, modulus, p.n);
+  std::vector<L> t(p.n + 2);
+  montk::MulInto(av.data(), av.data(), bv.data(), p.mod, p.inv, p.n,
+                 t.data());
+  montk::MulInto(av.data(), av.data(), p.r2, p.mod, p.inv, p.n,
+                 t.data());
+  return UnpackLimbs(av.data(), p.n);
+}
+
+template <typename L>
+BigInt SqrImpl(const RawView<L>& p, const BigInt& modulus, const BigInt& a) {
+  std::vector<L> av = PackReduced<L>(a, modulus, p.n);
+  std::vector<L> scratch(2 * p.n + 2);
+  montk::SqrInto(av.data(), av.data(), p.mod, p.inv, p.n,
+                 scratch.data());
+  montk::MulInto(av.data(), av.data(), p.r2, p.mod, p.inv, p.n,
+                 scratch.data());
+  return UnpackLimbs(av.data(), p.n);
+}
+
+/// acc = base_mont^rec in the Montgomery domain, allocation-free per step.
+/// Layout of *work: [odd-power table: odd_count*n][base²: n][scratch: 2n+2].
+template <typename L>
+void ExpMontImpl(const RawView<L>& p, L* acc, const L* base_mont,
+                 const ExponentRecoding& rec, std::vector<L>* work) {
+  const size_t n = p.n;
+  if (rec.steps().empty()) {  // exponent was zero
+    for (size_t i = 0; i < n; ++i) acc[i] = p.one[i];
+    return;
+  }
+  const size_t odd_count = static_cast<size_t>(1) << (rec.window_bits() - 1);
+  work->resize((odd_count + 1) * n + 2 * n + 2);
+  L* odd = work->data();
+  L* base_sq = odd + odd_count * n;
+  L* scratch = base_sq + n;
+
+  // odd[k] = base^(2k+1), Montgomery domain.
+  for (size_t i = 0; i < n; ++i) odd[i] = base_mont[i];
+  if (odd_count > 1) {
+    montk::SqrInto(base_sq, base_mont, p.mod, p.inv, n, scratch);
+    for (size_t k = 1; k < odd_count; ++k) {
+      montk::MulInto(odd + k * n, odd + (k - 1) * n, base_sq, p.mod,
+                     p.inv, n, scratch);
+    }
+  }
+
+  // The accumulator starts as the first step's digit: squaring 1 is free.
+  const L* first = odd + (rec.steps()[0].digit >> 1) * n;
+  for (size_t i = 0; i < n; ++i) acc[i] = first[i];
+  for (size_t s = 1; s < rec.steps().size(); ++s) {
+    const ExponentRecoding::Step& step = rec.steps()[s];
+    for (uint32_t k = 0; k < step.squarings; ++k) {
+      montk::SqrInto(acc, acc, p.mod, p.inv, n, scratch);
+    }
+    montk::MulInto(acc, acc, odd + (step.digit >> 1) * n, p.mod, p.inv,
+                   n, scratch);
+  }
+  for (uint32_t k = 0; k < rec.trailing_squarings(); ++k) {
+    montk::SqrInto(acc, acc, p.mod, p.inv, n, scratch);
+  }
+}
+
+/// base^rec mod m, BigInt boundary crossed exactly once per side.
+template <typename L>
+BigInt ExpImpl(const RawView<L>& p, const BigInt& modulus, const BigInt& base,
+               const ExponentRecoding& rec) {
+  const size_t n = p.n;
+  std::vector<L> base_mont = PackReduced<L>(base, modulus, n);
+  std::vector<L> scratch(2 * n + 2);
+  montk::MulInto(base_mont.data(), base_mont.data(), p.r2, p.mod,
+                 p.inv, n, scratch.data());
+  std::vector<L> acc(n);
+  std::vector<L> work;
+  ExpMontImpl(p, acc.data(), base_mont.data(), rec, &work);
+  montk::MulInto(acc.data(), acc.data(), p.unit, p.mod, p.inv, n,
+                 scratch.data());
+  return UnpackLimbs(acc.data(), n);
+}
 }  // namespace
 
 Result<BigInt> ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
@@ -101,118 +272,63 @@ Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
   }
   MontgomeryContext ctx;
   ctx.modulus_ = modulus;
-  ctx.mod_limbs_ = modulus.limbs();
-  ctx.n_ = ctx.mod_limbs_.size();
-
-  // inv32 = -m^{-1} mod 2^32 by Newton iteration.
-  uint32_t m0 = ctx.mod_limbs_[0];
-  uint32_t inv = m0;  // 3-bit correct seed for odd m0
-  for (int i = 0; i < 5; ++i) inv *= 2u - m0 * inv;
-  ctx.inv32_ = ~inv + 1u;  // negate mod 2^32
-
-  // R = 2^(32n); r2 = R^2 mod m, one_mont = R mod m.
-  BigInt r = BigInt(1) << (32 * ctx.n_);
-  ctx.one_mont_ = BigInt::Mod(r, modulus).value();
-  ctx.r2_ = BigInt::Mod(ctx.one_mont_ * ctx.one_mont_, modulus).value();
+  RawParts<Limb> p = BuildRawParts<Limb>(modulus, &ctx.one_mont_);
+  ctx.mod_ = std::move(p.mod);
+  ctx.r2_ = std::move(p.r2);
+  ctx.one_ = std::move(p.one);
+  ctx.unit_ = std::move(p.unit);
+  ctx.n_ = p.n;
+  ctx.inv_ = p.inv;
   return ctx;
 }
 
-std::vector<uint32_t> MontgomeryContext::PadLimbs(const BigInt& x) const {
-  std::vector<uint32_t> out = x.limbs();
-  out.resize(n_, 0);
-  return out;
-}
-
-std::vector<uint32_t> MontgomeryContext::MontMulLimbs(
-    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) const {
-  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
-  const size_t n = n_;
-  std::vector<uint32_t> t(n + 2, 0);
-  for (size_t i = 0; i < n; ++i) {
-    // t += a[i] * b
-    uint64_t carry = 0;
-    const uint64_t ai = a[i];
-    for (size_t j = 0; j < n; ++j) {
-      uint64_t cur = t[j] + ai * b[j] + carry;
-      t[j] = static_cast<uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    uint64_t cur = t[n] + carry;
-    t[n] = static_cast<uint32_t>(cur);
-    t[n + 1] = static_cast<uint32_t>(cur >> 32);
-
-    // m_i = t[0] * inv32 mod 2^32; t = (t + m_i * mod) / 2^32
-    const uint64_t mi = static_cast<uint32_t>(t[0] * inv32_);
-    cur = t[0] + mi * mod_limbs_[0];
-    carry = cur >> 32;
-    for (size_t j = 1; j < n; ++j) {
-      cur = t[j] + mi * mod_limbs_[j] + carry;
-      t[j - 1] = static_cast<uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    cur = static_cast<uint64_t>(t[n]) + carry;
-    t[n - 1] = static_cast<uint32_t>(cur);
-    t[n] = t[n + 1] + static_cast<uint32_t>(cur >> 32);
-    t[n + 1] = 0;
-  }
-  // Conditional final subtraction: result may be >= mod.
-  std::vector<uint32_t> res(t.begin(), t.begin() + n);
-  bool ge = t[n] != 0;
-  if (!ge) {
-    ge = true;
-    for (size_t i = n; i-- > 0;) {
-      if (res[i] != mod_limbs_[i]) {
-        ge = res[i] > mod_limbs_[i];
-        break;
-      }
-    }
-  }
-  if (ge) {
-    int64_t borrow = 0;
-    for (size_t i = 0; i < n; ++i) {
-      int64_t diff = static_cast<int64_t>(res[i]) -
-                     static_cast<int64_t>(mod_limbs_[i]) - borrow;
-      if (diff < 0) {
-        diff += static_cast<int64_t>(1) << 32;
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      res[i] = static_cast<uint32_t>(diff);
-    }
-  }
-  return res;
-}
-
 namespace {
-BigInt LimbsToBigInt(const std::vector<uint32_t>& limbs) {
-  Bytes be(limbs.size() * 4);
-  for (size_t i = 0; i < limbs.size(); ++i) {
-    for (int k = 0; k < 4; ++k) {
-      be[be.size() - 1 - (i * 4 + k)] = static_cast<uint8_t>(limbs[i] >> (8 * k));
-    }
-  }
-  return BigInt::FromBytes(be);
+template <typename L>
+RawView<L> PartsView(const std::vector<L>& mod, const std::vector<L>& r2,
+                     const std::vector<L>& one, const std::vector<L>& unit,
+                     size_t n, L inv) {
+  return RawView<L>{mod.data(), r2.data(), one.data(), unit.data(), n, inv};
 }
 }  // namespace
 
+void MontgomeryContext::ToMontInto(Limb* dst, const BigInt& x,
+                                   Limb* scratch) const {
+  std::vector<Limb> xv = PackReduced<Limb>(x, modulus_, n_);
+  montk::MulInto(dst, xv.data(), r2_.data(), mod_.data(), inv_, n_, scratch);
+}
+
+BigInt MontgomeryContext::LimbsToBigInt(const Limb* a) const {
+  return UnpackLimbs(a, n_);
+}
+
 BigInt MontgomeryContext::ToMont(const BigInt& x) const {
-  BigInt xr = BigInt::Mod(x, modulus_).value();
-  return LimbsToBigInt(MontMulLimbs(PadLimbs(xr), PadLimbs(r2_)));
+  std::vector<Limb> out(n_);
+  std::vector<Limb> scratch(n_ + 2);
+  ToMontInto(out.data(), x, scratch.data());
+  return UnpackLimbs(out.data(), n_);
 }
 
 BigInt MontgomeryContext::FromMont(const BigInt& x) const {
-  std::vector<uint32_t> one(n_, 0);
-  one[0] = 1;
-  return LimbsToBigInt(MontMulLimbs(PadLimbs(x), one));
+  std::vector<Limb> xv = PackReduced<Limb>(x, modulus_, n_);
+  std::vector<Limb> scratch(n_ + 2);
+  FromMontInto(xv.data(), xv.data(), scratch.data());
+  return UnpackLimbs(xv.data(), n_);
 }
 
 BigInt MontgomeryContext::MulMont(const BigInt& a, const BigInt& b) const {
-  return LimbsToBigInt(MontMulLimbs(PadLimbs(a), PadLimbs(b)));
+  std::vector<Limb> av = PackReduced<Limb>(a, modulus_, n_);
+  std::vector<Limb> bv = PackReduced<Limb>(b, modulus_, n_);
+  std::vector<Limb> scratch(n_ + 2);
+  MontMulInto(av.data(), av.data(), bv.data(), scratch.data());
+  return UnpackLimbs(av.data(), n_);
 }
 
 BigInt MontgomeryContext::Mul(const BigInt& a, const BigInt& b) const {
-  return FromMont(MulMont(ToMont(a), ToMont(b)));
+  return MulImpl(PartsView(mod_, r2_, one_, unit_, n_, inv_), modulus_, a, b);
+}
+
+BigInt MontgomeryContext::Sqr(const BigInt& a) const {
+  return SqrImpl(PartsView(mod_, r2_, one_, unit_, n_, inv_), modulus_, a);
 }
 
 BigInt MontgomeryContext::Exp(const BigInt& base, const BigInt& exp) const {
@@ -222,32 +338,52 @@ BigInt MontgomeryContext::Exp(const BigInt& base, const BigInt& exp) const {
 
 BigInt MontgomeryContext::ExpWithRecoding(const BigInt& base,
                                           const ExponentRecoding& rec) const {
-  if (rec.steps().empty()) return FromMont(one_mont_);  // exponent was zero
+  return ExpImpl(PartsView(mod_, r2_, one_, unit_, n_, inv_), modulus_, base,
+                 rec);
+}
 
-  // Odd-power table: odd[k] = base^(2k+1) in the Montgomery domain.
-  const size_t odd_count = static_cast<size_t>(1)
-                           << (rec.window_bits() - 1);
-  const BigInt base_m = ToMont(base);
-  std::vector<BigInt> odd(odd_count);
-  odd[0] = base_m;
-  if (odd_count > 1) {
-    const BigInt base_sq = MulMont(base_m, base_m);
-    for (size_t k = 1; k < odd_count; ++k) {
-      odd[k] = MulMont(odd[k - 1], base_sq);
-    }
-  }
+void MontgomeryContext::ExpMontInto(Limb* acc, const Limb* base_mont,
+                                    const ExponentRecoding& rec,
+                                    std::vector<Limb>* work) const {
+  ExpMontImpl(PartsView(mod_, r2_, one_, unit_, n_, inv_), acc, base_mont, rec,
+              work);
+}
 
-  // The accumulator starts as the first step's digit: squaring 1 is free.
-  BigInt acc = odd[rec.steps()[0].digit >> 1];
-  for (size_t s = 1; s < rec.steps().size(); ++s) {
-    const ExponentRecoding::Step& step = rec.steps()[s];
-    for (uint32_t k = 0; k < step.squarings; ++k) acc = MulMont(acc, acc);
-    acc = MulMont(acc, odd[step.digit >> 1]);
+Result<MontgomeryContextRef32> MontgomeryContextRef32::Create(
+    const BigInt& modulus) {
+  if (modulus <= BigInt(1) || modulus.is_even()) {
+    return Status::InvalidArgument("Montgomery modulus must be odd and > 1");
   }
-  for (uint32_t k = 0; k < rec.trailing_squarings(); ++k) {
-    acc = MulMont(acc, acc);
-  }
-  return FromMont(acc);
+  MontgomeryContextRef32 ctx;
+  ctx.modulus_ = modulus;
+  RawParts<uint32_t> p = BuildRawParts<uint32_t>(modulus, nullptr);
+  ctx.mod_ = std::move(p.mod);
+  ctx.r2_ = std::move(p.r2);
+  ctx.one_ = std::move(p.one);
+  ctx.unit_ = std::move(p.unit);
+  ctx.n_ = p.n;
+  ctx.inv_ = p.inv;
+  return ctx;
+}
+
+BigInt MontgomeryContextRef32::Mul(const BigInt& a, const BigInt& b) const {
+  return MulImpl(PartsView(mod_, r2_, one_, unit_, n_, inv_), modulus_, a, b);
+}
+
+BigInt MontgomeryContextRef32::Sqr(const BigInt& a) const {
+  return SqrImpl(PartsView(mod_, r2_, one_, unit_, n_, inv_), modulus_, a);
+}
+
+BigInt MontgomeryContextRef32::Exp(const BigInt& base,
+                                   const BigInt& exp) const {
+  assert(!exp.is_negative());
+  return ExpWithRecoding(base, ExponentRecoding::Create(exp));
+}
+
+BigInt MontgomeryContextRef32::ExpWithRecoding(
+    const BigInt& base, const ExponentRecoding& rec) const {
+  return ExpImpl(PartsView(mod_, r2_, one_, unit_, n_, inv_), modulus_, base,
+                 rec);
 }
 
 }  // namespace secmed

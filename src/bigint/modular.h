@@ -1,9 +1,11 @@
 #ifndef SECMED_BIGINT_MODULAR_H_
 #define SECMED_BIGINT_MODULAR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/mont_kernel.h"
 #include "util/result.h"
 
 namespace secmed {
@@ -32,19 +34,38 @@ Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
 Result<BigInt> ModMul(const BigInt& a, const BigInt& b, const BigInt& m);
 
 /// base^exp mod m for exp >= 0 and m > 0. Uses Montgomery exponentiation
-/// with a 4-bit window when m is odd; falls back to division-based
+/// with a sliding window when m is odd; falls back to division-based
 /// reduction otherwise.
 Result<BigInt> ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
 
 /// Precomputed Montgomery domain for a fixed odd modulus. Amortizes the
 /// setup cost across many multiplications/exponentiations with the same
 /// modulus — the hot path of Paillier and commutative encryption.
+///
+/// Two API layers:
+///  - BigInt boundary (ToMont/FromMont/Mul/Sqr/Exp...): convenient,
+///    converts per call. Inputs outside [0, m) are reduced on entry, never
+///    silently truncated.
+///  - Raw limb spans (MontMulInto/MontSqrInto/ExpMontInto + the
+///    conversion helpers): values live as `limb_count()` native limbs in
+///    the Montgomery domain, operations run allocation-free against
+///    caller-owned scratch. The exponentiation loops, fixed-base tables
+///    and the hot crypto call sites hold raw limbs end-to-end and cross
+///    the BigInt boundary exactly once per value.
+///
+/// The native limb width is 64 bits with __int128 accumulation where the
+/// compiler provides it, 32 bits otherwise (see bigint/mont_kernel.h).
 class MontgomeryContext {
  public:
+  using Limb = montk::Limb;
+  static constexpr int kLimbBits = montk::kBits<Limb>;
+
   /// Creates a context. The modulus must be odd and > 1.
   static Result<MontgomeryContext> Create(const BigInt& modulus);
 
   const BigInt& modulus() const { return modulus_; }
+
+  // ----------------------------------------------------- BigInt boundary
 
   /// Converts into the Montgomery domain: x * R mod m.
   BigInt ToMont(const BigInt& x) const;
@@ -54,6 +75,8 @@ class MontgomeryContext {
   BigInt MulMont(const BigInt& a, const BigInt& b) const;
   /// Ordinary modular product of two values in the normal domain.
   BigInt Mul(const BigInt& a, const BigInt& b) const;
+  /// a^2 mod m in the normal domain (dedicated squaring kernel).
+  BigInt Sqr(const BigInt& a) const;
   /// base^exp mod m; base and result in the normal domain. exp >= 0.
   BigInt Exp(const BigInt& base, const BigInt& exp) const;
   /// base^exp mod m with the exponent recoded ahead of time. For fixed
@@ -64,21 +87,87 @@ class MontgomeryContext {
   /// Montgomery representation of 1 (R mod m); seed for accumulators.
   const BigInt& MontOne() const { return one_mont_; }
 
+  // ----------------------------------------------------- raw limb spans
+
+  /// Limbs per value in this context (ceil(bits(m) / kLimbBits)).
+  size_t limb_count() const { return n_; }
+  /// Scratch limbs every raw-span operation below needs (covers both the
+  /// CIOS multiply and the wider squaring product).
+  size_t scratch_limbs() const { return 2 * n_ + 2; }
+
+  /// dst = a·b·R^-1 mod m over raw spans, all limb_count() limbs, a and b
+  /// in the Montgomery domain and < m. scratch holds scratch_limbs().
+  /// dst may alias a and/or b.
+  void MontMulInto(Limb* dst, const Limb* a, const Limb* b,
+                   Limb* scratch) const {
+    montk::MulInto(dst, a, b, mod_.data(), inv_, n_, scratch);
+  }
+  /// dst = a²·R^-1 mod m (dedicated squaring: symmetric partial products
+  /// computed once). dst may alias a.
+  void MontSqrInto(Limb* dst, const Limb* a, Limb* scratch) const {
+    montk::SqrInto(dst, a, mod_.data(), inv_, n_, scratch);
+  }
+  /// Packs x into the Montgomery domain: dst = x·R mod m. x is reduced
+  /// mod m first (negative or oversized inputs are handled, not
+  /// truncated). scratch holds scratch_limbs().
+  void ToMontInto(Limb* dst, const BigInt& x, Limb* scratch) const;
+  /// dst = a·R^-1 mod m: out of the Montgomery domain, still raw limbs.
+  void FromMontInto(Limb* dst, const Limb* a, Limb* scratch) const {
+    montk::MulInto(dst, a, unit_.data(), mod_.data(), inv_, n_, scratch);
+  }
+  /// Reads raw limbs (any domain) back into a BigInt.
+  BigInt LimbsToBigInt(const Limb* a) const;
+
+  /// acc = base_mont^rec, everything in the Montgomery domain. The odd
+  /// -power table and all scratch live in *work (resized once, reused
+  /// across calls); the per-step squarings and multiplies are
+  /// allocation-free. acc holds limb_count() limbs and may alias base_mont
+  /// (the base is copied into the power table before acc is written).
+  void ExpMontInto(Limb* acc, const Limb* base_mont,
+                   const ExponentRecoding& rec, std::vector<Limb>* work) const;
+
+  /// R mod m as raw limbs (Montgomery representation of 1).
+  const std::vector<Limb>& MontOneLimbs() const { return one_; }
+  /// R^2 mod m as raw limbs (multiply by this to enter the domain).
+  const std::vector<Limb>& R2Limbs() const { return r2_; }
+
  private:
   MontgomeryContext() = default;
 
-  // Core CIOS loop over raw limb vectors, both inputs in Montgomery domain,
-  // sized exactly n limbs (zero-padded).
-  std::vector<uint32_t> MontMulLimbs(const std::vector<uint32_t>& a,
-                                     const std::vector<uint32_t>& b) const;
-  std::vector<uint32_t> PadLimbs(const BigInt& x) const;
+  BigInt modulus_;
+  BigInt one_mont_;         // R mod m (Montgomery representation of 1)
+  std::vector<Limb> mod_;   // modulus, exactly n limbs
+  std::vector<Limb> r2_;    // R^2 mod m
+  std::vector<Limb> one_;   // R mod m
+  std::vector<Limb> unit_;  // plain 1 (FromMont multiplies by it)
+  size_t n_ = 0;            // limb count of the modulus
+  Limb inv_ = 0;            // -modulus^{-1} mod 2^kLimbBits
+};
+
+/// 32-bit reference Montgomery context. Same math as MontgomeryContext but
+/// pinned to the uint32_t kernel instantiation regardless of the native
+/// limb width. Exists so the 64-bit kernel stays differentially testable
+/// against an independent limb layout (tests/bigint_kernel_fuzz_test.cc);
+/// not for production use.
+class MontgomeryContextRef32 {
+ public:
+  static Result<MontgomeryContextRef32> Create(const BigInt& modulus);
+
+  BigInt Mul(const BigInt& a, const BigInt& b) const;
+  BigInt Sqr(const BigInt& a) const;
+  BigInt Exp(const BigInt& base, const BigInt& exp) const;
+  BigInt ExpWithRecoding(const BigInt& base, const ExponentRecoding& rec) const;
+
+ private:
+  MontgomeryContextRef32() = default;
 
   BigInt modulus_;
-  std::vector<uint32_t> mod_limbs_;  // exactly n limbs
-  size_t n_ = 0;                     // limb count of the modulus
-  uint32_t inv32_ = 0;               // -modulus^{-1} mod 2^32
-  BigInt r2_;                        // R^2 mod m (for ToMont)
-  BigInt one_mont_;                  // R mod m (Montgomery representation of 1)
+  std::vector<uint32_t> mod_;
+  std::vector<uint32_t> r2_;
+  std::vector<uint32_t> one_;
+  std::vector<uint32_t> unit_;
+  size_t n_ = 0;
+  uint32_t inv_ = 0;
 };
 
 }  // namespace secmed

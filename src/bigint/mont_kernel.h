@@ -1,0 +1,222 @@
+#ifndef SECMED_BIGINT_MONT_KERNEL_H_
+#define SECMED_BIGINT_MONT_KERNEL_H_
+
+// Raw-limb Montgomery kernels: CIOS multiplication, SOS squaring with the
+// symmetric partial products computed once, and the final conditional
+// subtraction. Everything here works on caller-owned spans and caller-owned
+// scratch — no allocation, no BigInt — so the exponentiation loops layered
+// on top run allocation-free per step.
+//
+// The kernels are templated on the limb type. The native width is 64 bits
+// (with unsigned __int128 accumulators) wherever the compiler provides
+// __int128; the 32-bit instantiation remains compiled unconditionally and
+// is the differential-testing reference (tests/bigint_kernel_fuzz_test.cc)
+// as well as the fallback MontgomeryContext uses when __int128 is missing
+// (or when SECMED_FORCE_MONT32 is defined, which exists purely to make the
+// fallback path testable on hosts that do have __int128).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SIZEOF_INT128__) && !defined(SECMED_FORCE_MONT32)
+#define SECMED_MONT_LIMB64 1
+#endif
+
+namespace secmed {
+namespace montk {
+
+template <typename L>
+struct Wide;
+template <>
+struct Wide<std::uint32_t> {
+  using type = std::uint64_t;
+};
+#if defined(__SIZEOF_INT128__)
+template <>
+struct Wide<std::uint64_t> {
+  using type = unsigned __int128;
+};
+#endif
+
+#ifdef SECMED_MONT_LIMB64
+using Limb = std::uint64_t;
+#else
+using Limb = std::uint32_t;
+#endif
+
+template <typename L>
+inline constexpr int kBits = static_cast<int>(sizeof(L)) * 8;
+
+// Per-kernel call counters (relaxed; one increment per n^2-limb kernel call
+// is noise). bench_modexp reads these to report the mul/square mix that
+// justifies the dedicated squaring routine.
+inline std::atomic<std::uint64_t> g_mul_calls{0};
+inline std::atomic<std::uint64_t> g_sqr_calls{0};
+
+struct KernelCounters {
+  std::uint64_t muls = 0;
+  std::uint64_t sqrs = 0;
+};
+
+inline KernelCounters ReadKernelCounters() {
+  return {g_mul_calls.load(std::memory_order_relaxed),
+          g_sqr_calls.load(std::memory_order_relaxed)};
+}
+
+inline void ResetKernelCounters() {
+  g_mul_calls.store(0, std::memory_order_relaxed);
+  g_sqr_calls.store(0, std::memory_order_relaxed);
+}
+
+/// -m0^{-1} mod 2^bits for odd m0 (Newton iteration; the 3-bit-correct
+/// seed doubles its correct bits every step, so 6 steps cover 64 bits).
+template <typename L>
+constexpr L NegInvLimb(L m0) {
+  L inv = m0;
+  for (int i = 0; i < 6; ++i) inv *= static_cast<L>(2) - m0 * inv;
+  return static_cast<L>(0) - inv;
+}
+
+/// True iff a >= b, both n limbs little-endian.
+template <typename L>
+inline bool GeN(const L* a, const L* b, std::size_t n) {
+  for (std::size_t i = n; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;
+}
+
+/// dst = a - b over n limbs; requires a >= b. dst may alias a.
+template <typename L>
+inline void SubN(L* dst, const L* a, const L* b, std::size_t n) {
+  L borrow = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const L ai = a[i];
+    const L t1 = ai - b[i];
+    const L b1 = t1 > ai ? 1 : 0;
+    const L t2 = t1 - borrow;
+    const L b2 = t2 > t1 ? 1 : 0;
+    dst[i] = t2;
+    borrow = b1 | b2;
+  }
+}
+
+/// dst = t mod m for t < 2m held in t[0..n) plus the carry bit `hi`.
+template <typename L>
+inline void CondSubM(L* dst, const L* t, const L* m, std::size_t n, bool hi) {
+  if (hi || GeN(t, m, n)) {
+    SubN(dst, t, m, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = t[i];
+  }
+}
+
+/// Montgomery product dst = a·b·R^{-1} mod m (CIOS, coarsely integrated
+/// operand scanning). a and b must be < m, n limbs each; `t` is caller
+/// scratch of at least n+2 limbs. dst may alias a and/or b (the result is
+/// accumulated in t and only written to dst at the end).
+template <typename L>
+inline void MulInto(L* dst, const L* a, const L* b, const L* m, L inv,
+                    std::size_t n, L* t) {
+  using W = typename Wide<L>::type;
+  constexpr int B = kBits<L>;
+  g_mul_calls.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t j = 0; j < n + 2; ++j) t[j] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // t += a[i] * b
+    W carry = 0;
+    const W ai = a[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      const W cur = static_cast<W>(t[j]) + ai * b[j] + carry;
+      t[j] = static_cast<L>(cur);
+      carry = cur >> B;
+    }
+    W cur = static_cast<W>(t[n]) + carry;
+    t[n] = static_cast<L>(cur);
+    t[n + 1] = static_cast<L>(cur >> B);
+
+    // m_i = t[0] * inv mod 2^B; t = (t + m_i * m) / 2^B
+    const L mi = static_cast<L>(t[0] * inv);
+    cur = static_cast<W>(t[0]) + static_cast<W>(mi) * m[0];
+    carry = cur >> B;
+    for (std::size_t j = 1; j < n; ++j) {
+      cur = static_cast<W>(t[j]) + static_cast<W>(mi) * m[j] + carry;
+      t[j - 1] = static_cast<L>(cur);
+      carry = cur >> B;
+    }
+    cur = static_cast<W>(t[n]) + carry;
+    t[n - 1] = static_cast<L>(cur);
+    t[n] = t[n + 1] + static_cast<L>(cur >> B);
+    t[n + 1] = 0;
+  }
+  CondSubM(dst, t, m, n, t[n] != 0);
+}
+
+/// Montgomery square dst = a²·R^{-1} mod m. Separated operand scanning
+/// with the symmetric cross products a_i·a_j (i < j) computed once and
+/// doubled — roughly one third fewer limb multiplications than
+/// MulInto(a, a). a must be < m, n limbs; `p` is caller scratch of at
+/// least 2n+2 limbs. dst may alias a.
+template <typename L>
+inline void SqrInto(L* dst, const L* a, const L* m, L inv, std::size_t n,
+                    L* p) {
+  using W = typename Wide<L>::type;
+  constexpr int B = kBits<L>;
+  g_sqr_calls.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t k = 0; k < 2 * n + 2; ++k) p[k] = 0;
+  // Cross products: row i touches p[2i+1 .. i+n-1] and stores its carry at
+  // p[i+n], which no earlier row has written (row k < i tops out at k+n).
+  for (std::size_t i = 0; i < n; ++i) {
+    W carry = 0;
+    const W ai = a[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const W cur = static_cast<W>(p[i + j]) + ai * a[j] + carry;
+      p[i + j] = static_cast<L>(cur);
+      carry = cur >> B;
+    }
+    p[i + n] = static_cast<L>(carry);
+  }
+  // Double the cross half; 2·Σ_{i<j} a_i·a_j <= a² < 2^{2nB} so nothing
+  // shifts out of limb 2n-1.
+  L top = 0;
+  for (std::size_t k = 0; k < 2 * n; ++k) {
+    const L v = p[k];
+    p[k] = static_cast<L>(v << 1) | top;
+    top = v >> (B - 1);
+  }
+  // Add the diagonal squares a_i² at limb position 2i.
+  W carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const W s = static_cast<W>(a[i]) * a[i];
+    const W lo = static_cast<W>(p[2 * i]) + static_cast<L>(s) + carry;
+    p[2 * i] = static_cast<L>(lo);
+    const W hi = static_cast<W>(p[2 * i + 1]) + static_cast<L>(s >> B) +
+                 (lo >> B);
+    p[2 * i + 1] = static_cast<L>(hi);
+    carry = hi >> B;
+  }
+  // carry == 0 here: the full square fits exactly 2n limbs.
+  // Montgomery reduction of the 2n-limb product, one limb per pass. The
+  // ripple after each pass stays inside p[..2n+1] (value < 2·R·m).
+  for (std::size_t i = 0; i < n; ++i) {
+    const L mi = static_cast<L>(p[i] * inv);
+    W c = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const W cur = static_cast<W>(p[i + j]) + static_cast<W>(mi) * m[j] + c;
+      p[i + j] = static_cast<L>(cur);
+      c = cur >> B;
+    }
+    for (std::size_t k = i + n; c != 0; ++k) {
+      const W cur = static_cast<W>(p[k]) + c;
+      p[k] = static_cast<L>(cur);
+      c = cur >> B;
+    }
+  }
+  CondSubM(dst, p + n, m, n, p[2 * n] != 0);
+}
+
+}  // namespace montk
+}  // namespace secmed
+
+#endif  // SECMED_BIGINT_MONT_KERNEL_H_

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "bigint/fastexp.h"
 #include "bigint/modular.h"
 
 namespace secmed {
@@ -35,19 +36,59 @@ uint32_t ModSmall(const BigInt& n, uint32_t d) {
   return static_cast<uint32_t>(rem);
 }
 
-// One Miller–Rabin round with the given base; n odd, n > 3.
-// d and r satisfy n - 1 == d * 2^r with d odd.
-bool MillerRabinRound(const MontgomeryContext& ctx, const BigInt& n_minus_1,
-                      const BigInt& d, size_t r, const BigInt& base) {
-  BigInt x = ctx.Exp(base, d);
-  if (x == BigInt(1) || x == n_minus_1) return true;
-  for (size_t i = 1; i < r; ++i) {
-    x = ctx.Mul(x, x);
-    if (x == n_minus_1) return true;
-    if (x == BigInt(1)) return false;  // nontrivial sqrt of 1
+// Raw-limb state for the Miller–Rabin rounds of one candidate n: d is
+// recoded once, the squaring chain runs entirely in the Montgomery domain,
+// and the 1 / n-1 comparisons happen against precomputed Montgomery-domain
+// limb images instead of round-tripping x out per squaring.
+struct MillerRabinState {
+  using Limb = MontgomeryContext::Limb;
+
+  MillerRabinState(const MontgomeryContext& ctx, const BigInt& n_minus_1,
+                   const BigInt& d, size_t r)
+      : ctx(ctx),
+        rec_d(ExponentRecoding::Create(d)),
+        r(r),
+        n(ctx.limb_count()),
+        one_mont(ctx.MontOneLimbs()),
+        minus_one_mont(n),
+        x(n),
+        scratch(ctx.scratch_limbs()) {
+    ctx.ToMontInto(minus_one_mont.data(), n_minus_1, scratch.data());
   }
-  return false;
-}
+
+  bool EqualsLimbs(const Limb* a, const std::vector<Limb>& b) const {
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+  // One round with the given base; n odd, n > 3, n - 1 == d * 2^r, d odd.
+  bool Round(const BigInt& base) {
+    ctx.ToMontInto(x.data(), base, scratch.data());
+    ctx.ExpMontInto(x.data(), x.data(), rec_d, &work);
+    if (EqualsLimbs(x.data(), one_mont) ||
+        EqualsLimbs(x.data(), minus_one_mont)) {
+      return true;
+    }
+    for (size_t i = 1; i < r; ++i) {
+      ctx.MontSqrInto(x.data(), x.data(), scratch.data());
+      if (EqualsLimbs(x.data(), minus_one_mont)) return true;
+      if (EqualsLimbs(x.data(), one_mont)) return false;  // nontrivial sqrt of 1
+    }
+    return false;
+  }
+
+  const MontgomeryContext& ctx;
+  const ExponentRecoding rec_d;
+  const size_t r;
+  const size_t n;
+  const std::vector<Limb>& one_mont;
+  std::vector<Limb> minus_one_mont;
+  std::vector<Limb> x;
+  std::vector<Limb> scratch;
+  std::vector<Limb> work;
+};
 
 }  // namespace
 
@@ -69,11 +110,12 @@ bool IsProbablePrime(const BigInt& n, RandomSource* rng, int rounds) {
   auto ctx_res = MontgomeryContext::Create(n);
   assert(ctx_res.ok());
   const MontgomeryContext& ctx = ctx_res.value();
+  MillerRabinState state(ctx, n_minus_1, d, r);
   const BigInt three(3);
   const BigInt span = n - three;  // bases drawn from [2, n-2]
   for (int i = 0; i < rounds; ++i) {
     BigInt base = BigInt::RandomBelow(span, rng) + BigInt(2);
-    if (!MillerRabinRound(ctx, n_minus_1, d, r, base)) return false;
+    if (!state.Round(base)) return false;
   }
   return true;
 }

@@ -115,6 +115,10 @@ Result<uint64_t> ElGamalPrivateKey::DecryptSmall(const ElGamalCiphertext& c,
   // Fetch (or build) the cached baby-step table. A table built for a
   // larger bound stays valid for smaller ones: the search below never
   // walks past max_message.
+  using Limb = MontgomeryContext::Limb;
+  const MontgomeryContext& ctx = *group.mont_ctx();
+  const size_t n = ctx.limb_count();
+
   std::shared_ptr<const ElGamalBsgsTable> table;
   {
     std::lock_guard<std::mutex> lock(bsgs_->mu);
@@ -123,11 +127,20 @@ Result<uint64_t> ElGamalPrivateKey::DecryptSmall(const ElGamalCiphertext& c,
       t->max_message = max_message;
       t->step = static_cast<uint64_t>(
           std::ceil(std::sqrt(static_cast<double>(max_message + 1))));
-      BigInt cur(1);
+      // Baby chain g^j held as raw Montgomery limbs; only the map key
+      // (normal-domain bytes, so keys match ToBytes of decrypted values)
+      // leaves the domain, one extra kernel multiply per entry instead of
+      // a division-based ModMul.
+      std::vector<Limb> scratch(ctx.scratch_limbs());
+      std::vector<Limb> g_mont(n), cur(n), plain(n);
+      ctx.ToMontInto(g_mont.data(), pub_.g(), scratch.data());
+      const std::vector<Limb>& one = ctx.MontOneLimbs();
+      for (size_t k = 0; k < n; ++k) cur[k] = one[k];
       for (uint64_t j = 0; j <= t->step; ++j) {
-        Bytes key = cur.ToBytes();
+        ctx.FromMontInto(plain.data(), cur.data(), scratch.data());
+        Bytes key = ctx.LimbsToBigInt(plain.data()).ToBytes();
         t->baby.emplace(std::string(key.begin(), key.end()), j);
-        SECMED_ASSIGN_OR_RETURN(cur, ModMul(cur, pub_.g(), group.p()));
+        ctx.MontMulInto(cur.data(), cur.data(), g_mont.data(), scratch.data());
       }
       // giant = g^{-step}
       BigInt g_step = group.Pow(pub_.g(), BigInt(t->step));
@@ -137,16 +150,23 @@ Result<uint64_t> ElGamalPrivateKey::DecryptSmall(const ElGamalCiphertext& c,
     table = bsgs_->table;
   }
 
-  // Giant steps over g^m = target, 0 <= m <= max_message.
-  BigInt gamma = target;
+  // Giant steps over g^m = target, 0 <= m <= max_message: a raw Montgomery
+  // multiplication chain by g^{-step}, leaving the domain only to form the
+  // per-step lookup key.
+  std::vector<Limb> scratch(ctx.scratch_limbs());
+  std::vector<Limb> giant_mont(n), gamma(n), plain(n);
+  ctx.ToMontInto(giant_mont.data(), table->giant, scratch.data());
+  ctx.ToMontInto(gamma.data(), target, scratch.data());
   for (uint64_t i = 0; i * table->step <= max_message; ++i) {
-    Bytes key = gamma.ToBytes();
+    ctx.FromMontInto(plain.data(), gamma.data(), scratch.data());
+    Bytes key = ctx.LimbsToBigInt(plain.data()).ToBytes();
     auto it = table->baby.find(std::string(key.begin(), key.end()));
     if (it != table->baby.end()) {
       uint64_t m = i * table->step + it->second;
       if (m <= max_message) return m;
     }
-    SECMED_ASSIGN_OR_RETURN(gamma, ModMul(gamma, table->giant, group.p()));
+    ctx.MontMulInto(gamma.data(), gamma.data(), giant_mont.data(),
+                    scratch.data());
   }
   return Status::OutOfRange("plaintext exceeds the discrete-log bound");
 }

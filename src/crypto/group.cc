@@ -43,7 +43,7 @@ BigInt QrGroup::HashToGroup(const Bytes& input) const {
     Bytes expanded = Mgf1Sha256(seed, nbytes);
     BigInt x = BigInt::Mod(BigInt::FromBytes(expanded), p_).value();
     if (x.is_zero()) continue;
-    return ctx_->Mul(x, x);
+    return ctx_->Sqr(x);
   }
 }
 
@@ -51,7 +51,7 @@ BigInt QrGroup::RandomElement(RandomSource* rng) const {
   for (;;) {
     BigInt x = BigInt::RandomBelow(p_, rng);
     if (x.is_zero()) continue;
-    return ctx_->Mul(x, x);
+    return ctx_->Sqr(x);
   }
 }
 

@@ -52,7 +52,8 @@ Result<BigInt> PaillierPublicKey::EncryptWithRandomizer(
     return Status::InvalidArgument("Paillier plaintext out of range [0, n)");
   }
   // c = (1 + m*n) * r^n mod n^2  (g = n+1 so g^m = 1 + m*n mod n^2).
-  BigInt g_m = BigInt::Mod(BigInt(1) + m * n_, n_squared_).value();
+  // 1 + m·n <= 1 + (n-1)·n < n^2 already, so no reduction is needed.
+  BigInt g_m = BigInt(1) + m * n_;
   return ctx_->Mul(g_m, r_n);
 }
 
@@ -76,7 +77,7 @@ BigInt PaillierPublicKey::ScalarMul(const BigInt& c, const BigInt& k) const {
 
 BigInt PaillierPublicKey::AddPlain(const BigInt& c, const BigInt& m) const {
   BigInt mr = BigInt::Mod(m, n_).value();
-  BigInt g_m = BigInt::Mod(BigInt(1) + mr * n_, n_squared_).value();
+  BigInt g_m = BigInt(1) + mr * n_;  // < n^2 since mr < n
   return ctx_->Mul(c, g_m);
 }
 
@@ -88,6 +89,11 @@ Result<BigInt> PaillierPublicKey::Rerandomize(const BigInt& c,
 
 BigInt PaillierPublicKey::Pow(const BigInt& base, const BigInt& exp) const {
   return ctx_->Exp(base, exp);
+}
+
+BigInt PaillierPublicKey::PowWithRecoding(const BigInt& base,
+                                          const ExponentRecoding& rec) const {
+  return ctx_->ExpWithRecoding(base, rec);
 }
 
 Result<PaillierPrivateKey> PaillierPrivateKey::CreateWithCrt(
@@ -130,7 +136,7 @@ Result<BigInt> PaillierPrivateKey::DecryptNoCrt(const BigInt& c) const {
   if (c.is_negative() || c >= pub_.n_squared()) {
     return Status::InvalidArgument("Paillier ciphertext out of range");
   }
-  BigInt u = pub_.Pow(c, lambda_);
+  BigInt u = pub_.PowWithRecoding(c, *rec_lambda_);
   // L(u) = (u - 1) / n; u ≡ 1 (mod n) for valid ciphertexts.
   BigInt l = (u - BigInt(1)) / pub_.n();
   return BigInt::Mod(l * mu_, pub_.n());

@@ -61,6 +61,10 @@ class PaillierPublicKey {
   /// base^exp mod n^2 via the cached Montgomery context.
   BigInt Pow(const BigInt& base, const BigInt& exp) const;
 
+  /// base^exp mod n^2 with a pre-recoded exponent (fixed-exponent fast
+  /// path; the private key caches lambda's recoding for DecryptNoCrt).
+  BigInt PowWithRecoding(const BigInt& base, const ExponentRecoding& rec) const;
+
   bool operator==(const PaillierPublicKey& other) const {
     return n_ == other.n_;
   }
@@ -85,7 +89,11 @@ class PaillierPrivateKey {
  public:
   /// Key without CRT acceleration (decryption uses the textbook path).
   PaillierPrivateKey(PaillierPublicKey pub, BigInt lambda, BigInt mu)
-      : pub_(std::move(pub)), lambda_(std::move(lambda)), mu_(std::move(mu)) {}
+      : pub_(std::move(pub)),
+        lambda_(std::move(lambda)),
+        mu_(std::move(mu)),
+        rec_lambda_(std::make_shared<const ExponentRecoding>(
+            ExponentRecoding::Create(lambda_))) {}
 
   /// Builds the key from the factorization n = p·q and precomputes the
   /// CRT decryption state (contexts mod p^2/q^2, recoded exponents,
@@ -125,6 +133,9 @@ class PaillierPrivateKey {
   PaillierPublicKey pub_;
   BigInt lambda_;
   BigInt mu_;
+  // lambda recoded once per key: DecryptNoCrt is the reference oracle in
+  // tests and still deserves the fixed-exponent fast path.
+  std::shared_ptr<const ExponentRecoding> rec_lambda_;
   std::shared_ptr<const CrtState> crt_;  // null on the non-CRT path
 };
 

@@ -154,5 +154,47 @@ TEST(MontgomeryTest, ExpEdgeCases) {
   EXPECT_EQ(ctx.Exp(BigInt(96), BigInt(2)), BigInt(1));  // (-1)^2
 }
 
+TEST(MontgomeryTest, WideOperandsAreReducedNotTruncated) {
+  // Regression: PadLimbs used to resize() operands down to the modulus
+  // width, so any input wider than the modulus was silently chopped and
+  // MulMont returned garbage. Operands outside [0, m) must behave as
+  // their reduction mod m on every entry point.
+  XoshiroRandomSource rng(4242);
+  BigInt m = BigInt::RandomWithBits(256, &rng);
+  if (m.is_even()) m += BigInt(1);
+  auto ctx = MontgomeryContext::Create(m).value();
+  const BigInt a = BigInt::RandomBelow(m, &rng);
+  const BigInt b = BigInt::RandomBelow(m, &rng);
+  // Three widths past the modulus: one extra bit, double width, and a
+  // value whose high limbs are dense ones.
+  const std::vector<BigInt> wides = {a + m, a + m * m,
+                                     a + ((BigInt(1) << 520) - BigInt(1)) * m};
+  for (const BigInt& wide : wides) {
+    EXPECT_EQ(ctx.Mul(wide, b), ctx.Mul(a, b));
+    EXPECT_EQ(ctx.MulMont(wide, b), ctx.MulMont(a, b));
+    EXPECT_EQ(ctx.ToMont(wide), ctx.ToMont(a));
+    EXPECT_EQ(ctx.FromMont(wide), ctx.FromMont(a));
+    EXPECT_EQ(ctx.Sqr(wide), ctx.Sqr(a));
+    EXPECT_EQ(ctx.Exp(wide, BigInt(3)), ctx.Exp(a, BigInt(3)));
+  }
+  // Negative inputs follow mathematical-mod semantics too.
+  EXPECT_EQ(ctx.Mul(-b, a), ctx.Mul(m - b, a));
+}
+
+TEST(MontgomeryTest, SqrMatchesMulEverywhere) {
+  XoshiroRandomSource rng(5151);
+  for (size_t bits : {17, 64, 128, 521, 1024}) {
+    BigInt m = BigInt::RandomWithBits(bits, &rng);
+    if (m.is_even()) m += BigInt(1);
+    auto ctx = MontgomeryContext::Create(m).value();
+    EXPECT_EQ(ctx.Sqr(BigInt(0)), BigInt(0));
+    EXPECT_EQ(ctx.Sqr(m - BigInt(1)), ctx.Mul(m - BigInt(1), m - BigInt(1)));
+    for (int k = 0; k < 10; ++k) {
+      BigInt a = BigInt::RandomBelow(m, &rng);
+      EXPECT_EQ(ctx.Sqr(a), (a * a) % m) << "bits=" << bits;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace secmed

@@ -17,6 +17,13 @@ import json
 import sys
 
 
+# Context fields describing how the binaries were built. Comparing runs
+# from different build types silently is how bogus regressions (or bogus
+# wins) get recorded; mismatches are flagged loudly and fail --check.
+BUILD_TYPE_KEYS = ("secmed_build", "secmed_cmake_build_type",
+                   "library_build_type")
+
+
 def load(path, allow_unoptimized):
     with open(path) as f:
         data = json.load(f)
@@ -33,7 +40,29 @@ def load(path, allow_unoptimized):
         if b.get("run_type") == "aggregate":
             continue
         out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
-    return out
+    build = {k: ctx.get(k) for k in BUILD_TYPE_KEYS}
+    return out, build
+
+
+def diff_build_types(old_build, new_build, old_path, new_path):
+    """Returns the list of build-type fields that differ between the files.
+
+    Fields absent from either file (old baselines predate the stamps) are
+    not mismatches — only a recorded A-vs-B disagreement is.
+    """
+    mismatches = []
+    for key in BUILD_TYPE_KEYS:
+        ov, nv = old_build.get(key), new_build.get(key)
+        if ov is not None and nv is not None and ov != nv:
+            mismatches.append((key, ov, nv))
+    for key, ov, nv in mismatches:
+        print(
+            f"WARNING: build-type mismatch on context.{key}: "
+            f"{old_path} was recorded with {ov!r} but {new_path} with "
+            f"{nv!r} — the timings are not comparable",
+            file=sys.stderr,
+        )
+    return mismatches
 
 
 def fmt_time(value, unit):
@@ -59,8 +88,10 @@ def main():
     ap.add_argument("--allow-unoptimized", action="store_true")
     args = ap.parse_args()
 
-    old = load(args.old, args.allow_unoptimized)
-    new = load(args.new, args.allow_unoptimized)
+    old, old_build = load(args.old, args.allow_unoptimized)
+    new, new_build = load(args.new, args.allow_unoptimized)
+    build_mismatches = diff_build_types(old_build, new_build, args.old,
+                                        args.new)
 
     # Baselines routinely age: a PR adds or retires benchmarks without
     # re-recording every file. Only the intersection is comparable —
@@ -119,6 +150,12 @@ def main():
         )
         if args.check:
             return 1
+    if build_mismatches and args.check:
+        print(
+            "\nfailing --check: build-type mismatch between baseline and "
+            "candidate (see warnings above)"
+        )
+        return 1
     return 0
 
 
