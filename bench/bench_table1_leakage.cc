@@ -15,20 +15,43 @@
 // The run also verifies the negative claims: no plaintext of either
 // partial result ever appears in the mediator's view.
 
+// With --json the harness instead emits one secmed.leakage.v1 document
+// per protocol (LeakageReport::ToJson plus the protocol-specific
+// observations), the machine-readable form behind the Tables 1/2 doc
+// snippet in EXPERIMENTS.md and the planner's predicted-vs-measured
+// leakage reconciliation (tests/plan_test.cc).
+
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "core/commutative_protocol.h"
 #include "core/das_protocol.h"
 #include "core/leakage.h"
 #include "core/pm_protocol.h"
 #include "core/testbed.h"
+#include "obs/json.h"
 
 #include "bench_env.h"
 
 using namespace secmed;
 
-int main() {
+int main(int argc, char** argv) {
   secmed::BenchCheckBuild();
+  bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  // In --json mode the human-readable narrative moves to stderr so
+  // stdout carries only the machine-readable document.
+  std::FILE* out = json ? stderr : stdout;
+  std::vector<obs::JsonValue> json_docs;
+  auto record = [&](const LeakageReport& rep, size_t client_result_tuples,
+                    double superset_factor) {
+    json_docs.push_back(obs::JsonValue::Object({
+        {"report", rep.ToJson()},
+        {"client_result_tuples",
+         obs::JsonValue::Number(double(client_result_tuples))},
+        {"client_superset_factor", obs::JsonValue::Number(superset_factor)},
+    }));
+  };
   WorkloadConfig cfg;
   cfg.r1_tuples = 50;
   cfg.r2_tuples = 40;
@@ -41,13 +64,13 @@ int main() {
   const size_t n1 = w.r1.ActiveDomain(w.join_attribute).value().size();
   const size_t n2 = w.r2.ActiveDomain(w.join_attribute).value().size();
 
-  std::printf("=== Table 1: extra information disclosed (measured) ===\n");
-  std::printf("workload: |R1|=%zu |R2|=%zu |dom1|=%zu |dom2|=%zu overlap=%zu\n\n",
+  std::fprintf(out, "=== Table 1: extra information disclosed (measured) ===\n");
+  std::fprintf(out, "workload: |R1|=%zu |R2|=%zu |dom1|=%zu |dom2|=%zu overlap=%zu\n\n",
               w.r1.size(), w.r2.size(), n1, n2, cfg.common_values);
 
   int failures = 0;
   auto check = [&](bool ok, const char* what) {
-    std::printf("  %-58s %s\n", what, ok ? "[ok]" : "[VIOLATED]");
+    std::fprintf(out, "  %-58s %s\n", what, ok ? "[ok]" : "[VIOLATED]");
     if (!ok) ++failures;
   };
 
@@ -57,7 +80,7 @@ int main() {
     opt.seed_label = "t1-das";
     auto tb_or = MediationTestbed::Create(w, opt);
     if (!tb_or.ok()) {
-      std::printf("testbed setup failed: %s\n",
+      std::fprintf(out, "testbed setup failed: %s\n",
                   tb_or.status().ToString().c_str());
       return 1;
     }
@@ -68,18 +91,22 @@ int main() {
         "das", tb.bus(), tb.mediator().name(), tb.client().name(), w.r1, w.r2,
         w.join_attribute, das.last_server_result_size());
 
-    std::printf("Database-as-a-Service:\n");
-    std::printf("  claim: client receives a superset of the global result\n");
-    std::printf("    measured: |RC| = %zu >= |join| = %zu (superset factor %.2f)\n",
+    std::fprintf(out, "Database-as-a-Service:\n");
+    std::fprintf(out, "  claim: client receives a superset of the global result\n");
+    std::fprintf(out, "    measured: |RC| = %zu >= |join| = %zu (superset factor %.2f)\n",
                 das.last_server_result_size(), result.size(),
                 result.empty() ? 0.0
                                : static_cast<double>(
                                      das.last_server_result_size()) /
                                      static_cast<double>(result.size()));
+    record(rep, result.size(),
+           result.empty() ? 0.0
+                          : double(das.last_server_result_size()) /
+                                double(result.size()));
     check(das.last_server_result_size() >= result.size(),
           "client superset property");
-    std::printf("  claim: mediator learns |Ri| and |RC|\n");
-    std::printf("    measured: mediator routed R1S (%zu tuples), R2S (%zu), RC (%zu)\n",
+    std::fprintf(out, "  claim: mediator learns |Ri| and |RC|\n");
+    std::fprintf(out, "    measured: mediator routed R1S (%zu tuples), R2S (%zu), RC (%zu)\n",
                 w.r1.size(), w.r2.size(), das.last_server_result_size());
     check(!rep.mediator_saw_plaintext, "mediator sees no plaintext");
   }
@@ -90,7 +117,7 @@ int main() {
     opt.seed_label = "t1-comm";
     auto tb_or = MediationTestbed::Create(w, opt);
     if (!tb_or.ok()) {
-      std::printf("testbed setup failed: %s\n",
+      std::fprintf(out, "testbed setup failed: %s\n",
                   tb_or.status().ToString().c_str());
       return 1;
     }
@@ -101,14 +128,15 @@ int main() {
         "commutative", tb.bus(), tb.mediator().name(), tb.client().name(),
         w.r1, w.r2, w.join_attribute, result.size());
 
-    std::printf("\nCommutative Encryption:\n");
-    std::printf("  claim: client receives only the exact global result\n");
-    std::printf("    measured: client reconstructed %zu tuples = |join| %zu\n",
+    std::fprintf(out, "\nCommutative Encryption:\n");
+    std::fprintf(out, "  claim: client receives only the exact global result\n");
+    std::fprintf(out, "    measured: client reconstructed %zu tuples = |join| %zu\n",
                 result.size(), tb.ExpectedJoin().size());
+    record(rep, result.size(), 1.0);
     check(result.EqualsAsBag(tb.ExpectedJoin()), "client exactness");
-    std::printf(
+    std::fprintf(out, 
         "  claim: mediator learns |domactive(Ri.Ajoin)| and the intersection\n");
-    std::printf("    measured: message-set sizes %zu and %zu; matched values %zu"
+    std::fprintf(out, "    measured: message-set sizes %zu and %zu; matched values %zu"
                 " (= |dom1 ∩ dom2| = %zu)\n",
                 n1, n2, comm.last_intersection_size(), cfg.common_values);
     check(comm.last_intersection_size() == cfg.common_values,
@@ -122,7 +150,7 @@ int main() {
     opt.seed_label = "t1-pm";
     auto tb_or = MediationTestbed::Create(w, opt);
     if (!tb_or.ok()) {
-      std::printf("testbed setup failed: %s\n",
+      std::fprintf(out, "testbed setup failed: %s\n",
                   tb_or.status().ToString().c_str());
       return 1;
     }
@@ -133,23 +161,39 @@ int main() {
         "pm", tb.bus(), tb.mediator().name(), tb.client().name(), w.r1, w.r2,
         w.join_attribute, pm.last_evaluation_count());
 
-    std::printf("\nPrivate Matching:\n");
-    std::printf("  claim: client receives n+m encrypted values of both partial"
+    std::fprintf(out, "\nPrivate Matching:\n");
+    std::fprintf(out, "  claim: client receives n+m encrypted values of both partial"
                 " results\n");
-    std::printf("    measured: client decrypted %zu evaluations (n=%zu, m=%zu)\n",
+    std::fprintf(out, "    measured: client decrypted %zu evaluations (n=%zu, m=%zu)\n",
                 pm.last_evaluation_count(), n1, n2);
+    record(rep, result.size(), 1.0);
     check(pm.last_evaluation_count() == n1 + n2,
           "client receives n+m evaluations");
-    std::printf("  claim: mediator learns the polynomial degrees |domactive|\n");
-    std::printf("    measured: coefficient counts %zu and %zu observed in "
+    std::fprintf(out, "  claim: mediator learns the polynomial degrees |domactive|\n");
+    std::fprintf(out, "    measured: coefficient counts %zu and %zu observed in "
                 "transit\n", n1 + 1, n2 + 1);
     check(result.EqualsAsBag(tb.ExpectedJoin()),
           "client can open exactly the matching part");
     check(!rep.mediator_saw_plaintext, "mediator sees no plaintext");
   }
 
-  std::printf("\n%s\n", failures == 0
+  std::fprintf(out, "\n%s\n", failures == 0
                             ? "Table 1 reproduced: all disclosure claims hold."
                             : "TABLE 1 VIOLATIONS DETECTED");
+  if (json) {
+    obs::JsonValue doc = obs::JsonValue::Object({
+        {"schema", obs::JsonValue::String("secmed.table1.v1")},
+        {"workload",
+         obs::JsonValue::Object({
+             {"r1_tuples", obs::JsonValue::Number(double(w.r1.size()))},
+             {"r2_tuples", obs::JsonValue::Number(double(w.r2.size()))},
+             {"dom1", obs::JsonValue::Number(double(n1))},
+             {"dom2", obs::JsonValue::Number(double(n2))},
+             {"overlap", obs::JsonValue::Number(double(cfg.common_values))},
+         })},
+        {"protocols", obs::JsonValue::Array(std::move(json_docs))},
+    });
+    std::printf("%s\n", obs::RenderJson(doc).c_str());
+  }
   return failures == 0 ? 0 : 1;
 }

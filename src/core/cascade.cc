@@ -97,7 +97,7 @@ Result<Relation> CascadeExecutor::Run(const std::string& sql,
     mediator->RegisterTable(join.table.name, next_src, std::move(next_schema));
 
     SECMED_ASSIGN_OR_RETURN(current_result,
-                            protocol_->Run(level_sql, &level_ctx));
+                            ProtocolFor(level)->Run(level_sql, &level_ctx));
     current_table = "cascade_result_" + std::to_string(level + 1);
     cascade_mediators.push_back(std::move(mediator));
   }

@@ -32,12 +32,31 @@ class CascadeExecutor {
   CascadeExecutor(JoinProtocol* protocol, RsaPublicKey ca_key)
       : protocol_(protocol), ca_key_(std::move(ca_key)) {}
 
+  /// Installs a per-level protocol schedule (borrowed, like `protocol`):
+  /// level L runs under schedule[L]; levels beyond the schedule fall back
+  /// to the constructor protocol. This is how the planner (src/plan/)
+  /// executes a mixed-protocol cascade — e.g. DAS for a cheap first
+  /// level, commutative for the selective second one. An empty schedule
+  /// (the default) reproduces the single-protocol behavior with
+  /// bit-identical transcripts.
+  void SetProtocolSchedule(std::vector<JoinProtocol*> schedule) {
+    schedule_ = std::move(schedule);
+  }
+
   /// Runs the query; `ctx` supplies the client, the base mediator (for
   /// table locations and schemas), the base datasources and the bus.
   Result<Relation> Run(const std::string& sql, ProtocolContext* ctx);
 
  private:
+  /// The protocol mediating level `level`.
+  JoinProtocol* ProtocolFor(size_t level) const {
+    return level < schedule_.size() && schedule_[level] != nullptr
+               ? schedule_[level]
+               : protocol_;
+  }
+
   JoinProtocol* protocol_;
+  std::vector<JoinProtocol*> schedule_;
   RsaPublicKey ca_key_;
 };
 

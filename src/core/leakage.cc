@@ -19,6 +19,28 @@ std::string LeakageReport::ToString() const {
   return out;
 }
 
+obs::JsonValue LeakageReport::ToJson() const {
+  std::vector<obs::JsonValue> hits;
+  hits.reserve(plaintext_hits.size());
+  for (const std::string& hit : plaintext_hits) {
+    hits.push_back(obs::JsonValue::String(hit));
+  }
+  return obs::JsonValue::Object({
+      {"schema", obs::JsonValue::String("secmed.leakage.v1")},
+      {"protocol", obs::JsonValue::String(protocol)},
+      {"mediator_messages_routed",
+       obs::JsonValue::Number(double(mediator_messages_routed))},
+      {"mediator_bytes_observed",
+       obs::JsonValue::Number(double(mediator_bytes_observed))},
+      {"mediator_saw_plaintext", obs::JsonValue::Bool(mediator_saw_plaintext)},
+      {"plaintext_hits", obs::JsonValue::Array(std::move(hits))},
+      {"client_bytes_received",
+       obs::JsonValue::Number(double(client_bytes_received))},
+      {"client_decryption_work",
+       obs::JsonValue::Number(double(client_decryption_work))},
+  });
+}
+
 std::vector<Bytes> SensitiveProbes(const Relation& r1, const Relation& r2,
                                    const std::string& join_attribute) {
   std::set<Bytes> probes;

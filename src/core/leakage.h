@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mediation/network.h"
+#include "obs/json.h"
 #include "relational/relation.h"
 
 namespace secmed {
@@ -32,6 +33,11 @@ struct LeakageReport {
   size_t client_decryption_work = 0;
 
   std::string ToString() const;
+
+  /// Structured form (schema secmed.leakage.v1) for the planner's
+  /// predicted-vs-measured reconciliation and the Tables 1/2 doc snippet
+  /// (bench_table1_leakage --json).
+  obs::JsonValue ToJson() const;
 };
 
 /// Extracts the sensitive byte probes of a workload: every distinct join

@@ -128,6 +128,11 @@ Result<std::unique_ptr<JoinProtocol>> BuildProtocol(const RunSpec& spec) {
   if (spec.protocol == "pm") {
     return std::unique_ptr<JoinProtocol>(std::make_unique<PmJoinProtocol>());
   }
+  if (spec.protocol == "auto") {
+    return Status::InvalidArgument(
+        "protocol 'auto' must be resolved by the planner before a RunSpec "
+        "is announced; secmedctl resolves it driver-side (docs/PLANNER.md)");
+  }
   return Status::InvalidArgument("unknown protocol '" + spec.protocol + "'");
 }
 

@@ -55,6 +55,10 @@ class MediationTestbed {
   DataSource& source2() { return *source2_; }
   const Workload& workload() const { return workload_; }
   HmacDrbg& rng() { return rng_; }
+  const Options& options() const { return options_; }
+  /// CA verification key — what a CascadeExecutor's intermediate
+  /// datasources need to check the client's credential.
+  const RsaPublicKey& ca_key() const { return ca_->public_key(); }
 
   /// The global query joining the two tables on the workload's Ajoin.
   std::string JoinSql() const;

@@ -20,6 +20,17 @@ Result<Schema> DataSource::TableSchema(const std::string& table) const {
   return it->second.schema();
 }
 
+Status DataSource::WithRelation(
+    const std::string& table,
+    const std::function<void(const Relation&)>& fn) const {
+  auto it = catalog_.find(table);
+  if (it == catalog_.end()) {
+    return Status::NotFound(name_ + " has no table " + table);
+  }
+  fn(it->second);
+  return Status::OK();
+}
+
 Status DataSource::VerifyCredentials(
     const std::vector<Credential>& credentials) const {
   if (credentials.empty()) {

@@ -1,6 +1,7 @@
 #ifndef SECMED_MEDIATION_DATASOURCE_H_
 #define SECMED_MEDIATION_DATASOURCE_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -49,6 +50,13 @@ class DataSource {
 
   /// Schema of a stored relation.
   Result<Schema> TableSchema(const std::string& table) const;
+
+  /// Runs `fn` over the stored relation without exporting it — the
+  /// planner's statistics hook (src/plan/stats.h): statistics are
+  /// computed datasource-side, so raw tuples never cross this boundary.
+  /// Returns kNotFound when the table is absent.
+  Status WithRelation(const std::string& table,
+                      const std::function<void(const Relation&)>& fn) const;
 
   /// Step 4 of the request phase: verifies the credentials, applies the
   /// table's access policy, and evaluates the partial query over the

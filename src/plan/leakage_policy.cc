@@ -1,0 +1,172 @@
+#include "plan/leakage_policy.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace secmed {
+namespace plan {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+obs::JsonValue PredictedLeakage::ToJson() const {
+  return obs::JsonValue::Object({
+      {"protocol", obs::JsonValue::String(protocol)},
+      {"mediator_sees_relation_sizes",
+       obs::JsonValue::Bool(mediator_sees_relation_sizes)},
+      {"mediator_sees_bucket_frequencies",
+       obs::JsonValue::Bool(mediator_sees_bucket_frequencies)},
+      {"mediator_sees_domain_sizes",
+       obs::JsonValue::Bool(mediator_sees_domain_sizes)},
+      {"mediator_sees_intersection_size",
+       obs::JsonValue::Bool(mediator_sees_intersection_size)},
+      {"mediator_sees_plaintext",
+       obs::JsonValue::Bool(mediator_sees_plaintext)},
+      {"client_sees_excess_tuples",
+       obs::JsonValue::Bool(client_sees_excess_tuples)},
+      {"client_superset_factor",
+       obs::JsonValue::Number(client_superset_factor)},
+  });
+}
+
+std::string PredictedLeakage::ToString() const {
+  std::ostringstream out;
+  out << protocol << ": mediator sees {";
+  bool first = true;
+  auto add = [&](bool flag, const char* what) {
+    if (!flag) return;
+    if (!first) out << ", ";
+    out << what;
+    first = false;
+  };
+  add(mediator_sees_relation_sizes, "relation sizes");
+  add(mediator_sees_bucket_frequencies, "bucket frequencies");
+  add(mediator_sees_domain_sizes, "domain sizes");
+  add(mediator_sees_intersection_size, "intersection size");
+  add(mediator_sees_plaintext, "PLAINTEXT");
+  if (first) out << "nothing";
+  out << "}, client superset factor " << client_superset_factor;
+  return out.str();
+}
+
+PredictedLeakage PredictLeakage(const std::string& protocol,
+                                const CostEstimate& cost) {
+  PredictedLeakage leak;
+  leak.protocol = protocol;
+  if (protocol == "das") {
+    leak.mediator_sees_relation_sizes = true;
+    leak.mediator_sees_bucket_frequencies = true;
+    leak.client_sees_excess_tuples = true;
+    leak.client_superset_factor = cost.client_superset_factor;
+  } else if (protocol == "commutative") {
+    leak.mediator_sees_domain_sizes = true;
+    leak.mediator_sees_intersection_size = true;
+  } else if (protocol == "pm") {
+    // The mediator sees the polynomial degrees — the domain sizes.
+    leak.mediator_sees_domain_sizes = true;
+  }
+  return leak;
+}
+
+Result<LeakagePolicy> LeakagePolicy::Parse(const std::string& spec) {
+  LeakagePolicy policy;
+  std::stringstream stream(spec);
+  std::string term;
+  while (std::getline(stream, term, ',')) {
+    term = Trim(term);
+    if (term.empty()) continue;
+    if (term == "deny:mediator-relation-sizes") {
+      policy.deny_relation_sizes_ = true;
+    } else if (term == "deny:mediator-bucket-frequencies") {
+      policy.deny_bucket_frequencies_ = true;
+    } else if (term == "deny:mediator-domain-sizes") {
+      policy.deny_domain_sizes_ = true;
+    } else if (term == "deny:mediator-intersection-size") {
+      policy.deny_intersection_size_ = true;
+    } else if (term == "deny:mediator-plaintext") {
+      policy.deny_mediator_plaintext_ = true;
+    } else if (term == "deny:client-excess-tuples") {
+      policy.deny_client_excess_ = true;
+    } else if (term.rfind("superset<=", 0) == 0) {
+      const std::string number = term.substr(10);
+      char* end = nullptr;
+      double cap = std::strtod(number.c_str(), &end);
+      if (number.empty() || end == nullptr || *end != '\0' || cap <= 0) {
+        return Status::InvalidArgument("leakage policy: bad superset cap '" +
+                                       term + "'");
+      }
+      policy.max_superset_factor_ = cap;
+    } else {
+      return Status::InvalidArgument(
+          "leakage policy: unknown term '" + term +
+          "' (see docs/PLANNER.md for the budget grammar)");
+    }
+  }
+  return policy;
+}
+
+std::string LeakagePolicy::Check(const PredictedLeakage& leak) const {
+  if (deny_relation_sizes_ && leak.mediator_sees_relation_sizes) {
+    return "mediator would learn the relation sizes";
+  }
+  if (deny_bucket_frequencies_ && leak.mediator_sees_bucket_frequencies) {
+    return "mediator would learn the bucket frequency histogram";
+  }
+  if (deny_domain_sizes_ && leak.mediator_sees_domain_sizes) {
+    return "mediator would learn the active-domain sizes";
+  }
+  if (deny_intersection_size_ && leak.mediator_sees_intersection_size) {
+    return "mediator would learn the domain intersection size";
+  }
+  if (deny_mediator_plaintext_ && leak.mediator_sees_plaintext) {
+    return "mediator would see plaintext";
+  }
+  if (deny_client_excess_ && leak.client_sees_excess_tuples) {
+    return "client would receive non-matching tuples";
+  }
+  if (max_superset_factor_ > 0 &&
+      leak.client_superset_factor > max_superset_factor_) {
+    std::ostringstream out;
+    out << "client superset factor " << leak.client_superset_factor
+        << " exceeds the budget " << max_superset_factor_;
+    return out.str();
+  }
+  return "";
+}
+
+std::string LeakagePolicy::ToString() const {
+  std::vector<std::string> terms;
+  if (deny_relation_sizes_) terms.push_back("deny:mediator-relation-sizes");
+  if (deny_bucket_frequencies_) {
+    terms.push_back("deny:mediator-bucket-frequencies");
+  }
+  if (deny_domain_sizes_) terms.push_back("deny:mediator-domain-sizes");
+  if (deny_intersection_size_) {
+    terms.push_back("deny:mediator-intersection-size");
+  }
+  if (deny_mediator_plaintext_) terms.push_back("deny:mediator-plaintext");
+  if (deny_client_excess_) terms.push_back("deny:client-excess-tuples");
+  if (max_superset_factor_ > 0) {
+    std::ostringstream cap;
+    cap << "superset<=" << max_superset_factor_;
+    terms.push_back(cap.str());
+  }
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ",";
+    out += terms[i];
+  }
+  return out;
+}
+
+}  // namespace plan
+}  // namespace secmed

@@ -1,0 +1,92 @@
+#ifndef SECMED_PLAN_LEAKAGE_POLICY_H_
+#define SECMED_PLAN_LEAKAGE_POLICY_H_
+
+#include <string>
+
+#include "obs/json.h"
+#include "plan/cost_model.h"
+#include "util/result.h"
+
+namespace secmed {
+namespace plan {
+
+/// What a candidate protocol would disclose beyond the join result — the
+/// predicted counterpart of Table 1 (and of the measured LeakageReport in
+/// core/leakage.h), evaluated before any ciphertext is sent.
+struct PredictedLeakage {
+  std::string protocol;
+
+  // Mediator-side disclosures (Table 1, right column).
+  /// DAS: the mediator sees |R1|, |R2| and |RC| (one etuple per tuple).
+  bool mediator_sees_relation_sizes = false;
+  /// DAS: the per-bucket etuple counts are the bucket frequency histogram.
+  bool mediator_sees_bucket_frequencies = false;
+  /// Commutative/PM: the encrypted value lists reveal |domactive(A)|.
+  bool mediator_sees_domain_sizes = false;
+  /// Commutative: matching doubly-encrypted lists reveals |dom1 ∩ dom2|.
+  bool mediator_sees_intersection_size = false;
+  /// Never, for all three protocols (the paper's soundness claim; the
+  /// measured reports verify it probe-by-probe).
+  bool mediator_sees_plaintext = false;
+
+  // Client-side disclosures (Table 1, left column).
+  /// DAS: the client receives and decrypts non-matching candidate pairs.
+  bool client_sees_excess_tuples = false;
+  /// Candidate pairs delivered per true result tuple (1.0 = exact).
+  double client_superset_factor = 1.0;
+
+  obs::JsonValue ToJson() const;
+  std::string ToString() const;
+};
+
+/// Table 1 semantics for a protocol, with the superset factor taken from
+/// the cost estimate.
+PredictedLeakage PredictLeakage(const std::string& protocol,
+                                const CostEstimate& cost);
+
+/// A declarative disclosure budget restricting which protocols the
+/// planner may choose. Grammar: comma-separated terms of
+///
+///   deny:mediator-relation-sizes      (prunes DAS)
+///   deny:mediator-bucket-frequencies  (prunes DAS)
+///   deny:mediator-domain-sizes        (prunes commutative and PM)
+///   deny:mediator-intersection-size   (prunes commutative)
+///   deny:mediator-plaintext           (never violated; documents intent)
+///   deny:client-excess-tuples         (prunes DAS)
+///   superset<=X                       (numeric cap on the DAS factor)
+///
+/// The empty spec allows everything.
+class LeakagePolicy {
+ public:
+  LeakagePolicy() = default;
+
+  static Result<LeakagePolicy> Parse(const std::string& spec);
+
+  /// Empty string when `leak` satisfies the budget, else a human-readable
+  /// violation (the planner's prune reason).
+  std::string Check(const PredictedLeakage& leak) const;
+
+  /// Canonical re-rendering of the parsed spec.
+  std::string ToString() const;
+
+  bool empty() const {
+    return !deny_relation_sizes_ && !deny_bucket_frequencies_ &&
+           !deny_domain_sizes_ && !deny_intersection_size_ &&
+           !deny_mediator_plaintext_ && !deny_client_excess_ &&
+           max_superset_factor_ < 0;
+  }
+
+ private:
+  bool deny_relation_sizes_ = false;
+  bool deny_bucket_frequencies_ = false;
+  bool deny_domain_sizes_ = false;
+  bool deny_intersection_size_ = false;
+  bool deny_mediator_plaintext_ = false;
+  bool deny_client_excess_ = false;
+  double max_superset_factor_ = -1.0;  // < 0: unbounded
+};
+
+}  // namespace plan
+}  // namespace secmed
+
+#endif  // SECMED_PLAN_LEAKAGE_POLICY_H_

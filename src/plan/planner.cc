@@ -1,0 +1,455 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "relational/sql.h"
+
+namespace secmed {
+namespace plan {
+
+namespace {
+
+/// The datasource owning `table` in the context, or null.
+const DataSource* FindSource(const ProtocolContext* ctx,
+                             const std::string& table) {
+  for (const auto& [name, source] : ctx->sources) {
+    if (source != nullptr && source->HasTable(table)) return source;
+  }
+  return nullptr;
+}
+
+/// Base column names of a schema.
+std::set<std::string> BaseColumns(const Schema& schema) {
+  std::set<std::string> cols;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    cols.insert(Schema::BaseName(schema.column(i).name));
+  }
+  return cols;
+}
+
+struct LevelAttrs {
+  std::string left;   // base column on the accumulated side
+  std::string right;  // base column on the incoming table
+};
+
+/// The join attribute pair of one level. NATURAL joins use the first
+/// common base column (schema order of the incoming table); ON joins use
+/// the first equality pair. Multi-attribute joins are costed on their
+/// first attribute — a deliberate approximation: the first attribute
+/// dominates the matching work, and extra attributes only shrink the
+/// result, so the estimate is conservative.
+Result<LevelAttrs> LevelJoinAttributes(
+    const std::set<std::string>& left_columns, const Schema& right_schema,
+    const ParsedQuery::JoinClause& join) {
+  LevelAttrs attrs;
+  if (join.natural || join.on_pairs.empty()) {
+    for (size_t i = 0; i < right_schema.size(); ++i) {
+      std::string base = Schema::BaseName(right_schema.column(i).name);
+      if (left_columns.count(base) > 0) {
+        attrs.left = attrs.right = base;
+        return attrs;
+      }
+    }
+    return Status::InvalidArgument("planner: no common join column with '" +
+                                   join.table.name + "'");
+  }
+  std::string first = Schema::BaseName(join.on_pairs.front().first);
+  std::string second = Schema::BaseName(join.on_pairs.front().second);
+  std::set<std::string> right_columns = BaseColumns(right_schema);
+  if (right_columns.count(second) > 0 && left_columns.count(first) > 0) {
+    attrs.left = first;
+    attrs.right = second;
+  } else if (right_columns.count(first) > 0 &&
+             left_columns.count(second) > 0) {
+    attrs.left = second;
+    attrs.right = first;
+  } else {
+    return Status::InvalidArgument(
+        "planner: ON pair " + first + " = " + second +
+        " does not span the join with '" + join.table.name + "'");
+  }
+  return attrs;
+}
+
+/// One join order with everything the costing pass needs per level.
+struct LevelInput {
+  std::string left_label;
+  std::string right_label;
+  std::string join_attribute;
+  TableStats left;
+  TableStats right;
+};
+
+std::string FormatMs(double ms) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(ms < 10 ? 2 : 1) << ms;
+  return out.str();
+}
+
+}  // namespace
+
+std::string CandidatePlan::ProtocolsLabel() const {
+  std::string label;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) label += "+";
+    label += levels[i].protocol;
+  }
+  return label;
+}
+
+std::vector<std::string> PlanChoice::ProtocolSchedule() const {
+  std::vector<std::string> schedule;
+  schedule.reserve(chosen.levels.size());
+  for (const PlanLevel& level : chosen.levels) {
+    schedule.push_back(level.protocol);
+  }
+  return schedule;
+}
+
+obs::JsonValue PlanChoice::ToJson(const PlanActuals* actuals) const {
+  auto level_json = [](const PlanLevel& level) {
+    return obs::JsonValue::Object({
+        {"left", obs::JsonValue::String(level.left)},
+        {"right", obs::JsonValue::String(level.right)},
+        {"join_attribute", obs::JsonValue::String(level.join_attribute)},
+        {"protocol", obs::JsonValue::String(level.protocol)},
+        {"cost", level.cost.ToJson()},
+        {"leakage", level.leakage.ToJson()},
+    });
+  };
+  auto candidate_json = [&](const CandidatePlan& c) {
+    std::vector<obs::JsonValue> levels;
+    levels.reserve(c.levels.size());
+    for (const PlanLevel& level : c.levels) levels.push_back(level_json(level));
+    return obs::JsonValue::Object({
+        {"levels", obs::JsonValue::Array(std::move(levels))},
+        {"protocols", obs::JsonValue::String(c.ProtocolsLabel())},
+        {"total_wall_ms", obs::JsonValue::Number(c.total_wall_ms)},
+        {"pruned", obs::JsonValue::Bool(c.pruned)},
+        {"prune_reason", obs::JsonValue::String(c.prune_reason)},
+        {"feasible", obs::JsonValue::Bool(c.feasible)},
+        {"mixed", obs::JsonValue::Bool(c.mixed)},
+    });
+  };
+
+  std::vector<obs::JsonValue> candidate_array;
+  candidate_array.reserve(candidates.size());
+  for (const CandidatePlan& c : candidates) {
+    candidate_array.push_back(candidate_json(c));
+  }
+  std::map<std::string, obs::JsonValue> doc{
+      {"schema", obs::JsonValue::String("secmed.plan_explain.v1")},
+      {"sql", obs::JsonValue::String(sql)},
+      {"policy", obs::JsonValue::String(policy)},
+      {"chosen", candidate_json(chosen)},
+      {"candidates", obs::JsonValue::Array(std::move(candidate_array))},
+  };
+  if (actuals != nullptr) {
+    double predicted = chosen.total_wall_ms;
+    doc.emplace("actuals",
+                obs::JsonValue::Object({
+                    {"wall_ms", obs::JsonValue::Number(actuals->wall_ms)},
+                    {"total_bytes",
+                     obs::JsonValue::Number(actuals->total_bytes)},
+                    {"result_rows",
+                     obs::JsonValue::Number(actuals->result_rows)},
+                    {"messages", obs::JsonValue::Number(actuals->messages)},
+                    {"predicted_over_actual",
+                     obs::JsonValue::Number(actuals->wall_ms > 0
+                                                ? predicted / actuals->wall_ms
+                                                : -1.0)},
+                }));
+  }
+  return obs::JsonValue::Object(std::move(doc));
+}
+
+std::string PlanChoice::ToTable() const {
+  // Column widths over all rows first, then aligned output.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"#", "plan", "protocols", "pred_ms", "client_work",
+                  "mediator_KB", "superset", "status"});
+  auto describe = [](const CandidatePlan& c) {
+    std::string plan = c.levels.empty() ? "-" : c.levels.front().left;
+    for (const PlanLevel& level : c.levels) plan += "*" + level.right;
+    return plan;
+  };
+  size_t index = 1;
+  for (const CandidatePlan& c : candidates) {
+    double client_work = 0, mediator_bytes = 0, superset = 1.0;
+    for (const PlanLevel& level : c.levels) {
+      client_work += level.cost.client_decrypt_ops;
+      mediator_bytes += level.cost.mediator_bytes;
+      superset = std::max(superset, level.cost.client_superset_factor);
+    }
+    std::string status;
+    if (!c.feasible) {
+      status = "infeasible: " + c.prune_reason;
+    } else if (c.pruned) {
+      status = "pruned: " + c.prune_reason;
+    } else if (c.ProtocolsLabel() == chosen.ProtocolsLabel() &&
+               describe(c) == describe(chosen)) {
+      status = "CHOSEN";
+    }
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(1) << superset;
+    rows.push_back({std::to_string(index++), describe(c), c.ProtocolsLabel(),
+                    FormatMs(c.total_wall_ms),
+                    std::to_string(size_t(client_work + 0.5)),
+                    FormatMs(mediator_bytes / 1024.0), ss.str(), status});
+  }
+  std::vector<size_t> widths(rows[0].size(), 0);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << std::left << std::setw(int(widths[i]) + 2) << row[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<PlanChoice> Planner::Plan(const std::string& sql,
+                                 ProtocolContext* ctx) {
+  obs::Span span = obs::StartSpan(ctx->obs, "client", "plan", "enumerate");
+  SECMED_ASSIGN_OR_RETURN(ParsedQuery query, ParseSql(sql));
+  if (query.joins.empty()) {
+    return Status::InvalidArgument("planner: query has no JOIN clause");
+  }
+  SECMED_ASSIGN_OR_RETURN(LeakagePolicy policy,
+                          LeakagePolicy::Parse(options_.policy));
+
+  StatsOptions stats_options;
+  stats_options.das_strategy = options_.params.das_strategy;
+  stats_options.das_partitions = options_.params.das_partitions;
+  PreparedCache* cache = ctx->prepared;
+
+  // Base-table schemas and owning sources.
+  struct BaseTable {
+    std::string name;
+    const DataSource* source = nullptr;
+    Schema schema;
+  };
+  auto resolve = [&](const std::string& table) -> Result<BaseTable> {
+    BaseTable bt;
+    bt.name = table;
+    bt.source = FindSource(ctx, table);
+    if (bt.source == nullptr) {
+      return Status::NotFound("planner: no datasource holds table '" + table +
+                              "'");
+    }
+    SECMED_ASSIGN_OR_RETURN(bt.schema, bt.source->TableSchema(table));
+    return bt;
+  };
+  SECMED_ASSIGN_OR_RETURN(BaseTable anchor, resolve(query.from.name));
+  std::vector<BaseTable> join_tables;
+  bool all_natural = true;
+  for (const ParsedQuery::JoinClause& join : query.joins) {
+    SECMED_ASSIGN_OR_RETURN(BaseTable bt, resolve(join.table.name));
+    join_tables.push_back(std::move(bt));
+    if (!join.natural) all_natural = false;
+  }
+
+  // Memoized base-table statistics per (table, attribute).
+  std::map<std::pair<std::string, std::string>, TableStats> base_stats;
+  auto stats_for = [&](const BaseTable& bt,
+                       const std::string& attr) -> Result<TableStats> {
+    auto key = std::make_pair(bt.name, attr);
+    auto it = base_stats.find(key);
+    if (it != base_stats.end()) return it->second;
+    SECMED_ASSIGN_OR_RETURN(
+        TableStats stats,
+        CollectSourceStats(*bt.source, bt.name, attr, stats_options, cache));
+    base_stats.emplace(key, stats);
+    return stats;
+  };
+
+  // Builds the per-level costing inputs for one order of the join
+  // clauses; fails (→ the order is skipped) when a level has no join
+  // attribute with the accumulated left side.
+  auto build_levels =
+      [&](const std::vector<size_t>& order) -> Result<std::vector<LevelInput>> {
+    std::vector<LevelInput> levels;
+    std::set<std::string> left_columns = BaseColumns(anchor.schema);
+    std::vector<const BaseTable*> joined = {&anchor};
+    std::string left_label = anchor.name;
+    TableStats left_stats;  // set at level 0
+    for (size_t depth = 0; depth < order.size(); ++depth) {
+      const ParsedQuery::JoinClause& join = query.joins[order[depth]];
+      const BaseTable& right = join_tables[order[depth]];
+      SECMED_ASSIGN_OR_RETURN(
+          LevelAttrs attrs,
+          LevelJoinAttributes(left_columns, right.schema, join));
+      LevelInput level;
+      level.left_label = left_label;
+      level.right_label = right.name;
+      level.join_attribute = attrs.left;
+      if (depth == 0) {
+        SECMED_ASSIGN_OR_RETURN(level.left, stats_for(anchor, attrs.left));
+      } else {
+        // The intermediate: cardinality from the previous level, domain
+        // shape from the base table that carries this level's attribute.
+        const LevelInput& prev = levels.back();
+        const BaseTable* carrier = nullptr;
+        for (const BaseTable* bt : joined) {
+          if (BaseColumns(bt->schema).count(attrs.left) > 0) {
+            carrier = bt;
+            break;
+          }
+        }
+        if (carrier == nullptr) {
+          return Status::InvalidArgument(
+              "planner: join attribute '" + attrs.left +
+              "' not in the accumulated result");
+        }
+        SECMED_ASSIGN_OR_RETURN(TableStats carrier_stats,
+                                stats_for(*carrier, attrs.left));
+        level.left = JoinedStats(prev.left, prev.right, carrier_stats);
+      }
+      SECMED_ASSIGN_OR_RETURN(level.right, stats_for(right, attrs.right));
+      for (const std::string& col : BaseColumns(right.schema)) {
+        left_columns.insert(col);
+      }
+      joined.push_back(&right);
+      left_label += "*" + right.name;
+      levels.push_back(std::move(level));
+    }
+    return levels;
+  };
+
+  // Join orders: the given order always; for all-NATURAL cascades of
+  // up to 3 joins also every permutation that keeps a shared column at
+  // each level (invalid permutations are skipped by build_levels).
+  std::vector<size_t> given(query.joins.size());
+  for (size_t i = 0; i < given.size(); ++i) given[i] = i;
+  std::vector<std::vector<size_t>> orders = {given};
+  if (options_.enumerate_orders && all_natural && query.joins.size() >= 2 &&
+      query.joins.size() <= 3) {
+    std::vector<size_t> perm = given;
+    std::sort(perm.begin(), perm.end());
+    do {
+      if (perm != given) orders.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+
+  PlanChoice choice;
+  choice.sql = sql;
+  choice.policy = policy.ToString();
+
+  for (const std::vector<size_t>& order : orders) {
+    Result<std::vector<LevelInput>> levels = build_levels(order);
+    if (!levels.ok()) {
+      if (order == given) return levels.status();
+      continue;  // invalid permutation
+    }
+
+    // Per-level cost and leakage of every candidate protocol.
+    struct LevelOption {
+      PlanLevel level;
+      bool allowed = true;
+    };
+    std::vector<std::vector<LevelOption>> grid;
+    for (const LevelInput& input : *levels) {
+      std::vector<LevelOption> row;
+      for (const std::string& protocol : options_.protocols) {
+        LevelOption option;
+        option.level.left = input.left_label;
+        option.level.right = input.right_label;
+        option.level.join_attribute = input.join_attribute;
+        option.level.protocol = protocol;
+        option.level.cost =
+            model_.Predict(protocol, input.left, input.right, options_.params);
+        option.level.leakage = PredictLeakage(protocol, option.level.cost);
+        option.allowed = policy.Check(option.level.leakage).empty();
+        row.push_back(std::move(option));
+      }
+      grid.push_back(std::move(row));
+    }
+
+    // Uniform candidates (one per protocol — these mirror the fixed
+    // --protocol choices), plus the best-per-level mixed candidate.
+    for (size_t p = 0; p < options_.protocols.size(); ++p) {
+      CandidatePlan candidate;
+      for (const std::vector<LevelOption>& row : grid) {
+        const LevelOption& option = row[p];
+        candidate.levels.push_back(option.level);
+        candidate.total_wall_ms += option.level.cost.wall_ms;
+        if (!option.level.cost.feasible && candidate.feasible) {
+          candidate.feasible = false;
+          candidate.prune_reason = option.level.cost.infeasible_reason;
+        }
+        if (!option.allowed && !candidate.pruned) {
+          candidate.pruned = true;
+          candidate.prune_reason = policy.Check(option.level.leakage);
+        }
+      }
+      choice.candidates.push_back(std::move(candidate));
+    }
+    if (grid.size() > 1) {
+      CandidatePlan mixed;
+      mixed.mixed = true;
+      for (const std::vector<LevelOption>& row : grid) {
+        const LevelOption* best = nullptr;
+        for (const LevelOption& option : row) {
+          if (!option.allowed || !option.level.cost.feasible) continue;
+          if (best == nullptr ||
+              option.level.cost.wall_ms < best->level.cost.wall_ms) {
+            best = &option;
+          }
+        }
+        if (best == nullptr) {
+          mixed.feasible = false;
+          mixed.pruned = true;
+          mixed.prune_reason = "no protocol satisfies the policy";
+          break;
+        }
+        mixed.levels.push_back(best->level);
+        mixed.total_wall_ms += best->level.cost.wall_ms;
+      }
+      // Only worth listing when it differs from every uniform candidate.
+      bool uniform = true;
+      for (size_t i = 1; i < mixed.levels.size(); ++i) {
+        if (mixed.levels[i].protocol != mixed.levels[0].protocol) {
+          uniform = false;
+        }
+      }
+      if (!mixed.pruned && !mixed.levels.empty() && !uniform) {
+        choice.candidates.push_back(std::move(mixed));
+      }
+    }
+  }
+
+  // Choose the cheapest feasible, unpruned candidate.
+  const CandidatePlan* best = nullptr;
+  for (const CandidatePlan& candidate : choice.candidates) {
+    if (candidate.pruned || !candidate.feasible) continue;
+    if (best == nullptr || candidate.total_wall_ms < best->total_wall_ms) {
+      best = &candidate;
+    }
+  }
+  obs::AddCounter(ctx->obs, "planner.candidates", choice.candidates.size());
+  size_t pruned = 0;
+  for (const CandidatePlan& candidate : choice.candidates) {
+    if (candidate.pruned) ++pruned;
+  }
+  obs::AddCounter(ctx->obs, "planner.pruned", pruned);
+  if (best == nullptr) {
+    return Status::FailedPrecondition(
+        "planner: the leakage policy '" + choice.policy +
+        "' excludes every feasible protocol for this query");
+  }
+  choice.chosen = *best;
+  obs::AddCounter(ctx->obs, "planner.choice." + choice.chosen.ProtocolsLabel(),
+                  1);
+  return choice;
+}
+
+}  // namespace plan
+}  // namespace secmed

@@ -1,0 +1,108 @@
+#ifndef SECMED_PLAN_PLANNER_H_
+#define SECMED_PLAN_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+#include "obs/json.h"
+#include "plan/cost_model.h"
+#include "plan/leakage_policy.h"
+#include "plan/stats.h"
+
+namespace secmed {
+namespace plan {
+
+/// One mediation level of a candidate plan: the delivery of
+/// left ⋈ right under one protocol.
+struct PlanLevel {
+  std::string left;   // table or intermediate label ("t1*t2")
+  std::string right;
+  std::string join_attribute;
+  std::string protocol;
+  CostEstimate cost;
+  PredictedLeakage leakage;
+};
+
+/// A fully costed candidate: a join order plus a protocol per level.
+struct CandidatePlan {
+  std::vector<PlanLevel> levels;
+  double total_wall_ms = 0.0;
+  bool pruned = false;          // a level violates the leakage policy
+  std::string prune_reason;
+  bool feasible = true;         // a level's protocol cannot run at all
+  /// True for the synthesized best-per-level candidate of an order (as
+  /// opposed to the uniform single-protocol candidates that mirror the
+  /// fixed --protocol choices).
+  bool mixed = false;
+
+  /// "commutative" or "das+commutative" (per-level, in order).
+  std::string ProtocolsLabel() const;
+};
+
+/// Measured counterpart for predicted-vs-actual reconciliation, taken
+/// from the RunReport / QueryOutcome of the executed plan.
+struct PlanActuals {
+  double wall_ms = -1.0;
+  double total_bytes = -1.0;
+  double result_rows = -1.0;
+  double messages = -1.0;
+};
+
+/// The planner's EXPLAIN output: every candidate considered, the chosen
+/// plan, and (after execution) the reconciled actuals.
+struct PlanChoice {
+  std::string sql;
+  std::string policy;
+  CandidatePlan chosen;
+  std::vector<CandidatePlan> candidates;
+
+  /// Per-level protocol names of the chosen plan, in cascade order —
+  /// the schedule handed to CascadeExecutor. Size 1 for a single join.
+  std::vector<std::string> ProtocolSchedule() const;
+
+  /// Structured EXPLAIN; `actuals` (optional) adds the measured section.
+  obs::JsonValue ToJson(const PlanActuals* actuals = nullptr) const;
+
+  /// Aligned text table of all candidates (the `explain` subcommand).
+  std::string ToTable() const;
+};
+
+struct PlannerOptions {
+  ProtocolParams params;
+  /// LeakagePolicy spec (see leakage_policy.h); empty allows everything.
+  std::string policy;
+  /// Candidate delivery protocols, in tie-break order.
+  std::vector<std::string> protocols = {"das", "commutative", "pm"};
+  /// Enumerate alternative join orders for all-NATURAL k-way cascades
+  /// (the given order is always a candidate).
+  bool enumerate_orders = true;
+  /// Statistics options; das_strategy/das_partitions of `params` are used
+  /// so the histogram matches what the DAS candidate would build.
+};
+
+/// The cost-based protocol (and join-order) selector. Statistics are
+/// collected through the datasources in the supplied context and cached
+/// in its prepared registry when attached.
+class Planner {
+ public:
+  Planner(CostModel model, PlannerOptions options)
+      : model_(std::move(model)), options_(std::move(options)) {}
+
+  /// Plans `sql` over `ctx` (sources + optional prepared cache + obs).
+  /// Fails with kFailedPrecondition when the leakage policy prunes every
+  /// feasible candidate.
+  Result<PlanChoice> Plan(const std::string& sql, ProtocolContext* ctx);
+
+  const CostModel& model() const { return model_; }
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  CostModel model_;
+  PlannerOptions options_;
+};
+
+}  // namespace plan
+}  // namespace secmed
+
+#endif  // SECMED_PLAN_PLANNER_H_

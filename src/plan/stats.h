@@ -1,0 +1,114 @@
+#ifndef SECMED_PLAN_STATS_H_
+#define SECMED_PLAN_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/prepared.h"
+#include "core/protocol.h"
+#include "das/partition.h"
+#include "mediation/datasource.h"
+#include "obs/json.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace secmed {
+namespace plan {
+
+/// One DAS bucket of a relation's join-attribute histogram: the partition
+/// boundaries the active-domain partitioner would produce, plus how many
+/// distinct values and tuples of the relation fall into it. The cost
+/// model derives the mediator's superset size |RC| from overlapping
+/// bucket pairs (Section 3: the server join matches index values, so
+/// every tuple pair whose buckets can share a value survives qS).
+struct BucketStat {
+  DasPartition partition;
+  size_t distinct_values = 0;
+  size_t tuples = 0;
+};
+
+/// Fingerprints kept per join-domain sketch. Active domains under the cap
+/// make the sketch exact (it then *is* the hashed domain); larger ones
+/// degrade to a bottom-k (KMV) sketch with the standard overlap scaling.
+inline constexpr size_t kJoinSketchCap = 4096;
+
+/// Per-relation planner statistics: the inputs of the Section 6 cost
+/// formulas. Collected at (or on behalf of) the owning datasource so the
+/// raw relation never leaves it, versioned by DataSource::catalog_version
+/// and cached in the prepared-dataset registry under
+/// "plan.stats/<source>/v<version>/<digest(params)>".
+struct TableStats {
+  std::string table;
+  std::string source;  // owning datasource; empty for intermediates
+  uint64_t catalog_version = 0;
+
+  size_t tuples = 0;                // n_i  (|R_i|)
+  size_t columns = 0;
+  size_t distinct_join_values = 0;  // d_i  (|domactive(A)|)
+  double avg_tuple_bytes = 0.0;     // canonical EncodeTuple size
+
+  std::string join_attribute;
+  /// DAS bucket histogram from the active-domain partitioner (empty when
+  /// the strategy cannot partition this domain, e.g. equi-width over
+  /// strings — DAS is then not plannable for this table).
+  std::vector<BucketStat> buckets;
+
+  /// Sorted 64-bit fingerprints (truncated SHA-256 of the canonical value
+  /// encoding) of distinct join values; bottom-k when capped.
+  std::vector<uint64_t> join_sketch;
+  bool sketch_exact = true;
+
+  obs::JsonValue ToJson() const;
+};
+
+/// Options the statistics collector needs from the candidate protocols:
+/// the DAS bucketing the histogram must mirror.
+struct StatsOptions {
+  PartitionStrategy das_strategy = PartitionStrategy::kEquiDepth;
+  size_t das_partitions = 4;
+};
+
+/// Collects statistics over a plaintext relation. `join_attribute` is the
+/// (base) column the next mediation joins on.
+Result<TableStats> CollectStats(const Relation& rel,
+                                const std::string& join_attribute,
+                                const StatsOptions& options);
+
+/// Collects statistics for `table` at datasource `source`, memoized in
+/// `cache` (may be null: compute every time) under a key embedding the
+/// source's catalog version — any AddRelation/SetPolicy retires the old
+/// stats, exactly like the prepared delivery entries.
+Result<TableStats> CollectSourceStats(const DataSource& source,
+                                      const std::string& table,
+                                      const std::string& join_attribute,
+                                      const StatsOptions& options,
+                                      PreparedCache* cache);
+
+/// Estimated |domactive(R1.A) ∩ domactive(R2.A)| from the two sketches.
+/// Exact when both sketches are exact (the common case: domains under
+/// kJoinSketchCap); otherwise a bottom-k overlap estimate.
+double EstimateDomainIntersection(const TableStats& a, const TableStats& b);
+
+/// Predicted DAS server-result size |RC| in tuple pairs: the sum over
+/// overlapping bucket pairs of the tuple-count products. Returns a
+/// negative value when either side has no bucket histogram (DAS not
+/// plannable).
+double EstimateDasSupersetPairs(const TableStats& a, const TableStats& b);
+
+/// Expected true join cardinality under per-value uniformity:
+/// I · (n1/d1) · (n2/d2) with I the estimated domain intersection.
+double EstimateJoinTuples(const TableStats& a, const TableStats& b);
+
+/// Synthesizes statistics for the intermediate relation `a ⋈ b` as seen
+/// by the next cascade level. `carrier_next_attr` is the base-table
+/// statistics (collected on the *next* level's join attribute) of the
+/// side that carries that attribute into the intermediate: its sketch
+/// and histogram describe the attribute's domain shape, while the tuple
+/// counts are rescaled to the estimated join cardinality of a ⋈ b.
+TableStats JoinedStats(const TableStats& a, const TableStats& b,
+                       const TableStats& carrier_next_attr);
+
+}  // namespace plan
+}  // namespace secmed
+
+#endif  // SECMED_PLAN_STATS_H_

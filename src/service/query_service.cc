@@ -1,11 +1,15 @@
 #include "service/query_service.h"
 
 #include <future>
+#include <memory>
 #include <utility>
+#include <vector>
 
+#include "core/cascade.h"
 #include "crypto/drbg.h"
 #include "crypto/sha256.h"
 #include "net/bus.h"
+#include "relational/sql.h"
 #include "util/serialize.h"
 
 namespace secmed {
@@ -50,6 +54,29 @@ Result<QueryOutcome> QueryService::Run(const Query& query) {
   return future.get();
 }
 
+plan::Planner QueryService::MakePlanner(const Query& query) const {
+  plan::PlannerOptions popt;
+  popt.params.das_partitions = query.das_partitions;
+  popt.params.group_bits = query.group_bits;
+  popt.params.paillier_bits = testbed_->options().paillier_bits;
+  popt.params.rsa_bits = testbed_->options().rsa_bits;
+  popt.policy = query.policy;
+  return plan::Planner(plan::CostModel(options_.calibration), popt);
+}
+
+Result<plan::PlanChoice> QueryService::Explain(const Query& query) {
+  // Planning needs a context only for source statistics; no protocol
+  // traffic flows, so a throwaway bus and rng suffice. The prepared
+  // registry is shared, so collected stats are reused by later sessions.
+  NetworkBus bus;
+  HmacDrbg rng(ToBytes("secmed-explain-" + options_.rng_label));
+  ProtocolContext ctx = testbed_->SessionContext(&bus, &rng);
+  ctx.threads = options_.threads;
+  ctx.obs = options_.obs;
+  ctx.prepared = options_.use_prepared ? &registry_ : nullptr;
+  return MakePlanner(query).Plan(query.sql, &ctx);
+}
+
 QueryOutcome QueryService::Execute(const Query& query, uint64_t session_id) {
   const auto start = std::chrono::steady_clock::now();
   QueryOutcome out;
@@ -66,15 +93,74 @@ QueryOutcome QueryService::Execute(const Query& query, uint64_t session_id) {
   ctx.obs = options_.obs;
   ctx.prepared = options_.use_prepared ? &registry_ : nullptr;
 
-  RunSpec spec;
-  spec.protocol = query.protocol;
-  spec.das_partitions = query.das_partitions;
-  spec.group_bits = query.group_bits;
-  auto protocol = BuildProtocol(spec);
-  if (!protocol.ok()) {
-    out.status = protocol.status();
+  // Resolve the per-level protocol schedule: a fixed protocol repeats
+  // for every cascade level; "auto" asks the planner (src/plan/), which
+  // may pick a different protocol per level.
+  std::vector<std::string> schedule_names;
+  Status plan_status = Status::OK();
+  size_t join_clauses = 1;
+  if (auto parsed = ParseSql(query.sql); parsed.ok()) {
+    join_clauses = std::max<size_t>(1, parsed->joins.size());
+  }
+  if (query.protocol == "auto") {
+    obs::AddCounter(options_.obs, "service.query.auto", 1);
+    Result<plan::PlanChoice> planned = MakePlanner(query).Plan(query.sql, &ctx);
+    if (planned.ok()) {
+      out.plan = std::make_shared<plan::PlanChoice>(std::move(planned).value());
+      schedule_names = out.plan->ProtocolSchedule();
+    } else {
+      plan_status = planned.status();
+    }
   } else {
-    Result<Relation> result = (*protocol)->Run(query.sql, &ctx);
+    schedule_names.assign(join_clauses, query.protocol);
+  }
+
+  // Instantiate the protocol of each level; a cascade with k levels under
+  // one protocol shares a single instance (protocols are stateless across
+  // runs), matching the legacy fixed-protocol transcripts.
+  std::vector<std::unique_ptr<JoinProtocol>> owned;
+  std::vector<JoinProtocol*> schedule;
+  for (const std::string& name : schedule_names) {
+    JoinProtocol* reuse = nullptr;
+    for (size_t j = 0; j < schedule.size(); ++j) {
+      if (schedule_names[j] == name) {
+        reuse = schedule[j];
+        break;
+      }
+    }
+    if (reuse != nullptr) {
+      schedule.push_back(reuse);
+      continue;
+    }
+    RunSpec spec;
+    spec.protocol = name;
+    spec.das_partitions = query.das_partitions;
+    spec.group_bits = query.group_bits;
+    auto built = BuildProtocol(spec);
+    if (!built.ok()) {
+      plan_status = built.status();
+      break;
+    }
+    owned.push_back(std::move(built).value());
+    schedule.push_back(owned.back().get());
+  }
+
+  if (!plan_status.ok() || schedule.empty()) {
+    out.status = !plan_status.ok()
+                     ? plan_status
+                     : Status::Internal("empty protocol schedule");
+  } else {
+    Result<Relation> result = Status::Internal("unreached");
+    if (schedule.size() == 1 && join_clauses <= 1) {
+      // Single mediation: run the protocol directly — bit-identical to
+      // the pre-planner fixed-protocol path.
+      result = schedule[0]->Run(query.sql, &ctx);
+    } else {
+      // k-way cascade, possibly mixed-protocol (docs/PLANNER.md).
+      CascadeExecutor cascade(schedule[0], testbed_->ca_key());
+      cascade.SetProtocolSchedule(schedule);
+      result = cascade.Run(query.sql, &ctx);
+    }
     if (result.ok()) {
       out.result = std::move(result).value();
       // Canonical digest: the result is a bag and its delivery order
@@ -91,6 +177,7 @@ QueryOutcome QueryService::Execute(const Query& query, uint64_t session_id) {
   }
 
   out.messages = bus.transcript().size();
+  for (const Message& m : bus.transcript()) out.bytes += m.payload.size();
   if (options_.record_transcripts) {
     out.transcript.reserve(bus.transcript().size());
     for (const Message& m : bus.transcript()) {

@@ -9,6 +9,7 @@
 
 #include "core/remote.h"
 #include "core/testbed.h"
+#include "plan/planner.h"
 #include "service/prepared_registry.h"
 #include "service/scheduler.h"
 
@@ -27,6 +28,23 @@ struct QueryOutcome {
   /// Message payloads of the session's bus, in send order, when
   /// Options::record_transcripts is set (determinism tests).
   std::vector<Bytes> transcript;
+  /// Total payload bytes carried over the session bus (for the planner's
+  /// predicted-vs-actual reconciliation).
+  uint64_t bytes = 0;
+  /// The planner's EXPLAIN when the query ran with protocol "auto";
+  /// null for a fixed protocol. Shared so the outcome stays copyable.
+  std::shared_ptr<plan::PlanChoice> plan;
+
+  /// Measured counterpart of the plan's predicted costs, for
+  /// PlanChoice::ToJson reconciliation.
+  plan::PlanActuals Actuals() const {
+    plan::PlanActuals a;
+    a.wall_ms = latency_ms;
+    a.total_bytes = double(bytes);
+    a.result_rows = double(result.tuples().size());
+    a.messages = double(messages);
+    return a;
+  }
 };
 
 /// The long-lived in-process mediation service: one shared
@@ -57,14 +75,23 @@ class QueryService {
     /// Capture per-session bus transcripts into QueryOutcome.
     bool record_transcripts = false;
     obs::Scope* obs = nullptr;  // service-wide metrics; null disables
+    /// Cost-model coefficients for protocol "auto" (docs/PLANNER.md).
+    /// Defaults are the committed CALIBRATION.json values; refresh with
+    /// `secmedctl calibrate`.
+    plan::CalibrationProfile calibration;
   };
 
   /// A query to mediate. Protocol parameters mirror RunSpec.
   struct Query {
-    std::string protocol = "commutative";  // das | commutative | pm
+    /// das | commutative | pm, or "auto" to let the cost-based planner
+    /// choose the protocol (possibly per cascade level) under `policy`.
+    std::string protocol = "commutative";
     std::string sql;
     size_t das_partitions = 4;
     size_t group_bits = 256;
+    /// Leakage budget for "auto" (plan::LeakagePolicy grammar); empty
+    /// allows every protocol.
+    std::string policy;
   };
 
   /// `testbed` must outlive the service.
@@ -80,6 +107,11 @@ class QueryService {
   /// Admits the query and blocks for its outcome. Sheds like Submit.
   Result<QueryOutcome> Run(const Query& query);
 
+  /// Plans the query without executing it — the `explain` subcommand.
+  /// Statistics collection runs on the calling thread and warms the same
+  /// prepared-cache entries a later "auto" execution would hit.
+  Result<plan::PlanChoice> Explain(const Query& query);
+
   /// Stops admission and waits for in-flight sessions (<= 0: forever).
   Status Drain(std::chrono::milliseconds timeout) {
     return scheduler_.Drain(timeout);
@@ -92,6 +124,9 @@ class QueryService {
  private:
   /// Runs one admitted session on the calling (worker) thread.
   QueryOutcome Execute(const Query& query, uint64_t session_id);
+
+  /// The planner configured for this query's knobs and the testbed keys.
+  plan::Planner MakePlanner(const Query& query) const;
 
   MediationTestbed* testbed_;
   Options options_;

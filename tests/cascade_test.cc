@@ -160,6 +160,78 @@ TEST(CascadeTest, ThreeWayJoinPm) {
   EXPECT_TRUE(result.EqualsAsBag(env.ExpectedThreeWay()));
 }
 
+// A per-level protocol schedule (the planner's mixed plans) must deliver
+// the same bag as every single-protocol cascade: the intermediate result
+// a level re-publishes is protocol-independent, so protocols compose.
+TEST(CascadeTest, MixedProtocolScheduleMatchesUniformRuns) {
+  const std::string sql =
+      "SELECT * FROM patients NATURAL JOIN treatments NATURAL JOIN stock";
+
+  CascadeEnv das_env;
+  DasJoinProtocol das0(
+      DasProtocolOptions{PartitionStrategy::kEquiDepth, 2, {}});
+  CascadeExecutor uniform(&das0, das_env.ca_key());
+  Relation das_result = uniform.Run(sql, das_env.ctx()).value();
+
+  // DAS for the cheap first level, commutative for the second.
+  CascadeEnv mixed_env;
+  DasJoinProtocol das(DasProtocolOptions{PartitionStrategy::kEquiDepth, 2, {}});
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor mixed(&comm, mixed_env.ca_key());
+  mixed.SetProtocolSchedule({&das, &comm});
+  Relation mixed_result = mixed.Run(sql, mixed_env.ctx()).value();
+
+  EXPECT_TRUE(mixed_result.EqualsAsBag(das_result));
+  EXPECT_TRUE(mixed_result.EqualsAsBag(mixed_env.ExpectedThreeWay()));
+
+  // The reverse order composes too.
+  CascadeEnv rev_env;
+  DasJoinProtocol das2(
+      DasProtocolOptions{PartitionStrategy::kEquiDepth, 2, {}});
+  CommutativeJoinProtocol comm2(CommutativeProtocolOptions{256, false});
+  CascadeExecutor reversed(&comm2, rev_env.ca_key());
+  reversed.SetProtocolSchedule({&comm2, &das2});
+  Relation rev_result = reversed.Run(sql, rev_env.ctx()).value();
+  EXPECT_TRUE(rev_result.EqualsAsBag(rev_env.ExpectedThreeWay()));
+}
+
+// A schedule shorter than the cascade falls back to the constructor
+// protocol for the trailing levels, and an empty schedule is the exact
+// legacy path (same transcript on the shared bus).
+TEST(CascadeTest, PartialAndEmptySchedules) {
+  const std::string sql =
+      "SELECT * FROM patients NATURAL JOIN treatments NATURAL JOIN stock";
+
+  CascadeEnv partial_env;
+  DasJoinProtocol das(DasProtocolOptions{PartitionStrategy::kEquiDepth, 2, {}});
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor partial(&comm, partial_env.ca_key());
+  partial.SetProtocolSchedule({&das});  // level 0 only; level 1 falls back
+  Relation partial_result = partial.Run(sql, partial_env.ctx()).value();
+  EXPECT_TRUE(partial_result.EqualsAsBag(partial_env.ExpectedThreeWay()));
+
+  // Empty schedule == no schedule: byte-identical transcripts.
+  CascadeEnv legacy_env;
+  CommutativeJoinProtocol comm_a(CommutativeProtocolOptions{256, false});
+  CascadeExecutor legacy(&comm_a, legacy_env.ca_key());
+  Relation legacy_result = legacy.Run(sql, legacy_env.ctx()).value();
+
+  CascadeEnv sched_env;
+  CommutativeJoinProtocol comm_b(CommutativeProtocolOptions{256, false});
+  CascadeExecutor scheduled(&comm_b, sched_env.ca_key());
+  scheduled.SetProtocolSchedule({});
+  Relation sched_result = scheduled.Run(sql, sched_env.ctx()).value();
+
+  EXPECT_TRUE(legacy_result.EqualsAsBag(sched_result));
+  ASSERT_EQ(legacy_env.bus().transcript().size(),
+            sched_env.bus().transcript().size());
+  for (size_t i = 0; i < legacy_env.bus().transcript().size(); ++i) {
+    EXPECT_EQ(legacy_env.bus().transcript()[i].payload,
+              sched_env.bus().transcript()[i].payload)
+        << "transcript diverges at message " << i;
+  }
+}
+
 TEST(CascadeTest, OnClauseJoins) {
   CascadeEnv env;
   CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});

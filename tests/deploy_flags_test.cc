@@ -1,0 +1,145 @@
+// Unit tests for the shared deployment flag parsers (tools/deploy_flags.h):
+// the strict numeric contract — negative or non-numeric values for size
+// flags like --cache-bytes/--queue-depth/--max-sessions must be rejected
+// with -1 instead of silently wrapping through std::strtoul.
+
+#include "tools/deploy_flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace secmed {
+namespace {
+
+// Runs one parser over a constructed argv and returns its verdict for the
+// first flag. `argv` lifetime gymnastics: gtest owns the strings, the
+// parser only reads char*.
+struct Argv {
+  explicit Argv(std::vector<std::string> words) : storage(std::move(words)) {
+    for (std::string& w : storage) ptrs.push_back(w.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+int RunServiceFlag(std::vector<std::string> words, DeployArgs* args) {
+  Argv a(std::move(words));
+  int i = 0;
+  return ParseServiceFlag(a.argc(), a.argv(), &i, args);
+}
+
+int RunProtocolFlag(std::vector<std::string> words, DeployArgs* args) {
+  Argv a(std::move(words));
+  int i = 0;
+  return ParseProtocolFlag(a.argc(), a.argv(), &i, args);
+}
+
+int RunDeployFlag(std::vector<std::string> words, DeployArgs* args) {
+  Argv a(std::move(words));
+  int i = 0;
+  return ParseDeployFlag(a.argc(), a.argv(), &i, args);
+}
+
+TEST(ParseStrictSizeTest, AcceptsDigits) {
+  size_t out = 0;
+  EXPECT_TRUE(ParseStrictSize("--x", "0", &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(ParseStrictSize("--x", "268435456", &out));
+  EXPECT_EQ(out, 268435456u);
+}
+
+TEST(ParseStrictSizeTest, RejectsNegativeGarbageAndOverflow) {
+  size_t out = 0;
+  EXPECT_FALSE(ParseStrictSize("--x", "-1", &out));
+  EXPECT_FALSE(ParseStrictSize("--x", "64MB", &out));
+  EXPECT_FALSE(ParseStrictSize("--x", "", &out));
+  EXPECT_FALSE(ParseStrictSize("--x", "1e9", &out));
+  EXPECT_FALSE(ParseStrictSize("--x", "+16", &out));
+  // 2^64 = 18446744073709551616 overflows size_t on all supported targets.
+  EXPECT_FALSE(ParseStrictSize("--x", "18446744073709551616", &out));
+}
+
+TEST(ServiceFlagTest, AcceptsValidValues) {
+  DeployArgs args;
+  EXPECT_EQ(RunServiceFlag({"--max-sessions", "8"}, &args), 1);
+  EXPECT_EQ(args.max_sessions, 8u);
+  EXPECT_EQ(RunServiceFlag({"--queue-depth", "32"}, &args), 1);
+  EXPECT_EQ(args.queue_depth, 32u);
+  EXPECT_EQ(RunServiceFlag({"--cache-bytes", "1048576"}, &args), 1);
+  EXPECT_EQ(args.cache_bytes, 1048576u);
+  EXPECT_EQ(RunServiceFlag({"--cache-bytes", "0"}, &args), 1);
+  EXPECT_EQ(args.cache_bytes, 0u);  // 0 = unlimited, still valid
+}
+
+TEST(ServiceFlagTest, RejectsNegativeValues) {
+  // Before the strict parser, "-1" wrapped to SIZE_MAX via strtoul — an
+  // accidental unlimited cache / session pool.
+  DeployArgs args;
+  EXPECT_EQ(RunServiceFlag({"--cache-bytes", "-1"}, &args), -1);
+  EXPECT_EQ(RunServiceFlag({"--queue-depth", "-4"}, &args), -1);
+  EXPECT_EQ(RunServiceFlag({"--max-sessions", "-2"}, &args), -1);
+  // Defaults must be untouched after the rejections.
+  EXPECT_EQ(args.cache_bytes, 256ull << 20);
+  EXPECT_EQ(args.queue_depth, 16u);
+  EXPECT_EQ(args.max_sessions, 4u);
+}
+
+TEST(ServiceFlagTest, RejectsNonNumericValues) {
+  // strtoul parsed "lots" as 0 — queue-depth 0 sheds every queued query.
+  DeployArgs args;
+  EXPECT_EQ(RunServiceFlag({"--queue-depth", "lots"}, &args), -1);
+  EXPECT_EQ(RunServiceFlag({"--cache-bytes", "256MB"}, &args), -1);
+  EXPECT_EQ(RunServiceFlag({"--max-sessions", "4.5"}, &args), -1);
+  EXPECT_EQ(RunServiceFlag({"--cache-bytes", "0x100"}, &args), -1);
+}
+
+TEST(ServiceFlagTest, RejectsMissingValueAndZeroSessions) {
+  DeployArgs args;
+  EXPECT_EQ(RunServiceFlag({"--cache-bytes"}, &args), -1);
+  EXPECT_EQ(RunServiceFlag({"--max-sessions", "0"}, &args), -1);
+}
+
+TEST(ServiceFlagTest, IgnoresUnknownFlags) {
+  DeployArgs args;
+  EXPECT_EQ(RunServiceFlag({"--not-a-flag", "3"}, &args), 0);
+}
+
+TEST(ProtocolFlagTest, StrictNumericValues) {
+  DeployArgs args;
+  EXPECT_EQ(RunProtocolFlag({"--partitions", "8"}, &args), 1);
+  EXPECT_EQ(args.partitions, 8u);
+  EXPECT_EQ(RunProtocolFlag({"--partitions", "-8"}, &args), -1);
+  EXPECT_EQ(RunProtocolFlag({"--group-bits", "many"}, &args), -1);
+  EXPECT_EQ(RunProtocolFlag({"--sessions", "3x"}, &args), -1);
+  EXPECT_EQ(args.partitions, 8u);  // unchanged by the rejections
+}
+
+TEST(ProtocolFlagTest, ProtocolAndPolicyStrings) {
+  DeployArgs args;
+  EXPECT_EQ(RunProtocolFlag({"--protocol", "auto"}, &args), 1);
+  EXPECT_EQ(args.protocol, "auto");
+  EXPECT_EQ(RunProtocolFlag(
+                {"--policy", "deny:mediator-bucket-frequencies,superset<=2"},
+                &args),
+            1);
+  EXPECT_EQ(args.policy, "deny:mediator-bucket-frequencies,superset<=2");
+  EXPECT_EQ(RunProtocolFlag({"--policy"}, &args), -1);
+}
+
+TEST(DeployFlagTest, StrictNumericValues) {
+  DeployArgs args;
+  EXPECT_EQ(RunDeployFlag({"--r1-tuples", "25"}, &args), 1);
+  EXPECT_EQ(args.workload.r1_tuples, 25u);
+  EXPECT_EQ(RunDeployFlag({"--r1-tuples", "-25"}, &args), -1);
+  EXPECT_EQ(RunDeployFlag({"--timeout-ms", "30s"}, &args), -1);
+  EXPECT_EQ(RunDeployFlag({"--listen", "70000"}, &args), -1);  // > 65535
+  EXPECT_EQ(RunDeployFlag({"--retry-attempts", "0"}, &args), -1);
+}
+
+}  // namespace
+}  // namespace secmed

@@ -1,0 +1,485 @@
+// Tier-1 tests of the cost-based planner (src/plan/, docs/PLANNER.md):
+// statistics collection, cost-model monotonicity, leakage-budget pruning
+// on Section-6 workloads, predicted-vs-measured leakage reconciliation,
+// the --protocol auto path through the query service, and the recorded
+// benchmark gate (the planner's choice is never the slowest protocol in
+// BENCH_protocols.json).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/commutative_protocol.h"
+#include "core/leakage.h"
+#include "core/testbed.h"
+#include "obs/json.h"
+#include "plan/calibrate.h"
+#include "plan/planner.h"
+#include "plan/stats.h"
+#include "service/prepared_registry.h"
+#include "service/query_service.h"
+
+#ifndef SECMED_REPO_DIR
+#define SECMED_REPO_DIR "."
+#endif
+
+namespace secmed {
+namespace plan {
+namespace {
+
+// The Section 6 workload shape of bench_s6_protocols.cc: symmetric
+// relations, domain overlap 50%, seed 1234.
+Workload MakeS6Workload(size_t tuples, size_t domain) {
+  WorkloadConfig cfg;
+  cfg.r1_tuples = tuples;
+  cfg.r2_tuples = tuples;
+  cfg.r1_domain = domain;
+  cfg.r2_domain = domain;
+  cfg.common_values = domain / 2;
+  cfg.seed = 1234;
+  return GenerateWorkload(cfg);
+}
+
+// Hand-built statistics for cost-model unit tests (no crypto needed).
+TableStats MakeStats(size_t tuples, size_t distinct, size_t partitions = 4) {
+  TableStats s;
+  s.table = "t";
+  s.tuples = tuples;
+  s.columns = 2;
+  s.distinct_join_values = distinct;
+  s.avg_tuple_bytes = 24.0;
+  s.join_attribute = "k";
+  s.sketch_exact = true;
+  for (size_t i = 0; i < distinct; ++i) {
+    s.join_sketch.push_back(i);  // fake fingerprints; sorted
+  }
+  // Equi-depth-ish histogram: tuples spread evenly over the partitions.
+  for (size_t p = 0; p < partitions; ++p) {
+    BucketStat b;
+    b.partition.index = p;
+    b.partition.is_range = true;
+    b.partition.lo = int64_t(p * 100);
+    b.partition.hi = int64_t((p + 1) * 100);
+    b.distinct_values = distinct / partitions;
+    b.tuples = tuples / partitions;
+    s.buckets.push_back(std::move(b));
+  }
+  return s;
+}
+
+TEST(TableStatsTest, CollectsCardinalityDistinctAndHistogram) {
+  Workload w = MakeS6Workload(25, 10);
+  StatsOptions opt;
+  auto stats = CollectStats(w.r1, w.join_attribute, opt);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tuples, 25u);
+  EXPECT_EQ(stats->distinct_join_values,
+            w.r1.ActiveDomain(w.join_attribute).value().size());
+  EXPECT_TRUE(stats->sketch_exact);
+  EXPECT_EQ(stats->join_sketch.size(), stats->distinct_join_values);
+  EXPECT_GT(stats->avg_tuple_bytes, 0.0);
+  // The histogram covers every tuple exactly once (partitions tile the
+  // active domain).
+  size_t histo_tuples = 0;
+  for (const BucketStat& b : stats->buckets) histo_tuples += b.tuples;
+  EXPECT_EQ(histo_tuples, stats->tuples);
+}
+
+TEST(TableStatsTest, ExactSketchIntersectionMatchesWorkloadOverlap) {
+  Workload w = MakeS6Workload(50, 20);
+  StatsOptions opt;
+  TableStats s1 = CollectStats(w.r1, w.join_attribute, opt).value();
+  TableStats s2 = CollectStats(w.r2, w.join_attribute, opt).value();
+  // Small domains keep both sketches exact, so the estimated domain
+  // intersection is exact too: common_values = domain/2 = 10.
+  EXPECT_TRUE(s1.sketch_exact);
+  EXPECT_TRUE(s2.sketch_exact);
+  EXPECT_DOUBLE_EQ(EstimateDomainIntersection(s1, s2), 10.0);
+  // Join-size estimate is within 2x of the truth on the uniform
+  // workload (it is exact in expectation).
+  Relation expected = NaturalJoin(Qualify(w.r1, "medical"),
+                                  Qualify(w.r2, "billing"))
+                          .value();
+  double est = EstimateJoinTuples(s1, s2);
+  EXPECT_GT(est, double(expected.size()) / 2.0);
+  EXPECT_LT(est, double(expected.size()) * 2.0);
+}
+
+TEST(TableStatsTest, CachedUnderCatalogVersion) {
+  Workload w = MakeS6Workload(25, 10);
+  auto tb = MediationTestbed::Create(w).value();
+  PreparedDatasetRegistry cache;
+  StatsOptions opt;
+  TableStats a = CollectSourceStats(tb->source1(), "medical",
+                                    w.join_attribute, opt, &cache)
+                     .value();
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  TableStats b = CollectSourceStats(tb->source1(), "medical",
+                                    w.join_attribute, opt, &cache)
+                     .value();
+  EXPECT_EQ(cache.Stats().entries, 1u);  // second collection is a cache hit
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  EXPECT_EQ(a.tuples, b.tuples);
+  EXPECT_EQ(a.catalog_version, b.catalog_version);
+}
+
+TEST(CostModelTest, MonotonicInTuples) {
+  CostModel model{CalibrationProfile{}};
+  ProtocolParams params;
+  for (const char* protocol : {"das", "commutative", "pm"}) {
+    double prev = 0.0;
+    for (size_t tuples : {20u, 40u, 80u, 160u, 320u}) {
+      // Distinct values scale with the relation, as in the S6 workloads.
+      TableStats s = MakeStats(tuples, tuples / 2);
+      CostEstimate est = model.Predict(protocol, s, s, params);
+      ASSERT_TRUE(est.feasible) << protocol << " " << est.infeasible_reason;
+      EXPECT_GE(est.wall_ms, prev)
+          << protocol << " cost decreased at " << tuples << " tuples";
+      EXPECT_GT(est.wall_ms, 0.0);
+      prev = est.wall_ms;
+    }
+  }
+}
+
+TEST(CostModelTest, SectionSixShape) {
+  // The paper's qualitative Section 6 conclusions, from the cost model
+  // alone: commutative is the most efficient; PM pays the quadratic
+  // blind evaluation; DAS ships the most client bytes per result tuple.
+  CostModel model{CalibrationProfile{}};
+  ProtocolParams params;
+  TableStats s = MakeStats(50, 20);
+  CostEstimate das = model.Predict("das", s, s, params);
+  CostEstimate comm = model.Predict("commutative", s, s, params);
+  CostEstimate pm = model.Predict("pm", s, s, params);
+  EXPECT_LT(comm.wall_ms, pm.wall_ms);
+  EXPECT_LT(comm.wall_ms, das.wall_ms);
+  EXPECT_GT(das.client_superset_factor, 1.0);
+  EXPECT_DOUBLE_EQ(comm.client_superset_factor, 1.0);
+  // PM's client work is d1+d2 decryptions regardless of the join size.
+  EXPECT_DOUBLE_EQ(pm.client_decrypt_ops, 40.0);
+}
+
+TEST(CostModelTest, DasInfeasibleWithoutHistogram) {
+  CostModel model{CalibrationProfile{}};
+  TableStats s = MakeStats(50, 20);
+  s.buckets.clear();
+  CostEstimate est = model.Predict("das", s, s, ProtocolParams{});
+  EXPECT_FALSE(est.feasible);
+  EXPECT_FALSE(est.infeasible_reason.empty());
+}
+
+TEST(CalibrationTest, CommittedProfileRoundTrips) {
+  const std::string path = std::string(SECMED_REPO_DIR) + "/CALIBRATION.json";
+  auto profile = CalibrationProfile::Load(path);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_GT(profile->commutative_exp_us, 0.0);
+  EXPECT_GT(profile->paillier_encrypt_us, 0.0);
+  // Render → parse → render is the identity (sorted keys).
+  std::string rendered = obs::RenderJson(profile->ToJson());
+  obs::JsonValue reparsed;
+  std::string err;
+  ASSERT_TRUE(obs::ParseJson(rendered, &reparsed, &err)) << err;
+  auto round = CalibrationProfile::FromJson(reparsed);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(obs::RenderJson(round->ToJson()), rendered);
+}
+
+TEST(LeakagePolicyTest, ParseAndCheck) {
+  auto policy = LeakagePolicy::Parse(
+      "deny:mediator-bucket-frequencies, superset<=2.5");
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  EXPECT_FALSE(policy->empty());
+
+  CostEstimate das_cost;
+  das_cost.client_superset_factor = 8.0;
+  PredictedLeakage das = PredictLeakage("das", das_cost);
+  EXPECT_FALSE(policy->Check(das).empty());  // violates both clauses
+
+  CostEstimate comm_cost;
+  PredictedLeakage comm = PredictLeakage("commutative", comm_cost);
+  EXPECT_TRUE(policy->Check(comm).empty());
+
+  EXPECT_FALSE(LeakagePolicy::Parse("superset<=0").ok());
+  EXPECT_FALSE(LeakagePolicy::Parse("deny:nonsense").ok());
+}
+
+class PlannerEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    w_ = MakeS6Workload(25, 10);
+    auto tb = MediationTestbed::Create(w_);
+    ASSERT_TRUE(tb.ok()) << tb.status().ToString();
+    testbed_ = std::move(tb).value();
+  }
+
+  PlanChoice Plan(const std::string& policy) {
+    PlannerOptions opt;
+    opt.policy = policy;
+    Planner planner(CostModel{CalibrationProfile{}}, opt);
+    auto choice = planner.Plan(testbed_->JoinSql(), testbed_->ctx());
+    EXPECT_TRUE(choice.ok()) << choice.status().ToString();
+    return choice.value();
+  }
+
+  Workload w_;
+  std::unique_ptr<MediationTestbed> testbed_;
+};
+
+TEST_F(PlannerEnv, UnconstrainedPicksCommutative) {
+  // Paper Section 6: "the commutative approach seems to be the most
+  // efficient one."
+  PlanChoice choice = Plan("");
+  ASSERT_EQ(choice.chosen.levels.size(), 1u);
+  EXPECT_EQ(choice.chosen.levels[0].protocol, "commutative");
+  EXPECT_GE(choice.candidates.size(), 3u);  // one candidate per protocol
+}
+
+TEST_F(PlannerEnv, IntersectionBudgetForcesDas) {
+  // Table 1: the commutative mediator learns |dom1 ∩ dom2|. Denying
+  // that prunes commutative; DAS (cheaper than PM) takes over.
+  PlanChoice choice = Plan("deny:mediator-intersection-size");
+  ASSERT_EQ(choice.chosen.levels.size(), 1u);
+  EXPECT_EQ(choice.chosen.levels[0].protocol, "das");
+  bool comm_pruned = false;
+  for (const CandidatePlan& c : choice.candidates) {
+    if (c.ProtocolsLabel() == "commutative") comm_pruned |= c.pruned;
+  }
+  EXPECT_TRUE(comm_pruned);
+}
+
+TEST_F(PlannerEnv, BucketAndIntersectionBudgetsForcePm) {
+  // Denying the DAS bucket frequencies AND the commutative intersection
+  // size leaves PM, whose mediator sees only the polynomial degrees.
+  PlanChoice choice = Plan(
+      "deny:mediator-bucket-frequencies,deny:mediator-intersection-size");
+  ASSERT_EQ(choice.chosen.levels.size(), 1u);
+  EXPECT_EQ(choice.chosen.levels[0].protocol, "pm");
+}
+
+TEST_F(PlannerEnv, SupersetCapPrunesDas) {
+  // A tight client superset budget excludes DAS (its |RC|/|J| factor on
+  // this workload is ~8) without touching the exact-delivery protocols.
+  PlanChoice choice = Plan("deny:mediator-intersection-size,superset<=1.5");
+  ASSERT_EQ(choice.chosen.levels.size(), 1u);
+  EXPECT_EQ(choice.chosen.levels[0].protocol, "pm");
+}
+
+TEST_F(PlannerEnv, ContradictoryBudgetFailsClosed) {
+  PlannerOptions opt;
+  opt.policy =
+      "deny:mediator-bucket-frequencies,deny:mediator-intersection-size,"
+      "deny:mediator-domain-sizes";
+  Planner planner(CostModel{CalibrationProfile{}}, opt);
+  auto choice = planner.Plan(testbed_->JoinSql(), testbed_->ctx());
+  ASSERT_FALSE(choice.ok());
+  EXPECT_EQ(choice.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlannerEnv, ExplainJsonAndTable) {
+  PlanChoice choice = Plan("");
+  std::string table = choice.ToTable();
+  EXPECT_NE(table.find("CHOSEN"), std::string::npos);
+  EXPECT_NE(table.find("commutative"), std::string::npos);
+
+  PlanActuals actuals;
+  actuals.wall_ms = 12.5;
+  actuals.total_bytes = 4096;
+  actuals.result_rows = 10;
+  actuals.messages = 9;
+  std::string rendered = obs::RenderJson(choice.ToJson(&actuals));
+  EXPECT_NE(rendered.find("\"schema\":\"secmed.plan_explain.v1\""),
+            std::string::npos);
+  EXPECT_NE(rendered.find("\"actuals\""), std::string::npos);
+  obs::JsonValue parsed;
+  std::string err;
+  EXPECT_TRUE(obs::ParseJson(rendered, &parsed, &err)) << err;
+}
+
+// Predicted vs measured: run the chosen protocol for real, build the
+// measured LeakageReport from the transcript, and reconcile it (through
+// its JSON form, the same document bench_table1_leakage --json emits)
+// against the planner's prediction.
+TEST_F(PlannerEnv, PredictedLeakageMatchesMeasured) {
+  PlanChoice choice = Plan("");
+  ASSERT_EQ(choice.chosen.levels[0].protocol, "commutative");
+  const PredictedLeakage& predicted = choice.chosen.levels[0].leakage;
+  const CostEstimate& cost = choice.chosen.levels[0].cost;
+
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  testbed_->ResetBus();
+  Relation result = comm.Run(testbed_->JoinSql(), testbed_->ctx()).value();
+  LeakageReport measured = AnalyzeLeakage(
+      "commutative", testbed_->bus(), testbed_->mediator().name(),
+      testbed_->client().name(), w_.r1, w_.r2, w_.join_attribute,
+      result.size());
+
+  obs::JsonValue doc = measured.ToJson();
+  const obs::JsonValue* saw = doc.Find("mediator_saw_plaintext");
+  ASSERT_NE(saw, nullptr);
+  EXPECT_FALSE(saw->bool_value());
+  EXPECT_FALSE(predicted.mediator_sees_plaintext);
+
+  // The commutative client decrypts exactly the result; the prediction
+  // is the estimated join size — within 2x on the uniform workload.
+  const obs::JsonValue* work = doc.Find("client_decryption_work");
+  ASSERT_NE(work, nullptr);
+  double measured_work = work->number();
+  EXPECT_DOUBLE_EQ(measured_work, double(result.size()));
+  EXPECT_GT(cost.client_decrypt_ops, measured_work / 2.0);
+  EXPECT_LT(cost.client_decrypt_ops, measured_work * 2.0);
+  EXPECT_FALSE(predicted.client_sees_excess_tuples);
+
+  // Byte-volume prediction is order-of-magnitude calibrated (within 4x;
+  // coefficients are per-host, the formula shape is what's under test).
+  EXPECT_GT(cost.mediator_bytes, double(measured.mediator_bytes_observed) / 4);
+  EXPECT_LT(cost.mediator_bytes, double(measured.mediator_bytes_observed) * 4);
+}
+
+// The ISSUE acceptance gate: on the recorded Section-6 benchmark
+// results, the planner's (unconstrained) choice is never slower than
+// the worst fixed-protocol choice — i.e. choosing by predicted cost
+// never lands on the measured-slowest protocol.
+TEST(BenchGateTest, PlannerChoiceNeverSlowestInRecordedBench) {
+  const std::string path =
+      std::string(SECMED_REPO_DIR) + "/BENCH_protocols.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::ParseJson(buf.str(), &doc, &err)) << err;
+
+  // measured[tuples/domain][protocol] = real_time ms of BM_*_EndToEnd.
+  std::map<std::string, std::map<std::string, double>> measured;
+  const obs::JsonValue* benches = doc.Find("benchmarks");
+  ASSERT_NE(benches, nullptr);
+  for (const obs::JsonValue& b : benches->array()) {
+    const obs::JsonValue* name = b.Find("name");
+    const obs::JsonValue* rt = b.Find("real_time");
+    if (name == nullptr || rt == nullptr) continue;
+    std::string n = name->string();
+    std::string protocol;
+    if (n.rfind("BM_Das_EndToEnd/", 0) == 0) protocol = "das";
+    if (n.rfind("BM_Commutative_EndToEnd/", 0) == 0) protocol = "commutative";
+    if (n.rfind("BM_Pm_EndToEnd/", 0) == 0) protocol = "pm";
+    if (protocol.empty()) continue;
+    std::string shape = n.substr(n.find("EndToEnd/") + 9);
+    shape = shape.substr(0, shape.find("/iterations"));
+    // Keep the best (min) time per shape: repeated entries are reruns.
+    auto& cell = measured[shape][protocol];
+    cell = cell == 0.0 ? rt->number() : std::min(cell, rt->number());
+  }
+  ASSERT_FALSE(measured.empty());
+
+  size_t shapes_checked = 0;
+  for (const auto& [shape, by_protocol] : measured) {
+    if (by_protocol.size() < 2) continue;  // no choice to make
+    size_t slash = shape.find('/');
+    ASSERT_NE(slash, std::string::npos);
+    size_t tuples = std::stoul(shape.substr(0, slash));
+    size_t domain = std::stoul(shape.substr(slash + 1));
+    if (tuples > 100) continue;  // keep the tier-1 suite fast
+
+    Workload w = MakeS6Workload(tuples, domain);
+    auto tb = MediationTestbed::Create(w);
+    ASSERT_TRUE(tb.ok()) << tb.status().ToString();
+    PlannerOptions opt;
+    // Only protocols with a recorded measurement compete.
+    opt.protocols.clear();
+    for (const auto& [protocol, ms] : by_protocol) {
+      opt.protocols.push_back(protocol);
+    }
+    Planner planner(CostModel{CalibrationProfile{}}, opt);
+    auto choice = planner.Plan((*tb)->JoinSql(), (*tb)->ctx());
+    ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+    const std::string chosen = choice->chosen.levels[0].protocol;
+
+    double chosen_ms = by_protocol.at(chosen);
+    double worst_ms = 0.0;
+    for (const auto& [protocol, ms] : by_protocol) {
+      worst_ms = std::max(worst_ms, ms);
+    }
+    EXPECT_LE(chosen_ms, worst_ms)
+        << shape << ": planner chose " << chosen << " (" << chosen_ms
+        << " ms) but the worst fixed choice is " << worst_ms << " ms";
+    // Strictly better than the worst whenever the protocols differ
+    // measurably (PM is ~10x slower at every recorded shape).
+    if (worst_ms > 2.0 * chosen_ms) {
+      EXPECT_LT(chosen_ms, worst_ms);
+    }
+    ++shapes_checked;
+  }
+  EXPECT_GE(shapes_checked, 2u);
+}
+
+// `--protocol auto` end to end through the query service: identical
+// result digests to every fixed-protocol run of the same query.
+TEST(AutoProtocolTest, DigestsMatchEveryFixedProtocol) {
+  Workload w = MakeS6Workload(25, 10);
+  auto tb = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb.ok()) << tb.status().ToString();
+  QueryService::Options opt;
+  opt.max_concurrent = 1;
+  QueryService service(tb->get(), opt);
+
+  QueryService::Query query;
+  query.sql = (*tb)->JoinSql();
+
+  std::map<std::string, Bytes> digests;
+  for (const char* protocol : {"das", "commutative", "pm", "auto"}) {
+    query.protocol = protocol;
+    auto outcome = service.Run(query);
+    ASSERT_TRUE(outcome.ok()) << protocol;
+    ASSERT_TRUE(outcome->status.ok())
+        << protocol << ": " << outcome->status.ToString();
+    digests[protocol] = outcome->result_digest;
+    if (std::string(protocol) == "auto") {
+      ASSERT_NE(outcome->plan, nullptr);
+      EXPECT_EQ(outcome->plan->chosen.levels[0].protocol, "commutative");
+    } else {
+      EXPECT_EQ(outcome->plan, nullptr);
+    }
+  }
+  EXPECT_EQ(digests["das"], digests["commutative"]);
+  EXPECT_EQ(digests["commutative"], digests["pm"]);
+  EXPECT_EQ(digests["auto"], digests["commutative"]);
+}
+
+// Auto with a policy that forces DAS still produces the right result.
+TEST(AutoProtocolTest, PolicyConstrainedAutoMatchesExpectedJoin) {
+  Workload w = MakeS6Workload(25, 10);
+  auto tb = MediationTestbed::Create(w);
+  ASSERT_TRUE(tb.ok()) << tb.status().ToString();
+  QueryService::Options opt;
+  opt.max_concurrent = 1;
+  QueryService service(tb->get(), opt);
+
+  QueryService::Query query;
+  query.sql = (*tb)->JoinSql();
+  query.protocol = "auto";
+  query.policy = "deny:mediator-intersection-size";
+  auto outcome = service.Run(query);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->status.ok()) << outcome->status.ToString();
+  ASSERT_NE(outcome->plan, nullptr);
+  EXPECT_EQ(outcome->plan->chosen.levels[0].protocol, "das");
+  EXPECT_TRUE(outcome->result.EqualsAsBag((*tb)->ExpectedJoin()));
+
+  // An unsatisfiable budget surfaces as a planner error, not a crash.
+  query.policy =
+      "deny:mediator-bucket-frequencies,deny:mediator-intersection-size,"
+      "deny:mediator-domain-sizes";
+  auto denied = service.Run(query);
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied->status.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace secmed

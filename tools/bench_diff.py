@@ -69,6 +69,48 @@ def fmt_time(value, unit):
     return f"{value:,.0f} {unit}"
 
 
+def render_markdown(rows, threshold, regressions, only_old, only_new,
+                    old_path, new_path):
+    """GitHub-flavored markdown summary of the diff (for
+    $GITHUB_STEP_SUMMARY in CI): the same rows as the text table, with
+    regressions/improvements flagged in a status column."""
+    lines = [
+        f"### Benchmark diff: `{old_path}` → `{new_path}`",
+        "",
+    ]
+    if rows:
+        lines += [
+            "| benchmark | old | new | new/old | status |",
+            "|---|---:|---:|---:|---|",
+        ]
+        for ratio, name, o, n, unit in rows:
+            if ratio > threshold:
+                status = "🔺 regression"
+            elif ratio < 1 / threshold:
+                status = "✅ improved"
+            else:
+                status = ""
+            lines.append(
+                f"| `{name}` | {fmt_time(o, unit)} | {fmt_time(n, unit)} "
+                f"| {ratio:.2f}x | {status} |"
+            )
+    else:
+        lines.append("_no comparable benchmarks between the two files_")
+    if regressions:
+        lines += [
+            "",
+            f"**{len(regressions)} benchmark(s) regressed past "
+            f"{threshold:.2f}x.**",
+        ]
+    if only_old:
+        lines += ["", "Only in baseline: " +
+                  ", ".join(f"`{n}`" for n in only_old)]
+    if only_new:
+        lines += ["", "Only in candidate: " +
+                  ", ".join(f"`{n}`" for n in only_new)]
+    return "\n".join(lines) + "\n"
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
@@ -86,6 +128,12 @@ def main():
         help="exit 1 if any shared benchmark regressed past the threshold",
     )
     ap.add_argument("--allow-unoptimized", action="store_true")
+    ap.add_argument(
+        "--markdown-out",
+        metavar="FILE",
+        help="also write the diff as a GitHub-flavored markdown table "
+        "(append to $GITHUB_STEP_SUMMARY in CI)",
+    )
     args = ap.parse_args()
 
     old, old_build = load(args.old, args.allow_unoptimized)
@@ -142,6 +190,13 @@ def main():
         print(f"\nonly in {args.old}: " + ", ".join(only_old))
     if only_new:
         print(f"only in {args.new}: " + ", ".join(only_new))
+
+    if args.markdown_out:
+        with open(args.markdown_out, "w") as f:
+            f.write(
+                render_markdown(rows, args.threshold, regressions, only_old,
+                                only_new, args.old, args.new)
+            )
 
     if regressions:
         print(

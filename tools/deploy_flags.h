@@ -11,6 +11,7 @@
 #ifndef SECMED_TOOLS_DEPLOY_FLAGS_H_
 #define SECMED_TOOLS_DEPLOY_FLAGS_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -51,6 +52,12 @@ struct DeployArgs {
   /// `secmedctl bench-load`). Daemons take their per-session protocol
   /// parameters from the announced RunSpec instead.
   std::string protocol = "commutative";
+  /// Leakage-budget spec for the planner (--protocol auto): comma-
+  /// separated deny:* clauses and superset<=X caps, see docs/PLANNER.md.
+  std::string policy;
+  /// Calibration profile JSON for the planner's cost model; empty uses
+  /// the built-in defaults.
+  std::string calibration;
   size_t sessions = 1;
   size_t partitions = 4;
   size_t group_bits = 256;
@@ -104,6 +111,38 @@ struct DeployArgs {
   }
 };
 
+/// Strict size parsing shared by the flag parsers below: accepts only a
+/// non-empty all-digit string that fits in size_t. Negative numbers,
+/// trailing garbage ("64MB") and overflow are rejected with a message —
+/// std::strtoul would silently wrap "-1" to SIZE_MAX and truncate "64MB"
+/// to 64, which for flags like --cache-bytes turns a typo into an
+/// unlimited cache.
+inline bool ParseStrictSize(const char* flag_name, const char* v,
+                            size_t* out) {
+  if (v == nullptr || *v == '\0') {
+    std::fprintf(stderr, "%s: expected a non-negative integer\n", flag_name);
+    return false;
+  }
+  size_t value = 0;
+  for (const char* p = v; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      std::fprintf(stderr,
+                   "%s: expected a non-negative integer, got '%s'\n",
+                   flag_name, v);
+      return false;
+    }
+    size_t digit = size_t(*p - '0');
+    if (value > (SIZE_MAX - digit) / 10) {
+      std::fprintf(stderr, "%s: value '%s' does not fit in size_t\n",
+                   flag_name, v);
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
 /// Consumes one deployment flag at argv[*i] (advancing *i past its
 /// value). Returns 1 if consumed, 0 if not a deployment flag, -1 on a
 /// malformed value.
@@ -115,8 +154,7 @@ inline int ParseDeployFlag(int argc, char** argv, int* i, DeployArgs* args) {
   auto parse_size = [&](size_t* out) {
     const char* v = next();
     if (v == nullptr) return -1;
-    *out = std::strtoul(v, nullptr, 10);
-    return 1;
+    return ParseStrictSize(flag.c_str(), v, out) ? 1 : -1;
   };
   // --trace-out / --report-out accept both `--flag FILE` and
   // `--flag=FILE` spellings.
@@ -245,13 +283,31 @@ inline int ParseDeployFlag(int argc, char** argv, int* i, DeployArgs* args) {
 inline int ParseProtocolFlag(int argc, char** argv, int* i, DeployArgs* args) {
   const std::string flag = argv[*i];
   auto parse_size = [&](size_t* out) {
-    if (*i + 1 >= argc) return -1;
-    *out = std::strtoul(argv[++*i], nullptr, 10);
-    return 1;
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing value\n", flag.c_str());
+      return -1;
+    }
+    return ParseStrictSize(flag.c_str(), argv[++*i], out) ? 1 : -1;
   };
   if (flag == "--protocol") {
     if (*i + 1 >= argc) return -1;
     args->protocol = argv[++*i];
+    return 1;
+  }
+  if (flag == "--policy") {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "--policy: missing value\n");
+      return -1;
+    }
+    args->policy = argv[++*i];
+    return 1;
+  }
+  if (flag == "--calibration") {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "--calibration: missing value\n");
+      return -1;
+    }
+    args->calibration = argv[++*i];
     return 1;
   }
   if (flag == "--sessions") return parse_size(&args->sessions);
@@ -270,13 +326,19 @@ inline int ParseProtocolFlag(int argc, char** argv, int* i, DeployArgs* args) {
 inline int ParseServiceFlag(int argc, char** argv, int* i, DeployArgs* args) {
   const std::string flag = argv[*i];
   auto parse_size = [&](size_t* out) {
-    if (*i + 1 >= argc) return -1;
-    *out = std::strtoul(argv[++*i], nullptr, 10);
-    return 1;
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing value\n", flag.c_str());
+      return -1;
+    }
+    return ParseStrictSize(flag.c_str(), argv[++*i], out) ? 1 : -1;
   };
   if (flag == "--max-sessions") {
     size_t n = 0;
-    if (parse_size(&n) < 0 || n == 0) return -1;
+    if (parse_size(&n) < 0) return -1;
+    if (n == 0) {
+      std::fprintf(stderr, "--max-sessions: must be at least 1\n");
+      return -1;
+    }
     args->max_sessions = n;
     return 1;
   }
@@ -314,8 +376,15 @@ inline int ParseServiceFlag(int argc, char** argv, int* i, DeployArgs* args) {
 }
 
 inline const char* kProtocolFlagsHelp =
-    "  --protocol das|commutative|pm   delivery protocol (default "
-    "commutative)\n"
+    "  --protocol das|commutative|pm|auto   delivery protocol (default\n"
+    "                           commutative; auto lets the cost-based\n"
+    "                           planner choose, see docs/PLANNER.md)\n"
+    "  --policy SPEC            leakage budget for --protocol auto, e.g.\n"
+    "                           'deny:mediator-bucket-frequencies,"
+    "superset<=2'\n"
+    "  --calibration FILE       cost-model profile JSON (default: built-in\n"
+    "                           coefficients; refresh with `secmedctl "
+    "calibrate`)\n"
     "  --sessions N             number of back-to-back joins (default 1)\n"
     "  --concurrent             run the sessions concurrently\n"
     "  --partitions N           DAS partitions (default 4)\n"

@@ -51,6 +51,14 @@
 //       lane per input, verifying they share a single trace id.
 //   secmedctl shutdown --peer ...
 //       asks every daemon to drain and exit.
+//
+// Planner modes (docs/PLANNER.md):
+//   secmedctl explain [--sql SQL] [--policy SPEC] [--execute] [--json]
+//       prints every candidate plan with predicted cost/leakage; with
+//       --execute also runs the chosen plan and reconciles actuals.
+//   secmedctl calibrate [--out FILE] | --check [--profile FILE]
+//       measures the host's per-primitive cost coefficients (the cost
+//       model's CALIBRATION.json) or checks the committed profile.
 
 #include <algorithm>
 #include <chrono>
@@ -79,6 +87,8 @@
 #include "obs/json.h"
 #include "obs/report.h"
 #include "obs/window.h"
+#include "plan/calibrate.h"
+#include "plan/planner.h"
 #include "relational/csv.h"
 #include "util/bytes.h"
 #include "service/load_harness.h"
@@ -159,6 +169,22 @@ bool ReportsAgree(const RunReport& a, const RunReport& b, std::string* why) {
   return true;
 }
 
+/// Loads the cost-model coefficients for the planner: an explicit
+/// --calibration file, or the built-in defaults (which mirror the
+/// committed CALIBRATION.json). A missing/corrupt file warns and falls
+/// back rather than failing — the planner's ordering is robust to
+/// coefficient drift, and a broken profile should not block a query.
+plan::CalibrationProfile LoadCalibrationProfile(const std::string& path) {
+  if (path.empty()) return plan::CalibrationProfile{};
+  auto profile = plan::CalibrationProfile::Load(path);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "calibration %s: %s (using built-in defaults)\n",
+                 path.c_str(), profile.status().ToString().c_str());
+    return plan::CalibrationProfile{};
+  }
+  return *profile;
+}
+
 int DriveUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s drive --listen PORT --peer PARTY=HOST:PORT ...\n"
@@ -189,7 +215,7 @@ int DriveMain(int argc, char** argv) {
     }
   }
   if (args.peers.empty() || args.sessions == 0) return DriveUsage(argv[0]);
-  const std::string protocol = args.protocol;
+  std::string protocol = args.protocol;
   const size_t sessions = args.sessions;
   const size_t threads = args.threads;
   const bool concurrent = args.concurrent;
@@ -199,6 +225,32 @@ int DriveMain(int argc, char** argv) {
   if (!testbed.ok()) {
     std::fprintf(stderr, "testbed: %s\n", testbed.status().ToString().c_str());
     return 1;
+  }
+
+  // --protocol auto: the RunSpec announced to the daemons must name a
+  // concrete protocol (every process replicates the same deterministic
+  // session), so the planner resolves the choice driver-side before
+  // anything is announced.
+  if (protocol == "auto") {
+    plan::PlannerOptions popt;
+    popt.params.das_partitions = args.partitions;
+    popt.params.group_bits = args.group_bits;
+    popt.params.paillier_bits = args.testbed.paillier_bits;
+    popt.params.rsa_bits = args.testbed.rsa_bits;
+    popt.policy = args.policy;
+    plan::Planner planner(
+        plan::CostModel(LoadCalibrationProfile(args.calibration)), popt);
+    auto choice = planner.Plan((*testbed)->JoinSql(), (*testbed)->ctx());
+    if (!choice.ok()) {
+      std::fprintf(stderr, "drive: planner: %s\n",
+                   choice.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%s", choice->ToTable().c_str());
+    protocol = choice->chosen.levels.front().protocol;
+    std::fprintf(stderr, "drive: planner chose %s (%.1f ms predicted)\n",
+                 choice->chosen.ProtocolsLabel().c_str(),
+                 choice->chosen.total_wall_ms);
   }
   auto host = PeerHost::Listen(args.listen_port);
   if (!host.ok()) {
@@ -610,6 +662,7 @@ int BenchLoadMain(int argc, char** argv) {
     opt.use_prepared = prepared;
     opt.rng_label = args.testbed.seed_label;
     opt.threads = args.threads;
+    opt.calibration = LoadCalibrationProfile(args.calibration);
     QueryService service(testbed->get(), opt);
     LoadConfig cfg;
     cfg.clients = clients != 0 ? clients : args.max_sessions;
@@ -619,6 +672,7 @@ int BenchLoadMain(int argc, char** argv) {
     cfg.query.sql = (*testbed)->JoinSql();
     cfg.query.das_partitions = args.partitions;
     cfg.query.group_bits = args.group_bits;
+    cfg.query.policy = args.policy;
     if (warmup) {
       auto warm = service.Run(cfg.query);
       if (!warm.ok() || !warm->status.ok()) {
@@ -675,6 +729,212 @@ int BenchLoadMain(int argc, char** argv) {
     }
   }
   return failures == 0 ? 0 : 1;
+}
+
+int ExplainUsage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s explain [--sql SQL] [--execute] [--json]\n"
+               "          [workload/testbed flags] [protocol/service "
+               "flags]\n%s%s%s",
+               prog, kProtocolFlagsHelp, kServiceFlagsHelp, kDeployFlagsHelp);
+  return 2;
+}
+
+/// `secmedctl explain`: runs the cost-based planner over the synthetic
+/// workload and prints every candidate plan with predicted cost and
+/// leakage (docs/PLANNER.md). --execute additionally runs the chosen
+/// plan and reconciles predicted vs. actual; --json emits the structured
+/// secmed.plan_explain.v1 document instead of the table.
+int ExplainMain(int argc, char** argv) {
+  DeployArgs args;
+  args.protocol = "auto";
+  std::string sql;
+  bool execute = false;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    int rc = ParseDeployFlag(argc, argv, &i, &args);
+    if (rc == 0) rc = ParseProtocolFlag(argc, argv, &i, &args);
+    if (rc == 0) rc = ParseServiceFlag(argc, argv, &i, &args);
+    if (rc == 1) continue;
+    if (rc < 0) return ExplainUsage(argv[0]);
+    std::string flag = argv[i];
+    if (flag == "--sql") {
+      if (i + 1 >= argc) return ExplainUsage(argv[0]);
+      sql = argv[++i];
+    } else if (flag == "--execute") {
+      execute = true;
+    } else if (flag == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return ExplainUsage(argv[0]);
+    }
+  }
+
+  Workload workload = GenerateWorkload(args.workload);
+  auto testbed = MediationTestbed::Create(workload, args.testbed);
+  if (!testbed.ok()) {
+    std::fprintf(stderr, "testbed: %s\n", testbed.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryService::Options opt;
+  opt.max_concurrent = args.max_sessions;
+  opt.queue_depth = args.queue_depth;
+  opt.cache_bytes = args.cache_bytes;
+  opt.use_prepared = true;
+  opt.rng_label = args.testbed.seed_label;
+  opt.threads = args.threads;
+  opt.calibration = LoadCalibrationProfile(args.calibration);
+  QueryService service(testbed->get(), opt);
+
+  QueryService::Query query;
+  query.protocol = args.protocol;
+  query.sql = sql.empty() ? (*testbed)->JoinSql() : sql;
+  query.das_partitions = args.partitions;
+  query.group_bits = args.group_bits;
+  query.policy = args.policy;
+
+  auto choice = service.Explain(query);
+  if (!choice.ok()) {
+    std::fprintf(stderr, "explain: %s\n", choice.status().ToString().c_str());
+    return 1;
+  }
+  if (!json) std::printf("%s", choice->ToTable().c_str());
+
+  if (execute) {
+    auto outcome = service.Run(query);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "explain: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    if (!outcome->status.ok()) {
+      std::fprintf(stderr, "explain: execution failed: %s\n",
+                   outcome->status.ToString().c_str());
+      return 1;
+    }
+    plan::PlanActuals actuals = outcome->Actuals();
+    const plan::PlanChoice& executed =
+        outcome->plan != nullptr ? *outcome->plan : *choice;
+    if (json) {
+      std::printf("%s\n", obs::RenderJson(executed.ToJson(&actuals)).c_str());
+    } else {
+      std::printf(
+          "executed: %.1f ms, %llu wire bytes, %zu rows, %llu messages "
+          "(predicted %.1f ms)\n",
+          outcome->latency_ms,
+          static_cast<unsigned long long>(outcome->bytes),
+          outcome->result.tuples().size(),
+          static_cast<unsigned long long>(outcome->messages),
+          executed.chosen.total_wall_ms);
+    }
+  } else if (json) {
+    std::printf("%s\n", obs::RenderJson(choice->ToJson()).c_str());
+  }
+  return 0;
+}
+
+int CalibrateUsage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s calibrate [--out FILE]\n"
+               "          [--check [--profile FILE] [--tolerance X]]\n"
+               "          [--samples N] [--reps N]\n"
+               "  measures the per-primitive cost coefficients of this host\n"
+               "  (docs/PLANNER.md). Default: write the profile JSON to\n"
+               "  CALIBRATION.json. --check compares against a committed\n"
+               "  profile instead and exits 1 on drift beyond the tolerance\n"
+               "  factor (default 8; CI runs this warn-only).\n",
+               prog);
+  return 2;
+}
+
+int CalibrateMain(int argc, char** argv) {
+  std::string out = "CALIBRATION.json";
+  std::string profile_path = "CALIBRATION.json";
+  bool check = false;
+  double tolerance = 8.0;
+  plan::CalibrateOptions copt;
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return CalibrateUsage(argv[0]);
+      out = v;
+    } else if (flag == "--profile") {
+      const char* v = next();
+      if (v == nullptr) return CalibrateUsage(argv[0]);
+      profile_path = v;
+    } else if (flag == "--check") {
+      check = true;
+    } else if (flag == "--tolerance") {
+      const char* v = next();
+      if (v == nullptr) return CalibrateUsage(argv[0]);
+      tolerance = std::strtod(v, nullptr);
+      if (tolerance <= 1.0) return CalibrateUsage(argv[0]);
+    } else if (flag == "--samples") {
+      size_t n = 0;
+      if (!ParseStrictSize("--samples", next(), &n) || n == 0) {
+        return CalibrateUsage(argv[0]);
+      }
+      copt.samples = n;
+    } else if (flag == "--reps") {
+      size_t n = 0;
+      if (!ParseStrictSize("--reps", next(), &n) || n == 0) {
+        return CalibrateUsage(argv[0]);
+      }
+      copt.reps = n;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return CalibrateUsage(argv[0]);
+    }
+  }
+
+  std::fprintf(stderr, "calibrate: running micro-probes (this takes a few "
+                       "seconds)...\n");
+  auto measured = plan::RunCalibration(copt);
+  if (!measured.ok()) {
+    std::fprintf(stderr, "calibrate: %s\n",
+                 measured.status().ToString().c_str());
+    return 1;
+  }
+
+  if (check) {
+    auto reference = plan::CalibrationProfile::Load(profile_path);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "calibrate: loading %s: %s\n", profile_path.c_str(),
+                   reference.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> drift =
+        plan::CompareProfiles(*reference, *measured, tolerance);
+    if (drift.empty()) {
+      std::fprintf(stderr,
+                   "calibrate: %s matches this host (tolerance %.1fx)\n",
+                   profile_path.c_str(), tolerance);
+      return 0;
+    }
+    for (const std::string& msg : drift) {
+      std::fprintf(stderr, "calibrate: drift: %s\n", msg.c_str());
+    }
+    std::fprintf(stderr,
+                 "calibrate: %zu coefficient(s) drifted; regenerate with "
+                 "`secmedctl calibrate --out %s`\n",
+                 drift.size(), profile_path.c_str());
+    return 1;
+  }
+
+  Status st = measured->Save(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "calibrate: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", obs::RenderJson(measured->ToJson()).c_str());
+  std::fprintf(stderr, "calibrate: wrote %s\n", out.c_str());
+  return 0;
 }
 
 /// Unique daemon endpoints of the --peer map (daemons hosting several
@@ -972,6 +1232,12 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "shutdown") == 0) {
     return ShutdownMain(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "explain") == 0) {
+    return ExplainMain(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "calibrate") == 0) {
+    return CalibrateMain(argc, argv);
   }
   Args args;
   for (int i = 1; i < argc; ++i) {
