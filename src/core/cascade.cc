@@ -1,11 +1,98 @@
 #include "core/cascade.h"
 
+#include <numeric>
 #include <set>
 
 #include "relational/algebra.h"
 #include "relational/sql.h"
 
 namespace secmed {
+
+namespace {
+
+/// Rewrites a reordered cascade's final result into the column layout the
+/// written-order cascade would have produced: the accumulated side of the
+/// last level qualified by the last intermediate ("cascade_result_{k-1}"),
+/// the written-order last table's fresh columns qualified by its name.
+/// Sound only for all-NATURAL cascades, where any join order yields the
+/// same bag over the same attribute union (every shared base column is a
+/// join attribute, so base names are unique in the result). Fails closed
+/// when the actual columns cannot be matched one-to-one by base name.
+Result<Relation> RestoreWrittenOrderLayout(const Relation& result,
+                                           const ParsedQuery& query,
+                                           const Mediator* mediator) {
+  SECMED_ASSIGN_OR_RETURN(Schema anchor, mediator->SchemaOf(query.from.name));
+  std::vector<std::string> accum;  // base names in written accumulation order
+  std::set<std::string> present;
+  for (const Column& c : anchor.columns()) {
+    std::string base = Schema::BaseName(c.name);
+    present.insert(base);
+    accum.push_back(std::move(base));
+  }
+  const size_t k = query.joins.size();
+  std::vector<std::string> target_names;
+  for (size_t level = 0; level < k; ++level) {
+    const ParsedQuery::JoinClause& join = query.joins[level];
+    SECMED_ASSIGN_OR_RETURN(Schema right, mediator->SchemaOf(join.table.name));
+    std::vector<std::string> fresh;
+    for (const Column& c : right.columns()) {
+      std::string base = Schema::BaseName(c.name);
+      if (present.count(base) == 0) fresh.push_back(std::move(base));
+    }
+    if (level + 1 == k) {
+      const std::string prefix = "cascade_result_" + std::to_string(k - 1);
+      for (const std::string& base : accum) {
+        target_names.push_back(prefix + "." + base);
+      }
+      for (const std::string& base : fresh) {
+        target_names.push_back(join.table.name + "." + base);
+      }
+    }
+    for (std::string& base : fresh) {
+      present.insert(base);
+      accum.push_back(std::move(base));
+    }
+  }
+  if (target_names.size() != result.schema().size()) {
+    return Status::Internal(
+        "cascade: reordered result has " +
+        std::to_string(result.schema().size()) + " columns, written order " +
+        std::to_string(target_names.size()));
+  }
+
+  std::vector<size_t> src_index;
+  std::vector<Column> cols;
+  src_index.reserve(target_names.size());
+  cols.reserve(target_names.size());
+  for (const std::string& name : target_names) {
+    const std::string base = Schema::BaseName(name);
+    size_t found = result.schema().size();
+    for (size_t i = 0; i < result.schema().size(); ++i) {
+      if (Schema::BaseName(result.schema().column(i).name) != base) continue;
+      if (found != result.schema().size()) {
+        return Status::Internal("cascade: reordered result has duplicate "
+                                "column '" + base + "'");
+      }
+      found = i;
+    }
+    if (found == result.schema().size()) {
+      return Status::Internal("cascade: reordered result is missing column '" +
+                              base + "'");
+    }
+    src_index.push_back(found);
+    cols.push_back({name, result.schema().column(found).type});
+  }
+  Relation out{Schema(std::move(cols))};
+  for (const Tuple& t : result.tuples()) {
+    Tuple reordered;
+    reordered.reserve(src_index.size());
+    for (size_t i : src_index) reordered.push_back(t[i]);
+    out.AppendUnchecked(std::move(reordered));
+  }
+  return out;
+}
+
+}  // namespace
 
 Result<Relation> UnqualifyRelation(const Relation& rel) {
   std::vector<Column> cols;
@@ -34,6 +121,42 @@ Result<Relation> CascadeExecutor::Run(const std::string& sql,
         "directly to the owning datasource");
   }
 
+  // Resolve the execution order of the JOIN clauses: the written order,
+  // or the planner's permutation installed via SetJoinOrder. A costed and
+  // policy-checked plan is only valid for the order it was built against,
+  // so an order that cannot be honored is an error, never a silent
+  // fallback to the written order.
+  std::vector<size_t> order(query.joins.size());
+  std::iota(order.begin(), order.end(), 0);
+  bool permuted = false;
+  if (!order_.empty()) {
+    if (order_.size() != query.joins.size()) {
+      return Status::InvalidArgument(
+          "cascade: join order names " + std::to_string(order_.size()) +
+          " levels for a query with " + std::to_string(query.joins.size()) +
+          " JOIN clauses");
+    }
+    std::vector<bool> seen(query.joins.size(), false);
+    for (size_t idx : order_) {
+      if (idx >= query.joins.size() || seen[idx]) {
+        return Status::InvalidArgument(
+            "cascade: join order is not a permutation of the JOIN clauses");
+      }
+      seen[idx] = true;
+    }
+    order = order_;
+    for (size_t i = 0; i < order.size(); ++i) permuted |= order[i] != i;
+  }
+  if (permuted) {
+    for (const ParsedQuery::JoinClause& join : query.joins) {
+      if (!join.natural) {
+        return Status::InvalidArgument(
+            "cascade: reordering requires an all-NATURAL cascade; ON joins "
+            "execute in the written order");
+      }
+    }
+  }
+
   // State of the running cascade: the current left-hand side. Starts as
   // the FROM table at its original datasource; after the first level it is
   // the intermediate result held by a cascade datasource.
@@ -46,7 +169,7 @@ Result<Relation> CascadeExecutor::Run(const std::string& sql,
   Relation current_result;
 
   for (size_t level = 0; level < query.joins.size(); ++level) {
-    const ParsedQuery::JoinClause& join = query.joins[level];
+    const ParsedQuery::JoinClause& join = query.joins[order[level]];
 
     // Build this level's two-relation query.
     std::string level_sql = "SELECT * FROM " + current_table;
@@ -100,6 +223,15 @@ Result<Relation> CascadeExecutor::Run(const std::string& sql,
                             ProtocolFor(level)->Run(level_sql, &level_ctx));
     current_table = "cascade_result_" + std::to_string(level + 1);
     cascade_mediators.push_back(std::move(mediator));
+  }
+
+  // A reordered cascade delivers the written-order bag under a permuted
+  // column layout; restore the written layout before post-processing so
+  // the result (and its digest) is independent of the executed order.
+  if (permuted) {
+    SECMED_ASSIGN_OR_RETURN(
+        current_result,
+        RestoreWrittenOrderLayout(current_result, query, ctx->mediator));
   }
 
   // Client-side post-processing: WHERE, aggregation/projection, ORDER BY,

@@ -43,6 +43,18 @@ class CascadeExecutor {
     schedule_ = std::move(schedule);
   }
 
+  /// Installs the execution order of the query's JOIN clauses: level L
+  /// mediates clause `order[L]` of the written SQL. This is how the
+  /// planner executes a reordered plan — the protocol schedule and the
+  /// leakage budget were validated against this order, so execution must
+  /// follow it. Run() rejects an `order` that is not a permutation of the
+  /// clause indexes, and (since only all-NATURAL cascades reorder
+  /// soundly) any non-identity order on a cascade with ON joins. The
+  /// final result is restored to the written-order column layout, so a
+  /// reordered run is digest-identical to the written-order run. An
+  /// empty order (the default) is the written order.
+  void SetJoinOrder(std::vector<size_t> order) { order_ = std::move(order); }
+
   /// Runs the query; `ctx` supplies the client, the base mediator (for
   /// table locations and schemas), the base datasources and the bus.
   Result<Relation> Run(const std::string& sql, ProtocolContext* ctx);
@@ -57,6 +69,7 @@ class CascadeExecutor {
 
   JoinProtocol* protocol_;
   std::vector<JoinProtocol*> schedule_;
+  std::vector<size_t> order_;
   RsaPublicKey ca_key_;
 };
 

@@ -124,8 +124,14 @@ obs::JsonValue PlanChoice::ToJson(const PlanActuals* actuals) const {
     std::vector<obs::JsonValue> levels;
     levels.reserve(c.levels.size());
     for (const PlanLevel& level : c.levels) levels.push_back(level_json(level));
+    std::vector<obs::JsonValue> order;
+    order.reserve(c.join_order.size());
+    for (size_t idx : c.join_order) {
+      order.push_back(obs::JsonValue::Number(double(idx)));
+    }
     return obs::JsonValue::Object({
         {"levels", obs::JsonValue::Array(std::move(levels))},
+        {"join_order", obs::JsonValue::Array(std::move(order))},
         {"protocols", obs::JsonValue::String(c.ProtocolsLabel())},
         {"total_wall_ms", obs::JsonValue::Number(c.total_wall_ms)},
         {"pruned", obs::JsonValue::Bool(c.pruned)},
@@ -353,7 +359,7 @@ Result<PlanChoice> Planner::Plan(const std::string& sql,
     // Per-level cost and leakage of every candidate protocol.
     struct LevelOption {
       PlanLevel level;
-      bool allowed = true;
+      std::string violation;  // policy violation; empty = allowed
     };
     std::vector<std::vector<LevelOption>> grid;
     for (const LevelInput& input : *levels) {
@@ -367,7 +373,7 @@ Result<PlanChoice> Planner::Plan(const std::string& sql,
         option.level.cost =
             model_.Predict(protocol, input.left, input.right, options_.params);
         option.level.leakage = PredictLeakage(protocol, option.level.cost);
-        option.allowed = policy.Check(option.level.leakage).empty();
+        option.violation = policy.Check(option.level.leakage);
         row.push_back(std::move(option));
       }
       grid.push_back(std::move(row));
@@ -377,6 +383,7 @@ Result<PlanChoice> Planner::Plan(const std::string& sql,
     // --protocol choices), plus the best-per-level mixed candidate.
     for (size_t p = 0; p < options_.protocols.size(); ++p) {
       CandidatePlan candidate;
+      candidate.join_order = order;
       for (const std::vector<LevelOption>& row : grid) {
         const LevelOption& option = row[p];
         candidate.levels.push_back(option.level);
@@ -385,9 +392,9 @@ Result<PlanChoice> Planner::Plan(const std::string& sql,
           candidate.feasible = false;
           candidate.prune_reason = option.level.cost.infeasible_reason;
         }
-        if (!option.allowed && !candidate.pruned) {
+        if (!option.violation.empty() && !candidate.pruned) {
           candidate.pruned = true;
-          candidate.prune_reason = policy.Check(option.level.leakage);
+          candidate.prune_reason = option.violation;
         }
       }
       choice.candidates.push_back(std::move(candidate));
@@ -395,10 +402,13 @@ Result<PlanChoice> Planner::Plan(const std::string& sql,
     if (grid.size() > 1) {
       CandidatePlan mixed;
       mixed.mixed = true;
+      mixed.join_order = order;
       for (const std::vector<LevelOption>& row : grid) {
         const LevelOption* best = nullptr;
         for (const LevelOption& option : row) {
-          if (!option.allowed || !option.level.cost.feasible) continue;
+          if (!option.violation.empty() || !option.level.cost.feasible) {
+            continue;
+          }
           if (best == nullptr ||
               option.level.cost.wall_ms < best->level.cost.wall_ms) {
             best = &option;

@@ -27,6 +27,11 @@ struct PlanLevel {
 /// A fully costed candidate: a join order plus a protocol per level.
 struct CandidatePlan {
   std::vector<PlanLevel> levels;
+  /// Execution order of the query's JOIN clauses this candidate was
+  /// costed and policy-checked against: level L mediates written clause
+  /// join_order[L]. Handed to CascadeExecutor::SetJoinOrder so the run
+  /// matches the plan (the identity for the written order).
+  std::vector<size_t> join_order;
   double total_wall_ms = 0.0;
   bool pruned = false;          // a level violates the leakage policy
   std::string prune_reason;
@@ -59,6 +64,10 @@ struct PlanChoice {
 
   /// Per-level protocol names of the chosen plan, in cascade order —
   /// the schedule handed to CascadeExecutor. Size 1 for a single join.
+  /// Level L of the schedule mediates written JOIN clause
+  /// chosen.join_order[L]; executors must install both the schedule and
+  /// the order, or the costs/leakage validated here apply to the wrong
+  /// join pairs.
   std::vector<std::string> ProtocolSchedule() const;
 
   /// Structured EXPLAIN; `actuals` (optional) adds the measured section.

@@ -95,8 +95,11 @@ QueryOutcome QueryService::Execute(const Query& query, uint64_t session_id) {
 
   // Resolve the per-level protocol schedule: a fixed protocol repeats
   // for every cascade level; "auto" asks the planner (src/plan/), which
-  // may pick a different protocol per level.
+  // may pick a different protocol per level AND a different join order —
+  // both are carried to the executor below, so the run is the plan the
+  // leakage policy admitted, not a same-protocol rearrangement of it.
   std::vector<std::string> schedule_names;
+  std::vector<size_t> join_order;
   Status plan_status = Status::OK();
   size_t join_clauses = 1;
   if (auto parsed = ParseSql(query.sql); parsed.ok()) {
@@ -108,6 +111,7 @@ QueryOutcome QueryService::Execute(const Query& query, uint64_t session_id) {
     if (planned.ok()) {
       out.plan = std::make_shared<plan::PlanChoice>(std::move(planned).value());
       schedule_names = out.plan->ProtocolSchedule();
+      join_order = out.plan->chosen.join_order;
     } else {
       plan_status = planned.status();
     }
@@ -156,9 +160,13 @@ QueryOutcome QueryService::Execute(const Query& query, uint64_t session_id) {
       // the pre-planner fixed-protocol path.
       result = schedule[0]->Run(query.sql, &ctx);
     } else {
-      // k-way cascade, possibly mixed-protocol (docs/PLANNER.md).
+      // k-way cascade, possibly mixed-protocol and reordered by the
+      // planner (docs/PLANNER.md). The executor validates the order and
+      // fails rather than falling back to the written order, which would
+      // divorce the run from the costed, policy-checked plan.
       CascadeExecutor cascade(schedule[0], testbed_->ca_key());
       cascade.SetProtocolSchedule(schedule);
+      cascade.SetJoinOrder(join_order);
       result = cascade.Run(query.sql, &ctx);
     }
     if (result.ok()) {

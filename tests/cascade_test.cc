@@ -8,7 +8,9 @@
 #include "core/commutative_protocol.h"
 #include "core/das_protocol.h"
 #include "core/pm_protocol.h"
+#include "core/remote.h"
 #include "crypto/drbg.h"
+#include "plan/planner.h"
 #include "mediation/client.h"
 #include "mediation/datasource.h"
 #include "mediation/mediator.h"
@@ -28,7 +30,8 @@ class CascadeEnv {
         mediator_("base-mediator"),
         hospital_("hospital"),
         clinic_("clinic"),
-        pharmacy_("pharmacy") {
+        pharmacy_("pharmacy"),
+        lab_("lab") {
     EXPECT_TRUE(client_.AcquireCredential(ca_, {{"role", "analyst"}}).ok());
 
     patients_ = Relation{Schema({{"pid", ValueType::kInt64},
@@ -50,22 +53,34 @@ class CascadeEnv {
     (void)stock_.Append({Value::Str("allopurinol"), Value::Int(0)});
     (void)stock_.Append({Value::Str("aspirin"), Value::Int(99)});
 
-    for (DataSource* s : {&hospital_, &clinic_, &pharmacy_}) {
+    // A fourth-party table joining patients on pid: with it the
+    // treatments/vitals clauses commute, so join-order tests have a
+    // valid non-identity permutation (stock only joins via treatments).
+    vitals_ = Relation{Schema({{"pid", ValueType::kInt64},
+                               {"temp", ValueType::kInt64}})};
+    (void)vitals_.Append({Value::Int(1), Value::Int(39)});
+    (void)vitals_.Append({Value::Int(2), Value::Int(37)});
+    (void)vitals_.Append({Value::Int(4), Value::Int(38)});
+
+    for (DataSource* s : {&hospital_, &clinic_, &pharmacy_, &lab_}) {
       s->set_ca_key(ca_.public_key());
     }
     hospital_.AddRelation("patients", patients_);
     clinic_.AddRelation("treatments", treatments_);
     pharmacy_.AddRelation("stock", stock_);
+    lab_.AddRelation("vitals", vitals_);
 
     mediator_.RegisterTable("patients", "hospital", patients_.schema());
     mediator_.RegisterTable("treatments", "clinic", treatments_.schema());
     mediator_.RegisterTable("stock", "pharmacy", stock_.schema());
+    mediator_.RegisterTable("vitals", "lab", vitals_.schema());
 
     ctx_.client = &client_;
     ctx_.mediator = &mediator_;
     ctx_.sources = {{"hospital", &hospital_},
                     {"clinic", &clinic_},
-                    {"pharmacy", &pharmacy_}};
+                    {"pharmacy", &pharmacy_},
+                    {"lab", &lab_}};
     ctx_.bus = &bus_;
     ctx_.rng = &rng_;
   }
@@ -90,8 +105,8 @@ class CascadeEnv {
   CertificationAuthority ca_;
   Client client_;
   Mediator mediator_;
-  DataSource hospital_, clinic_, pharmacy_;
-  Relation patients_, treatments_, stock_;
+  DataSource hospital_, clinic_, pharmacy_, lab_;
+  Relation patients_, treatments_, stock_, vitals_;
   NetworkBus bus_;
   ProtocolContext ctx_;
 };
@@ -230,6 +245,118 @@ TEST(CascadeTest, PartialAndEmptySchedules) {
               sched_env.bus().transcript()[i].payload)
         << "transcript diverges at message " << i;
   }
+}
+
+// A planner-chosen join order must deliver the SAME relation as the
+// written order — identical schema (names and column order, via the
+// written-order layout restoration) and identical bag — so a reordered
+// `--protocol auto` run stays digest-comparable to fixed-protocol runs.
+TEST(CascadeTest, JoinOrderMatchesWrittenOrderResult) {
+  const std::string sql =
+      "SELECT * FROM patients NATURAL JOIN treatments NATURAL JOIN vitals";
+
+  CascadeEnv written_env;
+  CommutativeJoinProtocol comm_w(CommutativeProtocolOptions{256, false});
+  CascadeExecutor written(&comm_w, written_env.ca_key());
+  Relation written_result = written.Run(sql, written_env.ctx()).value();
+  // pids 1 (flu: tamiflu + rest) and 2 (gout) have vitals; pid 3 has none.
+  EXPECT_EQ(written_result.size(), 3u);
+
+  CascadeEnv reordered_env;
+  CommutativeJoinProtocol comm_r(CommutativeProtocolOptions{256, false});
+  CascadeExecutor reordered(&comm_r, reordered_env.ca_key());
+  reordered.SetJoinOrder({1, 0});  // vitals first, then treatments
+  Relation reordered_result = reordered.Run(sql, reordered_env.ctx()).value();
+
+  EXPECT_TRUE(reordered_result.schema() == written_result.schema())
+      << reordered_result.schema().ToString() << " vs "
+      << written_result.schema().ToString();
+  EXPECT_TRUE(reordered_result.EqualsAsBag(written_result))
+      << reordered_result.ToString() << " vs " << written_result.ToString();
+}
+
+TEST(CascadeTest, JoinOrderValidation) {
+  const std::string sql =
+      "SELECT * FROM patients NATURAL JOIN treatments NATURAL JOIN vitals";
+  CascadeEnv env;
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor cascade(&comm, env.ca_key());
+
+  cascade.SetJoinOrder({0});  // wrong arity
+  EXPECT_FALSE(cascade.Run(sql, env.ctx()).ok());
+  cascade.SetJoinOrder({0, 0});  // not a permutation
+  EXPECT_FALSE(cascade.Run(sql, env.ctx()).ok());
+  cascade.SetJoinOrder({2, 0});  // out of range
+  EXPECT_FALSE(cascade.Run(sql, env.ctx()).ok());
+
+  // The explicit identity order is the written order.
+  cascade.SetJoinOrder({0, 1});
+  EXPECT_TRUE(cascade.Run(sql, env.ctx()).ok());
+}
+
+// Reordering is only sound for all-NATURAL cascades (the planner never
+// permutes ON joins); the executor fails closed rather than running a
+// different cascade than the plan described.
+TEST(CascadeTest, JoinOrderRejectedForOnJoins) {
+  CascadeEnv env;
+  CommutativeJoinProtocol comm(CommutativeProtocolOptions{256, false});
+  CascadeExecutor cascade(&comm, env.ca_key());
+  cascade.SetJoinOrder({1, 0});
+  EXPECT_FALSE(cascade
+                   .Run("SELECT * FROM patients JOIN treatments ON "
+                        "patients.diag = treatments.diag JOIN stock ON "
+                        "treatments.drug = stock.drug",
+                        env.ctx())
+                   .ok());
+}
+
+// End to end through the planner, mirroring QueryService::Execute: build
+// the chosen plan's protocol schedule AND join order, execute, and
+// compare against the written-order uniform run. Whatever order the cost
+// model prefers, the delivered relation must be identical.
+TEST(CascadeTest, PlannerChoiceExecutesChosenOrder) {
+  const std::string sql =
+      "SELECT * FROM patients NATURAL JOIN treatments NATURAL JOIN vitals";
+
+  CascadeEnv baseline_env;
+  CommutativeJoinProtocol comm_base(CommutativeProtocolOptions{256, false});
+  CascadeExecutor baseline(&comm_base, baseline_env.ca_key());
+  Relation expected = baseline.Run(sql, baseline_env.ctx()).value();
+
+  CascadeEnv env;
+  plan::PlannerOptions popt;
+  popt.params.das_partitions = 2;
+  plan::Planner planner(plan::CostModel(plan::CalibrationProfile{}), popt);
+  auto choice = planner.Plan(sql, env.ctx());
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  ASSERT_EQ(choice->chosen.join_order.size(), 2u);
+  ASSERT_EQ(choice->chosen.levels.size(), 2u);
+  // The schedule's level L mediates written clause join_order[L].
+  const char* kTables[] = {"treatments", "vitals"};
+  EXPECT_EQ(choice->chosen.levels[0].right,
+            kTables[choice->chosen.join_order[0]]);
+  EXPECT_EQ(choice->chosen.levels[1].right,
+            kTables[choice->chosen.join_order[1]]);
+
+  std::vector<std::unique_ptr<JoinProtocol>> owned;
+  std::vector<JoinProtocol*> schedule;
+  for (const std::string& name : choice->ProtocolSchedule()) {
+    RunSpec spec;
+    spec.protocol = name;
+    spec.das_partitions = 2;
+    auto built = BuildProtocol(spec);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    owned.push_back(std::move(built).value());
+    schedule.push_back(owned.back().get());
+  }
+  CascadeExecutor cascade(schedule[0], env.ca_key());
+  cascade.SetProtocolSchedule(schedule);
+  cascade.SetJoinOrder(choice->chosen.join_order);
+  auto result = cascade.Run(sql, env.ctx());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->schema() == expected.schema())
+      << result->schema().ToString() << " vs " << expected.schema().ToString();
+  EXPECT_TRUE(result->EqualsAsBag(expected));
 }
 
 TEST(CascadeTest, OnClauseJoins) {

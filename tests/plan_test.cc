@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <map>
@@ -17,6 +18,7 @@
 #include "core/commutative_protocol.h"
 #include "core/leakage.h"
 #include "core/testbed.h"
+#include "mediation/datasource.h"
 #include "obs/json.h"
 #include "plan/calibrate.h"
 #include "plan/planner.h"
@@ -278,6 +280,58 @@ TEST_F(PlannerEnv, ContradictoryBudgetFailsClosed) {
   auto choice = planner.Plan(testbed_->JoinSql(), testbed_->ctx());
   ASSERT_FALSE(choice.ok());
   EXPECT_EQ(choice.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// k-way order enumeration: every candidate carries the join-clause
+// permutation it was costed against (CandidatePlan::join_order), the
+// chosen candidate's levels line up with its permutation, and the
+// permutation is part of the EXPLAIN JSON — the contract QueryService
+// and CascadeExecutor::SetJoinOrder execute against.
+TEST(PlannerJoinOrderTest, CandidatesCarryJoinOrder) {
+  Relation t1{Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}})};
+  Relation t2{Schema({{"a", ValueType::kInt64}, {"c", ValueType::kInt64}})};
+  Relation t3{Schema({{"b", ValueType::kInt64}, {"d", ValueType::kInt64}})};
+  for (int64_t i = 0; i < 8; ++i) {
+    (void)t1.Append({Value::Int(i % 4), Value::Int(i % 3)});
+    (void)t2.Append({Value::Int(i % 5), Value::Int(i)});
+    (void)t3.Append({Value::Int(i % 3), Value::Int(i)});
+  }
+  DataSource warehouse("warehouse");
+  warehouse.AddRelation("t1", t1);
+  warehouse.AddRelation("t2", t2);
+  warehouse.AddRelation("t3", t3);
+  ProtocolContext ctx;
+  ctx.sources["warehouse"] = &warehouse;
+
+  PlannerOptions opt;
+  Planner planner(CostModel{CalibrationProfile{}}, opt);
+  auto choice =
+      planner.Plan("SELECT * FROM t1 NATURAL JOIN t2 NATURAL JOIN t3", &ctx);
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+
+  // Both clause orders join on a shared column, so both are enumerated.
+  bool written = false, permuted = false;
+  for (const CandidatePlan& c : choice->candidates) {
+    ASSERT_EQ(c.join_order.size(), 2u);
+    ASSERT_EQ(c.levels.size(), 2u);
+    std::vector<size_t> sorted = c.join_order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<size_t>{0, 1}));
+    written |= c.join_order == std::vector<size_t>{0, 1};
+    permuted |= c.join_order == std::vector<size_t>{1, 0};
+    // Level L mediates written clause join_order[L].
+    const char* tables[] = {"t2", "t3"};
+    EXPECT_EQ(c.levels[0].right, tables[c.join_order[0]]);
+    EXPECT_EQ(c.levels[1].right, tables[c.join_order[1]]);
+  }
+  EXPECT_TRUE(written);
+  EXPECT_TRUE(permuted);
+  ASSERT_EQ(choice->chosen.join_order.size(), 2u);
+  EXPECT_EQ(choice->chosen.levels.size(),
+            choice->ProtocolSchedule().size());
+
+  std::string rendered = obs::RenderJson(choice->ToJson());
+  EXPECT_NE(rendered.find("\"join_order\""), std::string::npos);
 }
 
 TEST_F(PlannerEnv, ExplainJsonAndTable) {

@@ -171,16 +171,17 @@ bool ReportsAgree(const RunReport& a, const RunReport& b, std::string* why) {
 
 /// Loads the cost-model coefficients for the planner: an explicit
 /// --calibration file, or the built-in defaults (which mirror the
-/// committed CALIBRATION.json). A missing/corrupt file warns and falls
-/// back rather than failing — the planner's ordering is robust to
-/// coefficient drift, and a broken profile should not block a query.
-plan::CalibrationProfile LoadCalibrationProfile(const std::string& path) {
+/// committed CALIBRATION.json). An empty path is the implicit default
+/// profile; a --calibration file that cannot be loaded is an error —
+/// silently planning on different coefficients than the user asked for
+/// would make the EXPLAIN output lie about its own basis.
+Result<plan::CalibrationProfile> LoadCalibrationProfile(
+    const std::string& path) {
   if (path.empty()) return plan::CalibrationProfile{};
   auto profile = plan::CalibrationProfile::Load(path);
   if (!profile.ok()) {
-    std::fprintf(stderr, "calibration %s: %s (using built-in defaults)\n",
-                 path.c_str(), profile.status().ToString().c_str());
-    return plan::CalibrationProfile{};
+    return Status::InvalidArgument("--calibration " + path + ": " +
+                                   profile.status().ToString());
   }
   return *profile;
 }
@@ -238,8 +239,13 @@ int DriveMain(int argc, char** argv) {
     popt.params.paillier_bits = args.testbed.paillier_bits;
     popt.params.rsa_bits = args.testbed.rsa_bits;
     popt.policy = args.policy;
-    plan::Planner planner(
-        plan::CostModel(LoadCalibrationProfile(args.calibration)), popt);
+    auto calibration = LoadCalibrationProfile(args.calibration);
+    if (!calibration.ok()) {
+      std::fprintf(stderr, "drive: %s\n",
+                   calibration.status().ToString().c_str());
+      return 1;
+    }
+    plan::Planner planner(plan::CostModel(*calibration), popt);
     auto choice = planner.Plan((*testbed)->JoinSql(), (*testbed)->ctx());
     if (!choice.ok()) {
       std::fprintf(stderr, "drive: planner: %s\n",
@@ -247,6 +253,20 @@ int DriveMain(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "%s", choice->ToTable().c_str());
+    // Drive announces ONE protocol that every daemon replicates; a
+    // multi-level (possibly mixed or reordered) plan cannot be collapsed
+    // to its first level's protocol without running something other than
+    // the chosen plan. The driven workload is a single join today, so
+    // this guards the invariant rather than a reachable path.
+    if (choice->chosen.levels.size() > 1) {
+      std::fprintf(stderr,
+                   "drive: planner chose a %zu-level plan (%s); drive "
+                   "replays a single-protocol single-join session — run the "
+                   "plan through `secmedctl explain --execute` instead\n",
+                   choice->chosen.levels.size(),
+                   choice->chosen.ProtocolsLabel().c_str());
+      return 1;
+    }
     protocol = choice->chosen.levels.front().protocol;
     std::fprintf(stderr, "drive: planner chose %s (%.1f ms predicted)\n",
                  choice->chosen.ProtocolsLabel().c_str(),
@@ -649,6 +669,12 @@ int BenchLoadMain(int argc, char** argv) {
     std::fprintf(stderr, "testbed: %s\n", testbed.status().ToString().c_str());
     return 1;
   }
+  auto calibration = LoadCalibrationProfile(args.calibration);
+  if (!calibration.ok()) {
+    std::fprintf(stderr, "bench-load: %s\n",
+                 calibration.status().ToString().c_str());
+    return 1;
+  }
 
   // Each mode gets a fresh service (and so a fresh cache): "cold" never
   // attaches the cache, "warm" attaches it and runs one uncounted query
@@ -662,7 +688,7 @@ int BenchLoadMain(int argc, char** argv) {
     opt.use_prepared = prepared;
     opt.rng_label = args.testbed.seed_label;
     opt.threads = args.threads;
-    opt.calibration = LoadCalibrationProfile(args.calibration);
+    opt.calibration = *calibration;
     QueryService service(testbed->get(), opt);
     LoadConfig cfg;
     cfg.clients = clients != 0 ? clients : args.max_sessions;
@@ -778,6 +804,12 @@ int ExplainMain(int argc, char** argv) {
     return 1;
   }
 
+  auto calibration = LoadCalibrationProfile(args.calibration);
+  if (!calibration.ok()) {
+    std::fprintf(stderr, "explain: %s\n",
+                 calibration.status().ToString().c_str());
+    return 1;
+  }
   QueryService::Options opt;
   opt.max_concurrent = args.max_sessions;
   opt.queue_depth = args.queue_depth;
@@ -785,7 +817,7 @@ int ExplainMain(int argc, char** argv) {
   opt.use_prepared = true;
   opt.rng_label = args.testbed.seed_label;
   opt.threads = args.threads;
-  opt.calibration = LoadCalibrationProfile(args.calibration);
+  opt.calibration = *calibration;
   QueryService service(testbed->get(), opt);
 
   QueryService::Query query;
